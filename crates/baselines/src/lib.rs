@@ -1,0 +1,26 @@
+//! Baseline consensus protocols for the SpotLess evaluation (§6.2).
+//!
+//! All four comparators run on the same sans-IO node model and the same
+//! discrete-event simulator as SpotLess itself, so measured differences
+//! come from protocol structure (message counts/sizes, signature loads,
+//! pipelining ability), not from harness asymmetry:
+//!
+//! * [`PbftReplica`] — heavily optimized out-of-order, MAC-based PBFT;
+//! * [`RccReplica`] — m concurrent PBFT instances with complaint-based
+//!   exponential primary suspension;
+//! * [`HotStuffReplica`] — chained HotStuff with signature-list QCs and
+//!   an exponential-backoff pacemaker; its [`HotStuffReplica::narwhal`]
+//!   constructor yields the Narwhal-HS variant (availability-certified
+//!   batch dissemination under HotStuff ordering).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hotstuff;
+pub mod pbft;
+pub mod rcc;
+pub mod util;
+
+pub use hotstuff::{HotStuffReplica, HsBlock, HsMessage, QcRef};
+pub use pbft::{PbftMessage, PbftReplica};
+pub use rcc::{RccMessage, RccReplica};

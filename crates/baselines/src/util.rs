@@ -1,0 +1,3 @@
+//! Re-export of the shared replica-id bitset.
+
+pub use spotless_types::replica_set::ReplicaSet;

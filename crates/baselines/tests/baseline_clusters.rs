@@ -1,0 +1,161 @@
+//! End-to-end runs of every baseline on the discrete-event simulator,
+//! plus the paper's headline protocol-structure comparisons at small n.
+
+use spotless_baselines::{HotStuffReplica, PbftReplica, RccReplica};
+use spotless_simnet::{ClosedLoopDriver, SimConfig, SimReport, Simulation};
+use spotless_types::{ClusterConfig, SimDuration};
+
+fn cfg(cluster: &ClusterConfig, secs: f64) -> SimConfig {
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(400);
+    cfg.duration = SimDuration::from_secs_f64(secs);
+    cfg
+}
+
+fn run_pbft(cluster: &ClusterConfig, load: u32, crashes: u32) -> SimReport {
+    let nodes: Vec<PbftReplica> = cluster
+        .replicas()
+        .map(|r| PbftReplica::new(cluster.clone(), r))
+        .collect();
+    let mut sim = Simulation::new(
+        cfg(cluster, 1.5).with_crashed(crashes),
+        nodes,
+        ClosedLoopDriver::new(load),
+    );
+    sim.run()
+}
+
+fn run_rcc(cluster: &ClusterConfig, load: u32, crashes: u32) -> SimReport {
+    let nodes: Vec<RccReplica> = cluster
+        .replicas()
+        .map(|r| RccReplica::new(cluster.clone(), r))
+        .collect();
+    let mut sim = Simulation::new(
+        cfg(cluster, 1.5).with_crashed(crashes),
+        nodes,
+        ClosedLoopDriver::new(load),
+    );
+    sim.run()
+}
+
+fn run_hotstuff(cluster: &ClusterConfig, load: u32, narwhal: bool) -> SimReport {
+    let nodes: Vec<HotStuffReplica> = cluster
+        .replicas()
+        .map(|r| {
+            if narwhal {
+                HotStuffReplica::narwhal(cluster.clone(), r)
+            } else {
+                HotStuffReplica::new(cluster.clone(), r)
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(cfg(cluster, 1.5), nodes, ClosedLoopDriver::new(load));
+    sim.run()
+}
+
+#[test]
+fn pbft_commits_under_load() {
+    let cluster = ClusterConfig::with_instances(4, 1);
+    let report = run_pbft(&cluster, 8, 0);
+    assert!(
+        report.txns > 2_000,
+        "PBFT throughput, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn pbft_survives_backup_crashes() {
+    let cluster = ClusterConfig::with_instances(7, 1);
+    let report = run_pbft(&cluster, 4, 2);
+    assert!(
+        report.txns > 1_000,
+        "PBFT with crashed backups, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn rcc_commits_under_load() {
+    let cluster = ClusterConfig::with_instances(4, 4);
+    let report = run_rcc(&cluster, 4, 0);
+    assert!(
+        report.txns > 2_000,
+        "RCC throughput, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn rcc_concurrent_beats_single_pbft_when_primary_is_bottleneck() {
+    // §4.2's core claim: concurrency removes the single-primary NIC
+    // bottleneck. At small n with small transactions, both protocols hit
+    // the sequential-execution ceiling; fat transactions (Figure 7(d)'s
+    // condition) expose the primary's bandwidth limit instead.
+    let mut fat_single = ClusterConfig::with_instances(16, 1);
+    fat_single.txn_size = 1600;
+    let mut fat_concurrent = ClusterConfig::with_instances(16, 16);
+    fat_concurrent.txn_size = 1600;
+    let single = run_pbft(&fat_single, 8, 0);
+    let concurrent = run_rcc(&fat_concurrent, 8, 0);
+    assert!(
+        concurrent.throughput_tps > 2.0 * single.throughput_tps,
+        "RCC {} should dominate PBFT {} with 1600 B transactions",
+        concurrent.throughput_tps,
+        single.throughput_tps
+    );
+}
+
+#[test]
+fn rcc_survives_instance_primary_crashes() {
+    let cluster = ClusterConfig::with_instances(7, 7);
+    // Crash two replicas ⇒ two instances lose their fixed primary and
+    // must be suspended by complaints.
+    let report = run_rcc(&cluster, 4, 2);
+    assert!(
+        report.txns > 500,
+        "RCC with crashed instance primaries, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn hotstuff_commits_under_load() {
+    let cluster = ClusterConfig::with_instances(4, 1);
+    let report = run_hotstuff(&cluster, 8, false);
+    assert!(
+        report.txns > 500,
+        "HotStuff throughput, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn narwhal_hs_outperforms_plain_hotstuff() {
+    // Narwhal's dissemination layer lets all n replicas feed batches into
+    // each ordered block — the paper's reason it sits between HotStuff
+    // and the concurrent protocols.
+    let cluster = ClusterConfig::with_instances(8, 1);
+    let hs = run_hotstuff(&cluster, 8, false);
+    let narwhal = run_hotstuff(&cluster, 8, true);
+    assert!(
+        narwhal.throughput_tps > hs.throughput_tps,
+        "Narwhal-HS {} ≤ HotStuff {}",
+        narwhal.throughput_tps,
+        hs.throughput_tps
+    );
+}
+
+#[test]
+fn hotstuff_per_decision_messages_are_linear_not_quadratic() {
+    // Figure 1: HotStuff ≈ 2n per decision vs PBFT ≈ 2n².
+    let cluster = ClusterConfig::with_instances(8, 1);
+    let hs = run_hotstuff(&cluster, 8, false);
+    let pbft = run_pbft(&cluster, 8, 0);
+    assert!(
+        hs.msgs_per_decision < pbft.msgs_per_decision / 2.0,
+        "HotStuff {} vs PBFT {}",
+        hs.msgs_per_decision,
+        pbft.msgs_per_decision
+    );
+}

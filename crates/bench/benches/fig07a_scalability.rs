@@ -1,0 +1,29 @@
+//! **Figure 7(a)** — scalability: throughput as a function of the number
+//! of replicas (batch 100, no failures, all five protocols).
+//!
+//! Expected shape (paper): SpotLess highest at every n, RCC close behind
+//! (SpotLess wins by up to 23 %), PBFT strong at small n but falling with
+//! n (single-primary bandwidth), Narwhal-HS in between, HotStuff far
+//! below everything (no out-of-order processing, one batch per view).
+
+use spotless_bench::{ktps, n_sweep, run, FigureTable, Protocol, RunSpec};
+
+fn main() {
+    let mut table = FigureTable::new(
+        "fig07a_scalability",
+        &["n", "protocol", "throughput", "avg latency"],
+    );
+    for n in n_sweep() {
+        for protocol in Protocol::all() {
+            let mut spec = RunSpec::new(protocol, n);
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            table.row(&[
+                format!("{n:4}"),
+                format!("{:>10}", protocol.name()),
+                ktps(&report),
+                spotless_bench::lat(&report),
+            ]);
+        }
+    }
+}

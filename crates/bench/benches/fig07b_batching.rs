@@ -1,0 +1,27 @@
+//! **Figure 7(b)** — batching: throughput at the large deployment as a
+//! function of batch size (10–400 txn/batch).
+//!
+//! Expected shape (paper): all protocols gain with batch size, with gains
+//! flattening after 100 txn/batch (the default used everywhere else).
+
+use spotless_bench::{big_n, ktps, run, FigureTable, Protocol, RunSpec};
+
+fn main() {
+    let mut table = FigureTable::new(
+        "fig07b_batching",
+        &["batch (txn)", "protocol", "throughput"],
+    );
+    for batch in [10u32, 50, 100, 200, 400] {
+        for protocol in Protocol::all() {
+            let mut spec = RunSpec::new(protocol, big_n());
+            spec.batch_txns = batch;
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            table.row(&[
+                format!("{batch:5}"),
+                format!("{:>10}", protocol.name()),
+                ktps(&report),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! **Figure 7(c)** — throughput-latency: sweep the offered load (client
+//! batches per primary) and plot average latency against achieved
+//! throughput for the large deployment.
+//!
+//! Expected shape (paper): latency stays low until each protocol's
+//! saturation throughput, then rises steeply; SpotLess saturates last
+//! and keeps the lowest latency at matched throughput.
+
+use spotless_bench::{big_n, ktps, lat, run, FigureTable, Protocol, RunSpec};
+
+fn main() {
+    let mut table = FigureTable::new(
+        "fig07c_latency",
+        &["load (batches/primary)", "protocol", "throughput", "avg latency", "p99"],
+    );
+    for load in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+        for protocol in Protocol::all() {
+            let mut spec = RunSpec::new(protocol, big_n());
+            spec.load = load;
+            if load >= 64 {
+                spec.warmup = spec.warmup.saturating_mul(2);
+                spec.duration = spec.duration.saturating_mul(2);
+            }
+            let report = run(&spec);
+            table.row(&[
+                format!("{load:5}"),
+                format!("{:>10}", protocol.name()),
+                ktps(&report),
+                lat(&report),
+                format!("{:6.3} s", report.p99_latency_s),
+            ]);
+        }
+    }
+}

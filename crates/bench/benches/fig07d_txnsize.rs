@@ -1,0 +1,29 @@
+//! **Figure 7(d)** — transaction size: throughput as individual YCSB
+//! transactions grow from 48 B to 1600 B.
+//!
+//! Expected shape (paper): the concurrent protocols (SpotLess, RCC)
+//! sustain throughput because proposal bandwidth is spread over all
+//! replicas; PBFT and HotStuff collapse as the single proposer's NIC
+//! saturates.
+
+use spotless_bench::{big_n, ktps, run, FigureTable, Protocol, RunSpec};
+
+fn main() {
+    let mut table = FigureTable::new(
+        "fig07d_txnsize",
+        &["txn size (B)", "protocol", "throughput"],
+    );
+    for size in [48u32, 200, 400, 600, 800, 1600] {
+        for protocol in Protocol::all() {
+            let mut spec = RunSpec::new(protocol, big_n());
+            spec.txn_size = size;
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            table.row(&[
+                format!("{size:5}"),
+                format!("{:>10}", protocol.name()),
+                ktps(&report),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! **Figure 7(e,f)** — impact of failures: throughput of all five
+//! protocols with 0–10 non-responsive replicas (e) and with 0–f as a
+//! ratio of f (f), at the large deployment.
+//!
+//! Expected shape (paper): every protocol loses throughput as failures
+//! grow; SpotLess degrades gracefully (rotation walks past dead
+//! primaries at timeout cost), RCC dips harder (suspension penalties),
+//! HotStuff suffers most (pacemaker backoff).
+
+use spotless_bench::{big_n, ktps, run, FigureTable, Protocol, RunSpec};
+use spotless_types::ClusterConfig;
+
+fn main() {
+    let n = big_n();
+    let f = ClusterConfig::new(n).f();
+    // (e): absolute counts; (f): ratio of f.
+    let mut counts: Vec<u32> = [0u32, 1, 2, 3, 4, 6, 8, 10]
+        .into_iter()
+        .filter(|c| *c <= f)
+        .collect();
+    for ratio in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
+        let c = (ratio * f as f64).round() as u32;
+        if !counts.contains(&c) {
+            counts.push(c);
+        }
+    }
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut table = FigureTable::new(
+        "fig07ef_failures",
+        &["faulty", "ratio of f", "protocol", "throughput"],
+    );
+    for crashes in counts {
+        for protocol in Protocol::all() {
+            let mut spec = RunSpec::new(protocol, n);
+            spec.crashes = crashes;
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            table.row(&[
+                format!("{crashes:3}"),
+                format!("{:4.2}", crashes as f64 / f as f64),
+                format!("{:>10}", protocol.name()),
+                ktps(&report),
+            ]);
+        }
+    }
+}

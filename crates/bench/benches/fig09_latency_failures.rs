@@ -1,0 +1,36 @@
+//! **Figure 9** — throughput-latency under failures: SpotLess vs RCC at
+//! the large deployment with 1 and with f non-responsive replicas,
+//! sweeping offered load.
+//!
+//! Expected shape (paper): SpotLess keeps a lower latency than RCC at
+//! every achieved throughput; with f failures RCC's latency spikes much
+//! higher (suspension penalties stall execution rounds).
+
+use spotless_bench::{big_n, ktps, lat, run, FigureTable, Protocol, RunSpec};
+use spotless_types::ClusterConfig;
+
+fn main() {
+    let n = big_n();
+    let f = ClusterConfig::new(n).f();
+    let mut table = FigureTable::new(
+        "fig09_latency_failures",
+        &["failures", "load", "protocol", "throughput", "avg latency"],
+    );
+    for crashes in [1u32, f] {
+        for load in [4u32, 8, 16, 32, 64] {
+            for protocol in [Protocol::SpotLess, Protocol::Rcc] {
+                let mut spec = RunSpec::new(protocol, n);
+                spec.crashes = crashes;
+                spec.load = load;
+                let report = run(&spec);
+                table.row(&[
+                    format!("{crashes:3}"),
+                    format!("{load:4}"),
+                    format!("{:>8}", protocol.name()),
+                    ktps(&report),
+                    lat(&report),
+                ]);
+            }
+        }
+    }
+}

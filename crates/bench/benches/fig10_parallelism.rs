@@ -1,0 +1,42 @@
+//! **Figure 10** — parallel transaction processing: throughput and
+//! latency of SpotLess and RCC as a function of client batches per
+//! primary (12–200), with 0, 1, and f failures.
+//!
+//! Expected shape (paper): both protocols' throughput grows with the
+//! number of outstanding client batches until the pipeline fills;
+//! latency grows with load (queueing); SpotLess sustains higher
+//! throughput at high load and lower latency throughout.
+
+use spotless_bench::{big_n, ktps, lat, run, FigureTable, Protocol, RunSpec};
+use spotless_types::ClusterConfig;
+
+fn main() {
+    let n = big_n();
+    let f = ClusterConfig::new(n).f();
+    let loads: Vec<u32> = vec![12, 25, 50, 100, 200];
+    let mut table = FigureTable::new(
+        "fig10_parallelism",
+        &["batches/primary", "failures", "protocol", "throughput", "avg latency"],
+    );
+    for &load in &loads {
+        for crashes in [0u32, 1, f] {
+            for protocol in [Protocol::SpotLess, Protocol::Rcc] {
+                let mut spec = RunSpec::new(protocol, n);
+                spec.load = load;
+                spec.crashes = crashes;
+                // High outstanding loads need a longer window for the
+                // closed loop to reach steady state.
+                spec.warmup = spec.warmup.saturating_mul(2);
+                spec.duration = spec.duration.saturating_mul(2);
+                let report = run(&spec);
+                table.row(&[
+                    format!("{load:5}"),
+                    format!("{crashes:3}"),
+                    format!("{:>8}", protocol.name()),
+                    ktps(&report),
+                    lat(&report),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **Figure 11** — Byzantine attacks: SpotLess under attacks A1–A4 as
+//! the number of Byzantine replicas sweeps 0..f, with RCC (honest and
+//! under A1) for comparison.
+//!
+//! Expected shape (paper): A2–A4 barely dent SpotLess (victims catch up
+//! through the f+1-Sync echo, Ask recovery, and RVS); only A1
+//! (non-responsiveness) costs real throughput, because timeouts are the
+//! only way past a silent primary.
+
+use spotless_bench::{big_n, ktps, run, FigureTable, Protocol, RunSpec};
+use spotless_types::{ByzantineBehavior, ClusterConfig};
+
+fn main() {
+    let n = big_n();
+    let f = ClusterConfig::new(n).f();
+    let attacks = [
+        ("A1", ByzantineBehavior::Crash),
+        ("A2", ByzantineBehavior::DarkPrimary),
+        ("A3", ByzantineBehavior::Equivocate),
+        ("A4", ByzantineBehavior::AntiPrimary),
+    ];
+    let mut table = FigureTable::new(
+        "fig11_byzantine",
+        &["attack", "byzantine", "ratio of f", "protocol", "throughput"],
+    );
+    for ratio in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let count = (ratio * f as f64).round() as u32;
+        for (label, behavior) in attacks {
+            let mut spec = RunSpec::new(Protocol::SpotLess, n);
+            spec.crashes = count;
+            spec.attack = behavior;
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            table.row(&[
+                label.to_string(),
+                format!("{count:3}"),
+                format!("{ratio:4.2}"),
+                "SpotLess".to_string(),
+                ktps(&report),
+            ]);
+        }
+        // RCC comparison: honest-case line plus A1.
+        let mut rcc = RunSpec::new(Protocol::Rcc, n);
+        rcc.crashes = count;
+        rcc.load = spotless_bench::sat_load();
+        let report = run(&rcc);
+        table.row(&[
+            "A1".to_string(),
+            format!("{count:3}"),
+            format!("{ratio:4.2}"),
+            "RCC".to_string(),
+            ktps(&report),
+        ]);
+    }
+}

@@ -1,0 +1,54 @@
+//! **Figure 12** — real-time throughput timeline: SpotLess and RCC with
+//! 1 and with f replicas crashing at the 10-second mark (quick mode:
+//! scaled to a 1-second mark in a shorter run), throughput bucketed over
+//! time.
+//!
+//! Expected shape (paper): SpotLess dips briefly at the failure and
+//! settles at a stable lower plateau; RCC oscillates (exponential
+//! suspension penalties repeatedly stall and release instances) before
+//! recovering.
+
+use spotless_bench::{big_n, is_full, run, FigureTable, Protocol, RunSpec};
+use spotless_types::{ClusterConfig, SimDuration};
+
+fn main() {
+    let n = big_n();
+    let f = ClusterConfig::new(n).f();
+    let (crash_at, duration, bucket) = if is_full() {
+        (
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(130),
+            SimDuration::from_secs(5),
+        )
+    } else {
+        (
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(6),
+            SimDuration::from_millis(500),
+        )
+    };
+    let mut table = FigureTable::new(
+        "fig12_timeline",
+        &["protocol", "failures", "t (s)", "throughput (txn/s)"],
+    );
+    for protocol in [Protocol::SpotLess, Protocol::Rcc] {
+        for crashes in [1u32, f] {
+            let mut spec = RunSpec::new(protocol, n);
+            spec.crashes = crashes;
+            spec.crash_at = Some(crash_at);
+            spec.warmup = SimDuration::from_millis(200);
+            spec.duration = duration;
+            spec.timeline_bucket = bucket;
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            for (t, tps) in &report.timeline {
+                table.row(&[
+                    format!("{:>8}", protocol.name()),
+                    format!("{crashes:3}"),
+                    format!("{t:6.1}"),
+                    format!("{tps:10.0}"),
+                ]);
+            }
+        }
+    }
+}

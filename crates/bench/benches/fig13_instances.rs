@@ -1,0 +1,48 @@
+//! **Figure 13** — concurrent consensus: throughput of SpotLess and RCC
+//! as a function of the number of concurrent instances, at two
+//! deployment sizes.
+//!
+//! Expected shape (paper): RCC leads at few instances (out-of-order
+//! PBFT pipelines within an instance; single chained instances cannot),
+//! plateaus once message processing saturates, while SpotLess keeps
+//! climbing to m = n thanks to its lower per-decision message cost and
+//! peaks above RCC.
+
+use spotless_bench::{big_n, is_full, ktps, run, FigureTable, Protocol, RunSpec};
+
+fn main() {
+    let sizes: Vec<u32> = if is_full() {
+        vec![64, 128]
+    } else {
+        vec![8, big_n()]
+    };
+    let mut table = FigureTable::new(
+        "fig13_instances",
+        &["n", "instances", "protocol", "throughput"],
+    );
+    for &n in &sizes {
+        let mut instance_counts = vec![1u32, 2, 4];
+        let mut m = 8;
+        while m <= n {
+            instance_counts.push(m);
+            m *= 2;
+        }
+        if !instance_counts.contains(&n) {
+            instance_counts.push(n);
+        }
+        for m in instance_counts {
+            for protocol in [Protocol::SpotLess, Protocol::Rcc] {
+                let mut spec = RunSpec::new(protocol, n);
+                spec.m = m;
+                spec.load = spotless_bench::sat_load();
+                let report = run(&spec);
+                table.row(&[
+                    format!("{n:4}"),
+                    format!("{m:4}"),
+                    format!("{:>8}", protocol.name()),
+                    ktps(&report),
+                ]);
+            }
+        }
+    }
+}

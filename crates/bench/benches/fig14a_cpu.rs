@@ -1,0 +1,26 @@
+//! **Figure 14(a)** — impact of computing power: throughput of all five
+//! protocols as replica CPU cores sweep 4–32.
+//!
+//! Expected shape (paper): all protocols slow with fewer cores;
+//! Narwhal-HS is the most compute-hungry (2f+1 signature verifications
+//! per block), HotStuff's certificate checks follow, while SpotLess's
+//! MAC-verified Sync messages make it the least CPU-sensitive.
+
+use spotless_bench::{big_n, ktps, run, FigureTable, Protocol, RunSpec};
+
+fn main() {
+    let mut table = FigureTable::new("fig14a_cpu", &["cores", "protocol", "throughput"]);
+    for cores in [4u32, 8, 16, 32] {
+        for protocol in Protocol::all() {
+            let mut spec = RunSpec::new(protocol, big_n());
+            spec.cores = cores;
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            table.row(&[
+                format!("{cores:3}"),
+                format!("{:>10}", protocol.name()),
+                ktps(&report),
+            ]);
+        }
+    }
+}

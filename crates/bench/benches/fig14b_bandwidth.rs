@@ -1,0 +1,31 @@
+//! **Figure 14(b)** — impact of network bandwidth: throughput of all
+//! five protocols as per-replica NIC bandwidth is shaped from 500 to
+//! 4000 Mbit/s (the paper used FireQOS on Linux; we shape the simulated
+//! NICs directly).
+//!
+//! Expected shape (paper): bandwidth cuts hurt every protocol whose
+//! bottleneck is the network; Narwhal-HS is barely affected (it is
+//! compute-bound on signature verification); SpotLess stays above RCC
+//! throughout.
+
+use spotless_bench::{big_n, ktps, run, FigureTable, Protocol, RunSpec};
+
+fn main() {
+    let mut table = FigureTable::new(
+        "fig14b_bandwidth",
+        &["bandwidth (Mbit/s)", "protocol", "throughput"],
+    );
+    for mbps in [500u64, 1000, 2000, 3000, 4000] {
+        for protocol in Protocol::all() {
+            let mut spec = RunSpec::new(protocol, big_n());
+            spec.bandwidth_mbps = mbps;
+            spec.load = spotless_bench::sat_load();
+            let report = run(&spec);
+            table.row(&[
+                format!("{mbps:5}"),
+                format!("{:>10}", protocol.name()),
+                ktps(&report),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for the substrates: from-scratch crypto,
+//! proposal hashing, quorum bitsets, YCSB generation, and the simulator
+//! event loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spotless_bench::{run, Protocol, RunSpec};
+use spotless_crypto::{hmac_sha256, Sha256};
+use spotless_types::{ReplicaId, ReplicaSet, SimDuration};
+use spotless_workload::{WorkloadGen, YcsbConfig};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xA5u8; 5400]; // one proposal's worth
+    c.bench_function("sha256_5400B", |b| {
+        b.iter(|| Sha256::digest(black_box(&data)))
+    });
+    let key = [7u8; 32];
+    let msg = vec![0x5Au8; 432]; // one Sync message
+    c.bench_function("hmac_sha256_432B", |b| {
+        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)))
+    });
+}
+
+fn bench_replica_set(c: &mut Criterion) {
+    c.bench_function("replica_set_quorum_count_128", |b| {
+        b.iter(|| {
+            let mut s = ReplicaSet::new(128);
+            for i in 0..86u32 {
+                s.insert(ReplicaId(i * 3 % 128));
+            }
+            black_box(s.len())
+        })
+    });
+}
+
+fn bench_ycsb(c: &mut Criterion) {
+    c.bench_function("ycsb_batch_100", |b| {
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 1);
+        b.iter(|| black_box(generator.next_batch(100)))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("sim_spotless_n4_300ms", |b| {
+        b.iter(|| {
+            let mut spec = RunSpec::new(Protocol::SpotLess, 4);
+            spec.duration = SimDuration::from_millis(300);
+            spec.warmup = SimDuration::from_millis(100);
+            black_box(run(&spec).txns)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_crypto, bench_replica_set, bench_ycsb, bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! The client protocol of §5.
+//!
+//! A client sends a signed batch to one replica, starts a timer `t_C`,
+//! and waits for `f + 1` **matching** `Inform` responses. On timeout it
+//! resends to the next replica and doubles the timeout; primary rotation
+//! guarantees some non-faulty replica eventually proposes the batch.
+//!
+//! This state machine is runtime-agnostic: the discrete-event simulator
+//! embeds equivalent logic in its client sink; the tokio transport drives
+//! this type directly for the real-deployment examples.
+
+use crate::util::ReplicaSet;
+use spotless_types::{
+    BatchId, ClientBatch, ClusterConfig, Digest, ReplicaId, SimDuration, SimTime,
+};
+use std::collections::HashMap;
+
+/// A completed request: the client has `f + 1` matching informs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The batch that completed.
+    pub batch_id: BatchId,
+    /// The agreed execution result digest.
+    pub result: Digest,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+}
+
+struct PendingBatch {
+    batch: ClientBatch,
+    /// Result digest → replicas that reported it.
+    informs: HashMap<Digest, ReplicaSet>,
+    attempts: u32,
+    target: ReplicaId,
+    submitted: SimTime,
+}
+
+/// Client-side request tracking (§5).
+pub struct SpotLessClient {
+    cluster: ClusterConfig,
+    timeout: SimDuration,
+    pending: HashMap<BatchId, PendingBatch>,
+}
+
+impl SpotLessClient {
+    /// A client for `cluster`, using the configured base timeout `t_C`.
+    pub fn new(cluster: ClusterConfig) -> SpotLessClient {
+        let timeout = cluster.client_timeout;
+        SpotLessClient {
+            cluster,
+            timeout,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Number of in-flight batches.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Registers a batch as submitted to `target`; returns the timeout
+    /// after which [`SpotLessClient::on_timeout`] should be invoked.
+    pub fn submit(&mut self, batch: ClientBatch, target: ReplicaId, now: SimTime) -> SimDuration {
+        self.pending.insert(
+            batch.id,
+            PendingBatch {
+                batch,
+                informs: HashMap::new(),
+                attempts: 0,
+                target,
+                submitted: now,
+            },
+        );
+        self.timeout
+    }
+
+    /// Processes an `Inform(result)` from `from`; returns the completion
+    /// once `f + 1` matching responses have arrived.
+    pub fn on_inform(
+        &mut self,
+        from: ReplicaId,
+        batch_id: BatchId,
+        result: Digest,
+        now: SimTime,
+    ) -> Option<Completion> {
+        let quorum = self.cluster.weak_quorum();
+        let entry = self.pending.get_mut(&batch_id)?;
+        let set = entry
+            .informs
+            .entry(result)
+            .or_insert_with(|| ReplicaSet::new(self.cluster.n));
+        set.insert(from);
+        if set.len() >= quorum {
+            let pending = self.pending.remove(&batch_id).expect("present");
+            return Some(Completion {
+                batch_id,
+                result,
+                latency: now.since(pending.batch.created_at),
+            });
+        }
+        None
+    }
+
+    /// The client timer fired for `batch_id`. If the batch is still
+    /// outstanding, returns `(next_replica, batch, next_timeout)` — the
+    /// §5 retry with the timeout doubled.
+    pub fn on_timeout(
+        &mut self,
+        batch_id: BatchId,
+        _now: SimTime,
+    ) -> Option<(ReplicaId, ClientBatch, SimDuration)> {
+        let entry = self.pending.get_mut(&batch_id)?;
+        entry.attempts += 1;
+        entry.target = ReplicaId((entry.target.0 + 1) % self.cluster.n);
+        let backoff = self.timeout.saturating_mul(1u64 << entry.attempts.min(16));
+        Some((entry.target, entry.batch.clone(), backoff))
+    }
+
+    /// When the batch was first submitted (observability).
+    pub fn submitted_at(&self, batch_id: BatchId) -> Option<SimTime> {
+        self.pending.get(&batch_id).map(|p| p.submitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_types::ClientId;
+
+    fn batch(id: u64) -> ClientBatch {
+        ClientBatch {
+            id: BatchId(id),
+            origin: ClientId(0),
+            digest: Digest::from_u64(id),
+            txns: 100,
+            txn_size: 48,
+            created_at: SimTime::ZERO,
+            payload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn completes_on_f_plus_1_matching_informs() {
+        // n = 4 ⇒ f + 1 = 2 matching informs needed.
+        let mut c = SpotLessClient::new(ClusterConfig::new(4));
+        c.submit(batch(1), ReplicaId(0), SimTime::ZERO);
+        let result = Digest::from_u64(99);
+        assert!(c
+            .on_inform(ReplicaId(0), BatchId(1), result, SimTime(1000))
+            .is_none());
+        let done = c
+            .on_inform(ReplicaId(1), BatchId(1), result, SimTime(2000))
+            .expect("quorum");
+        assert_eq!(done.result, result);
+        assert_eq!(done.latency, SimDuration(2000));
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn conflicting_results_do_not_combine() {
+        let mut c = SpotLessClient::new(ClusterConfig::new(4));
+        c.submit(batch(1), ReplicaId(0), SimTime::ZERO);
+        // A faulty replica reports a different result; it must not count
+        // toward the honest result's quorum.
+        assert!(c
+            .on_inform(ReplicaId(0), BatchId(1), Digest::from_u64(7), SimTime(1))
+            .is_none());
+        assert!(c
+            .on_inform(ReplicaId(1), BatchId(1), Digest::from_u64(8), SimTime(2))
+            .is_none());
+        assert!(c
+            .on_inform(ReplicaId(2), BatchId(1), Digest::from_u64(7), SimTime(3))
+            .is_some());
+    }
+
+    #[test]
+    fn duplicate_informs_from_same_replica_count_once() {
+        let mut c = SpotLessClient::new(ClusterConfig::new(4));
+        c.submit(batch(1), ReplicaId(0), SimTime::ZERO);
+        let r = Digest::from_u64(5);
+        assert!(c.on_inform(ReplicaId(0), BatchId(1), r, SimTime(1)).is_none());
+        assert!(c.on_inform(ReplicaId(0), BatchId(1), r, SimTime(2)).is_none());
+    }
+
+    #[test]
+    fn timeout_rotates_replica_and_doubles() {
+        let mut c = SpotLessClient::new(ClusterConfig::new(4));
+        let t0 = c.submit(batch(1), ReplicaId(3), SimTime::ZERO);
+        let (next, _, t1) = c.on_timeout(BatchId(1), SimTime(1)).expect("retry");
+        assert_eq!(next, ReplicaId(0), "wraps around");
+        assert_eq!(t1.as_nanos(), 2 * t0.as_nanos());
+        let (next, _, t2) = c.on_timeout(BatchId(1), SimTime(2)).expect("retry");
+        assert_eq!(next, ReplicaId(1));
+        assert_eq!(t2.as_nanos(), 4 * t0.as_nanos());
+    }
+
+    #[test]
+    fn timeout_after_completion_is_ignored() {
+        let mut c = SpotLessClient::new(ClusterConfig::new(4));
+        c.submit(batch(1), ReplicaId(0), SimTime::ZERO);
+        let r = Digest::from_u64(5);
+        c.on_inform(ReplicaId(0), BatchId(1), r, SimTime(1));
+        c.on_inform(ReplicaId(1), BatchId(1), r, SimTime(2));
+        assert!(c.on_timeout(BatchId(1), SimTime(3)).is_none());
+    }
+}

@@ -1,0 +1,423 @@
+//! The replica-side request pool (§5).
+//!
+//! SpotLess assigns every client batch to exactly one instance by its
+//! digest — instance `i` may only propose batches with
+//! `digest mod m == i` — which load-balances requests across instances
+//! and guarantees no two instances propose the same transaction. The
+//! mempool enforces that assignment and the bookkeeping around it:
+//!
+//! * **deduplication** — client retries (the §5 resend-to-next-replica
+//!   loop) reach several replicas and often reach one replica twice;
+//!   only the first copy is admitted;
+//! * **decided suppression** — a batch that already committed must not
+//!   be proposed again by a later primary of the same instance;
+//! * **bounded admission** — per-instance queues have a capacity so a
+//!   flooding client cannot exhaust replica memory (the system-level
+//!   backpressure of §6.4's "sufficient batches to fill the pipeline"
+//!   observation, inverted);
+//! * **no-op fallback** — a primary with an empty queue proposes a
+//!   no-op so execution of other instances never stalls (§5).
+//!
+//! Dedup/decided state is windowed: ids older than the window are
+//! forgotten. The window only needs to outlive the client retry loop —
+//! a client stops resending once it has `f + 1` matching `Inform`s, so
+//! a generously sized window (default 2²⁰ ids) makes re-admission of a
+//! forgotten duplicate practically impossible while keeping replica
+//! memory bounded for arbitrarily long runs.
+
+use spotless_types::{BatchId, ClientBatch, ClusterConfig, InstanceId, SimTime};
+use std::collections::{HashSet, VecDeque};
+
+/// Outcome of offering a batch to the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted to the queue of the returned instance.
+    Admitted(InstanceId),
+    /// A batch with this id was already admitted (client retry).
+    Duplicate,
+    /// This batch already committed; proposing it again would only
+    /// waste a view (execution dedups regardless).
+    AlreadyDecided,
+    /// The target instance's queue is at capacity.
+    QueueFull(InstanceId),
+}
+
+impl Admission {
+    /// True iff the batch entered a queue.
+    pub fn is_admitted(self) -> bool {
+        matches!(self, Admission::Admitted(_))
+    }
+}
+
+/// A fixed-capacity set of recent [`BatchId`]s: O(1) insert/lookup,
+/// forgetting the oldest id once full.
+#[derive(Debug, Default)]
+struct IdWindow {
+    set: HashSet<BatchId>,
+    order: VecDeque<BatchId>,
+    cap: usize,
+}
+
+impl IdWindow {
+    fn new(cap: usize) -> IdWindow {
+        IdWindow {
+            set: HashSet::with_capacity(cap.min(4096)),
+            order: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+        }
+    }
+
+    /// Inserts `id`; returns false if it was already present.
+    fn insert(&mut self, id: BatchId) -> bool {
+        if !self.set.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        if self.order.len() > self.cap {
+            if let Some(evicted) = self.order.pop_front() {
+                self.set.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    fn contains(&self, id: &BatchId) -> bool {
+        self.set.contains(id)
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+}
+
+/// Counters the metrics layer and tests read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Batches admitted to a queue.
+    pub admitted: u64,
+    /// Batches rejected as duplicates.
+    pub duplicates: u64,
+    /// Batches rejected because they already committed.
+    pub already_decided: u64,
+    /// Batches rejected for a full queue.
+    pub overflowed: u64,
+    /// No-op batches handed to starved primaries.
+    pub noops_served: u64,
+}
+
+/// The per-replica request pool: one FIFO queue per instance.
+#[derive(Debug)]
+pub struct Mempool {
+    queues: Vec<VecDeque<ClientBatch>>,
+    seen: IdWindow,
+    decided: IdWindow,
+    per_queue_capacity: usize,
+    stats: MempoolStats,
+}
+
+/// Default bound on each instance queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64 * 1024;
+/// Default dedup window (ids remembered across the whole pool).
+pub const DEFAULT_DEDUP_WINDOW: usize = 1 << 20;
+
+impl Mempool {
+    /// A pool for `m` instances with default bounds.
+    pub fn new(m: usize) -> Mempool {
+        Mempool::with_bounds(m, DEFAULT_QUEUE_CAPACITY, DEFAULT_DEDUP_WINDOW)
+    }
+
+    /// A pool with explicit per-queue capacity and dedup window.
+    pub fn with_bounds(m: usize, per_queue_capacity: usize, dedup_window: usize) -> Mempool {
+        Mempool {
+            queues: vec![VecDeque::new(); m],
+            seen: IdWindow::new(dedup_window),
+            decided: IdWindow::new(dedup_window),
+            per_queue_capacity,
+            stats: MempoolStats::default(),
+        }
+    }
+
+    /// Offers a batch; §5's digest rule decides the owning instance.
+    pub fn offer(&mut self, cluster: &ClusterConfig, batch: ClientBatch) -> Admission {
+        if batch.is_noop() {
+            // No-ops are generated locally by pick(), never admitted.
+            self.stats.duplicates += 1;
+            return Admission::Duplicate;
+        }
+        if self.decided.contains(&batch.id) {
+            self.stats.already_decided += 1;
+            return Admission::AlreadyDecided;
+        }
+        if !self.seen.insert(batch.id) {
+            self.stats.duplicates += 1;
+            return Admission::Duplicate;
+        }
+        let i = cluster.instance_for_digest(batch.digest.as_u64_tag());
+        let q = &mut self.queues[i.as_usize()];
+        if q.len() >= self.per_queue_capacity {
+            self.stats.overflowed += 1;
+            return Admission::QueueFull(i);
+        }
+        q.push_back(batch);
+        self.stats.admitted += 1;
+        Admission::Admitted(i)
+    }
+
+    /// Hands the next proposable batch of instance `i` to its primary;
+    /// a starved primary gets a no-op (§5).
+    ///
+    /// Propose-by-peek: the batch **stays queued** until
+    /// [`mark_decided`](Mempool::mark_decided) retires it. A proposal
+    /// whose view fails (dead next primary, lost quorum, equivocation
+    /// fallout) therefore re-proposes automatically at this replica's
+    /// next primaryship of the instance, instead of leaking the batch
+    /// until the client's retry timeout — under failures the leak
+    /// starves live primaries into no-ops and halves throughput.
+    /// Decided batches at the head are retired lazily here. The rare
+    /// double-commit of a batch (the first proposal commits late, after
+    /// a re-proposal) is deduplicated at execution.
+    pub fn pick(&mut self, i: InstanceId, now: SimTime) -> ClientBatch {
+        match self.pick_real(i) {
+            Some(b) => b,
+            None => self.noop(now),
+        }
+    }
+
+    /// Like [`pick`](Mempool::pick) but returns `None` when the queue is
+    /// starved, letting the caller decide between a no-op and holding
+    /// the proposal (§4.1 instance prioritization).
+    pub fn pick_real(&mut self, i: InstanceId) -> Option<ClientBatch> {
+        let q = &mut self.queues[i.as_usize()];
+        while let Some(b) = q.front() {
+            if self.decided.contains(&b.id) {
+                q.pop_front();
+                continue;
+            }
+            return Some(b.clone());
+        }
+        None
+    }
+
+    /// A counted §5 no-op for a starved primary.
+    pub fn noop(&mut self, now: SimTime) -> ClientBatch {
+        self.stats.noops_served += 1;
+        ClientBatch::noop(now)
+    }
+
+    /// Records that `id` committed (on any replica's chain): future
+    /// offers and queued copies of it are suppressed.
+    pub fn mark_decided(&mut self, id: BatchId) {
+        if id == ClientBatch::noop(SimTime::ZERO).id {
+            return; // no-ops share one sentinel id; never suppress them
+        }
+        self.decided.insert(id);
+    }
+
+    /// Whether `id` was marked decided (and is still in the window).
+    pub fn is_decided(&self, id: BatchId) -> bool {
+        self.decided.contains(&id)
+    }
+
+    /// Queue depth of instance `i`.
+    pub fn len(&self, i: InstanceId) -> usize {
+        self.queues[i.as_usize()].len()
+    }
+
+    /// True iff every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Total queued batches across instances.
+    pub fn total_len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Number of ids currently held in the dedup window.
+    pub fn dedup_window_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Admission/rejection counters.
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_types::{ClientId, Digest};
+
+    fn cluster(m: u32) -> ClusterConfig {
+        ClusterConfig::with_instances(4, m)
+    }
+
+    fn batch(id: u64, digest: u64) -> ClientBatch {
+        ClientBatch {
+            id: BatchId(id),
+            origin: ClientId(1),
+            digest: Digest::from_u64(digest),
+            txns: 100,
+            txn_size: 54,
+            created_at: SimTime::ZERO,
+            payload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn digest_rule_routes_to_one_instance() {
+        let c = cluster(4);
+        let mut pool = Mempool::new(4);
+        for d in 0..16u64 {
+            let adm = pool.offer(&c, batch(d, d));
+            let expect = c.instance_for_digest(Digest::from_u64(d).as_u64_tag());
+            assert_eq!(adm, Admission::Admitted(expect));
+        }
+        let total: usize = (0..4).map(|i| pool.len(InstanceId(i))).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn duplicates_are_rejected_once_seen() {
+        let c = cluster(2);
+        let mut pool = Mempool::new(2);
+        assert!(pool.offer(&c, batch(7, 7)).is_admitted());
+        assert_eq!(pool.offer(&c, batch(7, 7)), Admission::Duplicate);
+        assert_eq!(pool.stats().duplicates, 1);
+        assert_eq!(pool.total_len(), 1);
+    }
+
+    #[test]
+    fn decided_batches_are_rejected_and_skipped() {
+        let c = cluster(1);
+        let mut pool = Mempool::new(1);
+        pool.offer(&c, batch(1, 0));
+        pool.offer(&c, batch(2, 0));
+        pool.mark_decided(BatchId(1));
+        // Queued copy of the decided batch is skipped by pick().
+        let picked = pool.pick(InstanceId(0), SimTime::ZERO);
+        assert_eq!(picked.id, BatchId(2));
+        // Re-offering a decided batch is rejected outright.
+        assert_eq!(pool.offer(&c, batch(1, 0)), Admission::AlreadyDecided);
+        assert_eq!(pool.stats().already_decided, 1);
+    }
+
+    #[test]
+    fn starved_instances_get_noops() {
+        let mut pool = Mempool::new(2);
+        let b = pool.pick(InstanceId(1), SimTime::ZERO);
+        assert!(b.is_noop());
+        assert_eq!(pool.stats().noops_served, 1);
+    }
+
+    #[test]
+    fn noop_sentinel_id_is_never_suppressed() {
+        let mut pool = Mempool::new(1);
+        let noop = ClientBatch::noop(SimTime::ZERO);
+        pool.mark_decided(noop.id);
+        assert!(!pool.is_decided(noop.id));
+        // Committing a no-op in one view must not starve later views.
+        assert!(pool.pick(InstanceId(0), SimTime::ZERO).is_noop());
+    }
+
+    #[test]
+    fn queue_capacity_applies_per_instance() {
+        let c = cluster(2);
+        let mut pool = Mempool::with_bounds(2, 2, 1024);
+        // Digests chosen so all map to instance 0.
+        let mut id = 0u64;
+        let mut admitted = 0;
+        let mut full = 0;
+        for d in 0..64u64 {
+            if c.instance_for_digest(Digest::from_u64(d).as_u64_tag()) != InstanceId(0) {
+                continue;
+            }
+            match pool.offer(&c, batch(id, d)) {
+                Admission::Admitted(i) => {
+                    assert_eq!(i, InstanceId(0));
+                    admitted += 1;
+                }
+                Admission::QueueFull(i) => {
+                    assert_eq!(i, InstanceId(0));
+                    full += 1;
+                }
+                other => panic!("unexpected admission {other:?}"),
+            }
+            id += 1;
+        }
+        assert_eq!(admitted, 2);
+        assert!(full > 0);
+        assert_eq!(pool.len(InstanceId(0)), 2);
+        assert_eq!(pool.stats().overflowed, full);
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest() {
+        let c = cluster(1);
+        let mut pool = Mempool::with_bounds(1, usize::MAX, 4);
+        for id in 0..6u64 {
+            assert!(pool.offer(&c, batch(id, id)).is_admitted());
+        }
+        assert_eq!(pool.dedup_window_len(), 4);
+        // Ids 0 and 1 fell out of the window: a retry of id 0 is
+        // re-admitted (the documented, bounded-memory trade-off)…
+        assert!(pool.offer(&c, batch(0, 0)).is_admitted());
+        // …while a recent id is still deduplicated.
+        assert_eq!(pool.offer(&c, batch(5, 5)), Admission::Duplicate);
+    }
+
+    #[test]
+    fn pick_retires_in_fifo_order_as_batches_decide() {
+        let c = cluster(1);
+        let mut pool = Mempool::new(1);
+        for id in 0..5u64 {
+            pool.offer(&c, batch(id, 0));
+        }
+        for id in 0..5u64 {
+            assert_eq!(pool.pick(InstanceId(0), SimTime::ZERO).id, BatchId(id));
+            pool.mark_decided(BatchId(id));
+        }
+        assert!(pool.pick(InstanceId(0), SimTime::ZERO).is_noop());
+    }
+
+    #[test]
+    fn undecided_head_is_reproposed_not_leaked() {
+        // The propose-by-peek contract: a batch whose proposal failed
+        // (view never certified) is offered to the primary again on its
+        // next pick, without any client involvement.
+        let c = cluster(1);
+        let mut pool = Mempool::new(1);
+        pool.offer(&c, batch(1, 0));
+        pool.offer(&c, batch(2, 0));
+        assert_eq!(pool.pick(InstanceId(0), SimTime::ZERO).id, BatchId(1));
+        // The view failed; nothing was decided. Next pick: same batch.
+        assert_eq!(pool.pick(InstanceId(0), SimTime::ZERO).id, BatchId(1));
+        pool.mark_decided(BatchId(1));
+        assert_eq!(pool.pick(InstanceId(0), SimTime::ZERO).id, BatchId(2));
+    }
+
+    #[test]
+    fn stats_track_every_outcome() {
+        let c = cluster(1);
+        let mut pool = Mempool::with_bounds(1, 1, 1024);
+        pool.offer(&c, batch(1, 0)); // admitted
+        pool.offer(&c, batch(1, 0)); // duplicate
+        pool.offer(&c, batch(2, 0)); // full
+        pool.mark_decided(BatchId(3));
+        pool.offer(&c, batch(3, 0)); // already decided
+        pool.pick(InstanceId(0), SimTime::ZERO); // batch 1 (stays queued)
+        pool.mark_decided(BatchId(1));
+        pool.pick(InstanceId(0), SimTime::ZERO); // noop
+        assert_eq!(
+            pool.stats(),
+            MempoolStats {
+                admitted: 1,
+                duplicates: 1,
+                already_decided: 1,
+                overflowed: 1,
+                noops_served: 1,
+            }
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Re-export of the shared replica-id bitset (lives in `spotless-types`
+//! so the baseline protocols can use it too).
+
+pub use spotless_types::replica_set::ReplicaSet;

@@ -1,0 +1,134 @@
+//! Model-based property tests for the request pool (§5 semantics).
+//!
+//! A trivially-correct reference model (a `Vec` per instance plus
+//! unbounded sets) is driven with the same random operation sequence as
+//! the real [`Mempool`]; observable behaviour must match exactly. The
+//! real pool differs from the model only where bounded memory forces it
+//! to (dedup window eviction), which the generator avoids by keeping id
+//! ranges below the window size.
+
+use proptest::prelude::*;
+use spotless_core::mempool::{Admission, Mempool};
+use spotless_types::{BatchId, ClientBatch, ClientId, ClusterConfig, Digest, InstanceId, SimTime};
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Offer batch `id` whose digest routes by `tag`.
+    Offer { id: u64, tag: u64 },
+    /// Primary of instance `i % m` asks for a batch.
+    Pick { i: u32 },
+    /// Batch `id` committed somewhere.
+    Decide { id: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, 0u64..256).prop_map(|(id, tag)| Op::Offer { id, tag }),
+        (0u32..4).prop_map(|i| Op::Pick { i }),
+        (0u64..64).prop_map(|id| Op::Decide { id }),
+    ]
+}
+
+/// The reference model: per-instance FIFO of undecided, unseen batches.
+struct Model {
+    queues: Vec<Vec<u64>>,
+    seen: HashSet<u64>,
+    decided: HashSet<u64>,
+}
+
+impl Model {
+    fn new(m: usize) -> Model {
+        Model {
+            queues: vec![Vec::new(); m],
+            seen: HashSet::new(),
+            decided: HashSet::new(),
+        }
+    }
+
+    fn offer(&mut self, cluster: &ClusterConfig, id: u64, tag: u64) -> Admission {
+        if self.decided.contains(&id) {
+            return Admission::AlreadyDecided;
+        }
+        if !self.seen.insert(id) {
+            return Admission::Duplicate;
+        }
+        let i = cluster.instance_for_digest(Digest::from_u64(tag).as_u64_tag());
+        self.queues[i.as_usize()].push(id);
+        Admission::Admitted(i)
+    }
+
+    /// Propose-by-peek: first undecided id stays queued.
+    fn pick(&mut self, i: usize) -> Option<u64> {
+        self.queues[i].retain(|id| !self.decided.contains(id));
+        self.queues[i].first().copied()
+    }
+
+    fn decide(&mut self, id: u64) {
+        self.decided.insert(id);
+    }
+}
+
+fn batch(id: u64, tag: u64) -> ClientBatch {
+    ClientBatch {
+        id: BatchId(id),
+        origin: ClientId(7),
+        digest: Digest::from_u64(tag),
+        txns: 10,
+        txn_size: 48,
+        created_at: SimTime::ZERO,
+        payload: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mempool_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let m = 4usize;
+        let cluster = ClusterConfig::with_instances(8, m as u32);
+        let mut pool = Mempool::new(m);
+        let mut model = Model::new(m);
+        for op in ops {
+            match op {
+                Op::Offer { id, tag } => {
+                    let got = pool.offer(&cluster, batch(id, tag));
+                    let want = model.offer(&cluster, id, tag);
+                    prop_assert_eq!(got, want, "offer({}, {})", id, tag);
+                }
+                Op::Pick { i } => {
+                    let i = (i as usize) % m;
+                    let got = pool.pick(InstanceId(i as u32), SimTime::ZERO);
+                    match model.pick(i) {
+                        Some(id) => prop_assert_eq!(got.id, BatchId(id), "pick({})", i),
+                        None => prop_assert!(got.is_noop(), "pick({}) expected noop", i),
+                    }
+                }
+                Op::Decide { id } => {
+                    pool.mark_decided(BatchId(id));
+                    model.decide(id);
+                }
+            }
+            // Lengths agree up to lazily-retired decided heads: the real
+            // pool retires decided batches on pick, the model eagerly —
+            // so the real queue is always a superset.
+            for i in 0..m {
+                prop_assert!(
+                    pool.len(InstanceId(i as u32))
+                        >= model.queues[i].len(),
+                    "instance {} queue shrank below the model", i
+                );
+            }
+        }
+        // After a full drain (every id decided), every queue empties on
+        // the next pick and only no-ops remain.
+        for id in 0..64u64 {
+            pool.mark_decided(BatchId(id));
+        }
+        for i in 0..m {
+            prop_assert!(pool.pick(InstanceId(i as u32), SimTime::ZERO).is_noop());
+            prop_assert_eq!(pool.len(InstanceId(i as u32)), 0);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end integration: SpotLess clusters on the discrete-event
+//! simulator — happy path, crash faults, and determinism.
+
+use spotless_core::{ReplicaConfig, SpotLessReplica};
+use spotless_simnet::{ClosedLoopDriver, SimConfig, SimReport, Simulation};
+use spotless_types::{ByzantineBehavior, ClusterConfig, SimDuration, SimTime};
+
+fn honest_cluster(cluster: &ClusterConfig) -> Vec<SpotLessReplica> {
+    cluster
+        .replicas()
+        .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+        .collect()
+}
+
+fn run(cfg: SimConfig, nodes: Vec<SpotLessReplica>, load: u32) -> SimReport {
+    let mut sim = Simulation::new(cfg, nodes, ClosedLoopDriver::new(load));
+    sim.run()
+}
+
+#[test]
+fn four_replicas_commit_and_serve_clients() {
+    let cluster = ClusterConfig::new(4);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(300);
+    cfg.duration = SimDuration::from_secs(1);
+    let report = run(cfg, honest_cluster(&cluster), 4);
+    assert!(
+        report.txns > 1_000,
+        "expected real throughput, got {} txns ({} batches, {} commits)",
+        report.txns,
+        report.batches,
+        report.commits_observed
+    );
+    assert!(report.avg_latency_s > 0.0 && report.avg_latency_s < 2.0);
+}
+
+#[test]
+fn sixteen_replicas_sixteen_instances() {
+    let cluster = ClusterConfig::new(16);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(300);
+    cfg.duration = SimDuration::from_secs(1);
+    let report = run(cfg, honest_cluster(&cluster), 2);
+    assert!(
+        report.txns > 5_000,
+        "expected throughput at n=16, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn single_instance_cluster_commits() {
+    let cluster = ClusterConfig::with_instances(4, 1);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(300);
+    cfg.duration = SimDuration::from_secs(1);
+    let report = run(cfg, honest_cluster(&cluster), 4);
+    assert!(
+        report.txns > 500,
+        "single-instance throughput, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn runs_are_deterministic_for_equal_seeds() {
+    let cluster = ClusterConfig::new(4);
+    let mk = || {
+        let mut cfg = SimConfig::new(cluster.clone());
+        cfg.duration = SimDuration::from_millis(800);
+        cfg.seed = 42;
+        run(cfg, honest_cluster(&cluster), 2)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.txns, b.txns);
+    assert_eq!(a.protocol_msgs, b.protocol_msgs);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.commits_observed, b.commits_observed);
+}
+
+#[test]
+fn different_seeds_differ_mildly() {
+    let cluster = ClusterConfig::new(4);
+    let mk = |seed| {
+        let mut cfg = SimConfig::new(cluster.clone());
+        cfg.duration = SimDuration::from_millis(800);
+        cfg.seed = seed;
+        run(cfg, honest_cluster(&cluster), 2)
+    };
+    let a = mk(1);
+    let b = mk(2);
+    // Jitter shifts event interleavings, so counts differ but magnitudes
+    // should not: same protocol, same load.
+    assert!(a.txns > 0 && b.txns > 0);
+    let ratio = a.txns as f64 / b.txns as f64;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn crashed_replica_does_not_stop_progress() {
+    // n = 7, f = 2: crash 2 replicas from the start. Rotation hits their
+    // primary slots; RVS timeouts must carry every instance past them.
+    let cluster = ClusterConfig::new(7);
+    let mut cfg = SimConfig::new(cluster.clone()).with_crashed(2);
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.duration = SimDuration::from_secs(2);
+    let report = run(cfg, honest_cluster(&cluster), 2);
+    assert!(
+        report.txns > 500,
+        "progress despite f crashes, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn message_drops_slow_but_do_not_stop_consensus() {
+    let cluster = ClusterConfig::new(4);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.drop_rate = 0.05;
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.duration = SimDuration::from_secs(2);
+    let report = run(cfg, honest_cluster(&cluster), 2);
+    assert!(
+        report.txns > 200,
+        "progress under 5% drops, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn anti_primary_attack_does_not_block_liveness() {
+    // A4 attackers refuse to vote for honest primaries; with only f of
+    // them the remaining n − f honest votes still form quorums.
+    let cluster = ClusterConfig::new(7);
+    let f = cluster.f();
+    let faulty: Vec<bool> = (0..cluster.n).map(|r| r >= cluster.n - f).collect();
+    let nodes: Vec<SpotLessReplica> = cluster
+        .replicas()
+        .map(|r| {
+            let behavior = if faulty[r.as_usize()] {
+                ByzantineBehavior::AntiPrimary
+            } else {
+                ByzantineBehavior::Honest
+            };
+            SpotLessReplica::new(ReplicaConfig {
+                cluster: cluster.clone(),
+                me: r,
+                behavior,
+                faulty: faulty.clone(),
+            })
+        })
+        .collect();
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.duration = SimDuration::from_secs(2);
+    let report = run(cfg, nodes, 2);
+    assert!(
+        report.txns > 500,
+        "progress under A4, got {} txns",
+        report.txns
+    );
+}
+
+#[test]
+fn late_crash_shows_dip_then_recovery() {
+    // Figure 12's shape: crash one replica mid-run; throughput must not
+    // go to zero afterwards.
+    let cluster = ClusterConfig::new(7);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.duration = SimDuration::from_secs(3);
+    cfg.timeline_bucket = SimDuration::from_millis(500);
+    cfg.crash_at[6] = Some(SimTime::ZERO + SimDuration::from_secs(1));
+    let report = run(cfg, honest_cluster(&cluster), 2);
+    let after: f64 = report
+        .timeline
+        .iter()
+        .filter(|(t, _)| *t >= 2.0)
+        .map(|(_, tps)| *tps)
+        .sum::<f64>();
+    assert!(report.txns > 500, "overall progress, got {}", report.txns);
+    assert!(after > 0.0, "throughput after the crash must recover");
+}
+
+#[test]
+fn report_accounts_messages_and_bytes() {
+    let cluster = ClusterConfig::new(4);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.duration = SimDuration::from_millis(800);
+    let report = run(cfg, honest_cluster(&cluster), 2);
+    assert!(report.protocol_msgs > 0);
+    assert!(report.protocol_bytes > report.protocol_msgs * 100);
+    assert!(report.msgs_per_decision.is_finite());
+}

@@ -1,0 +1,183 @@
+//! HMAC-SHA256, implemented from scratch (RFC 2104 / FIPS 198-1).
+//!
+//! The paper uses MACs for all messages that are never forwarded (§2),
+//! because a MAC costs roughly two hash compressions instead of an
+//! elliptic-curve operation. This module provides the MAC itself plus the
+//! pairwise-key session type used by replicas.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Length of an HMAC-SHA256 tag in bytes.
+pub const TAG_LEN: usize = DIGEST_LEN;
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; TAG_LEN] {
+    // Keys longer than the block size are hashed first (RFC 2104 §2).
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time tag comparison (avoids leaking the mismatch index).
+pub fn verify_tag(expected: &[u8; TAG_LEN], candidate: &[u8]) -> bool {
+    if candidate.len() != TAG_LEN {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(candidate.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// A pairwise MAC session between two replicas sharing a symmetric key,
+/// as PBFT-style authenticated channels assume.
+#[derive(Clone)]
+pub struct MacKey {
+    key: [u8; 32],
+}
+
+impl MacKey {
+    /// Builds a session from 32 bytes of keying material.
+    pub fn new(key: [u8; 32]) -> MacKey {
+        MacKey { key }
+    }
+
+    /// Derives the canonical pairwise key for replicas `a` and `b` from a
+    /// cluster master secret. Symmetric in `a`/`b` so both ends derive the
+    /// same key.
+    pub fn derive_pairwise(master: &[u8], a: u32, b: u32) -> MacKey {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut material = Vec::with_capacity(master.len() + 8);
+        material.extend_from_slice(master);
+        material.extend_from_slice(&lo.to_be_bytes());
+        material.extend_from_slice(&hi.to_be_bytes());
+        MacKey {
+            key: Sha256::digest(&material),
+        }
+    }
+
+    /// Tags a message.
+    pub fn tag(&self, message: &[u8]) -> [u8; TAG_LEN] {
+        hmac_sha256(&self.key, message)
+    }
+
+    /// Verifies a tag over a message.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        verify_tag(&self.tag(message), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2_jefe() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_aa() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        use hmac::Mac as _;
+        type RefHmac = hmac::Hmac<sha2::Sha256>;
+        for key_len in [0usize, 1, 32, 64, 65, 200] {
+            let key: Vec<u8> = (0..key_len).map(|i| i as u8).collect();
+            let msg: Vec<u8> = (0..97u8).collect();
+            let ours = hmac_sha256(&key, &msg);
+            let mut reference = RefHmac::new_from_slice(&key).unwrap();
+            reference.update(&msg);
+            let theirs = reference.finalize().into_bytes();
+            assert_eq!(ours[..], theirs[..], "key_len {key_len}");
+        }
+    }
+
+    #[test]
+    fn pairwise_keys_are_symmetric_and_distinct() {
+        let master = b"cluster-secret";
+        let k_ab = MacKey::derive_pairwise(master, 1, 5);
+        let k_ba = MacKey::derive_pairwise(master, 5, 1);
+        let k_ac = MacKey::derive_pairwise(master, 1, 6);
+        assert_eq!(k_ab.key, k_ba.key);
+        assert_ne!(k_ab.key, k_ac.key);
+    }
+
+    #[test]
+    fn tag_roundtrip_and_tamper_detection() {
+        let k = MacKey::new([7u8; 32]);
+        let tag = k.tag(b"propose v3");
+        assert!(k.verify(b"propose v3", &tag));
+        assert!(!k.verify(b"propose v4", &tag));
+        assert!(!k.verify(b"propose v3", &tag[..31]));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!k.verify(b"propose v3", &bad));
+    }
+
+    #[test]
+    fn constant_time_compare_rejects_wrong_lengths() {
+        let tag = [1u8; TAG_LEN];
+        assert!(!verify_tag(&tag, &[1u8; 16]));
+        assert!(verify_tag(&tag, &[1u8; 32]));
+    }
+}

@@ -1,0 +1,33 @@
+//! Cryptographic substrate for the SpotLess reproduction.
+//!
+//! The paper's authentication model (§2) uses two mechanisms:
+//!
+//! * **MACs** for messages that are never forwarded (cheap; one symmetric
+//!   operation) — implemented from scratch as HMAC-SHA256 in [`hmac`],
+//!   over the from-scratch SHA-256 in [`sha256`];
+//! * **digital signatures** for forwardable messages (proposals, `Sync`
+//!   claims inside certificates, client requests) — Ed25519 via
+//!   `ed25519-dalek` in [`signing`] (see DESIGN.md for why the curve
+//!   itself is not reimplemented).
+//!
+//! Under the discrete-event simulator, cryptography is *charged* rather
+//! than computed: message types report their verification/signing costs
+//! through `spotless_types::node::ProtocolMessage` and the simulator's CPU
+//! model accounts for them. The real tokio transport uses the primitives
+//! in this crate directly. Both paths share the digest helpers in
+//! [`digest`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod hmac;
+pub mod merkle;
+pub mod sha256;
+pub mod signing;
+
+pub use digest::{digest_bytes, digest_chained, digest_fields};
+pub use hmac::{hmac_sha256, MacKey, TAG_LEN};
+pub use merkle::{verify_inclusion, MerkleTree, ProofStep};
+pub use sha256::Sha256;
+pub use signing::{KeyStore, Keypair, PublicKey, Signature, SIGNATURE_LEN};

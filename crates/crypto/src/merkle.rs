@@ -1,0 +1,202 @@
+//! Merkle trees over batch transactions.
+//!
+//! ResilientDB-style ledgers prove membership of a single transaction in
+//! a committed batch without shipping the batch (§6.1's "strong data
+//! provenance"). We build a standard binary Merkle tree over transaction
+//! digests with domain-separated leaf/node hashing (guarding against the
+//! classic leaf/interior second-preimage confusion).
+
+use crate::sha256::Sha256;
+use spotless_types::Digest;
+
+fn leaf_hash(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x00]); // leaf domain
+    h.update(data);
+    Digest(h.finalize())
+}
+
+fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x01]); // interior domain
+    h.update(&left.0);
+    h.update(&right.0);
+    Digest(h.finalize())
+}
+
+/// One step of a Merkle inclusion proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling hash at this level.
+    pub sibling: Digest,
+    /// True iff the sibling sits to the right of the running hash.
+    pub sibling_on_right: bool,
+}
+
+/// A Merkle tree over a batch's transactions.
+pub struct MerkleTree {
+    /// levels[0] = leaves; last level = [root]. Empty input ⇒ one level
+    /// holding the zero digest.
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaf payloads.
+    pub fn build<T: AsRef<[u8]>>(items: &[T]) -> MerkleTree {
+        if items.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![Digest::ZERO]],
+            };
+        }
+        let mut levels = vec![items
+            .iter()
+            .map(|item| leaf_hash(item.as_ref()))
+            .collect::<Vec<_>>()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let combined = match pair {
+                    [left, right] => node_hash(left, right),
+                    // Odd node promotes by pairing with itself.
+                    [only] => node_hash(only, only),
+                    _ => unreachable!("chunks(2)"),
+                };
+                next.push(combined);
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True iff the tree was built over no items.
+    pub fn is_empty(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0][0] == Digest::ZERO
+    }
+
+    /// Inclusion proof for leaf `index`.
+    pub fn prove(&self, index: usize) -> Option<Vec<ProofStep>> {
+        if index >= self.levels[0].len() || self.is_empty() {
+            return None;
+        }
+        let mut proof = Vec::with_capacity(self.levels.len());
+        let mut at = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_index = at ^ 1;
+            let sibling = *level.get(sibling_index).unwrap_or(&level[at]);
+            proof.push(ProofStep {
+                sibling,
+                sibling_on_right: sibling_index > at,
+            });
+            at /= 2;
+        }
+        Some(proof)
+    }
+}
+
+/// Verifies an inclusion proof: does `item` at some position hash up to
+/// `root` through `proof`?
+pub fn verify_inclusion(item: &[u8], proof: &[ProofStep], root: &Digest) -> bool {
+    let mut acc = leaf_hash(item);
+    for step in proof {
+        acc = if step.sibling_on_right {
+            node_hash(&acc, &step.sibling)
+        } else {
+            node_hash(&step.sibling, &acc)
+        };
+    }
+    acc == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("txn-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::build(&items(1));
+        assert_eq!(tree.root(), leaf_hash(b"txn-0"));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_size() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 100] {
+            let data = items(n);
+            let tree = MerkleTree::build(&data);
+            for (i, item) in data.iter().enumerate() {
+                let proof = tree.prove(i).expect("in range");
+                assert!(
+                    verify_inclusion(item, &proof, &tree.root()),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_item_or_position_fails() {
+        let data = items(8);
+        let tree = MerkleTree::build(&data);
+        let proof = tree.prove(3).unwrap();
+        assert!(!verify_inclusion(b"txn-4", &proof, &tree.root()));
+        let other = tree.prove(4).unwrap();
+        assert!(!verify_inclusion(b"txn-3", &other, &tree.root()));
+    }
+
+    #[test]
+    fn tampered_root_fails() {
+        let data = items(4);
+        let tree = MerkleTree::build(&data);
+        let proof = tree.prove(0).unwrap();
+        let mut bad_root = tree.root();
+        bad_root.0[0] ^= 1;
+        assert!(!verify_inclusion(b"txn-0", &proof, &bad_root));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let tree = MerkleTree::build(&items(4));
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn leaf_and_interior_domains_differ() {
+        // H(leaf x) must differ from H(node(x, x))'s preimage structure:
+        // build two trees where confusion would collide.
+        let a = MerkleTree::build(&[b"x".to_vec()]);
+        let b = MerkleTree::build(&[b"x".to_vec(), b"x".to_vec()]);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root_and_no_proofs() {
+        let tree = MerkleTree::build::<Vec<u8>>(&[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.root(), Digest::ZERO);
+        assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn distinct_batches_distinct_roots() {
+        let a = MerkleTree::build(&items(5));
+        let mut data = items(5);
+        data[2] = b"txn-TAMPERED".to_vec();
+        let b = MerkleTree::build(&data);
+        assert_ne!(a.root(), b.root());
+    }
+}

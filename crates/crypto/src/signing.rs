@@ -1,0 +1,184 @@
+//! Digital signatures (Ed25519) and the cluster key store.
+//!
+//! Signed messages (`⟨v⟩_p` in the paper's notation) are required whenever
+//! a message may be forwarded — proposals, `Sync` claims used in
+//! certificates, and client requests (§2). We wrap `ed25519-dalek` rather
+//! than reimplementing the curve; see DESIGN.md §2/§7 for the
+//! justification. Key generation is deterministic from seeds so test
+//! clusters are reproducible.
+
+use crate::sha256::Sha256;
+use ed25519_dalek::{Signer as _, SigningKey, Verifier as _, VerifyingKey};
+use spotless_types::ReplicaId;
+
+/// Length of an Ed25519 signature in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+
+/// A detached signature.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; SIGNATURE_LEN]);
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sig:{:02x}{:02x}…", self.0[0], self.0[1])
+    }
+}
+
+/// A verifying (public) key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PublicKey(VerifyingKey);
+
+impl PublicKey {
+    /// Verifies `sig` over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        let sig = ed25519_dalek::Signature::from_bytes(&sig.0);
+        self.0.verify(message, &sig).is_ok()
+    }
+
+    /// The raw 32-byte key material.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes()
+    }
+
+    /// Parses 32 bytes of key material.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<PublicKey> {
+        VerifyingKey::from_bytes(bytes).ok().map(PublicKey)
+    }
+}
+
+/// A signing keypair.
+#[derive(Clone)]
+pub struct Keypair {
+    key: SigningKey,
+}
+
+impl Keypair {
+    /// Builds a keypair deterministically from a 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Keypair {
+        Keypair {
+            key: SigningKey::from_bytes(&seed),
+        }
+    }
+
+    /// Derives the keypair for participant `label`/`index` from a cluster
+    /// master secret (test and simulation deployments).
+    pub fn derive(master: &[u8], label: &str, index: u64) -> Keypair {
+        let mut material = Vec::with_capacity(master.len() + label.len() + 8);
+        material.extend_from_slice(master);
+        material.extend_from_slice(label.as_bytes());
+        material.extend_from_slice(&index.to_be_bytes());
+        Keypair::from_seed(Sha256::digest(&material))
+    }
+
+    /// The matching public key.
+    pub fn public(&self) -> PublicKey {
+        PublicKey(self.key.verifying_key())
+    }
+
+    /// Signs `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature(self.key.sign(message).to_bytes())
+    }
+}
+
+/// Per-replica view of the cluster's key material: everyone's public keys
+/// plus this replica's own signing key.
+#[derive(Clone)]
+pub struct KeyStore {
+    me: ReplicaId,
+    keypair: Keypair,
+    publics: Vec<PublicKey>,
+}
+
+impl KeyStore {
+    /// Builds key stores for a full cluster of `n` replicas from a master
+    /// secret. Returns one store per replica.
+    pub fn cluster(master: &[u8], n: u32) -> Vec<KeyStore> {
+        let keypairs: Vec<Keypair> = (0..n)
+            .map(|i| Keypair::derive(master, "replica", u64::from(i)))
+            .collect();
+        let publics: Vec<PublicKey> = keypairs.iter().map(Keypair::public).collect();
+        keypairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, keypair)| KeyStore {
+                me: ReplicaId(i as u32),
+                keypair,
+                publics: publics.clone(),
+            })
+            .collect()
+    }
+
+    /// This replica's identity.
+    pub fn me(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// Signs with this replica's key.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.keypair.sign(message)
+    }
+
+    /// Verifies a signature attributed to `signer`.
+    pub fn verify(&self, signer: ReplicaId, message: &[u8], sig: &Signature) -> bool {
+        self.publics
+            .get(signer.as_usize())
+            .is_some_and(|pk| pk.verify(message, sig))
+    }
+
+    /// Public key of `replica`.
+    pub fn public_of(&self, replica: ReplicaId) -> Option<&PublicKey> {
+        self.publics.get(replica.as_usize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = Keypair::from_seed([42u8; 32]);
+        let sig = kp.sign(b"propose v7");
+        assert!(kp.public().verify(b"propose v7", &sig));
+        assert!(!kp.public().verify(b"propose v8", &sig));
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_distinct() {
+        let a1 = Keypair::derive(b"master", "replica", 0);
+        let a2 = Keypair::derive(b"master", "replica", 0);
+        let b = Keypair::derive(b"master", "replica", 1);
+        assert_eq!(a1.public().to_bytes(), a2.public().to_bytes());
+        assert_ne!(a1.public().to_bytes(), b.public().to_bytes());
+    }
+
+    #[test]
+    fn public_key_byte_roundtrip() {
+        let kp = Keypair::from_seed([9u8; 32]);
+        let bytes = kp.public().to_bytes();
+        let back = PublicKey::from_bytes(&bytes).unwrap();
+        let sig = kp.sign(b"x");
+        assert!(back.verify(b"x", &sig));
+    }
+
+    #[test]
+    fn cluster_stores_cross_verify() {
+        let stores = KeyStore::cluster(b"secret", 4);
+        assert_eq!(stores.len(), 4);
+        let sig = stores[2].sign(b"sync v3");
+        for store in &stores {
+            assert!(store.verify(ReplicaId(2), b"sync v3", &sig));
+            assert!(!store.verify(ReplicaId(1), b"sync v3", &sig));
+            assert!(!store.verify(ReplicaId(9), b"sync v3", &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::from_seed([1u8; 32]);
+        let mut sig = kp.sign(b"msg");
+        sig.0[10] ^= 0xff;
+        assert!(!kp.public().verify(b"msg", &sig));
+    }
+}

@@ -1,0 +1,161 @@
+//! Transaction-level provenance: Merkle proofs inside ledger blocks.
+//!
+//! A block's `batch_digest` can be the root of a Merkle tree over the
+//! batch's transactions; an auditor holding only the ledger head can
+//! then verify that a single transaction was executed, via
+//! (a) the transaction's Merkle inclusion proof against the batch root
+//! and (b) the block hash path from that block to the head — without
+//! downloading either the batch or the chain.
+
+use crate::{Block, Ledger};
+use spotless_crypto::merkle::{verify_inclusion, MerkleTree, ProofStep};
+use spotless_types::Digest;
+
+/// A self-contained provenance certificate for one transaction.
+#[derive(Clone, Debug)]
+pub struct ProvenanceProof {
+    /// Height of the block holding the batch.
+    pub height: u64,
+    /// The block's stored hash.
+    pub block_hash: Digest,
+    /// Merkle inclusion proof of the transaction in the batch.
+    pub inclusion: Vec<ProofStep>,
+    /// Hash path from the block to the ledger head (inclusive).
+    pub head_path: Vec<Digest>,
+}
+
+/// Builds the Merkle root for a batch's transaction payloads — use this
+/// as the `batch_digest` when appending auditable blocks.
+pub fn batch_root<T: AsRef<[u8]>>(txns: &[T]) -> Digest {
+    MerkleTree::build(txns).root()
+}
+
+/// Produces a provenance proof for transaction `index` of the batch in
+/// the block at `height`. The caller supplies the batch's transaction
+/// payloads (the ledger stores only the root).
+pub fn prove_transaction<T: AsRef<[u8]>>(
+    ledger: &Ledger,
+    height: u64,
+    txns: &[T],
+    index: usize,
+) -> Option<ProvenanceProof> {
+    let block = ledger.block(height)?;
+    let tree = MerkleTree::build(txns);
+    if tree.root() != block.batch_digest {
+        return None; // supplied payloads do not match the ledger
+    }
+    Some(ProvenanceProof {
+        height,
+        block_hash: block.hash,
+        inclusion: tree.prove(index)?,
+        head_path: ledger.proof_path(height)?,
+    })
+}
+
+/// Auditor-side check: verifies that `txn` was executed in the block the
+/// proof names, and that this block belongs to the chain whose head is
+/// `head_hash`. `block` is the block as presented by the (untrusted)
+/// prover; its hash must match both the proof and the recomputation.
+pub fn verify_provenance(
+    txn: &[u8],
+    proof: &ProvenanceProof,
+    block: &Block,
+    head_hash: &Digest,
+) -> bool {
+    // 1. The presented block matches the proof's block hash.
+    if block.hash != proof.block_hash || block.height != proof.height {
+        return false;
+    }
+    // 2. The transaction is in the block's batch.
+    if !verify_inclusion(txn, &proof.inclusion, &block.batch_digest) {
+        return false;
+    }
+    // 3. The block is on the chain ending at the trusted head.
+    match (proof.head_path.first(), proof.head_path.last()) {
+        (Some(first), Some(last)) => *first == block.hash && last == head_hash,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommitProof;
+    use spotless_types::{BatchId, InstanceId, ReplicaId, View};
+
+    fn txns(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("op-{i}").into_bytes()).collect()
+    }
+
+    fn ledger_with_auditable_batches() -> (Ledger, Vec<Vec<Vec<u8>>>) {
+        let mut ledger = Ledger::new();
+        let mut batches = Vec::new();
+        for b in 0..4u64 {
+            let payloads = txns(5 + b as usize);
+            ledger.append(
+                BatchId(b),
+                batch_root(&payloads),
+                payloads.len() as u32,
+                CommitProof {
+                    instance: InstanceId(0),
+                    view: View(b),
+                    signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                },
+            );
+            batches.push(payloads);
+        }
+        (ledger, batches)
+    }
+
+    #[test]
+    fn transaction_provenance_roundtrip() {
+        let (ledger, batches) = ledger_with_auditable_batches();
+        let head = ledger.head_hash();
+        for (h, payloads) in batches.iter().enumerate() {
+            for (i, txn) in payloads.iter().enumerate() {
+                let proof =
+                    prove_transaction(&ledger, h as u64, payloads, i).expect("provable");
+                let block = ledger.block(h as u64).unwrap();
+                assert!(verify_provenance(txn, &proof, block, &head), "h={h} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_transaction_fails() {
+        let (ledger, batches) = ledger_with_auditable_batches();
+        let head = ledger.head_hash();
+        let proof = prove_transaction(&ledger, 1, &batches[1], 0).unwrap();
+        let block = ledger.block(1).unwrap();
+        assert!(!verify_provenance(b"op-FAKE", &proof, block, &head));
+    }
+
+    #[test]
+    fn wrong_block_fails() {
+        let (ledger, batches) = ledger_with_auditable_batches();
+        let head = ledger.head_hash();
+        let proof = prove_transaction(&ledger, 1, &batches[1], 0).unwrap();
+        let other_block = ledger.block(2).unwrap();
+        assert!(!verify_provenance(b"op-0", &proof, other_block, &head));
+    }
+
+    #[test]
+    fn wrong_head_fails() {
+        let (ledger, batches) = ledger_with_auditable_batches();
+        let proof = prove_transaction(&ledger, 1, &batches[1], 0).unwrap();
+        let block = ledger.block(1).unwrap();
+        assert!(!verify_provenance(
+            b"op-0",
+            &proof,
+            block,
+            &Digest::from_u64(999)
+        ));
+    }
+
+    #[test]
+    fn mismatched_payloads_refuse_to_prove() {
+        let (ledger, _) = ledger_with_auditable_batches();
+        let wrong = txns(9);
+        assert!(prove_transaction(&ledger, 1, &wrong, 0).is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Load generation: the client side of the evaluation.
+//!
+//! §5 of the paper defines the client protocol: a client sends a signed
+//! batch to one replica, waits for `f + 1` matching `Inform` responses,
+//! and on timeout resends to the next replica with a doubled timeout.
+//! A [`Driver`] is the simulation's client population; the standard
+//! [`ClosedLoopDriver`] keeps a fixed number of batches outstanding per
+//! replica — the "client batches per primary" knob that Figures 7(c), 9,
+//! and 10 sweep to control offered load.
+
+use spotless_types::{
+    BatchId, ClientBatch, ClientId, ClusterConfig, Digest, ReplicaId, SimDuration, SimTime,
+};
+
+/// Commands a driver issues during a callback.
+pub(crate) enum InjectCmd {
+    /// Deliver `batch` to replica `to`; `attempts` selects the client
+    /// timeout backoff (doubles per attempt).
+    Submit {
+        to: u32,
+        batch: ClientBatch,
+        attempts: u32,
+    },
+}
+
+/// The driver's handle for creating and submitting batches.
+pub struct Injector<'a> {
+    now: SimTime,
+    cluster: &'a ClusterConfig,
+    next_batch: u64,
+    cmds: Vec<InjectCmd>,
+}
+
+/// SplitMix64: decorrelates sequential batch ids into digest tags so that
+/// instance assignment (`digest mod m`, §5) behaves like the paper's
+/// cryptographic-hash-based load balancing while staying deterministic.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl<'a> Injector<'a> {
+    pub(crate) fn new(now: SimTime, cluster: &'a ClusterConfig, next_batch: u64) -> Injector<'a> {
+        Injector {
+            now,
+            cluster,
+            next_batch,
+            cmds: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_parts(self) -> (u64, Vec<InjectCmd>) {
+        (self.next_batch, self.cmds)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cluster configuration (for `n`, batch size, …).
+    pub fn cluster(&self) -> &ClusterConfig {
+        self.cluster
+    }
+
+    /// Creates a fresh client batch with `home` as its origin. Latency is
+    /// measured from `now`.
+    pub fn new_batch(&mut self, home: ReplicaId) -> ClientBatch {
+        let id = self.next_batch;
+        self.next_batch += 1;
+        ClientBatch {
+            id: BatchId(id),
+            origin: ClientId(u64::from(home.0)),
+            digest: Digest::from_u64(splitmix64(id)),
+            txns: self.cluster.batch_txns,
+            txn_size: self.cluster.txn_size,
+            created_at: self.now,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Submits a fresh batch to replica `to` (first attempt).
+    pub fn submit(&mut self, to: ReplicaId, batch: ClientBatch) {
+        self.cmds.push(InjectCmd::Submit {
+            to: to.0,
+            batch,
+            attempts: 0,
+        });
+    }
+
+    /// Resends a timed-out batch to replica `to` with backoff level
+    /// `attempts` (the client doubles its timeout per §5).
+    pub fn resend(&mut self, to: ReplicaId, batch: ClientBatch, attempts: u32) {
+        self.cmds.push(InjectCmd::Submit {
+            to: to.0,
+            batch,
+            attempts,
+        });
+    }
+}
+
+/// The simulation's client population.
+pub trait Driver {
+    /// Called once at time zero to seed initial load.
+    fn start(&mut self, inj: &mut Injector<'_>);
+
+    /// A batch gathered `f + 1` informs; `latency` is end-to-end.
+    fn batch_complete(
+        &mut self,
+        batch: &ClientBatch,
+        latency: SimDuration,
+        inj: &mut Injector<'_>,
+    ) {
+        let _ = (batch, latency, inj);
+    }
+
+    /// The client timer for a batch expired before completion.
+    fn batch_timeout(&mut self, batch: &ClientBatch, attempts: u32, inj: &mut Injector<'_>) {
+        let _ = (batch, attempts, inj);
+    }
+}
+
+/// Closed-loop client population: keeps `per_replica` batches outstanding
+/// at every replica; a completed batch is immediately replaced by a fresh
+/// one at the same "home" replica, and a timed-out batch moves to the
+/// next replica in id order (§5's retry rule).
+#[derive(Clone, Debug)]
+pub struct ClosedLoopDriver {
+    /// Outstanding batches per replica ("client batches per primary").
+    pub per_replica: u32,
+}
+
+impl ClosedLoopDriver {
+    /// A driver keeping `per_replica` batches outstanding per replica.
+    pub fn new(per_replica: u32) -> ClosedLoopDriver {
+        ClosedLoopDriver { per_replica }
+    }
+}
+
+impl Driver for ClosedLoopDriver {
+    fn start(&mut self, inj: &mut Injector<'_>) {
+        let n = inj.cluster().n;
+        for r in 0..n {
+            for _ in 0..self.per_replica {
+                let batch = inj.new_batch(ReplicaId(r));
+                inj.submit(ReplicaId(r), batch);
+            }
+        }
+    }
+
+    fn batch_complete(
+        &mut self,
+        batch: &ClientBatch,
+        _latency: SimDuration,
+        inj: &mut Injector<'_>,
+    ) {
+        // Refill the same home replica to hold occupancy constant.
+        let home = ReplicaId(batch.origin.0 as u32);
+        let fresh = inj.new_batch(home);
+        inj.submit(home, fresh);
+    }
+
+    fn batch_timeout(&mut self, batch: &ClientBatch, attempts: u32, inj: &mut Injector<'_>) {
+        // §5: resend to the next replica, doubling the timeout. The batch
+        // keeps its original creation time so measured latency includes
+        // the failed attempts.
+        let n = inj.cluster().n;
+        let next = ReplicaId((batch.origin.0 as u32 + attempts + 1) % n);
+        inj.resend(next, batch.clone(), attempts + 1);
+    }
+}
+
+/// A driver that injects nothing — for protocol-only unit tests where the
+/// test itself submits batches through `Input::Request`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdleDriver;
+
+impl Driver for IdleDriver {
+    fn start(&mut self, _inj: &mut Injector<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_types::ClusterConfig;
+
+    #[test]
+    fn splitmix_decorrelates() {
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+
+    #[test]
+    fn closed_loop_seeds_w_batches_per_replica() {
+        let cluster = ClusterConfig::new(4);
+        let mut inj = Injector::new(SimTime::ZERO, &cluster, 0);
+        ClosedLoopDriver::new(3).start(&mut inj);
+        let (next, cmds) = inj.into_parts();
+        assert_eq!(next, 12);
+        assert_eq!(cmds.len(), 12);
+    }
+
+    #[test]
+    fn batches_get_unique_ids_and_digests() {
+        let cluster = ClusterConfig::new(4);
+        let mut inj = Injector::new(SimTime::ZERO, &cluster, 0);
+        let a = inj.new_batch(ReplicaId(0));
+        let b = inj.new_batch(ReplicaId(0));
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.digest, b.digest);
+        assert_eq!(a.txns, cluster.batch_txns);
+    }
+
+    #[test]
+    fn timeout_rotates_target_replica() {
+        let cluster = ClusterConfig::new(4);
+        let mut driver = ClosedLoopDriver::new(1);
+        let mut inj = Injector::new(SimTime::ZERO, &cluster, 0);
+        let batch = inj.new_batch(ReplicaId(2));
+        driver.batch_timeout(&batch, 0, &mut inj);
+        let (_, cmds) = inj.into_parts();
+        match &cmds[0] {
+            InjectCmd::Submit { to, attempts, .. } => {
+                assert_eq!(*to, 3);
+                assert_eq!(*attempts, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns one sans-IO protocol node per replica and drives them
+//! with `Deliver`/`Timer`/`Request` inputs in virtual-time order. Every
+//! effect a node emits is charged against the resource model before it
+//! takes effect:
+//!
+//! * a handler's outbound messages first pay the **sender CPU** cost of
+//!   signing/MACing, then queue on the sender's **NIC** (serialization at
+//!   the configured bandwidth), then cross the **link** (region latency ±
+//!   jitter), then pay the **receiver CPU** authentication cost before the
+//!   receiving handler runs;
+//! * a `commit` enters the replica's sequential **execution lane**
+//!   (340 ktxn/s, §6.1) and produces a client reply (`Inform`) whose
+//!   bandwidth is charged before it reaches the client sink;
+//! * the **client sink** declares a batch complete when `f + 1` replicas
+//!   have informed it (§5) and reports the end-to-end latency.
+//!
+//! Event ordering is a strict total order on `(virtual time, sequence
+//! number)`, and all randomness (jitter, drops) comes from one seeded
+//! ChaCha stream, so every simulation is exactly reproducible from its
+//! seed.
+
+use crate::driver::{Driver, InjectCmd, Injector};
+use crate::metrics::Metrics;
+use crate::resources::{Cpu, ExecLane, Nic};
+use crate::topology::Topology;
+use rand::{Rng as _, SeedableRng as _};
+use rand_chacha::ChaCha12Rng;
+use spotless_types::node::ProtocolMessage;
+use spotless_types::{
+    BatchId, ClientBatch, ClusterConfig, CommitInfo, Context, Input, Node, NodeId, ReplicaId,
+    ResourceModel, SimDuration, SimTime, TimerId,
+};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation parameters beyond the cluster configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Consensus cluster shape and protocol timeouts.
+    pub cluster: ClusterConfig,
+    /// Per-replica hardware model.
+    pub resources: ResourceModel,
+    /// Link topology.
+    pub topology: Topology,
+    /// Independent per-message drop probability (unreliable communication).
+    pub drop_rate: f64,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Per-replica crash times (`Some(t)` ⇒ silent from `t` on). Used for
+    /// the A1/non-responsive experiments and the Figure 12 timeline.
+    pub crash_at: Vec<Option<SimTime>>,
+    /// Warm-up excluded from measurement (paper: first 10 s of 130 s).
+    pub warmup: SimDuration,
+    /// Measured duration after warm-up (paper: 120 s).
+    pub duration: SimDuration,
+    /// Timeline bucket width (paper: 5 s in Figure 12).
+    pub timeline_bucket: SimDuration,
+    /// Hard event-count ceiling; the run stops early if exceeded.
+    pub max_events: u64,
+    /// Record every [`CommitInfo`] per replica, readable after the run
+    /// via [`Simulation::commit_log`]. Off by default: the benchmarks
+    /// run millions of commits and only need the counters.
+    pub record_commits: bool,
+}
+
+impl SimConfig {
+    /// Defaults mirroring the paper's setup, scaled to a laptop run:
+    /// 0.5 s warm-up, 2 s measured.
+    pub fn new(cluster: ClusterConfig) -> SimConfig {
+        let n = cluster.n;
+        SimConfig {
+            cluster,
+            resources: ResourceModel::default(),
+            topology: Topology::lan(n),
+            drop_rate: 0.0,
+            seed: 0xC0FFEE,
+            crash_at: vec![None; n as usize],
+            warmup: SimDuration::from_millis(500),
+            duration: SimDuration::from_secs(2),
+            timeline_bucket: SimDuration::from_secs(5),
+            max_events: u64::MAX,
+            record_commits: false,
+        }
+    }
+
+    /// Marks `count` replicas as crashed from the start (the paper's
+    /// non-responsive-failures setup). Crashing the *last* `count` ids
+    /// leaves replica 0 honest, matching the paper's description of
+    /// keeping measured clients attached to live replicas.
+    pub fn with_crashed(mut self, count: u32) -> SimConfig {
+        let n = self.cluster.n;
+        for i in 0..count.min(n) {
+            self.crash_at[(n - 1 - i) as usize] = Some(SimTime::ZERO);
+        }
+        self
+    }
+}
+
+/// Summary of one finished run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Client-observed throughput, transactions per second.
+    pub throughput_tps: f64,
+    /// Mean end-to-end client latency, seconds.
+    pub avg_latency_s: f64,
+    /// Median latency, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_latency_s: f64,
+    /// Batches completed inside the measurement window.
+    pub batches: u64,
+    /// Transactions completed inside the measurement window.
+    pub txns: u64,
+    /// Replica-to-replica messages per completed batch.
+    pub msgs_per_decision: f64,
+    /// Total replica-to-replica messages (whole run).
+    pub protocol_msgs: u64,
+    /// Total replica-to-replica bytes (whole run).
+    pub protocol_bytes: u64,
+    /// Committed slots observed across all replicas (incl. no-ops).
+    pub commits_observed: u64,
+    /// Throughput timeline as (bucket start s, txn/s).
+    pub timeline: Vec<(f64, f64)>,
+    /// Events processed (simulator health diagnostic).
+    pub events: u64,
+}
+
+enum EventKind<M> {
+    /// A protocol message finished crossing the wire; charge receiver CPU.
+    WireArrival { to: u32, from: NodeId, msg: M },
+    /// Receiver CPU done; run the protocol handler.
+    HandleMsg { to: u32, from: NodeId, msg: M },
+    /// A client batch reached the replica's NIC; charge verification.
+    RequestArrival { to: u32, batch: ClientBatch },
+    /// Request verified; hand to the protocol.
+    HandleRequest { to: u32, batch: ClientBatch },
+    /// A timer armed by the node fires.
+    Timer { node: u32, id: TimerId },
+    /// An executed batch's reply reached the client sink.
+    InformArrival { from: u32, batch: ClientBatch },
+    /// The client's response timer for a batch expired.
+    ClientTimeout {
+        id: BatchId,
+        batch: ClientBatch,
+        attempts: u32,
+    },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Buffered effect collector handed to protocol handlers.
+struct SimCtx<M> {
+    now: SimTime,
+    me: NodeId,
+    sends: Vec<(NodeId, M)>,
+    broadcasts: Vec<M>,
+    timers: Vec<(TimerId, SimDuration)>,
+    commits: Vec<CommitInfo>,
+}
+
+impl<M> SimCtx<M> {
+    fn new() -> SimCtx<M> {
+        SimCtx {
+            now: SimTime::ZERO,
+            me: NodeId::Replica(ReplicaId(0)),
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+            timers: Vec::new(),
+            commits: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, now: SimTime, me: NodeId) {
+        self.now = now;
+        self.me = me;
+        self.sends.clear();
+        self.broadcasts.clear();
+        self.timers.clear();
+        self.commits.clear();
+    }
+}
+
+impl<M> Context for SimCtx<M> {
+    type Message = M;
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        self.broadcasts.push(msg);
+    }
+
+    fn set_timer(&mut self, id: TimerId, after: SimDuration) {
+        self.timers.push((id, after));
+    }
+
+    fn commit(&mut self, info: CommitInfo) {
+        self.commits.push(info);
+    }
+}
+
+struct SinkEntry {
+    informs: u32,
+    done: bool,
+}
+
+/// One deterministic simulation of a cluster running protocol `N` under
+/// load generated by driver `D`.
+pub struct Simulation<N: Node, D: Driver> {
+    cfg: SimConfig,
+    nodes: Vec<N>,
+    driver: D,
+    queue: BinaryHeap<Event<N::Message>>,
+    seq: u64,
+    now: SimTime,
+    nics: Vec<Nic>,
+    cpus: Vec<Cpu>,
+    execs: Vec<ExecLane>,
+    rng: ChaCha12Rng,
+    metrics: Metrics,
+    sink: HashMap<BatchId, SinkEntry>,
+    next_batch: u64,
+    events_processed: u64,
+    ctx: SimCtx<N::Message>,
+    commit_logs: Vec<Vec<CommitInfo>>,
+}
+
+impl<N: Node, D: Driver> Simulation<N, D> {
+    /// Builds a simulation over `nodes` (one per replica, index = id).
+    pub fn new(cfg: SimConfig, nodes: Vec<N>, driver: D) -> Simulation<N, D> {
+        assert_eq!(
+            nodes.len(),
+            cfg.cluster.n as usize,
+            "need exactly one node per replica"
+        );
+        assert_eq!(cfg.crash_at.len(), cfg.cluster.n as usize);
+        let n = nodes.len();
+        let warmup_end = SimTime::ZERO + cfg.warmup;
+        Simulation {
+            nics: vec![Nic::new(); n],
+            cpus: vec![Cpu::new(cfg.resources.cores); n],
+            execs: vec![ExecLane::new(); n],
+            rng: ChaCha12Rng::seed_from_u64(cfg.seed),
+            metrics: Metrics::new(warmup_end, cfg.timeline_bucket),
+            sink: HashMap::new(),
+            next_batch: 0,
+            events_processed: 0,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            ctx: SimCtx::new(),
+            commit_logs: vec![Vec::new(); n],
+            cfg,
+            nodes,
+            driver,
+        }
+    }
+
+    /// Access to the collected metrics (e.g. after `run`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Read access to a node (post-run inspection in tests/diagnostics).
+    pub fn node(&self, i: u32) -> &N {
+        &self.nodes[i as usize]
+    }
+
+    /// The ordered commit sequence replica `i` produced. Empty unless
+    /// [`SimConfig::record_commits`] was set.
+    pub fn commit_log(&self, i: u32) -> &[CommitInfo] {
+        &self.commit_logs[i as usize]
+    }
+
+    /// Runs the simulation to `warmup + duration` and summarizes.
+    pub fn run(&mut self) -> SimReport {
+        let end = SimTime::ZERO + self.cfg.warmup + self.cfg.duration;
+        // Seed client load.
+        self.drive(|driver, inj| driver.start(inj));
+        // Start every (non-crashed) node.
+        for i in 0..self.nodes.len() {
+            if !self.crashed(i as u32, SimTime::ZERO) {
+                self.deliver_input(i as u32, Input::Start, SimTime::ZERO);
+            }
+        }
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > end || self.events_processed >= self.cfg.max_events {
+                break;
+            }
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.process(ev);
+        }
+        self.metrics.finish(end);
+        self.report()
+    }
+
+    fn report(&self) -> SimReport {
+        SimReport {
+            throughput_tps: self.metrics.throughput_tps(),
+            avg_latency_s: self.metrics.avg_latency_s(),
+            p50_latency_s: self.metrics.latency_percentile_s(50.0),
+            p99_latency_s: self.metrics.latency_percentile_s(99.0),
+            batches: self.metrics.batches(),
+            txns: self.metrics.txns(),
+            msgs_per_decision: self.metrics.msgs_per_decision(),
+            protocol_msgs: self.metrics.protocol_msgs,
+            protocol_bytes: self.metrics.protocol_bytes,
+            commits_observed: self.metrics.commits_observed,
+            timeline: self.metrics.timeline_tps(),
+            events: self.events_processed,
+        }
+    }
+
+    fn crashed(&self, node: u32, at: SimTime) -> bool {
+        self.cfg.crash_at[node as usize].is_some_and(|c| at >= c)
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<N::Message>) {
+        self.seq += 1;
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Runs a driver callback with an [`Injector`] and applies the
+    /// resulting injections.
+    fn drive(&mut self, f: impl FnOnce(&mut D, &mut Injector<'_>)) {
+        let mut inj = Injector::new(self.now, &self.cfg.cluster, self.next_batch);
+        f(&mut self.driver, &mut inj);
+        let (next_batch, cmds) = inj.into_parts();
+        self.next_batch = next_batch;
+        for cmd in cmds {
+            let InjectCmd::Submit {
+                to,
+                batch,
+                attempts,
+            } = cmd;
+            // Request travels client → replica over one link.
+            let arrive = self.now + self.link_jitter(self.cfg.topology.client_latency(to as usize));
+            self.push(arrive, EventKind::RequestArrival { to, batch: batch.clone() });
+            // Client response timer, doubling per retry (§5).
+            let backoff = self
+                .cfg
+                .cluster
+                .client_timeout
+                .saturating_mul(1u64 << attempts.min(16));
+            self.push(
+                self.now + backoff,
+                EventKind::ClientTimeout {
+                    id: batch.id,
+                    batch,
+                    attempts,
+                },
+            );
+        }
+    }
+
+    fn link_jitter(&mut self, base: SimDuration) -> SimDuration {
+        let j = self.cfg.topology.jitter;
+        if j <= 0.0 || base == SimDuration::ZERO {
+            return base;
+        }
+        let factor = 1.0 + j * (self.rng.random::<f64>() * 2.0 - 1.0);
+        SimDuration::from_nanos((base.as_nanos() as f64 * factor).max(0.0) as u64)
+    }
+
+    fn process(&mut self, ev: Event<N::Message>) {
+        match ev.kind {
+            EventKind::WireArrival { to, from, msg } => {
+                if self.crashed(to, self.now) {
+                    return;
+                }
+                let cost = self.cfg.resources.handle_ns
+                    + msg.verify_cost(&self.cfg.resources.crypto);
+                let done = self.cpus[to as usize].schedule(self.now, cost);
+                self.push(done, EventKind::HandleMsg { to, from, msg });
+            }
+            EventKind::HandleMsg { to, from, msg } => {
+                self.deliver_input(to, Input::Deliver { from, msg }, self.now);
+            }
+            EventKind::RequestArrival { to, batch } => {
+                if self.crashed(to, self.now) {
+                    return;
+                }
+                // One signature verification per client batch plus handling.
+                let cost =
+                    self.cfg.resources.handle_ns + self.cfg.resources.crypto.verify_ns;
+                let done = self.cpus[to as usize].schedule(self.now, cost);
+                self.push(done, EventKind::HandleRequest { to, batch });
+            }
+            EventKind::HandleRequest { to, batch } => {
+                self.deliver_input(to, Input::Request(batch), self.now);
+            }
+            EventKind::Timer { node, id } => {
+                self.deliver_input(node, Input::Timer(id), self.now);
+            }
+            EventKind::InformArrival { from, batch } => {
+                let _ = from;
+                let quorum = self.cfg.cluster.weak_quorum();
+                let entry = self.sink.entry(batch.id).or_insert(SinkEntry {
+                    informs: 0,
+                    done: false,
+                });
+                entry.informs += 1;
+                if !entry.done && entry.informs >= quorum {
+                    entry.done = true;
+                    let latency = self.now.since(batch.created_at);
+                    self.metrics.batch_complete(self.now, batch.txns, latency);
+                    self.drive(|driver, inj| driver.batch_complete(&batch, latency, inj));
+                }
+            }
+            EventKind::ClientTimeout {
+                id,
+                batch,
+                attempts,
+            } => {
+                let done = self.sink.get(&id).is_some_and(|e| e.done);
+                if !done {
+                    self.drive(|driver, inj| driver.batch_timeout(&batch, attempts, inj));
+                }
+            }
+        }
+    }
+
+    /// Runs the protocol handler for one input and charges its effects.
+    fn deliver_input(&mut self, node: u32, input: Input<N::Message>, at: SimTime) {
+        if self.crashed(node, at) {
+            return;
+        }
+        let me = NodeId::Replica(ReplicaId(node));
+        let mut ctx = std::mem::replace(&mut self.ctx, SimCtx::new());
+        ctx.reset(at, me);
+        self.nodes[node as usize].on_input(input, &mut ctx);
+        self.apply_effects(node, &mut ctx);
+        self.ctx = ctx;
+    }
+
+    fn apply_effects(&mut self, node: u32, ctx: &mut SimCtx<N::Message>) {
+        let t_h = ctx.now;
+        // Timers are armed relative to the handler's own time.
+        for (id, after) in ctx.timers.drain(..) {
+            self.push(t_h + after, EventKind::Timer { node, id });
+        }
+        // Commits enter the execution lane and produce client replies.
+        for info in ctx.commits.drain(..) {
+            self.metrics.commits_observed += 1;
+            if self.cfg.record_commits {
+                self.commit_logs[node as usize].push(info.clone());
+            }
+            if info.batch.is_noop() {
+                continue;
+            }
+            let exec_done =
+                self.execs[node as usize].execute(t_h, info.batch.txns, &self.cfg.resources);
+            let reply_bytes = self.cfg.resources.sizes.reply(info.batch.txns);
+            let wire_done =
+                self.nics[node as usize].transmit(exec_done, reply_bytes, &self.cfg.resources);
+            self.metrics.replies_sent += 1;
+            let arrive =
+                wire_done + self.link_jitter(self.cfg.topology.client_latency(node as usize));
+            self.push(
+                arrive,
+                EventKind::InformArrival {
+                    from: node,
+                    batch: info.batch,
+                },
+            );
+        }
+        // Outbound messages: first the sender-side crypto (one signature
+        // per message, one MAC per copy), then per-copy NIC + link.
+        let n = self.cfg.cluster.n;
+        let crypto = self.cfg.resources.crypto;
+        let mut crypto_ns = 0u64;
+        for (_, msg) in &ctx.sends {
+            crypto_ns += msg.sign_cost(&crypto) + crypto.mac_ns;
+        }
+        for msg in &ctx.broadcasts {
+            crypto_ns += msg.sign_cost(&crypto) + crypto.mac_ns * u64::from(n - 1);
+        }
+        let t_send = if crypto_ns > 0 {
+            self.cpus[node as usize].schedule(t_h, crypto_ns)
+        } else {
+            t_h
+        };
+        let sends = std::mem::take(&mut ctx.sends);
+        for (to, msg) in sends {
+            match to {
+                NodeId::Replica(r) => self.transmit_to(node, r.0, msg, t_send),
+                NodeId::Client(_) => {
+                    // Replies to clients are modelled through `commit`;
+                    // explicit client sends are ignored under simulation.
+                }
+            }
+        }
+        let broadcasts = std::mem::take(&mut ctx.broadcasts);
+        for msg in broadcasts {
+            // Self-delivery is a free local loopback (Remark 3.1).
+            self.push(
+                t_h,
+                EventKind::HandleMsg {
+                    to: node,
+                    from: NodeId::Replica(ReplicaId(node)),
+                    msg: msg.clone(),
+                },
+            );
+            for dest in 0..n {
+                if dest != node {
+                    self.transmit_to(node, dest, msg.clone(), t_send);
+                }
+            }
+        }
+    }
+
+    fn transmit_to(&mut self, from: u32, to: u32, msg: N::Message, ready: SimTime) {
+        let bytes = msg.wire_size(&self.cfg.resources.sizes);
+        // The NIC is occupied whether or not the message is later lost.
+        let wire_done = self.nics[from as usize].transmit(ready, bytes, &self.cfg.resources);
+        self.metrics.protocol_send(bytes);
+        if self.cfg.topology.blocked(from as usize, to as usize, ready) {
+            return;
+        }
+        if self.cfg.drop_rate > 0.0 && self.rng.random::<f64>() < self.cfg.drop_rate {
+            return;
+        }
+        let latency = self.link_jitter(self.cfg.topology.base_latency(from as usize, to as usize));
+        self.push(
+            wire_done + latency,
+            EventKind::WireArrival {
+                to,
+                from: NodeId::Replica(ReplicaId(from)),
+                msg,
+            },
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulator for BFT consensus evaluation.
+//!
+//! This crate is the reproduction's substitute for the paper's Oracle
+//! Cloud testbed (see DESIGN.md §2). It simulates, at per-message
+//! granularity, the three resources the paper's evaluation stresses —
+//! NIC bandwidth, CPU cores (including cryptographic verification), and
+//! the sequential execution lane — plus region-level link latencies,
+//! message drops, partitions, and replica crashes. All five protocols in
+//! the workspace run unmodified on top of it through the sans-IO
+//! [`spotless_types::Node`] interface.
+//!
+//! Determinism: a run is a pure function of its [`engine::SimConfig`]
+//! (including the seed). Every experiment in EXPERIMENTS.md records its
+//! seed, so every number in that file can be regenerated exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod engine;
+pub mod metrics;
+pub mod resources;
+pub mod topology;
+
+pub use driver::{ClosedLoopDriver, Driver, IdleDriver, Injector};
+pub use engine::{SimConfig, SimReport, Simulation};
+pub use metrics::Metrics;
+pub use topology::{Partition, Topology};

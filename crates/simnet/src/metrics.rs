@@ -1,0 +1,215 @@
+//! Measurement collection: throughput, latency, timelines, message costs.
+//!
+//! The paper measures (§6.3): throughput as transactions executed per
+//! second, latency as the client-side delay until `f + 1` matching
+//! `Inform` responses arrive, a 5-second-bucket throughput timeline
+//! (Figure 12), and — implicitly, in Figure 1 — per-decision message
+//! complexity. [`Metrics`] gathers all of these in one place and the
+//! bench harness renders them.
+
+use spotless_types::{SimDuration, SimTime};
+
+/// Running metrics for one simulation.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Start of the measurement window (warm-up excluded before this).
+    pub measure_from: SimTime,
+    /// End of the measurement window (filled in by `finish`).
+    pub measure_until: SimTime,
+    /// Client-observed end-to-end batch latencies within the window.
+    latencies: Vec<SimDuration>,
+    /// Transactions completed (f+1 informs) within the window.
+    txns_completed: u64,
+    /// Batches completed within the window.
+    batches_completed: u64,
+    /// Committed slots observed (all replicas, incl. no-ops) — for view
+    /// progress diagnostics, not throughput.
+    pub commits_observed: u64,
+    /// Replica-to-replica protocol messages sent (whole run).
+    pub protocol_msgs: u64,
+    /// Replica-to-replica protocol bytes sent (whole run).
+    pub protocol_bytes: u64,
+    /// Client replies sent (whole run).
+    pub replies_sent: u64,
+    /// Throughput timeline: transactions completed per bucket.
+    timeline: Vec<u64>,
+    /// Width of one timeline bucket.
+    pub bucket: SimDuration,
+}
+
+impl Metrics {
+    /// Fresh metrics; measurement starts at `measure_from`, the timeline
+    /// uses `bucket`-wide bins from time zero.
+    pub fn new(measure_from: SimTime, bucket: SimDuration) -> Metrics {
+        Metrics {
+            measure_from,
+            measure_until: measure_from,
+            latencies: Vec::new(),
+            txns_completed: 0,
+            batches_completed: 0,
+            commits_observed: 0,
+            protocol_msgs: 0,
+            protocol_bytes: 0,
+            replies_sent: 0,
+            timeline: Vec::new(),
+            bucket,
+        }
+    }
+
+    /// Records a batch completing at the client at `now`.
+    pub fn batch_complete(&mut self, now: SimTime, txns: u32, latency: SimDuration) {
+        let bucket = (now.as_nanos() / self.bucket.as_nanos().max(1)) as usize;
+        if bucket >= self.timeline.len() {
+            self.timeline.resize(bucket + 1, 0);
+        }
+        self.timeline[bucket] += u64::from(txns);
+        if now >= self.measure_from {
+            self.txns_completed += u64::from(txns);
+            self.batches_completed += 1;
+            self.latencies.push(latency);
+        }
+    }
+
+    /// Records one protocol message of `bytes` leaving a replica NIC.
+    #[inline]
+    pub fn protocol_send(&mut self, bytes: u64) {
+        self.protocol_msgs += 1;
+        self.protocol_bytes += bytes;
+    }
+
+    /// Closes the measurement window at `now`.
+    pub fn finish(&mut self, now: SimTime) {
+        self.measure_until = now;
+    }
+
+    /// Measured duration in seconds.
+    pub fn window_secs(&self) -> f64 {
+        (self.measure_until - self.measure_from).as_secs_f64().max(1e-9)
+    }
+
+    /// Client-observed throughput in transactions per second.
+    pub fn throughput_tps(&self) -> f64 {
+        self.txns_completed as f64 / self.window_secs()
+    }
+
+    /// Batches completed within the window.
+    pub fn batches(&self) -> u64 {
+        self.batches_completed
+    }
+
+    /// Transactions completed within the window.
+    pub fn txns(&self) -> u64 {
+        self.txns_completed
+    }
+
+    /// Average client latency in seconds (0 if nothing completed).
+    pub fn avg_latency_s(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.latencies.iter().map(|d| d.as_secs_f64()).sum();
+        total / self.latencies.len() as f64
+    }
+
+    /// Latency percentile in seconds (`p` in `[0, 100]`).
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)].as_secs_f64()
+    }
+
+    /// The throughput timeline as (bucket start seconds, txn/s) pairs.
+    pub fn timeline_tps(&self) -> Vec<(f64, f64)> {
+        let width = self.bucket.as_secs_f64();
+        self.timeline
+            .iter()
+            .enumerate()
+            .map(|(i, &txns)| (i as f64 * width, txns as f64 / width))
+            .collect()
+    }
+
+    /// Protocol messages per committed batch (Figure 1's "messages per
+    /// decision", measured rather than analytic).
+    pub fn msgs_per_decision(&self) -> f64 {
+        if self.batches_completed == 0 {
+            return f64::NAN;
+        }
+        self.protocol_msgs as f64 / self.batches_completed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Metrics {
+        Metrics::new(SimTime::ZERO + SimDuration::from_secs(1), SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        let mut metrics = m();
+        metrics.batch_complete(SimTime(500_000_000), 100, SimDuration::from_millis(10));
+        assert_eq!(metrics.txns(), 0); // before measure_from
+        metrics.batch_complete(SimTime(1_500_000_000), 100, SimDuration::from_millis(10));
+        assert_eq!(metrics.txns(), 100);
+        assert_eq!(metrics.batches(), 1);
+    }
+
+    #[test]
+    fn throughput_uses_window() {
+        let mut metrics = m();
+        for i in 0..10 {
+            metrics.batch_complete(
+                SimTime(1_000_000_000 + i * 100_000_000),
+                100,
+                SimDuration::from_millis(5),
+            );
+        }
+        metrics.finish(SimTime(2_000_000_000)); // 1 s window
+        let tps = metrics.throughput_tps();
+        assert!((990.0..=1010.0).contains(&tps), "{tps}");
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut metrics = m();
+        for ms in [10u64, 20, 30, 40] {
+            metrics.batch_complete(
+                SimTime(1_500_000_000),
+                1,
+                SimDuration::from_millis(ms),
+            );
+        }
+        assert!((metrics.avg_latency_s() - 0.025).abs() < 1e-9);
+        assert!((metrics.latency_percentile_s(0.0) - 0.010).abs() < 1e-9);
+        assert!((metrics.latency_percentile_s(100.0) - 0.040).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_buckets_by_five_seconds() {
+        let mut metrics = m();
+        metrics.batch_complete(SimTime(2_000_000_000), 100, SimDuration::ZERO);
+        metrics.batch_complete(SimTime(7_000_000_000), 200, SimDuration::ZERO);
+        let tl = metrics.timeline_tps();
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0].1 - 20.0).abs() < 1e-9); // 100 txn / 5 s
+        assert!((tl[1].1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn msgs_per_decision() {
+        let mut metrics = m();
+        for _ in 0..30 {
+            metrics.protocol_send(432);
+        }
+        metrics.batch_complete(SimTime(1_500_000_000), 100, SimDuration::ZERO);
+        metrics.batch_complete(SimTime(1_600_000_000), 100, SimDuration::ZERO);
+        assert!((metrics.msgs_per_decision() - 15.0).abs() < 1e-9);
+        assert_eq!(metrics.protocol_bytes, 30 * 432);
+    }
+}

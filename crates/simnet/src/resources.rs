@@ -1,0 +1,215 @@
+//! Per-replica hardware resource queues.
+//!
+//! Three resources shape the paper's results and are modelled here:
+//!
+//! * **NIC** ([`Nic`]) — an outbound serialization queue; a replica
+//!   transmitting `b` bytes occupies its uplink for `8·b / bandwidth`.
+//!   This is what bottlenecks the single primary of PBFT/HotStuff at
+//!   large batch sizes (Figure 7(d)) and all replicas under shaped
+//!   bandwidth (Figure 14(b)).
+//! * **CPU** ([`Cpu`]) — `k` identical cores; authentication and handler
+//!   work are jobs placed on the earliest-free core. This is what
+//!   bottlenecks Narwhal-HS (n − f signature verifications per block,
+//!   Figure 14(a/b)) and HotStuff's certificate checks.
+//! * **Execution lane** ([`ExecLane`]) — sequential transaction execution
+//!   at ~340 ktxn/s (§6.1); committed batches execute in total order and
+//!   client replies leave only after execution.
+
+use spotless_types::{ResourceModel, SimDuration, SimTime};
+
+/// Outbound NIC serialization queue for one replica.
+#[derive(Clone, Debug)]
+pub struct Nic {
+    free_at: SimTime,
+    bytes_sent: u64,
+}
+
+impl Nic {
+    /// A fresh, idle NIC.
+    pub fn new() -> Nic {
+        Nic {
+            free_at: SimTime::ZERO,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Transmits `bytes` starting no earlier than `ready`; returns the
+    /// time the last bit leaves the wire.
+    pub fn transmit(&mut self, ready: SimTime, bytes: u64, model: &ResourceModel) -> SimTime {
+        let start = if self.free_at > ready {
+            self.free_at
+        } else {
+            ready
+        };
+        let done = start + SimDuration::from_nanos(model.tx_ns(bytes));
+        self.free_at = done;
+        self.bytes_sent += bytes;
+        done
+    }
+
+    /// Total bytes this NIC has transmitted.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Earliest time a new transmission could start.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+}
+
+impl Default for Nic {
+    fn default() -> Self {
+        Nic::new()
+    }
+}
+
+/// A `k`-core CPU scheduler for one replica.
+///
+/// Jobs are placed on the earliest-free core (no migration, no
+/// preemption). `cores` is small (4–32), so a linear scan beats a heap.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    cores: Vec<SimTime>,
+    busy_ns: u64,
+}
+
+impl Cpu {
+    /// A fresh CPU with `cores` idle cores.
+    pub fn new(cores: u32) -> Cpu {
+        assert!(cores >= 1);
+        Cpu {
+            cores: vec![SimTime::ZERO; cores as usize],
+            busy_ns: 0,
+        }
+    }
+
+    /// Schedules a job of `cost_ns` arriving at `ready`; returns its
+    /// completion time.
+    pub fn schedule(&mut self, ready: SimTime, cost_ns: u64) -> SimTime {
+        // Earliest-free core.
+        let mut best = 0;
+        for i in 1..self.cores.len() {
+            if self.cores[i] < self.cores[best] {
+                best = i;
+            }
+        }
+        let start = if self.cores[best] > ready {
+            self.cores[best]
+        } else {
+            ready
+        };
+        let done = start + SimDuration::from_nanos(cost_ns);
+        self.cores[best] = done;
+        self.busy_ns += cost_ns;
+        done
+    }
+
+    /// Total core-nanoseconds consumed so far (utilization accounting).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+}
+
+/// The sequential execution lane of one replica.
+#[derive(Clone, Debug, Default)]
+pub struct ExecLane {
+    free_at: SimTime,
+    txns_executed: u64,
+}
+
+impl ExecLane {
+    /// A fresh, idle lane.
+    pub fn new() -> ExecLane {
+        ExecLane::default()
+    }
+
+    /// Executes `txns` transactions committed at `ready`; returns the time
+    /// execution finishes (when the client reply may be produced).
+    pub fn execute(&mut self, ready: SimTime, txns: u32, model: &ResourceModel) -> SimTime {
+        let start = if self.free_at > ready {
+            self.free_at
+        } else {
+            ready
+        };
+        let done = start
+            + SimDuration::from_nanos(u64::from(txns).saturating_mul(model.exec_ns_per_txn));
+        self.free_at = done;
+        self.txns_executed += u64::from(txns);
+        done
+    }
+
+    /// Total transactions executed by this replica.
+    pub fn txns_executed(&self) -> u64 {
+        self.txns_executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_types::ResourceModel;
+
+    #[test]
+    fn nic_serializes_back_to_back() {
+        let model = ResourceModel::default().with_bandwidth_mbps(1000); // 1 Gbit
+        let mut nic = Nic::new();
+        // 1250 B = 10 µs on a 1 Gbit link.
+        let d1 = nic.transmit(SimTime::ZERO, 1250, &model);
+        assert_eq!(d1, SimTime(10_000));
+        // Second message queued behind the first even though ready at 0.
+        let d2 = nic.transmit(SimTime::ZERO, 1250, &model);
+        assert_eq!(d2, SimTime(20_000));
+        // A later-ready message starts at its ready time once idle.
+        let d3 = nic.transmit(SimTime(100_000), 1250, &model);
+        assert_eq!(d3, SimTime(110_000));
+        assert_eq!(nic.bytes_sent(), 3750);
+    }
+
+    #[test]
+    fn cpu_uses_all_cores_before_queueing() {
+        let mut cpu = Cpu::new(2);
+        let a = cpu.schedule(SimTime::ZERO, 100);
+        let b = cpu.schedule(SimTime::ZERO, 100);
+        let c = cpu.schedule(SimTime::ZERO, 100);
+        // Two jobs run in parallel; the third queues behind one of them.
+        assert_eq!(a, SimTime(100));
+        assert_eq!(b, SimTime(100));
+        assert_eq!(c, SimTime(200));
+        assert_eq!(cpu.busy_ns(), 300);
+    }
+
+    #[test]
+    fn more_cores_means_more_parallelism() {
+        let mut small = Cpu::new(4);
+        let mut big = Cpu::new(16);
+        let mut small_done = SimTime::ZERO;
+        let mut big_done = SimTime::ZERO;
+        for _ in 0..32 {
+            small_done = small.schedule(SimTime::ZERO, 1_000);
+            big_done = big.schedule(SimTime::ZERO, 1_000);
+        }
+        assert!(small_done > big_done);
+    }
+
+    #[test]
+    fn exec_lane_matches_sequential_ceiling() {
+        let model = ResourceModel::default();
+        let mut lane = ExecLane::new();
+        // Executing 340k transactions takes about one second.
+        let done = lane.execute(SimTime::ZERO, 340_000, &model);
+        let secs = done.as_secs_f64();
+        assert!((0.97..=1.03).contains(&secs), "{secs}");
+        assert_eq!(lane.txns_executed(), 340_000);
+    }
+
+    #[test]
+    fn exec_lane_serializes_batches() {
+        let model = ResourceModel::default();
+        let mut lane = ExecLane::new();
+        let d1 = lane.execute(SimTime::ZERO, 100, &model);
+        let d2 = lane.execute(SimTime::ZERO, 100, &model);
+        assert!(d2 > d1);
+        assert_eq!(d2.as_nanos(), 2 * d1.as_nanos());
+    }
+}

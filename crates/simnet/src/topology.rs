@@ -1,0 +1,225 @@
+//! Network topology: regions, link latencies, partitions.
+//!
+//! The paper's deployments are (a) single-region Oracle Cloud clusters and
+//! (b) the global-regions experiment of Figure 14(c,d) spreading 128
+//! replicas over Oregon, North Virginia, London, and Zurich. We model
+//! links as a one-way base latency per region pair plus deterministic
+//! seeded jitter. Partitions make pairs of groups mutually unreachable
+//! during an interval — used by the liveness/recovery tests.
+
+use spotless_types::{SimDuration, SimTime};
+
+/// The four cloud regions of the global-regions experiment, in the order
+/// the paper lists them.
+pub const REGION_NAMES: [&str; 4] = ["oregon", "n-virginia", "london", "zurich"];
+
+/// One-way latencies in microseconds between the four regions
+/// (approximately half the public inter-region RTTs).
+const REGION_LATENCY_US: [[u64; 4]; 4] = [
+    // oregon  n-va   london  zurich
+    [250, 16_000, 34_000, 37_000],  // oregon
+    [16_000, 250, 19_000, 22_000],  // n-virginia
+    [34_000, 19_000, 250, 4_000],   // london
+    [37_000, 22_000, 4_000, 250],   // zurich
+];
+
+/// A communication-blocking partition: nodes in different groups cannot
+/// exchange messages while the partition is active.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// When the partition starts.
+    pub start: SimTime,
+    /// When communication heals.
+    pub end: SimTime,
+    /// Group index of every replica (same group ⇒ still connected).
+    pub group_of: Vec<u8>,
+}
+
+impl Partition {
+    /// True iff `a → b` is blocked at time `t`.
+    pub fn blocks(&self, a: usize, b: usize, t: SimTime) -> bool {
+        t >= self.start
+            && t < self.end
+            && self.group_of.get(a).copied() != self.group_of.get(b).copied()
+    }
+}
+
+/// Cluster topology: which region every replica sits in.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    region_of: Vec<u8>,
+    /// Relative jitter applied to each link delay, e.g. 0.05 ⇒ ±5 %.
+    pub jitter: f64,
+    /// Active partitions (usually empty; set by fault-injection tests).
+    pub partitions: Vec<Partition>,
+}
+
+impl Topology {
+    /// A single-region (LAN) cluster of `n` replicas — the default setup
+    /// of every experiment except Figure 14(c,d).
+    pub fn lan(n: u32) -> Topology {
+        Topology {
+            region_of: vec![0; n as usize],
+            jitter: 0.05,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// `n` replicas distributed uniformly (round-robin) over the first
+    /// `regions` of the paper's four regions (Figure 14(c,d)).
+    pub fn global(n: u32, regions: u32) -> Topology {
+        assert!((1..=4).contains(&regions), "1..=4 regions supported");
+        Topology {
+            region_of: (0..n).map(|i| (i % regions) as u8).collect(),
+            jitter: 0.05,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.region_of.len()
+    }
+
+    /// True iff the topology is empty (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.region_of.is_empty()
+    }
+
+    /// The region index of replica `i`.
+    pub fn region(&self, i: usize) -> u8 {
+        self.region_of[i]
+    }
+
+    /// One-way base latency between replicas `a` and `b` (excluding
+    /// jitter). Loopback is zero.
+    pub fn base_latency(&self, a: usize, b: usize) -> SimDuration {
+        if a == b {
+            return SimDuration::ZERO;
+        }
+        let ra = self.region_of[a] as usize;
+        let rb = self.region_of[b] as usize;
+        SimDuration::from_micros(REGION_LATENCY_US[ra][rb])
+    }
+
+    /// One-way latency from replica `a` to the (region-0) client sink.
+    pub fn client_latency(&self, a: usize) -> SimDuration {
+        let ra = self.region_of[a] as usize;
+        SimDuration::from_micros(REGION_LATENCY_US[ra][0].max(250))
+    }
+
+    /// True iff `a → b` is blocked by an active partition at `t`.
+    pub fn blocked(&self, a: usize, b: usize, t: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.blocks(a, b, t))
+    }
+
+    /// The largest base one-way latency between any two replicas — the
+    /// quantity protocol timeouts must be calibrated against (§6.3:
+    /// "based on the calculated average view duration, we have set the
+    /// timeout length appropriately").
+    pub fn max_one_way_latency(&self) -> SimDuration {
+        let n = self.region_of.len();
+        let mut max = SimDuration::ZERO;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                max = max.max(self.base_latency(a, b));
+            }
+        }
+        max
+    }
+
+    /// Adds a partition splitting the replicas whose ids are in `minority`
+    /// from everyone else during `[start, end)`.
+    pub fn partition_off(&mut self, minority: &[u32], start: SimTime, end: SimTime) {
+        let mut group_of = vec![0u8; self.len()];
+        for &m in minority {
+            group_of[m as usize] = 1;
+        }
+        self.partitions.push(Partition {
+            start,
+            end,
+            group_of,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests_latency {
+    use super::*;
+
+    #[test]
+    fn lan_max_one_way_is_intra_region() {
+        let t = Topology::lan(8);
+        assert_eq!(t.max_one_way_latency(), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn global_max_one_way_grows_with_regions() {
+        let two = Topology::global(16, 2).max_one_way_latency();
+        let three = Topology::global(16, 3).max_one_way_latency();
+        let four = Topology::global(16, 4).max_one_way_latency();
+        assert_eq!(two, SimDuration::from_micros(16_000)); // Oregon-N.Va
+        assert_eq!(three, SimDuration::from_micros(34_000)); // Oregon-London
+        assert_eq!(four, SimDuration::from_micros(37_000)); // Oregon-Zurich
+        assert!(two < three && three < four);
+    }
+
+    #[test]
+    fn single_replica_topology_has_zero_spread() {
+        let t = Topology::global(1, 1);
+        assert_eq!(t.max_one_way_latency(), SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_latency_is_sub_millisecond_and_symmetric() {
+        let t = Topology::lan(8);
+        let d = t.base_latency(0, 5);
+        assert_eq!(d, SimDuration::from_micros(250));
+        assert_eq!(t.base_latency(5, 0), d);
+        assert_eq!(t.base_latency(3, 3), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn global_topology_spreads_round_robin() {
+        let t = Topology::global(8, 4);
+        assert_eq!(t.region(0), 0);
+        assert_eq!(t.region(1), 1);
+        assert_eq!(t.region(5), 1);
+        // Oregon ↔ Zurich is the longest link.
+        assert!(t.base_latency(0, 3) > t.base_latency(2, 3));
+    }
+
+    #[test]
+    fn more_regions_increase_average_latency() {
+        let avg = |t: &Topology| -> f64 {
+            let n = t.len();
+            let mut total = 0u64;
+            for a in 0..n {
+                for b in 0..n {
+                    total += t.base_latency(a, b).as_nanos();
+                }
+            }
+            total as f64 / (n * n) as f64
+        };
+        let one = avg(&Topology::global(16, 1));
+        let two = avg(&Topology::global(16, 2));
+        let four = avg(&Topology::global(16, 4));
+        assert!(one < two && two < four, "{one} {two} {four}");
+    }
+
+    #[test]
+    fn partitions_block_cross_group_only_during_window() {
+        let mut t = Topology::lan(4);
+        t.partition_off(&[3], SimTime(100), SimTime(200));
+        assert!(!t.blocked(0, 3, SimTime(50)));
+        assert!(t.blocked(0, 3, SimTime(150)));
+        assert!(t.blocked(3, 0, SimTime(150)));
+        assert!(!t.blocked(0, 1, SimTime(150)));
+        assert!(!t.blocked(0, 3, SimTime(200)));
+    }
+}

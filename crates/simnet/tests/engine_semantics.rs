@@ -1,0 +1,266 @@
+//! Direct tests of the discrete-event engine's semantics using a tiny
+//! deterministic toy protocol (no consensus logic): resource charging,
+//! sink quorums, crash handling, timers, and partitions.
+
+use spotless_simnet::{Driver, IdleDriver, Injector, SimConfig, Simulation};
+use spotless_types::node::ProtocolMessage;
+use spotless_types::{
+    ClientBatch, ClusterConfig, CommitInfo, Context, CryptoCosts, Input, InstanceId, Node, NodeId,
+    ReplicaId, SimDuration, SizeModel, TimerId, TimerKind, View,
+};
+
+/// Toy message: the batch being shared.
+#[derive(Clone, Debug)]
+struct Share(ClientBatch);
+
+impl ProtocolMessage for Share {
+    fn wire_size(&self, sizes: &SizeModel) -> u64 {
+        sizes.proposal(self.0.txns, self.0.txn_size)
+    }
+    fn verify_cost(&self, costs: &CryptoCosts) -> u64 {
+        costs.mac_ns
+    }
+    fn sign_cost(&self, _costs: &CryptoCosts) -> u64 {
+        0
+    }
+}
+
+/// Toy protocol: whoever receives a client batch broadcasts it; every
+/// replica commits every batch it sees (once). No safety — it exists to
+/// exercise the engine's plumbing deterministically.
+struct EchoNode {
+    seen: std::collections::HashSet<spotless_types::BatchId>,
+    depth: u64,
+    timer_fires: u32,
+}
+
+impl EchoNode {
+    fn new() -> EchoNode {
+        EchoNode {
+            seen: Default::default(),
+            depth: 0,
+            timer_fires: 0,
+        }
+    }
+
+    fn commit(&mut self, batch: ClientBatch, ctx: &mut dyn Context<Message = Share>) {
+        if self.seen.insert(batch.id) {
+            self.depth += 1;
+            ctx.commit(CommitInfo {
+                instance: InstanceId(0),
+                view: View(self.depth),
+                depth: self.depth,
+                batch,
+            });
+        }
+    }
+}
+
+impl Node for EchoNode {
+    type Message = Share;
+
+    fn on_input(&mut self, input: Input<Share>, ctx: &mut dyn Context<Message = Share>) {
+        match input {
+            Input::Start => {
+                ctx.set_timer(
+                    TimerId::new(TimerKind::Custom(7), InstanceId(0), View(0)),
+                    SimDuration::from_millis(10),
+                );
+            }
+            Input::Request(batch) => {
+                ctx.broadcast(Share(batch.clone()));
+                self.commit(batch, ctx);
+            }
+            Input::Deliver { msg: Share(b), .. } => self.commit(b, ctx),
+            Input::Timer(id) => {
+                if id.kind == TimerKind::Custom(7) {
+                    self.timer_fires += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Driver submitting `count` batches to replica 0 at start.
+struct BurstDriver {
+    count: u32,
+}
+
+impl Driver for BurstDriver {
+    fn start(&mut self, inj: &mut Injector<'_>) {
+        for _ in 0..self.count {
+            let b = inj.new_batch(ReplicaId(0));
+            inj.submit(ReplicaId(0), b);
+        }
+    }
+}
+
+fn base_config(n: u32) -> SimConfig {
+    let mut cfg = SimConfig::new(ClusterConfig::with_instances(n, 1));
+    cfg.warmup = SimDuration::ZERO;
+    cfg.duration = SimDuration::from_secs(2);
+    cfg
+}
+
+fn nodes(n: u32) -> Vec<EchoNode> {
+    (0..n).map(|_| EchoNode::new()).collect()
+}
+
+#[test]
+fn batches_complete_after_weak_quorum_of_informs() {
+    let mut sim = Simulation::new(base_config(4), nodes(4), BurstDriver { count: 5 });
+    let report = sim.run();
+    assert_eq!(report.batches, 5);
+    assert_eq!(report.txns, 500);
+    // Everyone committed everything: 4 replicas × 5 batches.
+    assert_eq!(report.commits_observed, 20);
+    assert!(report.avg_latency_s > 0.0, "latency includes wire + exec");
+}
+
+#[test]
+fn crashed_receiver_breaks_nothing_but_its_own_informs() {
+    // Crash 1 of 4: the other three still inform; f + 1 = 2 suffices.
+    let cfg = base_config(4).with_crashed(1);
+    let mut sim = Simulation::new(cfg, nodes(4), BurstDriver { count: 3 });
+    let report = sim.run();
+    assert_eq!(report.batches, 3);
+    // Only 3 replicas commit (the crashed one is silent).
+    assert_eq!(report.commits_observed, 9);
+}
+
+#[test]
+fn crashing_the_entry_replica_stalls_until_client_retry() {
+    // Batches go to replica 0 which is crashed; the client timeout
+    // resends to replica 1 (ClosedLoopDriver's rule is tested in the
+    // core suites; here IdleDriver shows the negative case: no retry,
+    // no completion).
+    let mut cfg = base_config(4);
+    cfg.crash_at[0] = Some(spotless_types::SimTime::ZERO);
+    let mut sim = Simulation::new(cfg, nodes(4), BurstDriver { count: 2 });
+    let report = sim.run();
+    assert_eq!(
+        report.batches, 0,
+        "burst driver never retries; crashed entry swallows the batches"
+    );
+}
+
+#[test]
+fn idle_driver_produces_nothing() {
+    let mut sim = Simulation::new(base_config(4), nodes(4), IdleDriver);
+    let report = sim.run();
+    assert_eq!(report.batches, 0);
+    assert_eq!(report.protocol_msgs, 0);
+}
+
+#[test]
+fn protocol_bytes_match_size_model() {
+    let cfg = base_config(4);
+    let sizes = cfg.resources.sizes;
+    let mut sim = Simulation::new(cfg, nodes(4), BurstDriver { count: 1 });
+    let report = sim.run();
+    // One broadcast from replica 0 to 3 peers, each proposal-sized.
+    let expect = 3 * sizes.proposal(100, 48);
+    assert_eq!(report.protocol_bytes, expect);
+    assert_eq!(report.protocol_msgs, 3);
+}
+
+#[test]
+fn partitions_block_delivery_while_active() {
+    let mut cfg = base_config(4);
+    // Replica 3 is cut off for the entire run.
+    cfg.topology.partition_off(
+        &[3],
+        spotless_types::SimTime::ZERO,
+        spotless_types::SimTime(u64::MAX),
+    );
+    let mut sim = Simulation::new(cfg, nodes(4), BurstDriver { count: 2 });
+    let report = sim.run();
+    // 3 replicas commit each batch instead of 4.
+    assert_eq!(report.commits_observed, 6);
+    assert_eq!(report.batches, 2, "f+1 informs still reachable");
+}
+
+#[test]
+fn full_drop_rate_kills_all_replica_traffic() {
+    let mut cfg = base_config(4);
+    cfg.drop_rate = 1.0;
+    let mut sim = Simulation::new(cfg, nodes(4), BurstDriver { count: 2 });
+    let report = sim.run();
+    // Replica 0 still commits locally (self-delivery is loopback) and
+    // informs, but one inform < f + 1: nothing completes.
+    assert_eq!(report.batches, 0);
+    assert_eq!(report.commits_observed, 2);
+}
+
+#[test]
+fn lower_bandwidth_increases_latency() {
+    let run_with = |mbps: u64| {
+        let mut cfg = base_config(4);
+        cfg.resources = cfg.resources.with_bandwidth_mbps(mbps);
+        let mut sim = Simulation::new(cfg, nodes(4), BurstDriver { count: 10 });
+        sim.run()
+    };
+    let fast = run_with(4000);
+    let slow = run_with(100);
+    assert!(slow.avg_latency_s > fast.avg_latency_s);
+}
+
+#[test]
+fn timers_fire_exactly_once_per_arm() {
+    struct CountDriver;
+    impl Driver for CountDriver {
+        fn start(&mut self, _inj: &mut Injector<'_>) {}
+    }
+    let mut sim = Simulation::new(base_config(4), nodes(4), CountDriver);
+    let _ = sim.run();
+    // Each node armed one Custom timer at Start; no way to observe
+    // directly through the report, but the run terminating quickly (no
+    // timer storm) is the regression signal.
+}
+
+#[test]
+fn client_latency_reflects_region_distance() {
+    let mk = |regions: u32| {
+        let mut cfg = base_config(8);
+        cfg.topology = spotless_simnet::Topology::global(8, regions);
+        let mut sim = Simulation::new(cfg, nodes(8), BurstDriver { count: 5 });
+        sim.run()
+    };
+    let lan = mk(1);
+    let wan = mk(4);
+    assert!(wan.avg_latency_s > lan.avg_latency_s);
+}
+
+#[test]
+fn reports_expose_event_counts() {
+    let mut sim = Simulation::new(base_config(4), nodes(4), BurstDriver { count: 1 });
+    let report = sim.run();
+    assert!(report.events > 0);
+    // WireArrival + HandleMsg per delivered message, plus requests,
+    // informs, timers: strictly more events than messages.
+    assert!(report.events > report.protocol_msgs);
+}
+
+#[test]
+fn sends_to_clients_are_ignored_under_simulation() {
+    struct ChattyNode;
+    impl Node for ChattyNode {
+        type Message = Share;
+        fn on_input(&mut self, input: Input<Share>, ctx: &mut dyn Context<Message = Share>) {
+            if let Input::Request(b) = input {
+                // Protocols must not speak to clients directly in sim;
+                // the engine models replies via commit. This send is
+                // dropped silently.
+                ctx.send(NodeId::Client(spotless_types::ClientId(0)), Share(b));
+            }
+        }
+    }
+    let mut sim = Simulation::new(
+        base_config(4),
+        (0..4).map(|_| ChattyNode).collect(),
+        BurstDriver { count: 1 },
+    );
+    let report = sim.run();
+    assert_eq!(report.protocol_msgs, 0);
+    assert_eq!(report.batches, 0);
+}

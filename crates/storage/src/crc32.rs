@@ -1,0 +1,165 @@
+//! CRC-32C (Castagnoli) implemented from scratch.
+//!
+//! The block log frames every record with a CRC-32C of its payload so the
+//! recovery scan can distinguish a torn tail (a write interrupted by a
+//! crash) from intact data. CRC-32C is the storage-industry choice for
+//! this job (ext4, Btrfs, iSCSI, LevelDB/RocksDB logs) because it detects
+//! all burst errors up to 32 bits and has hardware support on most CPUs;
+//! this portable table-driven implementation keeps the crate free of
+//! platform intrinsics, and at one table lookup per byte it is nowhere
+//! near the log's bottleneck (the `fsync` is).
+
+/// The CRC-32C (Castagnoli) generator polynomial, reflected form.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 8 tables of 256 entries: table\[k\]\[b\] is the CRC of byte `b` followed by
+/// `k` zero bytes, enabling slice-by-8 processing (8 bytes per iteration).
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// Incremental CRC-32C state.
+///
+/// ```
+/// use spotless_storage::crc32::Crc32c;
+/// let mut crc = Crc32c::new();
+/// crc.update(b"hello ");
+/// crc.update(b"world");
+/// assert_eq!(crc.finish(), spotless_storage::crc32::crc32c(b"hello world"));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Default for Crc32c {
+    fn default() -> Crc32c {
+        Crc32c::new()
+    }
+}
+
+impl Crc32c {
+    /// A fresh CRC computation.
+    pub fn new() -> Crc32c {
+        Crc32c { state: !0 }
+    }
+
+    /// Feeds `data` into the CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final CRC value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut c = Crc32c::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values from RFC 3720 (iSCSI) appendix B.4 and the
+    // published Castagnoli test suite.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot_at_every_split() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let expect = crc32c(&data);
+        for split in [0, 1, 7, 8, 9, 63, 500, 999, 1000] {
+            let mut c = Crc32c::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let data = [0x42u8; 64];
+        let base = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data;
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), base, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise() {
+        // Cross-check the slice-by-8 fast path against a plain
+        // one-byte-at-a-time reference on unaligned lengths.
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = !0u32;
+            for &b in data {
+                crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+            }
+            !crc
+        }
+        for len in 0..64 {
+            let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37)).collect();
+            assert_eq!(crc32c(&data), reference(&data), "len {len}");
+        }
+    }
+}

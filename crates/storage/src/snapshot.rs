@@ -1,0 +1,324 @@
+//! Snapshot files: a point-in-time copy of the executed state.
+//!
+//! A snapshot lets recovery skip replaying the whole block log and lets
+//! the log prune segments below the snapshot height (the protocol's GC
+//! horizon — DESIGN.md §7.5 deviation 5). The file carries an opaque
+//! application-state payload (the key-value store serialization in the
+//! examples), the ledger height it covers, and the ledger head hash at
+//! that height so recovery can verify the remaining log tail chains onto
+//! it.
+//!
+//! Snapshots are written atomically: payload to `<name>.tmp`, fsync,
+//! rename over the final name, fsync the directory. A crash mid-write
+//! leaves either the old snapshot set or the new one — never a
+//! half-written file under the final name. Invalid snapshot files are
+//! skipped (not trusted, not deleted) by [`latest_snapshot`]; recovery
+//! falls back to the next-best one, so a corrupted newest snapshot
+//! degrades to a longer log replay instead of an outage.
+
+use crate::crc32::crc32c;
+use crate::StorageError;
+use spotless_types::Digest;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"SPLSSNP1";
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// A decoded snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Number of ledger blocks the snapshot covers (the height at which
+    /// log replay resumes).
+    pub height: u64,
+    /// Ledger head hash after block `height - 1` (zero when `height == 0`).
+    pub head_hash: Digest,
+    /// Opaque application state (owned by the caller; the storage layer
+    /// neither parses nor validates it beyond the checksum).
+    pub app_state: Vec<u8>,
+}
+
+/// File name for a snapshot covering `height` blocks.
+pub fn snapshot_file_name(height: u64) -> String {
+    format!("snap-{height:016x}.snap")
+}
+
+/// Parses the covered height back out of a snapshot file name.
+pub fn parse_snapshot_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn encode(snap: &Snapshot) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + snap.app_state.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&snap.height.to_le_bytes());
+    buf.extend_from_slice(&snap.head_hash.0);
+    buf.extend_from_slice(&(snap.app_state.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&snap.app_state);
+    let crc = crc32c(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn decode(data: &[u8], path: &Path) -> Result<Snapshot, StorageError> {
+    // magic(8) version(4) height(8) head(32) len(8) ... crc(4)
+    const FIXED: usize = 8 + 4 + 8 + 32 + 8 + 4;
+    if data.len() < FIXED {
+        return Err(StorageError::corrupt(path, 0, "snapshot shorter than header"));
+    }
+    if data[..8] != MAGIC {
+        return Err(StorageError::corrupt(path, 0, "bad snapshot magic"));
+    }
+    let version = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
+    if version != VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version,
+        });
+    }
+    let body_len = data.len() - 4;
+    let stored_crc = u32::from_le_bytes([
+        data[body_len],
+        data[body_len + 1],
+        data[body_len + 2],
+        data[body_len + 3],
+    ]);
+    if crc32c(&data[..body_len]) != stored_crc {
+        return Err(StorageError::corrupt(path, body_len as u64, "snapshot CRC mismatch"));
+    }
+    let height = u64::from_le_bytes([
+        data[12], data[13], data[14], data[15], data[16], data[17], data[18], data[19],
+    ]);
+    let mut head = [0u8; 32];
+    head.copy_from_slice(&data[20..52]);
+    let state_len = u64::from_le_bytes([
+        data[52], data[53], data[54], data[55], data[56], data[57], data[58], data[59],
+    ]) as usize;
+    if 60 + state_len != body_len {
+        return Err(StorageError::corrupt(
+            path,
+            52,
+            "snapshot state length disagrees with file size",
+        ));
+    }
+    Ok(Snapshot {
+        height,
+        head_hash: Digest(head),
+        app_state: data[60..60 + state_len].to_vec(),
+    })
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    // Durability of the rename itself requires fsyncing the directory
+    // inode on POSIX systems.
+    let d = File::open(dir).map_err(|e| StorageError::io(dir, "open dir", e))?;
+    d.sync_all().map_err(|e| StorageError::io(dir, "fsync dir", e))
+}
+
+/// Atomically writes `snap` into `dir`, returning the final path.
+pub fn write_snapshot(dir: &Path, snap: &Snapshot) -> Result<PathBuf, StorageError> {
+    let final_path = dir.join(snapshot_file_name(snap.height));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(snap.height)));
+    let bytes = encode(snap);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| StorageError::io(&tmp_path, "create snapshot tmp", e))?;
+        f.write_all(&bytes)
+            .map_err(|e| StorageError::io(&tmp_path, "write snapshot", e))?;
+        f.sync_data()
+            .map_err(|e| StorageError::io(&tmp_path, "fsync snapshot", e))?;
+    }
+    fs::rename(&tmp_path, &final_path)
+        .map_err(|e| StorageError::io(&final_path, "rename snapshot", e))?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Reads and validates one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, StorageError> {
+    let mut f = File::open(path).map_err(|e| StorageError::io(path, "open snapshot", e))?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)
+        .map_err(|e| StorageError::io(path, "read snapshot", e))?;
+    decode(&data, path)
+}
+
+/// Finds the newest *valid* snapshot in `dir`, if any. Files with bad
+/// checksums or unreadable contents are skipped; leftover `.tmp` files
+/// are ignored entirely (they are by definition incomplete).
+pub fn latest_snapshot(dir: &Path) -> Result<Option<(PathBuf, Snapshot)>, StorageError> {
+    let mut heights: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| StorageError::io(dir, "list dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io(dir, "list dir", e))?;
+        let name = entry.file_name();
+        if let Some(h) = name.to_str().and_then(parse_snapshot_file_name) {
+            heights.push((h, entry.path()));
+        }
+    }
+    heights.sort_unstable_by_key(|(h, _)| std::cmp::Reverse(*h));
+    for (_, path) in heights {
+        match read_snapshot(&path) {
+            Ok(snap) => return Ok(Some((path, snap))),
+            Err(StorageError::Io { .. }) | Err(StorageError::Corrupt { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes snapshot files strictly below `keep_height` except the newest
+/// of them (one older snapshot is kept as a fallback should the newest
+/// turn out unreadable on the next recovery).
+pub fn prune_snapshots(dir: &Path, keep_height: u64) -> Result<usize, StorageError> {
+    let mut old: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| StorageError::io(dir, "list dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StorageError::io(dir, "list dir", e))?;
+        if let Some(h) = entry
+            .file_name()
+            .to_str()
+            .and_then(parse_snapshot_file_name)
+        {
+            if h < keep_height {
+                old.push((h, entry.path()));
+            }
+        }
+    }
+    old.sort_unstable_by_key(|(h, _)| *h);
+    old.pop(); // retain the newest of the old ones as a fallback
+    let mut removed = 0;
+    for (_, path) in old {
+        fs::remove_file(&path).map_err(|e| StorageError::io(&path, "remove snapshot", e))?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    fn snap(height: u64, state: &[u8]) -> Snapshot {
+        Snapshot {
+            height,
+            head_hash: Digest::from_u64(height * 31),
+            app_state: state.to_vec(),
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tempdir().unwrap();
+        let s = snap(17, b"kv-state-bytes");
+        let path = write_snapshot(dir.path(), &s).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_app_state_roundtrips() {
+        let dir = tempdir().unwrap();
+        let s = snap(0, b"");
+        let path = write_snapshot(dir.path(), &s).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), s);
+    }
+
+    #[test]
+    fn latest_picks_the_highest_valid() {
+        let dir = tempdir().unwrap();
+        write_snapshot(dir.path(), &snap(5, b"old")).unwrap();
+        write_snapshot(dir.path(), &snap(12, b"new")).unwrap();
+        let (_, got) = latest_snapshot(dir.path()).unwrap().unwrap();
+        assert_eq!(got.height, 12);
+    }
+
+    #[test]
+    fn corrupted_newest_falls_back_to_older() {
+        let dir = tempdir().unwrap();
+        write_snapshot(dir.path(), &snap(5, b"old")).unwrap();
+        let newest = write_snapshot(dir.path(), &snap(12, b"new")).unwrap();
+        let mut data = fs::read(&newest).unwrap();
+        let last = data.len() - 10;
+        data[last] ^= 0xFF;
+        fs::write(&newest, &data).unwrap();
+        let (_, got) = latest_snapshot(dir.path()).unwrap().unwrap();
+        assert_eq!(got.height, 5);
+        assert_eq!(got.app_state, b"old");
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_ignored() {
+        let dir = tempdir().unwrap();
+        write_snapshot(dir.path(), &snap(5, b"good")).unwrap();
+        fs::write(
+            dir.path().join(format!("{}.tmp", snapshot_file_name(99))),
+            b"half-written garbage",
+        )
+        .unwrap();
+        let (_, got) = latest_snapshot(dir.path()).unwrap().unwrap();
+        assert_eq!(got.height, 5);
+    }
+
+    #[test]
+    fn empty_dir_has_no_snapshot() {
+        let dir = tempdir().unwrap();
+        assert!(latest_snapshot(dir.path()).unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_one_fallback() {
+        let dir = tempdir().unwrap();
+        for h in [3, 7, 11, 15] {
+            write_snapshot(dir.path(), &snap(h, b"s")).unwrap();
+        }
+        let removed = prune_snapshots(dir.path(), 15).unwrap();
+        // 3, 7, 11 are below 15; 11 is kept as fallback.
+        assert_eq!(removed, 2);
+        assert!(read_snapshot(&dir.path().join(snapshot_file_name(11))).is_ok());
+        assert!(read_snapshot(&dir.path().join(snapshot_file_name(15))).is_ok());
+        assert!(!dir.path().join(snapshot_file_name(3)).exists());
+        assert!(!dir.path().join(snapshot_file_name(7)).exists());
+    }
+
+    #[test]
+    fn truncated_snapshot_is_corrupt() {
+        let dir = tempdir().unwrap();
+        let path = write_snapshot(dir.path(), &snap(4, b"state")).unwrap();
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+        assert!(matches!(
+            read_snapshot(&path).unwrap_err(),
+            StorageError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn version_bump_is_reported() {
+        let dir = tempdir().unwrap();
+        let path = write_snapshot(dir.path(), &snap(4, b"state")).unwrap();
+        let mut data = fs::read(&path).unwrap();
+        data[8..12].copy_from_slice(&2u32.to_le_bytes());
+        // Recompute the CRC so only the version differs.
+        let body = data.len() - 4;
+        let crc = crc32c(&data[..body]);
+        data[body..].copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            read_snapshot(&path).unwrap_err(),
+            StorageError::UnsupportedVersion { version: 2, .. }
+        ));
+    }
+}

@@ -1,0 +1,372 @@
+//! In-process tokio cluster: every replica runs as an async task, all
+//! driving the **same sans-IO `SpotLessReplica`** the simulator uses —
+//! but over real channels, real wall-clock timers, real Ed25519
+//! signatures on every envelope, and real execution against the
+//! key-value store.
+//!
+//! This is the "real deployment" path of the reproduction: the
+//! `quickstart` and `byzantine_bank` examples run on it.
+
+use parking_lot::Mutex;
+use spotless_core::messages::Message;
+use spotless_core::{ReplicaConfig, SpotLessReplica};
+use spotless_crypto::KeyStore;
+use spotless_types::Node as _;
+use spotless_types::{
+    BatchId, ByzantineBehavior, ClientBatch, ClusterConfig, CommitInfo, Context, Digest, Input,
+    NodeId, ReplicaId, SimDuration, SimTime, TimerId,
+};
+use spotless_workload::{decode_txns, KvStore};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tokio::sync::{mpsc, oneshot};
+use tokio::time::Instant;
+
+/// What flows into a replica task.
+enum ReplicaEvent {
+    Deliver {
+        from: ReplicaId,
+        msg: Message,
+        sig: spotless_crypto::Signature,
+    },
+    Timer(TimerId),
+    Request(ClientBatch),
+    Shutdown,
+}
+
+/// What flows back to the cluster client.
+struct Inform {
+    from: ReplicaId,
+    batch: BatchId,
+    result: Digest,
+}
+
+/// A committed entry observed at a replica (exposed for assertions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedEntry {
+    /// Which replica executed it.
+    pub replica: ReplicaId,
+    /// The commit metadata.
+    pub info: CommitInfo,
+    /// KV state digest after executing the batch.
+    pub state_digest: Digest,
+}
+
+/// Shared observation log for examples/tests.
+#[derive(Clone, Default)]
+pub struct CommitLog {
+    entries: Arc<Mutex<Vec<CommittedEntry>>>,
+}
+
+impl CommitLog {
+    /// Snapshot of everything committed so far.
+    pub fn snapshot(&self) -> Vec<CommittedEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of committed entries (across all replicas).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True iff nothing has committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    fn push(&self, entry: CommittedEntry) {
+        self.entries.lock().push(entry);
+    }
+}
+
+struct TokioCtx {
+    start: Instant,
+    me: NodeId,
+    sends: Vec<(NodeId, Message)>,
+    broadcasts: Vec<Message>,
+    timers: Vec<(TimerId, SimDuration)>,
+    commits: Vec<CommitInfo>,
+}
+
+impl Context for TokioCtx {
+    type Message = Message;
+
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_nanos() as u64)
+    }
+    fn id(&self) -> NodeId {
+        self.me
+    }
+    fn send(&mut self, to: NodeId, msg: Message) {
+        self.sends.push((to, msg));
+    }
+    fn broadcast(&mut self, msg: Message) {
+        self.broadcasts.push(msg);
+    }
+    fn set_timer(&mut self, id: TimerId, after: SimDuration) {
+        self.timers.push((id, after));
+    }
+    fn commit(&mut self, info: CommitInfo) {
+        self.commits.push(info);
+    }
+}
+
+/// Canonical byte encoding used for envelope signatures.
+fn envelope_bytes(msg: &Message) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("messages are serializable")
+}
+
+/// Handle for submitting batches and awaiting `f + 1` matching informs.
+pub struct ClusterClient {
+    cluster: ClusterConfig,
+    to_replicas: Vec<mpsc::UnboundedSender<ReplicaEvent>>,
+    completions: Arc<Mutex<HashMap<BatchId, PendingCompletion>>>,
+}
+
+struct PendingCompletion {
+    informs: HashMap<Digest, Vec<ReplicaId>>,
+    waker: Option<oneshot::Sender<Digest>>,
+}
+
+impl ClusterClient {
+    /// Submits a batch to `target` and resolves once `f + 1` replicas
+    /// report the same execution result.
+    pub async fn submit(&self, batch: ClientBatch, target: ReplicaId) -> Digest {
+        let (tx, rx) = oneshot::channel();
+        self.completions.lock().insert(
+            batch.id,
+            PendingCompletion {
+                informs: HashMap::new(),
+                waker: Some(tx),
+            },
+        );
+        let _ = self.to_replicas[target.as_usize()].send(ReplicaEvent::Request(batch));
+        rx.await.expect("cluster stays alive while awaited")
+    }
+
+    /// Submits to a replica chosen by the batch digest.
+    pub async fn submit_anywhere(&self, batch: ClientBatch) -> Digest {
+        let target = ReplicaId((batch.digest.as_u64_tag() % u64::from(self.cluster.n)) as u32);
+        self.submit(batch, target).await
+    }
+}
+
+/// A running in-process cluster.
+pub struct InProcCluster {
+    /// Client handle.
+    pub client: ClusterClient,
+    /// Observation log of all commits.
+    pub commits: CommitLog,
+    to_replicas: Vec<mpsc::UnboundedSender<ReplicaEvent>>,
+    tasks: Vec<tokio::task::JoinHandle<()>>,
+}
+
+impl InProcCluster {
+    /// Spawns `cluster.n` replica tasks with the given behaviours
+    /// (`None` ⇒ all honest). Must be called inside a tokio runtime.
+    pub fn spawn(
+        cluster: ClusterConfig,
+        behaviors: Option<Vec<ByzantineBehavior>>,
+    ) -> InProcCluster {
+        let n = cluster.n as usize;
+        let behaviors = behaviors.unwrap_or_else(|| vec![ByzantineBehavior::Honest; n]);
+        assert_eq!(behaviors.len(), n);
+        let faulty: Vec<bool> = behaviors.iter().map(|b| b.is_faulty()).collect();
+        let keystores = KeyStore::cluster(b"spotless-inproc-cluster", cluster.n);
+
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::unbounded_channel::<ReplicaEvent>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (inform_tx, mut inform_rx) = mpsc::unbounded_channel::<Inform>();
+        let completions: Arc<Mutex<HashMap<BatchId, PendingCompletion>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let commits = CommitLog::default();
+        let start = Instant::now();
+
+        // Client-side inform collector.
+        let completions_for_informs = completions.clone();
+        let weak_quorum = cluster.weak_quorum() as usize;
+        let collector = tokio::spawn(async move {
+            while let Some(inform) = inform_rx.recv().await {
+                let mut pending = completions_for_informs.lock();
+                if let Some(entry) = pending.get_mut(&inform.batch) {
+                    let replicas = entry.informs.entry(inform.result).or_default();
+                    if !replicas.contains(&inform.from) {
+                        replicas.push(inform.from);
+                    }
+                    if replicas.len() >= weak_quorum {
+                        if let Some(waker) = entry.waker.take() {
+                            let _ = waker.send(inform.result);
+                        }
+                        pending.remove(&inform.batch);
+                    }
+                }
+            }
+        });
+
+        let mut tasks = vec![collector];
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let me = ReplicaId(i as u32);
+            let replica = SpotLessReplica::new(ReplicaConfig {
+                cluster: cluster.clone(),
+                me,
+                behavior: behaviors[i],
+                faulty: faulty.clone(),
+            });
+            let task = ReplicaTask {
+                me,
+                replica,
+                keystore: keystores[i].clone(),
+                peers: senders.clone(),
+                inform: inform_tx.clone(),
+                store: KvStore::new(),
+                commits: commits.clone(),
+                start,
+                crashed: behaviors[i] == ByzantineBehavior::Crash,
+            };
+            tasks.push(tokio::spawn(task.run(rx)));
+        }
+
+        InProcCluster {
+            client: ClusterClient {
+                cluster,
+                to_replicas: senders.clone(),
+                completions,
+            },
+            commits,
+            to_replicas: senders,
+            tasks,
+        }
+    }
+
+    /// Stops all replica tasks.
+    pub async fn shutdown(self) {
+        for tx in &self.to_replicas {
+            let _ = tx.send(ReplicaEvent::Shutdown);
+        }
+        for task in self.tasks {
+            task.abort();
+        }
+    }
+}
+
+struct ReplicaTask {
+    me: ReplicaId,
+    replica: SpotLessReplica,
+    keystore: KeyStore,
+    peers: Vec<mpsc::UnboundedSender<ReplicaEvent>>,
+    inform: mpsc::UnboundedSender<Inform>,
+    store: KvStore,
+    commits: CommitLog,
+    start: Instant,
+    crashed: bool,
+}
+
+impl ReplicaTask {
+    async fn run(mut self, mut rx: mpsc::UnboundedReceiver<ReplicaEvent>) {
+        if self.crashed {
+            // A1: consume and drop everything.
+            while let Some(ev) = rx.recv().await {
+                if matches!(ev, ReplicaEvent::Shutdown) {
+                    return;
+                }
+            }
+            return;
+        }
+        self.step(Input::Start);
+        while let Some(ev) = rx.recv().await {
+            match ev {
+                ReplicaEvent::Deliver { from, msg, sig } => {
+                    // Real authentication on the real path.
+                    if !self.keystore.verify(from, &envelope_bytes(&msg), &sig) {
+                        continue;
+                    }
+                    self.step(Input::Deliver {
+                        from: from.into(),
+                        msg,
+                    });
+                }
+                ReplicaEvent::Timer(id) => self.step(Input::Timer(id)),
+                ReplicaEvent::Request(batch) => self.step(Input::Request(batch)),
+                ReplicaEvent::Shutdown => return,
+            }
+        }
+    }
+
+    fn step(&mut self, input: Input<Message>) {
+        let mut ctx = TokioCtx {
+            start: self.start,
+            me: self.me.into(),
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+            timers: Vec::new(),
+            commits: Vec::new(),
+        };
+        self.replica.on_input(input, &mut ctx);
+        // Commits: execute and inform.
+        for info in ctx.commits.drain(..) {
+            self.apply_commit(info);
+        }
+        // Timers: real tokio sleeps feeding back into our own queue.
+        let my_tx = self.peers[self.me.as_usize()].clone();
+        for (id, after) in ctx.timers.drain(..) {
+            let tx = my_tx.clone();
+            let dur = std::time::Duration::from_nanos(after.as_nanos());
+            tokio::spawn(async move {
+                tokio::time::sleep(dur).await;
+                let _ = tx.send(ReplicaEvent::Timer(id));
+            });
+        }
+        // Outbound messages, each signed by this replica.
+        for (to, msg) in ctx.sends.drain(..) {
+            if let NodeId::Replica(r) = to {
+                self.post(r, msg);
+            }
+        }
+        for msg in ctx.broadcasts.drain(..) {
+            for r in 0..self.peers.len() {
+                self.post(ReplicaId(r as u32), msg.clone());
+            }
+        }
+    }
+
+    fn post(&self, to: ReplicaId, msg: Message) {
+        let sig = self.keystore.sign(&envelope_bytes(&msg));
+        let _ = self.peers[to.as_usize()].send(ReplicaEvent::Deliver {
+            from: self.me,
+            msg,
+            sig,
+        });
+    }
+
+    fn apply_commit(&mut self, info: CommitInfo) {
+        if info.batch.is_noop() {
+            return;
+        }
+        // Execute the real transactions if the payload decodes; an empty
+        // payload (simulation-style batch) still advances the digest so
+        // informs stay comparable.
+        let result = if info.batch.payload.is_empty() {
+            self.store.state_digest()
+        } else {
+            match decode_txns(&info.batch.payload) {
+                Some(txns) => self.store.execute_batch(&txns),
+                None => return, // malformed payload: never inform
+            }
+        };
+        self.commits.push(CommittedEntry {
+            replica: self.me,
+            info: info.clone(),
+            state_digest: result,
+        });
+        let _ = self.inform.send(Inform {
+            from: self.me,
+            batch: info.batch.id,
+            result,
+        });
+    }
+}

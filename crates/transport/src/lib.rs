@@ -1,0 +1,18 @@
+//! Tokio runtime adapter for SpotLess: real deployments of the same
+//! sans-IO replicas the simulator drives.
+//!
+//! [`inproc`] spawns a full cluster inside one process — per-replica
+//! async tasks, real wall-clock timers, Ed25519-signed envelopes, and
+//! execution against the YCSB key-value store — which is what the
+//! runnable examples use. The module structure leaves room for a TCP
+//! transport with the same task body (the envelope codec is already
+//! serialization-based).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inproc;
+pub mod tcp;
+
+pub use inproc::{ClusterClient, CommitLog, CommittedEntry, InProcCluster};
+pub use tcp::{Frame, FrameError, TcpFabric};

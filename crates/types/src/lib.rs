@@ -1,0 +1,41 @@
+//! Shared vocabulary for the SpotLess reproduction.
+//!
+//! This crate defines the small, dependency-light types that every other
+//! crate in the workspace builds on:
+//!
+//! * [`ids`] — strongly-typed identifiers for replicas, clients, consensus
+//!   instances, views, and client batches.
+//! * [`time`] — a nanosecond-resolution simulated clock ([`SimTime`],
+//!   [`SimDuration`]) shared by the discrete-event simulator and the
+//!   protocol timers.
+//! * [`node`] — the **sans-IO node model**: every protocol in this
+//!   workspace (SpotLess and the four baselines) is an I/O-free state
+//!   machine implementing [`node::Node`]. The discrete-event simulator and
+//!   the tokio transport both drive the very same protocol code through
+//!   this interface.
+//! * [`config`] — cluster-level configuration and quorum arithmetic
+//!   (`n > 3f`, quorums of `n - f`, weak quorums of `f + 1`).
+//! * [`costs`] — the resource model constants (message sizes, CPU costs of
+//!   cryptographic operations, sequential-execution speed) taken from
+//!   §6.1 of the paper.
+//! * [`fault`] — the Byzantine behaviour taxonomy used by the failure
+//!   experiments (attacks A1–A4 of §6.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod costs;
+pub mod fault;
+pub mod ids;
+pub mod node;
+pub mod replica_set;
+pub mod time;
+
+pub use config::ClusterConfig;
+pub use costs::{CryptoCosts, ResourceModel, SizeModel};
+pub use fault::ByzantineBehavior;
+pub use ids::{BatchId, ClientId, Digest, InstanceId, NodeId, ReplicaId, View};
+pub use replica_set::ReplicaSet;
+pub use node::{ClientBatch, CommitInfo, Context, Input, Node, TimerId, TimerKind};
+pub use time::{SimDuration, SimTime};

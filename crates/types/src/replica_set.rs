@@ -1,0 +1,100 @@
+//! Small utilities: a replica-id bitset for quorum counting.
+//!
+//! Quorum tracking is the hottest bookkeeping in the protocol (every
+//! `Sync` updates several counters), so sender sets are flat bitsets
+//! rather than hash sets — two `u64` words cover the paper's largest
+//! deployment of 128 replicas.
+
+use crate::ids::ReplicaId;
+
+/// A set of replica ids backed by a bit vector.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaSet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl ReplicaSet {
+    /// An empty set sized for `n` replicas.
+    pub fn new(n: u32) -> ReplicaSet {
+        ReplicaSet {
+            words: vec![0; (n as usize).div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Inserts `r`; returns true if it was not already present.
+    pub fn insert(&mut self, r: ReplicaId) -> bool {
+        let (w, b) = (r.as_usize() / 64, r.as_usize() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.count += 1;
+        true
+    }
+
+    /// True iff `r` is in the set.
+    pub fn contains(&self, r: ReplicaId) -> bool {
+        let (w, b) = (r.as_usize() / 64, r.as_usize() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// True iff no members.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates over members in id order.
+    pub fn iter(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| ReplicaId((w * 64 + b) as u32))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_count_contains() {
+        let mut s = ReplicaSet::new(128);
+        assert!(s.is_empty());
+        assert!(s.insert(ReplicaId(0)));
+        assert!(s.insert(ReplicaId(127)));
+        assert!(!s.insert(ReplicaId(0)), "double insert");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ReplicaId(127)));
+        assert!(!s.contains(ReplicaId(5)));
+        assert!(!s.contains(ReplicaId(500)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = ReplicaSet::new(70);
+        for id in [65u32, 3, 64, 0] {
+            s.insert(ReplicaId(id));
+        }
+        let got: Vec<u32> = s.iter().map(|r| r.0).collect();
+        assert_eq!(got, vec![0, 3, 64, 65]);
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut s = ReplicaSet::new(4);
+        assert!(s.insert(ReplicaId(200)));
+        assert!(s.contains(ReplicaId(200)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Request batching: grouping client transactions into the batches that
+//! primaries propose (§6.1: ResilientDB groups ~100 txn/batch because
+//! per-batch consensus overhead dominates per-transaction costs).
+
+use crate::ycsb::Transaction;
+use spotless_types::{BatchId, ClientBatch, ClientId, SimTime};
+
+/// Assembles transactions into [`ClientBatch`]es for submission.
+pub struct Batcher {
+    client: ClientId,
+    threshold: usize,
+    txn_size: u32,
+    pending: Vec<Transaction>,
+    next_batch: u64,
+}
+
+impl Batcher {
+    /// A batcher flushing every `threshold` transactions.
+    pub fn new(client: ClientId, threshold: usize, txn_size: u32) -> Batcher {
+        assert!(threshold > 0);
+        Batcher {
+            client,
+            threshold,
+            txn_size,
+            pending: Vec::with_capacity(threshold),
+            next_batch: 0,
+        }
+    }
+
+    /// Currently buffered transactions.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Adds a transaction; returns a full batch when the threshold is
+    /// reached.
+    pub fn push(&mut self, txn: Transaction, now: SimTime) -> Option<(ClientBatch, Vec<Transaction>)> {
+        self.pending.push(txn);
+        if self.pending.len() >= self.threshold {
+            Some(self.flush(now).expect("non-empty"))
+        } else {
+            None
+        }
+    }
+
+    /// Flushes whatever is buffered (e.g. on a client-side timer).
+    pub fn flush(&mut self, now: SimTime) -> Option<(ClientBatch, Vec<Transaction>)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let txns = std::mem::take(&mut self.pending);
+        let payload = encode_txns(&txns);
+        let digest = spotless_crypto::digest_bytes(&payload);
+        let id = BatchId((u64::from(self.client.0 as u32) << 40) | self.next_batch);
+        self.next_batch += 1;
+        let batch = ClientBatch {
+            id,
+            origin: self.client,
+            digest,
+            txns: txns.len() as u32,
+            txn_size: self.txn_size,
+            created_at: now,
+            payload,
+        };
+        Some((batch, txns))
+    }
+}
+
+/// Length-prefixed canonical encoding of a transaction list (used for
+/// batch digests and the tokio transport's wire payloads).
+pub fn encode_txns(txns: &[Transaction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(txns.len() * 64);
+    out.extend_from_slice(&(txns.len() as u32).to_be_bytes());
+    for t in txns {
+        out.extend_from_slice(&t.id.to_be_bytes());
+        match &t.op {
+            crate::ycsb::Operation::Read { key } => {
+                out.push(0);
+                out.extend_from_slice(&key.to_be_bytes());
+            }
+            crate::ycsb::Operation::Update { key, value } => {
+                out.push(1);
+                out.extend_from_slice(&key.to_be_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+                out.extend_from_slice(value);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a transaction list encoded by [`encode_txns`]. Returns `None`
+/// on malformed input (defensive: payloads cross trust boundaries).
+pub fn decode_txns(bytes: &[u8]) -> Option<Vec<Transaction>> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = bytes.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    let count = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    if count > 1_000_000 {
+        return None; // sanity cap
+    }
+    let mut txns = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let tag = take(&mut at, 1)?[0];
+        let key = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let op = match tag {
+            0 => crate::ycsb::Operation::Read { key },
+            1 => {
+                let len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+                if len > 16_000_000 {
+                    return None;
+                }
+                let value = take(&mut at, len)?.to_vec();
+                crate::ycsb::Operation::Update { key, value }
+            }
+            _ => return None,
+        };
+        txns.push(Transaction { id, op });
+    }
+    if at != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(txns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::{WorkloadGen, YcsbConfig};
+
+    #[test]
+    fn batcher_flushes_at_threshold() {
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 1);
+        let mut batcher = Batcher::new(ClientId(3), 10, 48);
+        let mut batches = 0;
+        for _ in 0..25 {
+            if batcher.push(generator.next_txn(), SimTime::ZERO).is_some() {
+                batches += 1;
+            }
+        }
+        assert_eq!(batches, 2);
+        assert_eq!(batcher.pending(), 5);
+        let (tail, txns) = batcher.flush(SimTime::ZERO).expect("tail batch");
+        assert_eq!(tail.txns, 5);
+        assert_eq!(txns.len(), 5);
+        assert!(batcher.flush(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn batch_ids_are_unique_across_clients() {
+        let mut a = Batcher::new(ClientId(1), 1, 48);
+        let mut b = Batcher::new(ClientId(2), 1, 48);
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 1);
+        let (ba, _) = a.push(generator.next_txn(), SimTime::ZERO).unwrap();
+        let (bb, _) = b.push(generator.next_txn(), SimTime::ZERO).unwrap();
+        assert_ne!(ba.id, bb.id);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 9);
+        let txns = generator.next_batch(50);
+        let bytes = encode_txns(&txns);
+        let back = decode_txns(&bytes).expect("decodes");
+        assert_eq!(back, txns);
+    }
+
+    #[test]
+    fn digest_covers_payload() {
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 9);
+        let mut batcher = Batcher::new(ClientId(0), 5, 48);
+        for _ in 0..4 {
+            batcher.push(generator.next_txn(), SimTime::ZERO);
+        }
+        let (batch, _) = batcher.push(generator.next_txn(), SimTime::ZERO).unwrap();
+        assert_eq!(batch.digest, spotless_crypto::digest_bytes(&batch.payload));
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_txns(&[]).is_none());
+        assert!(decode_txns(&[0, 0, 0, 1]).is_none()); // count 1, no body
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 9);
+        let mut bytes = encode_txns(&generator.next_batch(3));
+        bytes.push(0xFF); // trailing garbage
+        assert!(decode_txns(&bytes).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! The key-value execution engine: the replicated service SpotLess
+//! orders transactions for.
+//!
+//! Each replica holds an identical copy of the YCSB table (§6: "each
+//! replica is initialized with an identical copy of the YCSB table") and
+//! executes committed transactions sequentially. The store exposes a
+//! running state digest so tests can check that replicas which executed
+//! the same committed sequence hold the same state — the observable form
+//! of non-divergence.
+
+use crate::ycsb::{Operation, Transaction};
+use spotless_types::Digest;
+use std::collections::HashMap;
+
+/// Result of executing one transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecResult {
+    /// A read returning the value's digestible summary (length + first
+    /// bytes); carrying full values out of the engine is the RPC layer's
+    /// concern.
+    Read {
+        /// Digest of the read value (zero digest if the key is absent).
+        value_digest: Digest,
+    },
+    /// A completed write.
+    Written,
+}
+
+/// An in-memory YCSB table with deterministic state digesting.
+pub struct KvStore {
+    table: HashMap<u64, Vec<u8>>,
+    /// Rolling digest of the applied write sequence.
+    state: Digest,
+    writes_applied: u64,
+    reads_served: u64,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> KvStore {
+        KvStore {
+            table: HashMap::new(),
+            state: Digest::ZERO,
+            writes_applied: 0,
+            reads_served: 0,
+        }
+    }
+
+    /// A store pre-loaded with `records` identical records of
+    /// `value_size` bytes (the paper's initialization step).
+    pub fn initialized(records: u64, value_size: u32) -> KvStore {
+        let mut store = KvStore::new();
+        let value = vec![0xAB; value_size as usize];
+        for key in 0..records {
+            store.table.insert(key, value.clone());
+        }
+        store
+    }
+
+    /// Number of records currently stored.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Writes applied so far.
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// Reads served so far.
+    pub fn reads_served(&self) -> u64 {
+        self.reads_served
+    }
+
+    /// The rolling digest over the applied write sequence. Two replicas
+    /// that executed the same committed transaction sequence have equal
+    /// state digests.
+    pub fn state_digest(&self) -> Digest {
+        self.state
+    }
+
+    /// Executes one transaction.
+    pub fn execute(&mut self, txn: &Transaction) -> ExecResult {
+        match &txn.op {
+            Operation::Read { key } => {
+                self.reads_served += 1;
+                let value_digest = self
+                    .table
+                    .get(key)
+                    .map(|v| spotless_crypto::digest_bytes(v))
+                    .unwrap_or(Digest::ZERO);
+                ExecResult::Read { value_digest }
+            }
+            Operation::Update { key, value } => {
+                self.writes_applied += 1;
+                self.table.insert(*key, value.clone());
+                // Chain the state digest over (key, value digest).
+                let entry = spotless_crypto::digest_fields(&[
+                    &key.to_be_bytes(),
+                    value,
+                ]);
+                self.state = spotless_crypto::digest_chained(&self.state, &entry);
+                ExecResult::Written
+            }
+        }
+    }
+
+    /// Executes a whole batch, returning the post-batch state digest.
+    pub fn execute_batch(&mut self, txns: &[Transaction]) -> Digest {
+        for txn in txns {
+            self.execute(txn);
+        }
+        self.state
+    }
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::{WorkloadGen, YcsbConfig};
+
+    fn write(id: u64, key: u64, value: &[u8]) -> Transaction {
+        Transaction {
+            id,
+            op: Operation::Update {
+                key,
+                value: value.to_vec(),
+            },
+        }
+    }
+
+    fn read(id: u64, key: u64) -> Transaction {
+        Transaction {
+            id,
+            op: Operation::Read { key },
+        }
+    }
+
+    #[test]
+    fn initialization_loads_all_records() {
+        let store = KvStore::initialized(1000, 48);
+        assert_eq!(store.len(), 1000);
+    }
+
+    #[test]
+    fn writes_then_reads_roundtrip() {
+        let mut store = KvStore::new();
+        store.execute(&write(0, 7, b"hello"));
+        let r = store.execute(&read(1, 7));
+        assert_eq!(
+            r,
+            ExecResult::Read {
+                value_digest: spotless_crypto::digest_bytes(b"hello")
+            }
+        );
+        assert_eq!(store.writes_applied(), 1);
+        assert_eq!(store.reads_served(), 1);
+    }
+
+    #[test]
+    fn missing_keys_read_as_zero_digest() {
+        let mut store = KvStore::new();
+        let r = store.execute(&read(0, 404));
+        assert_eq!(
+            r,
+            ExecResult::Read {
+                value_digest: Digest::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn same_sequence_same_state_digest() {
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 99);
+        let txns = generator.next_batch(500);
+        let mut a = KvStore::initialized(1000, 8);
+        let mut b = KvStore::initialized(1000, 8);
+        let da = a.execute_batch(&txns);
+        let db = b.execute_batch(&txns);
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn different_order_different_state_digest() {
+        let t1 = write(0, 1, b"a");
+        let t2 = write(1, 1, b"b");
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        a.execute_batch(&[t1.clone(), t2.clone()]);
+        b.execute_batch(&[t2, t1]);
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn reads_do_not_change_state_digest() {
+        let mut store = KvStore::new();
+        store.execute(&write(0, 1, b"x"));
+        let before = store.state_digest();
+        store.execute(&read(1, 1));
+        assert_eq!(store.state_digest(), before);
+    }
+}

@@ -1,0 +1,132 @@
+//! A replica with a durable ledger: consensus commits are persisted
+//! through the segmented block log, the process "crashes", and a second
+//! session recovers the chain bit-for-bit — then proves a transaction
+//! to an auditor from the recovered state.
+//!
+//! This is the §6.1 ResilientDB ledger story end to end: consensus →
+//! execution order → hash-chained blocks → durable storage → provenance.
+//!
+//! Run with: `cargo run --release --example durable_node`
+
+use spotless::core::{ReplicaConfig, SpotLessReplica};
+use spotless::ledger::CommitProof;
+use spotless::simnet::{ClosedLoopDriver, SimConfig, Simulation};
+use spotless::storage::log::{LogOptions, SyncPolicy};
+use spotless::storage::{DurableLedger, DurableLedgerOptions};
+use spotless::types::{ClusterConfig, CommitInfo, SimDuration};
+
+fn main() {
+    let dir = tempfile::tempdir().expect("tempdir");
+    println!("durable node demo — store at {}\n", dir.path().display());
+
+    // ── 1. Consensus: run a 4-replica cluster and capture replica 0's
+    //       execution-order commit stream.
+    let cluster = ClusterConfig::with_instances(4, 4);
+    let nodes: Vec<SpotLessReplica> = cluster
+        .replicas()
+        .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+        .collect();
+    let mut cfg = SimConfig::new(cluster);
+    cfg.warmup = SimDuration::from_millis(200);
+    cfg.duration = SimDuration::from_millis(800);
+    cfg.record_commits = true;
+    let mut sim = Simulation::new(cfg, nodes, ClosedLoopDriver::new(16));
+    sim.run();
+    let commits: Vec<CommitInfo> = sim
+        .commit_log(0)
+        .iter()
+        .filter(|c| !c.batch.is_noop())
+        .cloned()
+        .collect();
+    println!("consensus committed {} batches on replica 0", commits.len());
+
+    let opts = DurableLedgerOptions {
+        log: LogOptions {
+            max_segment_bytes: 4096, // small segments so rotation shows up
+            sync: SyncPolicy::Always,
+        },
+        snapshot_every: 25,
+    };
+
+    // ── 2. Session one: persist the first half, then crash (drop with
+    //       no shutdown handshake).
+    let half = commits.len() / 2;
+    {
+        let (mut led, _) = DurableLedger::open(dir.path(), opts).expect("open");
+        for c in &commits[..half] {
+            led.append_batch(
+                c.batch.id,
+                c.batch.digest,
+                c.batch.txns,
+                CommitProof {
+                    instance: c.instance,
+                    view: c.view,
+                    signers: Vec::new(),
+                },
+            )
+            .expect("append");
+            led.maybe_snapshot(b"kv-state").expect("snapshot");
+        }
+        println!(
+            "session 1: appended {half} blocks across {} segment(s), then CRASH",
+            led.segment_count()
+        );
+    }
+
+    // ── 3. Session two: recover, verify, and append the rest.
+    let (mut led, report) = DurableLedger::open(dir.path(), opts).expect("recover");
+    println!(
+        "session 2: recovered to height {} (snapshot covered {}, replayed {}, torn tail: {})",
+        led.ledger().height(),
+        report.snapshot_height,
+        report.replayed_blocks,
+        report.truncated_tail,
+    );
+    assert_eq!(led.ledger().height() as usize, half);
+    led.ledger().verify().expect("recovered chain verifies");
+    for c in &commits[half..] {
+        led.append_batch(
+            c.batch.id,
+            c.batch.digest,
+            c.batch.txns,
+            CommitProof {
+                instance: c.instance,
+                view: c.view,
+                signers: Vec::new(),
+            },
+        )
+        .expect("append");
+    }
+    led.ledger().verify().expect("full chain verifies");
+    println!(
+        "session 2: appended the remaining {} blocks; height {}, head {:?}",
+        commits.len() - half,
+        led.ledger().height(),
+        led.ledger().head_hash(),
+    );
+
+    // ── 4. Provenance from recovered state: find the block that holds a
+    //       specific batch and show its hash path to the head. Blocks
+    //       below the snapshot base were pruned (their state lives in
+    //       the snapshot), so the probe targets the materialized tail.
+    let base = led.ledger().base_height() as usize;
+    let probe = commits[base + (commits.len() - base) / 2].batch.id;
+    let block = led
+        .ledger()
+        .find_batch(probe)
+        .expect("batch is on the chain");
+    let path = led
+        .ledger()
+        .proof_path(block.height)
+        .expect("path to head");
+    println!(
+        "\nprovenance: batch {:?} sits in block {} (instance {}, view {});",
+        probe, block.height, block.proof.instance.0, block.proof.view.0
+    );
+    println!(
+        "an auditor holding only the head hash verifies it through a {}-hash path",
+        path.len()
+    );
+    assert_eq!(*path.last().unwrap(), led.ledger().head_hash());
+    println!("\nok: crash-recovered ledger is complete, verified, and auditable");
+}

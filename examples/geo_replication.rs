@@ -1,0 +1,88 @@
+//! Geo-scale deployment: SpotLess and RCC across 1–4 cloud regions
+//! (a runnable miniature of Figure 14(c)/(d)).
+//!
+//! The paper distributes 128 replicas uniformly over Oregon, North
+//! Virginia, London, and Zurich; adding regions both raises latency and
+//! lowers effective bandwidth. The simulator's `Topology::global`
+//! reproduces the inter-region RTT structure; this example runs a
+//! smaller cluster over the same sweep and shows the paper's two
+//! qualitative findings:
+//!
+//! 1. throughput falls for every protocol as regions are added;
+//! 2. a bigger client batch (400 vs 100 txn) claws back part of the
+//!    loss (Figure 14(d) vs (c)).
+//!
+//! Run with: `cargo run --release --example geo_replication`
+
+use spotless::baselines::RccReplica;
+use spotless::core::{ReplicaConfig, SpotLessReplica};
+use spotless::simnet::{ClosedLoopDriver, SimConfig, Simulation, Topology};
+use spotless::types::{ClusterConfig, SimDuration};
+
+const REGION_NAMES: [&str; 4] = ["Oregon", "N. Virginia", "London", "Zurich"];
+
+fn run(n: u32, regions: u32, batch: u32) -> (f64, f64) {
+    let mut cluster = ClusterConfig::with_instances(n, n);
+    cluster.batch_txns = batch;
+    let topology = Topology::global(n, regions);
+    // §6.3: protocol timeouts are calibrated to the deployment's view
+    // duration — WAN links need them scaled with the RTT.
+    cluster.calibrate_timeouts(topology.max_one_way_latency());
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.topology = topology;
+    // Spreading over k regions divides the bandwidth a replica can
+    // sustain towards the rest of the cluster (same model as the
+    // fig14cd_regions bench).
+    cfg.resources = cfg.resources.with_bandwidth_mbps(4000 / u64::from(regions));
+    cfg.warmup = SimDuration::from_millis(600);
+    cfg.duration = SimDuration::from_secs(2);
+    let nodes: Vec<SpotLessReplica> = cluster
+        .replicas()
+        .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+        .collect();
+    let s = Simulation::new(cfg.clone(), nodes, ClosedLoopDriver::new(48)).run();
+
+    let rcc: Vec<RccReplica> = cluster
+        .replicas()
+        .map(|r| RccReplica::new(cluster.clone(), r))
+        .collect();
+    let r = Simulation::new(cfg, rcc, ClosedLoopDriver::new(48)).run();
+    (s.throughput_tps, r.throughput_tps)
+}
+
+fn main() {
+    let n = 16;
+    println!("geo-scale sweep, n={n} replicas uniformly spread over k regions");
+    println!("(miniature Figure 14(c)/(d); regions model WAN RTTs between");
+    println!(" {})\n", REGION_NAMES.join(", "));
+
+    for batch in [100u32, 400] {
+        println!("batch = {batch} txn:");
+        println!("  regions   SpotLess      RCC        SpotLess/RCC");
+        let mut first_spotless = 0.0;
+        for regions in 1..=4u32 {
+            let (s, r) = run(n, regions, batch);
+            if regions == 1 {
+                first_spotless = s;
+            }
+            println!(
+                "  {regions:>7}   {:8.1} ktxn/s {:8.1} ktxn/s   {:.2}x",
+                s / 1e3,
+                r / 1e3,
+                s / r.max(1.0)
+            );
+        }
+        let (s4, _) = run(n, 4, batch);
+        println!(
+            "  1 → 4 regions keeps {:.0}% of LAN throughput\n",
+            100.0 * s4 / first_spotless.max(1.0)
+        );
+    }
+    println!("expected shape (paper): throughput falls with regions and batch 400");
+    println!("recovers part of the drop — both reproduce here. The paper's third");
+    println!("finding, SpotLess staying above RCC at geo scale, needs the full");
+    println!("128-replica deployment: 128 chained instances amortize the WAN RTT");
+    println!("and RCC's 2x message complexity saturates the shared uplinks. At");
+    println!("this example's n=16, RCC's out-of-order pipeline hides the RTT");
+    println!("instead (see EXPERIMENTS.md, E14)." );
+}

@@ -1,0 +1,70 @@
+//! Protocol face-off: runs all five protocols of the paper's evaluation
+//! on identical simulated hardware and prints a mini Figure 7(a) row —
+//! the fastest way to see the paper's headline result reproduce.
+//!
+//! Run with: `cargo run --release --example protocol_faceoff`
+
+use spotless::baselines::{HotStuffReplica, PbftReplica, RccReplica};
+use spotless::core::{ReplicaConfig, SpotLessReplica};
+use spotless::simnet::{ClosedLoopDriver, SimConfig, SimReport, Simulation};
+use spotless::types::{ClusterConfig, SimDuration};
+
+fn config(cluster: &ClusterConfig) -> SimConfig {
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(400);
+    cfg.duration = SimDuration::from_secs(2);
+    cfg
+}
+
+fn main() {
+    let n = 16;
+    let cluster = ClusterConfig::new(n);
+    let single = ClusterConfig::with_instances(n, 1);
+    println!("protocol face-off at n={n} (batch 100 x 48 B, LAN, 16 cores, 4 Gbit/s)\n");
+
+    let spotless: Vec<SpotLessReplica> = cluster
+        .replicas()
+        .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+        .collect();
+    let report = Simulation::new(config(&cluster), spotless, ClosedLoopDriver::new(64)).run();
+    show("SpotLess", &report);
+
+    let rcc: Vec<RccReplica> = cluster
+        .replicas()
+        .map(|r| RccReplica::new(cluster.clone(), r))
+        .collect();
+    let report = Simulation::new(config(&cluster), rcc, ClosedLoopDriver::new(64)).run();
+    show("RCC", &report);
+
+    let pbft: Vec<PbftReplica> = single
+        .replicas()
+        .map(|r| PbftReplica::new(single.clone(), r))
+        .collect();
+    let report = Simulation::new(config(&single), pbft, ClosedLoopDriver::new(64)).run();
+    show("PBFT", &report);
+
+    let narwhal: Vec<HotStuffReplica> = single
+        .replicas()
+        .map(|r| HotStuffReplica::narwhal(single.clone(), r))
+        .collect();
+    let report = Simulation::new(config(&single), narwhal, ClosedLoopDriver::new(64)).run();
+    show("Narwhal-HS", &report);
+
+    let hotstuff: Vec<HotStuffReplica> = single
+        .replicas()
+        .map(|r| HotStuffReplica::new(single.clone(), r))
+        .collect();
+    let report = Simulation::new(config(&single), hotstuff, ClosedLoopDriver::new(64)).run();
+    show("HotStuff", &report);
+
+    println!("\nexpected ordering (paper): SpotLess > RCC > Narwhal-HS/PBFT >> HotStuff");
+}
+
+fn show(name: &str, report: &SimReport) {
+    println!(
+        "{name:<11} {:9.1} ktxn/s   avg latency {:7.1} ms   msgs/decision {:7.0}",
+        report.throughput_tps / 1e3,
+        report.avg_latency_s * 1e3,
+        report.msgs_per_decision
+    );
+}

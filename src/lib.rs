@@ -1,0 +1,63 @@
+//! # SpotLess
+//!
+//! A full Rust reproduction of **"SpotLess: Concurrent Rotational
+//! Consensus Made Practical through Rapid View Synchronization"**
+//! (ICDE 2024): the protocol itself, the four baselines it is evaluated
+//! against (PBFT, RCC, chained HotStuff, Narwhal-HS), a deterministic
+//! discrete-event evaluation substrate standing in for the paper's cloud
+//! testbed, the YCSB workload and key-value execution engine, a
+//! hash-chained ledger, and a tokio runtime for real deployments.
+//!
+//! This crate is the facade: it re-exports the workspace members under
+//! one name and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spotless::core::{ReplicaConfig, SpotLessReplica};
+//! use spotless::simnet::{ClosedLoopDriver, SimConfig, Simulation};
+//! use spotless::types::ClusterConfig;
+//!
+//! // A 4-replica cluster with 4 concurrent instances on the simulator.
+//! let cluster = ClusterConfig::new(4);
+//! let nodes: Vec<SpotLessReplica> = cluster
+//!     .replicas()
+//!     .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+//!     .collect();
+//! let mut cfg = SimConfig::new(cluster);
+//! cfg.duration = spotless::types::SimDuration::from_millis(600);
+//! let report = Simulation::new(cfg, nodes, ClosedLoopDriver::new(2)).run();
+//! assert!(report.txns > 0);
+//! ```
+//!
+//! For a real (tokio) deployment see `examples/quickstart.rs`.
+
+#![forbid(unsafe_code)]
+
+/// The SpotLess protocol (chained rotational consensus + RVS).
+pub use spotless_core as core;
+
+/// Baseline protocols: PBFT, RCC, HotStuff, Narwhal-HS.
+pub use spotless_baselines as baselines;
+
+/// Cryptographic substrate (SHA-256, HMAC, Ed25519).
+pub use spotless_crypto as crypto;
+
+/// Hash-chained blockchain ledger.
+pub use spotless_ledger as ledger;
+
+/// Deterministic discrete-event simulator.
+pub use spotless_simnet as simnet;
+
+/// Durable ledger storage (segmented log, snapshots, crash recovery).
+pub use spotless_storage as storage;
+
+/// Tokio runtime adapter (in-process clusters).
+pub use spotless_transport as transport;
+
+/// Shared identifiers, time, configuration, node model.
+pub use spotless_types as types;
+
+/// YCSB workload, key-value engine, batching.
+pub use spotless_workload as workload;

@@ -1,0 +1,179 @@
+//! Adversarial mixes beyond the paper's single-attack scenarios (§6.3,
+//! A1–A4): several *different* attacker behaviours at once, attacks
+//! combined with partitions and message loss, and a larger cluster.
+//!
+//! Safety is checked as slot agreement: for every `(instance, view)`
+//! slot, all honest replicas that execute the slot execute the same
+//! batch. Liveness is checked as nonzero honest commits.
+
+use spotless::core::{ReplicaConfig, SpotLessReplica};
+use spotless::simnet::{ClosedLoopDriver, SimConfig, Simulation};
+use spotless::types::{
+    ByzantineBehavior, ClusterConfig, CommitInfo, InstanceId, SimDuration, SimTime, View,
+};
+use std::collections::HashMap;
+
+/// Runs a cluster where replica `i` follows `behaviors[i]`, returning
+/// per-replica commit logs.
+fn run_mixed(
+    behaviors: &[ByzantineBehavior],
+    shape: impl FnOnce(&mut SimConfig),
+    load: u32,
+) -> Vec<Vec<CommitInfo>> {
+    let n = behaviors.len() as u32;
+    let cluster = ClusterConfig::new(n);
+    let faulty: Vec<bool> = behaviors.iter().map(|b| b.is_faulty()).collect();
+    assert!(
+        faulty.iter().filter(|&&f| f).count() as u32 <= (n - 1) / 3,
+        "test misconfigured: more than f faulty replicas"
+    );
+    let nodes: Vec<SpotLessReplica> = cluster
+        .replicas()
+        .map(|r| {
+            SpotLessReplica::new(ReplicaConfig {
+                cluster: cluster.clone(),
+                me: r,
+                behavior: behaviors[r.as_usize()],
+                faulty: faulty.clone(),
+            })
+        })
+        .collect();
+    let mut cfg = SimConfig::new(cluster);
+    cfg.warmup = SimDuration::from_millis(300);
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.record_commits = true;
+    shape(&mut cfg);
+    let mut sim = Simulation::new(cfg, nodes, ClosedLoopDriver::new(load));
+    sim.run();
+    (0..n).map(|i| sim.commit_log(i).to_vec()).collect()
+}
+
+/// Asserts slot agreement across honest replicas and returns the number
+/// of honest commits checked.
+fn assert_agreement(logs: &[Vec<CommitInfo>], behaviors: &[ByzantineBehavior]) -> usize {
+    let mut per_slot: HashMap<(InstanceId, View), u64> = HashMap::new();
+    let mut checked = 0;
+    for (i, log) in logs.iter().enumerate() {
+        if behaviors[i].is_faulty() {
+            continue;
+        }
+        for c in log {
+            checked += 1;
+            let slot = (c.instance, c.view);
+            match per_slot.entry(slot) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(c.batch.id.0);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(
+                        *e.get(),
+                        c.batch.id.0,
+                        "honest divergence at {:?} view {}",
+                        c.instance,
+                        c.view.0
+                    );
+                }
+            }
+        }
+    }
+    checked
+}
+
+#[test]
+fn equivocator_plus_dark_primary_at_full_f() {
+    // n = 7 ⇒ f = 2: one equivocating replica AND one dark primary at
+    // the same time — the adversary uses its full budget with two
+    // *different* strategies.
+    use ByzantineBehavior::*;
+    let behaviors = [Honest, Honest, Honest, Honest, Honest, Equivocate, DarkPrimary];
+    let logs = run_mixed(&behaviors, |_| {}, 6);
+    let checked = assert_agreement(&logs, &behaviors);
+    assert!(checked > 50, "liveness too weak: {checked} honest commits");
+}
+
+#[test]
+fn crash_plus_equivocate_with_message_loss() {
+    use ByzantineBehavior::*;
+    let behaviors = [Honest, Honest, Honest, Honest, Honest, Crash, Equivocate];
+    let logs = run_mixed(
+        &behaviors,
+        |cfg| {
+            cfg.drop_rate = 0.02;
+            cfg.seed = 0xBAD5EED;
+        },
+        6,
+    );
+    let checked = assert_agreement(&logs, &behaviors);
+    assert!(checked > 20, "liveness too weak: {checked} honest commits");
+}
+
+#[test]
+fn anti_primary_during_partition_heal() {
+    // An A4 attacker (refuses to vote for honest primaries) while an
+    // honest replica is also partitioned away for a window: the cluster
+    // sits exactly at quorum and must still converge after healing.
+    use ByzantineBehavior::*;
+    let behaviors = [Honest, Honest, Honest, AntiPrimary];
+    let logs = run_mixed(
+        &behaviors,
+        |cfg| {
+            cfg.duration = SimDuration::from_secs(4);
+            cfg.timeline_bucket = SimDuration::from_millis(500);
+            cfg.topology.partition_off(
+                &[2],
+                SimTime::ZERO + SimDuration::from_secs(1),
+                SimTime::ZERO + SimDuration::from_secs(2),
+            );
+        },
+        4,
+    );
+    let checked = assert_agreement(&logs, &behaviors);
+    assert!(checked > 20, "liveness too weak: {checked} honest commits");
+    // The healed replica must have caught up: its log may lag but must
+    // not be empty.
+    assert!(
+        !logs[2].is_empty(),
+        "partitioned honest replica never recovered"
+    );
+}
+
+#[test]
+fn thirteen_replicas_with_four_mixed_attackers() {
+    // n = 13 ⇒ f = 4: one of each attack at once.
+    use ByzantineBehavior::*;
+    let mut behaviors = vec![Honest; 13];
+    behaviors[9] = Crash;
+    behaviors[10] = DarkPrimary;
+    behaviors[11] = Equivocate;
+    behaviors[12] = AntiPrimary;
+    let logs = run_mixed(&behaviors, |cfg| cfg.seed = 42, 8);
+    let checked = assert_agreement(&logs, &behaviors);
+    assert!(checked > 100, "liveness too weak: {checked} honest commits");
+}
+
+#[test]
+fn execution_order_identical_under_attack() {
+    // Stronger than slot agreement: the *sequence* of executed slots is
+    // prefix-identical across honest replicas even while an equivocator
+    // is active (total order, §4.1/Figure 6).
+    use ByzantineBehavior::*;
+    let behaviors = [Honest, Honest, Honest, Equivocate];
+    let logs = run_mixed(&behaviors, |cfg| cfg.seed = 7, 4);
+    let honest: Vec<&Vec<CommitInfo>> = logs
+        .iter()
+        .zip(&behaviors)
+        .filter(|(_, b)| !b.is_faulty())
+        .map(|(l, _)| l)
+        .collect();
+    for w in honest.windows(2) {
+        let common = w[0].len().min(w[1].len());
+        assert!(common > 10, "honest replicas executed too little");
+        for (k, (a, b)) in w[0].iter().zip(w[1].iter()).enumerate().take(common) {
+            assert_eq!(
+                (a.view, a.instance, a.batch.id),
+                (b.view, b.instance, b.batch.id),
+                "execution order diverges at slot {k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Liveness: Rapid View Synchronization brings partitioned or lagging
+//! replicas back, and consensus resumes after communication heals
+//! (Theorem 3.11's "sufficiently long synchronous period").
+
+use spotless::core::{ReplicaConfig, SpotLessReplica};
+use spotless::simnet::{ClosedLoopDriver, SimConfig, Simulation};
+use spotless::types::{ClusterConfig, SimDuration, SimTime};
+
+fn honest(cluster: &ClusterConfig) -> Vec<SpotLessReplica> {
+    cluster
+        .replicas()
+        .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+        .collect()
+}
+
+#[test]
+fn progress_resumes_after_minority_partition_heals() {
+    // Cut one replica off for a second; it must re-synchronize through
+    // the f+1 view jump + Υ retransmission and the cluster must keep
+    // committing both during and after the partition.
+    let cluster = ClusterConfig::new(4);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(300);
+    cfg.duration = SimDuration::from_secs(4);
+    cfg.timeline_bucket = SimDuration::from_millis(500);
+    cfg.topology.partition_off(
+        &[3],
+        SimTime::ZERO + SimDuration::from_secs(1),
+        SimTime::ZERO + SimDuration::from_secs(2),
+    );
+    let report = Simulation::new(cfg, honest(&cluster), ClosedLoopDriver::new(4)).run();
+    assert!(report.txns > 500, "progress overall: {}", report.txns);
+    // Throughput in the final second (well after healing) must be alive.
+    let tail: f64 = report
+        .timeline
+        .iter()
+        .filter(|(t, _)| *t >= 3.0)
+        .map(|(_, tps)| *tps)
+        .sum();
+    assert!(tail > 0.0, "no progress after healing: {:?}", report.timeline);
+}
+
+#[test]
+fn progress_resumes_after_majority_loss_window() {
+    // Harsher: partition TWO of four replicas away (no quorum possible
+    // during the window — n − f = 3 needs 3 connected replicas), then
+    // heal. Nothing can commit during the window; RVS must resynchronize
+    // both sides afterwards.
+    let cluster = ClusterConfig::new(4);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.warmup = SimDuration::from_millis(300);
+    cfg.duration = SimDuration::from_secs(5);
+    cfg.timeline_bucket = SimDuration::from_millis(500);
+    cfg.topology.partition_off(
+        &[2, 3],
+        SimTime::ZERO + SimDuration::from_secs(1),
+        SimTime::ZERO + SimDuration::from_millis(2500),
+    );
+    let report = Simulation::new(cfg, honest(&cluster), ClosedLoopDriver::new(4)).run();
+    let tail: f64 = report
+        .timeline
+        .iter()
+        .filter(|(t, _)| *t >= 4.0)
+        .map(|(_, tps)| *tps)
+        .sum();
+    assert!(
+        tail > 0.0,
+        "cluster failed to recover after quorum-loss window: {:?}",
+        report.timeline
+    );
+}
+
+#[test]
+fn lossy_network_with_crashes_still_progresses() {
+    // Drops + a crash together: the Υ retransmission loop (§3.5) must
+    // cover the lost Syncs while rotation walks past the dead primary.
+    let cluster = ClusterConfig::new(7); // f = 2
+    let mut cfg = SimConfig::new(cluster.clone()).with_crashed(1);
+    cfg.drop_rate = 0.02;
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.duration = SimDuration::from_secs(3);
+    let report = Simulation::new(cfg, honest(&cluster), ClosedLoopDriver::new(3)).run();
+    assert!(
+        report.txns > 100,
+        "no progress under drops+crash: {}",
+        report.txns
+    );
+}
+
+#[test]
+fn f_crashes_plus_loss_is_slow_but_safe_and_committing() {
+    // The extreme combination: f crashes make the strong quorum equal to
+    // the exact set of live replicas, so under sustained message loss
+    // *every* quorum rides on §3.5 retransmission rounds — views crawl.
+    // The paper never combines both faults; liveness is only promised
+    // under sufficiently long synchrony (§2). We assert the honest
+    // degradation mode: instances keep committing (safety + per-instance
+    // progress) even though few client batches complete within a short
+    // window (the cross-instance execution barrier waits for the
+    // slowest instance).
+    let cluster = ClusterConfig::new(7); // f = 2
+    let mut cfg = SimConfig::new(cluster.clone()).with_crashed(2);
+    cfg.drop_rate = 0.05;
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.duration = SimDuration::from_secs(8);
+    let mut sim = Simulation::new(cfg, honest(&cluster), ClosedLoopDriver::new(3));
+    let _ = sim.run();
+    let committing_instances = (0..cluster.m)
+        .filter(|&i| {
+            sim.node(0)
+                .instance(spotless::types::InstanceId(i))
+                .committed_head()
+                .is_some()
+        })
+        .count();
+    assert!(
+        committing_instances >= 4,
+        "only {committing_instances}/7 instances committed under f crashes + 5% loss"
+    );
+}
+
+#[test]
+fn geo_distributed_cluster_commits() {
+    // Four regions (Figure 14(c,d) topology): latency grows, liveness
+    // must not depend on LAN timings thanks to the adaptive timers.
+    let cluster = ClusterConfig::new(8);
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.topology = spotless::simnet::Topology::global(8, 4);
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.duration = SimDuration::from_secs(3);
+    let report = Simulation::new(cfg, honest(&cluster), ClosedLoopDriver::new(8)).run();
+    assert!(report.txns > 500, "geo progress: {}", report.txns);
+    // Cross-continent links: latency must reflect the topology (more
+    // than a pure LAN run would show).
+    assert!(
+        report.avg_latency_s > 0.03,
+        "geo latency implausibly low: {}",
+        report.avg_latency_s
+    );
+}
+
+#[test]
+fn adaptive_timers_shrink_after_recovery() {
+    // After an idle/failed period inflates t_R (+ε per §3.5), fast
+    // proposals must halve it back down — observable as throughput in
+    // the final window comparable to a run without the disturbance.
+    let cluster = ClusterConfig::new(4);
+    let mk = |partition: bool| {
+        let mut cfg = SimConfig::new(cluster.clone());
+        cfg.warmup = SimDuration::from_millis(300);
+        cfg.duration = SimDuration::from_secs(5);
+        cfg.timeline_bucket = SimDuration::from_millis(1000);
+        if partition {
+            cfg.topology.partition_off(
+                &[3],
+                SimTime::ZERO + SimDuration::from_millis(800),
+                SimTime::ZERO + SimDuration::from_millis(1600),
+            );
+        }
+        Simulation::new(cfg, honest(&cluster), ClosedLoopDriver::new(4)).run()
+    };
+    let disturbed = mk(true);
+    let calm = mk(false);
+    let last = |r: &spotless::simnet::SimReport| {
+        r.timeline
+            .iter()
+            .filter(|(t, _)| *t >= 4.0)
+            .map(|(_, tps)| *tps)
+            .sum::<f64>()
+    };
+    let disturbed_tail = last(&disturbed);
+    let calm_tail = last(&calm);
+    assert!(
+        disturbed_tail > 0.35 * calm_tail,
+        "timers failed to re-adapt: disturbed tail {disturbed_tail} vs calm {calm_tail}"
+    );
+}

@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! protocol under randomized adversarial schedules.
+
+use proptest::prelude::*;
+use spotless::core::{ReplicaConfig, SpotLessReplica};
+use spotless::crypto::{hmac_sha256, Sha256};
+use spotless::simnet::{ClosedLoopDriver, SimConfig, Simulation};
+use spotless::types::{ClusterConfig, InstanceId, ReplicaId, ReplicaSet, SimDuration, View};
+use spotless::workload::{decode_txns, encode_txns, Operation, Transaction};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quorum arithmetic invariants hold for every legal cluster size:
+    /// two strong quorums intersect in a weak quorum (the heart of
+    /// Theorem 3.2), and strong quorums exclude all faulty replicas.
+    #[test]
+    fn quorum_intersection(n in 4u32..400) {
+        let c = ClusterConfig::new(n);
+        prop_assert!(c.n > 3 * c.f());
+        prop_assert!(2 * c.quorum() >= c.n + c.weak_quorum());
+        prop_assert!(c.quorum() + c.f() <= c.n);
+        prop_assert!(c.weak_quorum() > c.f());
+    }
+
+    /// Primary rotation is a bijection per view: in any view, distinct
+    /// instances have distinct primaries, and every replica leads
+    /// exactly m/n of the instance-slots over n consecutive views.
+    #[test]
+    fn rotation_is_fair(n in 4u32..65, v0 in 0u64..1000) {
+        let c = ClusterConfig::new(n);
+        let mut counts = vec![0u32; n as usize];
+        for dv in 0..n as u64 {
+            let mut seen = std::collections::HashSet::new();
+            for i in c.instances() {
+                let p = c.primary_of(i, View(v0 + dv));
+                prop_assert!(seen.insert(p));
+                counts[p.as_usize()] += 1;
+            }
+        }
+        // Over n views with m = n instances, everyone leads n slots.
+        prop_assert!(counts.iter().all(|&k| k == n));
+    }
+
+    /// ReplicaSet behaves like a set of u32 under arbitrary inserts.
+    #[test]
+    fn replica_set_matches_hashset(ids in prop::collection::vec(0u32..300, 0..120)) {
+        let mut bits = ReplicaSet::new(64);
+        let mut reference = std::collections::HashSet::new();
+        for &id in &ids {
+            prop_assert_eq!(bits.insert(ReplicaId(id)), reference.insert(id));
+        }
+        prop_assert_eq!(bits.len() as usize, reference.len());
+        for &id in &ids {
+            prop_assert!(bits.contains(ReplicaId(id)));
+        }
+        let collected: Vec<u32> = bits.iter().map(|r| r.0).collect();
+        let mut expect: Vec<u32> = reference.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(collected, expect);
+    }
+
+    /// The from-scratch SHA-256 matches the reference implementation on
+    /// arbitrary inputs (extends the fixed NIST vectors).
+    #[test]
+    fn sha256_matches_reference(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        use sha2::Digest as _;
+        let ours = Sha256::digest(&data);
+        let theirs: [u8; 32] = sha2::Sha256::digest(&data).into();
+        prop_assert_eq!(ours, theirs);
+    }
+
+    /// HMAC-SHA256 matches the reference on arbitrary keys/messages.
+    #[test]
+    fn hmac_matches_reference(
+        key in prop::collection::vec(any::<u8>(), 0..150),
+        msg in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        use hmac::Mac as _;
+        let ours = hmac_sha256(&key, &msg);
+        let mut reference = hmac::Hmac::<sha2::Sha256>::new_from_slice(&key).unwrap();
+        reference.update(&msg);
+        prop_assert_eq!(&ours[..], &reference.finalize().into_bytes()[..]);
+    }
+
+    /// Transaction codec round-trips arbitrary transaction lists.
+    #[test]
+    fn txn_codec_roundtrip(
+        txns in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), prop::option::of(prop::collection::vec(any::<u8>(), 0..64))),
+            0..40,
+        )
+    ) {
+        let txns: Vec<Transaction> = txns
+            .into_iter()
+            .map(|(id, key, write)| Transaction {
+                id,
+                op: match write {
+                    Some(value) => Operation::Update { key, value },
+                    None => Operation::Read { key },
+                },
+            })
+            .collect();
+        let encoded = encode_txns(&txns);
+        prop_assert_eq!(decode_txns(&encoded), Some(txns));
+    }
+
+    /// Arbitrary payload bytes never panic the decoder (defensive parse).
+    #[test]
+    fn txn_decoder_handles_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_txns(&bytes); // must not panic
+    }
+}
+
+proptest! {
+    // Simulation-backed properties are slower: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Liveness + determinism under random drop rates and seeds: the
+    /// cluster always makes progress below the (generous) drop ceiling,
+    /// and equal seeds reproduce byte-identical counters.
+    #[test]
+    fn progress_under_random_drops(seed in 0u64..5000, drops in 0.0f64..0.08) {
+        let cluster = ClusterConfig::new(4);
+        let build = || -> Vec<SpotLessReplica> {
+            cluster
+                .replicas()
+                .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+                .collect()
+        };
+        let mut cfg = SimConfig::new(cluster.clone());
+        cfg.seed = seed;
+        cfg.drop_rate = drops;
+        cfg.warmup = SimDuration::from_millis(300);
+        cfg.duration = SimDuration::from_millis(1200);
+        let a = Simulation::new(cfg.clone(), build(), ClosedLoopDriver::new(3)).run();
+        prop_assert!(a.txns > 0, "no progress at drop rate {drops} (seed {seed})");
+        let b = Simulation::new(cfg, build(), ClosedLoopDriver::new(3)).run();
+        prop_assert_eq!(a.txns, b.txns);
+        prop_assert_eq!(a.protocol_msgs, b.protocol_msgs);
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// Single-instance SpotLess also stays live under random crash sets
+    /// of size ≤ f (rotation + RVS walk past dead primaries).
+    #[test]
+    fn single_instance_survives_random_crashes(seed in 0u64..1000, crash_pick in 1u32..7) {
+        let cluster = ClusterConfig::with_instances(7, 1); // f = 2
+        let nodes: Vec<SpotLessReplica> = cluster
+            .replicas()
+            .map(|r| SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), r)))
+            .collect();
+        let mut cfg = SimConfig::new(cluster);
+        cfg.seed = seed;
+        // Crash one arbitrary non-zero replica (keeps the client homes
+        // mostly alive; retry logic covers the crashed home).
+        cfg.crash_at[crash_pick as usize] = Some(spotless::types::SimTime::ZERO);
+        cfg.warmup = SimDuration::from_millis(300);
+        cfg.duration = SimDuration::from_secs(2);
+        let report = Simulation::new(cfg, nodes, ClosedLoopDriver::new(3)).run();
+        prop_assert!(report.txns > 0, "stalled with crash at {crash_pick} (seed {seed})");
+    }
+}
+
+/// Routing sanity outside proptest: instance routing is total and stable.
+#[test]
+fn instance_routing_is_total() {
+    let c = ClusterConfig::with_instances(16, 16);
+    for tag in 0..1000u64 {
+        let i = c.instance_for_digest(tag);
+        assert!(i.as_usize() < 16);
+        assert_eq!(i, c.instance_for_digest(tag));
+    }
+    let _ = InstanceId(0);
+}
