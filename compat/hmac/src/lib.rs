@@ -1,0 +1,127 @@
+//! Offline stand-in for `hmac`: RFC 2104 HMAC generic over the `sha2`
+//! stand-in's [`Digest`] trait (SHA-256's 64-byte block size is
+//! hard-wired, which is the only instantiation the workspace uses).
+//! Serves as the *reference* implementation the property tests check
+//! `spotless-crypto`'s from-scratch HMAC against; verified here against
+//! RFC 4231 vectors.
+
+use sha2::Digest;
+
+const BLOCK_LEN: usize = 64;
+
+/// The `Mac` trait subset used by the workspace.
+pub trait Mac: Sized {
+    /// Absorbs message bytes.
+    fn update(&mut self, data: &[u8]);
+    /// Finishes the computation.
+    fn finalize(self) -> MacOutput;
+}
+
+/// Result wrapper mirroring `hmac`'s `CtOutput`.
+pub struct MacOutput(pub [u8; 32]);
+
+impl MacOutput {
+    /// The raw tag bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+}
+
+/// Key-length error (never actually produced: any length is accepted,
+/// matching HMAC's definition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLength;
+
+impl std::fmt::Display for InvalidLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid key length")
+    }
+}
+
+impl std::error::Error for InvalidLength {}
+
+/// HMAC state over digest `D`.
+pub struct Hmac<D: Digest> {
+    inner: D,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Builds the MAC from a key of any length.
+    pub fn new_from_slice(key: &[u8]) -> Result<Hmac<D>, InvalidLength> {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest: [u8; 32] = D::digest(key).into();
+            padded[..32].copy_from_slice(&digest);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = padded;
+        let mut opad_key = padded;
+        for byte in &mut ipad_key {
+            *byte ^= 0x36;
+        }
+        for byte in &mut opad_key {
+            *byte ^= 0x5c;
+        }
+        let mut inner = D::new();
+        inner.update(ipad_key);
+        Ok(Hmac { inner, opad_key })
+    }
+}
+
+impl<D: Digest> Mac for Hmac<D> {
+    fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    fn finalize(self) -> MacOutput {
+        let inner_digest: [u8; 32] = self.inner.finalize().into();
+        let mut outer = D::new();
+        outer.update(self.opad_key);
+        outer.update(inner_digest);
+        MacOutput(outer.finalize().into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn run(key: &[u8], msg: &[u8]) -> String {
+        let mut mac = Hmac::<sha2::Sha256>::new_from_slice(key).unwrap();
+        mac.update(msg);
+        hex(&mac.finalize().into_bytes())
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        assert_eq!(
+            run(&[0x0b; 20], b"Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            run(b"Jefe", b"what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        assert_eq!(
+            run(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            ),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha12Rng`] runs the genuine ChaCha block function with 12
+//! rounds over a 32-byte key. The word stream is **not** guaranteed to
+//! be bit-identical to the upstream crate's (upstream also mixes the
+//! stream id differently for `seed_from_u64`) — the workspace only
+//! relies on determinism for a given seed, which holds.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A deterministic ChaCha12-based generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u64; 8],
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..6 {
+            // Two rounds per iteration: one column, one diagonal.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, start) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(start);
+        }
+        for (i, pair) in state.chunks(2).enumerate() {
+            self.buffer[i] = u64::from(pair[0]) | (u64::from(pair[1]) << 32);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.index >= self.buffer.len() {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaCha12Rng {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            buffer: [0; 8],
+            index: usize::MAX, // force refill on first draw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn stream_looks_nondegenerate() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(rng.next_u64());
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+}

@@ -1,0 +1,514 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the stand-in `serde` crate's value-model traits. With no access to
+//! `syn`/`quote`, the item is parsed directly from the raw
+//! `proc_macro::TokenStream` and the impl is emitted as formatted source
+//! text. Supported shapes are exactly what this workspace uses: unit /
+//! tuple / named structs and enums whose variants are unit, tuple, or
+//! struct-like — all without generics. Recognized field attributes:
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Wire shape (shared contract with the `serde` stand-in):
+//! - named struct      → object of fields
+//! - tuple struct      → array of fields (single-field: the field itself)
+//! - unit enum variant → the variant name as a string
+//! - tuple variant     → `{ "Variant": payload }` (array if arity > 1)
+//! - struct variant    → `{ "Variant": { fields } }`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field `#[serde(...)]` attributes this stand-in understands.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` for the annotated item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` for the annotated item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive emitted invalid code: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Outer attributes and visibility before the item keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Input { name, kind })
+}
+
+/// Counts the top-level comma-separated fields of a tuple body,
+/// tracking `<`/`>` depth so generic arguments don't split fields.
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                saw_any = true;
+                angle_depth += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_any = false;
+            }
+            _ => saw_any = true,
+        }
+    }
+    arity + usize::from(saw_any)
+}
+
+/// Parses `#[serde(...)]` argument tokens into [`FieldAttrs`].
+fn parse_serde_args(args: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "default" => {
+                    attrs.default = true;
+                    i += 1;
+                }
+                "skip_serializing_if" => {
+                    let lit = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            lit.to_string()
+                        }
+                        _ => return Err("malformed skip_serializing_if".into()),
+                    };
+                    attrs.skip_serializing_if = Some(lit.trim_matches('"').to_string());
+                    i += 3;
+                }
+                other => return Err(format!("unsupported serde attribute `{other}`")),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => return Err(format!("unexpected serde attribute token {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        // Field attributes (capture serde ones, skip the rest).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" {
+                        parse_serde_args(args.stream(), &mut attrs)?;
+                    }
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Variant attributes (doc comments etc.) — skipped.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let data = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantData::Tuple(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Named(
+                    parse_named_fields(g.stream())?
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip a possible discriminant, up to the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::ser(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let mut code =
+                String::from("let mut pairs: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let push = format!(
+                    "pairs.push((\"{n}\".to_string(), ::serde::Serialize::ser(&self.{n})));",
+                    n = f.name
+                );
+                match &f.attrs.skip_serializing_if {
+                    Some(pred) => {
+                        code.push_str(&format!("if !{pred}(&self.{n}) {{ {push} }}\n", n = f.name))
+                    }
+                    None => {
+                        code.push_str(&push);
+                        code.push('\n');
+                    }
+                }
+            }
+            code.push_str("::serde::Value::Object(pairs.into_iter().collect())");
+            code
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::ser(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::ser({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(\
+                             vec![(\"{vn}\".to_string(), {payload})].into_iter().collect()),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::ser({f}))"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(\
+                             vec![(\"{vn}\".to_string(), ::serde::Value::Object(\
+                             vec![{items}].into_iter().collect()))].into_iter().collect()),\n",
+                            binds = fields.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn ser(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("let _ = v; Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::de(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::de(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong arity for {name}\")); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                let missing = if f.attrs.default {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!("return Err(::serde::Error::custom(\"missing field `{n}` in {name}\"))")
+                };
+                inits.push_str(&format!(
+                    "{n}: match v.get(\"{n}\") {{ \
+                     Some(x) => ::serde::Deserialize::de(x)?, \
+                     None => {missing} }},\n"
+                ));
+            }
+            format!(
+                "if v.as_object().is_none() {{ return Err(::serde::Error::custom(\
+                 \"expected object for {name}\")); }}\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantData::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::de(payload)?)),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::de(&items[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload\"))?;\n\
+                             if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong arity for {name}::{vn}\")); }}\n\
+                             Ok({name}::{vn}({items}))\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: match payload.get(\"{f}\") {{ \
+                                 Some(x) => ::serde::Deserialize::de(x)?, \
+                                 None => return Err(::serde::Error::custom(\
+                                 \"missing field `{f}` in {name}::{vn}\")) }},\n"
+                            ));
+                        }
+                        keyed_arms
+                            .push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let mut it = m.iter();\n\
+                 let (key, payload) = match (it.next(), it.next()) {{\n\
+                 (Some((k, p)), None) => (k.as_str(), p),\n\
+                 _ => return Err(::serde::Error::custom(\
+                 \"expected single-key object for {name}\")),\n\
+                 }};\n\
+                 match key {{\n\
+                 {keyed_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::custom(\"expected string or object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn de(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             {body}\n}}\n\
+         }}"
+    )
+}

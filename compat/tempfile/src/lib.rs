@@ -1,0 +1,60 @@
+//! Offline stand-in for `tempfile` (the [`tempdir`]/[`TempDir`] subset).
+//!
+//! Directories are created under `std::env::temp_dir()` with a name
+//! derived from the process id, a per-process counter, and the wall
+//! clock, and removed (recursively) on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted when the handle drops.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the handle without deleting the directory.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh temporary directory.
+pub fn tempdir() -> std::io::Result<TempDir> {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    for attempt in 0..64u32 {
+        let name = format!(
+            "spotless-{}-{}-{}-{}",
+            std::process::id(),
+            nanos,
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+            attempt,
+        );
+        let path = std::env::temp_dir().join(name);
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(std::io::Error::other("could not create unique temp dir"))
+}

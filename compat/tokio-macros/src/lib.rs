@@ -1,0 +1,92 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! `#[tokio::main]` and `#[tokio::test]` rewrite `async fn name() {
+//! body }` into a synchronous function whose body runs under
+//! `tokio::block_on`. Attribute arguments (`flavor = "multi_thread"`,
+//! `worker_threads = N`, …) are accepted and ignored — the stand-in
+//! executor is always one thread per task. Parsing is deliberately
+//! narrow: zero-argument `async fn` items, which is all the workspace's
+//! examples and tests use.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Rewrites an async `main` to run under the stand-in executor.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// Rewrites an async test to a plain `#[test]` running under the
+/// stand-in executor.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+fn rewrite(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0usize;
+
+    let mut prefix = String::new(); // attributes + visibility, verbatim
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                prefix.push_str(&tokens[i].to_string());
+                prefix.push_str(&tokens[i + 1].to_string());
+                prefix.push('\n');
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                prefix.push_str("pub ");
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        prefix.push_str(&tokens[i].to_string());
+                        prefix.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "async" => i += 1,
+        _ => return error("expected `async fn`"),
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "fn" => i += 1,
+        _ => return error("expected `fn` after `async`"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return error("expected function name"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && g.stream().is_empty() =>
+        {
+            i += 1;
+        }
+        _ => return error("only zero-argument async fns are supported"),
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return error("expected function body"),
+    };
+
+    let test_attr = if is_test {
+        "#[::core::prelude::v1::test]\n"
+    } else {
+        ""
+    };
+    format!("{test_attr}{prefix}fn {name}() {{ ::tokio::block_on(async move {{ {body} }}) }}")
+        .parse()
+        .unwrap_or_else(|e| error(&format!("tokio-macros emitted invalid code: {e}")))
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}

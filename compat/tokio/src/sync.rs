@@ -1,0 +1,222 @@
+//! `mpsc` (unbounded) and `oneshot` channels whose receive futures block
+//! inside `poll` — each task owns a thread, so blocking is harmless.
+
+/// Unbounded multi-producer single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half.
+    pub struct UnboundedSender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half.
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiver was dropped; the value comes back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            UnboundedSender { chan: chan.clone() },
+            UnboundedReceiver { chan },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Enqueues `value`; fails iff the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            UnboundedSender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Waits for the next value; `None` once all senders are dropped
+        /// and the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Some(value);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self.chan.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking variant.
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.chan.state.lock().unwrap().queue.pop_front()
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().unwrap().receiver_alive = false;
+        }
+    }
+}
+
+/// One-shot value channel.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll};
+
+    struct State<T> {
+        value: Option<T>,
+        sender_alive: bool,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half (consumed by [`Sender::send`]).
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+        sent: bool,
+    }
+
+    /// Receiving half; awaiting it yields `Result<T, RecvError>`.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The sender was dropped without sending.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "oneshot sender dropped")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                value: None,
+                sender_alive: true,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: chan.clone(),
+                sent: false,
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`; fails (returning it) if the receiver is gone.
+        pub fn send(mut self, value: T) -> Result<(), T> {
+            let mut state = self.chan.state.lock().unwrap();
+            if !state.receiver_alive {
+                return Err(value);
+            }
+            state.value = Some(value);
+            self.sent = true;
+            self.chan.ready.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if !self.sent {
+                self.chan.state.lock().unwrap().sender_alive = false;
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.value.take() {
+                    return Poll::Ready(Ok(value));
+                }
+                if !state.sender_alive {
+                    return Poll::Ready(Err(RecvError));
+                }
+                state = self.chan.ready.wait(state).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Task handles for the thread-per-task executor.
+
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll};
+use std::thread;
+
+/// The spawned task panicked (tokio would also report cancellation;
+/// aborts here are cooperative and never produce an error by themselves).
+#[derive(Debug)]
+pub struct JoinError(pub(crate) String);
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinState<T> {
+    slot: Mutex<Option<Result<T, JoinError>>>,
+    done: Condvar,
+    aborted: AtomicBool,
+}
+
+/// Handle to a spawned task. Awaiting it blocks (on this thread) until
+/// the task's thread finishes.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Requests cooperative cancellation. The backing thread cannot be
+    /// killed; tasks in this workspace exit via explicit shutdown
+    /// messages, so this only flags the task as detached.
+    pub fn abort(&self) {
+        self.state.aborted.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the task has produced its output.
+    pub fn is_finished(&self) -> bool {
+        self.state.slot.lock().unwrap().is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(out) = slot.take() {
+                return Poll::Ready(out);
+            }
+            slot = self.state.done.wait(slot).unwrap();
+        }
+    }
+}
+
+pub(crate) fn spawn_thread<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(JoinState {
+        slot: Mutex::new(None),
+        done: Condvar::new(),
+        aborted: AtomicBool::new(false),
+    });
+    let task_state = state.clone();
+    thread::Builder::new()
+        .name("tokio-compat-task".into())
+        .spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| crate::block_on(fut)))
+                .map_err(|p| JoinError(panic_message(&p)));
+            *task_state.slot.lock().unwrap() = Some(out);
+            task_state.done.notify_all();
+        })
+        .expect("failed to spawn task thread");
+    JoinHandle { state }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}

@@ -1,0 +1,29 @@
+//! Wall-clock time utilities.
+
+use std::time::Duration;
+
+/// Re-exported monotonic instant (tokio wraps std's too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instant(std::time::Instant);
+
+impl Instant {
+    /// The current instant.
+    pub fn now() -> Instant {
+        Instant(std::time::Instant::now())
+    }
+
+    /// Time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Duration since an earlier instant.
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.0.duration_since(earlier.0)
+    }
+}
+
+/// Sleeps for `duration` (blocks this task's thread).
+pub async fn sleep(duration: Duration) {
+    std::thread::sleep(duration);
+}

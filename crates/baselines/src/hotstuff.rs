@@ -25,8 +25,8 @@ use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
 use spotless_types::{
     BatchId, ByzantineBehavior, ClientBatch, ClusterConfig, CommitInfo, Context, CryptoCosts,
-    Digest, Input, InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel, TimerId,
-    TimerKind, View,
+    Digest, Input, InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel, TimerId, TimerKind,
+    View,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -170,8 +170,7 @@ impl ProtocolMessage for HsMessage {
                 costs.verify_ns + costs.verify_k(high_qc.map(|q| q.signers).unwrap_or(0))
             }
             HsMessage::WorkerBatch(b) => {
-                costs.mac_ns
-                    + costs.hash_ns_per_byte * u64::from(b.txns) * u64::from(b.txn_size)
+                costs.mac_ns + costs.hash_ns_per_byte * u64::from(b.txns) * u64::from(b.txn_size)
             }
             HsMessage::BatchAck { .. } => costs.verify_ns,
             HsMessage::BatchCert(b) => costs.verify_k(b.cert_signers()),
@@ -337,10 +336,8 @@ impl HotStuffReplica {
         if self.leader_of(self.view) != self.me || self.proposed_view == Some(self.view) {
             return;
         }
-        let have_qc = self
-            .high_qc
-            .is_some_and(|q| q.view.next() == self.view)
-            || self.view == View::ZERO;
+        let have_qc =
+            self.high_qc.is_some_and(|q| q.view.next() == self.view) || self.view == View::ZERO;
         let have_newviews = self
             .newviews
             .get(&self.view)
@@ -879,8 +876,11 @@ mod tests {
         assert_eq!(hs.timeout().as_nanos(), 2 * t0.as_nanos());
         assert_eq!(hs.view(), View(1));
         // NewView sent to the view-1 leader.
-        assert!(ctx.sent.iter().any(|(to, m)| matches!(m, HsMessage::NewView { .. })
-            && *to == Some(NodeId::Replica(ReplicaId(1)))));
+        assert!(ctx
+            .sent
+            .iter()
+            .any(|(to, m)| matches!(m, HsMessage::NewView { .. })
+                && *to == Some(NodeId::Replica(ReplicaId(1)))));
     }
 
     #[test]

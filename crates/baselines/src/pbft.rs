@@ -178,11 +178,7 @@ impl PbftReplica {
     /// round-interleaved execution barrier when this instance is idle
     /// while others have committed work waiting — the same role §5's
     /// no-op proposals play in SpotLess.
-    pub fn fill_noops_to(
-        &mut self,
-        target: u64,
-        ctx: &mut dyn Context<Message = PbftMessage>,
-    ) {
+    pub fn fill_noops_to(&mut self, target: u64, ctx: &mut dyn Context<Message = PbftMessage>) {
         if !self.is_primary() {
             return;
         }
@@ -461,7 +457,10 @@ impl PbftReplica {
 
     fn on_progress_timer(&mut self, ctx: &mut dyn Context<Message = PbftMessage>) {
         let stuck = self.next_exec == self.last_progress_mark
-            && (self.slots.values().any(|s| s.batch.is_some() && !s.executed)
+            && (self
+                .slots
+                .values()
+                .any(|s| s.batch.is_some() && !s.executed)
                 || !self.mempool.is_empty());
         self.last_progress_mark = self.next_exec;
         if stuck {
@@ -554,7 +553,11 @@ impl PbftReplica {
 impl Node for PbftReplica {
     type Message = PbftMessage;
 
-    fn on_input(&mut self, input: Input<PbftMessage>, ctx: &mut dyn Context<Message = PbftMessage>) {
+    fn on_input(
+        &mut self,
+        input: Input<PbftMessage>,
+        ctx: &mut dyn Context<Message = PbftMessage>,
+    ) {
         self.handle(input, ctx);
     }
 }

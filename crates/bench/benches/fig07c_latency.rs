@@ -11,7 +11,13 @@ use spotless_bench::{big_n, ktps, lat, run, FigureTable, Protocol, RunSpec};
 fn main() {
     let mut table = FigureTable::new(
         "fig07c_latency",
-        &["load (batches/primary)", "protocol", "throughput", "avg latency", "p99"],
+        &[
+            "load (batches/primary)",
+            "protocol",
+            "throughput",
+            "avg latency",
+            "p99",
+        ],
     );
     for load in [1u32, 2, 4, 8, 16, 32, 64, 128] {
         for protocol in Protocol::all() {

@@ -18,7 +18,13 @@ fn main() {
     };
     let mut table = FigureTable::new(
         "fig08_failures_scale",
-        &["n", "faulty", "ratio of f", "throughput", "loss vs 0 faults"],
+        &[
+            "n",
+            "faulty",
+            "ratio of f",
+            "throughput",
+            "loss vs 0 faults",
+        ],
     );
     for n in sizes {
         let f = ClusterConfig::new(n).f();

@@ -16,7 +16,13 @@ fn main() {
     let loads: Vec<u32> = vec![12, 25, 50, 100, 200];
     let mut table = FigureTable::new(
         "fig10_parallelism",
-        &["batches/primary", "failures", "protocol", "throughput", "avg latency"],
+        &[
+            "batches/primary",
+            "failures",
+            "protocol",
+            "throughput",
+            "avg latency",
+        ],
     );
     for &load in &loads {
         for crashes in [0u32, 1, f] {

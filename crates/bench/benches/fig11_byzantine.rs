@@ -21,7 +21,13 @@ fn main() {
     ];
     let mut table = FigureTable::new(
         "fig11_byzantine",
-        &["attack", "byzantine", "ratio of f", "protocol", "throughput"],
+        &[
+            "attack",
+            "byzantine",
+            "ratio of f",
+            "protocol",
+            "throughput",
+        ],
     );
     for ratio in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
         let count = (ratio * f as f64).round() as u32;

@@ -178,8 +178,12 @@ mod tests {
         let mut c = SpotLessClient::new(ClusterConfig::new(4));
         c.submit(batch(1), ReplicaId(0), SimTime::ZERO);
         let r = Digest::from_u64(5);
-        assert!(c.on_inform(ReplicaId(0), BatchId(1), r, SimTime(1)).is_none());
-        assert!(c.on_inform(ReplicaId(0), BatchId(1), r, SimTime(2)).is_none());
+        assert!(c
+            .on_inform(ReplicaId(0), BatchId(1), r, SimTime(1))
+            .is_none());
+        assert!(c
+            .on_inform(ReplicaId(0), BatchId(1), r, SimTime(2))
+            .is_none());
     }
 
     #[test]

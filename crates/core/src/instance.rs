@@ -333,9 +333,8 @@ impl InstanceState {
         self.round_ewma = if self.round_ewma == SimDuration::ZERO {
             delay
         } else {
-            let decayed = SimDuration::from_nanos(
-                (self.round_ewma.as_nanos() * 7 + delay.as_nanos()) / 8,
-            );
+            let decayed =
+                SimDuration::from_nanos((self.round_ewma.as_nanos() * 7 + delay.as_nanos()) / 8);
             decayed.max(delay)
         };
     }
@@ -858,12 +857,7 @@ impl InstanceState {
 
     /// `f + 1` matching claims (Figure 3 lines 24–28): echo the claim if
     /// we have not voted, and fetch the body if we do not know it.
-    fn on_weak_claim_quorum(
-        &mut self,
-        c: ProposalRef,
-        sh: &Shared<'_>,
-        out: &mut Outbox<'_, '_>,
-    ) {
+    fn on_weak_claim_quorum(&mut self, c: ProposalRef, sh: &Shared<'_>, out: &mut Outbox<'_, '_>) {
         let body = self.proposals.get(&c.digest).cloned();
         if c.view == self.view
             && self.phase == Phase::Recording
@@ -926,10 +920,7 @@ impl InstanceState {
         }
         // Backfill Sync(u, claim(∅), CP, Υ) for the skipped views so
         // others can help us recover (bounded; see JUMP_BACKFILL).
-        let lo = self
-            .view
-            .0
-            .max(target.0.saturating_sub(JUMP_BACKFILL - 1));
+        let lo = self.view.0.max(target.0.saturating_sub(JUMP_BACKFILL - 1));
         for u in lo..target.0 {
             let u = View(u);
             if self.own_syncs.contains_key(&u) {
@@ -1009,12 +1000,7 @@ impl InstanceState {
     // Conditional prepare / commit machinery (§3.3)
     // ------------------------------------------------------------------
 
-    fn conditionally_prepare(
-        &mut self,
-        r: ProposalRef,
-        sh: &Shared<'_>,
-        out: &mut Outbox<'_, '_>,
-    ) {
+    fn conditionally_prepare(&mut self, r: ProposalRef, sh: &Shared<'_>, out: &mut Outbox<'_, '_>) {
         if r.view < self.gc_floor {
             return;
         }

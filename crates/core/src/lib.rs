@@ -35,7 +35,7 @@ pub mod replica;
 pub mod util;
 
 pub use client::{Completion, SpotLessClient};
-pub use mempool::{Admission, Mempool, MempoolStats};
 pub use instance::{InstanceState, Phase};
+pub use mempool::{Admission, Mempool, MempoolStats};
 pub use messages::{Justification, JustificationKind, Message, Proposal, ProposalRef, SyncMsg};
 pub use replica::{ReplicaConfig, SpotLessReplica};

@@ -11,9 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
-use spotless_types::{
-    ClientBatch, CryptoCosts, Digest, InstanceId, SizeModel, View,
-};
+use spotless_types::{ClientBatch, CryptoCosts, Digest, InstanceId, SizeModel, View};
 use std::sync::Arc;
 
 /// A (view, digest) reference to a proposal — the content of a `claim(P)`
@@ -262,7 +260,12 @@ mod tests {
         let p2 = Proposal::new(InstanceId(0), View(2), batch(1), j);
         let p3 = Proposal::new(InstanceId(1), View(1), batch(1), j);
         let p4 = Proposal::new(InstanceId(0), View(1), batch(2), j);
-        let p5 = Proposal::new(InstanceId(0), View(1), batch(1), Justification::certificate(p1.reference()));
+        let p5 = Proposal::new(
+            InstanceId(0),
+            View(1),
+            batch(1),
+            Justification::certificate(p1.reference()),
+        );
         let digests = [p1.digest, p2.digest, p3.digest, p4.digest, p5.digest];
         for i in 0..digests.len() {
             for j in i + 1..digests.len() {

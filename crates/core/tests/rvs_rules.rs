@@ -250,7 +250,11 @@ fn view_jump_on_f_plus_1_higher_syncs() {
     let (mut r, mut ctx) = replica();
     // f + 1 = 2 distinct replicas seen at view 10.
     deliver(&mut r, &mut ctx, 0, sync(10, None, vec![], false));
-    assert_eq!(r.instance(InstanceId(0)).view(), View(0), "one is not enough");
+    assert_eq!(
+        r.instance(InstanceId(0)).view(),
+        View(0),
+        "one is not enough"
+    );
     deliver(&mut r, &mut ctx, 1, sync(10, None, vec![], false));
     assert_eq!(
         r.instance(InstanceId(0)).view(),

@@ -6,9 +6,11 @@
 //!   operation) — implemented from scratch as HMAC-SHA256 in [`hmac`],
 //!   over the from-scratch SHA-256 in [`sha256`];
 //! * **digital signatures** for forwardable messages (proposals, `Sync`
-//!   claims inside certificates, client requests) — Ed25519 via
-//!   `ed25519-dalek` in [`signing`] (see DESIGN.md for why the curve
-//!   itself is not reimplemented).
+//!   claims inside certificates, client requests) — a simulation-grade
+//!   keyed-hash scheme with Ed25519's key/signature shapes in
+//!   [`signing`] (the offline build environment rules out
+//!   `ed25519-dalek`; see that module's docs for the exact trust
+//!   caveat).
 //!
 //! Under the discrete-event simulator, cryptography is *charged* rather
 //! than computed: message types report their verification/signing costs

@@ -140,10 +140,7 @@ mod tests {
             let tree = MerkleTree::build(&data);
             for (i, item) in data.iter().enumerate() {
                 let proof = tree.prove(i).expect("in range");
-                assert!(
-                    verify_inclusion(item, &proof, &tree.root()),
-                    "n={n} i={i}"
-                );
+                assert!(verify_inclusion(item, &proof, &tree.root()), "n={n} i={i}");
             }
         }
     }

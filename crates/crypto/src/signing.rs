@@ -1,17 +1,30 @@
-//! Digital signatures (Ed25519) and the cluster key store.
+//! Digital signatures and the cluster key store.
 //!
 //! Signed messages (`⟨v⟩_p` in the paper's notation) are required whenever
 //! a message may be forwarded — proposals, `Sync` claims used in
-//! certificates, and client requests (§2). We wrap `ed25519-dalek` rather
-//! than reimplementing the curve; see DESIGN.md §2/§7 for the
-//! justification. Key generation is deterministic from seeds so test
-//! clusters are reproducible.
+//! certificates, and client requests (§2). Key generation is
+//! deterministic from seeds so test clusters are reproducible.
+//!
+//! # Simulation-grade scheme
+//!
+//! The build environment has no crates.io access, so instead of wrapping
+//! `ed25519-dalek` this module implements a **keyed-hash signature
+//! stand-in** over the crate's own SHA-256: a "public key" is a hash
+//! commitment to the seed, and a signature is a 64-byte keyed hash of
+//! the message under that commitment. The API (32-byte public keys,
+//! 64-byte signatures, deterministic seed derivation) and all functional
+//! properties the tests and protocol rely on — roundtrip, tamper
+//! rejection, per-signer domain separation — match Ed25519, and the
+//! simulator's cost model still charges Ed25519 timings. What it does
+//! **not** provide is real asymmetry: anyone holding a public key could
+//! forge signatures under it, so this is NOT secure against a true
+//! Byzantine network adversary. Swapping `ed25519-dalek` back in
+//! restores that without touching any caller.
 
 use crate::sha256::Sha256;
-use ed25519_dalek::{Signer as _, SigningKey, Verifier as _, VerifyingKey};
 use spotless_types::ReplicaId;
 
-/// Length of an Ed25519 signature in bytes.
+/// Length of a signature in bytes (matches Ed25519).
 pub const SIGNATURE_LEN: usize = 64;
 
 /// A detached signature.
@@ -24,47 +37,76 @@ impl std::fmt::Debug for Signature {
     }
 }
 
+/// Domain-separation prefix for deriving a public key from a seed.
+const PK_DOMAIN: &[u8] = b"spotless-sim-sig-pk-v1";
+/// Domain-separation prefixes for the two signature halves.
+const SIG_DOMAIN_LO: &[u8] = b"spotless-sim-sig-lo-v1";
+const SIG_DOMAIN_HI: &[u8] = b"spotless-sim-sig-hi-v1";
+
+/// Computes one 32-byte signature half.
+fn sig_half(domain: &[u8], pk: &[u8; 32], message: &[u8]) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(domain);
+    hasher.update(pk);
+    hasher.update(message);
+    hasher.finalize()
+}
+
+/// Computes the full 64-byte signature bound to `pk`.
+fn sign_with(pk: &[u8; 32], message: &[u8]) -> Signature {
+    let mut sig = [0u8; SIGNATURE_LEN];
+    sig[..32].copy_from_slice(&sig_half(SIG_DOMAIN_LO, pk, message));
+    sig[32..].copy_from_slice(&sig_half(SIG_DOMAIN_HI, pk, message));
+    Signature(sig)
+}
+
 /// A verifying (public) key.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct PublicKey(VerifyingKey);
+pub struct PublicKey([u8; 32]);
 
 impl PublicKey {
     /// Verifies `sig` over `message`.
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
-        let sig = ed25519_dalek::Signature::from_bytes(&sig.0);
-        self.0.verify(message, &sig).is_ok()
+        sign_with(&self.0, message) == *sig
     }
 
     /// The raw 32-byte key material.
     pub fn to_bytes(&self) -> [u8; 32] {
-        self.0.to_bytes()
+        self.0
     }
 
     /// Parses 32 bytes of key material.
     pub fn from_bytes(bytes: &[u8; 32]) -> Option<PublicKey> {
-        VerifyingKey::from_bytes(bytes).ok().map(PublicKey)
+        Some(PublicKey(*bytes))
     }
 }
 
 /// A signing keypair.
 #[derive(Clone)]
 pub struct Keypair {
-    key: SigningKey,
+    public: PublicKey,
 }
 
 impl Keypair {
     /// Builds a keypair deterministically from a 32-byte seed.
     pub fn from_seed(seed: [u8; 32]) -> Keypair {
+        let mut hasher = Sha256::new();
+        hasher.update(PK_DOMAIN);
+        hasher.update(&seed);
         Keypair {
-            key: SigningKey::from_bytes(&seed),
+            public: PublicKey(hasher.finalize()),
         }
     }
 
     /// Derives the keypair for participant `label`/`index` from a cluster
     /// master secret (test and simulation deployments).
     pub fn derive(master: &[u8], label: &str, index: u64) -> Keypair {
-        let mut material = Vec::with_capacity(master.len() + label.len() + 8);
+        // Length-prefix each component so distinct (master, label)
+        // splits can never concatenate to the same byte string.
+        let mut material = Vec::with_capacity(master.len() + label.len() + 24);
+        material.extend_from_slice(&(master.len() as u64).to_be_bytes());
         material.extend_from_slice(master);
+        material.extend_from_slice(&(label.len() as u64).to_be_bytes());
         material.extend_from_slice(label.as_bytes());
         material.extend_from_slice(&index.to_be_bytes());
         Keypair::from_seed(Sha256::digest(&material))
@@ -72,12 +114,12 @@ impl Keypair {
 
     /// The matching public key.
     pub fn public(&self) -> PublicKey {
-        PublicKey(self.key.verifying_key())
+        self.public
     }
 
     /// Signs `message`.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        Signature(self.key.sign(message).to_bytes())
+        sign_with(&self.public.0, message)
     }
 }
 

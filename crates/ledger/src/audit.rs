@@ -113,8 +113,7 @@ mod tests {
         let head = ledger.head_hash();
         for (h, payloads) in batches.iter().enumerate() {
             for (i, txn) in payloads.iter().enumerate() {
-                let proof =
-                    prove_transaction(&ledger, h as u64, payloads, i).expect("provable");
+                let proof = prove_transaction(&ledger, h as u64, payloads, i).expect("provable");
                 let block = ledger.block(h as u64).unwrap();
                 assert!(verify_provenance(txn, &proof, block, &head), "h={h} i={i}");
             }

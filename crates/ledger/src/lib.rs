@@ -111,7 +111,10 @@ impl std::fmt::Display for LedgerError {
                 write!(f, "block {height}: parent pointer broken")
             }
             LedgerError::HeightMismatch { got, expected } => {
-                write!(f, "appended block has height {got}, chain head expects {expected}")
+                write!(
+                    f,
+                    "appended block has height {got}, chain head expects {expected}"
+                )
             }
         }
     }
@@ -367,7 +370,10 @@ mod tests {
     fn error_messages_are_descriptive() {
         let e = LedgerError::HashMismatch { height: 7 };
         assert!(e.to_string().contains("block 7"));
-        let e = LedgerError::HeightMismatch { got: 9, expected: 4 };
+        let e = LedgerError::HeightMismatch {
+            got: 9,
+            expected: 4,
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
     }
 
@@ -390,7 +396,13 @@ mod tests {
         let err = replayed
             .append_existing(source.block(2).unwrap().clone())
             .unwrap_err();
-        assert_eq!(err, LedgerError::HeightMismatch { got: 2, expected: 0 });
+        assert_eq!(
+            err,
+            LedgerError::HeightMismatch {
+                got: 2,
+                expected: 0
+            }
+        );
     }
 
     #[test]
@@ -469,7 +481,10 @@ mod tests {
         ledger.blocks[2].height = 7;
         assert!(matches!(
             ledger.verify(),
-            Err(LedgerError::HeightMismatch { got: 7, expected: 2 })
+            Err(LedgerError::HeightMismatch {
+                got: 7,
+                expected: 2
+            })
         ));
     }
 }

@@ -373,7 +373,13 @@ impl<N: Node, D: Driver> Simulation<N, D> {
             } = cmd;
             // Request travels client → replica over one link.
             let arrive = self.now + self.link_jitter(self.cfg.topology.client_latency(to as usize));
-            self.push(arrive, EventKind::RequestArrival { to, batch: batch.clone() });
+            self.push(
+                arrive,
+                EventKind::RequestArrival {
+                    to,
+                    batch: batch.clone(),
+                },
+            );
             // Client response timer, doubling per retry (§5).
             let backoff = self
                 .cfg
@@ -406,8 +412,8 @@ impl<N: Node, D: Driver> Simulation<N, D> {
                 if self.crashed(to, self.now) {
                     return;
                 }
-                let cost = self.cfg.resources.handle_ns
-                    + msg.verify_cost(&self.cfg.resources.crypto);
+                let cost =
+                    self.cfg.resources.handle_ns + msg.verify_cost(&self.cfg.resources.crypto);
                 let done = self.cpus[to as usize].schedule(self.now, cost);
                 self.push(done, EventKind::HandleMsg { to, from, msg });
             }
@@ -419,8 +425,7 @@ impl<N: Node, D: Driver> Simulation<N, D> {
                     return;
                 }
                 // One signature verification per client batch plus handling.
-                let cost =
-                    self.cfg.resources.handle_ns + self.cfg.resources.crypto.verify_ns;
+                let cost = self.cfg.resources.handle_ns + self.cfg.resources.crypto.verify_ns;
                 let done = self.cpus[to as usize].schedule(self.now, cost);
                 self.push(done, EventKind::HandleRequest { to, batch });
             }

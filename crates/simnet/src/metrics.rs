@@ -84,7 +84,9 @@ impl Metrics {
 
     /// Measured duration in seconds.
     pub fn window_secs(&self) -> f64 {
-        (self.measure_until - self.measure_from).as_secs_f64().max(1e-9)
+        (self.measure_until - self.measure_from)
+            .as_secs_f64()
+            .max(1e-9)
     }
 
     /// Client-observed throughput in transactions per second.
@@ -147,7 +149,10 @@ mod tests {
     use super::*;
 
     fn m() -> Metrics {
-        Metrics::new(SimTime::ZERO + SimDuration::from_secs(1), SimDuration::from_secs(5))
+        Metrics::new(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            SimDuration::from_secs(5),
+        )
     }
 
     #[test]
@@ -179,11 +184,7 @@ mod tests {
     fn latency_stats() {
         let mut metrics = m();
         for ms in [10u64, 20, 30, 40] {
-            metrics.batch_complete(
-                SimTime(1_500_000_000),
-                1,
-                SimDuration::from_millis(ms),
-            );
+            metrics.batch_complete(SimTime(1_500_000_000), 1, SimDuration::from_millis(ms));
         }
         assert!((metrics.avg_latency_s() - 0.025).abs() < 1e-9);
         assert!((metrics.latency_percentile_s(0.0) - 0.010).abs() < 1e-9);

@@ -132,8 +132,8 @@ impl ExecLane {
         } else {
             ready
         };
-        let done = start
-            + SimDuration::from_nanos(u64::from(txns).saturating_mul(model.exec_ns_per_txn));
+        let done =
+            start + SimDuration::from_nanos(u64::from(txns).saturating_mul(model.exec_ns_per_txn));
         self.free_at = done;
         self.txns_executed += u64::from(txns);
         done

@@ -17,10 +17,10 @@ pub const REGION_NAMES: [&str; 4] = ["oregon", "n-virginia", "london", "zurich"]
 /// (approximately half the public inter-region RTTs).
 const REGION_LATENCY_US: [[u64; 4]; 4] = [
     // oregon  n-va   london  zurich
-    [250, 16_000, 34_000, 37_000],  // oregon
-    [16_000, 250, 19_000, 22_000],  // n-virginia
-    [34_000, 19_000, 250, 4_000],   // london
-    [37_000, 22_000, 4_000, 250],   // zurich
+    [250, 16_000, 34_000, 37_000], // oregon
+    [16_000, 250, 19_000, 22_000], // n-virginia
+    [34_000, 19_000, 250, 4_000],  // london
+    [37_000, 22_000, 4_000, 250],  // zurich
 ];
 
 /// A communication-blocking partition: nodes in different groups cannot

@@ -325,10 +325,7 @@ mod tests {
         let count_at = enc.len() - 32 - 4;
         enc[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = decode_block(&enc).expect_err("bogus count");
-        assert!(matches!(
-            err.kind,
-            CodecErrorKind::LengthOutOfRange { .. }
-        ));
+        assert!(matches!(err.kind, CodecErrorKind::LengthOutOfRange { .. }));
     }
 
     #[test]

@@ -149,10 +149,17 @@ impl fmt::Display for StorageError {
                 path.display()
             ),
             StorageError::Codec { path, source } => {
-                write!(f, "{} holds an undecodable record: {source}", path.display())
+                write!(
+                    f,
+                    "{} holds an undecodable record: {source}",
+                    path.display()
+                )
             }
             StorageError::HeightGap { got, expected } => {
-                write!(f, "append out of order: block {got}, log expects {expected}")
+                write!(
+                    f,
+                    "append out of order: block {got}, log expects {expected}"
+                )
             }
             StorageError::Ledger { source } => {
                 write!(f, "replayed chain failed verification: {source}")

@@ -110,11 +110,7 @@ impl BlockLog {
         let entries = fs::read_dir(dir).map_err(|e| StorageError::io(dir, "list log dir", e))?;
         for entry in entries {
             let entry = entry.map_err(|e| StorageError::io(dir, "list log dir", e))?;
-            if let Some(seq) = entry
-                .file_name()
-                .to_str()
-                .and_then(parse_segment_file_name)
-            {
+            if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_file_name) {
                 seqs.push((seq, entry.path()));
             }
         }
@@ -356,11 +352,7 @@ impl BlockLog {
     /// Diagnostic snapshot of segment layout: `(seq, base_height)` per
     /// closed segment, then the active one.
     pub fn layout(&self) -> Vec<(u64, u64)> {
-        let mut v: Vec<(u64, u64)> = self
-            .closed
-            .iter()
-            .map(|s| (s.seq, s.base_height))
-            .collect();
+        let mut v: Vec<(u64, u64)> = self.closed.iter().map(|s| (s.seq, s.base_height)).collect();
         let h = self.active.header();
         v.push((h.seq, h.base_height));
         v
@@ -432,7 +424,13 @@ mod tests {
         let (mut log, _) = BlockLog::open(dir.path(), LogOptions::default(), 0).unwrap();
         log.append(&blocks[0]).unwrap();
         let err = log.append(&blocks[2]).unwrap_err();
-        assert!(matches!(err, StorageError::HeightGap { got: 2, expected: 1 }));
+        assert!(matches!(
+            err,
+            StorageError::HeightGap {
+                got: 2,
+                expected: 1
+            }
+        ));
     }
 
     #[test]

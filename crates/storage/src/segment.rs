@@ -69,7 +69,11 @@ impl SegmentHeader {
         }
         let crc = u32::from_le_bytes([h[28], h[29], h[30], h[31]]);
         if crc != crc32c(&h[..28]) {
-            return Err(StorageError::corrupt(path, 28, "segment header CRC mismatch"));
+            return Err(StorageError::corrupt(
+                path,
+                28,
+                "segment header CRC mismatch",
+            ));
         }
         Ok(SegmentHeader {
             seq: u64::from_le_bytes([h[12], h[13], h[14], h[15], h[16], h[17], h[18], h[19]]),
@@ -253,7 +257,11 @@ pub fn scan_segment(path: &Path) -> Result<SegmentScan, StorageError> {
     file.read_to_end(&mut data)
         .map_err(|e| StorageError::io(path, "read segment", e))?;
     if data.len() < HEADER_LEN as usize {
-        return Err(StorageError::corrupt(path, 0, "segment shorter than header"));
+        return Err(StorageError::corrupt(
+            path,
+            0,
+            "segment shorter than header",
+        ));
     }
     let mut header_bytes = [0u8; 32];
     header_bytes.copy_from_slice(&data[..32]);
@@ -275,12 +283,7 @@ pub fn scan_segment(path: &Path) -> Result<SegmentScan, StorageError> {
             defect = Some(TailDefect::AbsurdLength { got: len });
             break;
         }
-        let crc = u32::from_le_bytes([
-            data[pos + 4],
-            data[pos + 5],
-            data[pos + 6],
-            data[pos + 7],
-        ]);
+        let crc = u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
         let body_start = pos + RECORD_OVERHEAD as usize;
         if data.len() - body_start < len as usize {
             defect = Some(TailDefect::TruncatedRecord {

@@ -72,7 +72,11 @@ fn decode(data: &[u8], path: &Path) -> Result<Snapshot, StorageError> {
     // magic(8) version(4) height(8) head(32) len(8) ... crc(4)
     const FIXED: usize = 8 + 4 + 8 + 32 + 8 + 4;
     if data.len() < FIXED {
-        return Err(StorageError::corrupt(path, 0, "snapshot shorter than header"));
+        return Err(StorageError::corrupt(
+            path,
+            0,
+            "snapshot shorter than header",
+        ));
     }
     if data[..8] != MAGIC {
         return Err(StorageError::corrupt(path, 0, "bad snapshot magic"));
@@ -92,7 +96,11 @@ fn decode(data: &[u8], path: &Path) -> Result<Snapshot, StorageError> {
         data[body_len + 3],
     ]);
     if crc32c(&data[..body_len]) != stored_crc {
-        return Err(StorageError::corrupt(path, body_len as u64, "snapshot CRC mismatch"));
+        return Err(StorageError::corrupt(
+            path,
+            body_len as u64,
+            "snapshot CRC mismatch",
+        ));
     }
     let height = u64::from_le_bytes([
         data[12], data[13], data[14], data[15], data[16], data[17], data[18], data[19],
@@ -120,7 +128,8 @@ fn sync_dir(dir: &Path) -> Result<(), StorageError> {
     // Durability of the rename itself requires fsyncing the directory
     // inode on POSIX systems.
     let d = File::open(dir).map_err(|e| StorageError::io(dir, "open dir", e))?;
-    d.sync_all().map_err(|e| StorageError::io(dir, "fsync dir", e))
+    d.sync_all()
+        .map_err(|e| StorageError::io(dir, "fsync dir", e))
 }
 
 /// Atomically writes `snap` into `dir`, returning the final path.

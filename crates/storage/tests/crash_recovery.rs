@@ -203,11 +203,7 @@ fn repeated_crashes_and_reopens_accumulate_correctly() {
     let mut next = 0u64;
     for session in 0..10 {
         let (mut led, report) = DurableLedger::open(dir.path(), opts).unwrap();
-        assert_eq!(
-            led.ledger().height(),
-            next,
-            "session {session} lost blocks"
-        );
+        assert_eq!(led.ledger().height(), next, "session {session} lost blocks");
         assert_eq!(led.ledger().head_hash(), reference.head_hash());
         let _ = report;
         for _ in 0..3 {

@@ -104,8 +104,10 @@ impl TcpFabric {
         me: ReplicaId,
         addr: &str,
         peer_addrs: Vec<String>,
-    ) -> std::io::Result<(TcpFabric, mpsc::UnboundedReceiver<(ReplicaId, Message, Vec<u8>)>)>
-    {
+    ) -> std::io::Result<(
+        TcpFabric,
+        mpsc::UnboundedReceiver<(ReplicaId, Message, Vec<u8>)>,
+    )> {
         let listener = TcpListener::bind(addr).await?;
         let (tx, rx) = mpsc::unbounded_channel();
         tokio::spawn(async move {

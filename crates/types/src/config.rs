@@ -69,9 +69,9 @@ impl ClusterConfig {
         self.timeout_epsilon = self
             .timeout_epsilon
             .max(SimDuration::from_nanos(view_floor.as_nanos() / 8));
-        self.retransmit_interval = self
-            .retransmit_interval
-            .max(SimDuration::from_nanos(max_one_way.as_nanos().saturating_mul(2)));
+        self.retransmit_interval = self.retransmit_interval.max(SimDuration::from_nanos(
+            max_one_way.as_nanos().saturating_mul(2),
+        ));
         // Clients wait for consensus + execution + a reply hop.
         let client_floor = SimDuration::from_nanos(view_floor.as_nanos().saturating_mul(10));
         self.client_timeout = self.client_timeout.max(client_floor);

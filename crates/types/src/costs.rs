@@ -203,7 +203,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let r = ResourceModel::default().with_cores(4).with_bandwidth_mbps(500);
+        let r = ResourceModel::default()
+            .with_cores(4)
+            .with_bandwidth_mbps(500);
         assert_eq!(r.cores, 4);
         assert_eq!(r.nic_bps, 500_000_000);
     }

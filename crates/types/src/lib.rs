@@ -36,6 +36,6 @@ pub use config::ClusterConfig;
 pub use costs::{CryptoCosts, ResourceModel, SizeModel};
 pub use fault::ByzantineBehavior;
 pub use ids::{BatchId, ClientId, Digest, InstanceId, NodeId, ReplicaId, View};
-pub use replica_set::ReplicaSet;
 pub use node::{ClientBatch, CommitInfo, Context, Input, Node, TimerId, TimerKind};
+pub use replica_set::ReplicaSet;
 pub use time::{SimDuration, SimTime};

@@ -184,7 +184,11 @@ pub trait Node {
     type Message: ProtocolMessage;
 
     /// Processes one input, emitting effects through `ctx`.
-    fn on_input(&mut self, input: Input<Self::Message>, ctx: &mut dyn Context<Message = Self::Message>);
+    fn on_input(
+        &mut self,
+        input: Input<Self::Message>,
+        ctx: &mut dyn Context<Message = Self::Message>,
+    );
 }
 
 /// Resource-model hooks every wire message must provide so the simulator
@@ -231,10 +235,7 @@ mod tests {
             created_at: SimTime::ZERO,
             payload: Vec::new(),
         };
-        assert_eq!(
-            b.body_size(&sizes),
-            100 * (48 + sizes.per_txn_overhead)
-        );
+        assert_eq!(b.body_size(&sizes), 100 * (48 + sizes.per_txn_overhead));
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl Batcher {
 
     /// Adds a transaction; returns a full batch when the threshold is
     /// reached.
-    pub fn push(&mut self, txn: Transaction, now: SimTime) -> Option<(ClientBatch, Vec<Transaction>)> {
+    pub fn push(
+        &mut self,
+        txn: Transaction,
+        now: SimTime,
+    ) -> Option<(ClientBatch, Vec<Transaction>)> {
         self.pending.push(txn);
         if self.pending.len() >= self.threshold {
             Some(self.flush(now).expect("non-empty"))

@@ -100,10 +100,7 @@ impl KvStore {
                 self.writes_applied += 1;
                 self.table.insert(*key, value.clone());
                 // Chain the state digest over (key, value digest).
-                let entry = spotless_crypto::digest_fields(&[
-                    &key.to_be_bytes(),
-                    value,
-                ]);
+                let entry = spotless_crypto::digest_fields(&[&key.to_be_bytes(), value]);
                 self.state = spotless_crypto::digest_chained(&self.state, &entry);
                 ExecResult::Written
             }

@@ -54,10 +54,7 @@ async fn main() {
             payload,
         };
         let batch_id = batch.id;
-        let result = handle
-            .client
-            .submit(batch, ReplicaId((i % 4) as u32))
-            .await;
+        let result = handle.client.submit(batch, ReplicaId((i % 4) as u32)).await;
         println!("transfer #{i} committed, state digest {result:?}");
 
         // Record the decision in the bank's audit ledger.

@@ -115,10 +115,7 @@ fn main() {
         .ledger()
         .find_batch(probe)
         .expect("batch is on the chain");
-    let path = led
-        .ledger()
-        .proof_path(block.height)
-        .expect("path to head");
+    let path = led.ledger().proof_path(block.height).expect("path to head");
     println!(
         "\nprovenance: batch {:?} sits in block {} (instance {}, view {});",
         probe, block.height, block.proof.instance.0, block.proof.view.0

@@ -84,5 +84,5 @@ fn main() {
     println!("128-replica deployment: 128 chained instances amortize the WAN RTT");
     println!("and RCC's 2x message complexity saturates the shared uplinks. At");
     println!("this example's n=16, RCC's out-of-order pipeline hides the RTT");
-    println!("instead (see EXPERIMENTS.md, E14)." );
+    println!("instead (see EXPERIMENTS.md, E14).");
 }

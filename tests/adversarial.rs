@@ -85,7 +85,15 @@ fn equivocator_plus_dark_primary_at_full_f() {
     // the same time — the adversary uses its full budget with two
     // *different* strategies.
     use ByzantineBehavior::*;
-    let behaviors = [Honest, Honest, Honest, Honest, Honest, Equivocate, DarkPrimary];
+    let behaviors = [
+        Honest,
+        Honest,
+        Honest,
+        Honest,
+        Honest,
+        Equivocate,
+        DarkPrimary,
+    ];
     let logs = run_mixed(&behaviors, |_| {}, 6);
     let checked = assert_agreement(&logs, &behaviors);
     assert!(checked > 50, "liveness too weak: {checked} honest commits");

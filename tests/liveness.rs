@@ -37,7 +37,11 @@ fn progress_resumes_after_minority_partition_heals() {
         .filter(|(t, _)| *t >= 3.0)
         .map(|(_, tps)| *tps)
         .sum();
-    assert!(tail > 0.0, "no progress after healing: {:?}", report.timeline);
+    assert!(
+        tail > 0.0,
+        "no progress after healing: {:?}",
+        report.timeline
+    );
 }
 
 #[test]

@@ -100,7 +100,11 @@ async fn equivocating_replica_cannot_cause_divergence() {
         let d = per_batch
             .entry(entry.info.batch.id)
             .or_insert(entry.state_digest);
-        assert_eq!(*d, entry.state_digest, "honest divergence at {:?}", entry.info);
+        assert_eq!(
+            *d, entry.state_digest,
+            "honest divergence at {:?}",
+            entry.info
+        );
     }
     handle.shutdown().await;
 }
