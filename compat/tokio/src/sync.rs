@@ -1,7 +1,8 @@
-//! `mpsc` (unbounded) and `oneshot` channels whose receive futures block
-//! inside `poll` — each task owns a thread, so blocking is harmless.
+//! `mpsc` (bounded + unbounded) and `oneshot` channels whose send and
+//! receive futures block inside `poll` — each task owns a thread, so
+//! blocking is harmless.
 
-/// Unbounded multi-producer single-consumer channel.
+/// Multi-producer single-consumer channels.
 pub mod mpsc {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
@@ -110,6 +111,180 @@ pub mod mpsc {
     impl<T> Drop for UnboundedReceiver<T> {
         fn drop(&mut self) {
             self.chan.state.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    struct BoundedChan<T> {
+        state: Mutex<State<T>>,
+        capacity: usize,
+        /// Signalled when the queue gains an item (wakes the receiver).
+        ready: Condvar,
+        /// Signalled when the queue loses an item (wakes blocked senders).
+        space: Condvar,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        chan: Arc<BoundedChan<T>>,
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<BoundedChan<T>>,
+    }
+
+    /// [`Sender::try_send`] failure.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity; the value comes back.
+        Full(T),
+        /// The receiver was dropped; the value comes back.
+        Closed(T),
+    }
+
+    /// Creates a bounded channel holding at most `capacity` queued values.
+    /// Sends block (the calling task's thread) while the queue is full —
+    /// the backpressure a bounded queue exists to provide.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "bounded channel needs capacity >= 1");
+        let chan = Arc::new(BoundedChan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            capacity,
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, waiting while the queue is full; fails iff
+        /// the receiver is gone.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if !state.receiver_alive {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.chan.capacity {
+                    state.queue.push_back(value);
+                    self.chan.ready.notify_one();
+                    return Ok(());
+                }
+                state = self.chan.space.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead
+        /// of waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            if !state.receiver_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if state.queue.len() >= self.chan.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Waits for the next value; `None` once all senders are dropped
+        /// and the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.chan.space.notify_one();
+                    return Some(value);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self.chan.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking variant.
+        pub fn try_recv(&mut self) -> Option<T> {
+            let mut state = self.chan.state.lock().unwrap();
+            let value = state.queue.pop_front();
+            if value.is_some() {
+                self.chan.space.notify_one();
+            }
+            value
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().unwrap().receiver_alive = false;
+            // Senders blocked on a full queue must observe the closure.
+            self.chan.space.notify_all();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn bounded_channel_backpressures_and_drains() {
+            let (tx, mut rx) = super::channel::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(super::TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Some(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_recv(), Some(2));
+            assert_eq!(rx.try_recv(), Some(3));
+            assert_eq!(rx.try_recv(), None);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, mut rx) = super::channel::<u32>(1);
+            crate::block_on(tx.send(1)).unwrap();
+            let tx2 = tx.clone();
+            let t = std::thread::spawn(move || crate::block_on(tx2.send(2)));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(crate::block_on(rx.recv()), Some(1));
+            t.join().unwrap().unwrap();
+            assert_eq!(crate::block_on(rx.recv()), Some(2));
+        }
+
+        #[test]
+        fn bounded_send_fails_once_receiver_drops() {
+            let (tx, rx) = super::channel::<u32>(1);
+            drop(rx);
+            assert!(crate::block_on(tx.send(7)).is_err());
+            assert!(matches!(
+                tx.try_send(8),
+                Err(super::TrySendError::Closed(8))
+            ));
         }
     }
 }

@@ -1,0 +1,93 @@
+//! The cluster-side client: submit batches, await `f + 1` matching
+//! execution results (§5's weak-quorum reply rule), protocol-agnostic.
+
+use crate::observe::Inform;
+use crate::runtime::ReplicaHandle;
+use parking_lot::Mutex;
+use spotless_types::{BatchId, ClientBatch, ClusterConfig, Digest, ReplicaId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tokio::sync::{mpsc, oneshot};
+
+struct PendingCompletion {
+    informs: HashMap<Digest, Vec<ReplicaId>>,
+    waker: Option<oneshot::Sender<Digest>>,
+}
+
+/// Handle for submitting batches and awaiting `f + 1` matching informs.
+/// Works over any fabric and any protocol: the inform stream is emitted
+/// by the replicas' commit pipelines, not by protocol code.
+///
+/// The handle list is shared (`Arc<Mutex<…>>`) so a harness that
+/// restarts a replica can swap in the fresh handle and in-flight
+/// clients keep working.
+pub struct ClusterClient {
+    cluster: ClusterConfig,
+    replicas: Arc<Mutex<Vec<ReplicaHandle>>>,
+    completions: Arc<Mutex<HashMap<BatchId, PendingCompletion>>>,
+}
+
+impl ClusterClient {
+    /// Builds the client over a cluster's replica handles and its
+    /// inform stream, spawning the collector task. Must be called
+    /// inside a tokio runtime.
+    pub fn new(
+        cluster: ClusterConfig,
+        replicas: Arc<Mutex<Vec<ReplicaHandle>>>,
+        mut informs: mpsc::UnboundedReceiver<Inform>,
+    ) -> ClusterClient {
+        let completions: Arc<Mutex<HashMap<BatchId, PendingCompletion>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let weak_quorum = cluster.weak_quorum() as usize;
+        let pending = completions.clone();
+        tokio::spawn(async move {
+            while let Some(inform) = informs.recv().await {
+                let mut pending = pending.lock();
+                if let Some(entry) = pending.get_mut(&inform.batch) {
+                    let replicas = entry.informs.entry(inform.result).or_default();
+                    if !replicas.contains(&inform.from) {
+                        replicas.push(inform.from);
+                    }
+                    if replicas.len() >= weak_quorum {
+                        if let Some(waker) = entry.waker.take() {
+                            let _ = waker.send(inform.result);
+                        }
+                        pending.remove(&inform.batch);
+                    }
+                }
+            }
+        });
+        ClusterClient {
+            cluster,
+            replicas,
+            completions,
+        }
+    }
+
+    /// Submits a batch to `target` and resolves once `f + 1` replicas
+    /// report the same execution result.
+    pub async fn submit(&self, batch: ClientBatch, target: ReplicaId) -> Digest {
+        let (tx, rx) = oneshot::channel();
+        self.completions.lock().insert(
+            batch.id,
+            PendingCompletion {
+                informs: HashMap::new(),
+                waker: Some(tx),
+            },
+        );
+        let handle = self.replicas.lock()[target.as_usize()].clone();
+        handle.submit(batch);
+        rx.await.expect("cluster stays alive while awaited")
+    }
+
+    /// Submits to a replica chosen by the batch digest.
+    pub async fn submit_anywhere(&self, batch: ClientBatch) -> Digest {
+        let target = ReplicaId((batch.digest.as_u64_tag() % u64::from(self.cluster.n)) as u32);
+        self.submit(batch, target).await
+    }
+
+    /// The cluster configuration this client serves.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+}

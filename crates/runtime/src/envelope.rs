@@ -1,0 +1,246 @@
+//! Signed wire envelopes and the runtime's tagged payload format.
+//!
+//! Every byte string that leaves a replica is serialized **once**,
+//! signed **once**, and shared across destinations through an
+//! [`Arc`] — a broadcast to `n − 1` peers clones a pointer, not a
+//! proposal body. Fabrics ([`crate::Fabric`]) move [`Envelope`]s
+//! verbatim; they never look inside.
+//!
+//! The payload is a one-byte tag followed by a body:
+//!
+//! * [`TAG_PROTOCOL`] — a protocol message, JSON-serialized. This is the
+//!   only tag consensus traffic uses.
+//! * [`TAG_CATCHUP_REQ`] / [`TAG_CATCHUP_RESP`] — the runtime-level
+//!   catch-up exchange a restarted replica uses to close the gap between
+//!   its durable log and the cluster's head (see [`crate::pipeline`]).
+//!
+//! Signatures come from the cluster [`KeyStore`] — the documented
+//! simulation-grade keyed-hash scheme (see `spotless-crypto`'s
+//! `signing` module for exactly what it does and does not provide).
+
+use serde::{Deserialize, Serialize};
+use spotless_crypto::{KeyStore, Signature};
+use spotless_ledger::Block;
+use spotless_types::bytes::take;
+use spotless_types::ReplicaId;
+use std::sync::Arc;
+
+/// Tag byte: protocol message.
+pub const TAG_PROTOCOL: u8 = 0;
+/// Tag byte: catch-up request.
+pub const TAG_CATCHUP_REQ: u8 = 1;
+/// Tag byte: catch-up response.
+pub const TAG_CATCHUP_RESP: u8 = 2;
+
+/// A signed, shareable wire frame. Cloning an envelope clones the
+/// `Arc`, not the payload.
+#[derive(Clone)]
+pub struct Envelope {
+    /// The sending replica.
+    pub from: ReplicaId,
+    /// Tagged payload bytes, serialized exactly once per message.
+    pub payload: Arc<Vec<u8>>,
+    /// Signature over `payload` by `from`.
+    pub sig: Signature,
+}
+
+impl Envelope {
+    /// Serializes-and-signs `payload` as an envelope from `keystore.me()`.
+    pub fn seal(keystore: &KeyStore, payload: Vec<u8>) -> Envelope {
+        let sig = keystore.sign(&payload);
+        Envelope {
+            from: keystore.me(),
+            payload: Arc::new(payload),
+            sig,
+        }
+    }
+
+    /// Verifies the signature against the claimed sender.
+    pub fn verify(&self, keystore: &KeyStore) -> bool {
+        keystore.verify(self.from, &self.payload, &self.sig)
+    }
+}
+
+/// One block of a catch-up response: the ledger block plus the batch
+/// payload needed to re-execute it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatchUpBlock {
+    /// The hash-chained ledger block.
+    pub block: Block,
+    /// Serialized transactions of the batch the block commits (empty
+    /// for simulation-style batches that carry no payload).
+    pub payload: Vec<u8>,
+}
+
+/// Everything a replica can receive inside an [`Envelope`].
+pub enum WireMsg<M> {
+    /// A consensus protocol message.
+    Protocol(M),
+    /// "Send me your executed blocks from `from_height` up."
+    CatchUpReq {
+        /// First height the requester is missing (execution-wise).
+        from_height: u64,
+    },
+    /// A slice of the responder's executed chain.
+    CatchUpResp {
+        /// The responder's ledger height when it served the request.
+        peer_height: u64,
+        /// Contiguous blocks starting at the requested height (empty if
+        /// the responder cannot serve that range).
+        blocks: Vec<CatchUpBlock>,
+    },
+}
+
+/// Encodes a protocol message payload.
+pub fn encode_protocol<M: Serialize>(msg: &M) -> Vec<u8> {
+    let body = serde_json::to_vec(msg).expect("protocol messages are serializable");
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(TAG_PROTOCOL);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encodes a catch-up request payload.
+pub fn encode_catchup_req(from_height: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(TAG_CATCHUP_REQ);
+    out.extend_from_slice(&from_height.to_le_bytes());
+    out
+}
+
+/// Encodes a catch-up response payload.
+pub fn encode_catchup_resp(peer_height: u64, blocks: &[CatchUpBlock]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + blocks.len() * 160);
+    out.push(TAG_CATCHUP_RESP);
+    out.extend_from_slice(&peer_height.to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for cb in blocks {
+        let block_json = serde_json::to_vec(&cb.block).expect("blocks are serializable");
+        out.extend_from_slice(&(block_json.len() as u32).to_le_bytes());
+        out.extend_from_slice(&block_json);
+        out.extend_from_slice(&(cb.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&cb.payload);
+    }
+    out
+}
+
+/// Decodes a tagged payload. `None` on any structural defect — the
+/// caller drops malformed traffic (the sender is faulty or the bytes
+/// are corrupt; either way there is nothing to do with them).
+pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
+    let (&tag, body) = payload.split_first()?;
+    match tag {
+        TAG_PROTOCOL => serde_json::from_slice(body).ok().map(WireMsg::Protocol),
+        TAG_CATCHUP_REQ => {
+            if body.len() != 8 {
+                return None;
+            }
+            Some(WireMsg::CatchUpReq {
+                from_height: u64::from_le_bytes(body.try_into().ok()?),
+            })
+        }
+        TAG_CATCHUP_RESP => {
+            let mut rest = body;
+            let peer_height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
+            let count = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            let mut blocks = Vec::with_capacity(count.min(4096) as usize);
+            for _ in 0..count {
+                let block_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+                let block = serde_json::from_slice(take(&mut rest, block_len)?).ok()?;
+                let payload_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+                let payload = take(&mut rest, payload_len)?.to_vec();
+                blocks.push(CatchUpBlock { block, payload });
+            }
+            if !rest.is_empty() {
+                return None;
+            }
+            Some(WireMsg::CatchUpResp {
+                peer_height,
+                blocks,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_ledger::CommitProof;
+    use spotless_types::{BatchId, Digest, InstanceId, View};
+
+    fn sample_block(height: u64) -> Block {
+        let mut ledger = spotless_ledger::Ledger::new();
+        for i in 0..=height {
+            ledger.append(
+                BatchId(i),
+                Digest::from_u64(i),
+                10,
+                CommitProof {
+                    instance: InstanceId(0),
+                    view: View(i),
+                    signers: vec![ReplicaId(1)],
+                },
+            );
+        }
+        ledger.block(height).unwrap().clone()
+    }
+
+    #[test]
+    fn seal_verify_roundtrip_and_tamper_rejection() {
+        let stores = KeyStore::cluster(b"envelope-test", 4);
+        let env = Envelope::seal(&stores[2], encode_catchup_req(7));
+        assert_eq!(env.from, ReplicaId(2));
+        assert!(env.verify(&stores[0]));
+        let mut forged = env.clone();
+        forged.from = ReplicaId(1);
+        assert!(!forged.verify(&stores[0]));
+    }
+
+    #[test]
+    fn catchup_req_roundtrips() {
+        let enc = encode_catchup_req(42);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::CatchUpReq { from_height: 42 }) => {}
+            _ => panic!("wrong decode"),
+        }
+    }
+
+    #[test]
+    fn catchup_resp_roundtrips() {
+        let blocks = vec![
+            CatchUpBlock {
+                block: sample_block(0),
+                payload: b"txns-0".to_vec(),
+            },
+            CatchUpBlock {
+                block: sample_block(1),
+                payload: Vec::new(),
+            },
+        ];
+        let enc = encode_catchup_resp(9, &blocks);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::CatchUpResp {
+                peer_height,
+                blocks: got,
+            }) => {
+                assert_eq!(peer_height, 9);
+                assert_eq!(got, blocks);
+            }
+            _ => panic!("wrong decode"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_none() {
+        assert!(decode::<u64>(&[]).is_none());
+        assert!(decode::<u64>(&[9, 1, 2]).is_none(), "unknown tag");
+        assert!(
+            decode::<u64>(&[TAG_CATCHUP_REQ, 1, 2]).is_none(),
+            "short body"
+        );
+        let mut resp = encode_catchup_resp(3, &[]);
+        resp.push(0);
+        assert!(decode::<u64>(&resp).is_none(), "trailing bytes");
+    }
+}

@@ -1,0 +1,22 @@
+//! The fabric abstraction: how sealed envelopes reach peers.
+//!
+//! A fabric is *all* a transport has to provide — the runtime owns
+//! signing, verification, execution, durability, and client replies.
+//! `spotless-transport` ships two: an in-process channel fabric and a
+//! TCP fabric. Both are a few dozen lines, which is the point of the
+//! split.
+
+use crate::envelope::Envelope;
+use spotless_types::ReplicaId;
+
+/// Delivers envelopes to peers. Implementations must not block the
+/// caller on network I/O — queue and return (the consensus loop calls
+/// this on its critical path). Delivery is best-effort: the protocols'
+/// own retransmission machinery (Υ retries, `Ask` recovery, client
+/// timeouts) owns end-to-end reliability.
+pub trait Fabric: Clone + Send + 'static {
+    /// Queues `env` for delivery to `to`. Sending to this replica's own
+    /// id is allowed (used by unicast-to-self protocols); fabrics may
+    /// loop it back locally.
+    fn send(&self, to: ReplicaId, env: Envelope);
+}

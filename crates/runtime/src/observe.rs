@@ -1,0 +1,58 @@
+//! Observation types shared by every deployment: the per-cluster commit
+//! log tests assert against, and the client-bound inform records.
+
+use parking_lot::Mutex;
+use spotless_types::{BatchId, CommitInfo, Digest, ReplicaId};
+use std::sync::Arc;
+
+/// A committed, executed entry observed at a replica (exposed for
+/// assertions in examples and tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedEntry {
+    /// Which replica executed it.
+    pub replica: ReplicaId,
+    /// The commit metadata.
+    pub info: CommitInfo,
+    /// KV state digest after executing the batch.
+    pub state_digest: Digest,
+}
+
+/// Shared observation log for examples/tests. One log is typically
+/// shared by every replica of a cluster; entries carry the replica id.
+#[derive(Clone, Default)]
+pub struct CommitLog {
+    entries: Arc<Mutex<Vec<CommittedEntry>>>,
+}
+
+impl CommitLog {
+    /// Snapshot of everything committed so far.
+    pub fn snapshot(&self) -> Vec<CommittedEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of committed entries (across all replicas).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True iff nothing has committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    pub(crate) fn push(&self, entry: CommittedEntry) {
+        self.entries.lock().push(entry);
+    }
+}
+
+/// A replica's execution report for one batch, flowing back to the
+/// client collector ([`crate::ClusterClient`] resolves a submission
+/// once `f + 1` replicas report the same result).
+pub struct Inform {
+    /// The reporting replica.
+    pub from: ReplicaId,
+    /// The executed batch.
+    pub batch: BatchId,
+    /// KV state digest after execution.
+    pub result: Digest,
+}

@@ -1,0 +1,581 @@
+//! The commit pipeline: ordering → durability → execution → replies,
+//! off the consensus thread.
+//!
+//! Consensus (the protocol state machine in [`crate::ReplicaRuntime`]'s
+//! event loop) never touches a file descriptor. Every [`CommitInfo`] it
+//! announces is pushed into a **bounded** queue feeding this worker;
+//! the bound is the ack-queue depth — if storage or execution fall more
+//! than `commit_queue` slots behind, consensus feels backpressure
+//! instead of growing an unbounded buffer. The worker drains the queue
+//! in groups: all appends of a group hit the segmented log with the
+//! sync policy forced to manual, then **one** fsync covers the whole
+//! group (group commit), and only then are results executed upward as
+//! client informs — nothing is acknowledged before it is durable.
+//!
+//! The worker also owns the runtime-level **catch-up** exchange. A
+//! replica that restarts from its durable log knows its chain height
+//! and its (snapshot-recovered) execution height, but the cluster has
+//! moved on. It asks a peer for executed blocks from its execution
+//! height; responses are verified three ways — payload bytes must hash
+//! to the block's batch digest, blocks already on the local chain must
+//! match byte-for-byte, and new blocks must extend the local head
+//! through the ledger's hash-chain check — then applied. Its own live
+//! commits are buffered while behind (they sit *after* the gap in the
+//! deterministic execution order) and drained once a weak quorum of
+//! peers confirms we stand at their heads. That buffer is bounded by
+//! catch-up duration × commit rate, **not** by the ack queue: capping
+//! it would have to drop commits this replica (but possibly not yet
+//! its peers) decided, leaving a permanent hole that forks the chain
+//! on the next append. Bounding it properly means pausing consensus
+//! participation during recovery — an open item (ROADMAP), like
+//! serving catch-up from pruned history (a peer answers only from its
+//! in-memory payload cache).
+
+use crate::envelope::{encode_catchup_req, encode_catchup_resp, CatchUpBlock, Envelope};
+use crate::fabric::Fabric;
+use crate::observe::{CommitLog, CommittedEntry, Inform};
+use spotless_crypto::KeyStore;
+use spotless_ledger::{Block, CommitProof, Ledger};
+use spotless_storage::DurableLedger;
+use spotless_types::{
+    BatchId, ClientBatch, ClientId, ClusterConfig, CommitInfo, Digest, ReplicaId, SimTime,
+};
+use spotless_workload::{decode_txns, KvStore, Transaction};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tokio::sync::mpsc;
+
+/// Upper bound on blocks per catch-up response; the requester iterates.
+const CATCHUP_MAX_BLOCKS: usize = 256;
+
+/// Upper bound on cumulative *payload* bytes per catch-up response.
+/// The TCP fabric rejects frames over 8 MiB, and the JSON byte-array
+/// encoding inflates payloads ~4x — so a block-count bound alone would
+/// let realistic batches (hundreds of KB each) build unsendable
+/// responses and wedge catch-up forever. 1 MiB of raw payload keeps the
+/// serialized frame comfortably inside the limit.
+const CATCHUP_MAX_BYTES: usize = 1 << 20;
+
+/// Upper bound on payloads retained in memory for serving catch-up.
+/// Durable replicas trim the cache on every snapshot; this cap covers
+/// memory-only deployments (and `snapshot_every = 0`), whose cache
+/// would otherwise grow with every batch ever committed.
+const PAYLOAD_CACHE_MAX: usize = 4096;
+
+/// Commands flowing from the event loop into the pipeline.
+pub(crate) enum PipelineCmd {
+    /// A consensus decision to persist, execute, and acknowledge.
+    Commit(CommitInfo),
+    /// A peer asked for our executed blocks from `from_height`.
+    Serve { to: ReplicaId, from_height: u64 },
+    /// A peer answered our catch-up request.
+    Apply {
+        from: ReplicaId,
+        peer_height: u64,
+        blocks: Vec<CatchUpBlock>,
+    },
+    /// Periodic nudge while behind: re-issue the catch-up request (to
+    /// the next peer, in case the previous one could not serve us).
+    CatchUpTick,
+}
+
+/// The chain store: durable when the deployment has a storage dir,
+/// purely in-memory otherwise. Both paths share the ledger's hash-chain
+/// verification.
+enum Store {
+    Durable(Box<DurableLedger>),
+    Mem(Ledger),
+}
+
+impl Store {
+    fn ledger(&self) -> &Ledger {
+        match self {
+            Store::Durable(d) => d.ledger(),
+            Store::Mem(l) => l,
+        }
+    }
+
+    fn append_batch(&mut self, id: BatchId, digest: Digest, txns: u32, proof: CommitProof) -> bool {
+        match self {
+            Store::Durable(d) => d.append_batch(id, digest, txns, proof).is_ok(),
+            Store::Mem(l) => {
+                l.append(id, digest, txns, proof);
+                true
+            }
+        }
+    }
+
+    fn append_foreign(&mut self, block: Block) -> bool {
+        match self {
+            Store::Durable(d) => d.append_block(block).is_ok(),
+            Store::Mem(l) => l.append_existing(block).is_ok(),
+        }
+    }
+
+    /// Fsyncs the log; `false` means the group is NOT durable and the
+    /// caller must not acknowledge it. A failed fsync poisons the store
+    /// by contract — subsequent appends fail too, so the replica stops
+    /// acknowledging anything until restarted.
+    #[must_use]
+    fn sync(&mut self) -> bool {
+        match self {
+            Store::Durable(d) => d.sync().is_ok(),
+            Store::Mem(_) => true,
+        }
+    }
+
+    /// Snapshots if due; returns the snapshot height when one was
+    /// written (the caller trims its payload cache to match the disk
+    /// pruning the snapshot performed).
+    fn maybe_snapshot(&mut self, kv: &KvStore) -> Option<u64> {
+        if let Store::Durable(d) = self {
+            if d.snapshot_due() {
+                return d.force_snapshot(&kv.to_snapshot_bytes()).ok();
+            }
+        }
+        None
+    }
+}
+
+enum Mode {
+    Synced,
+    /// Behind the cluster: live commits buffer here until the gap in
+    /// the execution order is filled from peers.
+    CatchingUp {
+        pending: Vec<CommitInfo>,
+        /// Peers that confirmed we stand at (or above) their head. One
+        /// lagging peer's word is not enough to declare ourselves
+        /// caught up — it might be freshly restarted too; a weak quorum
+        /// (`f + 1`) of confirmations guarantees at least one honest,
+        /// current peer among them.
+        confirmed: std::collections::HashSet<ReplicaId>,
+    },
+}
+
+pub(crate) struct Pipeline<F: Fabric> {
+    me: ReplicaId,
+    cluster: ClusterConfig,
+    keystore: KeyStore,
+    fabric: F,
+    store: Store,
+    kv: KvStore,
+    /// Height up to which `kv` reflects executed batches (≤ chain height
+    /// right after a restart whose snapshot trails the log).
+    kv_height: u64,
+    /// Batch payloads for heights `payload_base..` (serves catch-up).
+    payloads: Vec<Vec<u8>>,
+    payload_base: u64,
+    commits: CommitLog,
+    informs: mpsc::UnboundedSender<Inform>,
+    mode: Mode,
+    synced: Arc<AtomicBool>,
+    /// Peer rotation cursor for catch-up requests.
+    catchup_cursor: u32,
+}
+
+impl<F: Fabric> Pipeline<F> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        me: ReplicaId,
+        cluster: ClusterConfig,
+        keystore: KeyStore,
+        fabric: F,
+        durable: Option<DurableLedger>,
+        kv: KvStore,
+        kv_height: u64,
+        commits: CommitLog,
+        informs: mpsc::UnboundedSender<Inform>,
+        synced: Arc<AtomicBool>,
+        allow_catchup: bool,
+    ) -> Pipeline<F> {
+        let is_durable = durable.is_some();
+        let store = match durable {
+            Some(d) => Store::Durable(Box::new(d)),
+            None => Store::Mem(Ledger::new()),
+        };
+        let chain_height = store.ledger().height();
+        // Every durable replica boots in catch-up: a height-0 store
+        // cannot prove freshness — the process may have crashed before
+        // its first group fsync while the cluster moved on. At a
+        // genuinely fresh cluster boot this self-resolves in a couple
+        // of round trips (peers confirm height 0 immediately).
+        // Memory-only replicas start synced: nothing survives a crash,
+        // so "restart" is not a supported operation for them. A silent
+        // (crash-faulty) deployment must emit nothing — not even
+        // catch-up requests — so it never enters catch-up.
+        let behind = allow_catchup && (is_durable || chain_height > 0 || kv_height > 0);
+        let mode = if behind {
+            Mode::CatchingUp {
+                pending: Vec::new(),
+                confirmed: std::collections::HashSet::new(),
+            }
+        } else {
+            Mode::Synced
+        };
+        synced.store(!behind, Ordering::Relaxed);
+        Pipeline {
+            me,
+            cluster,
+            keystore,
+            fabric,
+            payload_base: chain_height,
+            store,
+            kv,
+            kv_height,
+            payloads: Vec::new(),
+            commits,
+            informs,
+            mode,
+            synced,
+            catchup_cursor: 0,
+        }
+    }
+
+    pub(crate) async fn run(mut self, mut rx: mpsc::Receiver<PipelineCmd>, group_max: usize) {
+        if matches!(self.mode, Mode::CatchingUp { .. }) {
+            self.send_catchup_req();
+        }
+        while let Some(first) = rx.recv().await {
+            // Drain opportunistically up to the group bound: everything
+            // taken here shares one fsync.
+            let mut cmds = vec![first];
+            while cmds.len() < group_max {
+                match rx.try_recv() {
+                    Some(cmd) => cmds.push(cmd),
+                    None => break,
+                }
+            }
+            let mut group: Vec<CommitInfo> = Vec::new();
+            for cmd in cmds {
+                match cmd {
+                    PipelineCmd::Commit(info) => group.push(info),
+                    other => {
+                        self.flush(std::mem::take(&mut group));
+                        self.handle(other);
+                    }
+                }
+            }
+            self.flush(group);
+        }
+    }
+
+    fn handle(&mut self, cmd: PipelineCmd) {
+        match cmd {
+            PipelineCmd::Commit(_) => unreachable!("commits are grouped by the caller"),
+            PipelineCmd::Serve { to, from_height } => self.serve_catchup(to, from_height),
+            PipelineCmd::Apply {
+                from,
+                peer_height,
+                blocks,
+            } => self.apply_catchup(from, peer_height, blocks),
+            PipelineCmd::CatchUpTick => {
+                if matches!(self.mode, Mode::CatchingUp { .. }) {
+                    self.catchup_cursor += 1; // previous peer did not get us there
+                    self.send_catchup_req();
+                }
+            }
+        }
+    }
+
+    /// Applies a group of live commits: append all, fsync once, then
+    /// execute and acknowledge. While catching up, commits are buffered
+    /// instead — they sit after the gap in the execution order.
+    fn flush(&mut self, group: Vec<CommitInfo>) {
+        if group.is_empty() {
+            return;
+        }
+        if let Mode::CatchingUp { pending, .. } = &mut self.mode {
+            pending.extend(group);
+            return;
+        }
+        let mut executed: Vec<(CommitInfo, Digest)> = Vec::new();
+        for info in group {
+            if let Some(result) = self.apply_one(&info) {
+                executed.push((info, result));
+            }
+        }
+        // Group commit: one fsync covers every append above. If it
+        // fails, nothing in the group may be acknowledged — the client
+        // would count an ack for state a crash can still lose.
+        if !self.store.sync() {
+            return;
+        }
+        self.snapshot_and_trim();
+        // Acknowledge only after durability.
+        for (info, result) in executed {
+            let batch = info.batch.id;
+            self.commits.push(CommittedEntry {
+                replica: self.me,
+                info,
+                state_digest: result,
+            });
+            let _ = self.informs.send(Inform {
+                from: self.me,
+                batch,
+                result,
+            });
+        }
+    }
+
+    /// Appends and executes one live commit (no fsync — the group owns
+    /// that). Returns the post-execution state digest, or `None` when
+    /// the commit produces no acknowledgement (no-op, duplicate, or
+    /// malformed payload).
+    fn apply_one(&mut self, info: &CommitInfo) -> Option<Digest> {
+        if info.batch.is_noop() {
+            return None;
+        }
+        if self.store.ledger().find_batch(info.batch.id).is_some() {
+            return None; // already applied via catch-up
+        }
+        // Decode *before* appending: the ledger and the payload cache
+        // must only ever hold executable blocks, or the cache's
+        // height-indexing drifts and catch-up serves wrong payloads.
+        let txns = match decode_payload(&info.batch.payload) {
+            Ok(txns) => txns,
+            Err(()) => return None, // malformed payload: never commit it
+        };
+        let proof = CommitProof {
+            instance: info.instance,
+            view: info.view,
+            // Certificate signer sets are not surfaced through
+            // `CommitInfo`; recording them is an open item (ROADMAP).
+            signers: Vec::new(),
+        };
+        if !self
+            .store
+            .append_batch(info.batch.id, info.batch.digest, info.batch.txns, proof)
+        {
+            return None; // storage poisoned; stop acknowledging
+        }
+        let result = match txns {
+            Some(txns) => self.kv.execute_batch(&txns),
+            None => self.kv.state_digest(), // empty (simulation-style) payload
+        };
+        self.kv_height = self.store.ledger().height();
+        self.payloads.push(info.batch.payload.clone());
+        Some(result)
+    }
+
+    /// Snapshots if due and trims the in-memory payload cache: to the
+    /// snapshot height (matching the pruning the snapshot performed on
+    /// disk), and in any case to [`PAYLOAD_CACHE_MAX`] entries so
+    /// memory-only deployments do not retain every payload ever
+    /// committed. Serving catch-up starts at the trimmed base; older
+    /// history comes from another peer (or not at all — ROADMAP).
+    fn snapshot_and_trim(&mut self) {
+        let mut trim_to = self.store.maybe_snapshot(&self.kv).unwrap_or(0);
+        let height = self.payload_base + self.payloads.len() as u64;
+        trim_to = trim_to.max(height.saturating_sub(PAYLOAD_CACHE_MAX as u64));
+        if trim_to > self.payload_base {
+            let n = (trim_to - self.payload_base) as usize;
+            self.payloads.drain(..n.min(self.payloads.len()));
+            self.payload_base = trim_to;
+        }
+    }
+
+    // ── catch-up: serving side ──────────────────────────────────────
+
+    fn serve_catchup(&mut self, to: ReplicaId, from_height: u64) {
+        let height = self.store.ledger().height();
+        let mut blocks = Vec::new();
+        if from_height >= self.payload_base {
+            let mut h = from_height;
+            let mut bytes = 0usize;
+            while h < height && blocks.len() < CATCHUP_MAX_BLOCKS && bytes < CATCHUP_MAX_BYTES {
+                let Some(block) = self.store.ledger().block(h) else {
+                    break;
+                };
+                // The cache is index-aligned with the chain by
+                // construction; fail soft (shorter response) over
+                // panicking the pipeline if that ever regresses.
+                let Some(payload) = self.payloads.get((h - self.payload_base) as usize) else {
+                    break;
+                };
+                bytes += payload.len() + 160; // block overhead estimate
+                blocks.push(CatchUpBlock {
+                    block: block.clone(),
+                    payload: payload.clone(),
+                });
+                h += 1;
+            }
+        }
+        // else: the requester wants history from before our payload
+        // cache; send an empty response so it rotates to another peer.
+        let env = Envelope::seal(&self.keystore, encode_catchup_resp(height, &blocks));
+        self.fabric.send(to, env);
+    }
+
+    // ── catch-up: requesting side ───────────────────────────────────
+
+    fn send_catchup_req(&mut self) {
+        let n = self.cluster.n;
+        if n <= 1 {
+            self.finish_catchup();
+            return;
+        }
+        // Rotate over peers, skipping ourselves.
+        let offset = 1 + self.catchup_cursor % (n - 1);
+        let peer = ReplicaId((self.me.0 + offset) % n);
+        let env = Envelope::seal(&self.keystore, encode_catchup_req(self.kv_height));
+        self.fabric.send(peer, env);
+    }
+
+    fn apply_catchup(&mut self, from: ReplicaId, peer_height: u64, blocks: Vec<CatchUpBlock>) {
+        if !matches!(self.mode, Mode::CatchingUp { .. }) {
+            return; // stale response
+        }
+        let mut appended = false;
+        let mut applied: Vec<(CommitInfo, Digest)> = Vec::new();
+        for cb in blocks {
+            let h = cb.block.height;
+            if h < self.kv_height {
+                continue; // already executed
+            }
+            // Payload bytes must hash to the batch digest the block
+            // commits to — unconditionally, or a Byzantine peer could
+            // strip payloads and silently diverge our execution state.
+            // (Legitimately empty batches hash the empty byte string.)
+            if spotless_crypto::digest_bytes(&cb.payload) != cb.block.batch_digest {
+                break; // forged or corrupt: keep what validated so far
+            }
+            let Ok(txns) = decode_payload(&cb.payload) else {
+                break; // undecodable payload: same treatment
+            };
+            let chain_height = self.store.ledger().height();
+            if h < chain_height {
+                // We hold this block already (logged before the crash);
+                // the peer is only supplying the payload to re-execute.
+                match self.store.ledger().block(h) {
+                    Some(mine) if *mine == cb.block => {}
+                    _ => break, // divergent peer: drop the rest
+                }
+            } else if h == chain_height {
+                // New to us: must extend our head (hash-chain checked).
+                if !self.store.append_foreign(cb.block.clone()) {
+                    break;
+                }
+                self.payloads.push(cb.payload.clone());
+                appended = true;
+            } else {
+                break; // gap: the response is not contiguous with us
+            }
+            let result = match txns {
+                Some(txns) => self.kv.execute_batch(&txns),
+                None => self.kv.state_digest(),
+            };
+            self.kv_height = h + 1;
+            // `cb` is consumed here (payload moved, not copied — the
+            // cache clone above is the only copy made per block).
+            applied.push((commit_info_of(cb), result));
+        }
+        // Durability before any acknowledgement — a torn response (or a
+        // failed fsync) must not lose blocks a client already counted
+        // toward its quorum.
+        if appended {
+            if !self.store.sync() {
+                return; // poisoned store: acknowledge nothing, stall
+            }
+            self.snapshot_and_trim();
+        }
+        let progressed = !applied.is_empty();
+        for (info, result) in applied {
+            let batch = info.batch.id;
+            self.commits.push(CommittedEntry {
+                replica: self.me,
+                info,
+                state_digest: result,
+            });
+            let _ = self.informs.send(Inform {
+                from: self.me,
+                batch,
+                result,
+            });
+        }
+
+        // "At this peer's head" must also mean our *own* chain is fully
+        // executed: after a restart the log can be ahead of the KV
+        // snapshot, and declaring ourselves synced before re-executing
+        // those logged blocks would hide the gap forever (live-commit
+        // dedup skips blocks already on the chain).
+        let chain_height = self.store.ledger().height();
+        let at_peer_head = self.kv_height >= chain_height && chain_height >= peer_height;
+        let weak_quorum = self.cluster.weak_quorum() as usize;
+        let quorum_confirmed = {
+            let Mode::CatchingUp { confirmed, .. } = &mut self.mode else {
+                return;
+            };
+            if progressed {
+                // The cluster head moved under us; earlier
+                // confirmations are stale.
+                confirmed.clear();
+            }
+            if !at_peer_head {
+                // More to fetch: keep pulling from the same peer.
+                None
+            } else {
+                // This peer has nothing above us. One lagging peer
+                // proves nothing (it may be freshly restarted itself);
+                // collect a weak quorum of such confirmations before
+                // declaring ourselves caught up.
+                confirmed.insert(from);
+                Some(confirmed.len() >= weak_quorum)
+            }
+        };
+        match quorum_confirmed {
+            Some(true) => self.finish_catchup(),
+            Some(false) => {
+                self.catchup_cursor += 1;
+                self.send_catchup_req();
+            }
+            // Re-request immediately only when this response moved us
+            // forward (pulling a long chain in capped slices). A
+            // zero-progress response (peer pruned our range, or is
+            // behind us) must NOT re-request in a tight loop — the
+            // periodic tick retries and rotates peers instead.
+            None if progressed => self.send_catchup_req(),
+            None => {}
+        }
+    }
+
+    fn finish_catchup(&mut self) {
+        let pending = match std::mem::replace(&mut self.mode, Mode::Synced) {
+            Mode::CatchingUp { pending, .. } => pending,
+            Mode::Synced => Vec::new(),
+        };
+        self.synced.store(true, Ordering::Relaxed);
+        // Live commits buffered during catch-up: apply what the
+        // catch-up did not already cover (dedup by batch id).
+        self.flush(pending);
+    }
+}
+
+/// Decodes a batch payload: `Ok(None)` for the empty (simulation-style)
+/// payload, `Ok(Some(txns))` when it parses, `Err(())` when malformed.
+fn decode_payload(payload: &[u8]) -> Result<Option<Vec<Transaction>>, ()> {
+    if payload.is_empty() {
+        return Ok(None);
+    }
+    decode_txns(payload).map(Some).ok_or(())
+}
+
+/// Reconstructs commit metadata for a block applied via catch-up,
+/// consuming it (the payload is moved, not copied). The original client
+/// batch envelope is gone; what matters downstream is the batch
+/// identity, digest, and payload.
+fn commit_info_of(cb: CatchUpBlock) -> CommitInfo {
+    CommitInfo {
+        instance: cb.block.proof.instance,
+        view: cb.block.proof.view,
+        depth: cb.block.height,
+        batch: ClientBatch {
+            id: cb.block.batch_id,
+            origin: ClientId(u64::MAX),
+            digest: cb.block.batch_digest,
+            txns: cb.block.txns,
+            txn_size: 0,
+            created_at: SimTime::ZERO,
+            payload: cb.payload,
+        },
+    }
+}

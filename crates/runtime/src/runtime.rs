@@ -1,0 +1,513 @@
+//! The replica runtime: one event loop per replica driving any sans-IO
+//! protocol [`Node`] over any [`Fabric`].
+//!
+//! The loop is deliberately a pipeline, not a straight line:
+//!
+//! * **ordering** runs on the event-loop task (the protocol state
+//!   machine steps on deliveries, timers, and client requests);
+//! * **durability + execution + replies** run on the commit worker
+//!   ([`crate::pipeline`]), fed through a bounded queue — consensus
+//!   never waits for an fsync, and execution of slot `k` overlaps with
+//!   ordering of slot `k + j`;
+//! * **outbound traffic** is serialized and signed once per message;
+//!   broadcast fan-out shares the bytes via `Arc` (see
+//!   [`crate::envelope`]).
+//!
+//! Restart story: give the runtime the same storage directory it had
+//! before the crash and it recovers the hash-chained ledger from the
+//! segmented log, the KV state from the newest snapshot, and then runs
+//! the catch-up exchange against its peers until it rejoins the
+//! cluster's head. See `tests/transport_e2e.rs` (facade crate) for the
+//! end-to-end crash–restart proof.
+
+use crate::envelope::{decode, encode_protocol, Envelope, WireMsg};
+use crate::fabric::Fabric;
+use crate::observe::{CommitLog, Inform};
+use crate::pipeline::{Pipeline, PipelineCmd};
+use serde::{Deserialize, Serialize};
+use spotless_crypto::KeyStore;
+use spotless_storage::log::SyncPolicy;
+use spotless_storage::{DurableLedger, DurableLedgerOptions, StorageError};
+use spotless_types::{
+    ClientBatch, ClusterConfig, CommitInfo, Context, Input, InstanceId, Node, NodeId, ReplicaId,
+    SimDuration, SimTime, TimerId, TimerKind, View,
+};
+use spotless_workload::KvStore;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tokio::sync::mpsc;
+use tokio::time::Instant;
+
+/// Timer kind reserved for the runtime's catch-up retry tick. Protocols
+/// must not arm `Custom(0xCA7C)` themselves (none in this workspace do;
+/// `Custom` is otherwise harness territory).
+pub const CATCHUP_TICK: TimerKind = TimerKind::Custom(0xCA7C);
+
+/// Durability settings for one replica.
+#[derive(Clone, Debug)]
+pub struct StorageConfig {
+    /// Directory holding the segmented log and snapshots.
+    pub dir: PathBuf,
+    /// Log/snapshot tuning. The log's sync policy is overridden to
+    /// [`SyncPolicy::Manual`]: the commit pipeline owns fsync cadence
+    /// (one per commit group), which is the whole point of group commit.
+    pub options: DurableLedgerOptions,
+}
+
+impl StorageConfig {
+    /// Default options rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> StorageConfig {
+        StorageConfig {
+            dir: dir.into(),
+            options: DurableLedgerOptions::default(),
+        }
+    }
+}
+
+/// Per-replica runtime construction parameters.
+pub struct RuntimeConfig {
+    /// Cluster shape and protocol timeouts.
+    pub cluster: ClusterConfig,
+    /// This replica's identity.
+    pub me: ReplicaId,
+    /// Key material for envelope signing/verification.
+    pub keystore: KeyStore,
+    /// Durable storage; `None` runs the chain in memory only.
+    pub storage: Option<StorageConfig>,
+    /// Depth of the bounded consensus → storage/execution queue (the
+    /// "ack queue"). When the pipeline falls this far behind, consensus
+    /// blocks — bounded lag by construction.
+    pub commit_queue: usize,
+    /// Maximum commits folded into one fsync group.
+    pub group_commit: usize,
+    /// Retry period for the catch-up exchange while behind.
+    pub catchup_interval: SimDuration,
+    /// Crash-faulty deployment: consume inputs, emit nothing (the A1
+    /// behaviour at transport level).
+    pub silent: bool,
+}
+
+impl RuntimeConfig {
+    /// Defaults: in-memory chain, 256-deep ack queue, 64-commit groups.
+    pub fn new(cluster: ClusterConfig, me: ReplicaId, keystore: KeyStore) -> RuntimeConfig {
+        RuntimeConfig {
+            cluster,
+            me,
+            keystore,
+            storage: None,
+            commit_queue: 256,
+            group_commit: 64,
+            catchup_interval: SimDuration::from_millis(150),
+            silent: false,
+        }
+    }
+}
+
+/// What recovery found on disk when the runtime started.
+#[derive(Clone, Debug)]
+pub struct RecoveryInfo {
+    /// Height covered by the snapshot the KV state was restored from.
+    pub snapshot_height: u64,
+    /// Chain height after log replay.
+    pub chain_height: u64,
+    /// Blocks replayed from the log above the snapshot.
+    pub replayed_blocks: u64,
+    /// Whether a torn tail was truncated from the newest segment.
+    pub truncated_tail: bool,
+}
+
+/// Control-plane messages (untyped: usable by clients and harnesses
+/// without naming the protocol's message type).
+pub enum ControlMsg {
+    /// Submit a client batch to this replica.
+    Request(ClientBatch),
+    /// Stop the replica's tasks.
+    Shutdown,
+}
+
+/// Handle to a spawned replica: submit requests, observe recovery,
+/// shut down. Cloneable; all clones address the same replica.
+#[derive(Clone)]
+pub struct ReplicaHandle {
+    me: ReplicaId,
+    control: mpsc::UnboundedSender<ControlMsg>,
+    recovery: Option<Arc<RecoveryInfo>>,
+    synced: Arc<AtomicBool>,
+    stopped: Arc<AtomicBool>,
+}
+
+impl ReplicaHandle {
+    /// This replica's identity.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// Submits a client batch to this replica (fire-and-forget; the
+    /// inform path carries the result).
+    pub fn submit(&self, batch: ClientBatch) {
+        let _ = self.control.send(ControlMsg::Request(batch));
+    }
+
+    /// Asks the replica to stop. Idempotent.
+    pub fn shutdown(&self) {
+        let _ = self.control.send(ControlMsg::Shutdown);
+    }
+
+    /// What recovery reconstructed at spawn (None without storage).
+    pub fn recovery(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_deref()
+    }
+
+    /// True once the replica has rejoined the cluster head (always true
+    /// for replicas that started fresh).
+    pub fn is_synced(&self) -> bool {
+        self.synced.load(Ordering::Relaxed)
+    }
+
+    /// True once the replica's pipeline has fully stopped and released
+    /// its durable store. A harness restarting a replica on the same
+    /// storage directory must wait for this — two live stores on one
+    /// directory corrupt the log.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Relaxed)
+    }
+}
+
+/// Buffered effect collector handed to the protocol on each step.
+struct RuntimeCtx<M> {
+    start: Instant,
+    me: NodeId,
+    sends: Vec<(NodeId, M)>,
+    broadcasts: Vec<M>,
+    timers: Vec<(TimerId, SimDuration)>,
+    commits: Vec<CommitInfo>,
+}
+
+impl<M> Context for RuntimeCtx<M> {
+    type Message = M;
+
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_nanos() as u64)
+    }
+    fn id(&self) -> NodeId {
+        self.me
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+    fn broadcast(&mut self, msg: M) {
+        self.broadcasts.push(msg);
+    }
+    fn set_timer(&mut self, id: TimerId, after: SimDuration) {
+        self.timers.push((id, after));
+    }
+    fn commit(&mut self, info: CommitInfo) {
+        self.commits.push(info);
+    }
+}
+
+/// Internal event-loop alphabet.
+enum Event<M> {
+    /// A signed envelope arrived from the fabric.
+    Envelope(Envelope),
+    /// Local self-delivery (broadcast includes the sender, Remark 3.1) —
+    /// skips serialization and signature verification entirely.
+    Loopback(M),
+    /// An armed timer fired.
+    Timer(TimerId),
+    /// A client batch arrived.
+    Request(ClientBatch),
+    /// Stop.
+    Shutdown,
+}
+
+/// The protocol-agnostic replica runtime. See the module docs; spawn
+/// one per replica with [`ReplicaRuntime::spawn`].
+pub struct ReplicaRuntime;
+
+impl ReplicaRuntime {
+    /// Opens storage (recovering whatever a previous process left),
+    /// spawns the event-loop and pipeline tasks, and returns the
+    /// replica's handle. `envelopes` is the inbound half the fabric
+    /// writes to; `commits`/`informs` are the observation and client
+    /// reply paths (typically shared across a cluster).
+    ///
+    /// Must be called inside a tokio runtime.
+    pub fn spawn<N, F>(
+        node: N,
+        cfg: RuntimeConfig,
+        fabric: F,
+        envelopes: mpsc::UnboundedReceiver<Envelope>,
+        commits: CommitLog,
+        informs: mpsc::UnboundedSender<Inform>,
+    ) -> Result<ReplicaHandle, StorageError>
+    where
+        N: Node + Send + 'static,
+        N::Message: Serialize + Deserialize + Send + 'static,
+        F: Fabric,
+    {
+        // 1. Recover durable state (before any task runs).
+        let mut durable = None;
+        let mut kv = KvStore::new();
+        let mut kv_height = 0;
+        let mut recovery = None;
+        if let Some(storage) = &cfg.storage {
+            let mut options = storage.options;
+            // Group commit owns fsync cadence; see StorageConfig docs.
+            options.log.sync = SyncPolicy::Manual;
+            let (store, report) = DurableLedger::open(&storage.dir, options)?;
+            if !report.app_state.is_empty() {
+                kv = KvStore::from_snapshot_bytes(&report.app_state).ok_or_else(|| {
+                    StorageError::Corrupt {
+                        path: storage.dir.clone(),
+                        offset: 0,
+                        detail: "snapshot app_state is not a KV snapshot",
+                    }
+                })?;
+                kv_height = report.snapshot_height;
+            }
+            recovery = Some(Arc::new(RecoveryInfo {
+                snapshot_height: report.snapshot_height,
+                chain_height: store.ledger().height(),
+                replayed_blocks: report.replayed_blocks,
+                truncated_tail: report.truncated_tail,
+            }));
+            durable = Some(store);
+        }
+
+        let (control_tx, mut control_rx) = mpsc::unbounded_channel::<ControlMsg>();
+        let (events_tx, events_rx) = mpsc::unbounded_channel::<Event<N::Message>>();
+        let (pipeline_tx, pipeline_rx) = mpsc::channel::<PipelineCmd>(cfg.commit_queue.max(1));
+        let synced = Arc::new(AtomicBool::new(true));
+
+        // 2. The commit pipeline (durability + execution + replies).
+        let pipeline = Pipeline::new(
+            cfg.me,
+            cfg.cluster.clone(),
+            cfg.keystore.clone(),
+            fabric.clone(),
+            durable,
+            kv,
+            kv_height,
+            commits,
+            informs,
+            synced.clone(),
+            !cfg.silent,
+        );
+        let group_max = cfg.group_commit.max(1);
+        let stopped = Arc::new(AtomicBool::new(false));
+        let stopped_signal = stopped.clone();
+        tokio::spawn(async move {
+            // `run` owns the durable store; it is dropped (closed) when
+            // the future completes, and only then is `stopped` raised —
+            // the restart path relies on that ordering.
+            pipeline.run(pipeline_rx, group_max).await;
+            stopped_signal.store(true, Ordering::Relaxed);
+        });
+
+        // 3. Ingress forwarders: fabric envelopes and the control plane
+        //    both feed the single typed event queue.
+        let env_events = events_tx.clone();
+        let mut envelopes = envelopes;
+        tokio::spawn(async move {
+            while let Some(env) = envelopes.recv().await {
+                if env_events.send(Event::Envelope(env)).is_err() {
+                    break;
+                }
+            }
+        });
+        let ctl_events = events_tx.clone();
+        tokio::spawn(async move {
+            while let Some(msg) = control_rx.recv().await {
+                let stop = matches!(msg, ControlMsg::Shutdown);
+                let event = match msg {
+                    ControlMsg::Request(batch) => Event::Request(batch),
+                    ControlMsg::Shutdown => Event::Shutdown,
+                };
+                if ctl_events.send(event).is_err() || stop {
+                    break;
+                }
+            }
+        });
+
+        // 4. The event loop.
+        let event_loop = EventLoop {
+            me: cfg.me,
+            n: cfg.cluster.n,
+            node,
+            keystore: cfg.keystore,
+            fabric,
+            events_tx,
+            pipeline_tx,
+            synced: synced.clone(),
+            catchup_interval: cfg.catchup_interval,
+            start: Instant::now(),
+            silent: cfg.silent,
+        };
+        tokio::spawn(event_loop.run(events_rx));
+
+        Ok(ReplicaHandle {
+            me: cfg.me,
+            control: control_tx,
+            recovery,
+            synced,
+            stopped,
+        })
+    }
+}
+
+struct EventLoop<N: Node, F: Fabric> {
+    me: ReplicaId,
+    n: u32,
+    node: N,
+    keystore: KeyStore,
+    fabric: F,
+    events_tx: mpsc::UnboundedSender<Event<N::Message>>,
+    pipeline_tx: mpsc::Sender<PipelineCmd>,
+    synced: Arc<AtomicBool>,
+    catchup_interval: SimDuration,
+    start: Instant,
+    silent: bool,
+}
+
+impl<N, F> EventLoop<N, F>
+where
+    N: Node + Send + 'static,
+    N::Message: Serialize + Deserialize + Send + 'static,
+    F: Fabric,
+{
+    async fn run(mut self, mut events: mpsc::UnboundedReceiver<Event<N::Message>>) {
+        if self.silent {
+            // A1: consume and drop everything until shutdown.
+            while let Some(ev) = events.recv().await {
+                if matches!(ev, Event::Shutdown) {
+                    return;
+                }
+            }
+            return;
+        }
+        if !self.synced.load(Ordering::Relaxed) {
+            self.arm_catchup_tick();
+        }
+        self.step(Input::Start).await;
+        while let Some(ev) = events.recv().await {
+            match ev {
+                Event::Envelope(env) => {
+                    if !env.verify(&self.keystore) {
+                        continue;
+                    }
+                    match decode::<N::Message>(&env.payload) {
+                        Some(WireMsg::Protocol(msg)) => {
+                            self.step(Input::Deliver {
+                                from: env.from.into(),
+                                msg,
+                            })
+                            .await;
+                        }
+                        Some(WireMsg::CatchUpReq { from_height }) => {
+                            let _ = self
+                                .pipeline_tx
+                                .send(PipelineCmd::Serve {
+                                    to: env.from,
+                                    from_height,
+                                })
+                                .await;
+                        }
+                        Some(WireMsg::CatchUpResp {
+                            peer_height,
+                            blocks,
+                        }) => {
+                            let _ = self
+                                .pipeline_tx
+                                .send(PipelineCmd::Apply {
+                                    from: env.from,
+                                    peer_height,
+                                    blocks,
+                                })
+                                .await;
+                        }
+                        None => {} // malformed: drop
+                    }
+                }
+                Event::Loopback(msg) => {
+                    self.step(Input::Deliver {
+                        from: self.me.into(),
+                        msg,
+                    })
+                    .await;
+                }
+                Event::Timer(id) if id.kind == CATCHUP_TICK => {
+                    if !self.synced.load(Ordering::Relaxed) {
+                        let _ = self.pipeline_tx.send(PipelineCmd::CatchUpTick).await;
+                        self.arm_catchup_tick();
+                    }
+                }
+                Event::Timer(id) => self.step(Input::Timer(id)).await,
+                Event::Request(batch) => self.step(Input::Request(batch)).await,
+                Event::Shutdown => return,
+            }
+        }
+    }
+
+    /// Steps the protocol once and applies its effects: commits into
+    /// the bounded pipeline, timers onto real sleeps, messages sealed
+    /// once and fanned out through the fabric.
+    async fn step(&mut self, input: Input<N::Message>) {
+        let mut ctx = RuntimeCtx {
+            start: self.start,
+            me: self.me.into(),
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+            timers: Vec::new(),
+            commits: Vec::new(),
+        };
+        self.node.on_input(input, &mut ctx);
+        for info in ctx.commits.drain(..) {
+            // Bounded: consensus blocks here iff the storage/execution
+            // pipeline is `commit_queue` slots behind (the ack queue).
+            let _ = self.pipeline_tx.send(PipelineCmd::Commit(info)).await;
+        }
+        for (id, after) in ctx.timers.drain(..) {
+            self.arm_timer(id, after);
+        }
+        for (to, msg) in ctx.sends.drain(..) {
+            let NodeId::Replica(to) = to else {
+                continue; // client replies travel the inform path
+            };
+            if to == self.me {
+                let _ = self.events_tx.send(Event::Loopback(msg));
+            } else {
+                let env = Envelope::seal(&self.keystore, encode_protocol(&msg));
+                self.fabric.send(to, env);
+            }
+        }
+        for msg in ctx.broadcasts.drain(..) {
+            // Serialize + sign once; every peer shares the same Arc'd
+            // bytes. Self-delivery is a local loopback (Remark 3.1).
+            let env = Envelope::seal(&self.keystore, encode_protocol(&msg));
+            for r in 0..self.n {
+                if r != self.me.0 {
+                    self.fabric.send(ReplicaId(r), env.clone());
+                }
+            }
+            let _ = self.events_tx.send(Event::Loopback(msg));
+        }
+    }
+
+    fn arm_timer(&self, id: TimerId, after: SimDuration) {
+        let tx = self.events_tx.clone();
+        let dur = std::time::Duration::from_nanos(after.as_nanos());
+        tokio::spawn(async move {
+            tokio::time::sleep(dur).await;
+            let _ = tx.send(Event::Timer(id));
+        });
+    }
+
+    fn arm_catchup_tick(&self) {
+        self.arm_timer(
+            TimerId::new(CATCHUP_TICK, InstanceId(0), View(0)),
+            self.catchup_interval,
+        );
+    }
+}

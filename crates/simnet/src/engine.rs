@@ -34,6 +34,7 @@ use spotless_types::{
 };
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Simulation parameters beyond the cluster configuration.
 #[derive(Clone, Debug)]
@@ -129,9 +130,17 @@ pub struct SimReport {
 
 enum EventKind<M> {
     /// A protocol message finished crossing the wire; charge receiver CPU.
-    WireArrival { to: u32, from: NodeId, msg: M },
+    ///
+    /// Messages ride the queue behind an `Arc`: a broadcast to `n − 1`
+    /// destinations shares one materialized message, and the deep clone
+    /// (needed because `Input::Deliver` hands the handler an owned
+    /// value) happens only at delivery — never for copies that are
+    /// dropped, blocked, or lost on the wire. Costs stay per
+    /// destination: every copy still pays NIC serialization, link
+    /// latency, and receiver CPU individually.
+    WireArrival { to: u32, from: NodeId, msg: Arc<M> },
     /// Receiver CPU done; run the protocol handler.
-    HandleMsg { to: u32, from: NodeId, msg: M },
+    HandleMsg { to: u32, from: NodeId, msg: Arc<M> },
     /// A client batch reached the replica's NIC; charge verification.
     RequestArrival { to: u32, batch: ClientBatch },
     /// Request verified; hand to the protocol.
@@ -418,6 +427,10 @@ impl<N: Node, D: Driver> Simulation<N, D> {
                 self.push(done, EventKind::HandleMsg { to, from, msg });
             }
             EventKind::HandleMsg { to, from, msg } => {
+                // The last copy in flight is moved out of the Arc for
+                // free; earlier copies (other destinations still queued)
+                // clone here, at delivery, and nowhere else.
+                let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                 self.deliver_input(to, Input::Deliver { from, msg }, self.now);
             }
             EventKind::RequestArrival { to, batch } => {
@@ -526,7 +539,7 @@ impl<N: Node, D: Driver> Simulation<N, D> {
         let sends = std::mem::take(&mut ctx.sends);
         for (to, msg) in sends {
             match to {
-                NodeId::Replica(r) => self.transmit_to(node, r.0, msg, t_send),
+                NodeId::Replica(r) => self.transmit_to(node, r.0, Arc::new(msg), t_send),
                 NodeId::Client(_) => {
                     // Replies to clients are modelled through `commit`;
                     // explicit client sends are ignored under simulation.
@@ -535,6 +548,10 @@ impl<N: Node, D: Driver> Simulation<N, D> {
         }
         let broadcasts = std::mem::take(&mut ctx.broadcasts);
         for msg in broadcasts {
+            // One shared representation for all n destinations; each
+            // copy is still charged NIC/link/CPU costs individually in
+            // `transmit_to`.
+            let msg = Arc::new(msg);
             // Self-delivery is a free local loopback (Remark 3.1).
             self.push(
                 t_h,
@@ -552,7 +569,7 @@ impl<N: Node, D: Driver> Simulation<N, D> {
         }
     }
 
-    fn transmit_to(&mut self, from: u32, to: u32, msg: N::Message, ready: SimTime) {
+    fn transmit_to(&mut self, from: u32, to: u32, msg: Arc<N::Message>, ready: SimTime) {
         let bytes = msg.wire_size(&self.cfg.resources.sizes);
         // The NIC is occupied whether or not the message is later lost.
         let wire_done = self.nics[from as usize].transmit(ready, bytes, &self.cfg.resources);

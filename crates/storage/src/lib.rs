@@ -300,6 +300,27 @@ impl DurableLedger {
         }
     }
 
+    /// Appends a block that was built elsewhere — decoded from a peer's
+    /// catch-up response or replayed from another log — validating (via
+    /// [`Ledger::append_existing`]) that it extends the current head
+    /// before it is persisted. The write honours the sync policy exactly
+    /// like [`append_batch`](DurableLedger::append_batch).
+    pub fn append_block(&mut self, block: Block) -> Result<(), StorageError> {
+        self.ledger.append_existing(block.clone())?;
+        // Same fail-closed contract as append_batch: a failed write
+        // poisons this handle (drop and re-open).
+        self.log.append(&block)
+    }
+
+    /// True iff enough blocks have accumulated since the last snapshot
+    /// that [`maybe_snapshot`](DurableLedger::maybe_snapshot) would write
+    /// one. Callers with an expensive-to-serialize application state can
+    /// check this before materializing the state bytes.
+    pub fn snapshot_due(&self) -> bool {
+        self.opts.snapshot_every != 0
+            && self.ledger.height() >= self.last_snapshot + self.opts.snapshot_every
+    }
+
     /// Writes a snapshot of `app_state` at the current height if one is
     /// due under `snapshot_every`, pruning old segments and snapshots.
     /// Returns the snapshot height if one was written.
@@ -308,11 +329,7 @@ impl DurableLedger {
     /// application state that reflects every block up to
     /// `ledger().height()`.
     pub fn maybe_snapshot(&mut self, app_state: &[u8]) -> Result<Option<u64>, StorageError> {
-        if self.opts.snapshot_every == 0 {
-            return Ok(None);
-        }
-        let height = self.ledger.height();
-        if height < self.last_snapshot + self.opts.snapshot_every {
+        if !self.snapshot_due() {
             return Ok(None);
         }
         self.force_snapshot(app_state).map(Some)
@@ -353,5 +370,85 @@ impl DurableLedger {
     /// The directory this store lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_types::{InstanceId, ReplicaId, View};
+
+    fn proof(view: u64) -> CommitProof {
+        CommitProof {
+            instance: InstanceId(0),
+            view: View(view),
+            signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+        }
+    }
+
+    #[test]
+    fn append_block_persists_foreign_blocks() {
+        let src_dir = tempfile::tempdir().unwrap();
+        let dst_dir = tempfile::tempdir().unwrap();
+        let opts = DurableLedgerOptions::default();
+        let (mut src, _) = DurableLedger::open(src_dir.path(), opts).unwrap();
+        for i in 0..5 {
+            src.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i))
+                .unwrap();
+        }
+        {
+            let (mut dst, _) = DurableLedger::open(dst_dir.path(), opts).unwrap();
+            for b in src.ledger().iter() {
+                dst.append_block(b.clone()).unwrap();
+            }
+        }
+        // The replica crashes; reopening replays the foreign blocks.
+        let (dst, report) = DurableLedger::open(dst_dir.path(), opts).unwrap();
+        assert_eq!(report.replayed_blocks, 5);
+        assert_eq!(dst.ledger().head_hash(), src.ledger().head_hash());
+    }
+
+    #[test]
+    fn append_block_rejects_blocks_that_do_not_extend_the_head() {
+        let dir = tempfile::tempdir().unwrap();
+        let (mut led, _) =
+            DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
+        let good = led
+            .append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0))
+            .unwrap();
+        // Height 0 again: wrong height for the current head.
+        assert!(matches!(
+            led.append_block(good),
+            Err(StorageError::Ledger { .. })
+        ));
+        assert_eq!(led.ledger().height(), 1);
+    }
+
+    #[test]
+    fn snapshot_due_tracks_the_cadence() {
+        let dir = tempfile::tempdir().unwrap();
+        let opts = DurableLedgerOptions {
+            log: LogOptions::default(),
+            snapshot_every: 3,
+        };
+        let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
+        for i in 0..3 {
+            assert!(!led.snapshot_due(), "not due before block {i}");
+            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i))
+                .unwrap();
+        }
+        assert!(led.snapshot_due());
+        led.maybe_snapshot(b"state").unwrap();
+        assert!(!led.snapshot_due());
+        // Disabled cadence is never due.
+        let dir2 = tempfile::tempdir().unwrap();
+        let opts2 = DurableLedgerOptions {
+            log: LogOptions::default(),
+            snapshot_every: 0,
+        };
+        let (mut led2, _) = DurableLedger::open(dir2.path(), opts2).unwrap();
+        led2.append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0))
+            .unwrap();
+        assert!(!led2.snapshot_due());
     }
 }

@@ -1,169 +1,95 @@
-//! In-process tokio cluster: every replica runs as an async task, all
-//! driving the **same sans-IO `SpotLessReplica`** the simulator uses —
-//! but over real channels, real wall-clock timers, real Ed25519
-//! signatures on every envelope, and real execution against the
-//! key-value store.
+//! In-process fabric and cluster assembly: every replica runs as an
+//! async task on the shared [`ReplicaRuntime`], connected by channels.
 //!
-//! This is the "real deployment" path of the reproduction: the
-//! `quickstart` and `byzantine_bank` examples run on it.
+//! Since PR 2 this module contains **no replica logic** — signing,
+//! verification, execution, durability, and client replies all live in
+//! `spotless-runtime`. What remains is the channel fabric
+//! ([`InProcFabric`]) and the wiring that assembles a cluster from `n`
+//! runtimes plus a [`ClusterClient`]. The same wiring deploys any
+//! protocol implementing the sans-IO `Node` trait; the
+//! [`InProcCluster::spawn`] convenience builds the SpotLess cluster the
+//! `quickstart` and `byzantine_recovery` examples use.
+//!
+//! Envelopes carry the documented simulation-grade keyed-hash
+//! signatures (see `spotless-crypto`'s `signing` module), applied and
+//! checked by the runtime on every hop.
 
 use parking_lot::Mutex;
-use spotless_core::messages::Message;
+use serde::{Deserialize, Serialize};
 use spotless_core::{ReplicaConfig, SpotLessReplica};
 use spotless_crypto::KeyStore;
-use spotless_types::Node as _;
-use spotless_types::{
-    BatchId, ByzantineBehavior, ClientBatch, ClusterConfig, CommitInfo, Context, Digest, Input,
-    NodeId, ReplicaId, SimDuration, SimTime, TimerId,
+use spotless_runtime::{
+    ClusterClient, CommitLog, Envelope, Fabric, Inform, ReplicaHandle, ReplicaRuntime,
+    RuntimeConfig, StorageConfig,
 };
-use spotless_workload::{decode_txns, KvStore};
-use std::collections::HashMap;
+use spotless_storage::StorageError;
+use spotless_types::{ByzantineBehavior, ClusterConfig, Node, ReplicaId};
 use std::sync::Arc;
-use tokio::sync::{mpsc, oneshot};
-use tokio::time::Instant;
+use tokio::sync::mpsc;
 
-/// What flows into a replica task.
-enum ReplicaEvent {
-    Deliver {
-        from: ReplicaId,
-        msg: Message,
-        sig: spotless_crypto::Signature,
-    },
-    Timer(TimerId),
-    Request(ClientBatch),
-    Shutdown,
+pub use spotless_runtime::CommittedEntry;
+
+/// The in-process fabric: one envelope channel per replica. Slots are
+/// swappable so a restarted replica (fresh channel) can rejoin the
+/// same cluster — the crash–recovery tests depend on this.
+#[derive(Clone)]
+pub struct InProcFabric {
+    peers: Arc<Vec<Mutex<mpsc::UnboundedSender<Envelope>>>>,
 }
 
-/// What flows back to the cluster client.
-struct Inform {
-    from: ReplicaId,
-    batch: BatchId,
-    result: Digest,
-}
-
-/// A committed entry observed at a replica (exposed for assertions).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CommittedEntry {
-    /// Which replica executed it.
-    pub replica: ReplicaId,
-    /// The commit metadata.
-    pub info: CommitInfo,
-    /// KV state digest after executing the batch.
-    pub state_digest: Digest,
-}
-
-/// Shared observation log for examples/tests.
-#[derive(Clone, Default)]
-pub struct CommitLog {
-    entries: Arc<Mutex<Vec<CommittedEntry>>>,
-}
-
-impl CommitLog {
-    /// Snapshot of everything committed so far.
-    pub fn snapshot(&self) -> Vec<CommittedEntry> {
-        self.entries.lock().clone()
-    }
-
-    /// Number of committed entries (across all replicas).
-    pub fn len(&self) -> usize {
-        self.entries.lock().len()
-    }
-
-    /// True iff nothing has committed yet.
-    pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
-    }
-
-    fn push(&self, entry: CommittedEntry) {
-        self.entries.lock().push(entry);
-    }
-}
-
-struct TokioCtx {
-    start: Instant,
-    me: NodeId,
-    sends: Vec<(NodeId, Message)>,
-    broadcasts: Vec<Message>,
-    timers: Vec<(TimerId, SimDuration)>,
-    commits: Vec<CommitInfo>,
-}
-
-impl Context for TokioCtx {
-    type Message = Message;
-
-    fn now(&self) -> SimTime {
-        SimTime(self.start.elapsed().as_nanos() as u64)
-    }
-    fn id(&self) -> NodeId {
-        self.me
-    }
-    fn send(&mut self, to: NodeId, msg: Message) {
-        self.sends.push((to, msg));
-    }
-    fn broadcast(&mut self, msg: Message) {
-        self.broadcasts.push(msg);
-    }
-    fn set_timer(&mut self, id: TimerId, after: SimDuration) {
-        self.timers.push((id, after));
-    }
-    fn commit(&mut self, info: CommitInfo) {
-        self.commits.push(info);
-    }
-}
-
-/// Canonical byte encoding used for envelope signatures.
-fn envelope_bytes(msg: &Message) -> Vec<u8> {
-    serde_json::to_vec(msg).expect("messages are serializable")
-}
-
-/// Handle for submitting batches and awaiting `f + 1` matching informs.
-pub struct ClusterClient {
-    cluster: ClusterConfig,
-    to_replicas: Vec<mpsc::UnboundedSender<ReplicaEvent>>,
-    completions: Arc<Mutex<HashMap<BatchId, PendingCompletion>>>,
-}
-
-struct PendingCompletion {
-    informs: HashMap<Digest, Vec<ReplicaId>>,
-    waker: Option<oneshot::Sender<Digest>>,
-}
-
-impl ClusterClient {
-    /// Submits a batch to `target` and resolves once `f + 1` replicas
-    /// report the same execution result.
-    pub async fn submit(&self, batch: ClientBatch, target: ReplicaId) -> Digest {
-        let (tx, rx) = oneshot::channel();
-        self.completions.lock().insert(
-            batch.id,
-            PendingCompletion {
-                informs: HashMap::new(),
-                waker: Some(tx),
+impl InProcFabric {
+    /// Builds the fabric and one inbound receiver per replica.
+    pub fn new(n: u32) -> (InProcFabric, Vec<mpsc::UnboundedReceiver<Envelope>>) {
+        let mut senders = Vec::with_capacity(n as usize);
+        let mut receivers = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::unbounded_channel();
+            senders.push(Mutex::new(tx));
+            receivers.push(rx);
+        }
+        (
+            InProcFabric {
+                peers: Arc::new(senders),
             },
-        );
-        let _ = self.to_replicas[target.as_usize()].send(ReplicaEvent::Request(batch));
-        rx.await.expect("cluster stays alive while awaited")
+            receivers,
+        )
     }
 
-    /// Submits to a replica chosen by the batch digest.
-    pub async fn submit_anywhere(&self, batch: ClientBatch) -> Digest {
-        let target = ReplicaId((batch.digest.as_u64_tag() % u64::from(self.cluster.n)) as u32);
-        self.submit(batch, target).await
+    /// Swaps replica `r`'s inbound channel (used when restarting a
+    /// replica), returning the fresh receiver to hand to its runtime.
+    pub fn reconnect(&self, r: ReplicaId) -> mpsc::UnboundedReceiver<Envelope> {
+        let (tx, rx) = mpsc::unbounded_channel();
+        *self.peers[r.as_usize()].lock() = tx;
+        rx
     }
 }
 
-/// A running in-process cluster.
+impl Fabric for InProcFabric {
+    fn send(&self, to: ReplicaId, env: Envelope) {
+        if let Some(slot) = self.peers.get(to.as_usize()) {
+            // A dead replica's channel errors; delivery is best-effort.
+            let _ = slot.lock().send(env);
+        }
+    }
+}
+
+/// A running in-process cluster of [`ReplicaRuntime`]s.
 pub struct InProcCluster {
-    /// Client handle.
+    /// Client handle (submit + await `f + 1` matching informs).
     pub client: ClusterClient,
     /// Observation log of all commits.
     pub commits: CommitLog,
-    to_replicas: Vec<mpsc::UnboundedSender<ReplicaEvent>>,
-    tasks: Vec<tokio::task::JoinHandle<()>>,
+    cluster: ClusterConfig,
+    fabric: InProcFabric,
+    handles: Arc<Mutex<Vec<ReplicaHandle>>>,
+    keystores: Vec<KeyStore>,
+    informs: mpsc::UnboundedSender<Inform>,
 }
 
 impl InProcCluster {
-    /// Spawns `cluster.n` replica tasks with the given behaviours
-    /// (`None` ⇒ all honest). Must be called inside a tokio runtime.
+    /// Spawns a SpotLess cluster with the given behaviours (`None` ⇒
+    /// all honest), chains in memory only. Must be called inside a
+    /// tokio runtime.
     pub fn spawn(
         cluster: ClusterConfig,
         behaviors: Option<Vec<ByzantineBehavior>>,
@@ -172,201 +98,149 @@ impl InProcCluster {
         let behaviors = behaviors.unwrap_or_else(|| vec![ByzantineBehavior::Honest; n]);
         assert_eq!(behaviors.len(), n);
         let faulty: Vec<bool> = behaviors.iter().map(|b| b.is_faulty()).collect();
-        let keystores = KeyStore::cluster(b"spotless-inproc-cluster", cluster.n);
-
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = mpsc::unbounded_channel::<ReplicaEvent>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let (inform_tx, mut inform_rx) = mpsc::unbounded_channel::<Inform>();
-        let completions: Arc<Mutex<HashMap<BatchId, PendingCompletion>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let commits = CommitLog::default();
-        let start = Instant::now();
-
-        // Client-side inform collector.
-        let completions_for_informs = completions.clone();
-        let weak_quorum = cluster.weak_quorum() as usize;
-        let collector = tokio::spawn(async move {
-            while let Some(inform) = inform_rx.recv().await {
-                let mut pending = completions_for_informs.lock();
-                if let Some(entry) = pending.get_mut(&inform.batch) {
-                    let replicas = entry.informs.entry(inform.result).or_default();
-                    if !replicas.contains(&inform.from) {
-                        replicas.push(inform.from);
-                    }
-                    if replicas.len() >= weak_quorum {
-                        if let Some(waker) = entry.waker.take() {
-                            let _ = waker.send(inform.result);
-                        }
-                        pending.remove(&inform.batch);
-                    }
-                }
-            }
-        });
-
-        let mut tasks = vec![collector];
-        for (i, rx) in receivers.into_iter().enumerate() {
-            let me = ReplicaId(i as u32);
-            let replica = SpotLessReplica::new(ReplicaConfig {
-                cluster: cluster.clone(),
-                me,
-                behavior: behaviors[i],
+        let silent: Vec<bool> = behaviors
+            .iter()
+            .map(|b| *b == ByzantineBehavior::Crash)
+            .collect();
+        let storage = vec![None; n];
+        let c = cluster.clone();
+        InProcCluster::spawn_with(cluster, storage, silent, move |r| {
+            SpotLessReplica::new(ReplicaConfig {
+                cluster: c.clone(),
+                me: r,
+                behavior: behaviors[r.as_usize()],
                 faulty: faulty.clone(),
-            });
-            let task = ReplicaTask {
-                me,
-                replica,
-                keystore: keystores[i].clone(),
-                peers: senders.clone(),
-                inform: inform_tx.clone(),
-                store: KvStore::new(),
-                commits: commits.clone(),
-                start,
-                crashed: behaviors[i] == ByzantineBehavior::Crash,
-            };
-            tasks.push(tokio::spawn(task.run(rx)));
-        }
-
-        InProcCluster {
-            client: ClusterClient {
-                cluster,
-                to_replicas: senders.clone(),
-                completions,
-            },
-            commits,
-            to_replicas: senders,
-            tasks,
-        }
+            })
+        })
+        .expect("in-memory spawn cannot fail")
     }
 
-    /// Stops all replica tasks.
+    /// Spawns a cluster of any protocol: `make` builds the node for
+    /// each replica, `storage[i]` optionally makes replica `i` durable,
+    /// `silent[i]` deploys it crash-faulty (consumes inputs, emits
+    /// nothing).
+    pub fn spawn_with<N, F>(
+        cluster: ClusterConfig,
+        storage: Vec<Option<StorageConfig>>,
+        silent: Vec<bool>,
+        make: F,
+    ) -> Result<InProcCluster, StorageError>
+    where
+        N: Node + Send + 'static,
+        N::Message: Serialize + Deserialize + Send + 'static,
+        F: FnMut(ReplicaId) -> N,
+    {
+        let (fabric, receivers) = InProcFabric::new(cluster.n);
+        let endpoints = receivers
+            .into_iter()
+            .map(|rx| (fabric.clone(), rx))
+            .collect();
+        let parts = spotless_runtime::assemble(
+            cluster.clone(),
+            b"spotless-inproc-cluster",
+            endpoints,
+            storage,
+            silent,
+            make,
+        )?;
+        Ok(InProcCluster {
+            client: parts.client,
+            commits: parts.commits,
+            cluster,
+            fabric,
+            handles: parts.handles,
+            keystores: parts.keystores,
+            informs: parts.informs,
+        })
+    }
+
+    /// Handle of replica `r` (current incarnation).
+    pub fn handle(&self, r: ReplicaId) -> ReplicaHandle {
+        self.handles.lock()[r.as_usize()].clone()
+    }
+
+    /// Stops replica `r`'s current incarnation (its durable state, if
+    /// any, stays on disk for a later [`restart`](InProcCluster::restart)).
+    pub fn stop(&self, r: ReplicaId) {
+        self.handles.lock()[r.as_usize()].shutdown();
+    }
+
+    /// Restarts replica `r` with a fresh node, recovering from
+    /// `storage` (pass the same directory it had before the crash) and
+    /// catching up from its peers. The fabric slot is swapped so peers
+    /// transparently reach the new incarnation. With `storage: None`
+    /// the new incarnation rejoins as a *fresh* node without catch-up —
+    /// nothing survives a memory-only crash, so that path is only
+    /// suitable for protocol-level experiments, not state recovery.
+    ///
+    /// Waits (shutting it down if needed) until the previous
+    /// incarnation's pipeline has released its durable store — two live
+    /// stores on one directory would corrupt the log. Panics if it does
+    /// not stop within ten seconds (a stuck test harness, not a
+    /// recoverable condition).
+    pub async fn restart<N>(
+        &self,
+        r: ReplicaId,
+        storage: Option<StorageConfig>,
+        node: N,
+    ) -> Result<ReplicaHandle, StorageError>
+    where
+        N: Node + Send + 'static,
+        N::Message: Serialize + Deserialize + Send + 'static,
+    {
+        let old = self.handle(r);
+        old.shutdown();
+        for _ in 0..400 {
+            if old.is_stopped() {
+                break;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(25)).await;
+        }
+        assert!(
+            old.is_stopped(),
+            "replica {r:?}'s previous incarnation did not stop; restarting \
+             on the same storage directory would corrupt the log"
+        );
+        let envelopes = self.fabric.reconnect(r);
+        let mut cfg = RuntimeConfig::new(
+            self.cluster.clone(),
+            r,
+            self.keystores[r.as_usize()].clone(),
+        );
+        cfg.storage = storage;
+        let handle = ReplicaRuntime::spawn(
+            node,
+            cfg,
+            self.fabric.clone(),
+            envelopes,
+            self.commits.clone(),
+            self.informs.clone(),
+        )?;
+        self.handles.lock()[r.as_usize()] = handle.clone();
+        Ok(handle)
+    }
+
+    /// Stops all replica tasks and waits until every pipeline has
+    /// released its durable store, so callers may reopen the storage
+    /// directories immediately. Panics if a replica does not stop
+    /// within ten seconds.
     pub async fn shutdown(self) {
-        for tx in &self.to_replicas {
-            let _ = tx.send(ReplicaEvent::Shutdown);
+        let handles = self.handles.lock().clone();
+        for handle in &handles {
+            handle.shutdown();
         }
-        for task in self.tasks {
-            task.abort();
-        }
-    }
-}
-
-struct ReplicaTask {
-    me: ReplicaId,
-    replica: SpotLessReplica,
-    keystore: KeyStore,
-    peers: Vec<mpsc::UnboundedSender<ReplicaEvent>>,
-    inform: mpsc::UnboundedSender<Inform>,
-    store: KvStore,
-    commits: CommitLog,
-    start: Instant,
-    crashed: bool,
-}
-
-impl ReplicaTask {
-    async fn run(mut self, mut rx: mpsc::UnboundedReceiver<ReplicaEvent>) {
-        if self.crashed {
-            // A1: consume and drop everything.
-            while let Some(ev) = rx.recv().await {
-                if matches!(ev, ReplicaEvent::Shutdown) {
-                    return;
+        for handle in &handles {
+            for _ in 0..400 {
+                if handle.is_stopped() {
+                    break;
                 }
+                tokio::time::sleep(std::time::Duration::from_millis(25)).await;
             }
-            return;
+            assert!(
+                handle.is_stopped(),
+                "replica {:?} did not stop; its durable store is still live",
+                handle.id()
+            );
         }
-        self.step(Input::Start);
-        while let Some(ev) = rx.recv().await {
-            match ev {
-                ReplicaEvent::Deliver { from, msg, sig } => {
-                    // Real authentication on the real path.
-                    if !self.keystore.verify(from, &envelope_bytes(&msg), &sig) {
-                        continue;
-                    }
-                    self.step(Input::Deliver {
-                        from: from.into(),
-                        msg,
-                    });
-                }
-                ReplicaEvent::Timer(id) => self.step(Input::Timer(id)),
-                ReplicaEvent::Request(batch) => self.step(Input::Request(batch)),
-                ReplicaEvent::Shutdown => return,
-            }
-        }
-    }
-
-    fn step(&mut self, input: Input<Message>) {
-        let mut ctx = TokioCtx {
-            start: self.start,
-            me: self.me.into(),
-            sends: Vec::new(),
-            broadcasts: Vec::new(),
-            timers: Vec::new(),
-            commits: Vec::new(),
-        };
-        self.replica.on_input(input, &mut ctx);
-        // Commits: execute and inform.
-        for info in ctx.commits.drain(..) {
-            self.apply_commit(info);
-        }
-        // Timers: real tokio sleeps feeding back into our own queue.
-        let my_tx = self.peers[self.me.as_usize()].clone();
-        for (id, after) in ctx.timers.drain(..) {
-            let tx = my_tx.clone();
-            let dur = std::time::Duration::from_nanos(after.as_nanos());
-            tokio::spawn(async move {
-                tokio::time::sleep(dur).await;
-                let _ = tx.send(ReplicaEvent::Timer(id));
-            });
-        }
-        // Outbound messages, each signed by this replica.
-        for (to, msg) in ctx.sends.drain(..) {
-            if let NodeId::Replica(r) = to {
-                self.post(r, msg);
-            }
-        }
-        for msg in ctx.broadcasts.drain(..) {
-            for r in 0..self.peers.len() {
-                self.post(ReplicaId(r as u32), msg.clone());
-            }
-        }
-    }
-
-    fn post(&self, to: ReplicaId, msg: Message) {
-        let sig = self.keystore.sign(&envelope_bytes(&msg));
-        let _ = self.peers[to.as_usize()].send(ReplicaEvent::Deliver {
-            from: self.me,
-            msg,
-            sig,
-        });
-    }
-
-    fn apply_commit(&mut self, info: CommitInfo) {
-        if info.batch.is_noop() {
-            return;
-        }
-        // Execute the real transactions if the payload decodes; an empty
-        // payload (simulation-style batch) still advances the digest so
-        // informs stay comparable.
-        let result = if info.batch.payload.is_empty() {
-            self.store.state_digest()
-        } else {
-            match decode_txns(&info.batch.payload) {
-                Some(txns) => self.store.execute_batch(&txns),
-                None => return, // malformed payload: never inform
-            }
-        };
-        self.commits.push(CommittedEntry {
-            replica: self.me,
-            info: info.clone(),
-            state_digest: result,
-        });
-        let _ = self.inform.send(Inform {
-            from: self.me,
-            batch: info.batch.id,
-            result,
-        });
     }
 }

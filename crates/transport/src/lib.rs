@@ -1,12 +1,25 @@
-//! Tokio runtime adapter for SpotLess: real deployments of the same
-//! sans-IO replicas the simulator drives.
+//! Transport fabrics for SpotLess: real deployments of the same sans-IO
+//! replicas the simulator drives.
 //!
-//! [`inproc`] spawns a full cluster inside one process — per-replica
-//! async tasks, real wall-clock timers, Ed25519-signed envelopes, and
-//! execution against the YCSB key-value store — which is what the
-//! runnable examples use. The module structure leaves room for a TCP
-//! transport with the same task body (the envelope codec is already
-//! serialization-based).
+//! Since PR 2 this crate holds **fabrics only** — thin byte movers that
+//! shuttle `spotless-runtime` envelopes between replicas. The replica
+//! itself (protocol stepping, execution against the YCSB key-value
+//! store, the durable hash-chained ledger, crash recovery, and client
+//! replies) lives in [`spotless_runtime::ReplicaRuntime`] and is shared
+//! verbatim by both fabrics here:
+//!
+//! * [`inproc`] — channel fabric: a full cluster inside one process,
+//!   per-replica async tasks and real wall-clock timers. What the
+//!   runnable examples use.
+//! * [`tcp`] — socket fabric: each replica a network endpoint
+//!   exchanging length-prefixed signed frames.
+//!
+//! Envelope signatures are the documented **simulation-grade keyed-hash
+//! scheme** from `spotless-crypto` (see `crypto/src/signing.rs`: an
+//! Ed25519-shaped API whose signatures any public-key holder could
+//! forge — fine for tests and demos, not a real Byzantine network
+//! adversary; swapping `ed25519-dalek` in restores that without
+//! touching this crate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,5 +27,6 @@
 pub mod inproc;
 pub mod tcp;
 
-pub use inproc::{ClusterClient, CommitLog, CommittedEntry, InProcCluster};
-pub use tcp::{Frame, FrameError, TcpFabric};
+pub use inproc::{CommittedEntry, InProcCluster, InProcFabric};
+pub use spotless_runtime::{ClusterClient, CommitLog};
+pub use tcp::{DeployError, Frame, FrameError, TcpCluster, TcpFabric};

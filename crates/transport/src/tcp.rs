@@ -1,11 +1,18 @@
-//! TCP transport: SpotLess replicas as separate network endpoints.
+//! TCP fabric: replicas as separate network endpoints exchanging
+//! length-prefixed, individually signed frames.
 //!
-//! Each replica binds a listener, dials its peers, and exchanges
-//! length-prefixed JSON frames, every frame carrying an Ed25519
-//! signature over its payload. The protocol core, execution, and client
-//! handling are shared with the in-process transport — this module only
-//! swaps the channel fabric for sockets, which is exactly the freedom
-//! the sans-IO design buys.
+//! Like the in-process module, this is a **fabric only**: it moves
+//! [`Envelope`]s between endpoints and nothing else. The protocol,
+//! signature checks (the simulation-grade keyed-hash scheme documented
+//! in `spotless-crypto`'s `signing` module), execution, and durability
+//! all live in `spotless-runtime` — swapping channels for sockets is
+//! exactly the freedom the sans-IO design buys.
+//!
+//! Each endpoint binds a listener and keeps one lazily-dialed outbound
+//! connection per peer, owned by a dedicated sender task so the
+//! consensus loop never blocks on a dial or a slow socket. Send errors
+//! are swallowed after one redial — the protocols' retransmission
+//! machinery (Υ, `Ask` retries, client timeouts) owns reliability.
 //!
 //! Scope: loopback/LAN deployments for demonstrations and tests. A
 //! production deployment would add TLS, reconnection with backoff, and
@@ -13,12 +20,16 @@
 //! individually signed, so a hijacked connection cannot forge traffic).
 
 use serde::{Deserialize, Serialize};
-use spotless_core::messages::Message;
-use spotless_types::ReplicaId;
+use spotless_crypto::{Signature, SIGNATURE_LEN};
+use spotless_runtime::{ClusterClient, CommitLog, Envelope, Fabric, ReplicaHandle, StorageConfig};
+use spotless_storage::StorageError;
+use spotless_types::{ClusterConfig, Node, ReplicaId};
+use std::sync::Arc;
 
 /// Upper bound on a single frame (DoS guard; generously above the
 /// largest proposal at 400 txn × 1600 B).
 pub const SIMPLE_FRAME_LIMIT: u64 = 8 * 1024 * 1024;
+use parking_lot::Mutex;
 use tokio::io::{AsyncReadExt as _, AsyncWriteExt as _};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
@@ -28,9 +39,10 @@ use tokio::sync::mpsc;
 pub struct Frame {
     /// The sending replica.
     pub from: u32,
-    /// Serialized protocol message.
-    pub payload: Vec<u8>,
-    /// Ed25519 signature over `payload` by `from`.
+    /// Serialized (tagged) runtime payload. `Arc`-shared so a broadcast
+    /// envelope is not copied per peer before hitting the socket.
+    pub payload: Arc<Vec<u8>>,
+    /// Signature over `payload` by `from` (64 bytes).
     pub sig: Vec<u8>,
 }
 
@@ -88,81 +100,215 @@ pub async fn read_frame(stream: &mut TcpStream) -> Result<Frame, FrameError> {
     serde_json::from_slice(&buf).map_err(|_| FrameError::Malformed)
 }
 
-/// A peer-fabric endpoint: accepts inbound frames and maintains one
-/// outbound connection per peer (lazily dialed, re-dialed on failure).
+fn frame_to_envelope(frame: Frame) -> Option<Envelope> {
+    let sig: [u8; SIGNATURE_LEN] = frame.sig.try_into().ok()?;
+    Some(Envelope {
+        from: ReplicaId(frame.from),
+        payload: frame.payload,
+        sig: Signature(sig),
+    })
+}
+
+/// A TCP endpoint's sending half: one queue + sender task per peer, so
+/// [`Fabric::send`] is a channel push and never a socket write.
+#[derive(Clone)]
 pub struct TcpFabric {
-    me: ReplicaId,
-    peer_addrs: Vec<String>,
-    outbound: Vec<Option<TcpStream>>,
+    peers: Arc<Vec<mpsc::UnboundedSender<Envelope>>>,
 }
 
 impl TcpFabric {
-    /// Binds `addr` and returns the fabric plus a stream of inbound
-    /// `(from, Message, signature-bytes)` tuples. Signature verification
-    /// stays with the caller (who owns the key store).
+    /// Binds `addr`, spawns the accept loop and per-peer sender tasks,
+    /// and returns the fabric plus the inbound envelope stream to hand
+    /// to this replica's [`ReplicaRuntime`]. `peer_addrs[i]` is replica
+    /// `i`'s listen address (the slot for `me` is used for
+    /// send-to-self, which loops over TCP like any other peer).
     pub async fn bind(
         me: ReplicaId,
         addr: &str,
         peer_addrs: Vec<String>,
-    ) -> std::io::Result<(
-        TcpFabric,
-        mpsc::UnboundedReceiver<(ReplicaId, Message, Vec<u8>)>,
-    )> {
+    ) -> std::io::Result<(TcpFabric, mpsc::UnboundedReceiver<Envelope>)> {
         let listener = TcpListener::bind(addr).await?;
-        let (tx, rx) = mpsc::unbounded_channel();
+        let (inbound_tx, inbound_rx) = mpsc::unbounded_channel();
         tokio::spawn(async move {
             loop {
                 let Ok((mut stream, _)) = listener.accept().await else {
                     break;
                 };
-                let tx = tx.clone();
+                let tx = inbound_tx.clone();
                 tokio::spawn(async move {
                     while let Ok(frame) = read_frame(&mut stream).await {
-                        let Ok(msg) = serde_json::from_slice::<Message>(&frame.payload) else {
+                        let Some(env) = frame_to_envelope(frame) else {
                             continue;
                         };
-                        if tx.send((ReplicaId(frame.from), msg, frame.sig)).is_err() {
+                        if tx.send(env).is_err() {
                             break;
                         }
                     }
                 });
             }
         });
-        let n = peer_addrs.len();
+        let mut peers = Vec::with_capacity(peer_addrs.len());
+        for peer_addr in peer_addrs {
+            let (tx, rx) = mpsc::unbounded_channel::<Envelope>();
+            peers.push(tx);
+            tokio::spawn(peer_sender(me, peer_addr, rx));
+        }
         Ok((
             TcpFabric {
-                me,
-                peer_addrs,
-                outbound: (0..n).map(|_| None).collect(),
+                peers: Arc::new(peers),
             },
-            rx,
+            inbound_rx,
         ))
     }
+}
 
-    /// Sends a pre-signed payload to `to`, dialing on demand. Errors are
-    /// swallowed after one redial attempt — the protocol's retransmission
-    /// machinery (Υ, Ask retries, client timeouts) owns reliability.
-    pub async fn send(&mut self, to: ReplicaId, payload: Vec<u8>, sig: Vec<u8>) {
-        let i = to.as_usize();
-        if i >= self.peer_addrs.len() {
-            return;
+impl Fabric for TcpFabric {
+    fn send(&self, to: ReplicaId, env: Envelope) {
+        if let Some(tx) = self.peers.get(to.as_usize()) {
+            let _ = tx.send(env);
         }
+    }
+}
+
+/// Drains one peer's outbound queue onto its socket, dialing on demand
+/// and redialing once per frame on failure.
+async fn peer_sender(me: ReplicaId, addr: String, mut rx: mpsc::UnboundedReceiver<Envelope>) {
+    let mut stream: Option<TcpStream> = None;
+    while let Some(env) = rx.recv().await {
         let frame = Frame {
-            from: self.me.0,
-            payload,
-            sig,
+            from: me.0,
+            payload: env.payload,
+            sig: env.sig.0.to_vec(),
         };
         for _attempt in 0..2 {
-            if self.outbound[i].is_none() {
-                self.outbound[i] = TcpStream::connect(&self.peer_addrs[i]).await.ok();
+            if stream.is_none() {
+                stream = TcpStream::connect(&addr).await.ok();
             }
-            let Some(stream) = self.outbound[i].as_mut() else {
-                return;
+            let Some(s) = stream.as_mut() else {
+                break; // peer unreachable: drop, retransmission recovers
             };
-            match write_frame(stream, &frame).await {
-                Ok(()) => return,
-                Err(_) => self.outbound[i] = None, // redial once
+            match write_frame(s, &frame).await {
+                Ok(()) => break,
+                Err(_) => stream = None, // redial once
             }
+        }
+    }
+}
+
+/// A cluster of [`ReplicaRuntime`]s deployed over TCP, all in this
+/// process for tests/demos (each replica still talks to its peers
+/// exclusively through its socket endpoint).
+pub struct TcpCluster {
+    /// Client handle (submit + await `f + 1` matching informs).
+    pub client: ClusterClient,
+    /// Observation log of all commits.
+    pub commits: CommitLog,
+    handles: Arc<Mutex<Vec<ReplicaHandle>>>,
+}
+
+/// What can go wrong assembling a [`TcpCluster`].
+#[derive(Debug)]
+pub enum DeployError {
+    /// Binding or connecting an endpoint failed.
+    Io(std::io::Error),
+    /// Opening a replica's durable store failed.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Io(e) => write!(f, "endpoint setup failed: {e}"),
+            DeployError::Storage(e) => write!(f, "storage recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<std::io::Error> for DeployError {
+    fn from(e: std::io::Error) -> Self {
+        DeployError::Io(e)
+    }
+}
+
+impl From<StorageError> for DeployError {
+    fn from(e: StorageError) -> Self {
+        DeployError::Storage(e)
+    }
+}
+
+impl TcpCluster {
+    /// Binds one endpoint per replica at `addrs`, spawns the runtimes
+    /// (durable where `storage[i]` is set), and wires up the client.
+    /// `make` builds each replica's protocol node — any `Node` works.
+    pub async fn spawn_with<N, F>(
+        cluster: ClusterConfig,
+        addrs: Vec<String>,
+        storage: Vec<Option<StorageConfig>>,
+        make: F,
+    ) -> Result<TcpCluster, DeployError>
+    where
+        N: Node + Send + 'static,
+        N::Message: Serialize + Deserialize + Send + 'static,
+        F: FnMut(ReplicaId) -> N,
+    {
+        let n = cluster.n as usize;
+        assert_eq!(addrs.len(), n);
+        let mut endpoints = Vec::with_capacity(n);
+        for (i, addr) in addrs.iter().enumerate() {
+            endpoints.push(TcpFabric::bind(ReplicaId(i as u32), addr, addrs.clone()).await?);
+        }
+        let parts = spotless_runtime::assemble(
+            cluster,
+            b"spotless-tcp-cluster",
+            endpoints,
+            storage,
+            vec![false; n],
+            make,
+        )?;
+        Ok(TcpCluster {
+            client: parts.client,
+            commits: parts.commits,
+            handles: parts.handles,
+        })
+    }
+
+    /// Handle of replica `r`.
+    pub fn handle(&self, r: ReplicaId) -> ReplicaHandle {
+        self.handles.lock()[r.as_usize()].clone()
+    }
+
+    /// Stops all replica tasks and waits until every pipeline has
+    /// released its durable store — callers reopen the storage
+    /// directories right after shutdown, and a still-live store writing
+    /// concurrently would corrupt the log. Panics if a replica does not
+    /// stop within ten seconds (a wedged harness, not a recoverable
+    /// condition).
+    ///
+    /// The listener accept-loops stay behind: the thread-per-task tokio
+    /// stand-in cannot interrupt a task blocked in `accept`, so their
+    /// threads (and bound ports) live until process exit — same
+    /// cooperative-abort limitation as the stand-in's sleep threads,
+    /// and fine for the test/demo scope of this fabric (see the module
+    /// docs and ROADMAP's TCP hardening item).
+    pub async fn shutdown(self) {
+        let handles = self.handles.lock().clone();
+        for handle in &handles {
+            handle.shutdown();
+        }
+        for handle in &handles {
+            for _ in 0..400 {
+                if handle.is_stopped() {
+                    break;
+                }
+                tokio::time::sleep(std::time::Duration::from_millis(25)).await;
+            }
+            assert!(
+                handle.is_stopped(),
+                "replica {:?} did not stop; its durable store is still live",
+                handle.id()
+            );
         }
     }
 }
@@ -170,7 +316,7 @@ impl TcpFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spotless_core::messages::SyncMsg;
+    use spotless_core::messages::{Message, SyncMsg};
     use spotless_types::{InstanceId, View};
 
     fn sync_msg() -> Message {
@@ -192,7 +338,7 @@ mod tests {
             read_frame(&mut stream).await.unwrap()
         });
         let mut client = TcpStream::connect(addr).await.unwrap();
-        let payload = serde_json::to_vec(&sync_msg()).unwrap();
+        let payload = Arc::new(serde_json::to_vec(&sync_msg()).unwrap());
         write_frame(
             &mut client,
             &Frame {
@@ -216,7 +362,7 @@ mod tests {
         let mut client = TcpStream::connect(addr).await.unwrap();
         let huge = Frame {
             from: 0,
-            payload: vec![0; (SIMPLE_FRAME_LIMIT as usize) + 1],
+            payload: Arc::new(vec![0; (SIMPLE_FRAME_LIMIT as usize) + 1]),
             sig: vec![],
         };
         assert!(matches!(
@@ -226,7 +372,7 @@ mod tests {
     }
 
     #[tokio::test]
-    async fn fabric_delivers_between_two_endpoints() {
+    async fn fabric_delivers_signed_envelopes_between_endpoints() {
         // Bind two fabrics on ephemeral ports, then cross-connect.
         let l0 = TcpListener::bind("127.0.0.1:0").await.unwrap();
         let a0 = l0.local_addr().unwrap().to_string();
@@ -235,15 +381,20 @@ mod tests {
         let a1 = l1.local_addr().unwrap().to_string();
         drop(l1);
         let peers = vec![a0.clone(), a1.clone()];
-        let (mut f0, _rx0) = TcpFabric::bind(ReplicaId(0), &a0, peers.clone())
+        let keystores = spotless_crypto::KeyStore::cluster(b"tcp-fabric-test", 2);
+        let (f0, _rx0) = TcpFabric::bind(ReplicaId(0), &a0, peers.clone())
             .await
             .unwrap();
         let (_f1, mut rx1) = TcpFabric::bind(ReplicaId(1), &a1, peers).await.unwrap();
-        let payload = serde_json::to_vec(&sync_msg()).unwrap();
-        f0.send(ReplicaId(1), payload, vec![1; 64]).await;
-        let (from, msg, sig) = rx1.recv().await.expect("delivered");
-        assert_eq!(from, ReplicaId(0));
-        assert!(matches!(msg, Message::Sync(_)));
-        assert_eq!(sig, vec![1; 64]);
+        let payload = spotless_runtime::envelope::encode_protocol(&sync_msg());
+        f0.send(ReplicaId(1), Envelope::seal(&keystores[0], payload));
+        let env = rx1.recv().await.expect("delivered");
+        assert_eq!(env.from, ReplicaId(0));
+        // The receiving runtime would verify exactly like this:
+        assert!(env.verify(&keystores[1]));
+        match spotless_runtime::envelope::decode::<Message>(&env.payload) {
+            Some(spotless_runtime::WireMsg::Protocol(Message::Sync(_))) => {}
+            _ => panic!("payload did not decode to the sent message"),
+        }
     }
 }

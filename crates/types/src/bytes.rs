@@ -1,0 +1,33 @@
+//! Minimal byte-cursor helper shared by the workspace's hand-rolled
+//! binary decoders (KV snapshots in `spotless-workload`, wire envelopes
+//! in `spotless-runtime`). One implementation, so bounds-handling fixes
+//! land everywhere at once.
+
+/// Splits the first `n` bytes off the front of `bytes`, advancing it.
+/// `None` if fewer than `n` bytes remain — callers decode fail-closed.
+pub fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if bytes.len() < n {
+        return None;
+    }
+    let (head, tail) = bytes.split_at(n);
+    *bytes = tail;
+    Some(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_advances_and_bounds_checks() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(take(&mut cursor, 2), Some(&[1u8, 2][..]));
+        assert_eq!(take(&mut cursor, 0), Some(&[][..]));
+        assert_eq!(take(&mut cursor, 3), Some(&[3u8, 4, 5][..]));
+        assert_eq!(take(&mut cursor, 1), None);
+        let mut empty: &[u8] = &[];
+        assert_eq!(take(&mut empty, 1), None);
+        assert_eq!(take(&mut empty, 0), Some(&[][..]));
+    }
+}

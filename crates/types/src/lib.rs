@@ -20,10 +20,13 @@
 //!   §6.1 of the paper.
 //! * [`fault`] — the Byzantine behaviour taxonomy used by the failure
 //!   experiments (attacks A1–A4 of §6.3).
+//! * [`bytes`] — the shared byte-cursor helper for hand-rolled binary
+//!   decoders.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod config;
 pub mod costs;
 pub mod fault;

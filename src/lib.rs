@@ -53,7 +53,10 @@ pub use spotless_simnet as simnet;
 /// Durable ledger storage (segmented log, snapshots, crash recovery).
 pub use spotless_storage as storage;
 
-/// Tokio runtime adapter (in-process clusters).
+/// The durable, pipelined replica runtime every protocol deploys on.
+pub use spotless_runtime as runtime;
+
+/// Transport fabrics (in-process channels, TCP) and cluster assembly.
 pub use spotless_transport as transport;
 
 /// Shared identifiers, time, configuration, node model.

@@ -1,7 +1,14 @@
-//! End-to-end tests of the tokio transport: real channels, real wall
-//! clock, real Ed25519 envelopes, real KV execution.
+//! End-to-end tests of the deployment path: any protocol on the shared
+//! `ReplicaRuntime`, over the in-process and TCP fabrics, with real
+//! wall clock, signed envelopes (the simulation-grade keyed-hash
+//! scheme — see `crypto/src/signing.rs`), real KV execution, durable
+//! storage, and crash–restart recovery.
 
-use spotless::transport::InProcCluster;
+use spotless::baselines::PbftReplica;
+use spotless::core::{ReplicaConfig, SpotLessReplica};
+use spotless::runtime::StorageConfig;
+use spotless::storage::{DurableLedger, DurableLedgerOptions};
+use spotless::transport::{InProcCluster, TcpCluster};
 use spotless::types::{
     BatchId, ByzantineBehavior, ClientBatch, ClientId, ClusterConfig, ReplicaId, SimTime,
 };
@@ -107,4 +114,282 @@ async fn equivocating_replica_cannot_cause_divergence() {
         );
     }
     handle.shutdown().await;
+}
+
+/// Reserves `count` loopback addresses by binding ephemeral listeners
+/// and immediately releasing them (the established pattern for test
+/// endpoints; a lost race just fails loudly at bind time).
+async fn free_addrs(count: usize) -> Vec<String> {
+    let mut addrs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        addrs.push(listener.local_addr().unwrap().to_string());
+    }
+    addrs
+}
+
+fn storage_configs(dirs: &[tempfile::TempDir], snapshot_every: u64) -> Vec<Option<StorageConfig>> {
+    dirs.iter()
+        .map(|d| {
+            let mut cfg = StorageConfig::new(d.path());
+            cfg.options.snapshot_every = snapshot_every;
+            Some(cfg)
+        })
+        .collect()
+}
+
+/// Asserts every replica reported the same state digest per batch.
+fn assert_no_divergence(commits: &[spotless::transport::CommittedEntry]) {
+    let mut per_batch: std::collections::HashMap<BatchId, spotless::types::Digest> =
+        std::collections::HashMap::new();
+    for entry in commits {
+        let d = per_batch
+            .entry(entry.info.batch.id)
+            .or_insert(entry.state_digest);
+        assert_eq!(
+            *d, entry.state_digest,
+            "divergence at {:?} on {:?}",
+            entry.replica, entry.info
+        );
+    }
+}
+
+/// Acceptance: two different protocols — SpotLess and the PBFT baseline
+/// — deploy through the same `ReplicaRuntime` over the TCP fabric with
+/// durable storage enabled, serve clients, and leave verifiable chains
+/// on disk.
+#[tokio::test(flavor = "multi_thread")]
+async fn spotless_and_pbft_deploy_over_tcp_with_durable_storage() {
+    // ── SpotLess over TCP ───────────────────────────────────────────
+    let cluster = ClusterConfig::new(4);
+    let dirs: Vec<tempfile::TempDir> = (0..4).map(|_| tempfile::tempdir().unwrap()).collect();
+    let c = cluster.clone();
+    let handle = TcpCluster::spawn_with(
+        cluster.clone(),
+        free_addrs(4).await,
+        storage_configs(&dirs, 4),
+        move |r| SpotLessReplica::new(ReplicaConfig::honest(c.clone(), r)),
+    )
+    .await
+    .expect("spotless tcp cluster");
+    for i in 0..4u64 {
+        let result = handle
+            .client
+            .submit(real_batch(i, i), ReplicaId((i % 4) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO, "spotless batch {i}");
+    }
+    // The client resolves on f + 1 informs; wait for the replica whose
+    // disk we inspect below to execute everything.
+    wait_until("replica 0 executes all spotless batches", || {
+        let entries = handle.commits.snapshot();
+        (0..4u64).all(|id| {
+            entries
+                .iter()
+                .any(|e| e.replica == ReplicaId(0) && e.info.batch.id == BatchId(id))
+        })
+    })
+    .await;
+    assert_no_divergence(&handle.commits.snapshot());
+    handle.shutdown().await;
+
+    // The chains are on disk: reopen one store and verify it.
+    let (led, report) = DurableLedger::open(dirs[0].path(), DurableLedgerOptions::default())
+        .expect("reopen spotless store");
+    assert!(
+        led.ledger().height() >= 4,
+        "all four batches must be durable, height {}",
+        led.ledger().height()
+    );
+    led.ledger().verify().expect("spotless chain verifies");
+    assert_eq!(
+        report.snapshot_height + report.replayed_blocks,
+        led.ledger().height()
+    );
+
+    // ── PBFT (single-instance baseline) over TCP ────────────────────
+    let cluster = ClusterConfig::with_instances(4, 1);
+    let dirs: Vec<tempfile::TempDir> = (0..4).map(|_| tempfile::tempdir().unwrap()).collect();
+    let c = cluster.clone();
+    let handle = TcpCluster::spawn_with(
+        cluster.clone(),
+        free_addrs(4).await,
+        storage_configs(&dirs, 4),
+        move |r| PbftReplica::new(c.clone(), r),
+    )
+    .await
+    .expect("pbft tcp cluster");
+    for i in 0..4u64 {
+        // Any replica accepts a request; non-primaries relay to the
+        // primary — exactly what the runtime's generic client needs.
+        let result = handle
+            .client
+            .submit(real_batch(1000 + i, i), ReplicaId((i % 4) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO, "pbft batch {i}");
+    }
+    wait_until("replica 1 executes all pbft batches", || {
+        let entries = handle.commits.snapshot();
+        (1000..1004u64).all(|id| {
+            entries
+                .iter()
+                .any(|e| e.replica == ReplicaId(1) && e.info.batch.id == BatchId(id))
+        })
+    })
+    .await;
+    assert_no_divergence(&handle.commits.snapshot());
+    handle.shutdown().await;
+
+    let (led, _) = DurableLedger::open(dirs[1].path(), DurableLedgerOptions::default())
+        .expect("reopen pbft store");
+    assert!(led.ledger().height() >= 4);
+    led.ledger().verify().expect("pbft chain verifies");
+}
+
+/// Acceptance: a replica killed mid-run restarts from its segmented log
+/// + snapshot, rejoins via the runtime's catch-up exchange, and
+/// recommits nothing inconsistent — its recovered-and-caught-up chain
+/// and execution digests agree with the replicas that never crashed.
+#[tokio::test(flavor = "multi_thread")]
+async fn replica_restarts_from_durable_log_and_catches_up() {
+    let cluster = ClusterConfig::new(4);
+    let dirs: Vec<tempfile::TempDir> = (0..4).map(|_| tempfile::tempdir().unwrap()).collect();
+    // The victim snapshots every 4 blocks so the crash lands above a
+    // real snapshot and recovery exercises snapshot + log replay +
+    // catch-up together; the survivors keep everything materialized so
+    // the post-mortem can compare chains block-by-block.
+    let mut storage = storage_configs(&dirs, 1000);
+    storage[3].as_mut().unwrap().options.snapshot_every = 4;
+    let c = cluster.clone();
+    let handle = InProcCluster::spawn_with(cluster.clone(), storage, vec![false; 4], move |r| {
+        SpotLessReplica::new(ReplicaConfig::honest(c.clone(), r))
+    })
+    .expect("durable inproc cluster");
+
+    // Phase 1: commits everywhere.
+    for i in 0..6u64 {
+        let result = handle
+            .client
+            .submit(real_batch(i, i), ReplicaId((i % 4) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+    // Wait until the victim has executed (and group-committed) at least
+    // one batch so its restart genuinely recovers from disk.
+    let victim = ReplicaId(3);
+    wait_until("victim executes phase-1 batches", || {
+        handle
+            .commits
+            .snapshot()
+            .iter()
+            .filter(|e| e.replica == victim)
+            .count()
+            >= 4
+    })
+    .await;
+
+    // Phase 2: kill the victim; the cluster (n = 4, f = 1) keeps going.
+    handle.stop(victim);
+    let down_ids: Vec<u64> = (100..106).collect();
+    for (k, &id) in down_ids.iter().enumerate() {
+        let result = handle
+            .client
+            .submit(real_batch(id, id), ReplicaId((k % 3) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+
+    // Phase 3: restart from the same directory (coarse cadence now, so
+    // the post-mortem below still sees the materialized tail).
+    let mut storage = StorageConfig::new(dirs[3].path());
+    storage.options.snapshot_every = 1000;
+    let c = cluster.clone();
+    let restarted = handle
+        .restart(
+            victim,
+            Some(storage),
+            SpotLessReplica::new(ReplicaConfig::honest(c, victim)),
+        )
+        .await
+        .expect("restart from durable state");
+    let recovery = restarted.recovery().expect("durable recovery info").clone();
+    assert!(
+        recovery.chain_height >= 4,
+        "restart must recover the pre-crash chain from disk, got height {}",
+        recovery.chain_height
+    );
+    assert!(
+        recovery.snapshot_height >= 4,
+        "the pre-crash snapshot must anchor recovery, got {}",
+        recovery.snapshot_height
+    );
+
+    // Keep traffic flowing so the cluster stays live while the
+    // restarted replica catches up.
+    for i in 0..3u64 {
+        let result = handle
+            .client
+            .submit(real_batch(200 + i, i), ReplicaId((i % 3) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+
+    // The victim must re-acquire every batch committed while it was
+    // down — via its durable log for the prefix, via peer catch-up for
+    // the gap — without diverging from the survivors.
+    wait_until("victim catches up on the missed batches", || {
+        let entries = handle.commits.snapshot();
+        down_ids.iter().all(|&id| {
+            entries
+                .iter()
+                .any(|e| e.replica == victim && e.info.batch.id == BatchId(id))
+        })
+    })
+    .await;
+    // Synced flips only after a weak quorum of peers confirms the
+    // victim stands at their head — a couple more round trips after the
+    // last block applies, so poll rather than assert the instant state.
+    wait_until("victim reports synced", || restarted.is_synced()).await;
+    assert_no_divergence(&handle.commits.snapshot());
+    handle.shutdown().await;
+
+    // Post-mortem on disk: the victim's chain must be a verified chain
+    // that agrees block-for-block with a survivor's on the common
+    // materialized prefix.
+    let opts = DurableLedgerOptions::default();
+    let (survivor, _) = DurableLedger::open(dirs[0].path(), opts).unwrap();
+    let (recovered, _) = DurableLedger::open(dirs[3].path(), opts).unwrap();
+    survivor.ledger().verify().expect("survivor chain verifies");
+    recovered
+        .ledger()
+        .verify()
+        .expect("recovered chain verifies");
+    let common = survivor.ledger().height().min(recovered.ledger().height());
+    let base = survivor
+        .ledger()
+        .base_height()
+        .max(recovered.ledger().base_height());
+    assert!(
+        common > base,
+        "chains must share a materialized prefix (base {base}, common {common})"
+    );
+    for h in base..common {
+        assert_eq!(
+            survivor.ledger().block(h).unwrap(),
+            recovered.ledger().block(h).unwrap(),
+            "recovered replica recommitted inconsistently at height {h}"
+        );
+    }
+}
+
+/// Polls `cond` (about ten seconds at most) instead of sleeping a fixed
+/// worst case.
+async fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..400 {
+        if cond() {
+            return;
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(25)).await;
+    }
+    panic!("timed out waiting until {what}");
 }
