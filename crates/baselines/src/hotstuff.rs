@@ -24,9 +24,9 @@ use crate::util::ReplicaSet;
 use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
 use spotless_types::{
-    BatchId, ByzantineBehavior, ClientBatch, ClusterConfig, CommitInfo, Context, CryptoCosts,
-    Digest, Input, InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel, TimerId, TimerKind,
-    View,
+    BatchId, ByzantineBehavior, ClientBatch, ClusterConfig, CommitCertificate, CommitInfo, Context,
+    CryptoCosts, Digest, Input, InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel,
+    TimerId, TimerKind, View,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -34,16 +34,41 @@ use std::sync::Arc;
 /// Max certified batches a Narwhal-HS leader orders per block.
 const NARWHAL_REFS_CAP: usize = 256;
 
-/// A quorum certificate reference: `signers` signatures over (view,
-/// digest). Signatures themselves are charged via the resource model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// A quorum certificate: `n − f` signatures over (view, digest).
+/// Following §6.2 the "threshold signature" is literally a list of
+/// individual signatures, so the certificate carries the signer
+/// **identities** — which is exactly what lets the commit path hand a
+/// verifiable [`CommitCertificate`] to the runtime. Signature
+/// verification cost is charged via the resource model.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QcRef {
     /// View of the certified block.
     pub view: View,
     /// Digest of the certified block.
     pub digest: Digest,
-    /// Number of signatures in the certificate (`n − f`).
-    pub signers: u32,
+    /// The replicas whose signatures form the certificate (`n − f`
+    /// distinct voters).
+    pub signers: Vec<ReplicaId>,
+}
+
+impl QcRef {
+    /// Number of signatures in the certificate.
+    pub fn signer_count(&self) -> u32 {
+        self.signers.len() as u32
+    }
+
+    /// Structural validity against cluster `cfg`: distinct, known
+    /// replicas, at least a strong quorum of them. A QC failing this is
+    /// discarded wholesale (its sender is faulty).
+    fn well_formed(&self, cfg: &ClusterConfig) -> bool {
+        let mut seen = ReplicaSet::new(cfg.n);
+        for &r in &self.signers {
+            if r.0 >= cfg.n || !seen.insert(r) {
+                return false;
+            }
+        }
+        seen.len() >= cfg.quorum()
+    }
 }
 
 /// A HotStuff block (one per view; chained).
@@ -69,6 +94,7 @@ impl HsBlock {
         parent: Option<QcRef>,
     ) -> HsBlock {
         let parent_bytes = parent
+            .as_ref()
             .map(|p| {
                 let mut b = Vec::with_capacity(40);
                 b.extend_from_slice(&p.view.0.to_be_bytes());
@@ -134,7 +160,11 @@ impl ProtocolMessage for HsMessage {
     fn wire_size(&self, sizes: &SizeModel) -> u64 {
         match self {
             HsMessage::Proposal(b) => {
-                let qc = b.parent.map(|p| sizes.certificate(p.signers)).unwrap_or(0);
+                let qc = b
+                    .parent
+                    .as_ref()
+                    .map(|p| sizes.certificate(p.signer_count()))
+                    .unwrap_or(0);
                 if b.refs.is_empty() {
                     sizes.proposal(b.batch.txns, b.batch.txn_size) + qc
                 } else {
@@ -144,7 +174,11 @@ impl ProtocolMessage for HsMessage {
             }
             HsMessage::Vote { .. } => sizes.protocol_msg + sizes.signature,
             HsMessage::NewView { high_qc, .. } => {
-                sizes.protocol_msg + high_qc.map(|q| sizes.certificate(q.signers)).unwrap_or(0)
+                sizes.protocol_msg
+                    + high_qc
+                        .as_ref()
+                        .map(|q| sizes.certificate(q.signer_count()))
+                        .unwrap_or(0)
             }
             HsMessage::WorkerBatch(b) => sizes.proposal(b.txns, b.txn_size),
             HsMessage::BatchAck { .. } => sizes.protocol_msg + sizes.signature,
@@ -161,13 +195,14 @@ impl ProtocolMessage for HsMessage {
         match self {
             HsMessage::Proposal(b) => {
                 let body = u64::from(b.batch.txns) * u64::from(b.batch.txn_size);
-                let qc_sigs = b.parent.map(|p| p.signers).unwrap_or(0);
+                let qc_sigs = b.parent.as_ref().map(|p| p.signer_count()).unwrap_or(0);
                 // Leader signature + the full signature-list QC.
                 costs.verify_ns + costs.verify_k(qc_sigs) + costs.hash_ns_per_byte * body
             }
             HsMessage::Vote { .. } => costs.verify_ns,
             HsMessage::NewView { high_qc, .. } => {
-                costs.verify_ns + costs.verify_k(high_qc.map(|q| q.signers).unwrap_or(0))
+                costs.verify_ns
+                    + costs.verify_k(high_qc.as_ref().map(|q| q.signer_count()).unwrap_or(0))
             }
             HsMessage::WorkerBatch(b) => {
                 costs.mac_ns + costs.hash_ns_per_byte * u64::from(b.txns) * u64::from(b.txn_size)
@@ -336,8 +371,11 @@ impl HotStuffReplica {
         if self.leader_of(self.view) != self.me || self.proposed_view == Some(self.view) {
             return;
         }
-        let have_qc =
-            self.high_qc.is_some_and(|q| q.view.next() == self.view) || self.view == View::ZERO;
+        let have_qc = self
+            .high_qc
+            .as_ref()
+            .is_some_and(|q| q.view.next() == self.view)
+            || self.view == View::ZERO;
         let have_newviews = self
             .newviews
             .get(&self.view)
@@ -345,7 +383,7 @@ impl HotStuffReplica {
         if !(have_qc || have_newviews) {
             return;
         }
-        let parent = self.high_qc;
+        let parent = self.high_qc.clone();
         let (batch, refs) = if self.narwhal {
             let mut refs = Vec::new();
             while refs.len() < NARWHAL_REFS_CAP {
@@ -374,7 +412,7 @@ impl HotStuffReplica {
             return;
         }
         self.proposed_view = Some(self.view);
-        let block = Arc::new(HsBlock::new(self.view, batch, refs, parent));
+        let block = Arc::new(HsBlock::new(self.view, batch, refs, parent.clone()));
         match self.behavior {
             ByzantineBehavior::DarkPrimary => {
                 let f = self.cfg.f() as usize;
@@ -397,7 +435,7 @@ impl HotStuffReplica {
                     self.view,
                     ClientBatch::noop(ctx.now()),
                     Vec::new(),
-                    parent,
+                    parent.clone(),
                 ));
                 let half = self.cfg.n / 2;
                 for r in 0..self.cfg.n {
@@ -416,10 +454,10 @@ impl HotStuffReplica {
     /// HotStuff's SafeNode rule — structurally identical to SpotLess'
     /// A2/A3 acceptance.
     fn safe_node(&self, b: &HsBlock) -> bool {
-        let Some(parent) = b.parent else {
+        let Some(parent) = &b.parent else {
             return self.lock.is_none();
         };
-        let Some(lock) = self.lock else { return true };
+        let Some(lock) = &self.lock else { return true };
         if parent.view > lock.view {
             return true; // liveness rule
         }
@@ -432,7 +470,11 @@ impl HotStuffReplica {
             if cur.view <= lock.view {
                 return false;
             }
-            match self.blocks.get(&cur.digest).and_then(|blk| blk.parent) {
+            match self
+                .blocks
+                .get(&cur.digest)
+                .and_then(|blk| blk.parent.as_ref())
+            {
                 Some(p) => cur = p,
                 None => return false,
             }
@@ -450,7 +492,7 @@ impl HotStuffReplica {
         }
         self.blocks.insert(b.digest, b.clone());
         // The embedded QC certifies the parent.
-        if let Some(qc) = b.parent {
+        if let Some(qc) = b.parent.clone() {
             self.process_qc(qc, ctx);
         }
         // Catch up if the proposal is ahead of us (leader had a quorum).
@@ -504,7 +546,7 @@ impl HotStuffReplica {
             let qc = QcRef {
                 view,
                 digest,
-                signers: self.cfg.quorum(),
+                signers: set.iter().collect(),
             };
             self.process_qc(qc, ctx);
             self.try_lead(ctx);
@@ -512,10 +554,15 @@ impl HotStuffReplica {
     }
 
     /// Registers a QC: updates `high_qc`, the prepared set, the lock, and
-    /// runs the three-chain commit rule.
+    /// runs the three-chain commit rule. Structurally invalid QCs —
+    /// duplicate, unknown, or sub-quorum signer lists — are discarded
+    /// wholesale (equivalent to the sender never producing one).
     fn process_qc(&mut self, qc: QcRef, ctx: &mut dyn Context<Message = HsMessage>) {
-        if self.high_qc.is_none_or(|h| qc.view > h.view) {
-            self.high_qc = Some(qc);
+        if !qc.well_formed(&self.cfg) {
+            return;
+        }
+        if self.high_qc.as_ref().is_none_or(|h| qc.view > h.view) {
+            self.high_qc = Some(qc.clone());
         }
         if self.prepared.insert(qc.view, qc.digest).is_some() {
             // Already processed a QC for this view.
@@ -523,16 +570,16 @@ impl HotStuffReplica {
         let Some(block) = self.blocks.get(&qc.digest).cloned() else {
             return;
         };
-        if let Some(parent) = block.parent {
-            if self.lock.is_none_or(|l| parent.view > l.view) {
-                self.lock = Some(parent);
+        if let Some(parent) = block.parent.clone() {
+            if self.lock.as_ref().is_none_or(|l| parent.view > l.view) {
+                self.lock = Some(parent.clone());
             }
             // Three consecutive views: qc.view, parent, grandparent.
             if parent.view.next() == qc.view {
                 if let Some(pb) = self.blocks.get(&parent.digest).cloned() {
-                    if let Some(grand) = pb.parent {
+                    if let Some(grand) = pb.parent.clone() {
                         if grand.view.next() == parent.view {
-                            self.commit_chain(grand.digest, ctx);
+                            self.commit_chain(grand, ctx);
                         }
                     }
                 }
@@ -540,24 +587,31 @@ impl HotStuffReplica {
         }
     }
 
-    fn commit_chain(&mut self, tip: Digest, ctx: &mut dyn Context<Message = HsMessage>) {
-        let mut chain = Vec::new();
+    /// Commits the block certified by `tip` and its uncommitted
+    /// ancestors, oldest first. Each block's commit certificate is the
+    /// QC that certifies **it** — `tip` for the newest, each block's
+    /// embedded parent QC for the one below it — so every emitted
+    /// commit carries the exact `n − f` signer identities that sealed
+    /// that block.
+    fn commit_chain(&mut self, tip: QcRef, ctx: &mut dyn Context<Message = HsMessage>) {
+        let mut chain: Vec<(Arc<HsBlock>, QcRef)> = Vec::new();
         let mut cur = Some(tip);
-        while let Some(d) = cur {
-            if self.committed.contains(&d) {
+        while let Some(qc) = cur {
+            if self.committed.contains(&qc.digest) {
                 break;
             }
-            let Some(b) = self.blocks.get(&d).cloned() else {
+            let Some(b) = self.blocks.get(&qc.digest).cloned() else {
                 break;
             };
-            cur = b.parent.map(|p| p.digest);
-            chain.push(b);
+            cur = b.parent.clone();
+            chain.push((b, qc));
         }
-        for b in chain.into_iter().rev() {
+        for (b, qc) in chain.into_iter().rev() {
             self.committed.insert(b.digest);
             if self.committed_head.is_none_or(|h| b.view > h) {
                 self.committed_head = Some(b.view);
             }
+            let cert = CommitCertificate::strong(qc.view, qc.signers);
             if b.refs.is_empty() {
                 self.decided.insert(b.batch.id);
                 self.exec_depth += 1;
@@ -566,6 +620,7 @@ impl HotStuffReplica {
                     view: b.view,
                     depth: self.exec_depth,
                     batch: b.batch.clone(),
+                    cert,
                 });
             } else {
                 for batch in &b.refs {
@@ -576,6 +631,7 @@ impl HotStuffReplica {
                             view: b.view,
                             depth: self.exec_depth,
                             batch: batch.clone(),
+                            cert: cert.clone(),
                         });
                     }
                 }
@@ -597,7 +653,7 @@ impl HotStuffReplica {
             leader.into(),
             HsMessage::NewView {
                 view: next,
-                high_qc: self.high_qc,
+                high_qc: self.high_qc.clone(),
             },
         );
         self.arm_pacemaker(ctx);
@@ -614,9 +670,10 @@ impl HotStuffReplica {
         if view < self.view {
             return;
         }
-        if let Some(qc) = high_qc {
-            if self.high_qc.is_none_or(|h| qc.view > h.view) {
-                self.high_qc = Some(qc);
+        let high_qc = high_qc.filter(|qc| qc.well_formed(&self.cfg));
+        if let Some(qc) = &high_qc {
+            if self.high_qc.as_ref().is_none_or(|h| qc.view > h.view) {
+                self.high_qc = Some(qc.clone());
             }
         }
         let n = self.cfg.n;
@@ -625,8 +682,11 @@ impl HotStuffReplica {
             .entry(view)
             .or_insert_with(|| (ReplicaSet::new(n), None));
         set.insert(from);
-        if best.is_none_or(|b| high_qc.is_some_and(|q| q.view > b.view)) {
-            *best = high_qc.or(*best);
+        if best
+            .as_ref()
+            .is_none_or(|b| high_qc.as_ref().is_some_and(|q| q.view > b.view))
+        {
+            *best = high_qc.or(best.take());
         }
         if set.len() >= self.cfg.quorum() && self.leader_of(view) == self.me {
             if view > self.view {
@@ -833,22 +893,23 @@ mod tests {
         let mut ctx = Ctx::new();
         hs.on_input(Input::Start, &mut ctx);
         let b0 = Arc::new(HsBlock::new(View(0), batch(1), vec![], None));
+        let signers = || vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)];
         let qc0 = QcRef {
             view: View(0),
             digest: b0.digest,
-            signers: 3,
+            signers: signers(),
         };
         let b1 = Arc::new(HsBlock::new(View(1), batch(2), vec![], Some(qc0)));
         let qc1 = QcRef {
             view: View(1),
             digest: b1.digest,
-            signers: 3,
+            signers: signers(),
         };
         let b2 = Arc::new(HsBlock::new(View(2), batch(3), vec![], Some(qc1)));
         let qc2 = QcRef {
             view: View(2),
             digest: b2.digest,
-            signers: 3,
+            signers: signers(),
         };
         let b3 = Arc::new(HsBlock::new(View(3), batch(4), vec![], Some(qc2)));
         for (leader, blk) in [(0u32, b0), (1, b1), (2, b2), (3, b3)] {

@@ -17,8 +17,9 @@ use crate::util::ReplicaSet;
 use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
 use spotless_types::{
-    BatchId, ClientBatch, ClusterConfig, CommitInfo, Context, CryptoCosts, Digest, Input,
-    InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel, TimerId, TimerKind, View,
+    BatchId, ClientBatch, ClusterConfig, CommitCertificate, CommitInfo, Context, CryptoCosts,
+    Digest, Input, InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel, TimerId, TimerKind,
+    View,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -429,6 +430,10 @@ impl PbftReplica {
             let batch = slot.batch.clone().expect("committed slot has batch");
             let view = slot.view;
             let seq = self.next_exec;
+            // The commit-phase quorum is the certificate: the 2f + 1
+            // replicas whose `Commit` votes sealed the slot (the set
+            // can only have grown since the threshold was crossed).
+            let cert = CommitCertificate::strong(view, slot.commits.iter().collect());
             self.next_exec += 1;
             advanced = true;
             ctx.commit(CommitInfo {
@@ -436,6 +441,7 @@ impl PbftReplica {
                 view,
                 depth: seq,
                 batch,
+                cert,
             });
         }
         if advanced {

@@ -28,8 +28,8 @@
 use crate::messages::{Justification, JustificationKind, Message, Proposal, ProposalRef, SyncMsg};
 use crate::util::ReplicaSet;
 use spotless_types::{
-    ByzantineBehavior, ClientBatch, ClusterConfig, Context, InstanceId, ReplicaId, SimDuration,
-    SimTime, TimerId, TimerKind, View,
+    ByzantineBehavior, CertPhase, ClientBatch, ClusterConfig, CommitCertificate, Context,
+    InstanceId, ReplicaId, SimDuration, SimTime, TimerId, TimerKind, View,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -94,8 +94,9 @@ impl Shared<'_> {
 /// replica-level total-order executor.
 pub(crate) struct Outbox<'a, 'c> {
     pub ctx: &'a mut dyn Context<Message = Message>,
-    /// Proposals committed by this invocation, in chain order.
-    pub committed: &'c mut Vec<Arc<Proposal>>,
+    /// Proposals committed by this invocation, in chain order, each
+    /// paired with the signer evidence that certified its commit.
+    pub committed: &'c mut Vec<(Arc<Proposal>, CommitCertificate)>,
 }
 
 impl Outbox<'_, '_> {
@@ -1045,6 +1046,42 @@ impl InstanceState {
         self.try_commit_from(r, sh, out);
     }
 
+    /// The signer identities this replica holds certifying that `r` was
+    /// accepted: the same-claim `Sync` quorum of `r`'s own view merged
+    /// with `r`'s `CP`-set endorsers. Returns `None` below the weak
+    /// quorum — sub-`f + 1` evidence proves nothing (every member could
+    /// be faulty) and must not be persisted as a certificate.
+    fn signer_evidence(&self, r: ProposalRef, sh: &Shared<'_>) -> Option<CommitCertificate> {
+        let mut set = ReplicaSet::new(sh.n());
+        if let Some(claimants) = self
+            .syncs
+            .get(&r.view)
+            .and_then(|vs| vs.claims.get(&Some(r)))
+        {
+            for id in claimants.iter() {
+                set.insert(id);
+            }
+        }
+        if let Some(endorsers) = self.cp_endorsers.get(&r) {
+            for id in endorsers.iter() {
+                set.insert(id);
+            }
+        }
+        if set.len() < sh.weak() {
+            return None;
+        }
+        let phase = if set.len() >= sh.quorum() {
+            CertPhase::Strong
+        } else {
+            CertPhase::Weak
+        };
+        Some(CommitCertificate {
+            view: r.view,
+            phase,
+            signers: set.iter().collect(),
+        })
+    }
+
     /// Commit rule: prepared `X@u` with parent `Y@u−1` whose parent is
     /// `Z@u−2` commits `Z` (three consecutive views, Definition 3.3).
     fn try_commit_from(&mut self, x: ProposalRef, sh: &Shared<'_>, out: &mut Outbox<'_, '_>) {
@@ -1067,11 +1104,28 @@ impl InstanceState {
         if z.view.next() != y.view {
             return;
         }
-        self.commit_chain(z, sh, out);
+        // Fallback certificate for proposals whose own view's evidence
+        // this replica never saw (bodies fetched via Ask after a jump):
+        // the prepare evidence of the descendant whose three-chain
+        // triggers this commit. The commit is transitive — the chain
+        // from `x` reaches them — so `x`'s certifying quorum vouches
+        // for the whole chain.
+        let fallback = self
+            .signer_evidence(x, sh)
+            .or_else(|| self.signer_evidence(y, sh));
+        self.commit_chain(z, fallback, sh, out);
     }
 
-    /// Commits `z` and all its uncommitted ancestors, oldest first.
-    fn commit_chain(&mut self, z: ProposalRef, _sh: &Shared<'_>, out: &mut Outbox<'_, '_>) {
+    /// Commits `z` and all its uncommitted ancestors, oldest first,
+    /// attaching to each its own signer evidence where held and the
+    /// nearest certified descendant's otherwise.
+    fn commit_chain(
+        &mut self,
+        z: ProposalRef,
+        fallback: Option<CommitCertificate>,
+        sh: &Shared<'_>,
+        out: &mut Outbox<'_, '_>,
+    ) {
         let mut chain = Vec::new();
         let mut cur = Some(z);
         while let Some(r) = cur {
@@ -1101,9 +1155,29 @@ impl InstanceState {
         if chain.is_empty() {
             return;
         }
-        for body in chain.into_iter().rev() {
+        // Newest-first walk: each element uses its own evidence when this
+        // replica holds it, inheriting the nearest certified descendant's
+        // certificate otherwise (starting from the commit-triggering
+        // prepare's evidence). An entirely evidence-free commit cannot
+        // happen on an honest path — every prepare route leaves at least
+        // a weak quorum of identities — but if it ever does, the empty
+        // certificate is passed through and the runtime's ledger
+        // verification refuses to persist the block (fail closed, never
+        // fabricate signers).
+        let mut certs: Vec<CommitCertificate> = Vec::with_capacity(chain.len());
+        let mut last = fallback;
+        for body in &chain {
+            let own = self.signer_evidence(body.reference(), sh);
+            let cert = own.or_else(|| last.clone()).unwrap_or_else(|| {
+                debug_assert!(false, "commit without any signer evidence");
+                CommitCertificate::weak(body.view, Vec::new())
+            });
+            last = Some(cert.clone());
+            certs.push(cert);
+        }
+        for (body, cert) in chain.into_iter().zip(certs).rev() {
             self.committed.insert(body.digest);
-            out.committed.push(body);
+            out.committed.push((body, cert));
         }
         if self.committed_head.is_none_or(|h| z.view > h.view) {
             self.committed_head = Some(z);

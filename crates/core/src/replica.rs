@@ -15,8 +15,8 @@ use crate::instance::{InstanceState, Outbox, Shared};
 use crate::mempool::Mempool;
 use crate::messages::{Message, Proposal};
 use spotless_types::{
-    ByzantineBehavior, ClientBatch, ClusterConfig, CommitInfo, Context, Input, InstanceId, Node,
-    NodeId, ReplicaId, View,
+    ByzantineBehavior, ClientBatch, ClusterConfig, CommitCertificate, CommitInfo, Context, Input,
+    InstanceId, Node, NodeId, ReplicaId, View,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -64,7 +64,7 @@ impl ReplicaConfig {
 /// minimum settled view across instances.
 struct Executor {
     settled: Vec<Option<View>>,
-    ready: Vec<BTreeMap<View, Arc<Proposal>>>,
+    ready: Vec<BTreeMap<View, (Arc<Proposal>, CommitCertificate)>>,
     executed_per_instance: Vec<u64>,
     /// Batches already executed. The propose-by-peek mempool can (rarely)
     /// let the same batch commit at two views — the first proposal
@@ -84,12 +84,12 @@ impl Executor {
         }
     }
 
-    fn on_committed(&mut self, p: Arc<Proposal>) {
+    fn on_committed(&mut self, p: Arc<Proposal>, cert: CommitCertificate) {
         let i = p.instance.as_usize();
         if self.settled[i].is_none_or(|s| p.view > s) {
             self.settled[i] = Some(p.view);
         }
-        self.ready[i].insert(p.view, p);
+        self.ready[i].insert(p.view, (p, cert));
     }
 
     fn drain(&mut self, ctx: &mut dyn Context<Message = Message>) {
@@ -116,7 +116,7 @@ impl Executor {
             for i in 0..self.ready.len() {
                 let head = self.ready[i].first_key_value().map(|(&hv, _)| hv);
                 if head == Some(v) {
-                    let (_, p) = self.ready[i].pop_first().expect("head checked");
+                    let (_, (p, cert)) = self.ready[i].pop_first().expect("head checked");
                     self.executed_per_instance[i] += 1;
                     if !p.batch.is_noop() && !self.executed_batches.insert(p.batch.id) {
                         continue; // duplicate commit of a re-proposed batch
@@ -126,6 +126,7 @@ impl Executor {
                         view: p.view,
                         depth: self.executed_per_instance[i],
                         batch: p.batch.clone(),
+                        cert,
                     });
                 }
             }
@@ -261,9 +262,9 @@ impl SpotLessReplica {
             f(&mut self.instances[i], &shared, &mut out, &mut pick);
         }
         if !committed.is_empty() {
-            for p in committed {
+            for (p, cert) in committed {
                 self.mempool.mark_decided(p.batch.id);
-                self.executor.on_committed(p);
+                self.executor.on_committed(p, cert);
             }
             self.executor.drain(ctx);
         }
@@ -342,6 +343,10 @@ mod tests {
         ))
     }
 
+    fn cert(view: u64) -> CommitCertificate {
+        CommitCertificate::strong(View(view), vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)])
+    }
+
     struct NullCtx {
         commits: Vec<CommitInfo>,
     }
@@ -366,12 +371,12 @@ mod tests {
     fn executor_waits_for_all_instances() {
         let mut ex = Executor::new(2);
         let mut ctx = NullCtx { commits: vec![] };
-        ex.on_committed(proposal(0, 0, 1));
+        ex.on_committed(proposal(0, 0, 1), cert(0));
         ex.drain(&mut ctx);
         // Instance 1 has not settled anything: nothing executes (§5's
         // motivation for no-op proposals).
         assert!(ctx.commits.is_empty());
-        ex.on_committed(proposal(1, 0, 2));
+        ex.on_committed(proposal(1, 0, 2), cert(0));
         ex.drain(&mut ctx);
         assert_eq!(ctx.commits.len(), 2);
         // (view 0, I0) then (view 0, I1) — Figure 6's order.
@@ -383,10 +388,10 @@ mod tests {
     fn executor_orders_views_before_instances() {
         let mut ex = Executor::new(2);
         let mut ctx = NullCtx { commits: vec![] };
-        ex.on_committed(proposal(1, 0, 1));
-        ex.on_committed(proposal(0, 0, 2));
-        ex.on_committed(proposal(0, 1, 3));
-        ex.on_committed(proposal(1, 1, 4));
+        ex.on_committed(proposal(1, 0, 1), cert(0));
+        ex.on_committed(proposal(0, 0, 2), cert(0));
+        ex.on_committed(proposal(0, 1, 3), cert(1));
+        ex.on_committed(proposal(1, 1, 4), cert(1));
         ex.drain(&mut ctx);
         let order: Vec<(u64, u32)> = ctx
             .commits
@@ -401,11 +406,11 @@ mod tests {
         let mut ex = Executor::new(2);
         let mut ctx = NullCtx { commits: vec![] };
         // Instance 0 skipped view 1 (failed primary): commits v0 then v2.
-        ex.on_committed(proposal(0, 0, 1));
-        ex.on_committed(proposal(0, 2, 2));
-        ex.on_committed(proposal(1, 0, 3));
-        ex.on_committed(proposal(1, 1, 4));
-        ex.on_committed(proposal(1, 2, 5));
+        ex.on_committed(proposal(0, 0, 1), cert(0));
+        ex.on_committed(proposal(0, 2, 2), cert(2));
+        ex.on_committed(proposal(1, 0, 3), cert(0));
+        ex.on_committed(proposal(1, 1, 4), cert(1));
+        ex.on_committed(proposal(1, 2, 5), cert(2));
         ex.drain(&mut ctx);
         let order: Vec<(u64, u32)> = ctx
             .commits

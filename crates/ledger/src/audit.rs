@@ -99,6 +99,7 @@ mod tests {
                 CommitProof {
                     instance: InstanceId(0),
                     view: View(b),
+                    phase: spotless_types::CertPhase::Strong,
                     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
                 },
             );

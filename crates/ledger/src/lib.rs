@@ -18,7 +18,7 @@ pub mod audit;
 pub use audit::{batch_root, prove_transaction, verify_provenance, ProvenanceProof};
 
 use serde::{Deserialize, Serialize};
-use spotless_types::{BatchId, Digest, InstanceId, ReplicaId, View};
+use spotless_types::{BatchId, CertPhase, ClusterConfig, Digest, InstanceId, ReplicaId, View};
 use std::collections::HashMap;
 
 /// Summary of the consensus proof behind a block: who certified it.
@@ -28,8 +28,101 @@ pub struct CommitProof {
     pub instance: InstanceId,
     /// The view the proposal was made in.
     pub view: View,
-    /// Replicas whose `Sync` claims certify the decision (`n − f`).
+    /// Which quorum rule `signers` satisfies (strong `n − f` or weak
+    /// `f + 1`); [`verify_proof`] enforces the matching minimum.
+    pub phase: CertPhase,
+    /// Replicas whose signed votes certify the decision.
     pub signers: Vec<ReplicaId>,
+}
+
+/// Quorum arithmetic a [`CommitProof`] is verified against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofRules {
+    /// Cluster size: every signer id must be below this.
+    pub n: u32,
+    /// Minimum signer count for [`CertPhase::Strong`] proofs (`n − f`).
+    pub strong: u32,
+    /// Minimum signer count for [`CertPhase::Weak`] proofs (`f + 1`).
+    pub weak: u32,
+}
+
+impl ProofRules {
+    /// The rules for `cluster` (strong = `n − f`, weak = `f + 1`).
+    pub fn for_cluster(cluster: &ClusterConfig) -> ProofRules {
+        ProofRules {
+            n: cluster.n,
+            strong: cluster.quorum(),
+            weak: cluster.weak_quorum(),
+        }
+    }
+}
+
+/// Why a [`CommitProof`] was rejected by [`verify_proof`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// The signer set is empty.
+    Empty,
+    /// A signer id is not a replica of the cluster.
+    UnknownSigner(ReplicaId),
+    /// A signer appears more than once.
+    DuplicateSigner(ReplicaId),
+    /// Fewer signers than the proof's phase requires.
+    BelowQuorum {
+        /// Distinct valid signers found.
+        got: u32,
+        /// The phase's minimum.
+        need: u32,
+    },
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::Empty => write!(f, "commit proof has no signers"),
+            ProofError::UnknownSigner(r) => {
+                write!(f, "commit proof names unknown replica {}", r.0)
+            }
+            ProofError::DuplicateSigner(r) => {
+                write!(f, "commit proof lists replica {} twice", r.0)
+            }
+            ProofError::BelowQuorum { got, need } => {
+                write!(f, "commit proof has {got} signers, quorum needs {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// Verifies a commit proof's signer set against the cluster's quorum
+/// rules: non-empty, every id a real replica, no duplicates, and at
+/// least the phase's quorum of distinct signers. The runtime calls this
+/// before any block — locally decided or received via state transfer —
+/// reaches durable storage.
+pub fn verify_proof(proof: &CommitProof, rules: &ProofRules) -> Result<(), ProofError> {
+    if proof.signers.is_empty() {
+        return Err(ProofError::Empty);
+    }
+    let mut seen = spotless_types::ReplicaSet::new(rules.n);
+    for &r in &proof.signers {
+        if r.0 >= rules.n {
+            return Err(ProofError::UnknownSigner(r));
+        }
+        if !seen.insert(r) {
+            return Err(ProofError::DuplicateSigner(r));
+        }
+    }
+    let need = match proof.phase {
+        CertPhase::Strong => rules.strong,
+        CertPhase::Weak => rules.weak,
+    };
+    if seen.len() < need {
+        return Err(ProofError::BelowQuorum {
+            got: seen.len(),
+            need,
+        });
+    }
+    Ok(())
 }
 
 /// One ledger block: an executed batch plus its consensus proof.
@@ -60,11 +153,16 @@ impl Block {
         txns: u32,
         proof: &CommitProof,
     ) -> Digest {
-        let signer_bytes: Vec<u8> = proof
-            .signers
-            .iter()
-            .flat_map(|r| r.0.to_be_bytes())
-            .collect();
+        // The hash binds the **canonical chain content**: position,
+        // parent, batch identity, and the consensus slot (instance,
+        // view) the batch was decided in. It deliberately does NOT bind
+        // the certificate's phase/signer set: those are this replica's
+        // *evidence* for the decision — different honest replicas
+        // legitimately collect different (all valid) quorums for the
+        // same decision, and folding them into the hash would make
+        // replicas' chains diverge byte-wise despite identical ordered
+        // content. Certificates are instead validated independently by
+        // [`verify_proof`] wherever a block crosses a trust boundary.
         spotless_crypto::digest_fields(&[
             b"spotless-ledger-block",
             &height.to_be_bytes(),
@@ -74,8 +172,21 @@ impl Block {
             &txns.to_be_bytes(),
             &u64::from(proof.instance.0).to_be_bytes(),
             &proof.view.0.to_be_bytes(),
-            &signer_bytes,
         ])
+    }
+
+    /// True iff this block's stored hash recomputes from its canonical
+    /// content (see [`Block::compute_hash`]: the certificate's signer
+    /// set is evidence, not content, and is verified separately).
+    pub fn verify_hash(&self) -> bool {
+        Block::compute_hash(
+            self.height,
+            &self.parent,
+            &self.batch_digest,
+            self.batch_id,
+            self.txns,
+            &self.proof,
+        ) == self.hash
     }
 }
 
@@ -121,6 +232,68 @@ impl std::fmt::Display for LedgerError {
 }
 
 impl std::error::Error for LedgerError {}
+
+/// A bounded, ordered window of the most recently committed batch ids.
+///
+/// Why it exists: the ledger's `by_batch` index only covers
+/// *materialized* blocks, and a snapshot (recovery or state transfer)
+/// re-bases the chain with everything below the base pruned. A replica
+/// whose fresh protocol instance re-announces a recently committed
+/// batch (SpotLess re-commits the chain tail inside its GC window when
+/// a node rejoins) would re-execute it — silently forking its KV state
+/// — unless something remembers the ids the snapshot already covers.
+/// This window travels with every snapshot, bounded because protocols
+/// only ever re-announce a bounded tail of history.
+#[derive(Clone, Debug, Default)]
+pub struct RecentBatches {
+    order: std::collections::VecDeque<BatchId>,
+    set: std::collections::HashSet<BatchId>,
+}
+
+/// How many recent batch ids a [`RecentBatches`] window retains: must
+/// exceed the deepest tail any protocol can re-announce after a rejoin
+/// (SpotLess: at most `m` instances × its 64-view GC window).
+pub const RECENT_BATCHES_CAP: usize = 8192;
+
+impl RecentBatches {
+    /// An empty window.
+    pub fn new() -> RecentBatches {
+        RecentBatches::default()
+    }
+
+    /// Records `id` as committed (oldest ids fall out past the cap).
+    pub fn push(&mut self, id: BatchId) {
+        if !self.set.insert(id) {
+            return;
+        }
+        self.order.push_back(id);
+        while self.order.len() > RECENT_BATCHES_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+    }
+
+    /// True iff `id` is within the window.
+    pub fn contains(&self, id: BatchId) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// The ids in commit order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = BatchId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Number of ids retained.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True iff the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
 
 /// An append-only, hash-chained ledger.
 ///
@@ -302,6 +475,7 @@ mod tests {
         CommitProof {
             instance: InstanceId(0),
             view: View(view),
+            phase: CertPhase::Strong,
             signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
         }
     }
@@ -473,6 +647,113 @@ mod tests {
         assert_eq!(block.parent, full.head_hash());
         tail.verify().expect("chains over the base");
         assert_eq!(tail.find_batch(BatchId(77)).unwrap().height, 3);
+    }
+
+    fn rules_n4() -> ProofRules {
+        ProofRules {
+            n: 4,
+            strong: 3,
+            weak: 2,
+        }
+    }
+
+    #[test]
+    fn verify_proof_accepts_valid_quorums() {
+        let rules = rules_n4();
+        verify_proof(&proof(1), &rules).expect("strong quorum of 3 distinct known signers");
+        let weak = CommitProof {
+            instance: InstanceId(0),
+            view: View(1),
+            phase: CertPhase::Weak,
+            signers: vec![ReplicaId(3), ReplicaId(1)],
+        };
+        verify_proof(&weak, &rules).expect("weak quorum of 2");
+    }
+
+    #[test]
+    fn verify_proof_rejects_empty_signer_sets() {
+        let mut p = proof(1);
+        p.signers.clear();
+        assert_eq!(verify_proof(&p, &rules_n4()), Err(ProofError::Empty));
+    }
+
+    #[test]
+    fn verify_proof_rejects_duplicate_signers() {
+        // Four entries — enough to pass a naive count-style check — but
+        // only three distinct replicas padded with a repeat.
+        let mut p = proof(1);
+        p.signers = vec![ReplicaId(0), ReplicaId(1), ReplicaId(1), ReplicaId(2)];
+        assert_eq!(
+            verify_proof(&p, &rules_n4()),
+            Err(ProofError::DuplicateSigner(ReplicaId(1)))
+        );
+    }
+
+    #[test]
+    fn verify_proof_rejects_unknown_replica_ids() {
+        let mut p = proof(1);
+        p.signers = vec![ReplicaId(0), ReplicaId(1), ReplicaId(9)];
+        assert_eq!(
+            verify_proof(&p, &rules_n4()),
+            Err(ProofError::UnknownSigner(ReplicaId(9)))
+        );
+    }
+
+    #[test]
+    fn verify_proof_enforces_phase_minimums() {
+        let rules = rules_n4();
+        let mut p = proof(1);
+        p.signers = vec![ReplicaId(0), ReplicaId(1)];
+        // Two signers miss the strong quorum of 3…
+        assert_eq!(
+            verify_proof(&p, &rules),
+            Err(ProofError::BelowQuorum { got: 2, need: 3 })
+        );
+        // …but satisfy a weak (f + 1) certificate.
+        p.phase = CertPhase::Weak;
+        verify_proof(&p, &rules).expect("weak minimum is 2");
+        p.signers = vec![ReplicaId(0)];
+        assert_eq!(
+            verify_proof(&p, &rules),
+            Err(ProofError::BelowQuorum { got: 1, need: 2 })
+        );
+    }
+
+    #[test]
+    fn proof_rules_come_from_cluster_arithmetic() {
+        let rules = ProofRules::for_cluster(&ClusterConfig::new(7));
+        assert_eq!(
+            rules,
+            ProofRules {
+                n: 7,
+                strong: 5,
+                weak: 3
+            }
+        );
+    }
+
+    #[test]
+    fn block_hash_binds_content_but_not_the_evidence() {
+        let ledger = sample_ledger(2);
+        let mut b = ledger.block(1).unwrap().clone();
+        assert!(b.verify_hash());
+        b.txns = 999;
+        assert!(!b.verify_hash(), "content tampering must break the hash");
+        let mut b = ledger.block(1).unwrap().clone();
+        b.proof.view = View(77);
+        assert!(!b.verify_hash(), "slot tampering must break the hash");
+        // The signer set is per-replica *evidence*, not chain content:
+        // two honest replicas may hold different valid quorums for the
+        // same decision, so the hash must not bind it — `verify_proof`
+        // validates it instead wherever a block crosses a trust
+        // boundary.
+        let mut b = ledger.block(1).unwrap().clone();
+        b.proof.signers = vec![ReplicaId(1), ReplicaId(2), ReplicaId(3)];
+        b.proof.phase = CertPhase::Strong;
+        assert!(
+            b.verify_hash(),
+            "a different valid quorum must hash identically"
+        );
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`TAG_CATCHUP_REQ`] / [`TAG_CATCHUP_RESP`] — the runtime-level
 //!   catch-up exchange a restarted replica uses to close the gap between
 //!   its durable log and the cluster's head (see [`crate::pipeline`]).
+//! * [`TAG_CATCHUP_SNAP`] — the second mode of that exchange: when the
+//!   responder has pruned (or never held) the requested history, it
+//!   ships its whole executed state — KV snapshot bytes plus the
+//!   certified ledger head — instead of blocks.
 //!
 //! Signatures come from the cluster [`KeyStore`] — the documented
 //! simulation-grade keyed-hash scheme (see `spotless-crypto`'s
@@ -22,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use spotless_crypto::{KeyStore, Signature};
 use spotless_ledger::Block;
 use spotless_types::bytes::take;
-use spotless_types::ReplicaId;
+use spotless_types::{BatchId, Digest, ReplicaId};
 use std::sync::Arc;
 
 /// Tag byte: protocol message.
@@ -31,6 +35,8 @@ pub const TAG_PROTOCOL: u8 = 0;
 pub const TAG_CATCHUP_REQ: u8 = 1;
 /// Tag byte: catch-up response.
 pub const TAG_CATCHUP_RESP: u8 = 2;
+/// Tag byte: snapshot state transfer (catch-up from pruned history).
+pub const TAG_CATCHUP_SNAP: u8 = 3;
 
 /// A signed, shareable wire frame. Cloning an envelope clones the
 /// `Arc`, not the payload.
@@ -72,6 +78,40 @@ pub struct CatchUpBlock {
     pub payload: Vec<u8>,
 }
 
+/// A whole-state transfer: what a peer ships when the requested block
+/// range is pruned from its history.
+///
+/// Trust model: the **chain position** is verifiable without trusting
+/// the sender — the head block's hash recomputes and its commit
+/// certificate passes quorum verification. The **state bytes** are
+/// integrity-checked (`app_digest`, plus the envelope signature) but
+/// not yet bound to the chain: blocks carry no state root, so a
+/// Byzantine serving peer could pair a genuine certified head with a
+/// fabricated state. Closing that gap needs per-block state roots —
+/// an open ROADMAP item; until then snapshot installation trusts the
+/// serving peer for the state contents, exactly as block replay
+/// already trusts it for payload *availability*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotTransfer {
+    /// Ledger height the snapshot covers (number of executed blocks).
+    pub height: u64,
+    /// The block at `height − 1`, carrying the head's commit
+    /// certificate.
+    pub head: Block,
+    /// Ids of the most recently committed batches the snapshot covers
+    /// (bounded window; seeds the receiver's re-commit dedup filter so
+    /// a rejoining protocol instance cannot re-execute them).
+    pub recent_ids: Vec<BatchId>,
+    /// Digest of `app_state` (structural integrity cross-check; the
+    /// envelope signature authenticates the whole frame).
+    pub app_digest: Digest,
+    /// Serialized application state (the KV snapshot bytes).
+    pub app_state: Vec<u8>,
+    /// The responder's ledger height when it served the request (the
+    /// requester keeps pulling blocks above the snapshot from here).
+    pub peer_height: u64,
+}
+
 /// Everything a replica can receive inside an [`Envelope`].
 pub enum WireMsg<M> {
     /// A consensus protocol message.
@@ -89,6 +129,9 @@ pub enum WireMsg<M> {
         /// the responder cannot serve that range).
         blocks: Vec<CatchUpBlock>,
     },
+    /// The responder pruned the requested range: its full executed
+    /// state instead (boxed: the variant dwarfs the others).
+    Snapshot(Box<SnapshotTransfer>),
 }
 
 /// Encodes a protocol message payload.
@@ -121,6 +164,25 @@ pub fn encode_catchup_resp(peer_height: u64, blocks: &[CatchUpBlock]) -> Vec<u8>
         out.extend_from_slice(&(cb.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&cb.payload);
     }
+    out
+}
+
+/// Encodes a snapshot state-transfer payload.
+pub fn encode_catchup_snap(snap: &SnapshotTransfer) -> Vec<u8> {
+    let head_json = serde_json::to_vec(&snap.head).expect("blocks are serializable");
+    let mut out = Vec::with_capacity(61 + head_json.len() + snap.app_state.len());
+    out.push(TAG_CATCHUP_SNAP);
+    out.extend_from_slice(&snap.height.to_le_bytes());
+    out.extend_from_slice(&snap.peer_height.to_le_bytes());
+    out.extend_from_slice(&(head_json.len() as u32).to_le_bytes());
+    out.extend_from_slice(&head_json);
+    out.extend_from_slice(&(snap.recent_ids.len() as u32).to_le_bytes());
+    for id in &snap.recent_ids {
+        out.extend_from_slice(&id.0.to_le_bytes());
+    }
+    out.extend_from_slice(&snap.app_digest.0);
+    out.extend_from_slice(&(snap.app_state.len() as u32).to_le_bytes());
+    out.extend_from_slice(&snap.app_state);
     out
 }
 
@@ -159,6 +221,35 @@ pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
                 blocks,
             })
         }
+        TAG_CATCHUP_SNAP => {
+            let mut rest = body;
+            let height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
+            let peer_height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
+            let head_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+            let head = serde_json::from_slice(take(&mut rest, head_len)?).ok()?;
+            let ids_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+            let mut recent_ids = Vec::with_capacity(ids_len.min(1 << 16));
+            for _ in 0..ids_len {
+                recent_ids.push(BatchId(u64::from_le_bytes(
+                    take(&mut rest, 8)?.try_into().ok()?,
+                )));
+            }
+            let mut app_digest = Digest::ZERO;
+            app_digest.0.copy_from_slice(take(&mut rest, 32)?);
+            let state_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+            let app_state = take(&mut rest, state_len)?.to_vec();
+            if !rest.is_empty() {
+                return None;
+            }
+            Some(WireMsg::Snapshot(Box::new(SnapshotTransfer {
+                height,
+                head,
+                recent_ids,
+                app_digest,
+                app_state,
+                peer_height,
+            })))
+        }
         _ => None,
     }
 }
@@ -179,7 +270,8 @@ mod tests {
                 CommitProof {
                     instance: InstanceId(0),
                     view: View(i),
-                    signers: vec![ReplicaId(1)],
+                    phase: spotless_types::CertPhase::Strong,
+                    signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
                 },
             );
         }
@@ -229,6 +321,27 @@ mod tests {
             }
             _ => panic!("wrong decode"),
         }
+    }
+
+    #[test]
+    fn catchup_snapshot_roundtrips() {
+        let head = sample_block(4);
+        let app_state = b"kv-snapshot-bytes".to_vec();
+        let snap = SnapshotTransfer {
+            height: 5,
+            head,
+            recent_ids: vec![BatchId(2), BatchId(3), BatchId(4)],
+            app_digest: spotless_crypto::digest_bytes(&app_state),
+            app_state,
+            peer_height: 9,
+        };
+        let enc = encode_catchup_snap(&snap);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::Snapshot(got)) => assert_eq!(*got, snap),
+            _ => panic!("wrong decode"),
+        }
+        // Truncation fails closed.
+        assert!(decode::<u64>(&enc[..enc.len() - 1]).is_none());
     }
 
     #[test]

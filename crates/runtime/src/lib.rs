@@ -15,10 +15,15 @@
 //! * signed wire envelopes serialized once and `Arc`-shared across
 //!   broadcast destinations ([`envelope`]),
 //! * a commit pipeline that group-commits storage appends behind a
-//!   bounded ack queue so consensus never blocks on fsync
-//!   ([`pipeline`]), and
-//! * a runtime-level catch-up exchange that lets a replica restarted
-//!   from its durable log rejoin the cluster head.
+//!   bounded ack queue so consensus never blocks on fsync, populates
+//!   every durable block's `CommitProof` from the protocol's commit
+//!   certificate, and refuses to append a block whose signer set fails
+//!   quorum verification ([`pipeline`]), and
+//! * a runtime-level two-mode state-transfer exchange: a recovering
+//!   replica — held out of consensus until it has rejoined the head —
+//!   replays blocks from peers that still hold them, or installs a
+//!   digest- and certificate-verified KV snapshot when every peer has
+//!   pruned or restarted past its gap.
 //!
 //! Transports are reduced to [`Fabric`]s: byte movers with no protocol,
 //! crypto, or execution logic. `spotless-transport` provides in-process
@@ -37,7 +42,7 @@ pub mod runtime;
 
 pub use client::ClusterClient;
 pub use cluster::{assemble, ClusterHandles};
-pub use envelope::{CatchUpBlock, Envelope, WireMsg};
+pub use envelope::{CatchUpBlock, Envelope, SnapshotTransfer, WireMsg};
 pub use fabric::Fabric;
 pub use observe::{CommitLog, CommittedEntry, Inform};
 pub use runtime::{

@@ -12,30 +12,48 @@
 //! group (group commit), and only then are results executed upward as
 //! client informs — nothing is acknowledged before it is durable.
 //!
-//! The worker also owns the runtime-level **catch-up** exchange. A
-//! replica that restarts from its durable log knows its chain height
-//! and its (snapshot-recovered) execution height, but the cluster has
-//! moved on. It asks a peer for executed blocks from its execution
-//! height; responses are verified three ways — payload bytes must hash
-//! to the block's batch digest, blocks already on the local chain must
-//! match byte-for-byte, and new blocks must extend the local head
-//! through the ledger's hash-chain check — then applied. Its own live
-//! commits are buffered while behind (they sit *after* the gap in the
-//! deterministic execution order) and drained once a weak quorum of
-//! peers confirms we stand at their heads. That buffer is bounded by
-//! catch-up duration × commit rate, **not** by the ack queue: capping
-//! it would have to drop commits this replica (but possibly not yet
-//! its peers) decided, leaving a permanent hole that forks the chain
-//! on the next append. Bounding it properly means pausing consensus
-//! participation during recovery — an open item (ROADMAP), like
-//! serving catch-up from pruned history (a peer answers only from its
-//! in-memory payload cache).
+//! Every block that reaches storage carries a **verified commit
+//! certificate**: the protocol layer surfaces the certifying signer
+//! set through `CommitInfo::cert`, this worker copies it into the
+//! block's `CommitProof`, and `spotless_ledger::verify_proof` gates
+//! the append — non-empty, duplicate-free, known signers meeting the
+//! phase's quorum, on the live path and on every block received
+//! through state transfer alike.
+//!
+//! The worker also owns the runtime-level **state-transfer** exchange,
+//! which runs in two modes. A replica that restarts from its durable
+//! log knows its chain height and its (snapshot-recovered) execution
+//! height, but the cluster has moved on. It asks a peer for executed
+//! blocks from its execution height. If the peer still holds that
+//! range, it answers with **block replay**: responses are verified
+//! four ways — payload bytes must hash to the block's batch digest,
+//! each block's commit certificate must pass quorum verification,
+//! blocks already on the local chain must agree hash-for-hash, and new
+//! blocks must extend the local head through the ledger's hash-chain
+//! check — then applied. If
+//! the peer has pruned past the requested height (or restarted with a
+//! fresh payload cache), it ships a **snapshot** instead: its KV state
+//! bytes plus the certified ledger head. The requester verifies the
+//! head block's hash, its commit certificate, and the state digest,
+//! then replaces its own (older, prefix-consistent) chain and state
+//! wholesale and continues pulling blocks above the snapshot.
+//!
+//! While catching up the replica does not participate in consensus at
+//! all — the event loop holds the protocol node un-started until a
+//! weak quorum of peers confirms we stand at their heads (see
+//! [`crate::ReplicaRuntime`]) — so the live-commit buffer below stays
+//! empty in practice and no longer grows with catch-up duration; it
+//! remains as a safety net for commits raced in right after sync.
 
-use crate::envelope::{encode_catchup_req, encode_catchup_resp, CatchUpBlock, Envelope};
+use crate::envelope::{
+    encode_catchup_req, encode_catchup_resp, encode_catchup_snap, CatchUpBlock, Envelope,
+    SnapshotTransfer,
+};
 use crate::fabric::Fabric;
 use crate::observe::{CommitLog, CommittedEntry, Inform};
 use spotless_crypto::KeyStore;
-use spotless_ledger::{Block, CommitProof, Ledger};
+use spotless_ledger::{verify_proof, Block, CommitProof, Ledger, ProofRules, RecentBatches};
+use spotless_storage::snapshot::Snapshot;
 use spotless_storage::DurableLedger;
 use spotless_types::{
     BatchId, ClientBatch, ClientId, ClusterConfig, CommitInfo, Digest, ReplicaId, SimTime,
@@ -74,9 +92,27 @@ pub(crate) enum PipelineCmd {
         peer_height: u64,
         blocks: Vec<CatchUpBlock>,
     },
+    /// A peer answered with a whole-state snapshot (it pruned the
+    /// blocks we asked for).
+    ApplySnapshot {
+        from: ReplicaId,
+        snap: SnapshotTransfer,
+    },
     /// Periodic nudge while behind: re-issue the catch-up request (to
     /// the next peer, in case the previous one could not serve us).
     CatchUpTick,
+}
+
+/// The in-memory chain store's state (see [`Store::Mem`]).
+struct MemStore {
+    ledger: Ledger,
+    /// The head block of an installed snapshot (serves catch-up
+    /// requests that need the base's certificate).
+    base_block: Option<Block>,
+    /// Recently committed batch ids (the durable store tracks its own;
+    /// the mem store needs one for the same re-commit dedup after a
+    /// snapshot install).
+    recent: RecentBatches,
 }
 
 /// The chain store: durable when the deployment has a storage dir,
@@ -84,31 +120,115 @@ pub(crate) enum PipelineCmd {
 /// verification.
 enum Store {
     Durable(Box<DurableLedger>),
-    Mem(Ledger),
+    Mem(Box<MemStore>),
 }
 
 impl Store {
     fn ledger(&self) -> &Ledger {
         match self {
             Store::Durable(d) => d.ledger(),
-            Store::Mem(l) => l,
+            Store::Mem(m) => &m.ledger,
         }
     }
 
-    fn append_batch(&mut self, id: BatchId, digest: Digest, txns: u32, proof: CommitProof) -> bool {
+    /// True iff `id` is known committed: either a materialized block
+    /// holds it, or it sits inside the recent-id window a snapshot
+    /// (recovery or state transfer) carried over. The live commit path
+    /// consults this so a rejoining protocol instance that re-announces
+    /// recent history cannot re-execute it.
+    fn knows_batch(&self, id: BatchId) -> bool {
+        if self.ledger().find_batch(id).is_some() {
+            return true;
+        }
         match self {
-            Store::Durable(d) => d.append_batch(id, digest, txns, proof).is_ok(),
-            Store::Mem(l) => {
-                l.append(id, digest, txns, proof);
+            Store::Durable(d) => d.recent_batches().contains(id),
+            Store::Mem(m) => m.recent.contains(id),
+        }
+    }
+
+    /// The recent-id window to ship with an outgoing snapshot.
+    fn recent_ids(&self) -> Vec<BatchId> {
+        match self {
+            Store::Durable(d) => d.recent_batches().iter().collect(),
+            Store::Mem(m) => m.recent.iter().collect(),
+        }
+    }
+
+    /// The block at `height`, looking through the pruned base: the
+    /// block just below an installed/recovered snapshot is retained for
+    /// serving that snapshot's certificate.
+    fn block_at(&self, height: u64) -> Option<&Block> {
+        if let Some(b) = self.ledger().block(height) {
+            return Some(b);
+        }
+        let base = match self {
+            Store::Durable(d) => d.base_block(),
+            Store::Mem(m) => m.base_block.as_ref(),
+        };
+        base.filter(|b| b.height == height)
+    }
+
+    fn append_batch(
+        &mut self,
+        id: BatchId,
+        digest: Digest,
+        txns: u32,
+        proof: CommitProof,
+        payload: &[u8],
+    ) -> bool {
+        match self {
+            Store::Durable(d) => d.append_batch(id, digest, txns, proof, payload).is_ok(),
+            Store::Mem(m) => {
+                m.ledger.append(id, digest, txns, proof);
+                m.recent.push(id);
                 true
             }
         }
     }
 
-    fn append_foreign(&mut self, block: Block) -> bool {
+    fn append_foreign(&mut self, block: Block, payload: &[u8]) -> bool {
         match self {
-            Store::Durable(d) => d.append_block(block).is_ok(),
-            Store::Mem(l) => l.append_existing(block).is_ok(),
+            Store::Durable(d) => d.append_block(block, payload).is_ok(),
+            Store::Mem(m) => {
+                let id = block.batch_id;
+                let ok = m.ledger.append_existing(block).is_ok();
+                if ok {
+                    m.recent.push(id);
+                }
+                ok
+            }
+        }
+    }
+
+    /// Replaces the whole chain with a received snapshot's certified
+    /// head (the caller has already verified it). Durable stores make
+    /// the snapshot durable and reset their log; the in-memory store
+    /// just re-bases its ledger.
+    fn install_snapshot(
+        &mut self,
+        height: u64,
+        head: Block,
+        transferred_ids: &[BatchId],
+        app_state: &[u8],
+    ) -> bool {
+        match self {
+            Store::Durable(d) => d
+                .install_snapshot(&Snapshot {
+                    height,
+                    head_hash: head.hash,
+                    head_block: Some(head),
+                    recent_ids: transferred_ids.to_vec(),
+                    app_state: app_state.to_vec(),
+                })
+                .is_ok(),
+            Store::Mem(m) => {
+                m.ledger = Ledger::with_base(height, head.hash);
+                m.base_block = Some(head);
+                for &id in transferred_ids {
+                    m.recent.push(id);
+                }
+                true
+            }
         }
     }
 
@@ -155,6 +275,9 @@ enum Mode {
 pub(crate) struct Pipeline<F: Fabric> {
     me: ReplicaId,
     cluster: ClusterConfig,
+    /// Quorum rules every `CommitProof` is verified against before any
+    /// block — locally decided or transferred — reaches the store.
+    rules: ProofRules,
     keystore: KeyStore,
     fabric: F,
     store: Store,
@@ -171,6 +294,13 @@ pub(crate) struct Pipeline<F: Fabric> {
     synced: Arc<AtomicBool>,
     /// Peer rotation cursor for catch-up requests.
     catchup_cursor: u32,
+    /// Raised when a consensus-decided commit could not be persisted
+    /// verifiably (an unverifiable certificate — a protocol-layer bug).
+    /// Dropping such a block while continuing would silently fork this
+    /// replica's chain, so instead the pipeline stops acknowledging
+    /// anything, turning the fault into a loud crash-style stall the
+    /// cluster already tolerates.
+    poisoned: bool,
 }
 
 impl<F: Fabric> Pipeline<F> {
@@ -181,8 +311,9 @@ impl<F: Fabric> Pipeline<F> {
         keystore: KeyStore,
         fabric: F,
         durable: Option<DurableLedger>,
-        kv: KvStore,
-        kv_height: u64,
+        mut kv: KvStore,
+        mut kv_height: u64,
+        recovered_payloads: Vec<Vec<u8>>,
         commits: CommitLog,
         informs: mpsc::UnboundedSender<Inform>,
         synced: Arc<AtomicBool>,
@@ -191,9 +322,51 @@ impl<F: Fabric> Pipeline<F> {
         let is_durable = durable.is_some();
         let store = match durable {
             Some(d) => Store::Durable(Box::new(d)),
-            None => Store::Mem(Ledger::new()),
+            None => Store::Mem(Box::new(MemStore {
+                ledger: Ledger::new(),
+                base_block: None,
+                recent: RecentBatches::new(),
+            })),
         };
         let chain_height = store.ledger().height();
+        // Self-contained tail replay: the log persists batch payloads,
+        // so the blocks logged above the snapshot re-execute locally —
+        // a restarted replica reaches its own chain head without asking
+        // anyone (peers are only needed for what it *missed*), and its
+        // payload cache is re-seeded so it can serve that tail too.
+        // These blocks were acknowledged before the crash, so no new
+        // commit entries or informs are emitted for them.
+        let mut replay_base = chain_height - recovered_payloads.len() as u64;
+        let mut payloads = Vec::with_capacity(recovered_payloads.len());
+        for (i, payload) in recovered_payloads.into_iter().enumerate() {
+            let h = replay_base + i as u64;
+            if h >= kv_height {
+                match decode_payload(&payload) {
+                    Ok(Some(txns)) => {
+                        kv.execute_batch(&txns);
+                    }
+                    Ok(None) => {}
+                    // Only executable payloads are ever appended, so a
+                    // malformed one cannot occur on an intact log; fail
+                    // soft (peer catch-up re-fills the rest) over
+                    // panicking the pipeline.
+                    Err(()) => break,
+                }
+                kv_height = h + 1;
+            }
+            payloads.push(payload);
+        }
+        if replay_base + payloads.len() as u64 != chain_height {
+            // The replay broke mid-tail: a cache that stops short of
+            // the chain head would drift out of alignment the moment a
+            // live or caught-up commit pushes at its end (`payloads[i]`
+            // must always map to height `payload_base + i`). Drop the
+            // cache instead — this replica serves nothing until its
+            // next snapshot, and peer catch-up refills the
+            // un-re-executed suffix.
+            payloads.clear();
+            replay_base = chain_height;
+        }
         // Every durable replica boots in catch-up: a height-0 store
         // cannot prove freshness — the process may have crashed before
         // its first group fsync while the cluster moved on. At a
@@ -215,19 +388,21 @@ impl<F: Fabric> Pipeline<F> {
         synced.store(!behind, Ordering::Relaxed);
         Pipeline {
             me,
+            rules: ProofRules::for_cluster(&cluster),
             cluster,
             keystore,
             fabric,
-            payload_base: chain_height,
+            payload_base: replay_base,
             store,
             kv,
             kv_height,
-            payloads: Vec::new(),
+            payloads,
             commits,
             informs,
             mode,
             synced,
             catchup_cursor: 0,
+            poisoned: false,
         }
     }
 
@@ -268,6 +443,7 @@ impl<F: Fabric> Pipeline<F> {
                 peer_height,
                 blocks,
             } => self.apply_catchup(from, peer_height, blocks),
+            PipelineCmd::ApplySnapshot { from, snap } => self.apply_snapshot(from, snap),
             PipelineCmd::CatchUpTick => {
                 if matches!(self.mode, Mode::CatchingUp { .. }) {
                     self.catchup_cursor += 1; // previous peer did not get us there
@@ -281,7 +457,7 @@ impl<F: Fabric> Pipeline<F> {
     /// execute and acknowledge. While catching up, commits are buffered
     /// instead — they sit after the gap in the execution order.
     fn flush(&mut self, group: Vec<CommitInfo>) {
-        if group.is_empty() {
+        if group.is_empty() || self.poisoned {
             return;
         }
         if let Mode::CatchingUp { pending, .. } = &mut self.mode {
@@ -325,8 +501,12 @@ impl<F: Fabric> Pipeline<F> {
         if info.batch.is_noop() {
             return None;
         }
-        if self.store.ledger().find_batch(info.batch.id).is_some() {
-            return None; // already applied via catch-up
+        if self.store.knows_batch(info.batch.id) {
+            // Already applied — via catch-up, or covered by a snapshot
+            // whose recent-id window remembers it. A rejoining protocol
+            // instance re-announces the chain tail it just learned;
+            // re-executing any of it would fork this replica's state.
+            return None;
         }
         // Decode *before* appending: the ledger and the payload cache
         // must only ever hold executable blocks, or the cache's
@@ -335,17 +515,38 @@ impl<F: Fabric> Pipeline<F> {
             Ok(txns) => txns,
             Err(()) => return None, // malformed payload: never commit it
         };
+        // The protocol's commit certificate becomes the block's durable
+        // proof — and the ledger refuses it unless the signer set is
+        // non-empty, duplicate-free, within the cluster, and meets the
+        // phase's quorum. Every protocol in this workspace certifies
+        // its commits with at least a weak quorum of identities, so a
+        // rejection here means a protocol-layer bug (or a Byzantine
+        // node's forgery): fail closed, never persist an unverifiable
+        // block.
         let proof = CommitProof {
             instance: info.instance,
             view: info.view,
-            // Certificate signer sets are not surfaced through
-            // `CommitInfo`; recording them is an open item (ROADMAP).
-            signers: Vec::new(),
+            phase: info.cert.phase,
+            signers: info.cert.signers.clone(),
         };
-        if !self
-            .store
-            .append_batch(info.batch.id, info.batch.digest, info.batch.txns, proof)
-        {
+        if verify_proof(&proof, &self.rules).is_err() {
+            // The batch WAS decided cluster-wide; skipping it while
+            // continuing to append later commits would leave a silent
+            // hole that forks this replica's chain and state. Poison
+            // the pipeline instead (same contract as a failed fsync):
+            // nothing further is appended or acknowledged, and the
+            // replica presents as crashed until restarted.
+            debug_assert!(false, "protocol emitted an unverifiable commit certificate");
+            self.poisoned = true;
+            return None;
+        }
+        if !self.store.append_batch(
+            info.batch.id,
+            info.batch.digest,
+            info.batch.txns,
+            proof,
+            &info.batch.payload,
+        ) {
             return None; // storage poisoned; stop acknowledging
         }
         let result = match txns {
@@ -374,10 +575,23 @@ impl<F: Fabric> Pipeline<F> {
         }
     }
 
-    // ── catch-up: serving side ──────────────────────────────────────
+    // ── state transfer: serving side ────────────────────────────────
 
+    /// Answers a catch-up request in one of two modes: **block replay**
+    /// when the requested range is still in the payload cache, or a
+    /// **snapshot** of the whole executed state when the requester
+    /// wants history we pruned (or never cached — e.g. we restarted).
     fn serve_catchup(&mut self, to: ReplicaId, from_height: u64) {
         let height = self.store.ledger().height();
+        if from_height < self.payload_base {
+            if let Some(snap) = self.build_snapshot() {
+                let env = Envelope::seal(&self.keystore, encode_catchup_snap(&snap));
+                self.fabric.send(to, env);
+                return;
+            }
+            // No snapshot to offer (nothing executed yet): fall through
+            // to an empty block response so the requester rotates on.
+        }
         let mut blocks = Vec::new();
         if from_height >= self.payload_base {
             let mut h = from_height;
@@ -400,10 +614,31 @@ impl<F: Fabric> Pipeline<F> {
                 h += 1;
             }
         }
-        // else: the requester wants history from before our payload
-        // cache; send an empty response so it rotates to another peer.
         let env = Envelope::seal(&self.keystore, encode_catchup_resp(height, &blocks));
         self.fabric.send(to, env);
+    }
+
+    /// The snapshot of this replica's executed state: KV bytes at
+    /// `kv_height` plus the certified block at `kv_height − 1`. `None`
+    /// when nothing has executed yet (a height-0 "snapshot" carries no
+    /// certificate and transfers nothing a fresh boot lacks).
+    ///
+    /// Size note: the whole state travels in one signed frame, so this
+    /// works for states comfortably under the fabric's frame limit
+    /// (8 MiB over TCP); chunked transfer is future work recorded in
+    /// the ROADMAP.
+    fn build_snapshot(&self) -> Option<SnapshotTransfer> {
+        let height = self.kv_height;
+        let head = self.store.block_at(height.checked_sub(1)?)?.clone();
+        let app_state = self.kv.to_snapshot_bytes();
+        Some(SnapshotTransfer {
+            height,
+            head,
+            recent_ids: self.store.recent_ids(),
+            app_digest: spotless_crypto::digest_bytes(&app_state),
+            app_state,
+            peer_height: self.store.ledger().height(),
+        })
     }
 
     // ── catch-up: requesting side ───────────────────────────────────
@@ -442,17 +677,27 @@ impl<F: Fabric> Pipeline<F> {
             let Ok(txns) = decode_payload(&cb.payload) else {
                 break; // undecodable payload: same treatment
             };
+            // The block's commit certificate must verify before it may
+            // touch our chain — a peer cannot launder an uncertified
+            // block through state transfer. (For blocks we already hold
+            // the equality check below re-asserts the same thing.)
+            if verify_proof(&cb.block.proof, &self.rules).is_err() {
+                break;
+            }
             let chain_height = self.store.ledger().height();
             if h < chain_height {
                 // We hold this block already (logged before the crash);
                 // the peer is only supplying the payload to re-execute.
+                // Hashes bind the canonical content; the certificates
+                // may legitimately differ (each replica persists the
+                // quorum evidence *it* collected).
                 match self.store.ledger().block(h) {
-                    Some(mine) if *mine == cb.block => {}
+                    Some(mine) if mine.hash == cb.block.hash => {}
                     _ => break, // divergent peer: drop the rest
                 }
             } else if h == chain_height {
                 // New to us: must extend our head (hash-chain checked).
-                if !self.store.append_foreign(cb.block.clone()) {
+                if !self.store.append_foreign(cb.block.clone(), &cb.payload) {
                     break;
                 }
                 self.payloads.push(cb.payload.clone());
@@ -493,11 +738,65 @@ impl<F: Fabric> Pipeline<F> {
             });
         }
 
-        // "At this peer's head" must also mean our *own* chain is fully
-        // executed: after a restart the log can be ahead of the KV
-        // snapshot, and declaring ourselves synced before re-executing
-        // those logged blocks would hide the gap forever (live-commit
-        // dedup skips blocks already on the chain).
+        self.note_peer_head(from, peer_height, progressed);
+    }
+
+    /// Installs a peer's snapshot state transfer after verifying what
+    /// is verifiable: the head block must sit just below the claimed
+    /// height, its hash must recompute, its commit certificate must
+    /// pass quorum verification, and the state bytes must match their
+    /// digest and parse as a KV snapshot. Anything less and the
+    /// transfer is ignored (the periodic tick rotates to another
+    /// peer). The state bytes themselves are trusted to the serving
+    /// peer until blocks carry state roots — see the trust-model note
+    /// on [`SnapshotTransfer`].
+    ///
+    /// A usable snapshot strictly dominates local state: it must cover
+    /// more than we have executed and at least as much as we have
+    /// logged — our chain is then a verified prefix of what the
+    /// certified head summarizes, so replacing it wholesale loses
+    /// nothing. (Consensus participation is held off until catch-up
+    /// completes, so no live commit can be buffered below the installed
+    /// height.)
+    fn apply_snapshot(&mut self, from: ReplicaId, snap: SnapshotTransfer) {
+        if !matches!(self.mode, Mode::CatchingUp { .. }) {
+            return; // stale response
+        }
+        let chain_height = self.store.ledger().height();
+        let usable = snap.height > self.kv_height && snap.height >= chain_height;
+        let verified = usable
+            && snap.head.height + 1 == snap.height
+            && snap.head.verify_hash()
+            && verify_proof(&snap.head.proof, &self.rules).is_ok()
+            && spotless_crypto::digest_bytes(&snap.app_state) == snap.app_digest;
+        let mut progressed = false;
+        if verified {
+            if let Some(kv) = KvStore::from_snapshot_bytes(&snap.app_state) {
+                if self.store.install_snapshot(
+                    snap.height,
+                    snap.head.clone(),
+                    &snap.recent_ids,
+                    &snap.app_state,
+                ) {
+                    self.kv = kv;
+                    self.kv_height = snap.height;
+                    self.payloads.clear();
+                    self.payload_base = snap.height;
+                    progressed = true;
+                }
+            }
+        }
+        self.note_peer_head(from, snap.peer_height, progressed);
+    }
+
+    /// Confirmation bookkeeping shared by both transfer modes.
+    ///
+    /// "At this peer's head" must also mean our *own* chain is fully
+    /// executed: after a restart the log can be ahead of the KV
+    /// snapshot, and declaring ourselves synced before re-executing
+    /// those logged blocks would hide the gap forever (live-commit
+    /// dedup skips blocks already on the chain).
+    fn note_peer_head(&mut self, from: ReplicaId, peer_height: u64, progressed: bool) {
         let chain_height = self.store.ledger().height();
         let at_peer_head = self.kv_height >= chain_height && chain_height >= peer_height;
         let weak_quorum = self.cluster.weak_quorum() as usize;
@@ -562,12 +861,18 @@ fn decode_payload(payload: &[u8]) -> Result<Option<Vec<Transaction>>, ()> {
 /// Reconstructs commit metadata for a block applied via catch-up,
 /// consuming it (the payload is moved, not copied). The original client
 /// batch envelope is gone; what matters downstream is the batch
-/// identity, digest, and payload.
+/// identity, digest, payload, and the (re-verified) commit certificate
+/// the block carried.
 fn commit_info_of(cb: CatchUpBlock) -> CommitInfo {
     CommitInfo {
         instance: cb.block.proof.instance,
         view: cb.block.proof.view,
         depth: cb.block.height,
+        cert: spotless_types::CommitCertificate {
+            view: cb.block.proof.view,
+            phase: cb.block.proof.phase,
+            signers: cb.block.proof.signers,
+        },
         batch: ClientBatch {
             id: cb.block.batch_id,
             origin: ClientId(u64::MAX),

@@ -16,9 +16,17 @@
 //! Restart story: give the runtime the same storage directory it had
 //! before the crash and it recovers the hash-chained ledger from the
 //! segmented log, the KV state from the newest snapshot, and then runs
-//! the catch-up exchange against its peers until it rejoins the
-//! cluster's head. See `tests/transport_e2e.rs` (facade crate) for the
-//! end-to-end crash–restart proof.
+//! the two-mode state-transfer exchange against its peers — block
+//! replay while some peer retains the missing range, snapshot shipping
+//! (KV bytes + certified ledger head) once every peer has pruned or
+//! restarted past it — until it rejoins the cluster's head. Crucially,
+//! a recovering replica is **held out of consensus** the whole time:
+//! the protocol node is not even started (no votes, no proposals, no
+//! request intake) until a weak quorum of peers confirms the replica
+//! stands at their heads, so the commit pipeline cannot accumulate a
+//! live-commit buffer that grows with catch-up duration. See
+//! `tests/transport_e2e.rs` (facade crate) for the end-to-end
+//! crash–restart and pruned-history recovery proofs.
 
 use crate::envelope::{decode, encode_protocol, Envelope, WireMsg};
 use crate::fabric::Fabric;
@@ -251,6 +259,7 @@ impl ReplicaRuntime {
         let mut durable = None;
         let mut kv = KvStore::new();
         let mut kv_height = 0;
+        let mut replayed_payloads = Vec::new();
         let mut recovery = None;
         if let Some(storage) = &cfg.storage {
             let mut options = storage.options;
@@ -267,6 +276,10 @@ impl ReplicaRuntime {
                 })?;
                 kv_height = report.snapshot_height;
             }
+            // The log persists batch payloads, so the chain tail above
+            // the snapshot re-executes locally in the pipeline (no peer
+            // required to reach our own head).
+            replayed_payloads = report.replayed_payloads;
             recovery = Some(Arc::new(RecoveryInfo {
                 snapshot_height: report.snapshot_height,
                 chain_height: store.ledger().height(),
@@ -290,6 +303,7 @@ impl ReplicaRuntime {
             durable,
             kv,
             kv_height,
+            replayed_payloads,
             commits,
             informs,
             synced.clone(),
@@ -387,18 +401,43 @@ where
             }
             return;
         }
-        if !self.synced.load(Ordering::Relaxed) {
+        // Consensus participation is gated on recovery: a replica that
+        // boots behind (durable storage to catch up from) does not
+        // start its protocol node — no votes, no proposals — until the
+        // pipeline's state transfer completes. This is what keeps the
+        // live-commit buffer from growing with catch-up duration, and
+        // what makes a snapshot install safe (no buffered commit can
+        // predate the installed height). Protocol traffic arriving
+        // meanwhile is dropped — retransmission (Υ, Ask, client
+        // retries) recovers it, and SpotLess's RVS jump rule brings the
+        // fresh node to the cluster's current view in one weak quorum
+        // of Syncs. Client requests are *held*, not dropped (the
+        // runtime client has no retransmit loop): they replay into the
+        // node the moment it starts, and the mempool applies its normal
+        // admission rules then.
+        let mut started = false;
+        let mut held_requests: Vec<ClientBatch> = Vec::new();
+        if self.synced.load(Ordering::Relaxed) {
+            self.step(Input::Start).await;
+            started = true;
+        } else {
             self.arm_catchup_tick();
         }
-        self.step(Input::Start).await;
         while let Some(ev) = events.recv().await {
+            if !started && self.synced.load(Ordering::Relaxed) {
+                self.step(Input::Start).await;
+                started = true;
+                for batch in held_requests.drain(..) {
+                    self.step(Input::Request(batch)).await;
+                }
+            }
             match ev {
                 Event::Envelope(env) => {
                     if !env.verify(&self.keystore) {
                         continue;
                     }
                     match decode::<N::Message>(&env.payload) {
-                        Some(WireMsg::Protocol(msg)) => {
+                        Some(WireMsg::Protocol(msg)) if started => {
                             self.step(Input::Deliver {
                                 from: env.from.into(),
                                 msg,
@@ -427,24 +466,52 @@ where
                                 })
                                 .await;
                         }
-                        None => {} // malformed: drop
+                        Some(WireMsg::Snapshot(snap)) => {
+                            let _ = self
+                                .pipeline_tx
+                                .send(PipelineCmd::ApplySnapshot {
+                                    from: env.from,
+                                    snap: *snap,
+                                })
+                                .await;
+                        }
+                        // Protocol traffic before the node starts is
+                        // dropped (retransmission recovers it); anything
+                        // malformed likewise.
+                        Some(WireMsg::Protocol(_)) | None => {}
                     }
                 }
                 Event::Loopback(msg) => {
-                    self.step(Input::Deliver {
-                        from: self.me.into(),
-                        msg,
-                    })
-                    .await;
+                    if started {
+                        self.step(Input::Deliver {
+                            from: self.me.into(),
+                            msg,
+                        })
+                        .await;
+                    }
                 }
                 Event::Timer(id) if id.kind == CATCHUP_TICK => {
+                    // While behind, the tick drives retries; once
+                    // synced, its final fire doubles as the start
+                    // signal (the check at the top of the loop), so a
+                    // quiet cluster still starts the node promptly.
                     if !self.synced.load(Ordering::Relaxed) {
                         let _ = self.pipeline_tx.send(PipelineCmd::CatchUpTick).await;
                         self.arm_catchup_tick();
                     }
                 }
-                Event::Timer(id) => self.step(Input::Timer(id)).await,
-                Event::Request(batch) => self.step(Input::Request(batch)).await,
+                Event::Timer(id) => {
+                    if started {
+                        self.step(Input::Timer(id)).await;
+                    }
+                }
+                Event::Request(batch) => {
+                    if started {
+                        self.step(Input::Request(batch)).await;
+                    } else {
+                        held_requests.push(batch);
+                    }
+                }
                 Event::Shutdown => return,
             }
         }

@@ -51,6 +51,10 @@ impl EchoNode {
                 view: View(self.depth),
                 depth: self.depth,
                 batch,
+                cert: spotless_types::CommitCertificate::strong(
+                    View(self.depth),
+                    vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                ),
             });
         }
     }

@@ -13,7 +13,7 @@
 //! ([`crate::segment`], [`crate::snapshot`]) version their headers.
 
 use spotless_ledger::{Block, CommitProof};
-use spotless_types::{BatchId, Digest, InstanceId, ReplicaId, View};
+use spotless_types::{BatchId, CertPhase, Digest, InstanceId, ReplicaId, View};
 use std::fmt;
 
 /// Decoding failure: what was being read, and why it could not be.
@@ -47,6 +47,11 @@ pub enum CodecErrorKind {
         /// How many bytes were left over.
         count: usize,
     },
+    /// A discriminant byte held a value outside the field's enum.
+    InvalidDiscriminant {
+        /// The byte found.
+        got: u8,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -64,6 +69,9 @@ impl fmt::Display for CodecError {
             ),
             CodecErrorKind::TrailingBytes { count } => {
                 write!(f, "decoding {}: {count} trailing bytes", self.field)
+            }
+            CodecErrorKind::InvalidDiscriminant { got } => {
+                write!(f, "decoding {}: invalid discriminant {got}", self.field)
             }
         }
     }
@@ -201,6 +209,31 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Encodes a ledger block **plus its batch payload** as a log record.
+/// The log persists payloads so a restarted replica can re-execute its
+/// chain tail (and serve it to peers) without depending on anyone
+/// else's memory; the payload is *not* part of the block's hash — the
+/// block already binds it through `batch_digest`.
+pub fn encode_block_with_payload(b: &Block, payload: &[u8]) -> Vec<u8> {
+    let mut out = encode_block(b);
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("payload fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a log record back into a block and its batch payload.
+pub fn decode_block_with_payload(data: &[u8]) -> Result<(Block, Vec<u8>), CodecError> {
+    let mut r = Reader::new(data);
+    let block = decode_block_fields(&mut r)?;
+    let payload = r.bytes("block.payload")?.to_vec();
+    r.finish("block")?;
+    Ok((block, payload))
+}
+
 /// Encodes a ledger block as a log-record payload.
 pub fn encode_block(b: &Block) -> Vec<u8> {
     let mut w = Writer::with_capacity(128 + 4 * b.proof.signers.len());
@@ -211,6 +244,10 @@ pub fn encode_block(b: &Block) -> Vec<u8> {
     w.u32(b.txns);
     w.u32(b.proof.instance.0);
     w.u64(b.proof.view.0);
+    w.u8(match b.proof.phase {
+        CertPhase::Strong => 0,
+        CertPhase::Weak => 1,
+    });
     w.u32(b.proof.signers.len() as u32);
     for s in &b.proof.signers {
         w.u32(s.0);
@@ -219,13 +256,19 @@ pub fn encode_block(b: &Block) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decodes a log-record payload back into a ledger block.
+/// Decodes a payload-less block record (the snapshot head-block form).
 ///
 /// This checks structure only; chain linkage and hash correctness are
 /// verified by the recovery path re-running [`spotless_ledger::Ledger`]
 /// verification over the decoded blocks.
 pub fn decode_block(data: &[u8]) -> Result<Block, CodecError> {
     let mut r = Reader::new(data);
+    let block = decode_block_fields(&mut r)?;
+    r.finish("block")?;
+    Ok(block)
+}
+
+fn decode_block_fields(r: &mut Reader<'_>) -> Result<Block, CodecError> {
     let height = r.u64("block.height")?;
     let parent = r.digest("block.parent")?;
     let batch_digest = r.digest("block.batch_digest")?;
@@ -233,6 +276,16 @@ pub fn decode_block(data: &[u8]) -> Result<Block, CodecError> {
     let txns = r.u32("block.txns")?;
     let instance = InstanceId(r.u32("block.proof.instance")?);
     let view = View(r.u64("block.proof.view")?);
+    let phase = match r.u8("block.proof.phase")? {
+        0 => CertPhase::Strong,
+        1 => CertPhase::Weak,
+        got => {
+            return Err(CodecError {
+                field: "block.proof.phase",
+                kind: CodecErrorKind::InvalidDiscriminant { got },
+            })
+        }
+    };
     let n_signers = u64::from(r.u32("block.proof.signers.len")?);
     if n_signers > MAX_SIGNERS {
         return Err(CodecError {
@@ -248,7 +301,6 @@ pub fn decode_block(data: &[u8]) -> Result<Block, CodecError> {
         signers.push(ReplicaId(r.u32("block.proof.signers[]")?));
     }
     let hash = r.digest("block.hash")?;
-    r.finish("block")?;
     Ok(Block {
         height,
         parent,
@@ -258,6 +310,7 @@ pub fn decode_block(data: &[u8]) -> Result<Block, CodecError> {
         proof: CommitProof {
             instance,
             view,
+            phase,
             signers,
         },
         hash,
@@ -278,6 +331,7 @@ mod tests {
             proof: CommitProof {
                 instance: InstanceId(2),
                 view: View(height + 5),
+                phase: CertPhase::Strong,
                 signers: (0..signers as u32).map(ReplicaId).collect(),
             },
             hash: Digest::from_u64(height * 11),
@@ -326,6 +380,43 @@ mod tests {
         enc[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = decode_block(&enc).expect_err("bogus count");
         assert!(matches!(err.kind, CodecErrorKind::LengthOutOfRange { .. }));
+    }
+
+    #[test]
+    fn block_with_payload_roundtrips() {
+        let b = sample_block(11, 3);
+        for payload in [&b"tx-bytes-go-here"[..], &[]] {
+            let enc = encode_block_with_payload(&b, payload);
+            let (got, got_payload) = decode_block_with_payload(&enc).unwrap();
+            assert_eq!(got, b);
+            assert_eq!(got_payload, payload);
+        }
+        // Truncations fail closed like every other record.
+        let enc = encode_block_with_payload(&b, b"abc");
+        for len in 0..enc.len() {
+            assert!(decode_block_with_payload(&enc[..len]).is_err(), "len {len}");
+        }
+        let mut trailing = enc;
+        trailing.push(0);
+        assert!(decode_block_with_payload(&trailing).is_err());
+    }
+
+    #[test]
+    fn weak_phase_roundtrips_and_bad_phase_is_rejected() {
+        let mut b = sample_block(9, 2);
+        b.proof.phase = CertPhase::Weak;
+        let enc = encode_block(&b);
+        assert_eq!(decode_block(&enc).unwrap(), b);
+        // The phase byte sits right before the signer count.
+        let mut bad = enc.clone();
+        let phase_at = bad.len() - 32 - 2 * 4 - 4 - 1;
+        assert_eq!(bad[phase_at], 1, "locating the phase byte");
+        bad[phase_at] = 7;
+        let err = decode_block(&bad).expect_err("unknown phase");
+        assert!(matches!(
+            err.kind,
+            CodecErrorKind::InvalidDiscriminant { got: 7 }
+        ));
     }
 
     #[test]

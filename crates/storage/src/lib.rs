@@ -24,19 +24,20 @@
 //! ```
 //! use spotless_storage::{DurableLedger, DurableLedgerOptions};
 //! use spotless_ledger::CommitProof;
-//! use spotless_types::{BatchId, Digest, InstanceId, ReplicaId, View};
+//! use spotless_types::{BatchId, CertPhase, Digest, InstanceId, ReplicaId, View};
 //!
 //! let dir = tempfile::tempdir().unwrap();
 //! let proof = CommitProof {
 //!     instance: InstanceId(0),
 //!     view: View(1),
+//!     phase: CertPhase::Strong,
 //!     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
 //! };
 //! // First run: append a block, then "crash" (drop).
 //! {
 //!     let (mut led, _) =
 //!         DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
-//!     led.append_batch(BatchId(1), Digest::from_u64(1), 100, proof).unwrap();
+//!     led.append_batch(BatchId(1), Digest::from_u64(1), 100, proof, b"txns").unwrap();
 //! }
 //! // Second run: the block is still there and the chain verifies.
 //! let (led, report) =
@@ -56,7 +57,7 @@ pub mod snapshot;
 
 use crate::log::{BlockLog, LogOptions};
 use crate::snapshot::{latest_snapshot, prune_snapshots, write_snapshot, Snapshot};
-use spotless_ledger::{Block, CommitProof, Ledger, LedgerError};
+use spotless_ledger::{Block, CommitProof, Ledger, LedgerError, RecentBatches};
 use spotless_types::{BatchId, Digest};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -213,6 +214,11 @@ pub struct RecoveryReport {
     pub app_state: Vec<u8>,
     /// Blocks replayed from the log above the snapshot.
     pub replayed_blocks: u64,
+    /// Batch payloads of the replayed blocks, in height order starting
+    /// at `snapshot_height` — the log persists them precisely so the
+    /// runtime can re-execute the tail above the snapshot (and serve it
+    /// to peers) without asking anyone.
+    pub replayed_payloads: Vec<Vec<u8>>,
     /// Whether a torn tail was truncated from the newest segment.
     pub truncated_tail: bool,
 }
@@ -226,6 +232,16 @@ pub struct DurableLedger {
     ledger: Ledger,
     opts: DurableLedgerOptions,
     last_snapshot: u64,
+    /// The block just below the ledger's base (the newest snapshot's
+    /// head block). Retained so the snapshot — head certificate
+    /// included — can be served to a recovering peer even after the log
+    /// pruned everything the snapshot covers.
+    base_block: Option<Block>,
+    /// Bounded window of recently committed batch ids, persisted with
+    /// every snapshot: the dedup filter that stops a rejoining protocol
+    /// instance from re-executing batches a snapshot already covers
+    /// (the ledger's own index forgets everything below its base).
+    recent: RecentBatches,
 }
 
 impl DurableLedger {
@@ -237,24 +253,45 @@ impl DurableLedger {
     ) -> Result<(DurableLedger, RecoveryReport), StorageError> {
         std::fs::create_dir_all(dir).map_err(|e| StorageError::io(dir, "create dir", e))?;
         let snap = latest_snapshot(dir)?;
-        let (resume_height, base_hash, app_state) = match &snap {
-            Some((_, s)) => (s.height, s.head_hash, s.app_state.clone()),
-            None => (0, Digest::ZERO, Vec::new()),
+        let (resume_height, base_hash, app_state, base_block, recent_ids) = match snap {
+            Some((_, s)) => (
+                s.height,
+                s.head_hash,
+                s.app_state,
+                s.head_block,
+                s.recent_ids,
+            ),
+            None => (0, Digest::ZERO, Vec::new(), None, Vec::new()),
         };
-        let (log, recovery) = BlockLog::open(dir, opts.log, resume_height)?;
+        let (mut log, recovery) = BlockLog::open(dir, opts.log, resume_height)?;
+        if log.next_height() < resume_height {
+            // The whole log predates the snapshot: a crash interrupted a
+            // snapshot install after the snapshot became durable but
+            // before the log reset finished. The snapshot wins — finish
+            // the reset now.
+            log.reset(resume_height)?;
+        }
         let mut ledger = Ledger::with_base(resume_height, base_hash);
+        let mut recent = RecentBatches::new();
+        for id in &recent_ids {
+            recent.push(*id);
+        }
         let mut replayed = 0u64;
-        for block in recovery.blocks {
+        let mut replayed_payloads = Vec::new();
+        for (block, payload) in recovery.blocks {
             if block.height < resume_height {
                 continue; // older than the snapshot: not yet pruned, skip
             }
+            recent.push(block.batch_id);
             ledger.append_existing(block)?;
+            replayed_payloads.push(payload);
             replayed += 1;
         }
         let report = RecoveryReport {
             snapshot_height: resume_height,
             app_state,
             replayed_blocks: replayed,
+            replayed_payloads,
             truncated_tail: recovery.truncated_tail,
         };
         Ok((
@@ -264,6 +301,8 @@ impl DurableLedger {
                 ledger,
                 opts,
                 last_snapshot: resume_height,
+                base_block,
+                recent,
             },
             report,
         ))
@@ -274,21 +313,36 @@ impl DurableLedger {
         &self.ledger
     }
 
-    /// Appends an executed batch: the block is written to the log
-    /// (honouring the sync policy) before it becomes visible in
-    /// [`ledger`](DurableLedger::ledger).
+    /// The block just below the ledger's base (the newest snapshot's
+    /// head block), if the store has ever snapshotted past genesis.
+    pub fn base_block(&self) -> Option<&Block> {
+        self.base_block.as_ref()
+    }
+
+    /// The bounded window of recently committed batch ids (everything
+    /// appended plus whatever the newest snapshot carried).
+    pub fn recent_batches(&self) -> &RecentBatches {
+        &self.recent
+    }
+
+    /// Appends an executed batch: the block — and the batch payload it
+    /// commits, which the log persists for self-contained recovery — is
+    /// written to the log (honouring the sync policy) before it becomes
+    /// visible in [`ledger`](DurableLedger::ledger).
     pub fn append_batch(
         &mut self,
         batch_id: BatchId,
         batch_digest: Digest,
         txns: u32,
         proof: CommitProof,
+        payload: &[u8],
     ) -> Result<Block, StorageError> {
         let block = self
             .ledger
             .append(batch_id, batch_digest, txns, proof)
             .clone();
-        match self.log.append(&block) {
+        self.recent.push(batch_id);
+        match self.log.append(&block, payload) {
             Ok(()) => Ok(block),
             Err(e) => {
                 // The write failed: the in-memory chain must not expose
@@ -305,11 +359,12 @@ impl DurableLedger {
     /// [`Ledger::append_existing`]) that it extends the current head
     /// before it is persisted. The write honours the sync policy exactly
     /// like [`append_batch`](DurableLedger::append_batch).
-    pub fn append_block(&mut self, block: Block) -> Result<(), StorageError> {
+    pub fn append_block(&mut self, block: Block, payload: &[u8]) -> Result<(), StorageError> {
         self.ledger.append_existing(block.clone())?;
+        self.recent.push(block.batch_id);
         // Same fail-closed contract as append_batch: a failed write
         // poisons this handle (drop and re-open).
-        self.log.append(&block)
+        self.log.append(&block, payload)
     }
 
     /// True iff enough blocks have accumulated since the last snapshot
@@ -339,6 +394,14 @@ impl DurableLedger {
     /// prunes. See [`maybe_snapshot`](DurableLedger::maybe_snapshot).
     pub fn force_snapshot(&mut self, app_state: &[u8]) -> Result<u64, StorageError> {
         let height = self.ledger.height();
+        let head_block = match height.checked_sub(1) {
+            Some(h) => self.ledger.block(h).cloned().or_else(|| {
+                // No block above the base since the last snapshot: the
+                // previous snapshot's head block is still the head.
+                self.base_block.clone()
+            }),
+            None => None,
+        };
         // Order matters for crash safety: (1) the log must be durable up
         // to `height`, (2) the snapshot must be durable, (3) only then
         // may pruning delete the data the snapshot replaces.
@@ -348,13 +411,66 @@ impl DurableLedger {
             &Snapshot {
                 height,
                 head_hash: self.ledger.head_hash(),
+                head_block: head_block.clone(),
+                recent_ids: self.recent.iter().collect(),
                 app_state: app_state.to_vec(),
             },
         )?;
         self.log.prune_below(height)?;
         prune_snapshots(&self.dir, height)?;
         self.last_snapshot = height;
+        self.base_block = head_block;
         Ok(height)
+    }
+
+    /// Installs a state-transfer snapshot received from a peer,
+    /// replacing this store's chain and state wholesale: the snapshot
+    /// is made durable, the block log is reset to resume at
+    /// `snap.height`, and the in-memory ledger restarts from the
+    /// snapshot's head. The caller is responsible for having verified
+    /// the snapshot (head-block hash + commit certificate) — the store
+    /// only enforces structural consistency between the fields.
+    ///
+    /// Used by the runtime's snapshot state transfer when every peer
+    /// has pruned the history this replica is missing; the local blocks
+    /// (a verified prefix of what the snapshot covers) are discarded in
+    /// favour of the certified snapshot head.
+    pub fn install_snapshot(&mut self, snap: &Snapshot) -> Result<(), StorageError> {
+        let Some(head) = &snap.head_block else {
+            return Err(StorageError::corrupt(
+                &self.dir,
+                0,
+                "state-transfer snapshot carries no head block",
+            ));
+        };
+        if head.height + 1 != snap.height || head.hash != snap.head_hash {
+            return Err(StorageError::corrupt(
+                &self.dir,
+                0,
+                "state-transfer snapshot head block disagrees with its height/hash",
+            ));
+        }
+        if snap.height < self.ledger.height() {
+            return Err(StorageError::corrupt(
+                &self.dir,
+                0,
+                "state-transfer snapshot is older than the local chain",
+            ));
+        }
+        // Durability order: snapshot first, then the log reset — a crash
+        // in between recovers from the new snapshot and ignores the
+        // stale log tail below it (blocks under the snapshot height are
+        // skipped on replay exactly like pruned history).
+        write_snapshot(&self.dir, snap)?;
+        self.log.reset(snap.height)?;
+        prune_snapshots(&self.dir, snap.height)?;
+        self.ledger = Ledger::with_base(snap.height, snap.head_hash);
+        self.last_snapshot = snap.height;
+        self.base_block = snap.head_block.clone();
+        for id in &snap.recent_ids {
+            self.recent.push(*id);
+        }
+        Ok(())
     }
 
     /// Flushes and fsyncs the log (for [`log::SyncPolicy::Manual`]).
@@ -382,6 +498,7 @@ mod tests {
         CommitProof {
             instance: InstanceId(0),
             view: View(view),
+            phase: spotless_types::CertPhase::Strong,
             signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
         }
     }
@@ -393,13 +510,13 @@ mod tests {
         let opts = DurableLedgerOptions::default();
         let (mut src, _) = DurableLedger::open(src_dir.path(), opts).unwrap();
         for i in 0..5 {
-            src.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i))
+            src.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
                 .unwrap();
         }
         {
             let (mut dst, _) = DurableLedger::open(dst_dir.path(), opts).unwrap();
             for b in src.ledger().iter() {
-                dst.append_block(b.clone()).unwrap();
+                dst.append_block(b.clone(), b"payload").unwrap();
             }
         }
         // The replica crashes; reopening replays the foreign blocks.
@@ -414,14 +531,131 @@ mod tests {
         let (mut led, _) =
             DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
         let good = led
-            .append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0))
+            .append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0), b"payload")
             .unwrap();
         // Height 0 again: wrong height for the current head.
         assert!(matches!(
-            led.append_block(good),
+            led.append_block(good, b"payload"),
             Err(StorageError::Ledger { .. })
         ));
         assert_eq!(led.ledger().height(), 1);
+    }
+
+    #[test]
+    fn install_snapshot_replaces_chain_and_survives_reopen() {
+        // A "peer" builds a chain and snapshots it.
+        let peer_dir = tempfile::tempdir().unwrap();
+        let (mut peer, _) =
+            DurableLedger::open(peer_dir.path(), DurableLedgerOptions::default()).unwrap();
+        for i in 0..8 {
+            peer.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
+                .unwrap();
+        }
+        let transferred = Snapshot {
+            height: 8,
+            head_hash: peer.ledger().head_hash(),
+            head_block: Some(peer.ledger().block(7).unwrap().clone()),
+            recent_ids: (0..8).map(BatchId).collect(),
+            app_state: b"kv-bytes".to_vec(),
+        };
+
+        // A laggard holding an older prefix installs the snapshot.
+        let dir = tempfile::tempdir().unwrap();
+        let (mut led, _) =
+            DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
+        for i in 0..3 {
+            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
+                .unwrap();
+        }
+        led.install_snapshot(&transferred).unwrap();
+        assert_eq!(led.ledger().height(), 8);
+        assert_eq!(led.ledger().base_height(), 8);
+        assert_eq!(led.ledger().head_hash(), peer.ledger().head_hash());
+        assert_eq!(led.base_block().unwrap().height, 7);
+
+        // New appends chain over the installed head and survive reopen.
+        led.append_batch(
+            BatchId(100),
+            Digest::from_u64(100),
+            10,
+            proof(100),
+            b"payload",
+        )
+        .unwrap();
+        led.sync().unwrap();
+        drop(led);
+        let (led, report) =
+            DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
+        assert_eq!(report.snapshot_height, 8);
+        assert_eq!(report.app_state, b"kv-bytes");
+        assert_eq!(led.ledger().height(), 9);
+        assert_eq!(led.base_block().unwrap().height, 7);
+        led.ledger().verify().unwrap();
+    }
+
+    #[test]
+    fn install_snapshot_rejects_inconsistent_artifacts() {
+        let dir = tempfile::tempdir().unwrap();
+        let (mut led, _) =
+            DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
+        let headless = Snapshot {
+            height: 5,
+            head_hash: Digest::from_u64(5),
+            head_block: None,
+            recent_ids: Vec::new(),
+            app_state: Vec::new(),
+        };
+        assert!(matches!(
+            led.install_snapshot(&headless),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Head block at the wrong height.
+        let other = {
+            let d = tempfile::tempdir().unwrap();
+            let (mut l, _) =
+                DurableLedger::open(d.path(), DurableLedgerOptions::default()).unwrap();
+            l.append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0), b"payload")
+                .unwrap();
+            l.ledger().block(0).unwrap().clone()
+        };
+        let mismatched = Snapshot {
+            height: 5,
+            head_hash: other.hash,
+            head_block: Some(other),
+            recent_ids: Vec::new(),
+            app_state: Vec::new(),
+        };
+        assert!(matches!(
+            led.install_snapshot(&mismatched),
+            Err(StorageError::Corrupt { .. })
+        ));
+        assert_eq!(led.ledger().height(), 0, "failed installs change nothing");
+    }
+
+    #[test]
+    fn force_snapshot_retains_its_head_block_across_pruning() {
+        let dir = tempfile::tempdir().unwrap();
+        let opts = DurableLedgerOptions {
+            log: LogOptions {
+                max_segment_bytes: 256,
+                sync: crate::log::SyncPolicy::Always,
+            },
+            snapshot_every: 4,
+        };
+        let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
+        for i in 0..4 {
+            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
+                .unwrap();
+        }
+        led.maybe_snapshot(b"state").unwrap();
+        let head = led.base_block().expect("snapshot kept its head block");
+        assert_eq!(head.height, 3);
+        assert_eq!(head.hash, led.ledger().head_hash());
+        // The head block survives reopen even though the log pruned it.
+        drop(led);
+        let (led, _) = DurableLedger::open(dir.path(), opts).unwrap();
+        assert_eq!(led.base_block().unwrap().height, 3);
+        assert!(led.ledger().block(3).is_none(), "chain tail was pruned");
     }
 
     #[test]
@@ -434,7 +668,7 @@ mod tests {
         let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
         for i in 0..3 {
             assert!(!led.snapshot_due(), "not due before block {i}");
-            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i))
+            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
                 .unwrap();
         }
         assert!(led.snapshot_due());
@@ -447,7 +681,7 @@ mod tests {
             snapshot_every: 0,
         };
         let (mut led2, _) = DurableLedger::open(dir2.path(), opts2).unwrap();
-        led2.append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0))
+        led2.append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0), b"payload")
             .unwrap();
         assert!(!led2.snapshot_due());
     }

@@ -17,7 +17,7 @@
 //! * block heights decode contiguously; each segment's header
 //!   `base_height` must match the first block it holds.
 
-use crate::codec::{decode_block, encode_block};
+use crate::codec::{decode_block_with_payload, encode_block_with_payload};
 use crate::segment::{
     parse_segment_file_name, scan_segment, segment_file_name, SegmentHeader, SegmentWriter,
 };
@@ -73,8 +73,10 @@ struct ClosedSegment {
 /// What [`BlockLog::open`] found on disk.
 #[derive(Debug)]
 pub struct LogRecovery {
-    /// Every intact block in the log, in height order.
-    pub blocks: Vec<Block>,
+    /// Every intact block in the log, in height order, paired with its
+    /// batch payload (the log persists payloads so recovery can
+    /// re-execute — and re-serve — the chain tail without peers).
+    pub blocks: Vec<(Block, Vec<u8>)>,
     /// Whether a torn tail was truncated from the newest segment.
     pub truncated_tail: bool,
 }
@@ -150,7 +152,7 @@ impl BlockLog {
             }
         }
 
-        let mut blocks: Vec<Block> = Vec::new();
+        let mut blocks: Vec<(Block, Vec<u8>)> = Vec::new();
         let mut closed = Vec::new();
         let mut truncated_tail = false;
         let mut expected_height: Option<u64> = None;
@@ -196,11 +198,12 @@ impl BlockLog {
             }
             let mut h = base;
             let record_count = scan.records.len() as u64;
-            for payload in &scan.records {
-                let block = decode_block(payload).map_err(|e| StorageError::Codec {
-                    path: path.clone(),
-                    source: e,
-                })?;
+            for record in &scan.records {
+                let (block, payload) =
+                    decode_block_with_payload(record).map_err(|e| StorageError::Codec {
+                        path: path.clone(),
+                        source: e,
+                    })?;
                 if block.height != h {
                     return Err(StorageError::corrupt(
                         path,
@@ -209,7 +212,7 @@ impl BlockLog {
                     ));
                 }
                 h += 1;
-                blocks.push(block);
+                blocks.push((block, payload));
             }
             expected_height = Some(h);
             if idx == last_idx {
@@ -257,12 +260,13 @@ impl BlockLog {
         self.closed.len() + 1
     }
 
-    /// Appends `block` (which must sit exactly at [`next_height`]) and
-    /// applies the sync policy. On success the block is in the OS page
-    /// cache at minimum; with [`SyncPolicy::Always`] it is on disk.
+    /// Appends `block` and its batch payload (the block must sit exactly
+    /// at [`next_height`]) and applies the sync policy. On success the
+    /// record is in the OS page cache at minimum; with
+    /// [`SyncPolicy::Always`] it is on disk.
     ///
     /// [`next_height`]: BlockLog::next_height
-    pub fn append(&mut self, block: &Block) -> Result<(), StorageError> {
+    pub fn append(&mut self, block: &Block, payload: &[u8]) -> Result<(), StorageError> {
         if block.height != self.next_height {
             return Err(StorageError::HeightGap {
                 got: block.height,
@@ -272,7 +276,8 @@ impl BlockLog {
         if self.active.len() >= self.opts.max_segment_bytes && !self.active.is_empty() {
             self.rotate()?;
         }
-        self.active.append(&encode_block(block))?;
+        self.active
+            .append(&encode_block_with_payload(block, payload))?;
         self.next_height += 1;
         match self.opts.sync {
             SyncPolicy::Always => self.active.sync()?,
@@ -314,6 +319,43 @@ impl BlockLog {
             base_height: old_header.base_height,
             end_height: self.next_height,
         });
+        Ok(())
+    }
+
+    /// Discards **every** block in the log and restarts it at
+    /// `resume_height` (snapshot state transfer: a received snapshot
+    /// replaces the whole local chain).
+    ///
+    /// Crash safety: old segments are deleted newest-first, so whatever
+    /// survives a crash is always a contiguous prefix of the old log —
+    /// never a sequence gap — and the fresh segment is only created
+    /// after every old file is gone. A caller that made the
+    /// durable snapshot covering `resume_height` *before* calling this
+    /// (see `DurableLedger::install_snapshot`) recovers from any
+    /// intermediate state: the reopened log is then older than the
+    /// snapshot and gets reset again on open.
+    pub fn reset(&mut self, resume_height: u64) -> Result<(), StorageError> {
+        // Newest first: the active segment, then closed ones in
+        // descending sequence order. Deleting the active file while the
+        // writer still holds it open is fine on POSIX (the inode lives
+        // until the handle drops; we never write to it again).
+        let active_path = self.active.path().to_path_buf();
+        fs::remove_file(&active_path)
+            .map_err(|e| StorageError::io(&active_path, "remove reset segment", e))?;
+        self.closed
+            .sort_unstable_by_key(|s| std::cmp::Reverse(s.seq));
+        for seg in self.closed.drain(..) {
+            fs::remove_file(&seg.path)
+                .map_err(|e| StorageError::io(&seg.path, "remove reset segment", e))?;
+        }
+        let header = SegmentHeader {
+            seq: 0,
+            base_height: resume_height,
+        };
+        let new_writer = SegmentWriter::create(self.dir.join(segment_file_name(0)), header)?;
+        self.active = new_writer;
+        self.next_height = resume_height;
+        self.unsynced = 0;
         Ok(())
     }
 
@@ -374,6 +416,7 @@ mod tests {
                 Digest::from_u64(i),
                 100,
                 spotless_ledger::CommitProof {
+                    phase: spotless_types::CertPhase::Strong,
                     instance: InstanceId((i % 4) as u32),
                     view: View(i),
                     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
@@ -407,12 +450,14 @@ mod tests {
         {
             let (mut log, _) = BlockLog::open(dir.path(), tiny_opts(), 0).unwrap();
             for b in &blocks {
-                log.append(b).unwrap();
+                log.append(b, b"payload").unwrap();
             }
             assert!(log.segment_count() > 1, "rotation must have happened");
         }
         let (log, rec) = BlockLog::open(dir.path(), tiny_opts(), 0).unwrap();
-        assert_eq!(rec.blocks, blocks);
+        let got: Vec<Block> = rec.blocks.iter().map(|(b, _)| b.clone()).collect();
+        assert_eq!(got, blocks);
+        assert!(rec.blocks.iter().all(|(_, p)| p == b"payload"));
         assert!(!rec.truncated_tail);
         assert_eq!(log.next_height(), 20);
     }
@@ -422,8 +467,8 @@ mod tests {
         let dir = tempdir().unwrap();
         let blocks = build_blocks(3);
         let (mut log, _) = BlockLog::open(dir.path(), LogOptions::default(), 0).unwrap();
-        log.append(&blocks[0]).unwrap();
-        let err = log.append(&blocks[2]).unwrap_err();
+        log.append(&blocks[0], b"payload").unwrap();
+        let err = log.append(&blocks[2], b"payload").unwrap_err();
         assert!(matches!(
             err,
             StorageError::HeightGap {
@@ -440,7 +485,7 @@ mod tests {
         {
             let (mut log, _) = BlockLog::open(dir.path(), LogOptions::default(), 0).unwrap();
             for b in &blocks {
-                log.append(b).unwrap();
+                log.append(b, b"payload").unwrap();
             }
         }
         // Simulate a crash mid-append on the newest segment.
@@ -451,7 +496,9 @@ mod tests {
             f.write_all(&[0x13, 0x37, 0x00]).unwrap();
         }
         let (mut log, rec) = BlockLog::open(dir.path(), LogOptions::default(), 0).unwrap();
-        assert_eq!(rec.blocks, blocks);
+        let got: Vec<Block> = rec.blocks.iter().map(|(b, _)| b.clone()).collect();
+        assert_eq!(got, blocks);
+        assert!(rec.blocks.iter().all(|(_, p)| p == b"payload"));
         assert!(rec.truncated_tail);
         // And the log keeps working after truncation.
         let more = {
@@ -462,6 +509,7 @@ mod tests {
                     Digest::from_u64(100),
                     10,
                     spotless_ledger::CommitProof {
+                        phase: spotless_types::CertPhase::Strong,
                         instance: InstanceId(0),
                         view: View(50),
                         signers: vec![ReplicaId(1)],
@@ -469,7 +517,7 @@ mod tests {
                 )
                 .clone()
         };
-        log.append(&more).unwrap();
+        log.append(&more, b"payload").unwrap();
         let (_, rec) = BlockLog::open(dir.path(), LogOptions::default(), 0).unwrap();
         assert_eq!(rec.blocks.len(), 6);
     }
@@ -481,7 +529,7 @@ mod tests {
         {
             let (mut log, _) = BlockLog::open(dir.path(), tiny_opts(), 0).unwrap();
             for b in &blocks {
-                log.append(b).unwrap();
+                log.append(b, b"payload").unwrap();
             }
             assert!(log.segment_count() >= 3);
         }
@@ -501,7 +549,7 @@ mod tests {
         {
             let (mut log, _) = BlockLog::open(dir.path(), tiny_opts(), 0).unwrap();
             for b in &build_blocks(20) {
-                log.append(b).unwrap();
+                log.append(b, b"payload").unwrap();
             }
             assert!(log.segment_count() >= 3);
         }
@@ -516,7 +564,7 @@ mod tests {
         let blocks = build_blocks(20);
         let (mut log, _) = BlockLog::open(dir.path(), tiny_opts(), 0).unwrap();
         for b in &blocks {
-            log.append(b).unwrap();
+            log.append(b, b"payload").unwrap();
         }
         let before = log.segment_count();
         assert!(before >= 3);
@@ -528,9 +576,9 @@ mod tests {
         let oldest = log.oldest_height();
         drop(log);
         let (_, rec) = BlockLog::open(dir.path(), tiny_opts(), oldest).unwrap();
-        let replayed_from = rec.blocks.first().unwrap().height;
+        let replayed_from = rec.blocks.first().unwrap().0.height;
         assert!(replayed_from <= 10);
-        assert_eq!(rec.blocks.last().unwrap().height, 19);
+        assert_eq!(rec.blocks.last().unwrap().0.height, 19);
     }
 
     #[test]
@@ -539,7 +587,7 @@ mod tests {
         let blocks = build_blocks(20);
         let (mut log, _) = BlockLog::open(dir.path(), tiny_opts(), 0).unwrap();
         for b in &blocks {
-            log.append(b).unwrap();
+            log.append(b, b"payload").unwrap();
         }
         log.prune_below(10).unwrap();
         let oldest = log.oldest_height();
@@ -562,7 +610,7 @@ mod tests {
         };
         let (mut log, _) = BlockLog::open(dir.path(), opts, 0).unwrap();
         for b in &blocks {
-            log.append(b).unwrap();
+            log.append(b, b"payload").unwrap();
         }
         log.sync().unwrap();
         let (_, rec) = BlockLog::open(dir.path(), opts, 0).unwrap();
@@ -574,7 +622,7 @@ mod tests {
         let dir = tempdir().unwrap();
         let (mut log, _) = BlockLog::open(dir.path(), tiny_opts(), 0).unwrap();
         for b in &build_blocks(20) {
-            log.append(b).unwrap();
+            log.append(b, b"payload").unwrap();
         }
         let layout = log.layout();
         assert_eq!(layout.len(), log.segment_count());

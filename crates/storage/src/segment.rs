@@ -24,8 +24,12 @@ use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every segment file.
 pub const MAGIC: [u8; 8] = *b"SPLSSEG1";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 changed the record payload: block
+/// records gained the commit certificate's phase byte and the embedded
+/// batch payload (see `codec::encode_block_with_payload`), so version-1
+/// segments must fail with a clean version error rather than a
+/// misleading corruption diagnosis.
+pub const VERSION: u32 = 2;
 /// Size of the fixed segment header.
 pub const HEADER_LEN: u64 = 32;
 /// Per-record framing overhead (length + CRC).

@@ -16,17 +16,22 @@
 //! falls back to the next-best one, so a corrupted newest snapshot
 //! degrades to a longer log replay instead of an outage.
 
+use crate::codec::{decode_block, encode_block, Reader, Writer};
 use crate::crc32::crc32c;
 use crate::StorageError;
-use spotless_types::Digest;
+use spotless_ledger::Block;
+use spotless_types::{BatchId, Digest};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 8] = *b"SPLSSNP1";
-/// Current snapshot format version.
-pub const VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the certified head
+/// block, which makes a snapshot a self-contained, verifiable state
+/// transfer artifact (the receiver checks the head block's hash and
+/// commit certificate instead of trusting the sender's word).
+pub const VERSION: u32 = 2;
 
 /// A decoded snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +41,16 @@ pub struct Snapshot {
     pub height: u64,
     /// Ledger head hash after block `height - 1` (zero when `height == 0`).
     pub head_hash: Digest,
+    /// The block at `height - 1` — the carrier of the head's commit
+    /// certificate, retained even after the log prunes the block so the
+    /// snapshot can be served to (and verified by) a recovering peer.
+    /// `None` only for the empty snapshot at `height == 0`.
+    pub head_block: Option<Block>,
+    /// Ids of the most recently committed batches the snapshot covers
+    /// (oldest first, bounded by `spotless_ledger::RECENT_BATCHES_CAP`).
+    /// Seeds the re-commit dedup filter after recovery or state
+    /// transfer — see `spotless_ledger::RecentBatches`.
+    pub recent_ids: Vec<BatchId>,
     /// Opaque application state (owned by the caller; the storage layer
     /// neither parses nor validates it beyond the checksum).
     pub app_state: Vec<u8>,
@@ -55,23 +70,38 @@ pub fn parse_snapshot_file_name(name: &str) -> Option<u64> {
     u64::from_str_radix(hex, 16).ok()
 }
 
+/// Sanity bound on a snapshot's recent-id list (see
+/// `spotless_ledger::RECENT_BATCHES_CAP`; a larger prefix is
+/// corruption, not data).
+const MAX_RECENT_IDS: u32 = 1 << 16;
+
 fn encode(snap: &Snapshot) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(64 + snap.app_state.len());
+    let block_bytes = snap.head_block.as_ref().map(encode_block);
+    let mut w = Writer::with_capacity(96 + snap.app_state.len());
+    w.u64(snap.height);
+    w.digest(&snap.head_hash);
+    w.bytes(block_bytes.as_deref().unwrap_or(&[]));
+    w.u32(snap.recent_ids.len() as u32);
+    for id in &snap.recent_ids {
+        w.u64(id.0);
+    }
+    w.bytes(&snap.app_state);
+    let body = w.into_bytes();
+    let mut buf = Vec::with_capacity(16 + body.len());
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
-    buf.extend_from_slice(&snap.height.to_le_bytes());
-    buf.extend_from_slice(&snap.head_hash.0);
-    buf.extend_from_slice(&(snap.app_state.len() as u64).to_le_bytes());
-    buf.extend_from_slice(&snap.app_state);
+    buf.extend_from_slice(&body);
     let crc = crc32c(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
     buf
 }
 
 fn decode(data: &[u8], path: &Path) -> Result<Snapshot, StorageError> {
-    // magic(8) version(4) height(8) head(32) len(8) ... crc(4)
-    const FIXED: usize = 8 + 4 + 8 + 32 + 8 + 4;
-    if data.len() < FIXED {
+    // magic(8) version(4) [codec-framed body] crc(4); the body reuses
+    // the length-checked `codec::Reader` helpers so every field failure
+    // names the field instead of re-deriving offset arithmetic here.
+    const FRAMING: usize = 8 + 4 + 4;
+    if data.len() < FRAMING {
         return Err(StorageError::corrupt(
             path,
             0,
@@ -102,25 +132,39 @@ fn decode(data: &[u8], path: &Path) -> Result<Snapshot, StorageError> {
             "snapshot CRC mismatch",
         ));
     }
-    let height = u64::from_le_bytes([
-        data[12], data[13], data[14], data[15], data[16], data[17], data[18], data[19],
-    ]);
-    let mut head = [0u8; 32];
-    head.copy_from_slice(&data[20..52]);
-    let state_len = u64::from_le_bytes([
-        data[52], data[53], data[54], data[55], data[56], data[57], data[58], data[59],
-    ]) as usize;
-    if 60 + state_len != body_len {
+    let codec_err = |source| StorageError::Codec {
+        path: path.to_path_buf(),
+        source,
+    };
+    let mut r = Reader::new(&data[12..body_len]);
+    let height = r.u64("snapshot.height").map_err(codec_err)?;
+    let head_hash = r.digest("snapshot.head_hash").map_err(codec_err)?;
+    let block_bytes = r.bytes("snapshot.head_block").map_err(codec_err)?;
+    let head_block = if block_bytes.is_empty() {
+        None
+    } else {
+        Some(decode_block(block_bytes).map_err(codec_err)?)
+    };
+    let ids_len = r.u32("snapshot.recent_ids.len").map_err(codec_err)?;
+    if ids_len > MAX_RECENT_IDS {
         return Err(StorageError::corrupt(
             path,
-            52,
-            "snapshot state length disagrees with file size",
+            12,
+            "snapshot recent-id list exceeds the sanity bound",
         ));
     }
+    let mut recent_ids = Vec::with_capacity(ids_len as usize);
+    for _ in 0..ids_len {
+        recent_ids.push(BatchId(r.u64("snapshot.recent_ids[]").map_err(codec_err)?));
+    }
+    let app_state = r.bytes("snapshot.app_state").map_err(codec_err)?.to_vec();
+    r.finish("snapshot").map_err(codec_err)?;
     Ok(Snapshot {
         height,
-        head_hash: Digest(head),
-        app_state: data[60..60 + state_len].to_vec(),
+        head_hash,
+        head_block,
+        recent_ids,
+        app_state,
     })
 }
 
@@ -225,6 +269,8 @@ mod tests {
         Snapshot {
             height,
             head_hash: Digest::from_u64(height * 31),
+            head_block: None,
+            recent_ids: vec![BatchId(height), BatchId(height + 1)],
             app_state: state.to_vec(),
         }
     }
@@ -235,6 +281,40 @@ mod tests {
         let s = snap(17, b"kv-state-bytes");
         let path = write_snapshot(dir.path(), &s).unwrap();
         assert_eq!(read_snapshot(&path).unwrap(), s);
+    }
+
+    #[test]
+    fn head_block_roundtrips() {
+        let mut ledger = spotless_ledger::Ledger::new();
+        for i in 0..3u64 {
+            ledger.append(
+                spotless_types::BatchId(i),
+                Digest::from_u64(i),
+                10,
+                spotless_ledger::CommitProof {
+                    instance: spotless_types::InstanceId(0),
+                    view: spotless_types::View(i),
+                    phase: spotless_types::CertPhase::Strong,
+                    signers: vec![
+                        spotless_types::ReplicaId(0),
+                        spotless_types::ReplicaId(1),
+                        spotless_types::ReplicaId(2),
+                    ],
+                },
+            );
+        }
+        let dir = tempdir().unwrap();
+        let s = Snapshot {
+            height: 3,
+            head_hash: ledger.head_hash(),
+            head_block: Some(ledger.block(2).unwrap().clone()),
+            recent_ids: vec![BatchId(0), BatchId(1), BatchId(2)],
+            app_state: b"state".to_vec(),
+        };
+        let path = write_snapshot(dir.path(), &s).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back, s);
+        assert!(back.head_block.unwrap().verify_hash());
     }
 
     #[test]
@@ -319,7 +399,7 @@ mod tests {
         let dir = tempdir().unwrap();
         let path = write_snapshot(dir.path(), &snap(4, b"state")).unwrap();
         let mut data = fs::read(&path).unwrap();
-        data[8..12].copy_from_slice(&2u32.to_le_bytes());
+        data[8..12].copy_from_slice(&99u32.to_le_bytes());
         // Recompute the CRC so only the version differs.
         let body = data.len() - 4;
         let crc = crc32c(&data[..body]);
@@ -327,7 +407,7 @@ mod tests {
         fs::write(&path, &data).unwrap();
         assert!(matches!(
             read_snapshot(&path).unwrap_err(),
-            StorageError::UnsupportedVersion { version: 2, .. }
+            StorageError::UnsupportedVersion { version: 99, .. }
         ));
     }
 }

@@ -18,6 +18,7 @@ use std::path::Path;
 
 fn proof(view: u64) -> CommitProof {
     CommitProof {
+        phase: spotless_types::CertPhase::Strong,
         instance: InstanceId((view % 4) as u32),
         view: View(view),
         signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
@@ -71,13 +72,13 @@ proptest! {
         {
             let (mut log, _) = BlockLog::open(dir.path(), opts, 0).unwrap();
             for b in &blocks[..sync_at as usize] {
-                log.append(b).unwrap();
+                log.append(b, b"payload").unwrap();
             }
             log.sync().unwrap();
             synced_segment = newest_segment(dir.path());
             synced_len = fs::metadata(&synced_segment).unwrap().len();
             for b in &blocks[sync_at as usize..] {
-                log.append(b).unwrap();
+                log.append(b, b"payload").unwrap();
             }
             log.sync().unwrap(); // flush so the file holds all bytes
         }
@@ -106,11 +107,15 @@ proptest! {
             "lost synced blocks: {} < {}", rec.blocks.len(), sync_at);
         // (b) what survives is exactly a prefix of what was written;
         prop_assert!(rec.blocks.len() as u64 <= total);
-        prop_assert_eq!(&rec.blocks[..], &blocks[..rec.blocks.len()]);
+        let recovered: Vec<spotless_ledger::Block> =
+            rec.blocks.iter().map(|(b, _)| b.clone()).collect();
+        prop_assert_eq!(&recovered[..], &blocks[..recovered.len()]);
+        prop_assert!(rec.blocks.iter().all(|(_, p)| p == b"payload"),
+            "payloads must survive recovery");
         // (c) the store still appends where it left off.
         let resume = rec.blocks.len() as u64;
         if resume < total {
-            log.append(&blocks[resume as usize]).unwrap();
+            log.append(&blocks[resume as usize], b"payload").unwrap();
             prop_assert_eq!(log.next_height(), resume + 1);
         }
     }
@@ -130,7 +135,7 @@ proptest! {
         {
             let (mut log, _) = BlockLog::open(dir.path(), opts, 0).unwrap();
             for b in &blocks {
-                log.append(b).unwrap();
+                log.append(b, b"payload").unwrap();
             }
         }
         let newest = newest_segment(dir.path());
@@ -141,7 +146,9 @@ proptest! {
 
         match BlockLog::open(dir.path(), opts, 0) {
             Ok((_, rec)) => {
-                prop_assert_eq!(&rec.blocks[..], &blocks[..rec.blocks.len()]);
+                let recovered: Vec<spotless_ledger::Block> =
+                    rec.blocks.iter().map(|(b, _)| b.clone()).collect();
+                prop_assert_eq!(&recovered[..], &blocks[..recovered.len()]);
             }
             Err(StorageError::Corrupt { .. })
             | Err(StorageError::UnsupportedVersion { .. })
@@ -167,7 +174,7 @@ proptest! {
         {
             let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
             for i in 0..total {
-                led.append_batch(BatchId(i), Digest::from_u64(i * 7 + 3), 50, proof(i)).unwrap();
+                led.append_batch(BatchId(i), Digest::from_u64(i * 7 + 3), 50, proof(i), b"payload").unwrap();
                 let state = format!("executed-through-{i}");
                 led.maybe_snapshot(state.as_bytes()).unwrap();
                 head = led.ledger().head_hash();
@@ -208,7 +215,13 @@ fn repeated_crashes_and_reopens_accumulate_correctly() {
         let _ = report;
         for _ in 0..3 {
             let b = led
-                .append_batch(BatchId(next), Digest::from_u64(next), 10, proof(next))
+                .append_batch(
+                    BatchId(next),
+                    Digest::from_u64(next),
+                    10,
+                    proof(next),
+                    b"payload",
+                )
                 .unwrap();
             let r = reference.append(BatchId(next), Digest::from_u64(next), 10, proof(next));
             assert_eq!(&b, r, "durable and reference chains diverged");
@@ -233,7 +246,7 @@ fn snapshot_prunes_segments_and_bounds_replay() {
     };
     let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
     for i in 0..40u64 {
-        led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i))
+        led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
             .unwrap();
     }
     let segments_before = led.segment_count();
@@ -261,7 +274,7 @@ fn recovery_report_flags_truncated_tail() {
     {
         let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
         for i in 0..3u64 {
-            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i))
+            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
                 .unwrap();
         }
     }

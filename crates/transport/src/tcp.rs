@@ -114,6 +114,11 @@ fn frame_to_envelope(frame: Frame) -> Option<Envelope> {
 #[derive(Clone)]
 pub struct TcpFabric {
     peers: Arc<Vec<mpsc::UnboundedSender<Envelope>>>,
+    /// Raised by [`close`](TcpFabric::close); the accept loop exits (and
+    /// releases its port) on the next connection.
+    closing: Arc<std::sync::atomic::AtomicBool>,
+    /// The bound listen address, kept for the self-connect wakeup.
+    local_addr: std::net::SocketAddr,
 }
 
 impl TcpFabric {
@@ -128,12 +133,23 @@ impl TcpFabric {
         peer_addrs: Vec<String>,
     ) -> std::io::Result<(TcpFabric, mpsc::UnboundedReceiver<Envelope>)> {
         let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let accept_closing = closing.clone();
         let (inbound_tx, inbound_rx) = mpsc::unbounded_channel();
         tokio::spawn(async move {
             loop {
                 let Ok((mut stream, _)) = listener.accept().await else {
                     break;
                 };
+                // The thread-per-task executor cannot interrupt a
+                // blocked `accept`; `close` unblocks it with a
+                // self-connection and this flag ends the loop, dropping
+                // the listener (and freeing its port) instead of
+                // leaking the thread until process exit.
+                if accept_closing.load(std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
                 let tx = inbound_tx.clone();
                 tokio::spawn(async move {
                     while let Ok(frame) = read_frame(&mut stream).await {
@@ -156,9 +172,24 @@ impl TcpFabric {
         Ok((
             TcpFabric {
                 peers: Arc::new(peers),
+                closing,
+                local_addr,
             },
             inbound_rx,
         ))
+    }
+
+    /// Shuts the listener down: raises the closing flag and wakes the
+    /// blocked accept with a throwaway self-connection so the accept
+    /// loop observes it, drops the listener, and releases the port.
+    /// Idempotent, and safe to retry: the wakeup connect is attempted
+    /// on every call (a transient connect failure would otherwise leak
+    /// the listener with no way to try again); once the listener is
+    /// gone the connect just fails fast.
+    pub async fn close(&self) {
+        self.closing
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr).await;
     }
 }
 
@@ -204,6 +235,8 @@ pub struct TcpCluster {
     /// Observation log of all commits.
     pub commits: CommitLog,
     handles: Arc<Mutex<Vec<ReplicaHandle>>>,
+    /// Per-replica fabrics, kept so shutdown can close their listeners.
+    fabrics: Vec<TcpFabric>,
 }
 
 /// What can go wrong assembling a [`TcpCluster`].
@@ -259,6 +292,7 @@ impl TcpCluster {
         for (i, addr) in addrs.iter().enumerate() {
             endpoints.push(TcpFabric::bind(ReplicaId(i as u32), addr, addrs.clone()).await?);
         }
+        let fabrics: Vec<TcpFabric> = endpoints.iter().map(|(f, _)| f.clone()).collect();
         let parts = spotless_runtime::assemble(
             cluster,
             b"spotless-tcp-cluster",
@@ -271,6 +305,7 @@ impl TcpCluster {
             client: parts.client,
             commits: parts.commits,
             handles: parts.handles,
+            fabrics,
         })
     }
 
@@ -279,19 +314,15 @@ impl TcpCluster {
         self.handles.lock()[r.as_usize()].clone()
     }
 
-    /// Stops all replica tasks and waits until every pipeline has
-    /// released its durable store — callers reopen the storage
-    /// directories right after shutdown, and a still-live store writing
-    /// concurrently would corrupt the log. Panics if a replica does not
-    /// stop within ten seconds (a wedged harness, not a recoverable
+    /// Stops all replica tasks, waits until every pipeline has released
+    /// its durable store — callers reopen the storage directories right
+    /// after shutdown, and a still-live store writing concurrently
+    /// would corrupt the log — and then closes every endpoint's
+    /// listener ([`TcpFabric::close`]'s self-connect wakeup), so the
+    /// accept threads exit and the bound ports are released instead of
+    /// leaking until process exit. Panics if a replica does not stop
+    /// within ten seconds (a wedged harness, not a recoverable
     /// condition).
-    ///
-    /// The listener accept-loops stay behind: the thread-per-task tokio
-    /// stand-in cannot interrupt a task blocked in `accept`, so their
-    /// threads (and bound ports) live until process exit — same
-    /// cooperative-abort limitation as the stand-in's sleep threads,
-    /// and fine for the test/demo scope of this fabric (see the module
-    /// docs and ROADMAP's TCP hardening item).
     pub async fn shutdown(self) {
         let handles = self.handles.lock().clone();
         for handle in &handles {
@@ -309,6 +340,9 @@ impl TcpCluster {
                 "replica {:?} did not stop; its durable store is still live",
                 handle.id()
             );
+        }
+        for fabric in &self.fabrics {
+            fabric.close().await;
         }
     }
 }
@@ -369,6 +403,32 @@ mod tests {
             write_frame(&mut client, &huge).await,
             Err(FrameError::TooLarge(_))
         ));
+    }
+
+    #[tokio::test]
+    async fn close_releases_the_listener() {
+        let probe = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let (fabric, _rx) = TcpFabric::bind(ReplicaId(0), &addr, vec![addr.clone()])
+            .await
+            .unwrap();
+        // Live listener: connections are accepted.
+        assert!(TcpStream::connect(&addr).await.is_ok());
+        fabric.close().await;
+        // The accept loop has exited and dropped the listener: within a
+        // few attempts, connecting must start failing (refused).
+        let mut refused = false;
+        for _ in 0..100 {
+            if TcpStream::connect(&addr).await.is_err() {
+                refused = true;
+                break;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        }
+        assert!(refused, "listener port must be released after close");
+        // Idempotent.
+        fabric.close().await;
     }
 
     #[tokio::test]

@@ -39,6 +39,8 @@ pub use config::ClusterConfig;
 pub use costs::{CryptoCosts, ResourceModel, SizeModel};
 pub use fault::ByzantineBehavior;
 pub use ids::{BatchId, ClientId, Digest, InstanceId, NodeId, ReplicaId, View};
-pub use node::{ClientBatch, CommitInfo, Context, Input, Node, TimerId, TimerKind};
+pub use node::{
+    CertPhase, ClientBatch, CommitCertificate, CommitInfo, Context, Input, Node, TimerId, TimerKind,
+};
 pub use replica_set::ReplicaSet;
 pub use time::{SimDuration, SimTime};

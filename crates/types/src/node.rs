@@ -22,7 +22,7 @@
 //!   executes against the key-value store and answers clients).
 
 use crate::costs::{CryptoCosts, SizeModel};
-use crate::ids::{BatchId, ClientId, Digest, InstanceId, NodeId, View};
+use crate::ids::{BatchId, ClientId, Digest, InstanceId, NodeId, ReplicaId, View};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +120,61 @@ impl TimerId {
     }
 }
 
+/// The strength class of a commit certificate: which quorum rule the
+/// signer set satisfied at the replica that announced the commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CertPhase {
+    /// A strong quorum certified the decision (`n − f` signers): a
+    /// SpotLess same-claim `Sync` quorum, a PBFT commit-phase quorum,
+    /// or a HotStuff quorum certificate.
+    Strong,
+    /// Weak-quorum evidence (`f + 1` signers, guaranteeing at least one
+    /// honest member): SpotLess prepares driven by `CP`-set
+    /// endorsements on a recovering replica.
+    Weak,
+}
+
+/// The certificate behind a consensus decision: which replicas' signed
+/// votes the announcing replica holds for it. This is what makes a
+/// commit *verifiable* after the fact — the runtime copies it into the
+/// durable block's `CommitProof`, the ledger refuses to append a block
+/// whose certificate does not satisfy the quorum rules, and state
+/// transfer re-verifies it on every received block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitCertificate {
+    /// The view the certifying votes were cast in. Usually the
+    /// committed proposal's own view; a straggler that commits an
+    /// ancestor transitively (three-chain rule) records the certifying
+    /// descendant's view instead.
+    pub view: View,
+    /// Which quorum rule `signers` satisfies.
+    pub phase: CertPhase,
+    /// The replicas whose votes certify the decision. Must be
+    /// duplicate-free and within the cluster; size must meet the
+    /// phase's quorum (`n − f` strong, `f + 1` weak).
+    pub signers: Vec<ReplicaId>,
+}
+
+impl CommitCertificate {
+    /// A strong (`n − f`) certificate.
+    pub fn strong(view: View, signers: Vec<ReplicaId>) -> CommitCertificate {
+        CommitCertificate {
+            view,
+            phase: CertPhase::Strong,
+            signers,
+        }
+    }
+
+    /// A weak (`f + 1`) certificate.
+    pub fn weak(view: View, signers: Vec<ReplicaId>) -> CommitCertificate {
+        CommitCertificate {
+            view,
+            phase: CertPhase::Weak,
+            signers,
+        }
+    }
+}
+
 /// A consensus decision announced by a replica.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommitInfo {
@@ -131,6 +186,9 @@ pub struct CommitInfo {
     pub depth: u64,
     /// The batch decided at this position.
     pub batch: ClientBatch,
+    /// Who certified the decision (travels into durable storage as the
+    /// block's `CommitProof`).
+    pub cert: CommitCertificate,
 }
 
 /// Inputs driven into a protocol state machine by the runtime.

@@ -65,6 +65,7 @@ async fn main() {
             CommitProof {
                 instance: spotless::types::InstanceId((i % 4) as u32),
                 view: spotless::types::View(i),
+                phase: spotless::types::CertPhase::Strong,
                 signers: (0..3).map(ReplicaId).collect(),
             },
         );

@@ -61,8 +61,10 @@ fn main() {
                 CommitProof {
                     instance: c.instance,
                     view: c.view,
-                    signers: Vec::new(),
+                    phase: c.cert.phase,
+                    signers: c.cert.signers.clone(),
                 },
+                &c.batch.payload,
             )
             .expect("append");
             led.maybe_snapshot(b"kv-state").expect("snapshot");
@@ -92,8 +94,10 @@ fn main() {
             CommitProof {
                 instance: c.instance,
                 view: c.view,
-                signers: Vec::new(),
+                phase: c.cert.phase,
+                signers: c.cert.signers.clone(),
             },
+            &c.batch.payload,
         )
         .expect("append");
     }

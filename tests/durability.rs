@@ -100,8 +100,10 @@ fn persist(
             CommitProof {
                 instance: c.instance,
                 view: c.view,
-                signers: Vec::new(), // certificate summary elided in this test
+                phase: c.cert.phase,
+                signers: c.cert.signers.clone(),
             },
+            &c.batch.payload,
         )
         .unwrap();
         led.maybe_snapshot(format!("exec-{appended}").as_bytes())
@@ -224,8 +226,14 @@ fn kv_state_recovers_from_snapshot_plus_payload_replay() {
             CommitProof {
                 instance: InstanceId(0),
                 view: View(i as u64),
-                signers: Vec::new(),
+                phase: spotless::types::CertPhase::Strong,
+                signers: vec![
+                    spotless::types::ReplicaId(0),
+                    spotless::types::ReplicaId(1),
+                    spotless::types::ReplicaId(2),
+                ],
             },
+            payload,
         )
         .unwrap();
         kv_height = led.ledger().height();
