@@ -40,12 +40,67 @@ impl std::error::Error for Error {}
 pub trait Serialize {
     /// Serializes `self` into the value model.
     fn ser(&self) -> Value;
+
+    /// Serializes a homogeneous slice of `Self`. The default renders a
+    /// JSON array of element values; `u8` overrides it with a compact
+    /// hex string so byte payloads (batch contents, signatures, state
+    /// chunks) cost two characters per byte instead of a `Value`
+    /// allocation plus up to four characters each. This is the
+    /// pre-specialization slice-dispatch idiom: `Vec<T>`/`[T]` defer to
+    /// the element type.
+    fn ser_slice(items: &[Self]) -> Value
+    where
+        Self: Sized,
+    {
+        Value::Array(items.iter().map(Serialize::ser).collect())
+    }
 }
 
 /// A type that can be rebuilt from a [`Value`] tree.
 pub trait Deserialize: Sized {
     /// Deserializes from the value model.
     fn de(v: &Value) -> Result<Self, Error>;
+
+    /// Deserializes a `Vec<Self>`; the `u8` override accepts the hex
+    /// string form [`Serialize::ser_slice`] produces (and, leniently,
+    /// the array form for hand-written fixtures).
+    fn de_slice(v: &Value) -> Result<Vec<Self>, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(Deserialize::de)
+            .collect()
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, Error> {
+    let digits = s.as_bytes();
+    if !digits.len().is_multiple_of(2) {
+        return Err(Error::custom("odd-length hex string"));
+    }
+    fn nibble(d: u8) -> Result<u8, Error> {
+        match d {
+            b'0'..=b'9' => Ok(d - b'0'),
+            b'a'..=b'f' => Ok(d - b'a' + 10),
+            b'A'..=b'F' => Ok(d - b'A' + 10),
+            _ => Err(Error::custom("invalid hex digit")),
+        }
+    }
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
 }
 
 macro_rules! impl_unsigned {
@@ -66,7 +121,35 @@ macro_rules! impl_unsigned {
     )*};
 }
 
-impl_unsigned!(u8, u16, u32, u64);
+impl_unsigned!(u16, u32, u64);
+
+// `u8` gets the integer impls by hand so its *slice* forms can override
+// the defaults with the compact hex-string encoding.
+impl Serialize for u8 {
+    fn ser(&self) -> Value {
+        Value::U64(u64::from(*self))
+    }
+
+    fn ser_slice(items: &[u8]) -> Value {
+        Value::String(hex_encode(items))
+    }
+}
+
+impl Deserialize for u8 {
+    fn de(v: &Value) -> Result<Self, Error> {
+        let n = v.as_u64().ok_or_else(|| Error::custom("expected u8"))?;
+        u8::try_from(n).map_err(|_| Error::custom("integer out of range"))
+    }
+
+    fn de_slice(v: &Value) -> Result<Vec<u8>, Error> {
+        match v {
+            Value::String(s) => hex_decode(s),
+            // Lenient: hand-written fixtures may still use arrays.
+            Value::Array(items) => items.iter().map(Deserialize::de).collect(),
+            _ => Err(Error::custom("expected hex string or byte array")),
+        }
+    }
+}
 
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
@@ -176,35 +259,31 @@ impl Deserialize for char {
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn ser(&self) -> Value {
-        Value::Array(self.iter().map(Serialize::ser).collect())
+        T::ser_slice(self)
     }
 }
 
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn de(v: &Value) -> Result<Self, Error> {
-        v.as_array()
-            .ok_or_else(|| Error::custom("expected array"))?
-            .iter()
-            .map(Deserialize::de)
-            .collect()
+        T::de_slice(v)
     }
 }
 
 impl<T: Serialize> Serialize for [T] {
     fn ser(&self) -> Value {
-        Value::Array(self.iter().map(Serialize::ser).collect())
+        T::ser_slice(self)
     }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn ser(&self) -> Value {
-        Value::Array(self.iter().map(Serialize::ser).collect())
+        T::ser_slice(self)
     }
 }
 
 impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn de(v: &Value) -> Result<Self, Error> {
-        let items: Vec<T> = Deserialize::de(v)?;
+        let items: Vec<T> = T::de_slice(v)?;
         items
             .try_into()
             .map_err(|_| Error::custom("array length mismatch"))

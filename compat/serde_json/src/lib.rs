@@ -344,10 +344,19 @@ mod tests {
 
     #[test]
     fn roundtrip_structures() {
+        // Byte vectors render as compact hex strings (see the serde
+        // stand-in's `ser_slice` override); other element types keep
+        // the plain array form.
         let v: Vec<Vec<u8>> = vec![vec![1, 2], vec![], vec![255]];
         let text = to_string(&v).unwrap();
-        assert_eq!(text, "[[1,2],[],[255]]");
+        assert_eq!(text, "[\"0102\",\"\",\"ff\"]");
         assert_eq!(from_str::<Vec<Vec<u8>>>(&text).unwrap(), v);
+        let w: Vec<Vec<u16>> = vec![vec![1, 2], vec![65535]];
+        let text = to_string(&w).unwrap();
+        assert_eq!(text, "[[1,2],[65535]]");
+        assert_eq!(from_str::<Vec<Vec<u16>>>(&text).unwrap(), w);
+        // Legacy array form still decodes for byte vectors.
+        assert_eq!(from_str::<Vec<u8>>("[1,2,255]").unwrap(), vec![1, 2, 255]);
     }
 
     #[test]

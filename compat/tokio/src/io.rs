@@ -1,5 +1,5 @@
 //! `AsyncReadExt` / `AsyncWriteExt` for the blocking-socket
-//! [`TcpStream`](crate::net::TcpStream).
+//! [`TcpStream`].
 
 use crate::net::TcpStream;
 use std::future::Future;

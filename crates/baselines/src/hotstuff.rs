@@ -608,6 +608,16 @@ impl HotStuffReplica {
         }
         for (b, qc) in chain.into_iter().rev() {
             self.committed.insert(b.digest);
+            // Chained commits must leave in ancestor-first (view) order
+            // — execution order is consensus-critical now that the
+            // runtime seals the post-execution state root into each
+            // block, so a reordered commit forks the chain.
+            debug_assert!(
+                self.committed_head.is_none_or(|h| b.view > h),
+                "HotStuff commit order regressed: view {:?} after {:?}",
+                b.view,
+                self.committed_head
+            );
             if self.committed_head.is_none_or(|h| b.view > h) {
                 self.committed_head = Some(b.view);
             }

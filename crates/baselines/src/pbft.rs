@@ -133,6 +133,9 @@ pub struct PbftReplica {
     slots: BTreeMap<u64, Slot>,
     next_seq: u64,
     next_exec: u64,
+    /// Sequence of the last commit emitted (deterministic-execution
+    /// assertion; see `execute_ready`).
+    last_emitted: Option<u64>,
     mempool: VecDeque<ClientBatch>,
     seen: HashSet<BatchId>,
     vc_votes: BTreeMap<View, ReplicaSet>,
@@ -165,6 +168,7 @@ impl PbftReplica {
             slots: BTreeMap::new(),
             next_seq: 0,
             next_exec: 0,
+            last_emitted: None,
             mempool: VecDeque::new(),
             seen: HashSet::new(),
             vc_votes: BTreeMap::new(),
@@ -434,6 +438,18 @@ impl PbftReplica {
             // replicas whose `Commit` votes sealed the slot (the set
             // can only have grown since the threshold was crossed).
             let cert = CommitCertificate::strong(view, slot.commits.iter().collect());
+            // Execution order is consensus-critical (the runtime seals
+            // the post-execution state root into each block): commits
+            // must leave this replica in gapless sequence order across
+            // every execute_ready call — any view-change or window
+            // bookkeeping bug that rewound or skipped the cursor would
+            // fork the chain.
+            debug_assert_eq!(
+                seq,
+                self.last_emitted.map_or(0, |l| l + 1),
+                "PBFT execution order regressed or skipped a slot"
+            );
+            self.last_emitted = Some(seq);
             self.next_exec += 1;
             advanced = true;
             ctx.commit(CommitInfo {

@@ -239,8 +239,21 @@ impl RccReplica {
                 self.fill_noops(ctx);
                 return;
             }
+            let mut last_instance: Option<u32> = None;
             for meta in self.meta.iter_mut() {
                 if let Some(info) = meta.ready.remove(&self.round) {
+                    // Round-interleaved order, asserted: within a round
+                    // the instances emit in id order, and the round
+                    // barrier guarantees rounds never interleave.
+                    // Execution order is consensus-critical now that
+                    // the runtime seals the post-execution state root
+                    // into each block.
+                    debug_assert!(
+                        last_instance.is_none_or(|l| l < info.instance.0),
+                        "RCC round {} emitted instances out of order",
+                        self.round
+                    );
+                    last_instance = Some(info.instance.0);
                     ctx.commit(info);
                 }
             }

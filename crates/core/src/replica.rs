@@ -72,6 +72,13 @@ struct Executor {
     /// where the duplicate is squashed (the slot still advances, only
     /// the effect and the client `Inform` are suppressed).
     executed_batches: std::collections::HashSet<spotless_types::BatchId>,
+    /// The `(view, instance)` slot of the last emitted commit.
+    /// Execution order is **consensus-critical** now that the runtime
+    /// seals each block with the post-execution state root: every
+    /// replica must emit commits in the identical total order or their
+    /// chains diverge byte-wise. The drain asserts slots strictly
+    /// increase lexicographically.
+    last_slot: Option<(View, InstanceId)>,
 }
 
 impl Executor {
@@ -81,6 +88,7 @@ impl Executor {
             ready: vec![BTreeMap::new(); m],
             executed_per_instance: vec![0; m],
             executed_batches: std::collections::HashSet::new(),
+            last_slot: None,
         }
     }
 
@@ -121,6 +129,17 @@ impl Executor {
                     if !p.batch.is_noop() && !self.executed_batches.insert(p.batch.id) {
                         continue; // duplicate commit of a re-proposed batch
                     }
+                    // Figure 6's total order, asserted: `(view,
+                    // instance)` slots must strictly increase — the
+                    // runtime seals the post-execution state root into
+                    // each block, so any reordering forks the chain.
+                    debug_assert!(
+                        self.last_slot.is_none_or(|s| s < (p.view, p.instance)),
+                        "execution order regressed: {:?} after {:?}",
+                        (p.view, p.instance),
+                        self.last_slot
+                    );
+                    self.last_slot = Some((p.view, p.instance));
                     ctx.commit(CommitInfo {
                         instance: p.instance,
                         view: p.view,

@@ -104,6 +104,22 @@ impl MerkleTree {
     }
 }
 
+/// The leaf index a proof's direction bits encode: step `k`'s sibling
+/// sits to the right exactly when bit `k` of the index is 0. Verifiers
+/// that must pin an item to a *specific* position (e.g. a state-chunk
+/// bucket, whose contents are only meaningful at their own index)
+/// compare this against the claimed index in addition to running
+/// [`verify_inclusion`] — a valid proof for the wrong slot is rejected.
+pub fn proof_index(proof: &[ProofStep]) -> usize {
+    let mut index = 0usize;
+    for (level, step) in proof.iter().enumerate() {
+        if !step.sibling_on_right {
+            index |= 1 << level;
+        }
+    }
+    index
+}
+
 /// Verifies an inclusion proof: does `item` at some position hash up to
 /// `root` through `proof`?
 pub fn verify_inclusion(item: &[u8], proof: &[ProofStep], root: &Digest) -> bool {
@@ -169,6 +185,17 @@ mod tests {
     fn out_of_range_proof_is_none() {
         let tree = MerkleTree::build(&items(4));
         assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn proof_index_recovers_the_leaf_position() {
+        for n in [1usize, 2, 3, 5, 8, 100] {
+            let tree = MerkleTree::build(&items(n));
+            for i in 0..n {
+                let proof = tree.prove(i).expect("in range");
+                assert_eq!(proof_index(&proof), i, "n={n} i={i}");
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,7 @@ mod tests {
                 BatchId(b),
                 batch_root(&payloads),
                 payloads.len() as u32,
+                Digest::from_u64(b * 31),
                 CommitProof {
                     instance: InstanceId(0),
                     view: View(b),

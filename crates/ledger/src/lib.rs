@@ -125,7 +125,8 @@ pub fn verify_proof(proof: &CommitProof, rules: &ProofRules) -> Result<(), Proof
     Ok(())
 }
 
-/// One ledger block: an executed batch plus its consensus proof.
+/// One ledger block: an executed batch plus its consensus proof and the
+/// post-execution state commitment (header v3).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Block {
     /// Position in the ledger (0 = first block).
@@ -138,6 +139,15 @@ pub struct Block {
     pub batch_id: BatchId,
     /// Number of transactions in the batch.
     pub txns: u32,
+    /// Merkle root over the replicated store's contents **after**
+    /// executing this block (the workload crate's bucketed state tree).
+    /// Anchoring execution state in the chain is what lets a snapshot
+    /// receiver verify every transferred byte against the chain itself
+    /// rather than against the serving peer's word. Execution order is
+    /// therefore consensus-critical: blocks are sealed execute-first,
+    /// and two replicas that executed the same committed sequence carry
+    /// identical roots.
+    pub state_root: Digest,
     /// Consensus proof summary.
     pub proof: CommitProof,
     /// This block's hash: `H(parent ‖ fields)`.
@@ -145,38 +155,44 @@ pub struct Block {
 }
 
 impl Block {
+    #[allow(clippy::too_many_arguments)]
     fn compute_hash(
         height: u64,
         parent: &Digest,
         batch_digest: &Digest,
         batch_id: BatchId,
         txns: u32,
+        state_root: &Digest,
         proof: &CommitProof,
     ) -> Digest {
         // The hash binds the **canonical chain content**: position,
-        // parent, batch identity, and the consensus slot (instance,
-        // view) the batch was decided in. It deliberately does NOT bind
-        // the certificate's phase/signer set: those are this replica's
-        // *evidence* for the decision — different honest replicas
-        // legitimately collect different (all valid) quorums for the
-        // same decision, and folding them into the hash would make
-        // replicas' chains diverge byte-wise despite identical ordered
-        // content. Certificates are instead validated independently by
-        // [`verify_proof`] wherever a block crosses a trust boundary.
+        // parent, batch identity, the post-execution state root, and
+        // the consensus slot (instance, view) the batch was decided in.
+        // It deliberately does NOT bind the certificate's phase/signer
+        // set: those are this replica's *evidence* for the decision —
+        // different honest replicas legitimately collect different (all
+        // valid) quorums for the same decision, and folding them into
+        // the hash would make replicas' chains diverge byte-wise despite
+        // identical ordered content. Certificates are instead validated
+        // independently by [`verify_proof`] wherever a block crosses a
+        // trust boundary. The domain string is versioned: v2 blocks
+        // (no state root) hash under a different domain, so the two
+        // header generations can never collide.
         spotless_crypto::digest_fields(&[
-            b"spotless-ledger-block",
+            b"spotless-ledger-block-v3",
             &height.to_be_bytes(),
             &parent.0,
             &batch_digest.0,
             &batch_id.0.to_be_bytes(),
             &txns.to_be_bytes(),
+            &state_root.0,
             &u64::from(proof.instance.0).to_be_bytes(),
             &proof.view.0.to_be_bytes(),
         ])
     }
 
     /// True iff this block's stored hash recomputes from its canonical
-    /// content (see [`Block::compute_hash`]: the certificate's signer
+    /// content (see `Block::compute_hash`: the certificate's signer
     /// set is evidence, not content, and is verified separately).
     pub fn verify_hash(&self) -> bool {
         Block::compute_hash(
@@ -185,6 +201,7 @@ impl Block {
             &self.batch_digest,
             self.batch_id,
             self.txns,
+            &self.state_root,
             &self.proof,
         ) == self.hash
     }
@@ -348,17 +365,29 @@ impl Ledger {
         self.blocks.last().map(|b| b.hash).unwrap_or(self.base_hash)
     }
 
-    /// Appends an executed batch, returning the new block.
+    /// Appends an executed batch, sealing `state_root` — the store's
+    /// Merkle commitment *after* executing the batch — into the block.
+    /// Callers must therefore execute before appending (execute-then-
+    /// seal); the runtime's pipeline asserts that ordering.
     pub fn append(
         &mut self,
         batch_id: BatchId,
         batch_digest: Digest,
         txns: u32,
+        state_root: Digest,
         proof: CommitProof,
     ) -> &Block {
         let height = self.height();
         let parent = self.head_hash();
-        let hash = Block::compute_hash(height, &parent, &batch_digest, batch_id, txns, &proof);
+        let hash = Block::compute_hash(
+            height,
+            &parent,
+            &batch_digest,
+            batch_id,
+            txns,
+            &state_root,
+            &proof,
+        );
         self.by_batch.insert(batch_id, height);
         self.blocks.push(Block {
             height,
@@ -366,6 +395,7 @@ impl Ledger {
             batch_digest,
             batch_id,
             txns,
+            state_root,
             proof,
             hash,
         });
@@ -395,6 +425,7 @@ impl Ledger {
             &block.batch_digest,
             block.batch_id,
             block.txns,
+            &block.state_root,
             &block.proof,
         );
         if recomputed != block.hash {
@@ -451,6 +482,7 @@ impl Ledger {
                 &b.batch_digest,
                 b.batch_id,
                 b.txns,
+                &b.state_root,
                 &b.proof,
             );
             if expect != b.hash {
@@ -483,7 +515,13 @@ mod tests {
     fn sample_ledger(blocks: u64) -> Ledger {
         let mut ledger = Ledger::new();
         for i in 0..blocks {
-            ledger.append(BatchId(i), Digest::from_u64(i), 100, proof(i));
+            ledger.append(
+                BatchId(i),
+                Digest::from_u64(i),
+                100,
+                Digest::from_u64(i * 1000 + 7),
+                proof(i),
+            );
         }
         ledger
     }
@@ -642,7 +680,13 @@ mod tests {
         // over the recovered head exactly like genesis-rooted appends.
         let full = sample_ledger(3);
         let mut tail = Ledger::with_base(3, full.head_hash());
-        let block = tail.append(BatchId(77), Digest::from_u64(77), 50, proof(9));
+        let block = tail.append(
+            BatchId(77),
+            Digest::from_u64(77),
+            50,
+            Digest::from_u64(7777),
+            proof(9),
+        );
         assert_eq!(block.height, 3);
         assert_eq!(block.parent, full.head_hash());
         tail.verify().expect("chains over the base");
@@ -742,6 +786,12 @@ mod tests {
         let mut b = ledger.block(1).unwrap().clone();
         b.proof.view = View(77);
         assert!(!b.verify_hash(), "slot tampering must break the hash");
+        let mut b = ledger.block(1).unwrap().clone();
+        b.state_root = Digest::from_u64(666);
+        assert!(
+            !b.verify_hash(),
+            "state-root tampering must break the hash — the chain anchors execution state"
+        );
         // The signer set is per-replica *evidence*, not chain content:
         // two honest replicas may hold different valid quorums for the
         // same decision, so the hash must not bind it — `verify_proof`

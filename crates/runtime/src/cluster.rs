@@ -46,6 +46,29 @@ pub fn assemble<N, F, M>(
     endpoints: Vec<(F, mpsc::UnboundedReceiver<Envelope>)>,
     storage: Vec<Option<StorageConfig>>,
     silent: Vec<bool>,
+    make: M,
+) -> Result<ClusterHandles, StorageError>
+where
+    N: Node + Send + 'static,
+    N::Message: Serialize + Deserialize + Send + 'static,
+    F: Fabric,
+    M: FnMut(ReplicaId) -> N,
+{
+    assemble_tuned(cluster, key_salt, endpoints, storage, silent, |_| {}, make)
+}
+
+/// [`assemble`] with a tuning hook applied to every replica's
+/// [`RuntimeConfig`] before spawn (queue depths, chunk budget, catch-up
+/// interval). Tests use this to force multi-chunk snapshot transfers at
+/// small state sizes.
+#[allow(clippy::type_complexity)]
+pub fn assemble_tuned<N, F, M, T>(
+    cluster: ClusterConfig,
+    key_salt: &[u8],
+    endpoints: Vec<(F, mpsc::UnboundedReceiver<Envelope>)>,
+    storage: Vec<Option<StorageConfig>>,
+    silent: Vec<bool>,
+    tune: T,
     mut make: M,
 ) -> Result<ClusterHandles, StorageError>
 where
@@ -53,6 +76,7 @@ where
     N::Message: Serialize + Deserialize + Send + 'static,
     F: Fabric,
     M: FnMut(ReplicaId) -> N,
+    T: Fn(&mut RuntimeConfig),
 {
     let n = cluster.n as usize;
     assert_eq!(endpoints.len(), n);
@@ -67,6 +91,7 @@ where
         let mut cfg = RuntimeConfig::new(cluster.clone(), me, keystores[i].clone());
         cfg.storage = storage[i].clone();
         cfg.silent = silent[i];
+        tune(&mut cfg);
         handles.push(ReplicaRuntime::spawn(
             make(me),
             cfg,

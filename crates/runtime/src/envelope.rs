@@ -12,18 +12,25 @@
 //!   only tag consensus traffic uses.
 //! * [`TAG_CATCHUP_REQ`] / [`TAG_CATCHUP_RESP`] — the runtime-level
 //!   catch-up exchange a restarted replica uses to close the gap between
-//!   its durable log and the cluster's head (see [`crate::pipeline`]).
-//! * [`TAG_CATCHUP_SNAP`] — the second mode of that exchange: when the
-//!   responder has pruned (or never held) the requested history, it
-//!   ships its whole executed state — KV snapshot bytes plus the
-//!   certified ledger head — instead of blocks.
+//!   its durable log and the cluster's head (see `crate::pipeline`).
+//! * [`TAG_CATCHUP_MANIFEST`] / [`TAG_CATCHUP_CHUNK_REQ`] /
+//!   [`TAG_CATCHUP_CHUNK`] — the chunked snapshot state transfer: when
+//!   the responder has pruned (or never held) the requested history, it
+//!   answers with a **manifest** (certified head block, application
+//!   meta, chunk digest list); the requester then fetches chunks by
+//!   index, each carrying per-bucket Merkle inclusion proofs against
+//!   the head block's `state_root`, in any order, re-requesting on
+//!   timeout. No frame ever needs to carry the whole state — the frame
+//!   limit bounds a single *bucket*, not the store (see the scale note
+//!   on `KvStore::to_chunks`), lifting the previous whole-state-per-
+//!   frame ceiling by three orders of magnitude.
 //!
 //! Signatures come from the cluster [`KeyStore`] — the documented
 //! simulation-grade keyed-hash scheme (see `spotless-crypto`'s
 //! `signing` module for exactly what it does and does not provide).
 
 use serde::{Deserialize, Serialize};
-use spotless_crypto::{KeyStore, Signature};
+use spotless_crypto::{KeyStore, ProofStep, Signature};
 use spotless_ledger::Block;
 use spotless_types::bytes::take;
 use spotless_types::{BatchId, Digest, ReplicaId};
@@ -35,8 +42,13 @@ pub const TAG_PROTOCOL: u8 = 0;
 pub const TAG_CATCHUP_REQ: u8 = 1;
 /// Tag byte: catch-up response.
 pub const TAG_CATCHUP_RESP: u8 = 2;
-/// Tag byte: snapshot state transfer (catch-up from pruned history).
-pub const TAG_CATCHUP_SNAP: u8 = 3;
+/// Tag byte: chunked state-transfer manifest (catch-up from pruned
+/// history).
+pub const TAG_CATCHUP_MANIFEST: u8 = 3;
+/// Tag byte: ranged chunk fetch request.
+pub const TAG_CATCHUP_CHUNK_REQ: u8 = 4;
+/// Tag byte: one state chunk with its inclusion proofs.
+pub const TAG_CATCHUP_CHUNK: u8 = 5;
 
 /// A signed, shareable wire frame. Cloning an envelope clones the
 /// `Arc`, not the payload.
@@ -78,38 +90,72 @@ pub struct CatchUpBlock {
     pub payload: Vec<u8>,
 }
 
-/// A whole-state transfer: what a peer ships when the requested block
-/// range is pruned from its history.
+/// Descriptor of one chunk in a [`TransferManifest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// First bucket index the chunk covers.
+    pub first_bucket: u32,
+    /// Number of consecutive buckets in the chunk.
+    pub buckets: u32,
+    /// Content address: digest of the chunk's canonical encoding. Lets
+    /// the receiver journal chunks by name and detect substitution.
+    pub digest: Digest,
+}
+
+/// The manifest opening a chunked snapshot state transfer.
 ///
-/// Trust model: the **chain position** is verifiable without trusting
-/// the sender — the head block's hash recomputes and its commit
-/// certificate passes quorum verification. The **state bytes** are
-/// integrity-checked (`app_digest`, plus the envelope signature) but
-/// not yet bound to the chain: blocks carry no state root, so a
-/// Byzantine serving peer could pair a genuine certified head with a
-/// fabricated state. Closing that gap needs per-block state roots —
-/// an open ROADMAP item; until then snapshot installation trusts the
-/// serving peer for the state contents, exactly as block replay
-/// already trusts it for payload *availability*.
+/// Trust model: everything here is checked against the **head block**
+/// before a single chunk is fetched — the block's hash recomputes, its
+/// commit certificate passes quorum verification, and `app_meta` (the
+/// store's rolling digest and counters) carries a Merkle inclusion
+/// proof against the block's `state_root`. Each chunk then proves its
+/// buckets against the same root on arrival, so a serving peer cannot
+/// pair a given certified head with state that differs from what that
+/// head sealed: the first mismatching byte fails its proof and the
+/// transfer rotates to another peer.
+///
+/// What this does **not** yet close: the head block's authenticity
+/// itself rests on its commit certificate, and certificates today
+/// carry signer *identities* only (the quorum rules are enforced, but
+/// the votes' signatures are the simulation-grade keyed-hash scheme —
+/// see `crypto/src/signing.rs`). Until real Ed25519 lands (ROADMAP), a
+/// peer that can forge certificates can fabricate a whole head-plus-
+/// state pair; state roots bind *state to chain*, real signatures must
+/// bind *chain to cluster*.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SnapshotTransfer {
+pub struct TransferManifest {
     /// Ledger height the snapshot covers (number of executed blocks).
     pub height: u64,
+    /// The responder's ledger height when it served the request (the
+    /// requester keeps pulling blocks above the snapshot from here).
+    pub peer_height: u64,
     /// The block at `height − 1`, carrying the head's commit
-    /// certificate.
+    /// certificate and the `state_root` every chunk verifies against.
     pub head: Block,
     /// Ids of the most recently committed batches the snapshot covers
     /// (bounded window; seeds the receiver's re-commit dedup filter so
     /// a rejoining protocol instance cannot re-execute them).
     pub recent_ids: Vec<BatchId>,
-    /// Digest of `app_state` (structural integrity cross-check; the
-    /// envelope signature authenticates the whole frame).
-    pub app_digest: Digest,
-    /// Serialized application state (the KV snapshot bytes).
-    pub app_state: Vec<u8>,
-    /// The responder's ledger height when it served the request (the
-    /// requester keeps pulling blocks above the snapshot from here).
-    pub peer_height: u64,
+    /// The application meta bytes (KV meta-leaf encoding).
+    pub app_meta: Vec<u8>,
+    /// Inclusion proof of `app_meta` at the meta leaf of the state tree.
+    pub meta_proof: Vec<ProofStep>,
+    /// The chunk plan, in order. Ranges must partition the bucket space.
+    pub chunks: Vec<ChunkInfo>,
+}
+
+/// One chunk answering a [`TAG_CATCHUP_CHUNK_REQ`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkTransfer {
+    /// The transfer's target height (matches the manifest).
+    pub height: u64,
+    /// Index into the manifest's chunk list.
+    pub index: u32,
+    /// The chunk's canonical encoding (`StateChunk::encode`).
+    pub chunk: Vec<u8>,
+    /// Per-bucket inclusion proofs against the head block's
+    /// `state_root`, in bucket order within the chunk.
+    pub proofs: Vec<Vec<ProofStep>>,
 }
 
 /// Everything a replica can receive inside an [`Envelope`].
@@ -129,9 +175,19 @@ pub enum WireMsg<M> {
         /// the responder cannot serve that range).
         blocks: Vec<CatchUpBlock>,
     },
-    /// The responder pruned the requested range: its full executed
-    /// state instead (boxed: the variant dwarfs the others).
-    Snapshot(Box<SnapshotTransfer>),
+    /// The responder pruned the requested range: a chunked state
+    /// transfer begins with its manifest (boxed: the variant dwarfs the
+    /// others).
+    Manifest(Box<TransferManifest>),
+    /// "Send me chunk `index` of the transfer at `height`."
+    ChunkReq {
+        /// The transfer's target height.
+        height: u64,
+        /// Index into the manifest's chunk list.
+        index: u32,
+    },
+    /// One verified-fetchable state chunk.
+    Chunk(Box<ChunkTransfer>),
 }
 
 /// Encodes a protocol message payload.
@@ -167,24 +223,89 @@ pub fn encode_catchup_resp(peer_height: u64, blocks: &[CatchUpBlock]) -> Vec<u8>
     out
 }
 
-/// Encodes a snapshot state-transfer payload.
-pub fn encode_catchup_snap(snap: &SnapshotTransfer) -> Vec<u8> {
-    let head_json = serde_json::to_vec(&snap.head).expect("blocks are serializable");
-    let mut out = Vec::with_capacity(61 + head_json.len() + snap.app_state.len());
-    out.push(TAG_CATCHUP_SNAP);
-    out.extend_from_slice(&snap.height.to_le_bytes());
-    out.extend_from_slice(&snap.peer_height.to_le_bytes());
+fn encode_proof(out: &mut Vec<u8>, proof: &[ProofStep]) {
+    out.extend_from_slice(&(proof.len() as u16).to_le_bytes());
+    for step in proof {
+        out.extend_from_slice(&step.sibling.0);
+        out.push(u8::from(step.sibling_on_right));
+    }
+}
+
+fn decode_proof(rest: &mut &[u8]) -> Option<Vec<ProofStep>> {
+    let len = u16::from_le_bytes(take(rest, 2)?.try_into().ok()?) as usize;
+    if len > 64 {
+        return None; // no legal tree in this workspace is that deep
+    }
+    let mut proof = Vec::with_capacity(len);
+    for _ in 0..len {
+        let mut sibling = Digest::ZERO;
+        sibling.0.copy_from_slice(take(rest, 32)?);
+        let dir = match take(rest, 1)?[0] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        proof.push(ProofStep {
+            sibling,
+            sibling_on_right: dir,
+        });
+    }
+    Some(proof)
+}
+
+/// Encodes a state-transfer manifest payload.
+pub fn encode_catchup_manifest(m: &TransferManifest) -> Vec<u8> {
+    let head_json = serde_json::to_vec(&m.head).expect("blocks are serializable");
+    let mut out = Vec::with_capacity(64 + head_json.len() + m.app_meta.len() + m.chunks.len() * 40);
+    out.push(TAG_CATCHUP_MANIFEST);
+    out.extend_from_slice(&m.height.to_le_bytes());
+    out.extend_from_slice(&m.peer_height.to_le_bytes());
     out.extend_from_slice(&(head_json.len() as u32).to_le_bytes());
     out.extend_from_slice(&head_json);
-    out.extend_from_slice(&(snap.recent_ids.len() as u32).to_le_bytes());
-    for id in &snap.recent_ids {
+    out.extend_from_slice(&(m.recent_ids.len() as u32).to_le_bytes());
+    for id in &m.recent_ids {
         out.extend_from_slice(&id.0.to_le_bytes());
     }
-    out.extend_from_slice(&snap.app_digest.0);
-    out.extend_from_slice(&(snap.app_state.len() as u32).to_le_bytes());
-    out.extend_from_slice(&snap.app_state);
+    out.extend_from_slice(&(m.app_meta.len() as u32).to_le_bytes());
+    out.extend_from_slice(&m.app_meta);
+    encode_proof(&mut out, &m.meta_proof);
+    out.extend_from_slice(&(m.chunks.len() as u32).to_le_bytes());
+    for c in &m.chunks {
+        out.extend_from_slice(&c.first_bucket.to_le_bytes());
+        out.extend_from_slice(&c.buckets.to_le_bytes());
+        out.extend_from_slice(&c.digest.0);
+    }
     out
 }
+
+/// Encodes a chunk fetch request payload.
+pub fn encode_chunk_req(height: u64, index: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13);
+    out.push(TAG_CATCHUP_CHUNK_REQ);
+    out.extend_from_slice(&height.to_le_bytes());
+    out.extend_from_slice(&index.to_le_bytes());
+    out
+}
+
+/// Encodes a chunk transfer payload.
+pub fn encode_chunk(c: &ChunkTransfer) -> Vec<u8> {
+    let proof_bytes: usize = c.proofs.iter().map(|p| 2 + p.len() * 33).sum();
+    let mut out = Vec::with_capacity(21 + c.chunk.len() + proof_bytes);
+    out.push(TAG_CATCHUP_CHUNK);
+    out.extend_from_slice(&c.height.to_le_bytes());
+    out.extend_from_slice(&c.index.to_le_bytes());
+    out.extend_from_slice(&(c.chunk.len() as u32).to_le_bytes());
+    out.extend_from_slice(&c.chunk);
+    out.extend_from_slice(&(c.proofs.len() as u32).to_le_bytes());
+    for p in &c.proofs {
+        encode_proof(&mut out, p);
+    }
+    out
+}
+
+/// Sanity bound on list lengths in transfer payloads (a larger prefix
+/// is a malformed frame, not data).
+const MAX_TRANSFER_ITEMS: u32 = 1 << 20;
 
 /// Decodes a tagged payload. `None` on any structural defect — the
 /// caller drops malformed traffic (the sender is faulty or the bytes
@@ -221,33 +342,85 @@ pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
                 blocks,
             })
         }
-        TAG_CATCHUP_SNAP => {
+        TAG_CATCHUP_MANIFEST => {
             let mut rest = body;
             let height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
             let peer_height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
             let head_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
             let head = serde_json::from_slice(take(&mut rest, head_len)?).ok()?;
-            let ids_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-            let mut recent_ids = Vec::with_capacity(ids_len.min(1 << 16));
+            let ids_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            if ids_len > MAX_TRANSFER_ITEMS {
+                return None;
+            }
+            let mut recent_ids = Vec::with_capacity(ids_len as usize);
             for _ in 0..ids_len {
                 recent_ids.push(BatchId(u64::from_le_bytes(
                     take(&mut rest, 8)?.try_into().ok()?,
                 )));
             }
-            let mut app_digest = Digest::ZERO;
-            app_digest.0.copy_from_slice(take(&mut rest, 32)?);
-            let state_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-            let app_state = take(&mut rest, state_len)?.to_vec();
+            let meta_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+            let app_meta = take(&mut rest, meta_len)?.to_vec();
+            let meta_proof = decode_proof(&mut rest)?;
+            let chunks_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            if chunks_len > MAX_TRANSFER_ITEMS {
+                return None;
+            }
+            let mut chunks = Vec::with_capacity(chunks_len as usize);
+            for _ in 0..chunks_len {
+                let first_bucket = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+                let buckets = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+                let mut digest = Digest::ZERO;
+                digest.0.copy_from_slice(take(&mut rest, 32)?);
+                chunks.push(ChunkInfo {
+                    first_bucket,
+                    buckets,
+                    digest,
+                });
+            }
             if !rest.is_empty() {
                 return None;
             }
-            Some(WireMsg::Snapshot(Box::new(SnapshotTransfer {
+            Some(WireMsg::Manifest(Box::new(TransferManifest {
                 height,
+                peer_height,
                 head,
                 recent_ids,
-                app_digest,
-                app_state,
-                peer_height,
+                app_meta,
+                meta_proof,
+                chunks,
+            })))
+        }
+        TAG_CATCHUP_CHUNK_REQ => {
+            if body.len() != 12 {
+                return None;
+            }
+            Some(WireMsg::ChunkReq {
+                height: u64::from_le_bytes(body[..8].try_into().ok()?),
+                index: u32::from_le_bytes(body[8..].try_into().ok()?),
+            })
+        }
+        TAG_CATCHUP_CHUNK => {
+            let mut rest = body;
+            let height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
+            let index = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            let chunk_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+            let chunk = take(&mut rest, chunk_len)?.to_vec();
+            let proofs_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            if proofs_len > MAX_TRANSFER_ITEMS {
+                return None;
+            }
+            let mut proofs = Vec::with_capacity(proofs_len as usize);
+            for _ in 0..proofs_len {
+                proofs.push(decode_proof(&mut rest)?);
+            }
+            if !rest.is_empty() {
+                return None;
+            }
+            Some(WireMsg::Chunk(Box::new(ChunkTransfer {
+                height,
+                index,
+                chunk,
+                proofs,
             })))
         }
         _ => None,
@@ -267,6 +440,7 @@ mod tests {
                 BatchId(i),
                 Digest::from_u64(i),
                 10,
+                Digest::from_u64(i * 7 + 3),
                 CommitProof {
                     instance: InstanceId(0),
                     view: View(i),
@@ -323,24 +497,80 @@ mod tests {
         }
     }
 
-    #[test]
-    fn catchup_snapshot_roundtrips() {
-        let head = sample_block(4);
-        let app_state = b"kv-snapshot-bytes".to_vec();
-        let snap = SnapshotTransfer {
+    fn sample_manifest() -> TransferManifest {
+        TransferManifest {
             height: 5,
-            head,
-            recent_ids: vec![BatchId(2), BatchId(3), BatchId(4)],
-            app_digest: spotless_crypto::digest_bytes(&app_state),
-            app_state,
             peer_height: 9,
-        };
-        let enc = encode_catchup_snap(&snap);
+            head: sample_block(4),
+            recent_ids: vec![BatchId(2), BatchId(3), BatchId(4)],
+            app_meta: b"meta-bytes".to_vec(),
+            meta_proof: vec![
+                ProofStep {
+                    sibling: Digest::from_u64(1),
+                    sibling_on_right: true,
+                },
+                ProofStep {
+                    sibling: Digest::from_u64(2),
+                    sibling_on_right: false,
+                },
+            ],
+            chunks: vec![
+                ChunkInfo {
+                    first_bucket: 0,
+                    buckets: 512,
+                    digest: Digest::from_u64(100),
+                },
+                ChunkInfo {
+                    first_bucket: 512,
+                    buckets: 512,
+                    digest: Digest::from_u64(101),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = sample_manifest();
+        let enc = encode_catchup_manifest(&m);
         match decode::<u64>(&enc) {
-            Some(WireMsg::Snapshot(got)) => assert_eq!(*got, snap),
+            Some(WireMsg::Manifest(got)) => assert_eq!(*got, m),
             _ => panic!("wrong decode"),
         }
         // Truncation fails closed.
+        assert!(decode::<u64>(&enc[..enc.len() - 1]).is_none());
+        let mut trailing = enc;
+        trailing.push(0);
+        assert!(decode::<u64>(&trailing).is_none());
+    }
+
+    #[test]
+    fn chunk_req_and_chunk_roundtrip() {
+        let enc = encode_chunk_req(7, 3);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::ChunkReq {
+                height: 7,
+                index: 3,
+            }) => {}
+            _ => panic!("wrong decode"),
+        }
+        let c = ChunkTransfer {
+            height: 7,
+            index: 3,
+            chunk: b"canonical-chunk-bytes".to_vec(),
+            proofs: vec![
+                vec![ProofStep {
+                    sibling: Digest::from_u64(9),
+                    sibling_on_right: false,
+                }],
+                vec![],
+            ],
+        };
+        let enc = encode_chunk(&c);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::Chunk(got)) => assert_eq!(*got, c),
+            _ => panic!("wrong decode"),
+        }
         assert!(decode::<u64>(&enc[..enc.len() - 1]).is_none());
     }
 
@@ -352,8 +582,26 @@ mod tests {
             decode::<u64>(&[TAG_CATCHUP_REQ, 1, 2]).is_none(),
             "short body"
         );
+        assert!(
+            decode::<u64>(&[TAG_CATCHUP_CHUNK_REQ, 1, 2]).is_none(),
+            "short chunk req"
+        );
         let mut resp = encode_catchup_resp(3, &[]);
         resp.push(0);
         assert!(decode::<u64>(&resp).is_none(), "trailing bytes");
+        // A proof step with an out-of-range direction byte is rejected.
+        let c = ChunkTransfer {
+            height: 1,
+            index: 0,
+            chunk: Vec::new(),
+            proofs: vec![vec![ProofStep {
+                sibling: Digest::from_u64(1),
+                sibling_on_right: true,
+            }]],
+        };
+        let mut enc = encode_chunk(&c);
+        let last = enc.len() - 1;
+        enc[last] = 7; // the direction byte of the last step
+        assert!(decode::<u64>(&enc).is_none(), "bad direction byte");
     }
 }

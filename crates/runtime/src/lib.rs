@@ -14,16 +14,21 @@
 //! * YCSB key-value execution (`spotless-workload`),
 //! * signed wire envelopes serialized once and `Arc`-shared across
 //!   broadcast destinations ([`envelope`]),
-//! * a commit pipeline that group-commits storage appends behind a
-//!   bounded ack queue so consensus never blocks on fsync, populates
-//!   every durable block's `CommitProof` from the protocol's commit
-//!   certificate, and refuses to append a block whose signer set fails
-//!   quorum verification ([`pipeline`]), and
+//! * a commit pipeline that executes each decided batch and seals the
+//!   post-execution Merkle `state_root` into its block (execute-then-
+//!   seal), group-commits storage appends behind a bounded ack queue so
+//!   consensus never blocks on fsync, populates every durable block's
+//!   `CommitProof` from the protocol's commit certificate, and refuses
+//!   to append a block whose signer set fails quorum verification
+//!   (`pipeline`), and
 //! * a runtime-level two-mode state-transfer exchange: a recovering
 //!   replica — held out of consensus until it has rejoined the head —
-//!   replays blocks from peers that still hold them, or installs a
-//!   digest- and certificate-verified KV snapshot when every peer has
-//!   pruned or restarted past its gap.
+//!   replays blocks from peers that still hold them (re-executing each
+//!   and checking the sealed `state_root`), or runs a chunked snapshot
+//!   transfer when every peer has pruned or restarted past its gap:
+//!   manifest first, then ranged chunk fetches verified bucket-by-
+//!   bucket against the chain's state root, journaled so a mid-transfer
+//!   crash resumes instead of restarting.
 //!
 //! Transports are reduced to [`Fabric`]s: byte movers with no protocol,
 //! crypto, or execution logic. `spotless-transport` provides in-process
@@ -41,8 +46,8 @@ pub(crate) mod pipeline;
 pub mod runtime;
 
 pub use client::ClusterClient;
-pub use cluster::{assemble, ClusterHandles};
-pub use envelope::{CatchUpBlock, Envelope, SnapshotTransfer, WireMsg};
+pub use cluster::{assemble, assemble_tuned, ClusterHandles};
+pub use envelope::{CatchUpBlock, ChunkInfo, ChunkTransfer, Envelope, TransferManifest, WireMsg};
 pub use fabric::Fabric;
 pub use observe::{CommitLog, CommittedEntry, Inform};
 pub use runtime::{

@@ -1,4 +1,4 @@
-//! The commit pipeline: ordering → durability → execution → replies,
+//! The commit pipeline: ordering → execution → durability → replies,
 //! off the consensus thread.
 //!
 //! Consensus (the protocol state machine in [`crate::ReplicaRuntime`]'s
@@ -7,10 +7,16 @@
 //! the bound is the ack-queue depth — if storage or execution fall more
 //! than `commit_queue` slots behind, consensus feels backpressure
 //! instead of growing an unbounded buffer. The worker drains the queue
-//! in groups: all appends of a group hit the segmented log with the
-//! sync policy forced to manual, then **one** fsync covers the whole
-//! group (group commit), and only then are results executed upward as
-//! client informs — nothing is acknowledged before it is durable.
+//! in groups: each commit is **executed first** against the KV store —
+//! the resulting Merkle `state_root` is sealed into the block (header
+//! v3, execute-then-seal) — then all appends of a group hit the
+//! segmented log with the sync policy forced to manual, **one** fsync
+//! covers the whole group (group commit), and only then are results
+//! acknowledged upward as client informs — nothing is acknowledged
+//! before it is durable. Deterministic execution order is
+//! consensus-critical under execute-then-seal (the root a block seals
+//! is a function of the exact chain prefix below it); the pipeline
+//! asserts the KV state and chain height stay aligned at every seal.
 //!
 //! Every block that reaches storage carries a **verified commit
 //! certificate**: the protocol layer surfaces the certifying signer
@@ -26,17 +32,24 @@
 //! height, but the cluster has moved on. It asks a peer for executed
 //! blocks from its execution height. If the peer still holds that
 //! range, it answers with **block replay**: responses are verified
-//! four ways — payload bytes must hash to the block's batch digest,
+//! five ways — payload bytes must hash to the block's batch digest,
 //! each block's commit certificate must pass quorum verification,
-//! blocks already on the local chain must agree hash-for-hash, and new
-//! blocks must extend the local head through the ledger's hash-chain
-//! check — then applied. If
-//! the peer has pruned past the requested height (or restarted with a
-//! fresh payload cache), it ships a **snapshot** instead: its KV state
-//! bytes plus the certified ledger head. The requester verifies the
-//! head block's hash, its commit certificate, and the state digest,
-//! then replaces its own (older, prefix-consistent) chain and state
-//! wholesale and continues pulling blocks above the snapshot.
+//! blocks already on the local chain must agree hash-for-hash, new
+//! blocks must extend the local head through the hash-chain check, and
+//! re-executing each payload must reproduce the block's sealed
+//! `state_root` — then applied. If the peer has pruned past the
+//! requested height (or restarted with a fresh payload cache), it
+//! opens a **chunked snapshot transfer** instead: a manifest first
+//! (certified head block + application meta verified against the
+//! head's `state_root` by Merkle inclusion proof + the chunk plan),
+//! then ranged chunk fetches — each chunk's buckets verified against
+//! the same root before a byte is trusted, out-of-order arrival
+//! tolerated, missing chunks re-requested on the periodic tick, the
+//! serving peer rotated when it stalls. Verified chunks land in the
+//! crash-safe install journal (`spotless_storage::transfer`), so an
+//! interrupted transfer **resumes** after a restart instead of
+//! starting over. Once complete, the assembled state is audited one
+//! final time against the chain's root and installed wholesale.
 //!
 //! While catching up the replica does not participate in consensus at
 //! all — the event loop holds the protocol node un-started until a
@@ -46,19 +59,22 @@
 //! remains as a safety net for commits raced in right after sync.
 
 use crate::envelope::{
-    encode_catchup_req, encode_catchup_resp, encode_catchup_snap, CatchUpBlock, Envelope,
-    SnapshotTransfer,
+    encode_catchup_manifest, encode_catchup_req, encode_catchup_resp, encode_chunk,
+    encode_chunk_req, CatchUpBlock, ChunkInfo, ChunkTransfer, Envelope, TransferManifest,
 };
 use crate::fabric::Fabric;
 use crate::observe::{CommitLog, CommittedEntry, Inform};
-use spotless_crypto::KeyStore;
+use spotless_crypto::{proof_index, verify_inclusion, KeyStore, ProofStep};
 use spotless_ledger::{verify_proof, Block, CommitProof, Ledger, ProofRules, RecentBatches};
 use spotless_storage::snapshot::Snapshot;
+use spotless_storage::transfer::{InstallJournal, InstallManifest};
 use spotless_storage::DurableLedger;
 use spotless_types::{
     BatchId, ClientBatch, ClientId, ClusterConfig, CommitInfo, Digest, ReplicaId, SimTime,
 };
-use spotless_workload::{decode_txns, KvStore, Transaction};
+use spotless_workload::{
+    bucket_leaf_digest, decode_txns, KvStore, StateChunk, Transaction, META_LEAF, STATE_BUCKETS,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tokio::sync::mpsc;
@@ -67,12 +83,13 @@ use tokio::sync::mpsc;
 const CATCHUP_MAX_BLOCKS: usize = 256;
 
 /// Upper bound on cumulative *payload* bytes per catch-up response.
-/// The TCP fabric rejects frames over 8 MiB, and the JSON byte-array
-/// encoding inflates payloads ~4x — so a block-count bound alone would
-/// let realistic batches (hundreds of KB each) build unsendable
-/// responses and wedge catch-up forever. 1 MiB of raw payload keeps the
-/// serialized frame comfortably inside the limit.
-const CATCHUP_MAX_BYTES: usize = 1 << 20;
+/// The fabric rejects frames over `SIMPLE_FRAME_LIMIT`, and the JSON
+/// hex encoding doubles payload bytes on the wire — so a block-count
+/// bound alone would let realistic batches (hundreds of KB each) build
+/// unsendable responses and wedge catch-up forever. An eighth of the
+/// frame limit in raw payload keeps the serialized frame comfortably
+/// inside it with generous headroom for block metadata.
+const CATCHUP_MAX_BYTES: usize = spotless_types::SNAPSHOT_CHUNK_BYTES;
 
 /// Upper bound on payloads retained in memory for serving catch-up.
 /// Durable replicas trim the cache on every snapshot; this cap covers
@@ -80,26 +97,47 @@ const CATCHUP_MAX_BYTES: usize = 1 << 20;
 /// would otherwise grow with every batch ever committed.
 const PAYLOAD_CACHE_MAX: usize = 4096;
 
+/// Chunk fetches kept in flight at once during a snapshot transfer
+/// (bounds the memory a slow receiver commits to unprocessed frames).
+const MAX_INFLIGHT_CHUNKS: usize = 4;
+
+/// Catch-up ticks a chunked transfer may stall (no chunk accepted)
+/// before the receiver abandons the serving peer and rotates. The
+/// journal keeps the verified chunks, so a rotation back to the same
+/// transfer resumes rather than restarts.
+const TRANSFER_STALL_TICKS: u32 = 4;
+
 /// Commands flowing from the event loop into the pipeline.
 pub(crate) enum PipelineCmd {
     /// A consensus decision to persist, execute, and acknowledge.
     Commit(CommitInfo),
     /// A peer asked for our executed blocks from `from_height`.
     Serve { to: ReplicaId, from_height: u64 },
-    /// A peer answered our catch-up request.
+    /// A peer asked for one chunk of our snapshot at `height`.
+    ServeChunk {
+        to: ReplicaId,
+        height: u64,
+        index: u32,
+    },
+    /// A peer answered our catch-up request with blocks.
     Apply {
         from: ReplicaId,
         peer_height: u64,
         blocks: Vec<CatchUpBlock>,
     },
-    /// A peer answered with a whole-state snapshot (it pruned the
-    /// blocks we asked for).
-    ApplySnapshot {
+    /// A peer opened a chunked snapshot transfer (it pruned the blocks
+    /// we asked for).
+    ApplyManifest {
         from: ReplicaId,
-        snap: SnapshotTransfer,
+        manifest: Box<TransferManifest>,
     },
-    /// Periodic nudge while behind: re-issue the catch-up request (to
-    /// the next peer, in case the previous one could not serve us).
+    /// A peer delivered one chunk of the transfer in progress.
+    ApplyChunk {
+        from: ReplicaId,
+        chunk: Box<ChunkTransfer>,
+    },
+    /// Periodic nudge while behind: re-issue the catch-up request or
+    /// re-fetch missing chunks (rotating peers when one stalls).
     CatchUpTick,
 }
 
@@ -168,18 +206,22 @@ impl Store {
         base.filter(|b| b.height == height)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn append_batch(
         &mut self,
         id: BatchId,
         digest: Digest,
         txns: u32,
+        state_root: Digest,
         proof: CommitProof,
         payload: &[u8],
     ) -> bool {
         match self {
-            Store::Durable(d) => d.append_batch(id, digest, txns, proof, payload).is_ok(),
+            Store::Durable(d) => d
+                .append_batch(id, digest, txns, state_root, proof, payload)
+                .is_ok(),
             Store::Mem(m) => {
-                m.ledger.append(id, digest, txns, proof);
+                m.ledger.append(id, digest, txns, state_root, proof);
                 m.recent.push(id);
                 true
             }
@@ -201,15 +243,17 @@ impl Store {
     }
 
     /// Replaces the whole chain with a received snapshot's certified
-    /// head (the caller has already verified it). Durable stores make
-    /// the snapshot durable and reset their log; the in-memory store
-    /// just re-bases its ledger.
+    /// head (the caller has already verified the assembled state
+    /// against the head's `state_root`). Durable stores make the
+    /// snapshot durable and reset their log; the in-memory store just
+    /// re-bases its ledger.
     fn install_snapshot(
         &mut self,
         height: u64,
         head: Block,
         transferred_ids: &[BatchId],
-        app_state: &[u8],
+        app_meta: &[u8],
+        app_chunks: &[Vec<u8>],
     ) -> bool {
         match self {
             Store::Durable(d) => d
@@ -218,7 +262,8 @@ impl Store {
                     head_hash: head.hash,
                     head_block: Some(head),
                     recent_ids: transferred_ids.to_vec(),
-                    app_state: app_state.to_vec(),
+                    app_meta: app_meta.to_vec(),
+                    app_chunks: app_chunks.to_vec(),
                 })
                 .is_ok(),
             Store::Mem(m) => {
@@ -246,11 +291,18 @@ impl Store {
 
     /// Snapshots if due; returns the snapshot height when one was
     /// written (the caller trims its payload cache to match the disk
-    /// pruning the snapshot performed).
-    fn maybe_snapshot(&mut self, kv: &KvStore) -> Option<u64> {
+    /// pruning the snapshot performed). Chunks are content-addressed on
+    /// disk, so buckets unchanged since the previous snapshot are not
+    /// rewritten.
+    fn maybe_snapshot(&mut self, kv: &KvStore, chunk_budget: usize) -> Option<u64> {
         if let Store::Durable(d) = self {
             if d.snapshot_due() {
-                return d.force_snapshot(&kv.to_snapshot_bytes()).ok();
+                let chunks: Vec<Vec<u8>> = kv
+                    .to_chunks(chunk_budget)
+                    .iter()
+                    .map(|c| c.encode())
+                    .collect();
+                return d.force_snapshot(&kv.transfer_meta(), &chunks).ok();
             }
         }
         None
@@ -270,6 +322,37 @@ enum Mode {
         /// current peer among them.
         confirmed: std::collections::HashSet<ReplicaId>,
     },
+}
+
+/// Receiving-side state of a chunked snapshot transfer in progress.
+/// The durable half (manifest + verified chunk bytes) lives in the
+/// [`InstallJournal`]; this is the per-session bookkeeping around it.
+struct IncomingTransfer {
+    /// The peer serving the chunks.
+    peer: ReplicaId,
+    /// The wire manifest (carries the chunk plan the journal's digest
+    /// list was derived from).
+    manifest: TransferManifest,
+    /// Chunk indexes requested but not yet received.
+    inflight: std::collections::HashSet<u32>,
+    /// Consecutive ticks without an accepted chunk.
+    stalled_ticks: u32,
+}
+
+/// Serving-side cache of one outgoing snapshot: chunks and proofs
+/// frozen at the height the manifest was built for, so a multi-round
+/// transfer stays internally consistent while this replica keeps
+/// executing. One transfer is cached at a time; a manifest request at
+/// a newer height rebuilds it (and an in-flight receiver of the old one
+/// re-requests the manifest via its tick).
+struct OutgoingSnapshot {
+    height: u64,
+    head: Block,
+    recent_ids: Vec<BatchId>,
+    app_meta: Vec<u8>,
+    meta_proof: Vec<ProofStep>,
+    /// Per chunk: descriptor, canonical encoding, per-bucket proofs.
+    chunks: Vec<(ChunkInfo, Vec<u8>, Vec<Vec<ProofStep>>)>,
 }
 
 pub(crate) struct Pipeline<F: Fabric> {
@@ -294,8 +377,19 @@ pub(crate) struct Pipeline<F: Fabric> {
     synced: Arc<AtomicBool>,
     /// Peer rotation cursor for catch-up requests.
     catchup_cursor: u32,
+    /// Raw chunk budget for outgoing snapshots (derived from the frame
+    /// limit by default; tests shrink it to force many chunks).
+    chunk_budget: usize,
+    /// Crash-safe record of a chunked install in progress (resumes
+    /// after a restart).
+    journal: InstallJournal,
+    /// Live bookkeeping of the transfer the journal describes.
+    incoming: Option<IncomingTransfer>,
+    /// Frozen outgoing snapshot served to recovering peers.
+    outgoing: Option<OutgoingSnapshot>,
     /// Raised when a consensus-decided commit could not be persisted
-    /// verifiably (an unverifiable certificate — a protocol-layer bug).
+    /// verifiably (an unverifiable certificate, a root-divergent
+    /// re-execution, or a storage append that failed after execution).
     /// Dropping such a block while continuing would silently fork this
     /// replica's chain, so instead the pipeline stops acknowledging
     /// anything, turning the fault into a loud crash-style stall the
@@ -314,6 +408,8 @@ impl<F: Fabric> Pipeline<F> {
         mut kv: KvStore,
         mut kv_height: u64,
         recovered_payloads: Vec<Vec<u8>>,
+        journal: InstallJournal,
+        chunk_budget: usize,
         commits: CommitLog,
         informs: mpsc::UnboundedSender<Inform>,
         synced: Arc<AtomicBool>,
@@ -352,6 +448,14 @@ impl<F: Fabric> Pipeline<F> {
                     // panicking the pipeline.
                     Err(()) => break,
                 }
+                // Replaying our own CRC-protected log must reproduce
+                // the root each block sealed — this is the recovery-
+                // path form of the deterministic-execution assertion.
+                debug_assert_eq!(
+                    store.ledger().block(h).map(|b| b.state_root),
+                    Some(kv.state_root()),
+                    "log replay diverged from the sealed state root at height {h}"
+                );
                 kv_height = h + 1;
             }
             payloads.push(payload);
@@ -402,6 +506,10 @@ impl<F: Fabric> Pipeline<F> {
             mode,
             synced,
             catchup_cursor: 0,
+            chunk_budget: chunk_budget.max(1),
+            journal,
+            incoming: None,
+            outgoing: None,
             poisoned: false,
         }
     }
@@ -438,23 +546,20 @@ impl<F: Fabric> Pipeline<F> {
         match cmd {
             PipelineCmd::Commit(_) => unreachable!("commits are grouped by the caller"),
             PipelineCmd::Serve { to, from_height } => self.serve_catchup(to, from_height),
+            PipelineCmd::ServeChunk { to, height, index } => self.serve_chunk(to, height, index),
             PipelineCmd::Apply {
                 from,
                 peer_height,
                 blocks,
             } => self.apply_catchup(from, peer_height, blocks),
-            PipelineCmd::ApplySnapshot { from, snap } => self.apply_snapshot(from, snap),
-            PipelineCmd::CatchUpTick => {
-                if matches!(self.mode, Mode::CatchingUp { .. }) {
-                    self.catchup_cursor += 1; // previous peer did not get us there
-                    self.send_catchup_req();
-                }
-            }
+            PipelineCmd::ApplyManifest { from, manifest } => self.apply_manifest(from, *manifest),
+            PipelineCmd::ApplyChunk { from, chunk } => self.apply_chunk(from, *chunk),
+            PipelineCmd::CatchUpTick => self.on_tick(),
         }
     }
 
-    /// Applies a group of live commits: append all, fsync once, then
-    /// execute and acknowledge. While catching up, commits are buffered
+    /// Applies a group of live commits: execute + append all, fsync
+    /// once, then acknowledge. While catching up, commits are buffered
     /// instead — they sit after the gap in the execution order.
     fn flush(&mut self, group: Vec<CommitInfo>) {
         if group.is_empty() || self.poisoned {
@@ -466,6 +571,9 @@ impl<F: Fabric> Pipeline<F> {
         }
         let mut executed: Vec<(CommitInfo, Digest)> = Vec::new();
         for info in group {
+            if self.poisoned {
+                break;
+            }
             if let Some(result) = self.apply_one(&info) {
                 executed.push((info, result));
             }
@@ -493,8 +601,10 @@ impl<F: Fabric> Pipeline<F> {
         }
     }
 
-    /// Appends and executes one live commit (no fsync — the group owns
-    /// that). Returns the post-execution state digest, or `None` when
+    /// Executes and appends one live commit (no fsync — the group owns
+    /// that). Execute-then-seal: the batch runs against the KV store
+    /// first, and the post-execution state root is sealed into the
+    /// block. Returns the post-execution state digest, or `None` when
     /// the commit produces no acknowledgement (no-op, duplicate, or
     /// malformed payload).
     fn apply_one(&mut self, info: &CommitInfo) -> Option<Digest> {
@@ -508,7 +618,7 @@ impl<F: Fabric> Pipeline<F> {
             // re-executing any of it would fork this replica's state.
             return None;
         }
-        // Decode *before* appending: the ledger and the payload cache
+        // Decode *before* executing: the ledger and the payload cache
         // must only ever hold executable blocks, or the cache's
         // height-indexing drifts and catch-up serves wrong payloads.
         let txns = match decode_payload(&info.batch.payload) {
@@ -540,19 +650,33 @@ impl<F: Fabric> Pipeline<F> {
             self.poisoned = true;
             return None;
         }
-        if !self.store.append_batch(
-            info.batch.id,
-            info.batch.digest,
-            info.batch.txns,
-            proof,
-            &info.batch.payload,
-        ) {
-            return None; // storage poisoned; stop acknowledging
-        }
+        // Execute-then-seal. The root sealed below is a function of the
+        // exact chain prefix executed so far, which makes deterministic
+        // execution order consensus-critical — assert the alignment.
+        debug_assert_eq!(
+            self.kv_height,
+            self.store.ledger().height(),
+            "execute-then-seal requires the KV state to track the chain head exactly"
+        );
         let result = match txns {
             Some(txns) => self.kv.execute_batch(&txns),
             None => self.kv.state_digest(), // empty (simulation-style) payload
         };
+        let state_root = self.kv.state_root();
+        if !self.store.append_batch(
+            info.batch.id,
+            info.batch.digest,
+            info.batch.txns,
+            state_root,
+            proof,
+            &info.batch.payload,
+        ) {
+            // The KV state advanced but the chain did not: continuing
+            // would fork this replica. Same loud-stall contract as an
+            // unverifiable certificate.
+            self.poisoned = true;
+            return None;
+        }
         self.kv_height = self.store.ledger().height();
         self.payloads.push(info.batch.payload.clone());
         Some(result)
@@ -563,9 +687,12 @@ impl<F: Fabric> Pipeline<F> {
     /// disk), and in any case to [`PAYLOAD_CACHE_MAX`] entries so
     /// memory-only deployments do not retain every payload ever
     /// committed. Serving catch-up starts at the trimmed base; older
-    /// history comes from another peer (or not at all — ROADMAP).
+    /// history is served via the chunked snapshot transfer.
     fn snapshot_and_trim(&mut self) {
-        let mut trim_to = self.store.maybe_snapshot(&self.kv).unwrap_or(0);
+        let mut trim_to = self
+            .store
+            .maybe_snapshot(&self.kv, self.chunk_budget)
+            .unwrap_or(0);
         let height = self.payload_base + self.payloads.len() as u64;
         trim_to = trim_to.max(height.saturating_sub(PAYLOAD_CACHE_MAX as u64));
         if trim_to > self.payload_base {
@@ -578,19 +705,31 @@ impl<F: Fabric> Pipeline<F> {
     // ── state transfer: serving side ────────────────────────────────
 
     /// Answers a catch-up request in one of two modes: **block replay**
-    /// when the requested range is still in the payload cache, or a
-    /// **snapshot** of the whole executed state when the requester
+    /// when the requested range is still in the payload cache, or the
+    /// **manifest of a chunked snapshot transfer** when the requester
     /// wants history we pruned (or never cached — e.g. we restarted).
     fn serve_catchup(&mut self, to: ReplicaId, from_height: u64) {
         let height = self.store.ledger().height();
         if from_height < self.payload_base {
-            if let Some(snap) = self.build_snapshot() {
-                let env = Envelope::seal(&self.keystore, encode_catchup_snap(&snap));
+            if let Some(manifest) = self.build_manifest() {
+                let env = Envelope::seal(&self.keystore, encode_catchup_manifest(&manifest));
                 self.fabric.send(to, env);
                 return;
             }
             // No snapshot to offer (nothing executed yet): fall through
             // to an empty block response so the requester rotates on.
+        } else if self
+            .outgoing
+            .as_ref()
+            .is_some_and(|o| from_height >= o.height)
+        {
+            // The requester has installed (or replayed past) the frozen
+            // snapshot: release it — the cache pins a full copy of the
+            // state plus every proof, which must not outlive the
+            // transfer it served. (A requester that vanishes mid-
+            // transfer leaves the cache pinned until the next serve;
+            // bounding that with an age-out is a ROADMAP note.)
+            self.outgoing = None;
         }
         let mut blocks = Vec::new();
         if from_height >= self.payload_base {
@@ -618,27 +757,82 @@ impl<F: Fabric> Pipeline<F> {
         self.fabric.send(to, env);
     }
 
-    /// The snapshot of this replica's executed state: KV bytes at
-    /// `kv_height` plus the certified block at `kv_height − 1`. `None`
-    /// when nothing has executed yet (a height-0 "snapshot" carries no
-    /// certificate and transfers nothing a fresh boot lacks).
-    ///
-    /// Size note: the whole state travels in one signed frame, so this
-    /// works for states comfortably under the fabric's frame limit
-    /// (8 MiB over TCP); chunked transfer is future work recorded in
-    /// the ROADMAP.
-    fn build_snapshot(&self) -> Option<SnapshotTransfer> {
+    /// Builds (or reuses) the frozen outgoing snapshot at the current
+    /// execution height and returns its manifest. `None` when nothing
+    /// has executed yet (a height-0 "snapshot" carries no certificate
+    /// and transfers nothing a fresh boot lacks).
+    fn build_manifest(&mut self) -> Option<TransferManifest> {
         let height = self.kv_height;
-        let head = self.store.block_at(height.checked_sub(1)?)?.clone();
-        let app_state = self.kv.to_snapshot_bytes();
-        Some(SnapshotTransfer {
-            height,
-            head,
-            recent_ids: self.store.recent_ids(),
-            app_digest: spotless_crypto::digest_bytes(&app_state),
-            app_state,
+        if self.outgoing.as_ref().is_none_or(|o| o.height != height) {
+            let head = self.store.block_at(height.checked_sub(1)?)?.clone();
+            let tree = self.kv.state_merkle();
+            // The head block sealed the root of exactly this state: the
+            // KV store has not executed anything since (kv_height pins
+            // it). A mismatch here is an execute-then-seal bug.
+            debug_assert_eq!(tree.root(), head.state_root);
+            let meta_proof = tree.prove(META_LEAF)?;
+            let mut chunks = Vec::new();
+            for chunk in self.kv.to_chunks(self.chunk_budget) {
+                let mut proofs = Vec::with_capacity(chunk.buckets.len());
+                for off in 0..chunk.buckets.len() {
+                    proofs.push(tree.prove(chunk.first_bucket as usize + off)?);
+                }
+                let encoded = chunk.encode();
+                chunks.push((
+                    ChunkInfo {
+                        first_bucket: chunk.first_bucket,
+                        buckets: chunk.buckets.len() as u32,
+                        digest: spotless_crypto::digest_bytes(&encoded),
+                    },
+                    encoded,
+                    proofs,
+                ));
+            }
+            self.outgoing = Some(OutgoingSnapshot {
+                height,
+                head,
+                recent_ids: self.store.recent_ids(),
+                app_meta: self.kv.transfer_meta(),
+                meta_proof,
+                chunks,
+            });
+        }
+        let o = self.outgoing.as_ref()?;
+        Some(TransferManifest {
+            height: o.height,
             peer_height: self.store.ledger().height(),
+            head: o.head.clone(),
+            recent_ids: o.recent_ids.clone(),
+            app_meta: o.app_meta.clone(),
+            meta_proof: o.meta_proof.clone(),
+            chunks: o.chunks.iter().map(|(info, _, _)| *info).collect(),
         })
+    }
+
+    /// Serves one chunk of the frozen outgoing snapshot. Requests for a
+    /// height we are not serving are dropped — the requester's tick
+    /// re-requests the manifest and re-synchronizes on whatever height
+    /// we can serve next.
+    fn serve_chunk(&mut self, to: ReplicaId, height: u64, index: u32) {
+        if self.outgoing.as_ref().is_none_or(|o| o.height != height) {
+            // Not (or no longer) serving that height. If we could serve
+            // a fresh snapshot, rebuilding eagerly here would evict a
+            // transfer another peer may be mid-fetch on; let the
+            // requester re-manifest instead.
+            return;
+        }
+        let o = self.outgoing.as_ref().expect("checked above");
+        let Some((_, encoded, proofs)) = o.chunks.get(index as usize) else {
+            return;
+        };
+        let transfer = ChunkTransfer {
+            height,
+            index,
+            chunk: encoded.clone(),
+            proofs: proofs.clone(),
+        };
+        let env = Envelope::seal(&self.keystore, encode_chunk(&transfer));
+        self.fabric.send(to, env);
     }
 
     // ── catch-up: requesting side ───────────────────────────────────
@@ -657,7 +851,7 @@ impl<F: Fabric> Pipeline<F> {
     }
 
     fn apply_catchup(&mut self, from: ReplicaId, peer_height: u64, blocks: Vec<CatchUpBlock>) {
-        if !matches!(self.mode, Mode::CatchingUp { .. }) {
+        if !matches!(self.mode, Mode::CatchingUp { .. }) || self.poisoned {
             return; // stale response
         }
         let mut appended = false;
@@ -685,30 +879,67 @@ impl<F: Fabric> Pipeline<F> {
                 break;
             }
             let chain_height = self.store.ledger().height();
-            if h < chain_height {
+            let is_new = if h < chain_height {
                 // We hold this block already (logged before the crash);
                 // the peer is only supplying the payload to re-execute.
-                // Hashes bind the canonical content; the certificates
-                // may legitimately differ (each replica persists the
-                // quorum evidence *it* collected).
+                // Hashes bind the canonical content — state root
+                // included — so equality covers everything; the
+                // certificates may legitimately differ (each replica
+                // persists the quorum evidence *it* collected).
                 match self.store.ledger().block(h) {
-                    Some(mine) if mine.hash == cb.block.hash => {}
+                    Some(mine) if mine.hash == cb.block.hash => false,
                     _ => break, // divergent peer: drop the rest
                 }
             } else if h == chain_height {
-                // New to us: must extend our head (hash-chain checked).
-                if !self.store.append_foreign(cb.block.clone(), &cb.payload) {
+                // New to us: all structural checks BEFORE any state
+                // mutation — once we execute, a reject can no longer be
+                // clean.
+                if cb.block.parent != self.store.ledger().head_hash() || !cb.block.verify_hash() {
                     break;
                 }
-                self.payloads.push(cb.payload.clone());
-                appended = true;
+                true
             } else {
                 break; // gap: the response is not contiguous with us
+            };
+            if h != self.kv_height {
+                // The response skips ahead of our execution height
+                // (genuine blocks we hold but have not re-executed yet,
+                // or a gapped reply): executing out of order would seal
+                // the wrong state under later roots. Hard check, not an
+                // assertion — this is remote input.
+                break;
             }
             let result = match txns {
                 Some(txns) => self.kv.execute_batch(&txns),
                 None => self.kv.state_digest(),
             };
+            // The chain anchors execution state: re-executing the
+            // committed payload must reproduce the root the block
+            // sealed. A mismatch means nondeterministic local execution
+            // or a forged chain extension that passed the structural
+            // checks (possible until commit certificates carry real
+            // signatures — ROADMAP). Either way the KV state is now off
+            // the chain and nothing further may be executed or
+            // acknowledged on top of it: poison (the loud crash-style
+            // stall the cluster already tolerates). A restart heals the
+            // pollution — recovery rebuilds the KV state from the
+            // snapshot and log, and the catch-up peer rotation means
+            // the same peer is not necessarily consulted again. No
+            // debug assertion here: this path is reachable from remote
+            // input, and aborting a test process is not an acceptable
+            // failure mode for a byzantine frame.
+            if self.kv.state_root() != cb.block.state_root {
+                self.poisoned = true;
+                return; // acknowledge nothing
+            }
+            if is_new {
+                if !self.store.append_foreign(cb.block.clone(), &cb.payload) {
+                    self.poisoned = true;
+                    return;
+                }
+                self.payloads.push(cb.payload.clone());
+                appended = true;
+            }
             self.kv_height = h + 1;
             // `cb` is consumed here (payload moved, not copied — the
             // cache clone above is the only copy made per block).
@@ -741,15 +972,16 @@ impl<F: Fabric> Pipeline<F> {
         self.note_peer_head(from, peer_height, progressed);
     }
 
-    /// Installs a peer's snapshot state transfer after verifying what
-    /// is verifiable: the head block must sit just below the claimed
-    /// height, its hash must recompute, its commit certificate must
-    /// pass quorum verification, and the state bytes must match their
-    /// digest and parse as a KV snapshot. Anything less and the
-    /// transfer is ignored (the periodic tick rotates to another
-    /// peer). The state bytes themselves are trusted to the serving
-    /// peer until blocks carry state roots — see the trust-model note
-    /// on [`SnapshotTransfer`].
+    // ── chunked snapshot transfer: receiving side ───────────────────
+
+    /// Validates a transfer manifest and begins (or resumes) fetching
+    /// its chunks. Everything checkable before chunks flow is checked
+    /// here: the head block must sit just below the claimed height, its
+    /// hash must recompute, its commit certificate must pass quorum
+    /// verification, the application meta must prove against the head's
+    /// `state_root` at the meta leaf, and the chunk plan must partition
+    /// the bucket space. Anything less and the manifest is ignored (the
+    /// periodic tick rotates to another peer).
     ///
     /// A usable snapshot strictly dominates local state: it must cover
     /// more than we have executed and at least as much as we have
@@ -758,35 +990,238 @@ impl<F: Fabric> Pipeline<F> {
     /// nothing. (Consensus participation is held off until catch-up
     /// completes, so no live commit can be buffered below the installed
     /// height.)
-    fn apply_snapshot(&mut self, from: ReplicaId, snap: SnapshotTransfer) {
-        if !matches!(self.mode, Mode::CatchingUp { .. }) {
-            return; // stale response
+    fn apply_manifest(&mut self, from: ReplicaId, manifest: TransferManifest) {
+        if !matches!(self.mode, Mode::CatchingUp { .. }) || self.poisoned {
+            return; // stale
         }
         let chain_height = self.store.ledger().height();
-        let usable = snap.height > self.kv_height && snap.height >= chain_height;
-        let verified = usable
-            && snap.head.height + 1 == snap.height
-            && snap.head.verify_hash()
-            && verify_proof(&snap.head.proof, &self.rules).is_ok()
-            && spotless_crypto::digest_bytes(&snap.app_state) == snap.app_digest;
-        let mut progressed = false;
-        if verified {
-            if let Some(kv) = KvStore::from_snapshot_bytes(&snap.app_state) {
-                if self.store.install_snapshot(
-                    snap.height,
-                    snap.head.clone(),
-                    &snap.recent_ids,
-                    &snap.app_state,
-                ) {
-                    self.kv = kv;
-                    self.kv_height = snap.height;
-                    self.payloads.clear();
-                    self.payload_base = snap.height;
-                    progressed = true;
+        let usable = manifest.height > self.kv_height && manifest.height >= chain_height;
+        if !usable {
+            self.note_peer_head(from, manifest.peer_height, false);
+            return;
+        }
+        let head_ok = manifest.head.height + 1 == manifest.height
+            && manifest.head.verify_hash()
+            && verify_proof(&manifest.head.proof, &self.rules).is_ok();
+        let meta_ok = proof_index(&manifest.meta_proof) == META_LEAF
+            && verify_inclusion(
+                &manifest.app_meta,
+                &manifest.meta_proof,
+                &manifest.head.state_root,
+            );
+        let mut next_bucket = 0u64;
+        for c in &manifest.chunks {
+            if u64::from(c.first_bucket) != next_bucket || c.buckets == 0 {
+                next_bucket = u64::MAX;
+                break;
+            }
+            next_bucket += u64::from(c.buckets);
+        }
+        let plan_ok = next_bucket == STATE_BUCKETS as u64;
+        if !head_ok || !meta_ok || !plan_ok {
+            return; // Byzantine or corrupt manifest: tick rotates on
+        }
+        let install = InstallManifest {
+            height: manifest.height,
+            head_block: manifest.head.clone(),
+            recent_ids: manifest.recent_ids.clone(),
+            app_meta: manifest.app_meta.clone(),
+            chunk_digests: manifest.chunks.iter().map(|c| c.digest).collect(),
+        };
+        // While a transfer is live, a *different* manifest is ignored —
+        // accepting it would reset the journal, and an unsolicited
+        // stream of fresh manifests from one faulty peer could starve
+        // recovery by wiping verified chunks every tick. A manifest for
+        // the *same* transfer is welcome from anyone (it just switches
+        // the serving peer — useful when the original server died);
+        // retargeting to a genuinely newer snapshot happens after the
+        // current transfer stalls out and is abandoned (see `on_tick`),
+        // at which point `incoming` is `None` and this guard passes.
+        // The journal's manifest is the authoritative "current
+        // transfer" (it is what a crash resumes from).
+        if self.incoming.is_some()
+            && self
+                .journal
+                .manifest()
+                .is_some_and(|current| !current.same_transfer(&install))
+        {
+            return;
+        }
+        // begin() is a no-op when the journal already tracks the same
+        // transfer (the resume path — chunks verified before a crash or
+        // peer rotation are kept); a different target resets it.
+        if self.journal.begin(install).is_err() {
+            return; // journal I/O failure: try again on the next tick
+        }
+        self.incoming = Some(IncomingTransfer {
+            peer: from,
+            manifest,
+            inflight: std::collections::HashSet::new(),
+            stalled_ticks: 0,
+        });
+        if self.journal.is_complete() {
+            self.try_install();
+        } else {
+            self.request_missing_chunks();
+        }
+    }
+
+    /// Verifies one arriving chunk against the chain's state root and
+    /// journals it; installs when the set completes.
+    fn apply_chunk(&mut self, from: ReplicaId, chunk: ChunkTransfer) {
+        if self.poisoned {
+            return;
+        }
+        let Some(t) = &mut self.incoming else {
+            return; // no transfer in progress
+        };
+        if chunk.height != t.manifest.height || from != t.peer {
+            return; // stale or misdirected
+        }
+        let Some(info) = t.manifest.chunks.get(chunk.index as usize).copied() else {
+            return;
+        };
+        t.inflight.remove(&chunk.index);
+        if self.journal.has_chunk(chunk.index) {
+            self.request_missing_chunks();
+            return; // duplicate
+        }
+        // Verification order: cheap structure first, then one Merkle
+        // proof per bucket against the head block's state_root. Nothing
+        // is journaled — let alone installed — unless every bucket of
+        // the chunk proves membership at its exact leaf index.
+        let ok = (|| {
+            let sc = StateChunk::decode(&chunk.chunk)?;
+            if sc.first_bucket != info.first_bucket || sc.buckets.len() != info.buckets as usize {
+                return None;
+            }
+            if chunk.proofs.len() != sc.buckets.len() {
+                return None;
+            }
+            let root = &t.manifest.head.state_root;
+            for (off, (bucket, proof)) in sc.buckets.iter().zip(&chunk.proofs).enumerate() {
+                let leaf_index = sc.first_bucket as usize + off;
+                if proof_index(proof) != leaf_index {
+                    return None;
+                }
+                let leaf = bucket_leaf_digest(bucket);
+                if !verify_inclusion(&leaf.0, proof, root) {
+                    return None;
                 }
             }
+            Some(())
+        })();
+        if ok.is_none() {
+            // Corrupt or Byzantine chunk: never journaled, never
+            // installed. The tick re-requests; persistent garbage from
+            // this peer stalls the transfer and rotates us away.
+            return;
         }
-        self.note_peer_head(from, snap.peer_height, progressed);
+        t.stalled_ticks = 0;
+        if self.journal.put_chunk(chunk.index, chunk.chunk).is_err() {
+            return; // journal I/O failure: the tick will re-request
+        }
+        if self.journal.is_complete() {
+            self.try_install();
+        } else {
+            self.request_missing_chunks();
+        }
+    }
+
+    /// Keeps up to [`MAX_INFLIGHT_CHUNKS`] fetches outstanding.
+    fn request_missing_chunks(&mut self) {
+        let Some(t) = &mut self.incoming else { return };
+        let height = t.manifest.height;
+        let peer = t.peer;
+        let mut to_send = Vec::new();
+        for index in self.journal.missing() {
+            if t.inflight.len() >= MAX_INFLIGHT_CHUNKS {
+                break;
+            }
+            if t.inflight.insert(index) {
+                to_send.push(index);
+            }
+        }
+        for index in to_send {
+            let env = Envelope::seal(&self.keystore, encode_chunk_req(height, index));
+            self.fabric.send(peer, env);
+        }
+    }
+
+    /// Assembles the completed transfer, audits it against the chain's
+    /// root one final time, and installs it wholesale.
+    fn try_install(&mut self) {
+        let Some(t) = self.incoming.take() else {
+            return;
+        };
+        let Some(encoded_chunks) = self.journal.assembled_chunks() else {
+            self.incoming = Some(t);
+            return;
+        };
+        let decoded: Option<Vec<StateChunk>> = encoded_chunks
+            .iter()
+            .map(|c| StateChunk::decode(c))
+            .collect();
+        let assembled = decoded
+            .and_then(|chunks| KvStore::from_transfer(&t.manifest.app_meta, &chunks))
+            .filter(|kv| {
+                // The final gate: the assembled store's root — computed
+                // from nothing but the received bytes — must equal the
+                // root the chain committed. Per-chunk proofs make a
+                // failure here practically impossible, but the audit
+                // keeps even a buggy journal from poisoning the store.
+                kv.rebuild_state_root() == t.manifest.head.state_root
+            });
+        let Some(mut kv) = assembled else {
+            // Assembly failed despite per-chunk verification: discard
+            // the journal (its contents are not trustworthy as a set)
+            // and let the tick restart the transfer from scratch.
+            let _ = self.journal.wipe();
+            return;
+        };
+        kv.state_root(); // warm the incremental caches before going live
+        let height = t.manifest.height;
+        if !self.store.install_snapshot(
+            height,
+            t.manifest.head.clone(),
+            &t.manifest.recent_ids,
+            &t.manifest.app_meta,
+            &encoded_chunks,
+        ) {
+            return; // storage failure: stall (poisoned store contract)
+        }
+        self.kv = kv;
+        self.kv_height = height;
+        self.payloads.clear();
+        self.payload_base = height;
+        let _ = self.journal.wipe();
+        self.note_peer_head(t.peer, t.manifest.peer_height, true);
+    }
+
+    /// The periodic tick while behind: re-request missing chunks of a
+    /// live transfer (rotating the serving peer when it stalls), or
+    /// re-issue the catch-up request to the next peer.
+    fn on_tick(&mut self) {
+        if !matches!(self.mode, Mode::CatchingUp { .. }) {
+            return;
+        }
+        if let Some(t) = &mut self.incoming {
+            t.stalled_ticks += 1;
+            if t.stalled_ticks <= TRANSFER_STALL_TICKS {
+                // Re-request everything missing (lost frames leave
+                // stale inflight entries behind; clearing re-arms them).
+                t.inflight.clear();
+                self.request_missing_chunks();
+                return;
+            }
+            // The serving peer went quiet. Abandon the session — the
+            // journal keeps every verified chunk, so if another peer
+            // serves the same snapshot the transfer resumes where it
+            // stopped.
+            self.incoming = None;
+        }
+        self.catchup_cursor += 1; // previous peer did not get us there
+        self.send_catchup_req();
     }
 
     /// Confirmation bookkeeping shared by both transfer modes.

@@ -6,7 +6,7 @@
 //! * **ordering** runs on the event-loop task (the protocol state
 //!   machine steps on deliveries, timers, and client requests);
 //! * **durability + execution + replies** run on the commit worker
-//!   ([`crate::pipeline`]), fed through a bounded queue — consensus
+//!   (`crate::pipeline`), fed through a bounded queue — consensus
 //!   never waits for an fsync, and execution of slot `k` overlaps with
 //!   ordering of slot `k + j`;
 //! * **outbound traffic** is serialized and signed once per message;
@@ -17,9 +17,11 @@
 //! before the crash and it recovers the hash-chained ledger from the
 //! segmented log, the KV state from the newest snapshot, and then runs
 //! the two-mode state-transfer exchange against its peers — block
-//! replay while some peer retains the missing range, snapshot shipping
-//! (KV bytes + certified ledger head) once every peer has pruned or
-//! restarted past it — until it rejoins the cluster's head. Crucially,
+//! replay while some peer retains the missing range, a chunked
+//! snapshot transfer (manifest + per-chunk Merkle verification against
+//! the head block's `state_root`, resumable from the install journal)
+//! once every peer has pruned or restarted past it — until it rejoins
+//! the cluster's head. Crucially,
 //! a recovering replica is **held out of consensus** the whole time:
 //! the protocol node is not even started (no votes, no proposals, no
 //! request intake) until a weak quorum of peers confirms the replica
@@ -35,6 +37,7 @@ use crate::pipeline::{Pipeline, PipelineCmd};
 use serde::{Deserialize, Serialize};
 use spotless_crypto::KeyStore;
 use spotless_storage::log::SyncPolicy;
+use spotless_storage::transfer::InstallJournal;
 use spotless_storage::{DurableLedger, DurableLedgerOptions, StorageError};
 use spotless_types::{
     ClientBatch, ClusterConfig, CommitInfo, Context, Input, InstanceId, Node, NodeId, ReplicaId,
@@ -91,6 +94,11 @@ pub struct RuntimeConfig {
     pub group_commit: usize,
     /// Retry period for the catch-up exchange while behind.
     pub catchup_interval: SimDuration,
+    /// Raw-byte budget per snapshot-transfer chunk. Defaults to
+    /// [`spotless_types::SNAPSHOT_CHUNK_BYTES`] (derived from the
+    /// fabric's frame limit); tests shrink it to force multi-chunk
+    /// transfers at small state sizes.
+    pub chunk_budget: usize,
     /// Crash-faulty deployment: consume inputs, emit nothing (the A1
     /// behaviour at transport level).
     pub silent: bool,
@@ -107,6 +115,7 @@ impl RuntimeConfig {
             commit_queue: 256,
             group_commit: 64,
             catchup_interval: SimDuration::from_millis(150),
+            chunk_budget: spotless_types::SNAPSHOT_CHUNK_BYTES,
             silent: false,
         }
     }
@@ -123,6 +132,10 @@ pub struct RecoveryInfo {
     pub replayed_blocks: u64,
     /// Whether a torn tail was truncated from the newest segment.
     pub truncated_tail: bool,
+    /// Verified chunks of an interrupted snapshot transfer found in the
+    /// install journal — the transfer resumes from them instead of
+    /// re-fetching (0 when no transfer was in progress).
+    pub pending_install_chunks: u32,
 }
 
 /// Control-plane messages (untyped: usable by clients and harnesses
@@ -261,30 +274,40 @@ impl ReplicaRuntime {
         let mut kv_height = 0;
         let mut replayed_payloads = Vec::new();
         let mut recovery = None;
+        let mut journal = InstallJournal::in_memory();
         if let Some(storage) = &cfg.storage {
             let mut options = storage.options;
             // Group commit owns fsync cadence; see StorageConfig docs.
             options.log.sync = SyncPolicy::Manual;
             let (store, report) = DurableLedger::open(&storage.dir, options)?;
-            if !report.app_state.is_empty() {
-                kv = KvStore::from_snapshot_bytes(&report.app_state).ok_or_else(|| {
-                    StorageError::Corrupt {
+            if !report.app_meta.is_empty() {
+                let chunks: Option<Vec<spotless_workload::StateChunk>> = report
+                    .app_chunks
+                    .iter()
+                    .map(|c| spotless_workload::StateChunk::decode(c))
+                    .collect();
+                kv = chunks
+                    .and_then(|chunks| KvStore::from_transfer(&report.app_meta, &chunks))
+                    .ok_or_else(|| StorageError::Corrupt {
                         path: storage.dir.clone(),
                         offset: 0,
-                        detail: "snapshot app_state is not a KV snapshot",
-                    }
-                })?;
+                        detail: "snapshot app state is not a KV chunk set",
+                    })?;
                 kv_height = report.snapshot_height;
             }
             // The log persists batch payloads, so the chain tail above
             // the snapshot re-executes locally in the pipeline (no peer
             // required to reach our own head).
             replayed_payloads = report.replayed_payloads;
+            // An interrupted snapshot transfer resumes from its journal:
+            // chunks verified before the crash are not re-fetched.
+            journal = InstallJournal::open(&storage.dir);
             recovery = Some(Arc::new(RecoveryInfo {
                 snapshot_height: report.snapshot_height,
                 chain_height: store.ledger().height(),
                 replayed_blocks: report.replayed_blocks,
                 truncated_tail: report.truncated_tail,
+                pending_install_chunks: journal.chunks_present(),
             }));
             durable = Some(store);
         }
@@ -304,6 +327,8 @@ impl ReplicaRuntime {
             kv,
             kv_height,
             replayed_payloads,
+            journal,
+            cfg.chunk_budget,
             commits,
             informs,
             synced.clone(),
@@ -466,12 +491,31 @@ where
                                 })
                                 .await;
                         }
-                        Some(WireMsg::Snapshot(snap)) => {
+                        Some(WireMsg::Manifest(manifest)) => {
                             let _ = self
                                 .pipeline_tx
-                                .send(PipelineCmd::ApplySnapshot {
+                                .send(PipelineCmd::ApplyManifest {
                                     from: env.from,
-                                    snap: *snap,
+                                    manifest,
+                                })
+                                .await;
+                        }
+                        Some(WireMsg::ChunkReq { height, index }) => {
+                            let _ = self
+                                .pipeline_tx
+                                .send(PipelineCmd::ServeChunk {
+                                    to: env.from,
+                                    height,
+                                    index,
+                                })
+                                .await;
+                        }
+                        Some(WireMsg::Chunk(chunk)) => {
+                            let _ = self
+                                .pipeline_tx
+                                .send(PipelineCmd::ApplyChunk {
+                                    from: env.from,
+                                    chunk,
                                 })
                                 .await;
                         }

@@ -234,14 +234,16 @@ pub fn decode_block_with_payload(data: &[u8]) -> Result<(Block, Vec<u8>), CodecE
     Ok((block, payload))
 }
 
-/// Encodes a ledger block as a log-record payload.
+/// Encodes a ledger block as a log-record payload (header v3: the
+/// post-execution `state_root` sits between `txns` and the proof).
 pub fn encode_block(b: &Block) -> Vec<u8> {
-    let mut w = Writer::with_capacity(128 + 4 * b.proof.signers.len());
+    let mut w = Writer::with_capacity(160 + 4 * b.proof.signers.len());
     w.u64(b.height);
     w.digest(&b.parent);
     w.digest(&b.batch_digest);
     w.u64(b.batch_id.0);
     w.u32(b.txns);
+    w.digest(&b.state_root);
     w.u32(b.proof.instance.0);
     w.u64(b.proof.view.0);
     w.u8(match b.proof.phase {
@@ -274,6 +276,7 @@ fn decode_block_fields(r: &mut Reader<'_>) -> Result<Block, CodecError> {
     let batch_digest = r.digest("block.batch_digest")?;
     let batch_id = BatchId(r.u64("block.batch_id")?);
     let txns = r.u32("block.txns")?;
+    let state_root = r.digest("block.state_root")?;
     let instance = InstanceId(r.u32("block.proof.instance")?);
     let view = View(r.u64("block.proof.view")?);
     let phase = match r.u8("block.proof.phase")? {
@@ -307,6 +310,7 @@ fn decode_block_fields(r: &mut Reader<'_>) -> Result<Block, CodecError> {
         batch_digest,
         batch_id,
         txns,
+        state_root,
         proof: CommitProof {
             instance,
             view,
@@ -328,6 +332,7 @@ mod tests {
             batch_digest: Digest::from_u64(height * 7),
             batch_id: BatchId(height * 3),
             txns: 100,
+            state_root: Digest::from_u64(height * 17 + 1),
             proof: CommitProof {
                 instance: InstanceId(2),
                 view: View(height + 5),

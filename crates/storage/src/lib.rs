@@ -10,10 +10,12 @@
 //! * [`codec`] — a pinned, fail-closed binary format for block records;
 //! * [`segment`] — append-only segment files with torn-tail detection;
 //! * [`log`] — the segmented block log with rotation and pruning;
-//! * [`snapshot`] — atomic state snapshots bounding replay and enabling
-//!   pruning;
+//! * [`snapshot`] — atomic state snapshots (manifest + content-addressed
+//!   chunks, format v3) bounding replay and enabling pruning;
+//! * [`transfer`] — the crash-safe partial-install journal a chunked
+//!   state transfer resumes from after an interruption;
 //! * [`DurableLedger`] — the assembled store: an in-memory
-//!   [`Ledger`](spotless_ledger::Ledger) whose appends are persisted
+//!   [`spotless_ledger::Ledger`] whose appends are persisted
 //!   before they are acknowledged, with crash recovery on open.
 //!
 //! The design follows the write-ahead-log discipline of LSM stores
@@ -33,11 +35,13 @@
 //!     phase: CertPhase::Strong,
 //!     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
 //! };
-//! // First run: append a block, then "crash" (drop).
+//! // First run: append a block (sealing the post-execution state
+//! // root), then "crash" (drop).
 //! {
 //!     let (mut led, _) =
 //!         DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
-//!     led.append_batch(BatchId(1), Digest::from_u64(1), 100, proof, b"txns").unwrap();
+//!     led.append_batch(BatchId(1), Digest::from_u64(1), 100, Digest::from_u64(7), proof, b"txns")
+//!         .unwrap();
 //! }
 //! // Second run: the block is still there and the chain verifies.
 //! let (led, report) =
@@ -54,6 +58,7 @@ pub mod crc32;
 pub mod log;
 pub mod segment;
 pub mod snapshot;
+pub mod transfer;
 
 use crate::log::{BlockLog, LogOptions};
 use crate::snapshot::{latest_snapshot, prune_snapshots, write_snapshot, Snapshot};
@@ -210,8 +215,11 @@ impl Default for DurableLedgerOptions {
 pub struct RecoveryReport {
     /// Height covered by the snapshot recovery started from (0 = none).
     pub snapshot_height: u64,
-    /// Application state carried by that snapshot (empty when none).
-    pub app_state: Vec<u8>,
+    /// Application meta bytes carried by that snapshot (empty when none).
+    pub app_meta: Vec<u8>,
+    /// Application state chunks carried by that snapshot, in order
+    /// (empty when none).
+    pub app_chunks: Vec<Vec<u8>>,
     /// Blocks replayed from the log above the snapshot.
     pub replayed_blocks: u64,
     /// Batch payloads of the replayed blocks, in height order starting
@@ -253,15 +261,16 @@ impl DurableLedger {
     ) -> Result<(DurableLedger, RecoveryReport), StorageError> {
         std::fs::create_dir_all(dir).map_err(|e| StorageError::io(dir, "create dir", e))?;
         let snap = latest_snapshot(dir)?;
-        let (resume_height, base_hash, app_state, base_block, recent_ids) = match snap {
+        let (resume_height, base_hash, app_meta, app_chunks, base_block, recent_ids) = match snap {
             Some((_, s)) => (
                 s.height,
                 s.head_hash,
-                s.app_state,
+                s.app_meta,
+                s.app_chunks,
                 s.head_block,
                 s.recent_ids,
             ),
-            None => (0, Digest::ZERO, Vec::new(), None, Vec::new()),
+            None => (0, Digest::ZERO, Vec::new(), Vec::new(), None, Vec::new()),
         };
         let (mut log, recovery) = BlockLog::open(dir, opts.log, resume_height)?;
         if log.next_height() < resume_height {
@@ -289,7 +298,8 @@ impl DurableLedger {
         }
         let report = RecoveryReport {
             snapshot_height: resume_height,
-            app_state,
+            app_meta,
+            app_chunks,
             replayed_blocks: replayed,
             replayed_payloads,
             truncated_tail: recovery.truncated_tail,
@@ -328,18 +338,22 @@ impl DurableLedger {
     /// Appends an executed batch: the block — and the batch payload it
     /// commits, which the log persists for self-contained recovery — is
     /// written to the log (honouring the sync policy) before it becomes
-    /// visible in [`ledger`](DurableLedger::ledger).
+    /// visible in [`ledger`](DurableLedger::ledger). `state_root` is the
+    /// application state's Merkle commitment *after* executing the
+    /// batch (execute-then-seal — header v3).
+    #[allow(clippy::too_many_arguments)]
     pub fn append_batch(
         &mut self,
         batch_id: BatchId,
         batch_digest: Digest,
         txns: u32,
+        state_root: Digest,
         proof: CommitProof,
         payload: &[u8],
     ) -> Result<Block, StorageError> {
         let block = self
             .ledger
-            .append(batch_id, batch_digest, txns, proof)
+            .append(batch_id, batch_digest, txns, state_root, proof)
             .clone();
         self.recent.push(batch_id);
         match self.log.append(&block, payload) {
@@ -376,23 +390,34 @@ impl DurableLedger {
             && self.ledger.height() >= self.last_snapshot + self.opts.snapshot_every
     }
 
-    /// Writes a snapshot of `app_state` at the current height if one is
-    /// due under `snapshot_every`, pruning old segments and snapshots.
-    /// Returns the snapshot height if one was written.
+    /// Writes a snapshot of the application state (meta bytes + state
+    /// chunks) at the current height if one is due under
+    /// `snapshot_every`, pruning old segments and snapshots. Returns
+    /// the snapshot height if one was written.
     ///
     /// Call this after executing blocks, passing the serialized
     /// application state that reflects every block up to
-    /// `ledger().height()`.
-    pub fn maybe_snapshot(&mut self, app_state: &[u8]) -> Result<Option<u64>, StorageError> {
+    /// `ledger().height()`. Chunks are stored content-addressed, so
+    /// chunks unchanged since the previous snapshot are not rewritten.
+    pub fn maybe_snapshot(
+        &mut self,
+        app_meta: &[u8],
+        app_chunks: &[Vec<u8>],
+    ) -> Result<Option<u64>, StorageError> {
         if !self.snapshot_due() {
             return Ok(None);
         }
-        self.force_snapshot(app_state).map(Some)
+        self.force_snapshot(app_meta, app_chunks).map(Some)
     }
 
-    /// Unconditionally snapshots `app_state` at the current height and
-    /// prunes. See [`maybe_snapshot`](DurableLedger::maybe_snapshot).
-    pub fn force_snapshot(&mut self, app_state: &[u8]) -> Result<u64, StorageError> {
+    /// Unconditionally snapshots the application state at the current
+    /// height and prunes. See
+    /// [`maybe_snapshot`](DurableLedger::maybe_snapshot).
+    pub fn force_snapshot(
+        &mut self,
+        app_meta: &[u8],
+        app_chunks: &[Vec<u8>],
+    ) -> Result<u64, StorageError> {
         let height = self.ledger.height();
         let head_block = match height.checked_sub(1) {
             Some(h) => self.ledger.block(h).cloned().or_else(|| {
@@ -413,7 +438,8 @@ impl DurableLedger {
                 head_hash: self.ledger.head_hash(),
                 head_block: head_block.clone(),
                 recent_ids: self.recent.iter().collect(),
-                app_state: app_state.to_vec(),
+                app_meta: app_meta.to_vec(),
+                app_chunks: app_chunks.to_vec(),
             },
         )?;
         self.log.prune_below(height)?;
@@ -510,8 +536,15 @@ mod tests {
         let opts = DurableLedgerOptions::default();
         let (mut src, _) = DurableLedger::open(src_dir.path(), opts).unwrap();
         for i in 0..5 {
-            src.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
-                .unwrap();
+            src.append_batch(
+                BatchId(i),
+                Digest::from_u64(i),
+                10,
+                Digest::from_u64(i + 500),
+                proof(i),
+                b"payload",
+            )
+            .unwrap();
         }
         {
             let (mut dst, _) = DurableLedger::open(dst_dir.path(), opts).unwrap();
@@ -531,7 +564,14 @@ mod tests {
         let (mut led, _) =
             DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
         let good = led
-            .append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0), b"payload")
+            .append_batch(
+                BatchId(0),
+                Digest::from_u64(0),
+                10,
+                Digest::from_u64(500),
+                proof(0),
+                b"payload",
+            )
             .unwrap();
         // Height 0 again: wrong height for the current head.
         assert!(matches!(
@@ -548,15 +588,23 @@ mod tests {
         let (mut peer, _) =
             DurableLedger::open(peer_dir.path(), DurableLedgerOptions::default()).unwrap();
         for i in 0..8 {
-            peer.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
-                .unwrap();
+            peer.append_batch(
+                BatchId(i),
+                Digest::from_u64(i),
+                10,
+                Digest::from_u64(i + 500),
+                proof(i),
+                b"payload",
+            )
+            .unwrap();
         }
         let transferred = Snapshot {
             height: 8,
             head_hash: peer.ledger().head_hash(),
             head_block: Some(peer.ledger().block(7).unwrap().clone()),
             recent_ids: (0..8).map(BatchId).collect(),
-            app_state: b"kv-bytes".to_vec(),
+            app_meta: b"kv-meta".to_vec(),
+            app_chunks: vec![b"kv-bytes".to_vec()],
         };
 
         // A laggard holding an older prefix installs the snapshot.
@@ -564,8 +612,15 @@ mod tests {
         let (mut led, _) =
             DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
         for i in 0..3 {
-            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
-                .unwrap();
+            led.append_batch(
+                BatchId(i),
+                Digest::from_u64(i),
+                10,
+                Digest::from_u64(i + 500),
+                proof(i),
+                b"payload",
+            )
+            .unwrap();
         }
         led.install_snapshot(&transferred).unwrap();
         assert_eq!(led.ledger().height(), 8);
@@ -578,6 +633,7 @@ mod tests {
             BatchId(100),
             Digest::from_u64(100),
             10,
+            Digest::from_u64(600),
             proof(100),
             b"payload",
         )
@@ -587,7 +643,8 @@ mod tests {
         let (led, report) =
             DurableLedger::open(dir.path(), DurableLedgerOptions::default()).unwrap();
         assert_eq!(report.snapshot_height, 8);
-        assert_eq!(report.app_state, b"kv-bytes");
+        assert_eq!(report.app_meta, b"kv-meta");
+        assert_eq!(report.app_chunks, vec![b"kv-bytes".to_vec()]);
         assert_eq!(led.ledger().height(), 9);
         assert_eq!(led.base_block().unwrap().height, 7);
         led.ledger().verify().unwrap();
@@ -603,7 +660,8 @@ mod tests {
             head_hash: Digest::from_u64(5),
             head_block: None,
             recent_ids: Vec::new(),
-            app_state: Vec::new(),
+            app_meta: Vec::new(),
+            app_chunks: Vec::new(),
         };
         assert!(matches!(
             led.install_snapshot(&headless),
@@ -614,8 +672,15 @@ mod tests {
             let d = tempfile::tempdir().unwrap();
             let (mut l, _) =
                 DurableLedger::open(d.path(), DurableLedgerOptions::default()).unwrap();
-            l.append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0), b"payload")
-                .unwrap();
+            l.append_batch(
+                BatchId(0),
+                Digest::from_u64(0),
+                10,
+                Digest::from_u64(500),
+                proof(0),
+                b"payload",
+            )
+            .unwrap();
             l.ledger().block(0).unwrap().clone()
         };
         let mismatched = Snapshot {
@@ -623,7 +688,8 @@ mod tests {
             head_hash: other.hash,
             head_block: Some(other),
             recent_ids: Vec::new(),
-            app_state: Vec::new(),
+            app_meta: Vec::new(),
+            app_chunks: Vec::new(),
         };
         assert!(matches!(
             led.install_snapshot(&mismatched),
@@ -644,10 +710,17 @@ mod tests {
         };
         let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
         for i in 0..4 {
-            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
-                .unwrap();
+            led.append_batch(
+                BatchId(i),
+                Digest::from_u64(i),
+                10,
+                Digest::from_u64(i + 500),
+                proof(i),
+                b"payload",
+            )
+            .unwrap();
         }
-        led.maybe_snapshot(b"state").unwrap();
+        led.maybe_snapshot(b"meta", &[b"state".to_vec()]).unwrap();
         let head = led.base_block().expect("snapshot kept its head block");
         assert_eq!(head.height, 3);
         assert_eq!(head.hash, led.ledger().head_hash());
@@ -668,11 +741,18 @@ mod tests {
         let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
         for i in 0..3 {
             assert!(!led.snapshot_due(), "not due before block {i}");
-            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
-                .unwrap();
+            led.append_batch(
+                BatchId(i),
+                Digest::from_u64(i),
+                10,
+                Digest::from_u64(i + 500),
+                proof(i),
+                b"payload",
+            )
+            .unwrap();
         }
         assert!(led.snapshot_due());
-        led.maybe_snapshot(b"state").unwrap();
+        led.maybe_snapshot(b"meta", &[b"state".to_vec()]).unwrap();
         assert!(!led.snapshot_due());
         // Disabled cadence is never due.
         let dir2 = tempfile::tempdir().unwrap();
@@ -681,8 +761,15 @@ mod tests {
             snapshot_every: 0,
         };
         let (mut led2, _) = DurableLedger::open(dir2.path(), opts2).unwrap();
-        led2.append_batch(BatchId(0), Digest::from_u64(0), 10, proof(0), b"payload")
-            .unwrap();
+        led2.append_batch(
+            BatchId(0),
+            Digest::from_u64(0),
+            10,
+            Digest::from_u64(500),
+            proof(0),
+            b"payload",
+        )
+        .unwrap();
         assert!(!led2.snapshot_due());
     }
 }

@@ -1,7 +1,7 @@
 //! The segmented block log: a directory of [`segment`](crate::segment)
 //! files holding the ledger's blocks in height order.
 //!
-//! The log is the durability backbone of [`DurableLedger`]
+//! The log is the durability backbone of [`DurableLedger`](crate::DurableLedger)
 //! (crate root): every committed block is appended (and optionally
 //! fsynced) before the commit is acknowledged upward. Segments rotate at
 //! a size threshold so pruning can reclaim space in whole-file units —
@@ -415,6 +415,7 @@ mod tests {
                 BatchId(i),
                 Digest::from_u64(i),
                 100,
+                Digest::from_u64(i * 3 + 2),
                 spotless_ledger::CommitProof {
                     phase: spotless_types::CertPhase::Strong,
                     instance: InstanceId((i % 4) as u32),
@@ -508,6 +509,7 @@ mod tests {
                     BatchId(100),
                     Digest::from_u64(100),
                     10,
+                    Digest::from_u64(1000),
                     spotless_ledger::CommitProof {
                         phase: spotless_types::CertPhase::Strong,
                         instance: InstanceId(0),

@@ -26,10 +26,14 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: [u8; 8] = *b"SPLSSEG1";
 /// Current format version. Version 2 changed the record payload: block
 /// records gained the commit certificate's phase byte and the embedded
-/// batch payload (see `codec::encode_block_with_payload`), so version-1
-/// segments must fail with a clean version error rather than a
-/// misleading corruption diagnosis.
-pub const VERSION: u32 = 2;
+/// batch payload (see `codec::encode_block_with_payload`). Version 3
+/// added the block's `state_root` digest (ledger header v3 — execution
+/// state anchored in the chain). There is no in-place upgrade: a store
+/// written by an older version fails with a clean
+/// [`StorageError::UnsupportedVersion`](crate::StorageError) rather
+/// than a misleading corruption diagnosis, and the operator recovers
+/// the replica via state transfer from its peers.
+pub const VERSION: u32 = 3;
 /// Size of the fixed segment header.
 pub const HEADER_LEN: u64 = 32;
 /// Per-record framing overhead (length + CRC).

@@ -28,7 +28,13 @@ fn proof(view: u64) -> CommitProof {
 fn build_chain(count: u64) -> Vec<spotless_ledger::Block> {
     let mut ledger = Ledger::new();
     for i in 0..count {
-        ledger.append(BatchId(i), Digest::from_u64(i * 13 + 1), 100, proof(i));
+        ledger.append(
+            BatchId(i),
+            Digest::from_u64(i * 13 + 1),
+            100,
+            Digest::from_u64(i * 5 + 2),
+            proof(i),
+        );
     }
     ledger.iter().cloned().collect()
 }
@@ -174,9 +180,16 @@ proptest! {
         {
             let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
             for i in 0..total {
-                led.append_batch(BatchId(i), Digest::from_u64(i * 7 + 3), 50, proof(i), b"payload").unwrap();
+                led.append_batch(
+                    BatchId(i),
+                    Digest::from_u64(i * 7 + 3),
+                    50,
+                    Digest::from_u64(i + 900),
+                    proof(i),
+                    b"payload",
+                ).unwrap();
                 let state = format!("executed-through-{i}");
-                led.maybe_snapshot(state.as_bytes()).unwrap();
+                led.maybe_snapshot(state.as_bytes(), &[b"chunk".to_vec()]).unwrap();
                 head = led.ledger().head_hash();
             }
         } // crash
@@ -188,7 +201,7 @@ proptest! {
         prop_assert_eq!(report.snapshot_height + report.replayed_blocks, total);
         // Snapshotted state, when present, names a block that exists.
         if report.snapshot_height > 0 {
-            let s = String::from_utf8(report.app_state.clone()).unwrap();
+            let s = String::from_utf8(report.app_meta.clone()).unwrap();
             prop_assert_eq!(s, format!("executed-through-{}", report.snapshot_height - 1));
         }
     }
@@ -219,14 +232,22 @@ fn repeated_crashes_and_reopens_accumulate_correctly() {
                     BatchId(next),
                     Digest::from_u64(next),
                     10,
+                    Digest::from_u64(next + 700),
                     proof(next),
                     b"payload",
                 )
                 .unwrap();
-            let r = reference.append(BatchId(next), Digest::from_u64(next), 10, proof(next));
+            let r = reference.append(
+                BatchId(next),
+                Digest::from_u64(next),
+                10,
+                Digest::from_u64(next + 700),
+                proof(next),
+            );
             assert_eq!(&b, r, "durable and reference chains diverged");
             next += 1;
-            led.maybe_snapshot(format!("s{next}").as_bytes()).unwrap();
+            led.maybe_snapshot(format!("s{next}").as_bytes(), &[])
+                .unwrap();
         }
     }
     let (led, _) = DurableLedger::open(dir.path(), opts).unwrap();
@@ -246,12 +267,20 @@ fn snapshot_prunes_segments_and_bounds_replay() {
     };
     let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
     for i in 0..40u64 {
-        led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
-            .unwrap();
+        led.append_batch(
+            BatchId(i),
+            Digest::from_u64(i),
+            10,
+            Digest::from_u64(i + 800),
+            proof(i),
+            b"payload",
+        )
+        .unwrap();
     }
     let segments_before = led.segment_count();
     assert!(segments_before > 2);
-    led.force_snapshot(b"state-at-40").unwrap();
+    led.force_snapshot(b"state-at-40", &[b"c0".to_vec(), b"c1".to_vec()])
+        .unwrap();
     assert!(
         led.segment_count() < segments_before,
         "snapshot must prune covered segments"
@@ -259,7 +288,8 @@ fn snapshot_prunes_segments_and_bounds_replay() {
     drop(led);
     let (led, report) = DurableLedger::open(dir.path(), opts).unwrap();
     assert_eq!(report.snapshot_height, 40);
-    assert_eq!(report.app_state, b"state-at-40");
+    assert_eq!(report.app_meta, b"state-at-40");
+    assert_eq!(report.app_chunks, vec![b"c0".to_vec(), b"c1".to_vec()]);
     // Replay was bounded: only blocks above the snapshot replay (those
     // in the partially-covered active segment do not count).
     assert_eq!(report.replayed_blocks, 0);
@@ -274,8 +304,15 @@ fn recovery_report_flags_truncated_tail() {
     {
         let (mut led, _) = DurableLedger::open(dir.path(), opts).unwrap();
         for i in 0..3u64 {
-            led.append_batch(BatchId(i), Digest::from_u64(i), 10, proof(i), b"payload")
-                .unwrap();
+            led.append_batch(
+                BatchId(i),
+                Digest::from_u64(i),
+                10,
+                Digest::from_u64(i + 800),
+                proof(i),
+                b"payload",
+            )
+            .unwrap();
         }
     }
     // Torn write at the tail.

@@ -130,17 +130,38 @@ impl InProcCluster {
         N::Message: Serialize + Deserialize + Send + 'static,
         F: FnMut(ReplicaId) -> N,
     {
+        InProcCluster::spawn_tuned(cluster, storage, silent, |_| {}, make)
+    }
+
+    /// [`spawn_with`](InProcCluster::spawn_with) plus a tuning hook
+    /// applied to every replica's [`RuntimeConfig`] before spawn (e.g.
+    /// shrinking the snapshot chunk budget so tests exercise multi-chunk
+    /// transfers at small state sizes).
+    pub fn spawn_tuned<N, F, T>(
+        cluster: ClusterConfig,
+        storage: Vec<Option<StorageConfig>>,
+        silent: Vec<bool>,
+        tune: T,
+        make: F,
+    ) -> Result<InProcCluster, StorageError>
+    where
+        N: Node + Send + 'static,
+        N::Message: Serialize + Deserialize + Send + 'static,
+        F: FnMut(ReplicaId) -> N,
+        T: Fn(&mut RuntimeConfig),
+    {
         let (fabric, receivers) = InProcFabric::new(cluster.n);
         let endpoints = receivers
             .into_iter()
             .map(|rx| (fabric.clone(), rx))
             .collect();
-        let parts = spotless_runtime::assemble(
+        let parts = spotless_runtime::assemble_tuned(
             cluster.clone(),
             b"spotless-inproc-cluster",
             endpoints,
             storage,
             silent,
+            tune,
             make,
         )?;
         Ok(InProcCluster {

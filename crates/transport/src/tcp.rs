@@ -26,9 +26,12 @@ use spotless_storage::StorageError;
 use spotless_types::{ClusterConfig, Node, ReplicaId};
 use std::sync::Arc;
 
-/// Upper bound on a single frame (DoS guard; generously above the
-/// largest proposal at 400 txn × 1600 B).
-pub const SIMPLE_FRAME_LIMIT: u64 = 8 * 1024 * 1024;
+/// The frame limit lives in `spotless-types` (re-exported here for
+/// callers of the frame codec): the runtime derives its catch-up and
+/// snapshot-chunk budgets from the same constant, so nothing it emits
+/// can exceed what [`write_frame`]/[`read_frame`] enforce.
+pub use spotless_types::SIMPLE_FRAME_LIMIT;
+
 use parking_lot::Mutex;
 use tokio::io::{AsyncReadExt as _, AsyncWriteExt as _};
 use tokio::net::{TcpListener, TcpStream};
@@ -124,7 +127,8 @@ pub struct TcpFabric {
 impl TcpFabric {
     /// Binds `addr`, spawns the accept loop and per-peer sender tasks,
     /// and returns the fabric plus the inbound envelope stream to hand
-    /// to this replica's [`ReplicaRuntime`]. `peer_addrs[i]` is replica
+    /// to this replica's [`ReplicaRuntime`](spotless_runtime::ReplicaRuntime).
+    /// `peer_addrs[i]` is replica
     /// `i`'s listen address (the slot for `me` is used for
     /// send-to-self, which loops over TCP like any other peer).
     pub async fn bind(
@@ -226,7 +230,8 @@ async fn peer_sender(me: ReplicaId, addr: String, mut rx: mpsc::UnboundedReceive
     }
 }
 
-/// A cluster of [`ReplicaRuntime`]s deployed over TCP, all in this
+/// A cluster of [`ReplicaRuntime`](spotless_runtime::ReplicaRuntime)s
+/// deployed over TCP, all in this
 /// process for tests/demos (each replica still talks to its peers
 /// exclusively through its socket endpoint).
 pub struct TcpCluster {

@@ -44,3 +44,18 @@ pub use node::{
 };
 pub use replica_set::ReplicaSet;
 pub use time::{SimDuration, SimTime};
+
+/// Upper bound on a single wire frame (DoS guard; generously above the
+/// largest proposal at 400 txn × 1600 B). Centralized here because
+/// multiple layers must agree on it: the TCP fabric enforces it on both
+/// read and write, and the runtime derives its catch-up response and
+/// snapshot-chunk budgets from it so nothing it emits can ever exceed
+/// what the fabric will carry.
+pub const SIMPLE_FRAME_LIMIT: u64 = 8 * 1024 * 1024;
+
+/// Raw-byte budget for one snapshot-transfer chunk, derived from the
+/// frame limit: a chunk's wire frame adds hex inflation on the JSON
+/// paths (2×), per-bucket Merkle proofs (~360 B each), and framing, so
+/// an eighth of the frame limit keeps the serialized frame comfortably
+/// inside it with generous headroom.
+pub const SNAPSHOT_CHUNK_BYTES: usize = (SIMPLE_FRAME_LIMIT / 8) as usize;

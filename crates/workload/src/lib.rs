@@ -13,5 +13,7 @@ pub mod kv;
 pub mod ycsb;
 
 pub use batch::{decode_txns, encode_txns, Batcher};
-pub use kv::{ExecResult, KvStore};
+pub use kv::{
+    bucket_leaf_digest, bucket_of, ExecResult, KvStore, StateChunk, META_LEAF, STATE_BUCKETS,
+};
 pub use ycsb::{Operation, Transaction, WorkloadGen, YcsbConfig};

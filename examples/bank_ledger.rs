@@ -62,6 +62,9 @@ async fn main() {
             batch_id,
             digest,
             2,
+            // The cluster's post-execution state digest anchors the
+            // audit block to the replicated state it produced.
+            result,
             CommitProof {
                 instance: spotless::types::InstanceId((i % 4) as u32),
                 view: spotless::types::View(i),

@@ -14,6 +14,7 @@ use spotless::simnet::{ClosedLoopDriver, SimConfig, Simulation};
 use spotless::storage::log::{LogOptions, SyncPolicy};
 use spotless::storage::{DurableLedger, DurableLedgerOptions};
 use spotless::types::{ClusterConfig, CommitInfo, SimDuration};
+use spotless::workload::KvStore;
 
 fn main() {
     let dir = tempfile::tempdir().expect("tempdir");
@@ -51,6 +52,11 @@ fn main() {
     // ── 2. Session one: persist the first half, then crash (drop with
     //       no shutdown handshake).
     let half = commits.len() / 2;
+    // Execute-then-seal: the store's Merkle state root after each batch
+    // is sealed into its block (simulation batches carry no payload, so
+    // the root only moves with the meta counters — the discipline is
+    // the same the deployment runtime follows).
+    let mut kv = KvStore::new();
     {
         let (mut led, _) = DurableLedger::open(dir.path(), opts).expect("open");
         for c in &commits[..half] {
@@ -58,6 +64,7 @@ fn main() {
                 c.batch.id,
                 c.batch.digest,
                 c.batch.txns,
+                kv.state_root(),
                 CommitProof {
                     instance: c.instance,
                     view: c.view,
@@ -67,7 +74,9 @@ fn main() {
                 &c.batch.payload,
             )
             .expect("append");
-            led.maybe_snapshot(b"kv-state").expect("snapshot");
+            let chunks: Vec<Vec<u8>> = kv.to_chunks(1 << 20).iter().map(|c| c.encode()).collect();
+            led.maybe_snapshot(&kv.transfer_meta(), &chunks)
+                .expect("snapshot");
         }
         println!(
             "session 1: appended {half} blocks across {} segment(s), then CRASH",
@@ -91,6 +100,7 @@ fn main() {
             c.batch.id,
             c.batch.digest,
             c.batch.txns,
+            kv.state_root(),
             CommitProof {
                 instance: c.instance,
                 view: c.view,

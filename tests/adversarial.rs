@@ -159,6 +159,266 @@ fn thirteen_replicas_with_four_mixed_attackers() {
     assert!(checked > 100, "liveness too weak: {checked} honest commits");
 }
 
+/// Regression (Byzantine state transfer): a catch-up peer that serves a
+/// snapshot whose KV bytes do **not** match the head block's
+/// `state_root` must be rejected chunk-by-chunk, and the recovering
+/// replica must retry another peer and install the honest state.
+///
+/// The test drives a real `ReplicaRuntime` (durable storage, fresh
+/// store, full catch-up machinery) against hand-scripted peers on the
+/// in-process fabric: peer 0 answers with the *genuine* certified
+/// manifest but corrupts every chunk's bytes; peers 1 and 2 serve the
+/// transfer honestly. The victim must end with exactly the honest
+/// state — unpoisoned, synced, byte-for-byte.
+#[tokio::test(flavor = "multi_thread")]
+async fn byzantine_chunk_server_is_rejected_and_another_peer_serves() {
+    use spotless::crypto::KeyStore;
+    use spotless::runtime::envelope::{
+        decode, encode_catchup_manifest, encode_catchup_resp, encode_chunk, ChunkInfo,
+        ChunkTransfer, Envelope, TransferManifest, WireMsg,
+    };
+    use spotless::runtime::{CommitLog, Fabric as _, ReplicaRuntime, RuntimeConfig, StorageConfig};
+    use spotless::storage::{DurableLedger, DurableLedgerOptions};
+    use spotless::transport::{InProcCluster, InProcFabric};
+    use spotless::types::{BatchId, ClientBatch, ClientId, ReplicaId};
+    use spotless::workload::{encode_txns, KvStore, Operation, StateChunk, Transaction};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn batch(id: u64, key: u64) -> ClientBatch {
+        let txns = vec![Transaction {
+            id,
+            op: Operation::Update {
+                key,
+                value: vec![id as u8; 4096],
+            },
+        }];
+        let payload = encode_txns(&txns);
+        let digest = spotless::crypto::digest_bytes(&payload);
+        ClientBatch {
+            id: BatchId(id),
+            origin: ClientId(7),
+            digest,
+            txns: 1,
+            txn_size: 4096,
+            created_at: spotless::types::SimTime::ZERO,
+            payload,
+        }
+    }
+
+    // ── Phase A: a real cluster produces the genuine chain + state. ──
+    let cluster = ClusterConfig::new(4);
+    let dirs: Vec<tempfile::TempDir> = (0..4).map(|_| tempfile::tempdir().unwrap()).collect();
+    let storage: Vec<Option<StorageConfig>> = dirs
+        .iter()
+        .map(|d| Some(StorageConfig::new(d.path())))
+        .collect();
+    let c = cluster.clone();
+    let handle = InProcCluster::spawn_with(cluster.clone(), storage, vec![false; 4], move |r| {
+        spotless::core::SpotLessReplica::new(spotless::core::ReplicaConfig::honest(c.clone(), r))
+    })
+    .expect("phase-A cluster");
+    for r in 0..4u32 {
+        let h = handle.handle(ReplicaId(r));
+        while !h.is_synced() {
+            tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        }
+    }
+    for i in 0..6u64 {
+        let result = handle
+            .client
+            .submit(batch(i, 10 + i), ReplicaId((i % 4) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+    // Wait until replica 0 executed everything, then stop the world.
+    loop {
+        let entries = handle.commits.snapshot();
+        if (0..6u64).all(|id| {
+            entries
+                .iter()
+                .any(|e| e.replica == ReplicaId(0) && e.info.batch.id == BatchId(id))
+        }) {
+            break;
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+    }
+    let genuine_commits: Vec<CommitInfo> = handle
+        .commits
+        .snapshot()
+        .iter()
+        .filter(|e| e.replica == ReplicaId(0))
+        .map(|e| e.info.clone())
+        .collect();
+    handle.shutdown().await;
+
+    // Rebuild the genuine execution state and pull the certified head.
+    let mut genuine = KvStore::new();
+    for info in &genuine_commits {
+        let txns = spotless::workload::decode_txns(&info.batch.payload).expect("payload decodes");
+        genuine.execute_batch(&txns);
+    }
+    let (store0, _) = DurableLedger::open(dirs[0].path(), DurableLedgerOptions::default()).unwrap();
+    let height = store0.ledger().height();
+    assert_eq!(height, genuine_commits.len() as u64);
+    let head = store0.ledger().block(height - 1).unwrap().clone();
+    assert_eq!(
+        genuine.state_root(),
+        head.state_root,
+        "sanity: reconstructed state must match the chain's sealed root"
+    );
+    let recent_ids: Vec<BatchId> = store0.recent_batches().iter().collect();
+
+    // Script the transfer artifacts once: chunks small enough that the
+    // transfer takes several round trips.
+    let tree = genuine.state_merkle();
+    let app_meta = genuine.transfer_meta();
+    let meta_proof = tree.prove(spotless::workload::META_LEAF).unwrap();
+    let mut infos = Vec::new();
+    let mut chunk_frames: Vec<(Vec<u8>, Vec<Vec<spotless::crypto::ProofStep>>)> = Vec::new();
+    for chunk in genuine.to_chunks(2048) {
+        let mut proofs = Vec::new();
+        for off in 0..chunk.buckets.len() {
+            proofs.push(tree.prove(chunk.first_bucket as usize + off).unwrap());
+        }
+        let encoded = chunk.encode();
+        infos.push(ChunkInfo {
+            first_bucket: chunk.first_bucket,
+            buckets: chunk.buckets.len() as u32,
+            digest: spotless::crypto::digest_bytes(&encoded),
+        });
+        chunk_frames.push((encoded, proofs));
+    }
+    assert!(chunk_frames.len() > 2, "transfer must be multi-chunk");
+    let manifest = TransferManifest {
+        height,
+        peer_height: height,
+        head: head.clone(),
+        recent_ids,
+        app_meta,
+        meta_proof,
+        chunks: infos,
+    };
+
+    // ── Phase B: hand-scripted peers + a real recovering runtime. ───
+    let (fabric, mut receivers) = InProcFabric::new(4);
+    let victim_rx = receivers.pop().expect("receiver 3");
+    let keystores = KeyStore::cluster(b"spotless-byz-transfer", 4);
+    let malicious_served = Arc::new(AtomicUsize::new(0));
+    let honest_served = Arc::new(AtomicUsize::new(0));
+    for (peer, mut rx) in receivers.into_iter().enumerate() {
+        let fabric = fabric.clone();
+        let keystore = keystores[peer].clone();
+        let manifest = manifest.clone();
+        let chunk_frames = chunk_frames.clone();
+        let malicious = peer == 0;
+        let malicious_served = malicious_served.clone();
+        let honest_served = honest_served.clone();
+        tokio::spawn(async move {
+            while let Some(env) = rx.recv().await {
+                match decode::<spotless::core::Message>(&env.payload) {
+                    Some(WireMsg::CatchUpReq { from_height }) => {
+                        let payload = if from_height >= manifest.height {
+                            // Nothing above the head: a confirmation.
+                            encode_catchup_resp(manifest.height, &[])
+                        } else {
+                            encode_catchup_manifest(&manifest)
+                        };
+                        fabric.send(env.from, Envelope::seal(&keystore, payload));
+                    }
+                    Some(WireMsg::ChunkReq { height, index }) => {
+                        if height != manifest.height {
+                            continue;
+                        }
+                        let Some((bytes, proofs)) = chunk_frames.get(index as usize) else {
+                            continue;
+                        };
+                        let mut bytes = bytes.clone();
+                        if malicious {
+                            // The certified head is genuine; the state
+                            // bytes are not. Every chunk is corrupted,
+                            // so nothing this peer serves can verify
+                            // against the chain's state root.
+                            let last = bytes.len() - 1;
+                            bytes[last] ^= 0x01;
+                            malicious_served.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            honest_served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let transfer = ChunkTransfer {
+                            height,
+                            index,
+                            chunk: bytes,
+                            proofs: proofs.clone(),
+                        };
+                        fabric.send(env.from, Envelope::seal(&keystore, encode_chunk(&transfer)));
+                    }
+                    _ => {} // consensus traffic and everything else: ignore
+                }
+            }
+        });
+    }
+    let victim_dir = tempfile::tempdir().unwrap();
+    let mut cfg = RuntimeConfig::new(cluster.clone(), ReplicaId(3), keystores[3].clone());
+    cfg.storage = Some(StorageConfig::new(victim_dir.path()));
+    let informs = tokio::sync::mpsc::unbounded_channel();
+    let victim = ReplicaRuntime::spawn(
+        spotless::core::SpotLessReplica::new(spotless::core::ReplicaConfig::honest(
+            cluster.clone(),
+            ReplicaId(3),
+        )),
+        cfg,
+        fabric.clone(),
+        victim_rx,
+        CommitLog::default(),
+        informs.0,
+    )
+    .expect("spawn victim");
+
+    // The victim first asks peer 0 (the Byzantine server), burns its
+    // stall budget rejecting corrupted chunks, rotates to an honest
+    // peer, and completes the install.
+    for _ in 0..1200 {
+        if victim.is_synced() {
+            break;
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(25)).await;
+    }
+    assert!(victim.is_synced(), "victim must recover via an honest peer");
+    assert!(
+        malicious_served.load(Ordering::Relaxed) > 0,
+        "the Byzantine peer must actually have served corrupted chunks"
+    );
+    assert!(
+        honest_served.load(Ordering::Relaxed) > 0,
+        "an honest peer must have served the install"
+    );
+    victim.shutdown();
+    for _ in 0..400 {
+        if victim.is_stopped() {
+            break;
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(25)).await;
+    }
+    assert!(victim.is_stopped());
+
+    // The installed store holds exactly the honest chain head and KV
+    // state — the corrupted chunks never poisoned anything.
+    let (recovered, report) =
+        DurableLedger::open(victim_dir.path(), DurableLedgerOptions::default()).unwrap();
+    assert_eq!(recovered.ledger().height(), height);
+    assert_eq!(recovered.ledger().head_hash(), head.hash);
+    let chunks: Vec<StateChunk> = report
+        .app_chunks
+        .iter()
+        .map(|c| StateChunk::decode(c).expect("installed chunks decode"))
+        .collect();
+    let mut installed = KvStore::from_transfer(&report.app_meta, &chunks).expect("state decodes");
+    assert_eq!(installed.state_digest(), genuine.state_digest());
+    assert_eq!(installed.state_root(), head.state_root);
+    assert_eq!(installed.len(), genuine.len());
+}
+
 #[test]
 fn execution_order_identical_under_attack() {
     // Stronger than slot agreement: the *sequence* of executed slots is

@@ -93,10 +93,14 @@ fn persist(
             led_open = Some(led);
         }
         let led = led_open.as_mut().unwrap();
+        // Simulation batches carry no payload: the sealed root is a
+        // deterministic function of the slot (the real execute-then-
+        // seal path is exercised by the runtime tests).
         led.append_batch(
             c.batch.id,
             c.batch.digest,
             c.batch.txns,
+            spotless::types::Digest::from_u64(appended as u64 + 1),
             CommitProof {
                 instance: c.instance,
                 view: c.view,
@@ -106,7 +110,7 @@ fn persist(
             &c.batch.payload,
         )
         .unwrap();
-        led.maybe_snapshot(format!("exec-{appended}").as_bytes())
+        led.maybe_snapshot(format!("exec-{appended}").as_bytes(), &[])
             .unwrap();
         appended += 1;
         if crash_every.is_some_and(|k| appended.is_multiple_of(k)) {
@@ -198,10 +202,15 @@ fn kv_state_recovers_from_snapshot_plus_payload_replay() {
     for (i, payload) in payloads.iter().enumerate() {
         if session.is_none() {
             let (led, report) = DurableLedger::open(dir.path(), opts).unwrap();
-            kv = if report.app_state.is_empty() {
+            kv = if report.app_meta.is_empty() {
                 KvStore::new()
             } else {
-                KvStore::from_snapshot_bytes(&report.app_state).expect("valid KV snapshot")
+                let chunks: Vec<spotless::workload::StateChunk> = report
+                    .app_chunks
+                    .iter()
+                    .map(|c| spotless::workload::StateChunk::decode(c).expect("valid chunk"))
+                    .collect();
+                KvStore::from_transfer(&report.app_meta, &chunks).expect("valid KV snapshot")
             };
             kv_height = report.snapshot_height;
             // Re-execute the payloads the log holds above the snapshot
@@ -223,6 +232,7 @@ fn kv_state_recovers_from_snapshot_plus_payload_replay() {
             BatchId(i as u64),
             spotless::crypto::digest_bytes(payload),
             txns.len() as u32,
+            kv.state_root(),
             CommitProof {
                 instance: InstanceId(0),
                 view: View(i as u64),
@@ -238,7 +248,8 @@ fn kv_state_recovers_from_snapshot_plus_payload_replay() {
         .unwrap();
         kv_height = led.ledger().height();
         if led.snapshot_due() {
-            led.force_snapshot(&kv.to_snapshot_bytes()).unwrap();
+            let chunks: Vec<Vec<u8>> = kv.to_chunks(1 << 20).iter().map(|c| c.encode()).collect();
+            led.force_snapshot(&kv.transfer_meta(), &chunks).unwrap();
         }
         if (i + 1) % 7 == 0 {
             session = None; // crash: no shutdown protocol
