@@ -4,15 +4,26 @@
 //! so the workspace ships minimal, API-compatible stand-ins for the
 //! external crates the tree was written against. This one provides the
 //! `Serialize`/`Deserialize` traits (and re-exports their derives from
-//! `serde_derive`) over a JSON-shaped [`Value`] data model instead of
-//! serde's visitor architecture. `serde_json` renders and parses that
-//! model as real JSON text, so everything the tree serializes round-trips
-//! through genuine JSON — only the generic serializer plumbing of real
-//! serde is absent. Swapping the real crates back in is a one-line
-//! `Cargo.toml` change per crate.
+//! `serde_derive`) with **two backends** instead of serde's generic
+//! visitor architecture:
+//!
+//! * a JSON-shaped [`Value`] tree (`ser`/`de`), which `serde_json`
+//!   renders and parses as real JSON text — kept for debug output,
+//!   observability dumps, and anything a human reads; and
+//! * a streaming **binary** codec (`ser_bin`/`de_bin`, see [`bin`]),
+//!   which writes compact little-endian bytes directly to one buffer
+//!   with no intermediate tree and no hex expansion of byte payloads —
+//!   the wire format of the runtime's hot path.
+//!
+//! Both backends are emitted by the same derive, so every
+//! `#[derive(Serialize, Deserialize)]` type round-trips through either.
+//! Swapping the real crates back in is a one-line `Cargo.toml` change
+//! per crate (the binary backend then maps onto a real serde binary
+//! format such as bincode).
 
 pub use serde_derive::{Deserialize, Serialize};
 
+pub mod bin;
 pub mod value;
 
 pub use value::{Map, Value};
@@ -36,7 +47,8 @@ impl std::fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
-/// A type that can be turned into a [`Value`] tree.
+/// A type that can be turned into a [`Value`] tree (JSON backend) or
+/// streamed to binary bytes ([`bin`] backend).
 pub trait Serialize {
     /// Serializes `self` into the value model.
     fn ser(&self) -> Value;
@@ -54,9 +66,38 @@ pub trait Serialize {
     {
         Value::Array(items.iter().map(Serialize::ser).collect())
     }
+
+    /// Appends the binary encoding of `self` to `out` (see the format
+    /// table in [`bin`]). Streaming by construction: no intermediate
+    /// value is ever built.
+    fn ser_bin(&self, out: &mut Vec<u8>);
+
+    /// Binary-encodes a length-prefixed slice: varint count, then the
+    /// elements via [`Serialize::ser_bin_elems`].
+    fn ser_bin_slice(items: &[Self], out: &mut Vec<u8>)
+    where
+        Self: Sized,
+    {
+        bin::write_len(items.len(), out);
+        Self::ser_bin_elems(items, out);
+    }
+
+    /// Binary-encodes the raw elements of a slice with **no** length
+    /// prefix (fixed-size arrays carry their length in the type). The
+    /// `u8` override is a single `extend_from_slice` — the memcpy that
+    /// makes byte payloads free on this backend.
+    fn ser_bin_elems(items: &[Self], out: &mut Vec<u8>)
+    where
+        Self: Sized,
+    {
+        for item in items {
+            item.ser_bin(out);
+        }
+    }
 }
 
-/// A type that can be rebuilt from a [`Value`] tree.
+/// A type that can be rebuilt from a [`Value`] tree (JSON backend) or
+/// from a binary [`bin::Reader`] cursor.
 pub trait Deserialize: Sized {
     /// Deserializes from the value model.
     fn de(v: &Value) -> Result<Self, Error>;
@@ -70,6 +111,32 @@ pub trait Deserialize: Sized {
             .iter()
             .map(Deserialize::de)
             .collect()
+    }
+
+    /// Deserializes from the binary cursor, consuming exactly this
+    /// value's bytes.
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error>;
+
+    /// Deserializes a length-prefixed `Vec<Self>` (inverse of
+    /// [`Serialize::ser_bin_slice`]). The length prefix is
+    /// sanity-bounded against the remaining input before any
+    /// allocation.
+    fn de_bin_slice(r: &mut bin::Reader<'_>) -> Result<Vec<Self>, Error> {
+        let n = r.len()?;
+        Self::de_bin_elems(r, n)
+    }
+
+    /// Deserializes exactly `n` elements with no length prefix (the
+    /// fixed-array form). The `u8` override is a bounds-checked memcpy.
+    fn de_bin_elems(r: &mut bin::Reader<'_>, n: usize) -> Result<Vec<Self>, Error> {
+        // `Reader::len` has already bounded `n` for the slice path; cap
+        // the preallocation anyway so the fixed-array path cannot be
+        // talked into reserving more than the input could hold.
+        let mut out = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            out.push(Self::de_bin(r)?);
+        }
+        Ok(out)
     }
 }
 
@@ -109,6 +176,10 @@ macro_rules! impl_unsigned {
             fn ser(&self) -> Value {
                 Value::U64(u64::from(*self))
             }
+
+            fn ser_bin(&self, out: &mut Vec<u8>) {
+                bin::write_varint(u64::from(*self), out);
+            }
         }
         impl Deserialize for $t {
             fn de(v: &Value) -> Result<Self, Error> {
@@ -117,6 +188,10 @@ macro_rules! impl_unsigned {
                     .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
                 <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
             }
+
+            fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+                <$t>::try_from(r.varint()?).map_err(|_| Error::custom("integer out of range"))
+            }
         }
     )*};
 }
@@ -124,7 +199,8 @@ macro_rules! impl_unsigned {
 impl_unsigned!(u16, u32, u64);
 
 // `u8` gets the integer impls by hand so its *slice* forms can override
-// the defaults with the compact hex-string encoding.
+// the defaults: compact hex strings on the JSON backend, raw memcpy on
+// the binary one.
 impl Serialize for u8 {
     fn ser(&self) -> Value {
         Value::U64(u64::from(*self))
@@ -132,6 +208,14 @@ impl Serialize for u8 {
 
     fn ser_slice(items: &[u8]) -> Value {
         Value::String(hex_encode(items))
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+
+    fn ser_bin_elems(items: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(items);
     }
 }
 
@@ -141,13 +225,21 @@ impl Deserialize for u8 {
         u8::try_from(n).map_err(|_| Error::custom("integer out of range"))
     }
 
-    fn de_slice(v: &Value) -> Result<Vec<u8>, Error> {
+    fn de_slice(v: &Value) -> Result<Vec<Self>, Error> {
         match v {
             Value::String(s) => hex_decode(s),
             // Lenient: hand-written fixtures may still use arrays.
             Value::Array(items) => items.iter().map(Deserialize::de).collect(),
             _ => Err(Error::custom("expected hex string or byte array")),
         }
+    }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        r.byte()
+    }
+
+    fn de_bin_elems(r: &mut bin::Reader<'_>, n: usize) -> Result<Vec<Self>, Error> {
+        Ok(r.take(n)?.to_vec())
     }
 }
 
@@ -157,6 +249,10 @@ macro_rules! impl_signed {
             fn ser(&self) -> Value {
                 Value::I64(i64::from(*self))
             }
+
+            fn ser_bin(&self, out: &mut Vec<u8>) {
+                bin::write_varint_signed(i64::from(*self), out);
+            }
         }
         impl Deserialize for $t {
             fn de(v: &Value) -> Result<Self, Error> {
@@ -164,6 +260,11 @@ macro_rules! impl_signed {
                     .as_i64()
                     .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
                 <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+
+            fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+                <$t>::try_from(r.varint_signed()?)
+                    .map_err(|_| Error::custom("integer out of range"))
             }
         }
     )*};
@@ -175,6 +276,10 @@ impl Serialize for usize {
     fn ser(&self) -> Value {
         Value::U64(*self as u64)
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        bin::write_varint(*self as u64, out);
+    }
 }
 
 impl Deserialize for usize {
@@ -182,11 +287,19 @@ impl Deserialize for usize {
         let n = v.as_u64().ok_or_else(|| Error::custom("expected usize"))?;
         usize::try_from(n).map_err(|_| Error::custom("integer out of range"))
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        usize::try_from(r.varint()?).map_err(|_| Error::custom("integer out of range"))
+    }
 }
 
 impl Serialize for bool {
     fn ser(&self) -> Value {
         Value::Bool(*self)
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
     }
 }
 
@@ -194,11 +307,23 @@ impl Deserialize for bool {
     fn de(v: &Value) -> Result<Self, Error> {
         v.as_bool().ok_or_else(|| Error::custom("expected bool"))
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Error::custom("invalid bool byte")),
+        }
+    }
 }
 
 impl Serialize for f64 {
     fn ser(&self) -> Value {
         Value::F64(*self)
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
     }
 }
 
@@ -206,11 +331,19 @@ impl Deserialize for f64 {
     fn de(v: &Value) -> Result<Self, Error> {
         v.as_f64().ok_or_else(|| Error::custom("expected f64"))
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        Ok(f64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")))
+    }
 }
 
 impl Serialize for f32 {
     fn ser(&self) -> Value {
         Value::F64(f64::from(*self))
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
     }
 }
 
@@ -218,11 +351,19 @@ impl Deserialize for f32 {
     fn de(v: &Value) -> Result<Self, Error> {
         Ok(v.as_f64().ok_or_else(|| Error::custom("expected f32"))? as f32)
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        Ok(f32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")))
+    }
 }
 
 impl Serialize for String {
     fn ser(&self) -> Value {
         Value::String(self.clone())
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        self.as_str().ser_bin(out);
     }
 }
 
@@ -232,17 +373,33 @@ impl Deserialize for String {
             .map(str::to_owned)
             .ok_or_else(|| Error::custom("expected string"))
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        let n = r.len()?;
+        std::str::from_utf8(r.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| Error::custom("invalid utf-8 in string"))
+    }
 }
 
 impl Serialize for str {
     fn ser(&self) -> Value {
         Value::String(self.to_owned())
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        bin::write_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
 }
 
 impl Serialize for char {
     fn ser(&self) -> Value {
         Value::String(self.to_string())
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        bin::write_varint(u64::from(u32::from(*self)), out);
     }
 }
 
@@ -255,11 +412,20 @@ impl Deserialize for char {
             _ => Err(Error::custom("expected single-char string")),
         }
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        let scalar = u32::try_from(r.varint()?).map_err(|_| Error::custom("char out of range"))?;
+        char::from_u32(scalar).ok_or_else(|| Error::custom("invalid char scalar"))
+    }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn ser(&self) -> Value {
         T::ser_slice(self)
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        T::ser_bin_slice(self, out);
     }
 }
 
@@ -267,11 +433,19 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn de(v: &Value) -> Result<Self, Error> {
         T::de_slice(v)
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        T::de_bin_slice(r)
+    }
 }
 
 impl<T: Serialize> Serialize for [T] {
     fn ser(&self) -> Value {
         T::ser_slice(self)
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        T::ser_bin_slice(self, out);
     }
 }
 
@@ -279,12 +453,23 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn ser(&self) -> Value {
         T::ser_slice(self)
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        // Fixed arity: the length lives in the type, not the stream.
+        T::ser_bin_elems(self, out);
+    }
 }
 
 impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn de(v: &Value) -> Result<Self, Error> {
         let items: Vec<T> = T::de_slice(v)?;
         items
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        T::de_bin_elems(r, N)?
             .try_into()
             .map_err(|_| Error::custom("array length mismatch"))
     }
@@ -297,6 +482,16 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
         }
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        match self {
+            Some(inner) => {
+                out.push(1);
+                inner.ser_bin(out);
+            }
+            None => out.push(0),
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Option<T> {
@@ -306,11 +501,23 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => Ok(Some(T::de(other)?)),
         }
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::de_bin(r)?)),
+            _ => Err(Error::custom("invalid option tag")),
+        }
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn ser(&self) -> Value {
         (**self).ser()
+    }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        (**self).ser_bin(out);
     }
 }
 
@@ -318,11 +525,19 @@ impl<T: Serialize> Serialize for Box<T> {
     fn ser(&self) -> Value {
         (**self).ser()
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        (**self).ser_bin(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Box<T> {
     fn de(v: &Value) -> Result<Self, Error> {
         Ok(Box::new(T::de(v)?))
+    }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::de_bin(r)?))
     }
 }
 
@@ -330,11 +545,19 @@ impl<T: Serialize> Serialize for std::sync::Arc<T> {
     fn ser(&self) -> Value {
         (**self).ser()
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        (**self).ser_bin(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
     fn de(v: &Value) -> Result<Self, Error> {
         Ok(std::sync::Arc::new(T::de(v)?))
+    }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        Ok(std::sync::Arc::new(T::de_bin(r)?))
     }
 }
 
@@ -342,11 +565,19 @@ impl<T: Serialize> Serialize for std::rc::Rc<T> {
     fn ser(&self) -> Value {
         (**self).ser()
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        (**self).ser_bin(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
     fn de(v: &Value) -> Result<Self, Error> {
         Ok(std::rc::Rc::new(T::de(v)?))
+    }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        Ok(std::rc::Rc::new(T::de_bin(r)?))
     }
 }
 
@@ -355,6 +586,10 @@ macro_rules! impl_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn ser(&self) -> Value {
                 Value::Array(vec![$(self.$idx.ser()),+])
+            }
+
+            fn ser_bin(&self, out: &mut Vec<u8>) {
+                $(self.$idx.ser_bin(out);)+
             }
         }
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
@@ -372,6 +607,15 @@ macro_rules! impl_tuple {
                 }
                 Ok(out)
             }
+
+            fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+                Ok(($(
+                    {
+                        let _ = $idx; // positional marker
+                        $name::de_bin(r)?
+                    },
+                )+))
+            }
         }
     )*};
 }
@@ -386,6 +630,14 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<
                 .collect(),
         )
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        bin::write_len(self.len(), out);
+        for (k, v) in self {
+            k.ser_bin(out);
+            v.ser_bin(out);
+        }
+    }
 }
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
@@ -393,16 +645,129 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTr
         let pairs: Vec<(K, V)> = Deserialize::de(v)?;
         Ok(pairs.into_iter().collect())
     }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        let n = r.len()?;
+        let mut map = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let k = K::de_bin(r)?;
+            let v = V::de_bin(r)?;
+            // Canonical form is strictly ascending key order — the
+            // only order the encoder emits. Accepting permutations or
+            // duplicates would make decoding non-injective (two byte
+            // strings mapping to one value), undermining the
+            // canonical-signed-bytes property the codec promises.
+            match map.last_key_value() {
+                Some((last, _)) if *last >= k => {
+                    return Err(Error::custom("map keys out of order or duplicated"));
+                }
+                _ => {}
+            }
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
 }
 
 impl Serialize for Value {
     fn ser(&self) -> Value {
         self.clone()
     }
+
+    fn ser_bin(&self, out: &mut Vec<u8>) {
+        // Self-describing tag per variant; only backend that needs one.
+        match self {
+            Value::Null => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                b.ser_bin(out);
+            }
+            Value::U64(n) => {
+                out.push(2);
+                n.ser_bin(out);
+            }
+            Value::I64(n) => {
+                out.push(3);
+                n.ser_bin(out);
+            }
+            Value::F64(x) => {
+                out.push(4);
+                x.ser_bin(out);
+            }
+            Value::String(s) => {
+                out.push(5);
+                s.ser_bin(out);
+            }
+            Value::Array(items) => {
+                out.push(6);
+                bin::write_len(items.len(), out);
+                for item in items {
+                    item.ser_bin(out);
+                }
+            }
+            // One definition of the Object wire layout: the Map impl.
+            Value::Object(map) => map.ser_bin(out),
+        }
+    }
+}
+
+/// Nesting bound for self-describing [`Value`] decoding: hostile input
+/// of repeated array/object tags costs two bytes per level, so without
+/// a cap a few megabytes of input could recurse the decoder into a
+/// stack overflow — a panic, which the `bin` module promises never to
+/// produce. No legitimate value in this workspace nests remotely this
+/// deep.
+const MAX_VALUE_DEPTH: u32 = 128;
+
+fn de_bin_value(r: &mut bin::Reader<'_>, depth: u32) -> Result<Value, Error> {
+    if depth > MAX_VALUE_DEPTH {
+        return Err(Error::custom("value nested too deeply"));
+    }
+    Ok(match r.byte()? {
+        0 => Value::Null,
+        1 => Value::Bool(bool::de_bin(r)?),
+        2 => Value::U64(u64::de_bin(r)?),
+        3 => Value::I64(i64::de_bin(r)?),
+        4 => Value::F64(f64::de_bin(r)?),
+        5 => Value::String(String::de_bin(r)?),
+        6 => {
+            let n = r.len()?;
+            let mut items = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                items.push(de_bin_value(r, depth + 1)?);
+            }
+            Value::Array(items)
+        }
+        7 => {
+            let n = r.len()?;
+            let mut map = Map::new();
+            let mut seen = std::collections::HashSet::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                let k = String::de_bin(r)?;
+                // The encoder can never emit a duplicate key (`Map`
+                // replaces on insert), so accepting one would decode a
+                // byte string the encoder cannot produce — breaking
+                // injectivity. The seen-set also keeps a hostile
+                // many-entry object linear instead of the quadratic
+                // scan `Map::insert` would cost.
+                if !seen.insert(k.clone()) {
+                    return Err(Error::custom("duplicate object key"));
+                }
+                let v = de_bin_value(r, depth + 1)?;
+                map.push_new(k, v);
+            }
+            Value::Object(map)
+        }
+        _ => return Err(Error::custom("invalid Value tag")),
+    })
 }
 
 impl Deserialize for Value {
     fn de(v: &Value) -> Result<Self, Error> {
         Ok(v.clone())
+    }
+
+    fn de_bin(r: &mut bin::Reader<'_>) -> Result<Self, Error> {
+        de_bin_value(r, 0)
     }
 }

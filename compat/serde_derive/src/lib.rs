@@ -1,7 +1,9 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
-//! the stand-in `serde` crate's value-model traits. With no access to
+//! the stand-in `serde` crate's traits — emitting **both** backends:
+//! the JSON value model (`ser`/`de`) and the streaming binary codec
+//! (`ser_bin`/`de_bin`, see `serde::bin`). With no access to
 //! `syn`/`quote`, the item is parsed directly from the raw
 //! `proc_macro::TokenStream` and the impl is emitted as formatted source
 //! text. Supported shapes are exactly what this workspace uses: unit /
@@ -9,12 +11,25 @@
 //! struct-like — all without generics. Recognized field attributes:
 //! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`.
 //!
-//! Wire shape (shared contract with the `serde` stand-in):
+//! JSON wire shape (shared contract with the `serde` stand-in):
 //! - named struct      → object of fields
 //! - tuple struct      → array of fields (single-field: the field itself)
 //! - unit enum variant → the variant name as a string
 //! - tuple variant     → `{ "Variant": payload }` (array if arity > 1)
 //! - struct variant    → `{ "Variant": { fields } }`
+//!
+//! Binary wire shape (schema-driven, no names — see `serde::bin`):
+//! - unit struct       → one `0x00` byte (never zero bytes: sequence
+//!   decoding bounds element counts by the remaining input, which
+//!   requires every element to cost at least one byte)
+//! - struct (other)    → fields streamed in declaration order
+//! - enum variant      → varint of the variant's declaration index,
+//!   then its fields in order
+//!
+//! The field attributes apply to the JSON backend only: binary structs
+//! are positional, so every field is always written (a skipped field
+//! would shift every later one) and `default` never triggers (every
+//! field is always present).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -389,12 +404,70 @@ fn gen_serialize(input: &Input) -> String {
             format!("match self {{\n{arms}}}")
         }
     };
+    let bin_body = gen_serialize_bin(input);
     format!(
         "#[automatically_derived]\n\
          impl ::serde::Serialize for {name} {{\n\
              fn ser(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             fn ser_bin(&self, out: &mut ::std::vec::Vec<u8>) {{\n{bin_body}\n}}\n\
          }}"
     )
+}
+
+/// Body of the derived `ser_bin`: fields streamed in declaration order;
+/// enums prefixed with their variant's declaration index as a varint.
+/// `skip_serializing_if` is deliberately ignored here — the binary
+/// format is positional, so every field is always written.
+fn gen_serialize_bin(input: &Input) -> String {
+    let name = &input.name;
+    match &input.kind {
+        // One marker byte, never zero bytes: `Vec<UnitLike>` must keep
+        // the "each element costs ≥ 1 byte" invariant sequence
+        // decoding relies on.
+        Kind::UnitStruct => "out.push(0u8);".to_string(),
+        Kind::TupleStruct(n) => (0..*n)
+            .map(|i| format!("::serde::Serialize::ser_bin(&self.{i}, out);\n"))
+            .collect(),
+        Kind::NamedStruct(fields) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::ser_bin(&self.{}, out);\n", f.name))
+            .collect(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::bin::write_varint({idx}u64, out),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let writes: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::ser_bin({b}, out);\n"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             ::serde::bin::write_varint({idx}u64, out);\n{writes}}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let writes: String = fields
+                            .iter()
+                            .map(|f| format!("::serde::Serialize::ser_bin({f}, out);\n"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             ::serde::bin::write_varint({idx}u64, out);\n{writes}}}\n",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
 }
 
 fn gen_deserialize(input: &Input) -> String {
@@ -504,11 +577,74 @@ fn gen_deserialize(input: &Input) -> String {
             )
         }
     };
+    let bin_body = gen_deserialize_bin(input);
     format!(
         "#[automatically_derived]\n\
          impl ::serde::Deserialize for {name} {{\n\
              fn de(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
              {body}\n}}\n\
+             fn de_bin(r: &mut ::serde::bin::Reader<'_>) \
+             -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             {bin_body}\n}}\n\
          }}"
     )
+}
+
+/// Body of the derived `de_bin`: the exact inverse of
+/// [`gen_serialize_bin`] — fields in declaration order, enums selected
+/// by varint declaration index (unknown indexes fail closed).
+fn gen_deserialize_bin(input: &Input) -> String {
+    let name = &input.name;
+    match &input.kind {
+        Kind::UnitStruct => format!(
+            "match ::serde::bin::Reader::byte(r)? {{\n\
+             0u8 => Ok({name}),\n\
+             _ => Err(::serde::Error::custom(\"invalid unit-struct byte for {name}\")),\n\
+             }}"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::de_bin(r)?".to_string())
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{}: ::serde::Deserialize::de_bin(r)?,\n", f.name))
+                .collect();
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!("{idx}u64 => Ok({name}::{vn}),\n")),
+                    VariantData::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| "::serde::Deserialize::de_bin(r)?".to_string())
+                            .collect();
+                        arms.push_str(&format!(
+                            "{idx}u64 => Ok({name}::{vn}({})),\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::Deserialize::de_bin(r)?,\n"))
+                            .collect();
+                        arms.push_str(&format!("{idx}u64 => Ok({name}::{vn} {{\n{inits}}}),\n"));
+                    }
+                }
+            }
+            format!(
+                "match ::serde::bin::Reader::varint(r)? {{\n\
+                 {arms}\
+                 _ => Err(::serde::Error::custom(\"unknown {name} variant index\")),\n\
+                 }}"
+            )
+        }
+    }
 }

@@ -30,6 +30,6 @@ pub mod signing;
 
 pub use digest::{digest_bytes, digest_chained, digest_fields};
 pub use hmac::{hmac_sha256, MacKey, TAG_LEN};
-pub use merkle::{proof_index, verify_inclusion, MerkleTree, ProofStep};
+pub use merkle::{proof_index, verify_inclusion, MerkleTree, ProofStep, MAX_PROOF_DEPTH};
 pub use sha256::Sha256;
 pub use signing::{KeyStore, Keypair, PublicKey, Signature, SIGNATURE_LEN};

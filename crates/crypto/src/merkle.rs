@@ -24,6 +24,15 @@ fn node_hash(left: &Digest, right: &Digest) -> Digest {
     Digest(h.finalize())
 }
 
+/// Upper bound on inclusion-proof length, shared by the prover and
+/// every wire decoder that parses proofs (`spotless-runtime`'s
+/// envelope codec). A binary tree with more than `2^64` leaves cannot
+/// exist in this address space, so a longer proof is a malformed frame
+/// by definition — decoders reject it before allocating, and
+/// [`MerkleTree::prove`] never emits one. Keeping the two sides on one
+/// named constant is what stops the bound from silently drifting apart.
+pub const MAX_PROOF_DEPTH: usize = 64;
+
 /// One step of a Merkle inclusion proof.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProofStep {
@@ -84,11 +93,18 @@ impl MerkleTree {
         self.levels.len() == 1 && self.levels[0][0] == Digest::ZERO
     }
 
-    /// Inclusion proof for leaf `index`.
+    /// Inclusion proof for leaf `index`. Never longer than
+    /// [`MAX_PROOF_DEPTH`] steps (the tree height is `⌈log₂ leaves⌉`,
+    /// and `leaves` is bounded by the address space) — the same bound
+    /// wire decoders enforce when parsing proofs.
     pub fn prove(&self, index: usize) -> Option<Vec<ProofStep>> {
         if index >= self.levels[0].len() || self.is_empty() {
             return None;
         }
+        debug_assert!(
+            self.levels.len() - 1 <= MAX_PROOF_DEPTH,
+            "tree deeper than MAX_PROOF_DEPTH cannot exist"
+        );
         let mut proof = Vec::with_capacity(self.levels.len());
         let mut at = index;
         for level in &self.levels[..self.levels.len() - 1] {

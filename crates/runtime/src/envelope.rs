@@ -6,10 +6,32 @@
 //! proposal body. Fabrics ([`crate::Fabric`]) move [`Envelope`]s
 //! verbatim; they never look inside.
 //!
-//! The payload is a one-byte tag followed by a body:
+//! ## Payload layout (wire format v2, binary)
 //!
-//! * [`TAG_PROTOCOL`] — a protocol message, JSON-serialized. This is the
-//!   only tag consensus traffic uses.
+//! ```text
+//! payload := WIRE_VERSION (1 byte, 0xB2) ‖ tag (1 byte) ‖ body
+//! ```
+//!
+//! Bodies are encoded with the streaming binary codec (`serde::bin`):
+//! varint integers, raw byte slices, structs streamed field-by-field —
+//! no intermediate value tree, no text, no hex expansion. The sealed
+//! payload **is** the canonical signed-bytes form: the codec's
+//! canonical varints make the encoding of a message injective, so two
+//! replicas serializing the same message sign the same bytes.
+//!
+//! The leading [`WIRE_VERSION`] byte is the fail-closed switch for
+//! mixed-format clusters: a v1 (JSON-era) replica reads `0xB2` as an
+//! unknown tag and drops the frame; a v2 replica requires `0xB2` first
+//! and drops anything else — deliberately outside the tag range, so no
+//! payload of either generation can be misparsed as the other. Bump it
+//! on any layout change. JSON remains in the tree where a human reads
+//! the output — `serde_json` debug dumps, bench observability tables —
+//! never on this path.
+//!
+//! The tag selects the body type:
+//!
+//! * [`TAG_PROTOCOL`] — a protocol message (derived binary encoding).
+//!   This is the only tag consensus traffic uses.
 //! * [`TAG_CATCHUP_REQ`] / [`TAG_CATCHUP_RESP`] — the runtime-level
 //!   catch-up exchange a restarted replica uses to close the gap between
 //!   its durable log and the cluster's head (see `crate::pipeline`).
@@ -25,16 +47,34 @@
 //!   on `KvStore::to_chunks`), lifting the previous whole-state-per-
 //!   frame ceiling by three orders of magnitude.
 //!
+//! Decoding is fail-closed throughout: wrong version, unknown tag,
+//! truncation, trailing bytes, non-canonical varints, proof chains
+//! longer than [`spotless_crypto::MAX_PROOF_DEPTH`], and list lengths
+//! no legal frame could hold are all `None` — the caller drops the
+//! frame. The exact byte layout is pinned by golden-vector tests below
+//! and in the facade suite (`tests/wire_format.rs`).
+//!
 //! Signatures come from the cluster [`KeyStore`] — the documented
 //! simulation-grade keyed-hash scheme (see `spotless-crypto`'s
 //! `signing` module for exactly what it does and does not provide).
 
+use serde::bin::{self, Reader};
 use serde::{Deserialize, Serialize};
-use spotless_crypto::{KeyStore, ProofStep, Signature};
+use spotless_crypto::{KeyStore, ProofStep, Signature, MAX_PROOF_DEPTH};
 use spotless_ledger::Block;
-use spotless_types::bytes::take;
 use spotless_types::{BatchId, Digest, ReplicaId};
 use std::sync::Arc;
+
+/// Leading byte of every payload: binary codec, wire revision 2. Chosen
+/// outside the tag range so v1 payloads (which started with their tag
+/// byte) and v2 payloads can never be confused — either side drops the
+/// other's frames unread. Bump on any layout change; mixed-version
+/// clusters then fail closed instead of misinterpreting each other.
+pub const WIRE_VERSION: u8 = 0xB2;
+
+// The fail-closed argument above requires the version byte to be
+// unmistakable for any tag of the previous (tag-first) generation.
+const _: () = assert!(WIRE_VERSION > TAG_CATCHUP_CHUNK);
 
 /// Tag byte: protocol message.
 pub const TAG_PROTOCOL: u8 = 0;
@@ -190,57 +230,60 @@ pub enum WireMsg<M> {
     Chunk(Box<ChunkTransfer>),
 }
 
+/// Starts a payload buffer: version byte, tag byte, `cap` bytes of
+/// headroom for the body.
+fn payload_buf(tag: u8, cap: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + cap);
+    out.push(WIRE_VERSION);
+    out.push(tag);
+    out
+}
+
 /// Encodes a protocol message payload.
 pub fn encode_protocol<M: Serialize>(msg: &M) -> Vec<u8> {
-    let body = serde_json::to_vec(msg).expect("protocol messages are serializable");
-    let mut out = Vec::with_capacity(1 + body.len());
-    out.push(TAG_PROTOCOL);
-    out.extend_from_slice(&body);
+    let mut out = payload_buf(TAG_PROTOCOL, 254);
+    msg.ser_bin(&mut out);
     out
 }
 
 /// Encodes a catch-up request payload.
 pub fn encode_catchup_req(from_height: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(9);
-    out.push(TAG_CATCHUP_REQ);
-    out.extend_from_slice(&from_height.to_le_bytes());
+    let mut out = payload_buf(TAG_CATCHUP_REQ, 10);
+    bin::write_varint(from_height, &mut out);
     out
 }
 
 /// Encodes a catch-up response payload.
 pub fn encode_catchup_resp(peer_height: u64, blocks: &[CatchUpBlock]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + blocks.len() * 160);
-    out.push(TAG_CATCHUP_RESP);
-    out.extend_from_slice(&peer_height.to_le_bytes());
-    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    let payload_bytes: usize = blocks.iter().map(|b| b.payload.len()).sum();
+    let mut out = payload_buf(TAG_CATCHUP_RESP, 16 + blocks.len() * 160 + payload_bytes);
+    bin::write_varint(peer_height, &mut out);
+    bin::write_len(blocks.len(), &mut out);
     for cb in blocks {
-        let block_json = serde_json::to_vec(&cb.block).expect("blocks are serializable");
-        out.extend_from_slice(&(block_json.len() as u32).to_le_bytes());
-        out.extend_from_slice(&block_json);
-        out.extend_from_slice(&(cb.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&cb.payload);
+        cb.block.ser_bin(&mut out);
+        cb.payload.ser_bin(&mut out);
     }
     out
 }
 
 fn encode_proof(out: &mut Vec<u8>, proof: &[ProofStep]) {
-    out.extend_from_slice(&(proof.len() as u16).to_le_bytes());
+    bin::write_len(proof.len(), out);
     for step in proof {
         out.extend_from_slice(&step.sibling.0);
         out.push(u8::from(step.sibling_on_right));
     }
 }
 
-fn decode_proof(rest: &mut &[u8]) -> Option<Vec<ProofStep>> {
-    let len = u16::from_le_bytes(take(rest, 2)?.try_into().ok()?) as usize;
-    if len > 64 {
-        return None; // no legal tree in this workspace is that deep
+fn decode_proof(r: &mut Reader<'_>) -> Option<Vec<ProofStep>> {
+    let len = r.len().ok()?;
+    if len > MAX_PROOF_DEPTH {
+        return None; // no legal tree is that deep (shared bound with the prover)
     }
     let mut proof = Vec::with_capacity(len);
     for _ in 0..len {
         let mut sibling = Digest::ZERO;
-        sibling.0.copy_from_slice(take(rest, 32)?);
-        let dir = match take(rest, 1)?[0] {
+        sibling.0.copy_from_slice(r.take(32).ok()?);
+        let dir = match r.byte().ok()? {
             0 => false,
             1 => true,
             _ => return None,
@@ -255,24 +298,23 @@ fn decode_proof(rest: &mut &[u8]) -> Option<Vec<ProofStep>> {
 
 /// Encodes a state-transfer manifest payload.
 pub fn encode_catchup_manifest(m: &TransferManifest) -> Vec<u8> {
-    let head_json = serde_json::to_vec(&m.head).expect("blocks are serializable");
-    let mut out = Vec::with_capacity(64 + head_json.len() + m.app_meta.len() + m.chunks.len() * 40);
-    out.push(TAG_CATCHUP_MANIFEST);
-    out.extend_from_slice(&m.height.to_le_bytes());
-    out.extend_from_slice(&m.peer_height.to_le_bytes());
-    out.extend_from_slice(&(head_json.len() as u32).to_le_bytes());
-    out.extend_from_slice(&head_json);
-    out.extend_from_slice(&(m.recent_ids.len() as u32).to_le_bytes());
+    let mut out = payload_buf(
+        TAG_CATCHUP_MANIFEST,
+        256 + m.app_meta.len() + m.recent_ids.len() * 9 + m.chunks.len() * 40,
+    );
+    bin::write_varint(m.height, &mut out);
+    bin::write_varint(m.peer_height, &mut out);
+    m.head.ser_bin(&mut out);
+    bin::write_len(m.recent_ids.len(), &mut out);
     for id in &m.recent_ids {
-        out.extend_from_slice(&id.0.to_le_bytes());
+        bin::write_varint(id.0, &mut out);
     }
-    out.extend_from_slice(&(m.app_meta.len() as u32).to_le_bytes());
-    out.extend_from_slice(&m.app_meta);
+    m.app_meta.ser_bin(&mut out);
     encode_proof(&mut out, &m.meta_proof);
-    out.extend_from_slice(&(m.chunks.len() as u32).to_le_bytes());
+    bin::write_len(m.chunks.len(), &mut out);
     for c in &m.chunks {
-        out.extend_from_slice(&c.first_bucket.to_le_bytes());
-        out.extend_from_slice(&c.buckets.to_le_bytes());
+        bin::write_varint(u64::from(c.first_bucket), &mut out);
+        bin::write_varint(u64::from(c.buckets), &mut out);
         out.extend_from_slice(&c.digest.0);
     }
     out
@@ -280,23 +322,20 @@ pub fn encode_catchup_manifest(m: &TransferManifest) -> Vec<u8> {
 
 /// Encodes a chunk fetch request payload.
 pub fn encode_chunk_req(height: u64, index: u32) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13);
-    out.push(TAG_CATCHUP_CHUNK_REQ);
-    out.extend_from_slice(&height.to_le_bytes());
-    out.extend_from_slice(&index.to_le_bytes());
+    let mut out = payload_buf(TAG_CATCHUP_CHUNK_REQ, 15);
+    bin::write_varint(height, &mut out);
+    bin::write_varint(u64::from(index), &mut out);
     out
 }
 
 /// Encodes a chunk transfer payload.
 pub fn encode_chunk(c: &ChunkTransfer) -> Vec<u8> {
     let proof_bytes: usize = c.proofs.iter().map(|p| 2 + p.len() * 33).sum();
-    let mut out = Vec::with_capacity(21 + c.chunk.len() + proof_bytes);
-    out.push(TAG_CATCHUP_CHUNK);
-    out.extend_from_slice(&c.height.to_le_bytes());
-    out.extend_from_slice(&c.index.to_le_bytes());
-    out.extend_from_slice(&(c.chunk.len() as u32).to_le_bytes());
-    out.extend_from_slice(&c.chunk);
-    out.extend_from_slice(&(c.proofs.len() as u32).to_le_bytes());
+    let mut out = payload_buf(TAG_CATCHUP_CHUNK, 24 + c.chunk.len() + proof_bytes);
+    bin::write_varint(c.height, &mut out);
+    bin::write_varint(u64::from(c.index), &mut out);
+    c.chunk.ser_bin(&mut out);
+    bin::write_len(c.proofs.len(), &mut out);
     for p in &c.proofs {
         encode_proof(&mut out, p);
     }
@@ -304,83 +343,76 @@ pub fn encode_chunk(c: &ChunkTransfer) -> Vec<u8> {
 }
 
 /// Sanity bound on list lengths in transfer payloads (a larger prefix
-/// is a malformed frame, not data).
-const MAX_TRANSFER_ITEMS: u32 = 1 << 20;
+/// is a malformed frame, not data). `Reader::len` already bounds every
+/// count against the remaining input; this is the belt to that
+/// suspenders for lists of multi-byte records.
+const MAX_TRANSFER_ITEMS: usize = 1 << 20;
 
-/// Decodes a tagged payload. `None` on any structural defect — the
-/// caller drops malformed traffic (the sender is faulty or the bytes
-/// are corrupt; either way there is nothing to do with them).
+/// Decodes a tagged payload. `None` on any structural defect — wrong
+/// [`WIRE_VERSION`], unknown tag, truncation, trailing bytes — the
+/// caller drops malformed traffic (the sender is faulty, on an
+/// incompatible wire format, or the bytes are corrupt; either way
+/// there is nothing to do with them).
 pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
-    let (&tag, body) = payload.split_first()?;
-    match tag {
-        TAG_PROTOCOL => serde_json::from_slice(body).ok().map(WireMsg::Protocol),
-        TAG_CATCHUP_REQ => {
-            if body.len() != 8 {
+    let (&version, rest) = payload.split_first()?;
+    if version != WIRE_VERSION {
+        return None; // other format generation: fail closed
+    }
+    let (&tag, body) = rest.split_first()?;
+    let mut r = Reader::new(body);
+    let msg = match tag {
+        TAG_PROTOCOL => WireMsg::Protocol(M::de_bin(&mut r).ok()?),
+        TAG_CATCHUP_REQ => WireMsg::CatchUpReq {
+            from_height: r.varint().ok()?,
+        },
+        TAG_CATCHUP_RESP => {
+            let peer_height = r.varint().ok()?;
+            let count = r.len().ok()?;
+            if count > MAX_TRANSFER_ITEMS {
                 return None;
             }
-            Some(WireMsg::CatchUpReq {
-                from_height: u64::from_le_bytes(body.try_into().ok()?),
-            })
-        }
-        TAG_CATCHUP_RESP => {
-            let mut rest = body;
-            let peer_height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
-            let count = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
-            let mut blocks = Vec::with_capacity(count.min(4096) as usize);
+            let mut blocks = Vec::with_capacity(count.min(4096));
             for _ in 0..count {
-                let block_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-                let block = serde_json::from_slice(take(&mut rest, block_len)?).ok()?;
-                let payload_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-                let payload = take(&mut rest, payload_len)?.to_vec();
+                let block = Block::de_bin(&mut r).ok()?;
+                let payload = Vec::<u8>::de_bin(&mut r).ok()?;
                 blocks.push(CatchUpBlock { block, payload });
             }
-            if !rest.is_empty() {
-                return None;
-            }
-            Some(WireMsg::CatchUpResp {
+            WireMsg::CatchUpResp {
                 peer_height,
                 blocks,
-            })
+            }
         }
         TAG_CATCHUP_MANIFEST => {
-            let mut rest = body;
-            let height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
-            let peer_height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
-            let head_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-            let head = serde_json::from_slice(take(&mut rest, head_len)?).ok()?;
-            let ids_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            let height = r.varint().ok()?;
+            let peer_height = r.varint().ok()?;
+            let head = Block::de_bin(&mut r).ok()?;
+            let ids_len = r.len().ok()?;
             if ids_len > MAX_TRANSFER_ITEMS {
                 return None;
             }
-            let mut recent_ids = Vec::with_capacity(ids_len as usize);
+            let mut recent_ids = Vec::with_capacity(ids_len);
             for _ in 0..ids_len {
-                recent_ids.push(BatchId(u64::from_le_bytes(
-                    take(&mut rest, 8)?.try_into().ok()?,
-                )));
+                recent_ids.push(BatchId(r.varint().ok()?));
             }
-            let meta_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-            let app_meta = take(&mut rest, meta_len)?.to_vec();
-            let meta_proof = decode_proof(&mut rest)?;
-            let chunks_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            let app_meta = Vec::<u8>::de_bin(&mut r).ok()?;
+            let meta_proof = decode_proof(&mut r)?;
+            let chunks_len = r.len().ok()?;
             if chunks_len > MAX_TRANSFER_ITEMS {
                 return None;
             }
-            let mut chunks = Vec::with_capacity(chunks_len as usize);
+            let mut chunks = Vec::with_capacity(chunks_len);
             for _ in 0..chunks_len {
-                let first_bucket = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
-                let buckets = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+                let first_bucket = u32::try_from(r.varint().ok()?).ok()?;
+                let buckets = u32::try_from(r.varint().ok()?).ok()?;
                 let mut digest = Digest::ZERO;
-                digest.0.copy_from_slice(take(&mut rest, 32)?);
+                digest.0.copy_from_slice(r.take(32).ok()?);
                 chunks.push(ChunkInfo {
                     first_bucket,
                     buckets,
                     digest,
                 });
             }
-            if !rest.is_empty() {
-                return None;
-            }
-            Some(WireMsg::Manifest(Box::new(TransferManifest {
+            WireMsg::Manifest(Box::new(TransferManifest {
                 height,
                 peer_height,
                 head,
@@ -388,43 +420,37 @@ pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
                 app_meta,
                 meta_proof,
                 chunks,
-            })))
+            }))
         }
-        TAG_CATCHUP_CHUNK_REQ => {
-            if body.len() != 12 {
-                return None;
-            }
-            Some(WireMsg::ChunkReq {
-                height: u64::from_le_bytes(body[..8].try_into().ok()?),
-                index: u32::from_le_bytes(body[8..].try_into().ok()?),
-            })
-        }
+        TAG_CATCHUP_CHUNK_REQ => WireMsg::ChunkReq {
+            height: r.varint().ok()?,
+            index: u32::try_from(r.varint().ok()?).ok()?,
+        },
         TAG_CATCHUP_CHUNK => {
-            let mut rest = body;
-            let height = u64::from_le_bytes(take(&mut rest, 8)?.try_into().ok()?);
-            let index = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
-            let chunk_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
-            let chunk = take(&mut rest, chunk_len)?.to_vec();
-            let proofs_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+            let height = r.varint().ok()?;
+            let index = u32::try_from(r.varint().ok()?).ok()?;
+            let chunk = Vec::<u8>::de_bin(&mut r).ok()?;
+            let proofs_len = r.len().ok()?;
             if proofs_len > MAX_TRANSFER_ITEMS {
                 return None;
             }
-            let mut proofs = Vec::with_capacity(proofs_len as usize);
+            let mut proofs = Vec::with_capacity(proofs_len);
             for _ in 0..proofs_len {
-                proofs.push(decode_proof(&mut rest)?);
+                proofs.push(decode_proof(&mut r)?);
             }
-            if !rest.is_empty() {
-                return None;
-            }
-            Some(WireMsg::Chunk(Box::new(ChunkTransfer {
+            WireMsg::Chunk(Box::new(ChunkTransfer {
                 height,
                 index,
                 chunk,
                 proofs,
-            })))
+            }))
         }
-        _ => None,
+        _ => return None,
+    };
+    if !r.is_empty() {
+        return None; // trailing bytes: malformed
     }
+    Some(msg)
 }
 
 #[cfg(test)]
@@ -577,13 +603,17 @@ mod tests {
     #[test]
     fn malformed_payloads_decode_to_none() {
         assert!(decode::<u64>(&[]).is_none());
-        assert!(decode::<u64>(&[9, 1, 2]).is_none(), "unknown tag");
+        assert!(decode::<u64>(&[WIRE_VERSION]).is_none(), "version only");
         assert!(
-            decode::<u64>(&[TAG_CATCHUP_REQ, 1, 2]).is_none(),
-            "short body"
+            decode::<u64>(&[WIRE_VERSION, 9, 1, 2]).is_none(),
+            "unknown tag"
         );
         assert!(
-            decode::<u64>(&[TAG_CATCHUP_CHUNK_REQ, 1, 2]).is_none(),
+            decode::<u64>(&[WIRE_VERSION, TAG_CATCHUP_REQ]).is_none(),
+            "missing body"
+        );
+        assert!(
+            decode::<u64>(&[WIRE_VERSION, TAG_CATCHUP_CHUNK_REQ, 1]).is_none(),
             "short chunk req"
         );
         let mut resp = encode_catchup_resp(3, &[]);
@@ -603,5 +633,41 @@ mod tests {
         let last = enc.len() - 1;
         enc[last] = 7; // the direction byte of the last step
         assert!(decode::<u64>(&enc).is_none(), "bad direction byte");
+    }
+
+    #[test]
+    fn wrong_wire_version_fails_closed() {
+        // A valid v2 payload re-badged with any other version byte must
+        // be dropped unread — this is the mixed-cluster guard.
+        let enc = encode_catchup_req(42);
+        for bad_version in [0u8, 1, TAG_CATCHUP_RESP, 0xB1, 0xB3, 0xFF] {
+            let mut reframed = enc.clone();
+            reframed[0] = bad_version;
+            assert!(decode::<u64>(&reframed).is_none(), "{bad_version:#x}");
+        }
+        // (That the version byte sits outside the tag range — so a v1
+        // tag-first decoder never matches it either — is a compile-time
+        // assertion next to WIRE_VERSION.)
+    }
+
+    #[test]
+    fn oversized_proof_depth_is_rejected() {
+        // MAX_PROOF_DEPTH steps decode; one more is a malformed frame.
+        let step = ProofStep {
+            sibling: Digest::from_u64(3),
+            sibling_on_right: true,
+        };
+        let ok = ChunkTransfer {
+            height: 1,
+            index: 0,
+            chunk: Vec::new(),
+            proofs: vec![vec![step; MAX_PROOF_DEPTH]],
+        };
+        assert!(decode::<u64>(&encode_chunk(&ok)).is_some());
+        let too_deep = ChunkTransfer {
+            proofs: vec![vec![step; MAX_PROOF_DEPTH + 1]],
+            ..ok
+        };
+        assert!(decode::<u64>(&encode_chunk(&too_deep)).is_none());
     }
 }

@@ -7,6 +7,7 @@
 //! split.
 
 use crate::envelope::Envelope;
+use crate::observe::NetStats;
 use spotless_types::ReplicaId;
 
 /// Delivers envelopes to peers. Implementations must not block the
@@ -19,4 +20,22 @@ pub trait Fabric: Clone + Send + 'static {
     /// id is allowed (used by unicast-to-self protocols); fabrics may
     /// loop it back locally.
     fn send(&self, to: ReplicaId, env: Envelope);
+}
+
+/// The runtime's internal fabric wrapper: counts every outbound
+/// envelope's payload bytes into the replica's [`NetStats`] before
+/// handing it to the real fabric. Wrapping at this choke point is what
+/// makes the counters complete — consensus traffic, catch-up, and
+/// snapshot transfer all leave through [`Fabric::send`].
+#[derive(Clone)]
+pub(crate) struct MeteredFabric<F: Fabric> {
+    pub(crate) inner: F,
+    pub(crate) stats: NetStats,
+}
+
+impl<F: Fabric> Fabric for MeteredFabric<F> {
+    fn send(&self, to: ReplicaId, env: Envelope) {
+        self.stats.record_sent(env.payload.len());
+        self.inner.send(to, env);
+    }
 }

@@ -47,9 +47,11 @@ pub mod runtime;
 
 pub use client::ClusterClient;
 pub use cluster::{assemble, assemble_tuned, ClusterHandles};
-pub use envelope::{CatchUpBlock, ChunkInfo, ChunkTransfer, Envelope, TransferManifest, WireMsg};
+pub use envelope::{
+    CatchUpBlock, ChunkInfo, ChunkTransfer, Envelope, TransferManifest, WireMsg, WIRE_VERSION,
+};
 pub use fabric::Fabric;
-pub use observe::{CommitLog, CommittedEntry, Inform};
+pub use observe::{CommitLog, CommittedEntry, Inform, NetStats};
 pub use runtime::{
     ControlMsg, RecoveryInfo, ReplicaHandle, ReplicaRuntime, RuntimeConfig, StorageConfig,
     CATCHUP_TICK,

@@ -1,8 +1,10 @@
 //! Observation types shared by every deployment: the per-cluster commit
-//! log tests assert against, and the client-bound inform records.
+//! log tests assert against, the client-bound inform records, and the
+//! per-replica wire-traffic counters benches report.
 
 use parking_lot::Mutex;
 use spotless_types::{BatchId, CommitInfo, Digest, ReplicaId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A committed, executed entry observed at a replica (exposed for
@@ -42,6 +44,65 @@ impl CommitLog {
 
     pub(crate) fn push(&self, entry: CommittedEntry) {
         self.entries.lock().push(entry);
+    }
+}
+
+/// Per-replica wire-traffic counters: envelope payload bytes (the
+/// serialized, signed content — framing and signature overhead
+/// excluded) and message counts, split by direction. Maintained at the
+/// two choke points every byte passes — the metered fabric on send,
+/// the envelope ingress on receive — so no protocol or transfer path
+/// can bypass them. Cheap enough to be always on (two relaxed atomic
+/// adds per message); benches read them to report what the binary wire
+/// codec actually puts on the wire rather than asserting it.
+#[derive(Clone, Default)]
+pub struct NetStats {
+    inner: Arc<NetCounters>,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+}
+
+impl NetStats {
+    pub(crate) fn record_sent(&self, bytes: usize) {
+        self.inner.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_recv(&self, bytes: usize) {
+        self.inner.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_recv
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Envelopes handed to the fabric.
+    pub fn msgs_sent(&self) -> u64 {
+        self.inner.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Encoded payload bytes handed to the fabric (a broadcast counts
+    /// once per destination — that is what crosses the wire, even
+    /// though the bytes themselves are `Arc`-shared in memory).
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes received from the fabric (before signature checks).
+    pub fn msgs_recv(&self) -> u64 {
+        self.inner.msgs_recv.load(Ordering::Relaxed)
+    }
+
+    /// Encoded payload bytes received from the fabric.
+    pub fn bytes_recv(&self) -> u64 {
+        self.inner.bytes_recv.load(Ordering::Relaxed)
     }
 }
 

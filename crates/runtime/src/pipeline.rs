@@ -83,12 +83,13 @@ use tokio::sync::mpsc;
 const CATCHUP_MAX_BLOCKS: usize = 256;
 
 /// Upper bound on cumulative *payload* bytes per catch-up response.
-/// The fabric rejects frames over `SIMPLE_FRAME_LIMIT`, and the JSON
-/// hex encoding doubles payload bytes on the wire — so a block-count
-/// bound alone would let realistic batches (hundreds of KB each) build
-/// unsendable responses and wedge catch-up forever. An eighth of the
-/// frame limit in raw payload keeps the serialized frame comfortably
-/// inside it with generous headroom for block metadata.
+/// The fabric rejects frames over `SIMPLE_FRAME_LIMIT` — so a
+/// block-count bound alone would let realistic batches (hundreds of KB
+/// each) build unsendable responses and wedge catch-up forever. The
+/// binary wire codec carries payload bytes 1:1 (the JSON-era hex
+/// doubling is gone), so an eighth of the frame limit in raw payload
+/// keeps the serialized frame comfortably inside it with generous
+/// headroom for block metadata.
 const CATCHUP_MAX_BYTES: usize = spotless_types::SNAPSHOT_CHUNK_BYTES;
 
 /// Upper bound on payloads retained in memory for serving catch-up.
@@ -106,6 +107,16 @@ const MAX_INFLIGHT_CHUNKS: usize = 4;
 /// journal keeps the verified chunks, so a rotation back to the same
 /// transfer resumes rather than restarts.
 const TRANSFER_STALL_TICKS: u32 = 4;
+
+/// Ticks a frozen outgoing snapshot may sit untouched (no manifest or
+/// chunk request against it) before the serving side releases it. The
+/// cache pins a full copy of the state plus every proof; a requester
+/// that vanished mid-transfer must not leave it pinned until the next
+/// serve. Generous relative to [`TRANSFER_STALL_TICKS`]: a live
+/// receiver re-requests every one of its ticks, so only a genuinely
+/// dead transfer ages this far. At the default 150 ms tick this is
+/// ~10 s of silence.
+const OUTGOING_SNAPSHOT_IDLE_TICKS: u32 = 64;
 
 /// Commands flowing from the event loop into the pipeline.
 pub(crate) enum PipelineCmd {
@@ -136,9 +147,11 @@ pub(crate) enum PipelineCmd {
         from: ReplicaId,
         chunk: Box<ChunkTransfer>,
     },
-    /// Periodic nudge while behind: re-issue the catch-up request or
-    /// re-fetch missing chunks (rotating peers when one stalls).
-    CatchUpTick,
+    /// The runtime's periodic tick. While behind: re-issue the catch-up
+    /// request or re-fetch missing chunks (rotating peers when one
+    /// stalls). While synced: serving-side maintenance — age out a
+    /// frozen outgoing snapshot whose requester vanished.
+    Tick,
 }
 
 /// The in-memory chain store's state (see [`Store::Mem`]).
@@ -387,6 +400,9 @@ pub(crate) struct Pipeline<F: Fabric> {
     incoming: Option<IncomingTransfer>,
     /// Frozen outgoing snapshot served to recovering peers.
     outgoing: Option<OutgoingSnapshot>,
+    /// Consecutive ticks the frozen outgoing snapshot went unrequested
+    /// (see [`OUTGOING_SNAPSHOT_IDLE_TICKS`]).
+    outgoing_idle_ticks: u32,
     /// Raised when a consensus-decided commit could not be persisted
     /// verifiably (an unverifiable certificate, a root-divergent
     /// re-execution, or a storage append that failed after execution).
@@ -510,6 +526,7 @@ impl<F: Fabric> Pipeline<F> {
             journal,
             incoming: None,
             outgoing: None,
+            outgoing_idle_ticks: 0,
             poisoned: false,
         }
     }
@@ -554,7 +571,7 @@ impl<F: Fabric> Pipeline<F> {
             } => self.apply_catchup(from, peer_height, blocks),
             PipelineCmd::ApplyManifest { from, manifest } => self.apply_manifest(from, *manifest),
             PipelineCmd::ApplyChunk { from, chunk } => self.apply_chunk(from, *chunk),
-            PipelineCmd::CatchUpTick => self.on_tick(),
+            PipelineCmd::Tick => self.on_tick(),
         }
     }
 
@@ -727,8 +744,8 @@ impl<F: Fabric> Pipeline<F> {
             // snapshot: release it — the cache pins a full copy of the
             // state plus every proof, which must not outlive the
             // transfer it served. (A requester that vanishes mid-
-            // transfer leaves the cache pinned until the next serve;
-            // bounding that with an age-out is a ROADMAP note.)
+            // transfer instead ages the cache out on the tick; see
+            // `on_tick`.)
             self.outgoing = None;
         }
         let mut blocks = Vec::new();
@@ -797,6 +814,9 @@ impl<F: Fabric> Pipeline<F> {
                 chunks,
             });
         }
+        // Serving (or re-serving) the manifest counts as activity on
+        // the frozen snapshot — the age-out clock restarts.
+        self.outgoing_idle_ticks = 0;
         let o = self.outgoing.as_ref()?;
         Some(TransferManifest {
             height: o.height,
@@ -821,6 +841,9 @@ impl<F: Fabric> Pipeline<F> {
             // requester re-manifest instead.
             return;
         }
+        // A fetch against the served height is the liveness signal the
+        // age-out watches for.
+        self.outgoing_idle_ticks = 0;
         let o = self.outgoing.as_ref().expect("checked above");
         let Some((_, encoded, proofs)) = o.chunks.get(index as usize) else {
             return;
@@ -1198,10 +1221,28 @@ impl<F: Fabric> Pipeline<F> {
         self.note_peer_head(t.peer, t.manifest.peer_height, true);
     }
 
-    /// The periodic tick while behind: re-request missing chunks of a
-    /// live transfer (rotating the serving peer when it stalls), or
-    /// re-issue the catch-up request to the next peer.
+    /// The runtime's periodic tick. Serving side (any mode): age out a
+    /// frozen outgoing snapshot no requester has touched for
+    /// [`OUTGOING_SNAPSHOT_IDLE_TICKS`] ticks — a receiver that
+    /// vanished mid-transfer must not pin a full state copy until the
+    /// next serve. Requesting side (while behind): re-request missing
+    /// chunks of a live transfer (rotating the serving peer when it
+    /// stalls), or re-issue the catch-up request to the next peer.
     fn on_tick(&mut self) {
+        if self.outgoing.is_some() {
+            self.outgoing_idle_ticks += 1;
+            if self.outgoing_idle_ticks > OUTGOING_SNAPSHOT_IDLE_TICKS {
+                // The requester went quiet for the whole window: drop
+                // the frozen copy. If it comes back it re-manifests
+                // (its own tick re-requests on silence), and the
+                // journal on its side keeps already-verified chunks, so
+                // the restarted transfer resumes rather than restarts.
+                self.outgoing = None;
+                self.outgoing_idle_ticks = 0;
+            }
+        } else {
+            self.outgoing_idle_ticks = 0;
+        }
         if !matches!(self.mode, Mode::CatchingUp { .. }) {
             return;
         }
@@ -1317,5 +1358,106 @@ fn commit_info_of(cb: CatchUpBlock) -> CommitInfo {
             created_at: SimTime::ZERO,
             payload: cb.payload,
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_types::{CertPhase, ClusterConfig, CommitCertificate, InstanceId, View};
+
+    /// A fabric that drops everything — these tests drive the pipeline
+    /// directly and only inspect its internal state.
+    #[derive(Clone)]
+    struct NullFabric;
+
+    impl Fabric for NullFabric {
+        fn send(&self, _to: ReplicaId, _env: Envelope) {}
+    }
+
+    fn commit_info(id: u64) -> CommitInfo {
+        CommitInfo {
+            instance: InstanceId(0),
+            view: View(id),
+            depth: id,
+            batch: ClientBatch {
+                id: BatchId(id),
+                origin: ClientId(0),
+                digest: Digest::from_u64(id),
+                txns: 0,
+                txn_size: 0,
+                created_at: SimTime::ZERO,
+                payload: Vec::new(),
+            },
+            cert: CommitCertificate {
+                view: View(id),
+                phase: CertPhase::Strong,
+                signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            },
+        }
+    }
+
+    /// A synced, in-memory pipeline for replica 0 of a 4-cluster.
+    fn synced_pipeline() -> Pipeline<NullFabric> {
+        let cluster = ClusterConfig::new(4);
+        let keystore = KeyStore::cluster(b"pipeline-ageout-test", 4)[0].clone();
+        let (informs, _inform_rx) = mpsc::unbounded_channel();
+        Pipeline::new(
+            ReplicaId(0),
+            cluster,
+            keystore,
+            NullFabric,
+            None,
+            KvStore::new(),
+            0,
+            Vec::new(),
+            InstallJournal::in_memory(),
+            1 << 16,
+            CommitLog::default(),
+            informs,
+            Arc::new(AtomicBool::new(true)),
+            false,
+        )
+    }
+
+    #[test]
+    fn frozen_outgoing_snapshot_ages_out_on_idle_ticks() {
+        let mut p = synced_pipeline();
+        p.flush(vec![commit_info(1), commit_info(2)]);
+        assert_eq!(p.kv_height, 2, "both commits executed");
+        // A manifest request freezes the outgoing snapshot…
+        assert!(p.build_manifest().is_some());
+        assert!(p.outgoing.is_some());
+        // …and a requester that vanishes leaves it untouched: the tick
+        // keeps it for the whole idle window, then releases it.
+        for _ in 0..OUTGOING_SNAPSHOT_IDLE_TICKS {
+            p.on_tick();
+        }
+        assert!(p.outgoing.is_some(), "still within the idle window");
+        p.on_tick();
+        assert!(p.outgoing.is_none(), "one tick past the window releases");
+        assert_eq!(
+            p.outgoing_idle_ticks, 0,
+            "counter rearmed for the next serve"
+        );
+    }
+
+    #[test]
+    fn chunk_fetches_keep_the_outgoing_snapshot_alive() {
+        let mut p = synced_pipeline();
+        p.flush(vec![commit_info(1)]);
+        let m = p.build_manifest().expect("manifest freezes a snapshot");
+        for round in 0..3 {
+            for _ in 0..OUTGOING_SNAPSHOT_IDLE_TICKS {
+                p.on_tick();
+            }
+            // One fetch against the served height resets the clock.
+            p.serve_chunk(ReplicaId(2), m.height, 0);
+            assert!(p.outgoing.is_some(), "round {round}: fetch keeps it alive");
+        }
+        // A requester that finished (catch-up request at or above the
+        // snapshot height) releases the cache immediately, tick or not.
+        p.serve_catchup(ReplicaId(2), m.height);
+        assert!(p.outgoing.is_none());
     }
 }

@@ -31,8 +31,8 @@
 //! crash–restart and pruned-history recovery proofs.
 
 use crate::envelope::{decode, encode_protocol, Envelope, WireMsg};
-use crate::fabric::Fabric;
-use crate::observe::{CommitLog, Inform};
+use crate::fabric::{Fabric, MeteredFabric};
+use crate::observe::{CommitLog, Inform, NetStats};
 use crate::pipeline::{Pipeline, PipelineCmd};
 use serde::{Deserialize, Serialize};
 use spotless_crypto::KeyStore;
@@ -102,6 +102,10 @@ pub struct RuntimeConfig {
     /// Crash-faulty deployment: consume inputs, emit nothing (the A1
     /// behaviour at transport level).
     pub silent: bool,
+    /// Wire-traffic counters for this replica (payload bytes/messages
+    /// by direction). A fresh set by default; share one across replicas
+    /// to aggregate. Also readable later via [`ReplicaHandle::net`].
+    pub net: NetStats,
 }
 
 impl RuntimeConfig {
@@ -117,6 +121,7 @@ impl RuntimeConfig {
             catchup_interval: SimDuration::from_millis(150),
             chunk_budget: spotless_types::SNAPSHOT_CHUNK_BYTES,
             silent: false,
+            net: NetStats::default(),
         }
     }
 }
@@ -156,6 +161,7 @@ pub struct ReplicaHandle {
     recovery: Option<Arc<RecoveryInfo>>,
     synced: Arc<AtomicBool>,
     stopped: Arc<AtomicBool>,
+    net: NetStats,
 }
 
 impl ReplicaHandle {
@@ -192,6 +198,12 @@ impl ReplicaHandle {
     /// directory corrupt the log.
     pub fn is_stopped(&self) -> bool {
         self.stopped.load(Ordering::Relaxed)
+    }
+
+    /// This replica's wire-traffic counters (encoded payload bytes and
+    /// message counts, by direction).
+    pub fn net(&self) -> &NetStats {
+        &self.net
     }
 }
 
@@ -316,6 +328,14 @@ impl ReplicaRuntime {
         let (events_tx, events_rx) = mpsc::unbounded_channel::<Event<N::Message>>();
         let (pipeline_tx, pipeline_rx) = mpsc::channel::<PipelineCmd>(cfg.commit_queue.max(1));
         let synced = Arc::new(AtomicBool::new(true));
+        // Every outbound envelope — consensus, catch-up, state transfer
+        // — leaves through Fabric::send; metering the fabric once here
+        // covers the event loop and the pipeline alike.
+        let net = cfg.net.clone();
+        let fabric = MeteredFabric {
+            inner: fabric,
+            stats: net.clone(),
+        };
 
         // 2. The commit pipeline (durability + execution + replies).
         let pipeline = Pipeline::new(
@@ -349,8 +369,10 @@ impl ReplicaRuntime {
         //    both feed the single typed event queue.
         let env_events = events_tx.clone();
         let mut envelopes = envelopes;
+        let recv_net = net.clone();
         tokio::spawn(async move {
             while let Some(env) = envelopes.recv().await {
+                recv_net.record_recv(env.payload.len());
                 if env_events.send(Event::Envelope(env)).is_err() {
                     break;
                 }
@@ -392,6 +414,7 @@ impl ReplicaRuntime {
             recovery,
             synced,
             stopped,
+            net,
         })
     }
 }
@@ -445,9 +468,13 @@ where
         if self.synced.load(Ordering::Relaxed) {
             self.step(Input::Start).await;
             started = true;
-        } else {
-            self.arm_catchup_tick();
         }
+        // The runtime tick runs for the replica's whole life, not just
+        // while behind: the pipeline uses it to drive catch-up retries
+        // when catching up *and* serving-side maintenance when synced
+        // (aging out a frozen outgoing snapshot whose requester
+        // vanished mid-transfer).
+        self.arm_catchup_tick();
         while let Some(ev) = events.recv().await {
             if !started && self.synced.load(Ordering::Relaxed) {
                 self.step(Input::Start).await;
@@ -535,14 +562,14 @@ where
                     }
                 }
                 Event::Timer(id) if id.kind == CATCHUP_TICK => {
-                    // While behind, the tick drives retries; once
-                    // synced, its final fire doubles as the start
-                    // signal (the check at the top of the loop), so a
-                    // quiet cluster still starts the node promptly.
-                    if !self.synced.load(Ordering::Relaxed) {
-                        let _ = self.pipeline_tx.send(PipelineCmd::CatchUpTick).await;
-                        self.arm_catchup_tick();
-                    }
+                    // While behind, the tick drives catch-up retries
+                    // (and doubles as the start signal via the check at
+                    // the top of the loop, so a quiet cluster still
+                    // starts the node promptly); while synced it drives
+                    // the pipeline's serving-side maintenance. Always
+                    // re-armed — the tick is the replica's heartbeat.
+                    let _ = self.pipeline_tx.send(PipelineCmd::Tick).await;
+                    self.arm_catchup_tick();
                 }
                 Event::Timer(id) => {
                     if started {

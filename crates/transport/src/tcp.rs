@@ -78,9 +78,15 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame. Frames are encoded with the
+/// streaming binary codec (`serde::bin`) — the same backend the
+/// envelope payload inside already uses, so a frame costs a few header
+/// bytes over the payload instead of a JSON re-rendering of it. The
+/// payload's own leading `WIRE_VERSION` byte versions the whole stack:
+/// a peer on another format generation produces frames whose payloads
+/// fail that check and are dropped after signature verification.
 pub async fn write_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), FrameError> {
-    let bytes = serde_json::to_vec(frame).map_err(|_| FrameError::Malformed)?;
+    let bytes = serde::bin::to_vec(frame);
     let len = bytes.len() as u64;
     if len > SIMPLE_FRAME_LIMIT {
         return Err(FrameError::TooLarge(len));
@@ -100,7 +106,7 @@ pub async fn read_frame(stream: &mut TcpStream) -> Result<Frame, FrameError> {
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf).await?;
-    serde_json::from_slice(&buf).map_err(|_| FrameError::Malformed)
+    serde::bin::from_slice(&buf).map_err(|_| FrameError::Malformed)
 }
 
 fn frame_to_envelope(frame: Frame) -> Option<Envelope> {
@@ -377,7 +383,7 @@ mod tests {
             read_frame(&mut stream).await.unwrap()
         });
         let mut client = TcpStream::connect(addr).await.unwrap();
-        let payload = Arc::new(serde_json::to_vec(&sync_msg()).unwrap());
+        let payload = Arc::new(spotless_runtime::envelope::encode_protocol(&sync_msg()));
         write_frame(
             &mut client,
             &Frame {

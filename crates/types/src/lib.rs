@@ -54,8 +54,9 @@ pub use time::{SimDuration, SimTime};
 pub const SIMPLE_FRAME_LIMIT: u64 = 8 * 1024 * 1024;
 
 /// Raw-byte budget for one snapshot-transfer chunk, derived from the
-/// frame limit: a chunk's wire frame adds hex inflation on the JSON
-/// paths (2×), per-bucket Merkle proofs (~360 B each), and framing, so
-/// an eighth of the frame limit keeps the serialized frame comfortably
-/// inside it with generous headroom.
+/// frame limit: a chunk's wire frame adds per-bucket Merkle proofs
+/// (~360 B each) and framing on top of the raw bytes (the binary wire
+/// codec carries byte payloads 1:1 — the budget kept its JSON-era
+/// margin, which is now pure headroom), so an eighth of the frame
+/// limit keeps the serialized frame comfortably inside it.
 pub const SNAPSHOT_CHUNK_BYTES: usize = (SIMPLE_FRAME_LIMIT / 8) as usize;

@@ -1,0 +1,480 @@
+//! Wire-format pinning: golden byte vectors for every `WireMsg`
+//! variant, plus proptest round-trip equivalence between the two serde
+//! backends (binary ↔ struct ↔ JSON).
+//!
+//! The golden vectors are the contract: the binary layout documented in
+//! README §"Wire format" cannot drift silently under a codec refactor —
+//! any byte-level change fails here and must be shipped as a
+//! `WIRE_VERSION` bump (old and new clusters then fail closed against
+//! each other instead of misreading frames). Everything in the
+//! fixtures is deterministic (tag-digests, no randomness, no clocks),
+//! so the expected hex is stable across runs and machines.
+
+use proptest::prelude::*;
+use spotless::core::messages::{Justification, Message, Proposal, ProposalRef, SyncMsg};
+use spotless::crypto::ProofStep;
+use spotless::ledger::{Block, CommitProof, Ledger};
+use spotless::runtime::envelope::{
+    decode, encode_catchup_manifest, encode_catchup_req, encode_catchup_resp, encode_chunk,
+    encode_chunk_req, encode_protocol, TAG_CATCHUP_CHUNK, TAG_CATCHUP_CHUNK_REQ,
+    TAG_CATCHUP_MANIFEST, TAG_CATCHUP_REQ, TAG_CATCHUP_RESP, TAG_PROTOCOL,
+};
+use spotless::runtime::{CatchUpBlock, ChunkInfo, ChunkTransfer, TransferManifest, WireMsg};
+use spotless::types::{
+    BatchId, CertPhase, ClientBatch, ClientId, Digest, InstanceId, ReplicaId, SimTime, View,
+};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+// ── deterministic fixtures ──────────────────────────────────────────
+
+fn sample_block() -> Block {
+    let mut ledger = Ledger::new();
+    ledger.append(
+        BatchId(7),
+        Digest::from_u64(77),
+        2,
+        Digest::from_u64(500),
+        CommitProof {
+            instance: InstanceId(0),
+            view: View(3),
+            phase: CertPhase::Strong,
+            signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+        },
+    );
+    ledger.block(0).unwrap().clone()
+}
+
+fn sample_sync() -> Message {
+    Message::Sync(SyncMsg {
+        instance: InstanceId(1),
+        view: View(300),
+        claim: Some(ProposalRef {
+            view: View(299),
+            digest: Digest::from_u64(9),
+        }),
+        cp: vec![ProposalRef {
+            view: View(300),
+            digest: Digest::from_u64(10),
+        }],
+        upsilon: true,
+    })
+}
+
+fn sample_manifest() -> TransferManifest {
+    TransferManifest {
+        height: 1,
+        peer_height: 4,
+        head: sample_block(),
+        recent_ids: vec![BatchId(6), BatchId(7)],
+        app_meta: b"meta".to_vec(),
+        meta_proof: vec![ProofStep {
+            sibling: Digest::from_u64(11),
+            sibling_on_right: true,
+        }],
+        chunks: vec![ChunkInfo {
+            first_bucket: 0,
+            buckets: 1024,
+            digest: Digest::from_u64(12),
+        }],
+    }
+}
+
+fn sample_chunk() -> ChunkTransfer {
+    ChunkTransfer {
+        height: 1,
+        index: 0,
+        chunk: b"chunk-bytes".to_vec(),
+        proofs: vec![vec![ProofStep {
+            sibling: Digest::from_u64(13),
+            sibling_on_right: false,
+        }]],
+    }
+}
+
+// ── golden vectors: the pinned binary layout ────────────────────────
+//
+// Layout recap (README §"Wire format"): `0xB2` version byte, tag byte,
+// then the body in the streaming binary codec — canonical LEB128
+// varints, raw byte slices, structs field-by-field in declaration
+// order, enum variants by declaration index.
+
+#[test]
+fn golden_protocol_sync() {
+    let enc = encode_protocol(&sample_sync());
+    assert_eq!(enc[0], 0xB2, "wire version");
+    assert_eq!(enc[1], TAG_PROTOCOL);
+    assert_eq!(
+        hex(&enc),
+        "b200\
+         01\
+         01\
+         ac02\
+         01ab02\
+         0000000000000009000000000000000000000000000000000000000000000000\
+         01ac02\
+         000000000000000a000000000000000000000000000000000000000000000000\
+         01"
+    );
+    // Readable anatomy: variant 1 (Sync) ‖ instance 1 ‖ view 300
+    // (0xac02) ‖ Some(claim: view 299, digest tag 9) ‖ 1-entry CP
+    // (view 300, digest tag 10) ‖ upsilon=true.
+    match decode::<Message>(&enc) {
+        Some(WireMsg::Protocol(Message::Sync(s))) => {
+            assert_eq!(s.view, View(300));
+            assert_eq!(s.cp.len(), 1);
+            assert!(s.upsilon);
+        }
+        _ => panic!("golden protocol payload failed to decode"),
+    }
+}
+
+#[test]
+fn golden_catchup_req() {
+    let enc = encode_catchup_req(300);
+    assert_eq!(enc[1], TAG_CATCHUP_REQ);
+    assert_eq!(hex(&enc), "b201ac02");
+    assert!(matches!(
+        decode::<u64>(&enc),
+        Some(WireMsg::CatchUpReq { from_height: 300 })
+    ));
+}
+
+#[test]
+fn golden_catchup_resp() {
+    let blocks = [CatchUpBlock {
+        block: sample_block(),
+        payload: b"txn-bytes".to_vec(),
+    }];
+    let enc = encode_catchup_resp(4, &blocks);
+    assert_eq!(enc[1], TAG_CATCHUP_RESP);
+    assert_eq!(
+        hex(&enc),
+        "b2020401000000000000000000000000000000000000000000000000\
+         000000000000000000000000000000004d0000000000000000000000\
+         00000000000000000000000000070200000000000001f40000000000\
+         0000000000000000000000000000000000000000030003000102e816\
+         fdb9aded7d3c9886db890f7ce7ab1fb97d17d2c3fecaf41d4a5a9743\
+         a8420974786e2d6279746573"
+    );
+    // Anatomy: peer_height 4 ‖ 1 block (height 0 ‖ zero parent ‖
+    // batch digest tag 77 = 0x4d ‖ batch id 7 ‖ 2 txns ‖ state root
+    // tag 500 = 0x01f4 ‖ proof {instance 0, view 3, Strong, signers
+    // 0,1,2} ‖ block hash) ‖ 9-byte payload "txn-bytes".
+    match decode::<u64>(&enc) {
+        Some(WireMsg::CatchUpResp {
+            peer_height: 4,
+            blocks: got,
+        }) => assert_eq!(got, blocks),
+        _ => panic!("golden catch-up response failed to decode"),
+    }
+}
+
+#[test]
+fn golden_manifest() {
+    let m = sample_manifest();
+    let enc = encode_catchup_manifest(&m);
+    assert_eq!(enc[1], TAG_CATCHUP_MANIFEST);
+    assert_eq!(
+        hex(&enc),
+        "b2030104000000000000000000000000000000000000000000000000\
+         000000000000000000000000000000004d0000000000000000000000\
+         00000000000000000000000000070200000000000001f40000000000\
+         0000000000000000000000000000000000000000030003000102e816\
+         fdb9aded7d3c9886db890f7ce7ab1fb97d17d2c3fecaf41d4a5a9743\
+         a842020607046d65746101000000000000000b000000000000000000\
+         0000000000000000000000000000000101008008000000000000000c\
+         000000000000000000000000000000000000000000000000"
+    );
+    // Anatomy: height 1 ‖ peer_height 4 ‖ head block ‖ recent ids
+    // [6, 7] ‖ 4-byte app meta ‖ 1-step meta proof (sibling tag 11,
+    // on-right) ‖ 1 chunk {first_bucket 0, buckets 1024 = 0x8008
+    // varint, digest tag 12}.
+    match decode::<u64>(&enc) {
+        Some(WireMsg::Manifest(got)) => assert_eq!(*got, m),
+        _ => panic!("golden manifest failed to decode"),
+    }
+}
+
+#[test]
+fn golden_chunk_req() {
+    let enc = encode_chunk_req(300, 3);
+    assert_eq!(enc[1], TAG_CATCHUP_CHUNK_REQ);
+    assert_eq!(hex(&enc), "b204ac0203");
+    assert!(matches!(
+        decode::<u64>(&enc),
+        Some(WireMsg::ChunkReq {
+            height: 300,
+            index: 3
+        })
+    ));
+}
+
+#[test]
+fn golden_chunk() {
+    let c = sample_chunk();
+    let enc = encode_chunk(&c);
+    assert_eq!(enc[1], TAG_CATCHUP_CHUNK);
+    assert_eq!(
+        hex(&enc),
+        "b2050100\
+         0b6368756e6b2d6279746573\
+         0101\
+         000000000000000d00000000000000000000000000000000000000000000000000"
+    );
+    // Anatomy: height 1 ‖ index 0 ‖ 11-byte chunk ‖ 1 proof of 1 step
+    // (sibling tag 13, on-left).
+    match decode::<u64>(&enc) {
+        Some(WireMsg::Chunk(got)) => assert_eq!(*got, c),
+        _ => panic!("golden chunk failed to decode"),
+    }
+}
+
+// ── derive edge cases ───────────────────────────────────────────────
+
+#[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Marker;
+
+#[test]
+fn unit_structs_cost_one_byte_and_survive_in_sequences() {
+    // Unit structs encode as one marker byte, never zero bytes —
+    // sequence decoding bounds element counts by the remaining input,
+    // which requires every element to cost at least one byte.
+    let v = vec![Marker, Marker, Marker];
+    let enc = serde::bin::to_vec(&v);
+    assert_eq!(enc, vec![3, 0, 0, 0]);
+    let back: Vec<Marker> = serde::bin::from_slice(&enc).unwrap();
+    assert_eq!(back, v);
+}
+
+// ── proptest: backend equivalence and codec round trips ─────────────
+
+fn digests() -> impl Strategy<Value = Digest> {
+    any::<u64>().prop_map(Digest::from_u64)
+}
+
+fn proposal_refs() -> impl Strategy<Value = ProposalRef> {
+    (any::<u64>(), digests()).prop_map(|(v, digest)| ProposalRef {
+        view: View(v),
+        digest,
+    })
+}
+
+fn batches() -> impl Strategy<Value = ClientBatch> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(id, dg, payload)| ClientBatch {
+            id: BatchId(id),
+            origin: ClientId(1),
+            digest: Digest::from_u64(dg),
+            txns: payload.len() as u32,
+            txn_size: 8,
+            created_at: SimTime::ZERO,
+            payload,
+        })
+}
+
+fn proof_steps() -> impl Strategy<Value = Vec<ProofStep>> {
+    prop::collection::vec(
+        (any::<u64>(), any::<bool>()).prop_map(|(tag, right)| ProofStep {
+            sibling: Digest::from_u64(tag),
+            sibling_on_right: right,
+        }),
+        0..12,
+    )
+}
+
+fn messages() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), batches(), proposal_refs()).prop_map(
+            |(i, v, batch, parent)| {
+                Message::Propose(std::sync::Arc::new(Proposal::new(
+                    InstanceId(i),
+                    View(v),
+                    batch,
+                    Justification::certificate(parent),
+                )))
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            prop::option::of(proposal_refs()),
+            prop::collection::vec(proposal_refs(), 0..5),
+            any::<bool>(),
+        )
+            .prop_map(|(i, v, claim, cp, upsilon)| Message::Sync(SyncMsg {
+                instance: InstanceId(i),
+                view: View(v),
+                claim,
+                cp,
+                upsilon,
+            })),
+        (any::<u32>(), proposal_refs()).prop_map(|(i, target)| Message::Ask {
+            instance: InstanceId(i),
+            target,
+        }),
+    ]
+}
+
+/// A short chain of structurally valid blocks with arbitrary content.
+fn block_chains() -> impl Strategy<Value = Vec<(Block, Vec<u8>)>> {
+    prop::collection::vec(
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..64),
+        ),
+        0..4,
+    )
+    .prop_map(|specs| {
+        let mut ledger = Ledger::new();
+        let mut payloads = Vec::with_capacity(specs.len());
+        for (i, (id, dg, root, payload)) in specs.into_iter().enumerate() {
+            ledger.append(
+                BatchId(id),
+                Digest::from_u64(dg),
+                payload.len() as u32,
+                Digest::from_u64(root),
+                CommitProof {
+                    instance: InstanceId(0),
+                    view: View(i as u64),
+                    phase: CertPhase::Strong,
+                    signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                },
+            );
+            payloads.push(payload);
+        }
+        (0..payloads.len())
+            .map(|h| (ledger.block(h as u64).unwrap().clone(), payloads[h].clone()))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Binary ↔ struct ↔ JSON triangle for protocol messages: both
+    /// backends round-trip, and a value that traveled through one
+    /// backend re-encodes identically on the other (`Message` has no
+    /// `PartialEq`; byte-stable re-encoding on *both* backends is the
+    /// equality proxy — the binary codec is injective by construction,
+    /// so byte equality there is value equality).
+    #[test]
+    fn backends_agree_on_protocol_messages(msg in messages()) {
+        let bin = serde::bin::to_vec(&msg);
+        let json = serde_json::to_string(&msg).unwrap();
+        let from_bin: Message = serde::bin::from_slice(&bin).unwrap();
+        let from_json: Message = serde_json::from_str(&json).unwrap();
+        // Each backend round-trips byte/text-stably…
+        prop_assert_eq!(&serde::bin::to_vec(&from_bin), &bin);
+        prop_assert_eq!(&serde_json::to_string(&from_json).unwrap(), &json);
+        // …and crossing backends lands on the same value.
+        prop_assert_eq!(&serde::bin::to_vec(&from_json), &bin);
+        prop_assert_eq!(&serde_json::to_string(&from_bin).unwrap(), &json);
+    }
+
+    /// The envelope codec round-trips protocol messages end to end.
+    #[test]
+    fn envelope_protocol_roundtrip(msg in messages()) {
+        let payload = encode_protocol(&msg);
+        match decode::<Message>(&payload) {
+            Some(WireMsg::Protocol(back)) => {
+                prop_assert_eq!(serde::bin::to_vec(&back), serde::bin::to_vec(&msg));
+            }
+            _ => return Err(TestCaseError::fail("protocol payload did not decode")),
+        }
+        // Truncations of a valid payload never decode (fail closed).
+        for cut in [payload.len() / 2, payload.len().saturating_sub(1)] {
+            prop_assert!(decode::<Message>(&payload[..cut]).is_none());
+        }
+    }
+
+    /// Catch-up responses round-trip for arbitrary short chains.
+    #[test]
+    fn envelope_catchup_resp_roundtrip(
+        peer_height in any::<u64>(),
+        chain in block_chains(),
+    ) {
+        let blocks: Vec<CatchUpBlock> = chain
+            .into_iter()
+            .map(|(block, payload)| CatchUpBlock { block, payload })
+            .collect();
+        let enc = encode_catchup_resp(peer_height, &blocks);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::CatchUpResp { peer_height: ph, blocks: got }) => {
+                prop_assert_eq!(ph, peer_height);
+                prop_assert_eq!(got, blocks);
+            }
+            _ => return Err(TestCaseError::fail("catch-up response did not decode")),
+        }
+    }
+
+    /// Manifests round-trip for arbitrary contents (structural
+    /// validation of the chunk plan is the pipeline's job, not the
+    /// codec's).
+    #[test]
+    fn envelope_manifest_roundtrip(
+        height in any::<u64>(),
+        peer_height in any::<u64>(),
+        ids in prop::collection::vec(any::<u64>(), 0..8),
+        meta in prop::collection::vec(any::<u8>(), 0..64),
+        meta_proof in proof_steps(),
+        chunk_spec in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 0..6),
+    ) {
+        let m = TransferManifest {
+            height,
+            peer_height,
+            head: sample_block(),
+            recent_ids: ids.into_iter().map(BatchId).collect(),
+            app_meta: meta,
+            meta_proof,
+            chunks: chunk_spec
+                .into_iter()
+                .map(|(first_bucket, buckets, tag)| ChunkInfo {
+                    first_bucket,
+                    buckets,
+                    digest: Digest::from_u64(tag),
+                })
+                .collect(),
+        };
+        let enc = encode_catchup_manifest(&m);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::Manifest(got)) => prop_assert_eq!(*got, m),
+            _ => return Err(TestCaseError::fail("manifest did not decode")),
+        }
+    }
+
+    /// Chunk transfers round-trip for arbitrary contents.
+    #[test]
+    fn envelope_chunk_roundtrip(
+        height in any::<u64>(),
+        index in any::<u32>(),
+        chunk in prop::collection::vec(any::<u8>(), 0..256),
+        proofs in prop::collection::vec(proof_steps(), 0..4),
+    ) {
+        let c = ChunkTransfer { height, index, chunk, proofs };
+        let enc = encode_chunk(&c);
+        match decode::<u64>(&enc) {
+            Some(WireMsg::Chunk(got)) => prop_assert_eq!(*got, c),
+            _ => return Err(TestCaseError::fail("chunk did not decode")),
+        }
+    }
+
+    /// Any mutation of the leading version byte fails closed — no
+    /// payload from another wire generation can be misread.
+    #[test]
+    fn version_byte_mutations_fail_closed(height in any::<u64>(), bad in any::<u8>()) {
+        let mut enc = encode_catchup_req(height);
+        if bad != enc[0] {
+            enc[0] = bad;
+            prop_assert!(decode::<u64>(&enc).is_none());
+        }
+    }
+}
