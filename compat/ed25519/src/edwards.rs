@@ -1,0 +1,360 @@
+//! The edwards25519 group: −x² + y² = 1 + d·x²y² over GF(2^255 − 19).
+//!
+//! Points are held in extended twisted Edwards coordinates
+//! (X : Y : Z : T) with x = X/Z, y = Y/Z, T = XY/Z. Addition is the
+//! complete "add-2008-hwcd-3" formula (valid for every input pair on an
+//! a = −1 curve with non-square d, so no doubling special case is
+//! needed for correctness), plus a dedicated 4M+4S doubling for speed.
+//!
+//! Scalar multiplication is variable-time width-5 wNAF; the multiscalar
+//! form shares one doubling chain across all terms, which is what makes
+//! batch signature verification amortize (252 doublings total instead
+//! of per-signature).
+
+use crate::field::{FieldElement, EDWARDS_2D, EDWARDS_D};
+use crate::scalar::Scalar;
+
+/// A point on edwards25519 in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtendedPoint {
+    pub(crate) x: FieldElement,
+    pub(crate) y: FieldElement,
+    pub(crate) z: FieldElement,
+    pub(crate) t: FieldElement,
+}
+
+/// The RFC 8032 basepoint B (y = 4/5, x positive).
+pub const BASEPOINT: ExtendedPoint = ExtendedPoint {
+    x: FieldElement([
+        1738742601995546,
+        1146398526822698,
+        2070867633025821,
+        562264141797630,
+        587772402128613,
+    ]),
+    y: FieldElement([
+        1801439850948184,
+        1351079888211148,
+        450359962737049,
+        900719925474099,
+        1801439850948198,
+    ]),
+    z: FieldElement::ONE,
+    t: FieldElement([
+        1841354044333475,
+        16398895984059,
+        755974180946558,
+        900171276175154,
+        1821297809914039,
+    ]),
+};
+
+impl ExtendedPoint {
+    /// The neutral element (0, 1).
+    pub const IDENTITY: ExtendedPoint = ExtendedPoint {
+        x: FieldElement::ZERO,
+        y: FieldElement::ONE,
+        z: FieldElement::ONE,
+        t: FieldElement::ZERO,
+    };
+
+    /// Complete addition (add-2008-hwcd-3).
+    pub fn add(&self, other: &ExtendedPoint) -> ExtendedPoint {
+        let a = (self.y - self.x) * (other.y - other.x);
+        let b = (self.y + self.x) * (other.y + other.x);
+        let c = self.t * EDWARDS_2D * other.t;
+        let d = (self.z * other.z) + (self.z * other.z);
+        let e = b - a;
+        let f = d - c;
+        let g = d + c;
+        let h = b + a;
+        ExtendedPoint {
+            x: e * f,
+            y: g * h,
+            z: f * g,
+            t: e * h,
+        }
+    }
+
+    /// Dedicated doubling (dbl-2008-hwcd, a = −1).
+    pub fn double(&self) -> ExtendedPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square() + self.z.square();
+        let e = (self.x + self.y).square() - a - b;
+        let g = b - a; // a·X² + Y² with a = −1
+        let f = g - c;
+        let h = -(a + b); // a·X² − Y²
+        ExtendedPoint {
+            x: e * f,
+            y: g * h,
+            z: f * g,
+            t: e * h,
+        }
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> ExtendedPoint {
+        ExtendedPoint {
+            x: -self.x,
+            y: self.y,
+            z: self.z,
+            t: -self.t,
+        }
+    }
+
+    /// Multiplication by the cofactor 8.
+    pub fn mul_by_cofactor(&self) -> ExtendedPoint {
+        self.double().double().double()
+    }
+
+    /// True iff this is the neutral element.
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && (self.y - self.z).is_zero()
+    }
+
+    /// True iff this point's order divides 8 (the torsion subgroup) —
+    /// such points must never be accepted as public keys.
+    pub fn is_small_order(&self) -> bool {
+        self.mul_by_cofactor().is_identity()
+    }
+
+    /// Compresses to the 32-byte encoding: canonical y with the sign of
+    /// x in bit 255.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x * zinv;
+        let y = self.y * zinv;
+        let mut bytes = y.to_bytes();
+        if x.is_negative() {
+            bytes[31] |= 0x80;
+        }
+        bytes
+    }
+
+    /// Decompresses a 32-byte encoding. Fails on a non-canonical y
+    /// (≥ p), on a y with no corresponding x (not on the curve), and on
+    /// the non-canonical "negative zero" sign choice.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<ExtendedPoint> {
+        let sign = bytes[31] >> 7;
+        let y = FieldElement::from_bytes_canonical(bytes)?;
+        let yy = y.square();
+        let u = yy - FieldElement::ONE;
+        let v = yy * EDWARDS_D + FieldElement::ONE;
+        let (is_square, mut x) = FieldElement::sqrt_ratio(&u, &v);
+        if !is_square {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            // Encoding of −0: rejected so every point has exactly one
+            // accepted encoding.
+            return None;
+        }
+        if x.is_negative() != (sign == 1) {
+            x = -x;
+        }
+        Some(ExtendedPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x * y,
+        })
+    }
+
+    /// Variable-time scalar multiplication.
+    pub fn mul(&self, scalar: &Scalar) -> ExtendedPoint {
+        multiscalar_mul(&[(*scalar, *self)])
+    }
+}
+
+impl PartialEq for ExtendedPoint {
+    fn eq(&self, other: &ExtendedPoint) -> bool {
+        // Projective equality: cross-multiply out the Z denominators.
+        (self.x * other.z - other.x * self.z).is_zero()
+            && (self.y * other.z - other.y * self.z).is_zero()
+    }
+}
+
+impl Eq for ExtendedPoint {}
+
+/// Odd multiples P, 3P, …, 15P for one wNAF operand.
+struct NafTable([ExtendedPoint; 8]);
+
+impl NafTable {
+    fn new(p: &ExtendedPoint) -> NafTable {
+        let p2 = p.double();
+        let mut t = [*p; 8];
+        for i in 1..8 {
+            t[i] = t[i - 1].add(&p2);
+        }
+        NafTable(t)
+    }
+
+    /// The point for digit `d` (odd, in ±[1, 15]).
+    fn select(&self, d: i8) -> ExtendedPoint {
+        debug_assert!(d != 0 && d % 2 != 0 && d.abs() <= 15);
+        let entry = self.0[(d.unsigned_abs() as usize - 1) / 2];
+        if d < 0 {
+            entry.neg()
+        } else {
+            entry
+        }
+    }
+}
+
+/// Variable-time Σ scalarᵢ·pointᵢ with one shared doubling chain
+/// (Straus' trick over width-5 wNAF digits).
+pub fn multiscalar_mul(pairs: &[(Scalar, ExtendedPoint)]) -> ExtendedPoint {
+    let nafs: Vec<[i8; 256]> = pairs.iter().map(|(s, _)| s.non_adjacent_form()).collect();
+    let tables: Vec<NafTable> = pairs.iter().map(|(_, p)| NafTable::new(p)).collect();
+    let top = nafs
+        .iter()
+        .filter_map(|naf| (0..256).rev().find(|&i| naf[i] != 0))
+        .max();
+    let Some(top) = top else {
+        return ExtendedPoint::IDENTITY;
+    };
+    let mut acc = ExtendedPoint::IDENTITY;
+    for pos in (0..=top).rev() {
+        acc = acc.double();
+        for (naf, table) in nafs.iter().zip(&tables) {
+            let d = naf[pos];
+            if d != 0 {
+                acc = acc.add(&table.select(d));
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_u64(n: u64) -> Scalar {
+        Scalar::from_u128(n as u128)
+    }
+
+    /// Reference ladder: repeated add (exercises `add` alone).
+    fn slow_mul(p: &ExtendedPoint, n: u64) -> ExtendedPoint {
+        let mut acc = ExtendedPoint::IDENTITY;
+        for _ in 0..n {
+            acc = acc.add(p);
+        }
+        acc
+    }
+
+    #[test]
+    fn basepoint_is_on_curve_and_large_order() {
+        // −x² + y² = 1 + d·x²y² for the affine basepoint.
+        let b = BASEPOINT;
+        let lhs = b.y.square() - b.x.square();
+        let rhs = FieldElement::ONE + EDWARDS_D * b.x.square() * b.y.square();
+        assert_eq!(lhs, rhs);
+        assert!(!b.is_small_order());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = BASEPOINT;
+        assert_eq!(b.double(), b.add(&b));
+        let p = b.double().add(&b); // 3B
+        assert_eq!(p.double(), p.add(&p));
+    }
+
+    #[test]
+    fn small_multiples_agree_with_ladder() {
+        for n in [0u64, 1, 2, 3, 7, 8, 15, 16, 31, 57, 255] {
+            assert_eq!(
+                BASEPOINT.mul(&scalar_u64(n)),
+                slow_mul(&BASEPOINT, n),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiscalar_matches_separate_muls() {
+        let b = BASEPOINT;
+        let p = b.mul(&scalar_u64(7));
+        let q = b.mul(&scalar_u64(11));
+        let combined = multiscalar_mul(&[(scalar_u64(3), p), (scalar_u64(5), q)]);
+        let separate = p.mul(&scalar_u64(3)).add(&q.mul(&scalar_u64(5)));
+        assert_eq!(combined, separate);
+        // 3·7 + 5·11 = 76.
+        assert_eq!(combined, b.mul(&scalar_u64(76)));
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        for n in [1u64, 2, 9, 1000, 123456789] {
+            let p = BASEPOINT.mul(&scalar_u64(n));
+            let c = p.compress();
+            let q = ExtendedPoint::decompress(&c).unwrap();
+            assert_eq!(p, q);
+            assert_eq!(q.compress(), c);
+        }
+    }
+
+    #[test]
+    fn basepoint_compresses_to_rfc_encoding() {
+        // 5866666666666666666666666666666666666666666666666666666666666666,
+        // the standard encoding of B.
+        let mut expect = [0x66u8; 32];
+        expect[0] = 0x58;
+        assert_eq!(BASEPOINT.compress(), expect);
+        assert_eq!(ExtendedPoint::decompress(&expect).unwrap(), BASEPOINT);
+    }
+
+    #[test]
+    fn identity_encoding_decompresses_to_small_order_point() {
+        let mut enc = [0u8; 32];
+        enc[0] = 1;
+        let p = ExtendedPoint::decompress(&enc).unwrap();
+        assert!(p.is_identity());
+        assert!(p.is_small_order());
+    }
+
+    #[test]
+    fn order_two_point_is_small_order() {
+        // y = −1 encodes the order-2 point (0, −1).
+        let mut enc = [0xffu8; 32];
+        enc[0] = 0xec;
+        enc[31] = 0x7f;
+        let p = ExtendedPoint::decompress(&enc).unwrap();
+        assert!(!p.is_identity());
+        assert!(p.is_small_order());
+        assert_eq!(p.add(&p), ExtendedPoint::IDENTITY);
+    }
+
+    #[test]
+    fn negative_zero_encoding_rejected() {
+        // (0, 1) with the sign bit set: x = 0 must encode sign 0.
+        let mut enc = [0u8; 32];
+        enc[0] = 1;
+        enc[31] = 0x80;
+        assert!(ExtendedPoint::decompress(&enc).is_none());
+    }
+
+    #[test]
+    fn non_canonical_y_rejected() {
+        // y = p (≡ 0, non-canonical encoding).
+        let mut enc = [0xffu8; 32];
+        enc[0] = 0xed;
+        enc[31] = 0x7f;
+        assert!(ExtendedPoint::decompress(&enc).is_none());
+    }
+
+    #[test]
+    fn basepoint_times_group_order_is_identity() {
+        // L·B = O: feed L − 1 (canonical) and add one more B.
+        let mut l_minus_1 = [0u8; 32];
+        l_minus_1[..8].copy_from_slice(&0x5812631a5cf5d3ecu64.to_le_bytes());
+        l_minus_1[8..16].copy_from_slice(&0x14def9dea2f79cd6u64.to_le_bytes());
+        l_minus_1[24..32].copy_from_slice(&0x1000000000000000u64.to_le_bytes());
+        let s = Scalar::from_canonical_bytes(&l_minus_1).unwrap();
+        let almost = BASEPOINT.mul(&s);
+        assert_eq!(almost, BASEPOINT.neg());
+        assert!(almost.add(&BASEPOINT).is_identity());
+    }
+}

@@ -1,0 +1,392 @@
+//! Arithmetic in GF(2^255 − 19), the base field of Curve25519.
+//!
+//! Elements are held in radix 2^51 — five `u64` limbs with ~13 bits of
+//! headroom each — so a schoolbook product of two weakly-reduced
+//! elements fits comfortably in `u128` accumulators and reduction is a
+//! single carry sweep folding the top back in with ×19. Stored elements
+//! are kept *weakly* reduced (every limb < 2^52); only [`to_bytes`]
+//! produces the unique canonical representative.
+//!
+//! This implementation is **variable time**: comparisons and the square
+//! root short-circuit on values. That is fine for signature
+//! *verification* (all inputs public) and acceptable for this
+//! workspace's deterministic test/benchmark signing, but it is not
+//! hardened against timing side channels the way a production signer
+//! must be.
+//!
+//! [`to_bytes`]: FieldElement::to_bytes
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// 16·p per limb, added before subtraction so limbs never underflow
+/// (valid for any subtrahend with limbs < 2^54).
+const SIXTEEN_P: [u64; 5] = [
+    36028797018963664, // 16·(2^51 − 19)
+    36028797018963952, // 16·(2^51 − 1)
+    36028797018963952,
+    36028797018963952,
+    36028797018963952,
+];
+
+/// An element of GF(2^255 − 19), weakly reduced.
+#[derive(Clone, Copy, Debug)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+/// The curve constant d = −121665/121666.
+pub const EDWARDS_D: FieldElement = FieldElement([
+    929955233495203,
+    466365720129213,
+    1662059464998953,
+    2033849074728123,
+    1442794654840575,
+]);
+
+/// 2·d, used by the extended-coordinates addition formula.
+pub const EDWARDS_2D: FieldElement = FieldElement([
+    1859910466990425,
+    932731440258426,
+    1072319116312658,
+    1815898335770999,
+    633789495995903,
+]);
+
+/// sqrt(−1) = 2^((p−1)/4), the non-trivial fourth root of unity.
+pub const SQRT_M1: FieldElement = FieldElement([
+    1718705420411056,
+    234908883556509,
+    2233514472574048,
+    2117202627021982,
+    765476049583133,
+]);
+
+impl FieldElement {
+    pub const ZERO: FieldElement = FieldElement([0; 5]);
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Parses 32 little-endian bytes with the sign bit (bit 255) masked
+    /// off. Returns `None` unless the value is the canonical (fully
+    /// reduced) representative, i.e. < p.
+    pub fn from_bytes_canonical(bytes: &[u8; 32]) -> Option<FieldElement> {
+        let load = |i: usize| -> u64 { u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap()) };
+        let fe = FieldElement([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ]);
+        // Canonical iff re-encoding reproduces the input (sign bit aside).
+        let mut masked = *bytes;
+        masked[31] &= 0x7f;
+        if fe.to_bytes() == masked {
+            Some(fe)
+        } else {
+            None
+        }
+    }
+
+    /// The unique canonical 32-byte little-endian encoding (bit 255
+    /// clear).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        // Carry sweep into weakly-reduced limbs.
+        let mut l = self.weak_reduce().0;
+        // q = floor((value + 19) / 2^255): 1 iff value ≥ p, since after
+        // weak reduction value < 2p.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        // value mod p = value + 19q, dropping bit 255.
+        l[0] += 19 * q;
+        for i in 0..4 {
+            l[i + 1] += l[i] >> 51;
+            l[i] &= MASK51;
+        }
+        l[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut bits = 0;
+        let mut idx = 0;
+        for limb in l {
+            acc |= (limb as u128) << bits;
+            bits += 51;
+            while bits >= 8 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                bits -= 8;
+                idx += 1;
+            }
+        }
+        debug_assert_eq!(idx, 31);
+        out[31] = acc as u8;
+        out
+    }
+
+    /// Carry-propagates so every limb is < 2^51 + 19·2^13 (in particular
+    /// < 2^52). Accepts limbs up to 2^63.
+    fn weak_reduce(&self) -> FieldElement {
+        let mut l = self.0;
+        let c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += 19 * c;
+        for i in 0..4 {
+            l[i + 1] += l[i] >> 51;
+            l[i] &= MASK51;
+        }
+        let c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += 19 * c;
+        FieldElement(l)
+    }
+
+    /// True iff this is the zero element.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// The "sign" used by point compression: the low bit of the
+    /// canonical encoding.
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// `k` successive squarings.
+    pub fn pow2k(&self, k: u32) -> FieldElement {
+        let mut r = self.square();
+        for _ in 1..k {
+            r = r.square();
+        }
+        r
+    }
+
+    /// Shared prefix of the inversion / square-root exponentiations:
+    /// returns (self^(2^250 − 1), self^11).
+    fn pow22501(&self) -> (FieldElement, FieldElement) {
+        let t0 = self.square(); // 2
+        let t1 = t0.pow2k(2); // 8
+        let t2 = *self * t1; // 9
+        let t3 = t0 * t2; // 11
+        let t4 = t3.square(); // 22
+        let t5 = t2 * t4; // 31 = 2^5 − 1
+        let t6 = t5.pow2k(5) * t5; // 2^10 − 1
+        let t7 = t6.pow2k(10) * t6; // 2^20 − 1
+        let t8 = t7.pow2k(20) * t7; // 2^40 − 1
+        let t9 = t8.pow2k(10) * t6; // 2^50 − 1
+        let t10 = t9.pow2k(50) * t9; // 2^100 − 1
+        let t11 = t10.pow2k(100) * t10; // 2^200 − 1
+        let t12 = t11.pow2k(50) * t9; // 2^250 − 1
+        (t12, t3)
+    }
+
+    /// Multiplicative inverse (self^(p − 2)); returns zero for zero.
+    pub fn invert(&self) -> FieldElement {
+        let (t19, t3) = self.pow22501();
+        t19.pow2k(5) * t3 // 2^255 − 21
+    }
+
+    /// self^((p − 5) / 8) = self^(2^252 − 3), the core of the square
+    /// root.
+    fn pow_p58(&self) -> FieldElement {
+        let (t19, _) = self.pow22501();
+        t19.pow2k(2) * *self
+    }
+
+    /// Computes sqrt(u/v) when it exists. Returns `(true, r)` with
+    /// r² · v = u and r non-negative, or `(false, _)` when u/v is not a
+    /// quadratic residue. `(true, 0)` for u = 0.
+    pub fn sqrt_ratio(u: &FieldElement, v: &FieldElement) -> (bool, FieldElement) {
+        let v3 = v.square() * *v;
+        let v7 = v3.square() * *v;
+        let mut r = (*u * v3) * (*u * v7).pow_p58();
+        let check = *v * r.square();
+        if check == *u {
+            // r is already a root.
+        } else if check == -*u {
+            r = r * SQRT_M1;
+        } else {
+            return (false, r);
+        }
+        if r.is_negative() {
+            r = -r;
+        }
+        (true, r)
+    }
+
+    /// Squaring (saves roughly a third of the limb products over `mul`).
+    pub fn square(&self) -> FieldElement {
+        let a = &self.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let a3_19 = 19 * a[3];
+        let a4_19 = 19 * a[4];
+        let c0 = m(a[0], a[0]) + 2 * (m(a[1], a4_19) + m(a[2], a3_19));
+        let c1 = m(a[3], a3_19) + 2 * (m(a[0], a[1]) + m(a[2], a4_19));
+        let c2 = m(a[1], a[1]) + 2 * (m(a[0], a[2]) + m(a[3], a4_19));
+        let c3 = m(a[4], a4_19) + 2 * (m(a[0], a[3]) + m(a[1], a[2]));
+        let c4 = m(a[2], a[2]) + 2 * (m(a[0], a[4]) + m(a[1], a[3]));
+        FieldElement::carry([c0, c1, c2, c3, c4])
+    }
+
+    fn carry(mut c: [u128; 5]) -> FieldElement {
+        let mut l = [0u64; 5];
+        for i in 0..4 {
+            c[i + 1] += c[i] >> 51;
+            l[i] = (c[i] as u64) & MASK51;
+        }
+        l[4] = (c[4] as u64) & MASK51;
+        l[0] += 19 * ((c[4] >> 51) as u64);
+        l[1] += l[0] >> 51;
+        l[0] &= MASK51;
+        FieldElement(l)
+    }
+}
+
+impl Add for FieldElement {
+    type Output = FieldElement;
+    fn add(self, rhs: FieldElement) -> FieldElement {
+        let mut l = [0u64; 5];
+        for (o, (a, b)) in l.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a + b;
+        }
+        FieldElement(l).weak_reduce()
+    }
+}
+
+impl Sub for FieldElement {
+    type Output = FieldElement;
+    fn sub(self, rhs: FieldElement) -> FieldElement {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + SIXTEEN_P[i] - rhs.0[i];
+        }
+        FieldElement(l).weak_reduce()
+    }
+}
+
+impl Neg for FieldElement {
+    type Output = FieldElement;
+    fn neg(self) -> FieldElement {
+        FieldElement::ZERO - self
+    }
+}
+
+impl Mul for FieldElement {
+    type Output = FieldElement;
+    fn mul(self, rhs: FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let b1_19 = 19 * b[1];
+        let b2_19 = 19 * b[2];
+        let b3_19 = 19 * b[3];
+        let b4_19 = 19 * b[4];
+        let c0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        FieldElement::carry([c0, c1, c2, c3, c4])
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &FieldElement) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> FieldElement {
+        FieldElement([n, 0, 0, 0, 0])
+    }
+
+    /// p in little-endian bytes.
+    fn p_bytes() -> [u8; 32] {
+        let mut b = [0xffu8; 32];
+        b[0] = 0xed;
+        b[31] = 0x7f;
+        b
+    }
+
+    #[test]
+    fn ring_identities() {
+        let a = FieldElement([1, 2, 3, 4, 5]);
+        let b = FieldElement([999, 0, 123, 0, 77]);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a - a, FieldElement::ZERO);
+        assert_eq!(a * FieldElement::ONE, a);
+        assert_eq!(a + (-a), FieldElement::ZERO);
+        assert_eq!(a.square(), a * a);
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        let a = FieldElement([123456789, 987654321, 5, 0, 42]);
+        assert_eq!(a * a.invert(), FieldElement::ONE);
+        assert_eq!(FieldElement::ZERO.invert(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        assert_eq!(SQRT_M1.square(), -FieldElement::ONE);
+    }
+
+    #[test]
+    fn sqrt_ratio_of_perfect_square() {
+        let (ok, r) = FieldElement::sqrt_ratio(&fe(4), &FieldElement::ONE);
+        assert!(ok);
+        assert_eq!(r.square(), fe(4));
+        assert!(!r.is_negative());
+    }
+
+    #[test]
+    fn sqrt_ratio_of_non_residue_fails() {
+        // 2 is a non-residue mod p (p ≡ 5 mod 8).
+        let (ok, _) = FieldElement::sqrt_ratio(&fe(2), &FieldElement::ONE);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn sqrt_ratio_of_zero() {
+        let (ok, r) = FieldElement::sqrt_ratio(&FieldElement::ZERO, &fe(7));
+        assert!(ok);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn canonical_decode_rejects_p_and_above() {
+        assert!(FieldElement::from_bytes_canonical(&p_bytes()).is_none());
+        let mut p_plus_one = p_bytes();
+        p_plus_one[0] = 0xee;
+        assert!(FieldElement::from_bytes_canonical(&p_plus_one).is_none());
+        let mut p_minus_one = p_bytes();
+        p_minus_one[0] = 0xec;
+        let fe = FieldElement::from_bytes_canonical(&p_minus_one).unwrap();
+        assert_eq!(fe, -FieldElement::ONE);
+    }
+
+    #[test]
+    fn decode_masks_sign_bit() {
+        let mut one_with_sign = [0u8; 32];
+        one_with_sign[0] = 1;
+        one_with_sign[31] = 0x80;
+        let fe = FieldElement::from_bytes_canonical(&one_with_sign).unwrap();
+        assert_eq!(fe, FieldElement::ONE);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let a = FieldElement([MASK51, MASK51, MASK51, 1, 2]);
+        let b = FieldElement::from_bytes_canonical(&a.to_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline stand-in for an Ed25519 crate: RFC 8032 signatures built
+//! from scratch (the build environment has no crates.io access, the
+//! same situation that produced `compat/sha2`).
+//!
+//! What this provides:
+//!
+//! * [`SigningKey`] / [`VerifyingKey`] with RFC 8032 deterministic
+//!   signing and *cofactored* verification (`[8]([S]B − [k]A − R) = O`),
+//! * strict encoding validation — non-canonical field elements and
+//!   scalars are rejected, and [`VerifyingKey::from_bytes`] also
+//!   rejects small-order (torsion) points,
+//! * [`verify_batch`]: a random-linear-combination batch verifier whose
+//!   accept set is *identical* to serial verification (both sides are
+//!   cofactored, so a batch never accepts or rejects differently than
+//!   checking each signature alone — modulo the 2⁻¹²⁸ coefficient
+//!   collision bound),
+//! * SHA-512 (the workspace's `compat/sha2` only has SHA-256).
+//!
+//! What this deliberately is **not**: constant-time. Scalar
+//! multiplication is variable-time wNAF, fine for verification (public
+//! inputs) and for this workspace's reproducible test clusters, but a
+//! production signer handling secret keys near an adversary's
+//! stopwatch needs a hardened implementation.
+
+pub mod edwards;
+pub mod field;
+pub mod scalar;
+pub mod sha512;
+
+use edwards::{multiscalar_mul, ExtendedPoint, BASEPOINT};
+use scalar::Scalar;
+pub use sha512::{sha512, Sha512};
+
+/// Length of a signature (R ‖ S).
+pub const SIGNATURE_LENGTH: usize = 64;
+/// Length of a compressed public key.
+pub const PUBLIC_KEY_LENGTH: usize = 32;
+/// Length of a private seed.
+pub const SECRET_KEY_LENGTH: usize = 32;
+
+/// Why a key or signature was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A 32-byte string that is not the canonical encoding of any
+    /// curve point (y ≥ p, x not on the curve, or a −0 sign bit).
+    MalformedPoint,
+    /// A public key whose point has order dividing 8: signatures by
+    /// such a key say nothing about who signed.
+    SmallOrderKey,
+    /// The signature's S half is ≥ the group order (RFC 8032 requires
+    /// 0 ≤ S < L; accepting larger S makes signatures malleable).
+    NonCanonicalScalar,
+    /// The verification equation does not hold.
+    BadSignature,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::MalformedPoint => write!(f, "not a canonical curve point encoding"),
+            Error::SmallOrderKey => write!(f, "public key is a small-order point"),
+            Error::NonCanonicalScalar => write!(f, "signature scalar out of range"),
+            Error::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An Ed25519 public key: the compressed encoding plus the decompressed
+/// point (validated once at construction).
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyingKey {
+    compressed: [u8; 32],
+    point: ExtendedPoint,
+}
+
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &VerifyingKey) -> bool {
+        self.compressed == other.compressed
+    }
+}
+
+impl Eq for VerifyingKey {}
+
+impl VerifyingKey {
+    /// Parses and validates a compressed public key. Fails on
+    /// non-canonical encodings ([`Error::MalformedPoint`]) and on
+    /// small-order points ([`Error::SmallOrderKey`]).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<VerifyingKey, Error> {
+        let point = ExtendedPoint::decompress(bytes).ok_or(Error::MalformedPoint)?;
+        if point.is_small_order() {
+            return Err(Error::SmallOrderKey);
+        }
+        Ok(VerifyingKey {
+            compressed: *bytes,
+            point,
+        })
+    }
+
+    /// The compressed 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.compressed
+    }
+
+    /// Cofactored RFC 8032 verification: `[8]([S]B − [k]A − R) = O` with
+    /// k = SHA-512(R ‖ A ‖ M) mod L.
+    pub fn verify(&self, message: &[u8], signature: &[u8; 64]) -> Result<(), Error> {
+        let parsed = ParsedSignature::parse(signature)?;
+        let k = challenge_scalar(&parsed.r_bytes, &self.compressed, message);
+        // [S]B + [−k]A, sharing the doubling chain, then − R and ×8.
+        let sb_ka = multiscalar_mul(&[(parsed.s, BASEPOINT), (k.neg(), self.point)]);
+        if sb_ka.add(&parsed.r.neg()).mul_by_cofactor().is_identity() {
+            Ok(())
+        } else {
+            Err(Error::BadSignature)
+        }
+    }
+}
+
+/// An Ed25519 private key (seed-expanded), able to sign.
+#[derive(Clone)]
+pub struct SigningKey {
+    /// The clamped secret scalar a.
+    a: Scalar,
+    /// The nonce-derivation prefix (second half of SHA-512(seed)).
+    prefix: [u8; 32],
+    verifying: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Deterministic key expansion from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: &[u8; 32]) -> SigningKey {
+        let h = sha512(seed);
+        let mut a_bytes: [u8; 32] = h[..32].try_into().unwrap();
+        a_bytes[0] &= 248;
+        a_bytes[31] &= 127;
+        a_bytes[31] |= 64;
+        // B has order L, so reducing the clamped integer mod L changes
+        // neither A = [a]B nor S = r + k·a (mod L).
+        let a = Scalar::from_bytes_mod_order(&a_bytes);
+        let point = BASEPOINT.mul(&a);
+        let verifying = VerifyingKey {
+            compressed: point.compress(),
+            point,
+        };
+        SigningKey {
+            a,
+            prefix: h[32..].try_into().unwrap(),
+            verifying,
+        }
+    }
+
+    /// This key's public half.
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.verifying
+    }
+
+    /// Deterministic RFC 8032 signature: `R = [r]B` with
+    /// r = SHA-512(prefix ‖ M), S = r + SHA-512(R ‖ A ‖ M)·a.
+    pub fn sign(&self, message: &[u8]) -> [u8; 64] {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(message);
+        let r = Scalar::from_wide_bytes(&h.finalize());
+        let r_bytes = BASEPOINT.mul(&r).compress();
+        let k = challenge_scalar(&r_bytes, &self.verifying.compressed, message);
+        let s = r + k * self.a;
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_bytes);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        sig
+    }
+}
+
+/// k = SHA-512(R ‖ A ‖ M) mod L.
+fn challenge_scalar(r: &[u8; 32], a: &[u8; 32], message: &[u8]) -> Scalar {
+    let mut h = Sha512::new();
+    h.update(r);
+    h.update(a);
+    h.update(message);
+    Scalar::from_wide_bytes(&h.finalize())
+}
+
+/// A signature split into its validated halves.
+struct ParsedSignature {
+    r: ExtendedPoint,
+    r_bytes: [u8; 32],
+    s: Scalar,
+}
+
+impl ParsedSignature {
+    fn parse(signature: &[u8; 64]) -> Result<ParsedSignature, Error> {
+        let r_bytes: [u8; 32] = signature[..32].try_into().unwrap();
+        let s_bytes: [u8; 32] = signature[32..].try_into().unwrap();
+        // R may be small-order (RFC 8032 permits it; cofactored
+        // verification neutralizes the torsion component) but must be
+        // canonically encoded.
+        let r = ExtendedPoint::decompress(&r_bytes).ok_or(Error::MalformedPoint)?;
+        let s = Scalar::from_canonical_bytes(&s_bytes).ok_or(Error::NonCanonicalScalar)?;
+        Ok(ParsedSignature { r, r_bytes, s })
+    }
+}
+
+/// Batch verification by random linear combination: checks
+///
+/// ```text
+/// [8]( [−Σ zᵢSᵢ]B + Σ [zᵢ]Rᵢ + Σ [zᵢkᵢ]Aᵢ ) = O
+/// ```
+///
+/// for deterministic Fiat–Shamir coefficients zᵢ derived from the whole
+/// batch. One shared doubling chain covers all 2n+1 terms, which is
+/// where the per-signature speedup over serial verification comes from.
+///
+/// Accepts exactly when every signature verifies serially (both sides
+/// cofactored), except for coefficient collisions at probability
+/// ≈ 2⁻¹²⁸. On `Err`, at least one signature is bad but the batch
+/// cannot say which — fall back to serial verification to attribute
+/// blame.
+///
+/// Each item is `(key, message, signature)`. An empty batch is `Ok`.
+pub fn verify_batch(items: &[(&VerifyingKey, &[u8], &[u8; 64])]) -> Result<(), Error> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    let mut parsed = Vec::with_capacity(items.len());
+    for (key, message, signature) in items {
+        parsed.push(ParsedSignature::parse(signature)?);
+        let _ = (key, message);
+    }
+
+    // Bind the coefficients to the entire batch: any change to any key,
+    // message, or signature changes every zᵢ.
+    let mut transcript = Sha512::new();
+    transcript.update(b"ed25519-batch-v1");
+    transcript.update(&(items.len() as u64).to_le_bytes());
+    for ((key, message, _), sig) in items.iter().zip(&parsed) {
+        transcript.update(&key.compressed);
+        transcript.update(&sig.r_bytes);
+        transcript.update(&sig.s.to_bytes());
+        // Fixed-length message binding.
+        transcript.update(&sha512(message));
+    }
+    let seed = transcript.finalize();
+
+    let mut pairs = Vec::with_capacity(2 * items.len() + 1);
+    let mut b_coeff = Scalar::ZERO;
+    for (i, ((key, message, _), sig)) in items.iter().zip(&parsed).enumerate() {
+        let mut zh = Sha512::new();
+        zh.update(&seed);
+        zh.update(&(i as u64).to_le_bytes());
+        let z = Scalar::from_u128(u128::from_le_bytes(zh.finalize()[..16].try_into().unwrap()));
+        let k = challenge_scalar(&sig.r_bytes, &key.compressed, message);
+        b_coeff = b_coeff + z * sig.s;
+        pairs.push((z, sig.r));
+        pairs.push((z * k, key.point));
+    }
+    pairs.push((b_coeff.neg(), BASEPOINT));
+
+    if multiscalar_mul(&pairs).mul_by_cofactor().is_identity() {
+        Ok(())
+    } else {
+        Err(Error::BadSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        unhex(s).try_into().unwrap()
+    }
+
+    fn unhex64(s: &str) -> [u8; 64] {
+        unhex(s).try_into().unwrap()
+    }
+
+    /// One known-answer vector: (seed, public key, message, signature).
+    type KatVector = ([u8; 32], [u8; 32], Vec<u8>, [u8; 64]);
+
+    /// RFC 8032 §7.1 TEST 1–3 plus two locally generated vectors
+    /// cross-checked against an independent reference implementation.
+    fn kat_vectors() -> Vec<KatVector> {
+        vec![
+            (
+                unhex32("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"),
+                unhex32("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"),
+                vec![],
+                unhex64(
+                    "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                     5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+                ),
+            ),
+            (
+                unhex32("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"),
+                unhex32("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"),
+                vec![0x72],
+                unhex64(
+                    "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                     085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+                ),
+            ),
+            (
+                unhex32("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7"),
+                unhex32("fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"),
+                vec![0xaf, 0x82],
+                unhex64(
+                    "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                     18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+                ),
+            ),
+            (
+                unhex32("0707070707070707070707070707070707070707070707070707070707070707"),
+                unhex32("ea4a6c63e29c520abef5507b132ec5f9954776aebebe7b92421eea691446d22c"),
+                b"spotless vote statement".to_vec(),
+                unhex64(
+                    "95c26165f243e715dd8f4aa28e37575feaab987a827c3fc69dcd2bac8b16c326\
+                     2d5c3ae2369edce26c0fc3884c948947edb8c484047a680090c5dcccae826a0a",
+                ),
+            ),
+            (
+                unhex32("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"),
+                unhex32("03a107bff3ce10be1d70dd18e74bc09967e4d6309ba50d5f1ddc8664125531b8"),
+                (0..200u8).collect(),
+                unhex64(
+                    "2e2dbd7439d8a00986fa2ff9aa0afd788e4426c57f5dc4936bb0ab21f7549a50\
+                     54f3d4cadb93b1e5acaf7619baf02c3298704b83cf85230ea890955920a67609",
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn rfc8032_known_answer_tests() {
+        for (i, (seed, pk, msg, sig)) in kat_vectors().into_iter().enumerate() {
+            let sk = SigningKey::from_seed(&seed);
+            assert_eq!(sk.verifying_key().to_bytes(), pk, "vector {i}: public key");
+            assert_eq!(sk.sign(&msg), sig, "vector {i}: signature");
+            let vk = VerifyingKey::from_bytes(&pk).unwrap();
+            vk.verify(&msg, &sig)
+                .unwrap_or_else(|e| panic!("vector {i}: verify: {e}"));
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = SigningKey::from_seed(&[9u8; 32]);
+        let sig = sk.sign(b"original");
+        assert_eq!(
+            sk.verifying_key().verify(b"tampered", &sig),
+            Err(Error::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_seed(&[9u8; 32]);
+        let mut sig = sk.sign(b"msg");
+        sig[5] ^= 1; // corrupt R
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+        let mut sig = sk.sign(b"msg");
+        sig[40] ^= 1; // corrupt S
+        assert_eq!(
+            sk.verifying_key().verify(b"msg", &sig),
+            Err(Error::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = SigningKey::from_seed(&[1u8; 32]);
+        let sk2 = SigningKey::from_seed(&[2u8; 32]);
+        let sig = sk1.sign(b"msg");
+        assert_eq!(
+            sk2.verifying_key().verify(b"msg", &sig),
+            Err(Error::BadSignature)
+        );
+    }
+
+    #[test]
+    fn high_s_signature_rejected_as_non_canonical() {
+        // S' = S + L verifies under a sloppy verifier; RFC 8032 says no.
+        let sk = SigningKey::from_seed(&[3u8; 32]);
+        let mut sig = sk.sign(b"msg");
+        let l = [
+            0x5812631a5cf5d3edu64,
+            0x14def9dea2f79cd6,
+            0,
+            0x1000000000000000,
+        ];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let s_limb = u64::from_le_bytes(sig[32 + i * 8..40 + i * 8].try_into().unwrap());
+            let t = s_limb as u128 + l[i] as u128 + carry as u128;
+            sig[32 + i * 8..40 + i * 8].copy_from_slice(&(t as u64).to_le_bytes());
+            carry = (t >> 64) as u64;
+        }
+        // S + L < 2^256 for any canonical S, so no final carry.
+        assert_eq!(carry, 0);
+        assert_eq!(
+            sk.verifying_key().verify(b"msg", &sig),
+            Err(Error::NonCanonicalScalar)
+        );
+    }
+
+    #[test]
+    fn public_key_validation_rejects_garbage() {
+        // All-0xFF: y ≥ p.
+        assert_eq!(
+            VerifyingKey::from_bytes(&[0xff; 32]),
+            Err(Error::MalformedPoint)
+        );
+        // Identity point: small order.
+        let mut ident = [0u8; 32];
+        ident[0] = 1;
+        assert_eq!(VerifyingKey::from_bytes(&ident), Err(Error::SmallOrderKey));
+    }
+
+    #[test]
+    fn batch_accepts_all_valid() {
+        let keys: Vec<SigningKey> = (0..8u8).map(|i| SigningKey::from_seed(&[i; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 1 + i as usize]).collect();
+        let sigs: Vec<[u8; 64]> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        let items: Vec<(&VerifyingKey, &[u8], &[u8; 64])> = keys
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((k, m), s)| (k.verifying_key(), m.as_slice(), s))
+            .collect();
+        verify_batch(&items).unwrap();
+    }
+
+    #[test]
+    fn batch_rejects_one_bad_signature() {
+        let keys: Vec<SigningKey> = (0..8u8).map(|i| SigningKey::from_seed(&[i; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 4]).collect();
+        let mut sigs: Vec<[u8; 64]> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+        sigs[5][33] ^= 0x40; // corrupt one S
+        let items: Vec<(&VerifyingKey, &[u8], &[u8; 64])> = keys
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((k, m), s)| (k.verifying_key(), m.as_slice(), s))
+            .collect();
+        assert_eq!(verify_batch(&items), Err(Error::BadSignature));
+    }
+
+    #[test]
+    fn batch_of_one_and_empty_batch() {
+        verify_batch(&[]).unwrap();
+        let sk = SigningKey::from_seed(&[42u8; 32]);
+        let sig = sk.sign(b"solo");
+        verify_batch(&[(sk.verifying_key(), b"solo".as_slice(), &sig)]).unwrap();
+        let bad = sk.sign(b"other");
+        assert!(verify_batch(&[(sk.verifying_key(), b"solo".as_slice(), &bad)]).is_err());
+    }
+}

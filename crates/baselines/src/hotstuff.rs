@@ -25,8 +25,8 @@ use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
 use spotless_types::{
     BatchId, ByzantineBehavior, ClientBatch, ClusterConfig, CommitCertificate, CommitInfo, Context,
-    CryptoCosts, Digest, Input, InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel,
-    TimerId, TimerKind, View,
+    CryptoCosts, Digest, Input, InstanceId, Node, NodeId, ReplicaId, Signature, SimDuration,
+    SizeModel, TimerId, TimerKind, View, VoteStatement,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -49,6 +49,9 @@ pub struct QcRef {
     /// The replicas whose signatures form the certificate (`n − f`
     /// distinct voters).
     pub signers: Vec<ReplicaId>,
+    /// The signatures themselves, parallel to `signers`, each over the
+    /// vote statement `(instance 0, view, digest)`.
+    pub sigs: Vec<Signature>,
 }
 
 impl QcRef {
@@ -57,10 +60,19 @@ impl QcRef {
         self.signers.len() as u32
     }
 
+    /// The statement every signature in this QC covers.
+    fn statement(&self) -> VoteStatement {
+        VoteStatement::new(InstanceId(0), self.view, self.digest)
+    }
+
     /// Structural validity against cluster `cfg`: distinct, known
-    /// replicas, at least a strong quorum of them. A QC failing this is
-    /// discarded wholesale (its sender is faulty).
+    /// replicas, at least a strong quorum of them, one signature per
+    /// signer. A QC failing this is discarded wholesale (its sender is
+    /// faulty).
     fn well_formed(&self, cfg: &ClusterConfig) -> bool {
+        if self.sigs.len() != self.signers.len() {
+            return false;
+        }
         let mut seen = ReplicaSet::new(cfg.n);
         for &r in &self.signers {
             if r.0 >= cfg.n || !seen.insert(r) {
@@ -68,6 +80,20 @@ impl QcRef {
             }
         }
         seen.len() >= cfg.quorum()
+    }
+
+    /// Full validity: well-formed *and* every signature verifies through
+    /// the context's vote oracle (cached/batched under the runtime,
+    /// accept-all under pure simulation where cost is charged instead).
+    fn valid(&self, cfg: &ClusterConfig, ctx: &mut dyn Context<Message = HsMessage>) -> bool {
+        if !self.well_formed(cfg) {
+            return false;
+        }
+        let stmt = self.statement();
+        self.signers
+            .iter()
+            .zip(&self.sigs)
+            .all(|(&r, sig)| ctx.verify_vote(r, &stmt, sig))
     }
 }
 
@@ -135,6 +161,9 @@ pub enum HsMessage {
         view: View,
         /// Digest of the voted block.
         digest: Digest,
+        /// Signature over the vote statement `(instance 0, view,
+        /// digest)` — what the leader aggregates into the QC.
+        sig: Signature,
     },
     /// Pacemaker: timeout report carrying the sender's highest QC.
     NewView {
@@ -255,8 +284,9 @@ pub struct HotStuffReplica {
     /// Blocks with formed/embedded QCs, by view.
     prepared: BTreeMap<View, Digest>,
     high_qc: Option<QcRef>,
-    /// Votes collected when we are the next leader.
-    votes: HashMap<Digest, ReplicaSet>,
+    /// Votes collected when we are the next leader: dedup set plus the
+    /// verified `(signer, signature)` pairs the QC is assembled from.
+    votes: HashMap<Digest, (ReplicaSet, Vec<(ReplicaId, Signature)>)>,
     newviews: BTreeMap<View, (ReplicaSet, Option<QcRef>)>,
     lock: Option<QcRef>,
     committed: HashSet<Digest>,
@@ -518,11 +548,13 @@ impl HotStuffReplica {
         }
         self.voted_view = Some(b.view);
         let next_leader = self.leader_of(b.view.next());
+        let sig = ctx.sign_vote(&VoteStatement::new(InstanceId(0), b.view, b.digest));
         ctx.send(
             next_leader.into(),
             HsMessage::Vote {
                 view: b.view,
                 digest: b.digest,
+                sig,
             },
         );
         // Optimistic responsiveness: move to the next view immediately.
@@ -535,18 +567,31 @@ impl HotStuffReplica {
         from: ReplicaId,
         view: View,
         digest: Digest,
+        sig: Signature,
         ctx: &mut dyn Context<Message = HsMessage>,
     ) {
-        let set = self
+        // The leader verifies each vote before aggregation — a garbage
+        // signature must not end up inside a QC that every replica would
+        // then reject wholesale.
+        if !ctx.verify_vote(from, &VoteStatement::new(InstanceId(0), view, digest), &sig) {
+            return;
+        }
+        let n = self.cfg.n;
+        let (set, pairs) = self
             .votes
             .entry(digest)
-            .or_insert_with(|| ReplicaSet::new(self.cfg.n));
-        set.insert(from);
+            .or_insert_with(|| (ReplicaSet::new(n), Vec::new()));
+        if !set.insert(from) {
+            return;
+        }
+        pairs.push((from, sig));
         if set.len() >= self.cfg.quorum() {
+            let (signers, sigs) = pairs.iter().copied().unzip();
             let qc = QcRef {
                 view,
                 digest,
-                signers: set.iter().collect(),
+                signers,
+                sigs,
             };
             self.process_qc(qc, ctx);
             self.try_lead(ctx);
@@ -558,7 +603,7 @@ impl HotStuffReplica {
     /// duplicate, unknown, or sub-quorum signer lists — are discarded
     /// wholesale (equivalent to the sender never producing one).
     fn process_qc(&mut self, qc: QcRef, ctx: &mut dyn Context<Message = HsMessage>) {
-        if !qc.well_formed(&self.cfg) {
+        if !qc.valid(&self.cfg, ctx) {
             return;
         }
         if self.high_qc.as_ref().is_none_or(|h| qc.view > h.view) {
@@ -621,7 +666,7 @@ impl HotStuffReplica {
             if self.committed_head.is_none_or(|h| b.view > h) {
                 self.committed_head = Some(b.view);
             }
-            let cert = CommitCertificate::strong(qc.view, qc.signers);
+            let cert = CommitCertificate::strong(qc.view, qc.digest, qc.signers, qc.sigs);
             if b.refs.is_empty() {
                 self.decided.insert(b.batch.id);
                 self.exec_depth += 1;
@@ -680,7 +725,7 @@ impl HotStuffReplica {
         if view < self.view {
             return;
         }
-        let high_qc = high_qc.filter(|qc| qc.well_formed(&self.cfg));
+        let high_qc = high_qc.filter(|qc| qc.valid(&self.cfg, ctx));
         if let Some(qc) = &high_qc {
             if self.high_qc.as_ref().is_none_or(|h| qc.view > h.view) {
                 self.high_qc = Some(qc.clone());
@@ -792,7 +837,9 @@ impl Node for HotStuffReplica {
                 let NodeId::Replica(from) = from else { return };
                 match msg {
                     HsMessage::Proposal(b) => self.on_proposal(from, b, ctx),
-                    HsMessage::Vote { view, digest } => self.on_vote(from, view, digest, ctx),
+                    HsMessage::Vote { view, digest, sig } => {
+                        self.on_vote(from, view, digest, sig, ctx)
+                    }
                     HsMessage::NewView { view, high_qc } => {
                         self.on_new_view(from, view, high_qc, ctx)
                     }
@@ -908,18 +955,21 @@ mod tests {
             view: View(0),
             digest: b0.digest,
             signers: signers(),
+            sigs: vec![Signature::ZERO; 3],
         };
         let b1 = Arc::new(HsBlock::new(View(1), batch(2), vec![], Some(qc0)));
         let qc1 = QcRef {
             view: View(1),
             digest: b1.digest,
             signers: signers(),
+            sigs: vec![Signature::ZERO; 3],
         };
         let b2 = Arc::new(HsBlock::new(View(2), batch(3), vec![], Some(qc1)));
         let qc2 = QcRef {
             view: View(2),
             digest: b2.digest,
             signers: signers(),
+            sigs: vec![Signature::ZERO; 3],
         };
         let b3 = Arc::new(HsBlock::new(View(3), batch(4), vec![], Some(qc2)));
         for (leader, blk) in [(0u32, b0), (1, b1), (2, b2), (3, b3)] {

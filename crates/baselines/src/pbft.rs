@@ -17,9 +17,9 @@ use crate::util::ReplicaSet;
 use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
 use spotless_types::{
-    BatchId, ClientBatch, ClusterConfig, CommitCertificate, CommitInfo, Context, CryptoCosts,
-    Digest, Input, InstanceId, Node, NodeId, ReplicaId, SimDuration, SizeModel, TimerId, TimerKind,
-    View,
+    BatchId, CertPhase, ClientBatch, ClusterConfig, CommitCertificate, CommitInfo, Context,
+    CryptoCosts, Digest, Input, InstanceId, Node, NodeId, ReplicaId, Signature, SimDuration,
+    SizeModel, TimerId, TimerKind, View, VoteStatement,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -56,6 +56,12 @@ pub enum PbftMessage {
         seq: u64,
         /// Digest of the pre-prepared batch.
         digest: Digest,
+        /// Signature over the vote statement `(instance, view, seq,
+        /// digest)`. The wire stays MAC-authenticated per §6.2 — this
+        /// detached signature exists so the commit-phase quorum can be
+        /// persisted as a third-party-checkable `CommitProof`; the
+        /// simulator's cost model still charges MACs only.
+        sig: Signature,
     },
     /// A backup relays a client batch to the current primary.
     Forward {
@@ -115,6 +121,9 @@ struct Slot {
     view: View,
     prepares: ReplicaSet,
     commits: ReplicaSet,
+    /// Verified `(signer, signature)` pairs behind `commits`, in
+    /// arrival order — the material for the slot's `CommitProof`.
+    commit_sigs: Vec<(ReplicaId, Signature)>,
     sent_prepare: bool,
     sent_commit: bool,
     committed: bool,
@@ -288,9 +297,12 @@ impl PbftReplica {
             PbftMessage::Prepare { view, seq, digest } => {
                 self.on_prepare(from, view, seq, digest, ctx)
             }
-            PbftMessage::Commit { view, seq, digest } => {
-                self.on_commit(from, view, seq, digest, ctx)
-            }
+            PbftMessage::Commit {
+                view,
+                seq,
+                digest,
+                sig,
+            } => self.on_commit(from, view, seq, digest, sig, ctx),
             PbftMessage::Forward { batch } => {
                 if self.is_primary() && !batch.is_noop() && self.seen.insert(batch.id) {
                     self.mempool.push_back(batch);
@@ -387,9 +399,22 @@ impl PbftReplica {
         view: View,
         seq: u64,
         digest: Digest,
+        sig: Signature,
         ctx: &mut dyn Context<Message = PbftMessage>,
     ) {
         if view != self.view || seq < self.next_exec {
+            return;
+        }
+        // A commit vote counts toward the quorum — and into the slot's
+        // durable certificate — only if its signature over the slot's
+        // vote statement verifies.
+        let stmt = VoteStatement {
+            instance: self.instance,
+            view,
+            slot: seq,
+            digest,
+        };
+        if !ctx.verify_vote(from, &stmt, &sig) {
             return;
         }
         let n = self.cfg.n;
@@ -401,7 +426,9 @@ impl PbftReplica {
         if slot.digest.is_some_and(|d| d != digest) {
             return;
         }
-        slot.commits.insert(from);
+        if slot.commits.insert(from) {
+            slot.commit_sigs.push((from, sig));
+        }
         self.check_slot(seq, ctx);
     }
 
@@ -416,7 +443,18 @@ impl PbftReplica {
         if slot.batch.is_some() && !slot.sent_commit && slot.prepares.len() >= quorum {
             slot.sent_commit = true;
             let digest = slot.digest.expect("digest set with batch");
-            ctx.broadcast(PbftMessage::Commit { view, seq, digest });
+            let sig = ctx.sign_vote(&VoteStatement {
+                instance: self.instance,
+                view,
+                slot: seq,
+                digest,
+            });
+            ctx.broadcast(PbftMessage::Commit {
+                view,
+                seq,
+                digest,
+                sig,
+            });
         }
         if slot.batch.is_some() && !slot.committed && slot.commits.len() >= quorum {
             slot.committed = true;
@@ -436,8 +474,18 @@ impl PbftReplica {
             let seq = self.next_exec;
             // The commit-phase quorum is the certificate: the 2f + 1
             // replicas whose `Commit` votes sealed the slot (the set
-            // can only have grown since the threshold was crossed).
-            let cert = CommitCertificate::strong(view, slot.commits.iter().collect());
+            // can only have grown since the threshold was crossed),
+            // with their verified signatures over `(view, seq, digest)`.
+            let digest = slot.digest.expect("committed slot has digest");
+            let (signers, sigs) = slot.commit_sigs.iter().copied().unzip();
+            let cert = CommitCertificate {
+                view,
+                phase: CertPhase::Strong,
+                voted: digest,
+                slot: seq,
+                signers,
+                sigs,
+            };
             // Execution order is consensus-critical (the runtime seals
             // the post-execution state root into each block): commits
             // must leave this replica in gapless sequence order across
@@ -713,6 +761,7 @@ mod tests {
                         view: View(0),
                         seq: 0,
                         digest: d,
+                        sig: Signature::ZERO,
                     },
                 },
                 &mut ctx,

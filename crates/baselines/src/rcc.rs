@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
 use spotless_types::{
     ClientBatch, ClusterConfig, CommitInfo, Context, CryptoCosts, Input, InstanceId, Node, NodeId,
-    ReplicaId, SimDuration, SimTime, SizeModel, TimerId, TimerKind,
+    ReplicaId, Signature, SimDuration, SimTime, SizeModel, TimerId, TimerKind, VoteStatement,
 };
 use std::collections::BTreeMap;
 
@@ -114,6 +114,21 @@ impl Context for InstanceCtx<'_, '_> {
     }
     fn commit(&mut self, info: CommitInfo) {
         self.commits.push(info);
+    }
+    // Forward the vote-signing oracle: without this, embedded PBFT
+    // instances would fall back to the default no-op oracle and RCC
+    // commit certificates would carry unverifiable placeholder
+    // signatures even under the real runtime.
+    fn sign_vote(&mut self, statement: &VoteStatement) -> Signature {
+        self.outer.sign_vote(statement)
+    }
+    fn verify_vote(
+        &mut self,
+        signer: ReplicaId,
+        statement: &VoteStatement,
+        sig: &Signature,
+    ) -> bool {
+        self.outer.verify_vote(signer, statement, sig)
     }
 }
 

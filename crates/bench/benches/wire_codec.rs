@@ -32,7 +32,8 @@ use spotless_bench::FigureTable;
 use spotless_core::messages::{Justification, Message, Proposal, ProposalRef, SyncMsg};
 use spotless_ledger::{CommitProof, Ledger};
 use spotless_types::{
-    BatchId, CertPhase, ClientBatch, ClientId, Digest, InstanceId, ReplicaId, SimTime, View,
+    BatchId, CertPhase, ClientBatch, ClientId, Digest, InstanceId, ReplicaId, Signature, SimTime,
+    View,
 };
 use spotless_workload::{encode_txns, Operation, Transaction};
 use std::hint::black_box;
@@ -93,6 +94,8 @@ fn sync() -> Message {
         claim: Some(entry(9)),
         cp: vec![entry(7), entry(8), entry(9)],
         upsilon: false,
+        claim_sig: Signature([0x5A; 64]),
+        cp_sigs: vec![Signature([0x5B; 64]); 3],
     })
 }
 
@@ -116,7 +119,10 @@ fn catchup_block() -> (spotless_ledger::Block, Vec<u8>) {
             instance: InstanceId(0),
             view: View(5),
             phase: CertPhase::Strong,
+            voted: Digest::from_u64(5),
+            slot: 0,
             signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            sigs: vec![Signature::ZERO; 3],
         },
     );
     (ledger.block(0).unwrap().clone(), batch.payload)

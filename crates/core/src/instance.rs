@@ -29,7 +29,8 @@ use crate::messages::{Justification, JustificationKind, Message, Proposal, Propo
 use crate::util::ReplicaSet;
 use spotless_types::{
     ByzantineBehavior, CertPhase, ClientBatch, ClusterConfig, CommitCertificate, Context,
-    InstanceId, ReplicaId, SimDuration, SimTime, TimerId, TimerKind, View,
+    InstanceId, ReplicaId, Signature, SimDuration, SimTime, TimerId, TimerKind, View,
+    VoteStatement,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -176,6 +177,12 @@ pub struct InstanceState {
     prepared_set: HashSet<spotless_types::Digest>,
     /// `CP`-set endorsements per proposal (f+1 ⇒ conditional prepare).
     cp_endorsers: HashMap<ProposalRef, ReplicaSet>,
+    /// Verified vote signatures per proposal and voter. A claim vote and
+    /// a `CP` endorsement of the same proposal sign the *same*
+    /// [`VoteStatement`] — `(instance, r.view, r.digest)` — so one store
+    /// backs both evidence routes, and `signer_evidence` can hand the
+    /// ledger a certificate whose signatures third parties can re-check.
+    vote_sigs: HashMap<ProposalRef, HashMap<ReplicaId, Signature>>,
     /// Prepared by reference, body still missing (recovered via `Ask`).
     pending_body: HashSet<ProposalRef>,
     /// Outstanding `Ask` retry counters.
@@ -219,6 +226,7 @@ impl InstanceState {
             prepared: BTreeMap::new(),
             prepared_set: HashSet::new(),
             cp_endorsers: HashMap::new(),
+            vote_sigs: HashMap::new(),
             pending_body: HashSet::new(),
             asked: HashMap::new(),
             lock: None,
@@ -755,6 +763,12 @@ impl InstanceState {
         cp
     }
 
+    /// The statement a vote for `r` signs — shared by claim votes and
+    /// `CP` endorsements, so either route yields certificate evidence.
+    fn vote_statement(&self, r: ProposalRef) -> VoteStatement {
+        VoteStatement::new(self.id, r.view, r.digest)
+    }
+
     fn send_sync(
         &mut self,
         claim: Option<ProposalRef>,
@@ -762,12 +776,23 @@ impl InstanceState {
         sh: &Shared<'_>,
         out: &mut Outbox<'_, '_>,
     ) {
+        let cp = self.cp_list();
+        let claim_sig = match claim {
+            Some(c) => out.ctx.sign_vote(&self.vote_statement(c)),
+            None => Signature::ZERO, // ∅ claims never enter certificates
+        };
+        let cp_sigs = cp
+            .iter()
+            .map(|&e| out.ctx.sign_vote(&self.vote_statement(e)))
+            .collect();
         let msg = SyncMsg {
             instance: self.id,
             view: self.view,
             claim,
-            cp: self.cp_list(),
+            cp,
             upsilon,
+            claim_sig,
+            cp_sigs,
         };
         self.own_syncs.insert(self.view, msg.clone());
         if sh.behavior == ByzantineBehavior::Equivocate && claim.is_some() {
@@ -800,6 +825,10 @@ impl InstanceState {
         if s.instance != self.id || s.view < self.gc_floor {
             return;
         }
+        // Malformed: the per-entry signature vector must parallel CP.
+        if s.cp_sigs.len() != s.cp.len() {
+            return;
+        }
         if let Some(hv) = self.highest_view_of.get_mut(from.as_usize()) {
             if s.view > *hv {
                 *hv = s.view;
@@ -813,6 +842,42 @@ impl InstanceState {
                 out.send(from, Message::Sync(reply));
             }
         }
+        // Vote authenticity gate: a claim or CP endorsement is counted —
+        // and its signature retained for later certificates — only if the
+        // signature over its statement verifies for the sender. §3.1's
+        // "signatures are only verified where recovery is necessary"
+        // survives as a *scheduling* statement: the runtime context
+        // caches per-statement verdicts and batches quorum checks, so
+        // the hot path here sees one lookup, not one scalar mul. A
+        // garbage-signed claim still counts the sender toward ST2's
+        // n − f rule (sender authenticity comes from the envelope MAC)
+        // but never toward a claim quorum or certificate.
+        let claim_ok = match s.claim {
+            Some(c) => {
+                let ok = out
+                    .ctx
+                    .verify_vote(from, &self.vote_statement(c), &s.claim_sig);
+                if ok {
+                    self.vote_sigs
+                        .entry(c)
+                        .or_default()
+                        .insert(from, s.claim_sig);
+                }
+                ok
+            }
+            None => true,
+        };
+        let mut cp_ok = vec![false; s.cp.len()];
+        for (i, &entry) in s.cp.iter().enumerate() {
+            if entry.view < self.gc_floor {
+                continue;
+            }
+            let sig = s.cp_sigs[i];
+            if out.ctx.verify_vote(from, &self.vote_statement(entry), &sig) {
+                self.vote_sigs.entry(entry).or_default().insert(from, sig);
+                cp_ok[i] = true;
+            }
+        }
         // Bookkeeping: distinct senders and per-claim counts.
         let n = sh.n();
         let vs = self.syncs.entry(s.view).or_default();
@@ -820,25 +885,27 @@ impl InstanceState {
             vs.senders = ReplicaSet::new(n);
         }
         vs.senders.insert(from);
-        let set = vs
-            .claims
-            .entry(s.claim)
-            .or_insert_with(|| ReplicaSet::new(n));
-        let newly_counted = set.insert(from);
-        let claim_count = set.len();
-        if let Some(c) = s.claim {
-            if newly_counted {
-                if claim_count >= sh.quorum() {
-                    // n − f concurring votes ⇒ conditional prepare.
-                    self.conditionally_prepare(c, sh, out);
-                } else if claim_count >= sh.weak() {
-                    self.on_weak_claim_quorum(c, sh, out);
+        if claim_ok {
+            let set = vs
+                .claims
+                .entry(s.claim)
+                .or_insert_with(|| ReplicaSet::new(n));
+            let newly_counted = set.insert(from);
+            let claim_count = set.len();
+            if let Some(c) = s.claim {
+                if newly_counted {
+                    if claim_count >= sh.quorum() {
+                        // n − f concurring votes ⇒ conditional prepare.
+                        self.conditionally_prepare(c, sh, out);
+                    } else if claim_count >= sh.weak() {
+                        self.on_weak_claim_quorum(c, sh, out);
+                    }
                 }
             }
         }
         // CP endorsements: f + 1 ⇒ conditional prepare (Figure 3 l.22).
-        for &entry in &s.cp {
-            if entry.view < self.gc_floor {
+        for (i, &entry) in s.cp.iter().enumerate() {
+            if !cp_ok[i] {
                 continue;
             }
             let endorsers = self
@@ -927,12 +994,19 @@ impl InstanceState {
             if self.own_syncs.contains_key(&u) {
                 continue;
             }
+            let cp = self.cp_list();
+            let cp_sigs = cp
+                .iter()
+                .map(|&e| out.ctx.sign_vote(&self.vote_statement(e)))
+                .collect();
             let msg = SyncMsg {
                 instance: self.id,
                 view: u,
                 claim: None,
-                cp: self.cp_list(),
+                cp,
                 upsilon: true,
+                claim_sig: Signature::ZERO,
+                cp_sigs,
             };
             self.own_syncs.insert(u, msg.clone());
             out.broadcast(Message::Sync(msg));
@@ -1070,7 +1144,24 @@ impl InstanceState {
         if set.len() < sh.weak() {
             return None;
         }
-        let phase = if set.len() >= sh.quorum() {
+        // Pair each counted voter with its retained signature. Every
+        // counted voter passed `verify_vote` when its Sync arrived, so a
+        // signature is on file; skip (rather than fabricate) any hole so
+        // the certificate stays third-party-checkable.
+        let sigs_of = self.vote_sigs.get(&r);
+        let mut signers = Vec::with_capacity(set.len() as usize);
+        let mut sigs = Vec::with_capacity(set.len() as usize);
+        for id in set.iter() {
+            let Some(sig) = sigs_of.and_then(|m| m.get(&id)) else {
+                continue;
+            };
+            signers.push(id);
+            sigs.push(*sig);
+        }
+        if (signers.len() as u32) < sh.weak() {
+            return None;
+        }
+        let phase = if signers.len() as u32 >= sh.quorum() {
             CertPhase::Strong
         } else {
             CertPhase::Weak
@@ -1078,7 +1169,10 @@ impl InstanceState {
         Some(CommitCertificate {
             view: r.view,
             phase,
-            signers: set.iter().collect(),
+            voted: r.digest,
+            slot: 0,
+            signers,
+            sigs,
         })
     }
 
@@ -1170,7 +1264,7 @@ impl InstanceState {
             let own = self.signer_evidence(body.reference(), sh);
             let cert = own.or_else(|| last.clone()).unwrap_or_else(|| {
                 debug_assert!(false, "commit without any signer evidence");
-                CommitCertificate::weak(body.view, Vec::new())
+                CommitCertificate::weak(body.view, body.digest, Vec::new(), Vec::new())
             });
             last = Some(cert.clone());
             certs.push(cert);
@@ -1303,6 +1397,7 @@ impl InstanceState {
         self.by_view = keep;
         self.prepared = self.prepared.split_off(&floor);
         self.cp_endorsers.retain(|r, _| r.view >= floor);
+        self.vote_sigs.retain(|r, _| r.view >= floor);
         self.pending_body.retain(|r| r.view >= floor);
         self.asked.retain(|r, _| r.view >= floor);
     }

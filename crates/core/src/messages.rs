@@ -11,7 +11,9 @@
 
 use serde::{Deserialize, Serialize};
 use spotless_types::node::ProtocolMessage;
-use spotless_types::{ClientBatch, CryptoCosts, Digest, InstanceId, SizeModel, View};
+use spotless_types::{
+    ClientBatch, CryptoCosts, Digest, InstanceId, Signature, SizeModel, View, SIGNATURE_LEN,
+};
 use std::sync::Arc;
 
 /// A (view, digest) reference to a proposal — the content of a `claim(P)`
@@ -153,6 +155,17 @@ pub struct SyncMsg {
     /// The Υ flag: asks receivers to retransmit their own view-`view`
     /// `Sync` to the sender (§3.4's catch-up rule).
     pub upsilon: bool,
+    /// Signature over the claim's [`VoteStatement`] — the "digital
+    /// signature on the `Sync`" of §3.1 that certificates are later
+    /// assembled from. [`Signature::ZERO`] for `claim(∅)`, whose votes
+    /// never enter a certificate.
+    ///
+    /// [`VoteStatement`]: spotless_types::VoteStatement
+    pub claim_sig: Signature,
+    /// Per-entry signatures over each `cp[i]`'s vote statement, parallel
+    /// to `cp`. A `Sync` whose `cp_sigs` length disagrees with `cp` is
+    /// malformed and dropped whole.
+    pub cp_sigs: Vec<Signature>,
 }
 
 /// The full SpotLess message alphabet.
@@ -199,8 +212,11 @@ impl ProtocolMessage for Message {
             }
             Message::Sync(s) => {
                 // 432 B covers the fixed fields and a typical 2–3-entry CP
-                // set; unusually long CP sets (post-recovery) pay extra.
-                let extra = (s.cp.len() as u64).saturating_sub(3) * (8 + sizes.digest);
+                // set; unusually long CP sets (post-recovery) pay extra
+                // (each extra entry ships its reference and its vote
+                // signature).
+                let extra = (s.cp.len() as u64).saturating_sub(3)
+                    * (8 + sizes.digest + SIGNATURE_LEN as u64);
                 sizes.protocol_msg + extra
             }
             Message::Ask { .. } => sizes.protocol_msg,
@@ -299,6 +315,8 @@ mod tests {
             claim: None,
             cp: vec![],
             upsilon: false,
+            claim_sig: Signature::ZERO,
+            cp_sigs: vec![],
         });
         assert_eq!(s.wire_size(&sizes), 432);
     }
@@ -316,6 +334,8 @@ mod tests {
             claim: None,
             cp: vec![entry; 10],
             upsilon: false,
+            claim_sig: Signature::ZERO,
+            cp_sigs: vec![Signature::ZERO; 10],
         });
         assert!(s.wire_size(&sizes) > 432);
     }
@@ -329,6 +349,8 @@ mod tests {
             claim: None,
             cp: vec![],
             upsilon: false,
+            claim_sig: Signature::ZERO,
+            cp_sigs: vec![],
         });
         assert_eq!(s.verify_cost(&costs), costs.mac_ns);
         let p = Message::Propose(Arc::new(Proposal::new(

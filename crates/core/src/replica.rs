@@ -339,7 +339,7 @@ impl Node for SpotLessReplica {
 mod tests {
     use super::*;
     use crate::messages::Justification;
-    use spotless_types::{BatchId, ClientId, Digest, SimTime};
+    use spotless_types::{BatchId, ClientId, Digest, Signature, SimTime};
 
     fn batch(id: u64, instance_tag: u64) -> ClientBatch {
         ClientBatch {
@@ -363,7 +363,12 @@ mod tests {
     }
 
     fn cert(view: u64) -> CommitCertificate {
-        CommitCertificate::strong(View(view), vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)])
+        CommitCertificate::strong(
+            View(view),
+            Digest::from_u64(view),
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            vec![Signature::ZERO; 3],
+        )
     }
 
     struct NullCtx {

@@ -89,12 +89,18 @@ fn replica() -> (SpotLessReplica, Ctx) {
 }
 
 fn sync(view: u64, claim: Option<&Proposal>, cp: Vec<&Proposal>, upsilon: bool) -> Message {
+    let cp: Vec<_> = cp.into_iter().map(|p| p.reference()).collect();
+    // Zero signatures throughout: the harness ctx is the simulation
+    // oracle, whose verify_vote accepts every placeholder.
+    let cp_sigs = vec![spotless_types::Signature::ZERO; cp.len()];
     Message::Sync(SyncMsg {
         instance: InstanceId(0),
         view: View(view),
         claim: claim.map(|p| p.reference()),
-        cp: cp.into_iter().map(|p| p.reference()).collect(),
+        cp,
         upsilon,
+        claim_sig: spotless_types::Signature::ZERO,
+        cp_sigs,
     })
 }
 

@@ -6,11 +6,11 @@
 //!   operation) — implemented from scratch as HMAC-SHA256 in [`hmac`],
 //!   over the from-scratch SHA-256 in [`sha256`];
 //! * **digital signatures** for forwardable messages (proposals, `Sync`
-//!   claims inside certificates, client requests) — a simulation-grade
-//!   keyed-hash scheme with Ed25519's key/signature shapes in
-//!   [`signing`] (the offline build environment rules out
-//!   `ed25519-dalek`; see that module's docs for the exact trust
-//!   caveat).
+//!   claims inside certificates, client requests) — real RFC 8032
+//!   Ed25519 in [`signing`], built on the workspace's from-scratch
+//!   `compat/ed25519` crate (the offline build environment rules out
+//!   `ed25519-dalek`), with typed verification errors and batch
+//!   verification for quorum re-checking.
 //!
 //! Under the discrete-event simulator, cryptography is *charged* rather
 //! than computed: message types report their verification/signing costs
@@ -32,4 +32,5 @@ pub use digest::{digest_bytes, digest_chained, digest_fields};
 pub use hmac::{hmac_sha256, MacKey, TAG_LEN};
 pub use merkle::{proof_index, verify_inclusion, MerkleTree, ProofStep, MAX_PROOF_DEPTH};
 pub use sha256::Sha256;
-pub use signing::{KeyStore, Keypair, PublicKey, Signature, SIGNATURE_LEN};
+pub use signing::{BatchVerifier, KeyStore, Keypair, PublicKey, VerifyError, SIGNATURE_LEN};
+pub use spotless_types::Signature;

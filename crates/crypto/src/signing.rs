@@ -5,97 +5,140 @@
 //! certificates, and client requests (§2). Key generation is
 //! deterministic from seeds so test clusters are reproducible.
 //!
-//! # Simulation-grade scheme
+//! # Real Ed25519
 //!
-//! The build environment has no crates.io access, so instead of wrapping
-//! `ed25519-dalek` this module implements a **keyed-hash signature
-//! stand-in** over the crate's own SHA-256: a "public key" is a hash
-//! commitment to the seed, and a signature is a 64-byte keyed hash of
-//! the message under that commitment. The API (32-byte public keys,
-//! 64-byte signatures, deterministic seed derivation) and all functional
-//! properties the tests and protocol rely on — roundtrip, tamper
-//! rejection, per-signer domain separation — match Ed25519, and the
-//! simulator's cost model still charges Ed25519 timings. What it does
-//! **not** provide is real asymmetry: anyone holding a public key could
-//! forge signatures under it, so this is NOT secure against a true
-//! Byzantine network adversary. Swapping `ed25519-dalek` back in
-//! restores that without touching any caller.
+//! Signatures are RFC 8032 Ed25519, implemented from scratch in the
+//! workspace's `compat/ed25519` crate (the build environment has no
+//! crates.io access, so `ed25519-dalek` is out — the same situation that
+//! produced `compat/sha2`). This replaced an earlier keyed-hash
+//! stand-in that anyone holding a public key could forge under; with
+//! real asymmetric signatures, a quorum certificate is now evidence
+//! that the named replicas actually voted, which is what lets
+//! `spotless-ledger` re-verify `CommitProof` signatures at append time
+//! and state transfer reject forged chain extensions.
+//!
+//! The API is shaped by what real signatures need and the stand-in
+//! couldn't express:
+//!
+//! * verification returns a typed [`VerifyError`] instead of `bool`
+//!   (callers migrating from the old API: `verify(...)` →
+//!   `verify(...).is_ok()` is the mechanical translation, but prefer
+//!   propagating the error — it says *why* a certificate was rejected);
+//! * [`PublicKey::from_bytes`] is fallible: point decompression rejects
+//!   non-canonical encodings, and small-order (torsion) points are
+//!   refused outright since signatures by them say nothing about who
+//!   signed;
+//! * [`Keypair`] holds an actual secret scalar — only the seed holder
+//!   can sign;
+//! * [`BatchVerifier`] and [`KeyStore::verify_quorum`] expose Ed25519
+//!   batch verification (one shared doubling chain across the whole
+//!   batch), which is what keeps quorum re-checking off the consensus
+//!   hot path's critical per-signature cost.
+//!
+//! One caveat survives from the stand-in era: the underlying arithmetic
+//! is variable-time. Verification only ever touches public data, but a
+//! production deployment signing high-value keys adjacent to untrusted
+//! timers would want a constant-time signer.
 
 use crate::sha256::Sha256;
-use spotless_types::ReplicaId;
+use spotless_types::{ReplicaId, Signature, VoteStatement};
 
-/// Length of a signature in bytes (matches Ed25519).
-pub const SIGNATURE_LEN: usize = 64;
+pub use spotless_types::SIGNATURE_LEN;
 
-/// A detached signature.
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub struct Signature(pub [u8; SIGNATURE_LEN]);
+/// Why a key or signature was rejected. Ordered roughly by how early in
+/// the pipeline the rejection happens: key parsing, signature parsing,
+/// then the verification equation itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// 32 bytes that are not the canonical encoding of a curve point
+    /// (a non-canonical y ≥ p, an x that is not on the curve, or a
+    /// "−0" sign bit).
+    MalformedKey,
+    /// A public key whose point has small order (divides the cofactor
+    /// 8): any signature verifies ambiguously under such a key.
+    WeakKey,
+    /// The signature's R half is not a canonical curve point encoding.
+    MalformedSignature,
+    /// The signature's S half is ≥ the group order L (RFC 8032 forbids
+    /// this; accepting it would make signatures malleable).
+    NonCanonicalScalar,
+    /// The verification equation does not hold: the signature was not
+    /// produced by this key over this message.
+    BadSignature,
+    /// The claimed signer is outside the cluster's key set.
+    UnknownSigner(ReplicaId),
+}
 
-impl std::fmt::Debug for Signature {
+impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sig:{:02x}{:02x}…", self.0[0], self.0[1])
+        match self {
+            VerifyError::MalformedKey => write!(f, "malformed public key encoding"),
+            VerifyError::WeakKey => write!(f, "small-order public key"),
+            VerifyError::MalformedSignature => write!(f, "malformed signature R point"),
+            VerifyError::NonCanonicalScalar => write!(f, "signature scalar S out of range"),
+            VerifyError::BadSignature => write!(f, "signature does not verify"),
+            VerifyError::UnknownSigner(r) => write!(f, "unknown signer {r}"),
+        }
     }
 }
 
-/// Domain-separation prefix for deriving a public key from a seed.
-const PK_DOMAIN: &[u8] = b"spotless-sim-sig-pk-v1";
-/// Domain-separation prefixes for the two signature halves.
-const SIG_DOMAIN_LO: &[u8] = b"spotless-sim-sig-lo-v1";
-const SIG_DOMAIN_HI: &[u8] = b"spotless-sim-sig-hi-v1";
+impl std::error::Error for VerifyError {}
 
-/// Computes one 32-byte signature half.
-fn sig_half(domain: &[u8], pk: &[u8; 32], message: &[u8]) -> [u8; 32] {
-    let mut hasher = Sha256::new();
-    hasher.update(domain);
-    hasher.update(pk);
-    hasher.update(message);
-    hasher.finalize()
+/// Maps a low-level Ed25519 error in *signature* position (never key
+/// position — key errors are handled at [`PublicKey::from_bytes`]).
+fn sig_error(e: ed25519::Error) -> VerifyError {
+    match e {
+        ed25519::Error::MalformedPoint => VerifyError::MalformedSignature,
+        ed25519::Error::NonCanonicalScalar => VerifyError::NonCanonicalScalar,
+        // A small-order R is legal per RFC 8032; the ed25519 crate only
+        // reports SmallOrderKey for keys, which we validated earlier.
+        ed25519::Error::SmallOrderKey | ed25519::Error::BadSignature => VerifyError::BadSignature,
+    }
 }
 
-/// Computes the full 64-byte signature bound to `pk`.
-fn sign_with(pk: &[u8; 32], message: &[u8]) -> Signature {
-    let mut sig = [0u8; SIGNATURE_LEN];
-    sig[..32].copy_from_slice(&sig_half(SIG_DOMAIN_LO, pk, message));
-    sig[32..].copy_from_slice(&sig_half(SIG_DOMAIN_HI, pk, message));
-    Signature(sig)
-}
-
-/// A verifying (public) key.
+/// A verifying (public) key: a validated point on edwards25519.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct PublicKey([u8; 32]);
+pub struct PublicKey(ed25519::VerifyingKey);
 
 impl PublicKey {
     /// Verifies `sig` over `message`.
-    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
-        sign_with(&self.0, message) == *sig
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> Result<(), VerifyError> {
+        self.0.verify(message, &sig.0).map_err(sig_error)
     }
 
-    /// The raw 32-byte key material.
+    /// The compressed 32-byte key encoding.
     pub fn to_bytes(&self) -> [u8; 32] {
-        self.0
+        self.0.to_bytes()
     }
 
-    /// Parses 32 bytes of key material.
-    pub fn from_bytes(bytes: &[u8; 32]) -> Option<PublicKey> {
-        Some(PublicKey(*bytes))
+    /// Parses and validates 32 bytes of key material. Fails with
+    /// [`VerifyError::MalformedKey`] on anything that is not a
+    /// canonical point encoding and [`VerifyError::WeakKey`] on
+    /// small-order points.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<PublicKey, VerifyError> {
+        match ed25519::VerifyingKey::from_bytes(bytes) {
+            Ok(vk) => Ok(PublicKey(vk)),
+            Err(ed25519::Error::SmallOrderKey) => Err(VerifyError::WeakKey),
+            Err(_) => Err(VerifyError::MalformedKey),
+        }
     }
 }
 
-/// A signing keypair.
+/// A signing keypair holding a real secret scalar; only the seed holder
+/// can produce signatures.
 #[derive(Clone)]
 pub struct Keypair {
+    signing: ed25519::SigningKey,
     public: PublicKey,
 }
 
 impl Keypair {
-    /// Builds a keypair deterministically from a 32-byte seed.
+    /// Builds a keypair deterministically from a 32-byte seed
+    /// (RFC 8032 seed expansion).
     pub fn from_seed(seed: [u8; 32]) -> Keypair {
-        let mut hasher = Sha256::new();
-        hasher.update(PK_DOMAIN);
-        hasher.update(&seed);
-        Keypair {
-            public: PublicKey(hasher.finalize()),
-        }
+        let signing = ed25519::SigningKey::from_seed(&seed);
+        let public = PublicKey(*signing.verifying_key());
+        Keypair { signing, public }
     }
 
     /// Derives the keypair for participant `label`/`index` from a cluster
@@ -119,7 +162,55 @@ impl Keypair {
 
     /// Signs `message`.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        sign_with(&self.public.0, message)
+        Signature(self.signing.sign(message))
+    }
+}
+
+/// Accumulates `(key, message, signature)` triples and verifies them all
+/// at once by random linear combination: one shared doubling chain
+/// across the batch instead of one per signature, which is what makes
+/// quorum re-checking cheap.
+///
+/// The accept set is identical to verifying each triple serially (both
+/// paths use cofactored verification), so batching is purely a
+/// performance choice. On failure the batch cannot attribute blame —
+/// callers that need to know *which* signature was bad re-verify
+/// serially (see [`KeyStore::filter_valid`]).
+#[derive(Default)]
+pub struct BatchVerifier {
+    items: Vec<(PublicKey, Vec<u8>, Signature)>,
+}
+
+impl BatchVerifier {
+    /// An empty batch.
+    pub fn new() -> BatchVerifier {
+        BatchVerifier::default()
+    }
+
+    /// Adds one triple to the batch.
+    pub fn push(&mut self, key: &PublicKey, message: &[u8], sig: &Signature) {
+        self.items.push((*key, message.to_vec(), *sig));
+    }
+
+    /// Number of queued triples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Verifies the whole batch. `Ok` iff every triple verifies; an
+    /// empty batch is `Ok`.
+    pub fn verify(self) -> Result<(), VerifyError> {
+        let items: Vec<(&ed25519::VerifyingKey, &[u8], &[u8; 64])> = self
+            .items
+            .iter()
+            .map(|(key, message, sig)| (&key.0, message.as_slice(), &sig.0))
+            .collect();
+        ed25519::verify_batch(&items).map_err(sig_error)
     }
 }
 
@@ -156,16 +247,80 @@ impl KeyStore {
         self.me
     }
 
+    /// Number of replicas whose keys this store holds.
+    pub fn n(&self) -> usize {
+        self.publics.len()
+    }
+
     /// Signs with this replica's key.
     pub fn sign(&self, message: &[u8]) -> Signature {
         self.keypair.sign(message)
     }
 
+    /// Signs a vote statement with this replica's key.
+    pub fn sign_vote(&self, statement: &VoteStatement) -> Signature {
+        self.sign(&statement.signing_bytes())
+    }
+
     /// Verifies a signature attributed to `signer`.
-    pub fn verify(&self, signer: ReplicaId, message: &[u8], sig: &Signature) -> bool {
+    pub fn verify(
+        &self,
+        signer: ReplicaId,
+        message: &[u8],
+        sig: &Signature,
+    ) -> Result<(), VerifyError> {
         self.publics
             .get(signer.as_usize())
-            .is_some_and(|pk| pk.verify(message, sig))
+            .ok_or(VerifyError::UnknownSigner(signer))?
+            .verify(message, sig)
+    }
+
+    /// Verifies a vote signature attributed to `signer`.
+    pub fn verify_vote(
+        &self,
+        signer: ReplicaId,
+        statement: &VoteStatement,
+        sig: &Signature,
+    ) -> Result<(), VerifyError> {
+        self.verify(signer, &statement.signing_bytes(), sig)
+    }
+
+    /// Batch-verifies a quorum's signatures over one shared `message`
+    /// (the vote statement everyone signed). `Ok` iff *every* vote
+    /// checks out — this is the entry point `ledger::verify_proof` uses
+    /// to re-verify `CommitProof` signatures at append time.
+    pub fn verify_quorum(
+        &self,
+        message: &[u8],
+        votes: &[(ReplicaId, Signature)],
+    ) -> Result<(), VerifyError> {
+        let mut batch = BatchVerifier::new();
+        for (signer, sig) in votes {
+            let key = self
+                .publics
+                .get(signer.as_usize())
+                .ok_or(VerifyError::UnknownSigner(*signer))?;
+            batch.push(key, message, sig);
+        }
+        batch.verify()
+    }
+
+    /// Which of `votes` verify over `message`: the sanitizing
+    /// counterpart to [`verify_quorum`] for live certificates, where a
+    /// Byzantine replica may have attached garbage alongside honest
+    /// votes and all-or-nothing rejection would poison honest commits.
+    /// Batches first (one pass when everything is honest — the common
+    /// case) and only attributes blame serially on failure.
+    ///
+    /// [`verify_quorum`]: KeyStore::verify_quorum
+    pub fn filter_valid(&self, message: &[u8], votes: &[(ReplicaId, Signature)]) -> Vec<bool> {
+        if self.verify_quorum(message, votes).is_ok() {
+            return vec![true; votes.len()];
+        }
+        votes
+            .iter()
+            .map(|(signer, sig)| self.verify(*signer, message, sig).is_ok())
+            .collect()
     }
 
     /// Public key of `replica`.
@@ -182,8 +337,11 @@ mod tests {
     fn sign_verify_roundtrip() {
         let kp = Keypair::from_seed([42u8; 32]);
         let sig = kp.sign(b"propose v7");
-        assert!(kp.public().verify(b"propose v7", &sig));
-        assert!(!kp.public().verify(b"propose v8", &sig));
+        assert!(kp.public().verify(b"propose v7", &sig).is_ok());
+        assert_eq!(
+            kp.public().verify(b"propose v8", &sig),
+            Err(VerifyError::BadSignature)
+        );
     }
 
     #[test]
@@ -201,7 +359,39 @@ mod tests {
         let bytes = kp.public().to_bytes();
         let back = PublicKey::from_bytes(&bytes).unwrap();
         let sig = kp.sign(b"x");
-        assert!(back.verify(b"x", &sig));
+        assert!(back.verify(b"x", &sig).is_ok());
+    }
+
+    #[test]
+    fn from_bytes_rejects_non_canonical_encodings() {
+        // y = p: a non-canonical encoding of y = 0.
+        let mut non_canonical = [0xffu8; 32];
+        non_canonical[0] = 0xed;
+        non_canonical[31] = 0x7f;
+        assert_eq!(
+            PublicKey::from_bytes(&non_canonical),
+            Err(VerifyError::MalformedKey)
+        );
+        // An x that is not on the curve.
+        let mut off_curve = [0u8; 32];
+        off_curve[0] = 2;
+        assert_eq!(
+            PublicKey::from_bytes(&off_curve),
+            Err(VerifyError::MalformedKey)
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_small_order_points() {
+        // The identity (0, 1).
+        let mut ident = [0u8; 32];
+        ident[0] = 1;
+        assert_eq!(PublicKey::from_bytes(&ident), Err(VerifyError::WeakKey));
+        // The order-2 point (0, −1).
+        let mut order2 = [0xffu8; 32];
+        order2[0] = 0xec;
+        order2[31] = 0x7f;
+        assert_eq!(PublicKey::from_bytes(&order2), Err(VerifyError::WeakKey));
     }
 
     #[test]
@@ -210,9 +400,15 @@ mod tests {
         assert_eq!(stores.len(), 4);
         let sig = stores[2].sign(b"sync v3");
         for store in &stores {
-            assert!(store.verify(ReplicaId(2), b"sync v3", &sig));
-            assert!(!store.verify(ReplicaId(1), b"sync v3", &sig));
-            assert!(!store.verify(ReplicaId(9), b"sync v3", &sig));
+            assert!(store.verify(ReplicaId(2), b"sync v3", &sig).is_ok());
+            assert_eq!(
+                store.verify(ReplicaId(1), b"sync v3", &sig),
+                Err(VerifyError::BadSignature)
+            );
+            assert_eq!(
+                store.verify(ReplicaId(9), b"sync v3", &sig),
+                Err(VerifyError::UnknownSigner(ReplicaId(9)))
+            );
         }
     }
 
@@ -221,6 +417,59 @@ mod tests {
         let kp = Keypair::from_seed([1u8; 32]);
         let mut sig = kp.sign(b"msg");
         sig.0[10] ^= 0xff;
-        assert!(!kp.public().verify(b"msg", &sig));
+        assert!(kp.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn batch_verifier_accepts_valid_and_rejects_one_bad() {
+        let stores = KeyStore::cluster(b"batch", 7);
+        let mut batch = BatchVerifier::new();
+        for (i, store) in stores.iter().enumerate() {
+            let msg = format!("vote {i}");
+            let sig = store.sign(msg.as_bytes());
+            batch.push(store.public_of(store.me()).unwrap(), msg.as_bytes(), &sig);
+        }
+        assert_eq!(batch.len(), 7);
+        batch.verify().unwrap();
+
+        let mut batch = BatchVerifier::new();
+        for (i, store) in stores.iter().enumerate() {
+            let msg = format!("vote {i}");
+            let mut sig = store.sign(msg.as_bytes());
+            if i == 3 {
+                sig.0[40] ^= 1;
+            }
+            batch.push(store.public_of(store.me()).unwrap(), msg.as_bytes(), &sig);
+        }
+        assert_eq!(batch.verify(), Err(VerifyError::BadSignature));
+    }
+
+    #[test]
+    fn verify_quorum_checks_every_vote() {
+        let stores = KeyStore::cluster(b"quorum", 4);
+        let statement = b"commit view 9 digest abc";
+        let mut votes: Vec<(ReplicaId, Signature)> =
+            stores.iter().map(|s| (s.me(), s.sign(statement))).collect();
+        stores[0].verify_quorum(statement, &votes).unwrap();
+        // Swap one vote for a forgery: the whole quorum check fails.
+        votes[2].1 = Signature([7u8; SIGNATURE_LEN]);
+        assert!(stores[0].verify_quorum(statement, &votes).is_err());
+        // filter_valid attributes the blame.
+        let mask = stores[0].filter_valid(statement, &votes);
+        assert_eq!(mask, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn vote_statement_signing_round_trips() {
+        use spotless_types::{Digest, InstanceId, View};
+        let stores = KeyStore::cluster(b"votes", 4);
+        let st = VoteStatement::new(InstanceId(1), View(4), Digest::from_u64(77));
+        let sig = stores[1].sign_vote(&st);
+        stores[0].verify_vote(ReplicaId(1), &st, &sig).unwrap();
+        let other = VoteStatement::new(InstanceId(1), View(5), Digest::from_u64(77));
+        assert_eq!(
+            stores[0].verify_vote(ReplicaId(1), &other, &sig),
+            Err(VerifyError::BadSignature)
+        );
     }
 }

@@ -1,0 +1,146 @@
+//! Property tests for the Ed25519 stack: field and scalar byte
+//! round-trips plus algebraic identities at the bottom, and at the top
+//! the equivalence the verification API leans on — a batch accepts iff
+//! serial verification of every member accepts, and with exactly one
+//! bad signature the serial pass blames exactly that index. The
+//! pipeline's certificate sanitizer and `KeyStore::verify_quorum` are
+//! both built on that equivalence, so it is load-bearing, not
+//! decorative.
+
+use ed25519::field::FieldElement;
+use ed25519::scalar::Scalar;
+use proptest::prelude::*;
+use spotless_crypto::{BatchVerifier, KeyStore, Keypair};
+use spotless_types::{ReplicaId, Signature};
+
+/// 32 bytes assembled from four u64 limbs (the stand-in proptest has
+/// no array strategy).
+fn bytes32(limbs: (u64, u64, u64, u64)) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    out[..8].copy_from_slice(&limbs.0.to_le_bytes());
+    out[8..16].copy_from_slice(&limbs.1.to_le_bytes());
+    out[16..24].copy_from_slice(&limbs.2.to_le_bytes());
+    out[24..].copy_from_slice(&limbs.3.to_le_bytes());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonical field encodings survive a decode/encode round-trip
+    /// bit-exactly. Masking the top two bits keeps the value below
+    /// 2^254 < p, so every generated encoding is canonical.
+    #[test]
+    fn field_bytes_roundtrip(limbs in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())) {
+        let mut bytes = bytes32(limbs);
+        bytes[31] &= 0x3f;
+        let fe = FieldElement::from_bytes_canonical(&bytes).expect("< 2^254 is canonical");
+        prop_assert_eq!(fe.to_bytes(), bytes);
+    }
+
+    /// Field arithmetic identities: additive inverse, multiplicative
+    /// identity and commutativity, and `a · a⁻¹ = 1` for nonzero `a`.
+    #[test]
+    fn field_algebra_holds(
+        a in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        b in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let (mut ab, mut bb) = (bytes32(a), bytes32(b));
+        ab[31] &= 0x3f;
+        bb[31] &= 0x3f;
+        let x = FieldElement::from_bytes_canonical(&ab).unwrap();
+        let y = FieldElement::from_bytes_canonical(&bb).unwrap();
+        prop_assert_eq!(((x + y) - y).to_bytes(), x.to_bytes());
+        prop_assert_eq!((x * FieldElement::ONE).to_bytes(), x.to_bytes());
+        prop_assert_eq!((x * y).to_bytes(), (y * x).to_bytes());
+        if !x.is_zero() {
+            prop_assert_eq!((x * x.invert()).to_bytes(), FieldElement::ONE.to_bytes());
+        }
+    }
+
+    /// `from_bytes_mod_order` always lands on a canonical encoding:
+    /// its `to_bytes` re-parses via the strict path to the same value,
+    /// and reducing again is a no-op.
+    #[test]
+    fn scalar_reduction_is_canonical(limbs in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())) {
+        let s = Scalar::from_bytes_mod_order(&bytes32(limbs));
+        let encoded = s.to_bytes();
+        let strict = Scalar::from_canonical_bytes(&encoded)
+            .expect("reduced scalars re-parse strictly");
+        prop_assert_eq!(strict.to_bytes(), encoded);
+        prop_assert_eq!(Scalar::from_bytes_mod_order(&encoded).to_bytes(), encoded);
+    }
+
+    /// Scalar arithmetic matches u128 arithmetic on small inputs, and
+    /// `s + (−s) = 0` for arbitrary reduced scalars.
+    #[test]
+    fn scalar_algebra_holds(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        limbs in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let (sa, sb) = (Scalar::from_u128(a as u128), Scalar::from_u128(b as u128));
+        let sum = Scalar::from_u128(a as u128 + b as u128);
+        let product = Scalar::from_u128(a as u128 * b as u128);
+        prop_assert_eq!((sa + sb).to_bytes(), sum.to_bytes());
+        prop_assert_eq!((sa * sb).to_bytes(), product.to_bytes());
+        let s = Scalar::from_bytes_mod_order(&bytes32(limbs));
+        prop_assert!((s + s.neg()).is_zero());
+    }
+
+    /// Sign/verify round-trips for arbitrary seeds and messages, and
+    /// any single-bit flip in the signature is rejected.
+    #[test]
+    fn sign_verify_roundtrip_and_bitflip_rejection(
+        seed in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        message in prop::collection::vec(any::<u8>(), 0..64),
+        flip in 0usize..512,
+    ) {
+        let kp = Keypair::from_seed(bytes32(seed));
+        let sig = kp.sign(&message);
+        prop_assert!(kp.public().verify(&message, &sig).is_ok());
+        let mut bad = sig;
+        bad.0[flip / 8] ^= 1 << (flip % 8);
+        prop_assert!(kp.public().verify(&message, &bad).is_err());
+    }
+
+    /// Batch acceptance ⇔ serial acceptance. All-valid batches verify;
+    /// corrupting exactly one signature fails the batch, and the serial
+    /// pass (and `KeyStore::filter_valid`) blames exactly that index.
+    #[test]
+    fn batch_matches_serial_with_one_bad_signature(
+        n in 4u32..9,
+        message in prop::collection::vec(any::<u8>(), 1..48),
+        bad_index in 0u32..4,
+    ) {
+        let stores = KeyStore::cluster(b"signing-props", n);
+        let votes: Vec<(ReplicaId, Signature)> = (0..n)
+            .map(|r| (ReplicaId(r), stores[r as usize].sign(&message)))
+            .collect();
+
+        // All valid: batch and serial agree on acceptance.
+        let mut batch = BatchVerifier::new();
+        for (r, sig) in &votes {
+            batch.push(stores[0].public_of(*r).unwrap(), &message, sig);
+        }
+        prop_assert!(batch.verify().is_ok());
+        prop_assert!(stores[0].verify_quorum(&message, &votes).is_ok());
+        prop_assert_eq!(stores[0].filter_valid(&message, &votes), vec![true; n as usize]);
+
+        // One forged member: the batch rejects as a whole; the serial
+        // mask singles out the culprit and only the culprit.
+        let bad_index = (bad_index % n) as usize;
+        let mut forged = votes.clone();
+        forged[bad_index].1 .0[0] ^= 0x01;
+        let mut batch = BatchVerifier::new();
+        for (r, sig) in &forged {
+            batch.push(stores[0].public_of(*r).unwrap(), &message, sig);
+        }
+        prop_assert!(batch.verify().is_err());
+        prop_assert!(stores[0].verify_quorum(&message, &forged).is_err());
+        let mask = stores[0].filter_valid(&message, &forged);
+        for (i, ok) in mask.iter().enumerate() {
+            prop_assert_eq!(*ok, i != bad_index, "blame must land on index {bad_index} alone");
+        }
+    }
+}

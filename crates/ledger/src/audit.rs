@@ -101,7 +101,10 @@ mod tests {
                     instance: InstanceId(0),
                     view: View(b),
                     phase: spotless_types::CertPhase::Strong,
+                    voted: Digest::from_u64(b * 31),
+                    slot: 0,
                     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                    sigs: vec![spotless_types::Signature::ZERO; 3],
                 },
             );
             batches.push(payloads);

@@ -18,21 +18,50 @@ pub mod audit;
 pub use audit::{batch_root, prove_transaction, verify_provenance, ProvenanceProof};
 
 use serde::{Deserialize, Serialize};
-use spotless_types::{BatchId, CertPhase, ClusterConfig, Digest, InstanceId, ReplicaId, View};
+use spotless_crypto::{KeyStore, VerifyError};
+use spotless_types::{
+    BatchId, CertPhase, ClusterConfig, Digest, InstanceId, ReplicaId, Signature, View,
+    VoteStatement,
+};
 use std::collections::HashMap;
 
-/// Summary of the consensus proof behind a block: who certified it.
+/// The consensus proof behind a block: which replicas certified it, and
+/// their signatures over the vote statement, so any third party holding
+/// the cluster's public keys can re-check the quorum after the fact.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommitProof {
     /// The instance whose chain decided the block.
     pub instance: InstanceId,
-    /// The view the proposal was made in.
+    /// The view the certifying votes were cast in.
     pub view: View,
     /// Which quorum rule `signers` satisfies (strong `n − f` or weak
     /// `f + 1`); [`verify_proof`] enforces the matching minimum.
     pub phase: CertPhase,
+    /// The digest the certifying votes were cast for (a proposal or
+    /// block digest — the protocol's voting object, not necessarily the
+    /// batch digest the block binds).
+    pub voted: Digest,
+    /// Log position bound by the votes, for protocols whose voted
+    /// digest does not itself bind one (PBFT sequence numbers); zero
+    /// elsewhere.
+    pub slot: u64,
     /// Replicas whose signed votes certify the decision.
     pub signers: Vec<ReplicaId>,
+    /// Each signer's Ed25519 signature over [`CommitProof::statement`],
+    /// parallel to `signers`.
+    pub sigs: Vec<Signature>,
+}
+
+impl CommitProof {
+    /// The statement every signature in this proof covers.
+    pub fn statement(&self) -> VoteStatement {
+        VoteStatement {
+            instance: self.instance,
+            view: self.view,
+            slot: self.slot,
+            digest: self.voted,
+        }
+    }
 }
 
 /// Quorum arithmetic a [`CommitProof`] is verified against.
@@ -62,6 +91,13 @@ impl ProofRules {
 pub enum ProofError {
     /// The signer set is empty.
     Empty,
+    /// The signature list is not parallel to the signer list.
+    SignatureCount {
+        /// Number of signers listed.
+        signers: u32,
+        /// Number of signatures carried.
+        sigs: u32,
+    },
     /// A signer id is not a replica of the cluster.
     UnknownSigner(ReplicaId),
     /// A signer appears more than once.
@@ -73,12 +109,22 @@ pub enum ProofError {
         /// The phase's minimum.
         need: u32,
     },
+    /// At least one signature does not verify over the proof's vote
+    /// statement (batch verification does not attribute blame; the
+    /// inner error says how verification failed).
+    BadSignature(VerifyError),
 }
 
 impl std::fmt::Display for ProofError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProofError::Empty => write!(f, "commit proof has no signers"),
+            ProofError::SignatureCount { signers, sigs } => {
+                write!(
+                    f,
+                    "commit proof lists {signers} signers but {sigs} signatures"
+                )
+            }
             ProofError::UnknownSigner(r) => {
                 write!(f, "commit proof names unknown replica {}", r.0)
             }
@@ -88,20 +134,40 @@ impl std::fmt::Display for ProofError {
             ProofError::BelowQuorum { got, need } => {
                 write!(f, "commit proof has {got} signers, quorum needs {need}")
             }
+            ProofError::BadSignature(e) => {
+                write!(f, "commit proof signature rejected: {e}")
+            }
         }
     }
 }
 
 impl std::error::Error for ProofError {}
 
-/// Verifies a commit proof's signer set against the cluster's quorum
-/// rules: non-empty, every id a real replica, no duplicates, and at
-/// least the phase's quorum of distinct signers. The runtime calls this
-/// before any block — locally decided or received via state transfer —
-/// reaches durable storage.
-pub fn verify_proof(proof: &CommitProof, rules: &ProofRules) -> Result<(), ProofError> {
+/// Verifies a commit proof against the cluster's quorum rules **and**
+/// key material: non-empty, signature list parallel to the signer list,
+/// every id a real replica, no duplicates, at least the phase's quorum
+/// of distinct signers — and every signature batch-verifies (via
+/// [`KeyStore::verify_quorum`]) over the proof's vote statement. The
+/// runtime calls this before any block — locally decided or received
+/// via state transfer — reaches durable storage, so a forged quorum is
+/// rejected even when its signer *identities* look plausible.
+///
+/// Structural checks run first: they are cheap, and a proof that fails
+/// them should be reported as malformed rather than as a signature
+/// failure.
+pub fn verify_proof(
+    proof: &CommitProof,
+    rules: &ProofRules,
+    keys: &KeyStore,
+) -> Result<(), ProofError> {
     if proof.signers.is_empty() {
         return Err(ProofError::Empty);
+    }
+    if proof.sigs.len() != proof.signers.len() {
+        return Err(ProofError::SignatureCount {
+            signers: proof.signers.len() as u32,
+            sigs: proof.sigs.len() as u32,
+        });
     }
     let mut seen = spotless_types::ReplicaSet::new(rules.n);
     for &r in &proof.signers {
@@ -122,7 +188,14 @@ pub fn verify_proof(proof: &CommitProof, rules: &ProofRules) -> Result<(), Proof
             need,
         });
     }
-    Ok(())
+    let votes: Vec<(ReplicaId, Signature)> = proof
+        .signers
+        .iter()
+        .copied()
+        .zip(proof.sigs.iter().copied())
+        .collect();
+    keys.verify_quorum(&proof.statement().signing_bytes(), &votes)
+        .map_err(ProofError::BadSignature)
 }
 
 /// One ledger block: an executed batch plus its consensus proof and the
@@ -168,16 +241,21 @@ impl Block {
         // The hash binds the **canonical chain content**: position,
         // parent, batch identity, the post-execution state root, and
         // the consensus slot (instance, view) the batch was decided in.
-        // It deliberately does NOT bind the certificate's phase/signer
-        // set: those are this replica's *evidence* for the decision —
-        // different honest replicas legitimately collect different (all
-        // valid) quorums for the same decision, and folding them into
-        // the hash would make replicas' chains diverge byte-wise despite
-        // identical ordered content. Certificates are instead validated
+        // It deliberately does NOT bind the certificate's phase, signer
+        // set, signatures, or voted digest/slot: those are this
+        // replica's *evidence* for the decision — different honest
+        // replicas legitimately collect different (all valid) quorums
+        // for the same decision, and folding them into the hash would
+        // make replicas' chains diverge byte-wise despite identical
+        // ordered content. Certificates are instead validated
         // independently by [`verify_proof`] wherever a block crosses a
-        // trust boundary. The domain string is versioned: v2 blocks
-        // (no state root) hash under a different domain, so the two
-        // header generations can never collide.
+        // trust boundary — and since [`verify_proof`] re-verifies the
+        // signatures over the vote statement (voted digest and slot
+        // included), tampering with the evidence is caught
+        // cryptographically rather than by the chain hash. The domain
+        // string is versioned: v2 blocks (no state root) hash under a
+        // different domain, so the two header generations can never
+        // collide.
         spotless_crypto::digest_fields(&[
             b"spotless-ledger-block-v3",
             &height.to_be_bytes(),
@@ -508,8 +586,35 @@ mod tests {
             instance: InstanceId(0),
             view: View(view),
             phase: CertPhase::Strong,
+            voted: Digest::from_u64(view * 31 + 5),
+            slot: 0,
             signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            sigs: vec![spotless_types::Signature::ZERO; 3],
         }
+    }
+
+    /// Key stores for the 4-replica test cluster the proof fixtures
+    /// name their signers from.
+    fn stores() -> Vec<KeyStore> {
+        KeyStore::cluster(b"ledger-proof-tests", 4)
+    }
+
+    /// A [`proof`] whose signatures actually verify under [`stores`].
+    fn signed_proof(view: u64) -> CommitProof {
+        let mut p = proof(view);
+        sign(&mut p);
+        p
+    }
+
+    /// Replaces `p`'s signatures with real ones from [`stores`].
+    fn sign(p: &mut CommitProof) {
+        let stores = stores();
+        let stmt = p.statement();
+        p.sigs = p
+            .signers
+            .iter()
+            .map(|&r| stores[r.0 as usize].sign_vote(&stmt))
+            .collect();
     }
 
     fn sample_ledger(blocks: u64) -> Ledger {
@@ -704,21 +809,44 @@ mod tests {
     #[test]
     fn verify_proof_accepts_valid_quorums() {
         let rules = rules_n4();
-        verify_proof(&proof(1), &rules).expect("strong quorum of 3 distinct known signers");
-        let weak = CommitProof {
+        let keys = &stores()[0];
+        verify_proof(&signed_proof(1), &rules, keys)
+            .expect("strong quorum of 3 distinct known signers");
+        let mut weak = CommitProof {
             instance: InstanceId(0),
             view: View(1),
             phase: CertPhase::Weak,
+            voted: Digest::from_u64(36),
+            slot: 0,
             signers: vec![ReplicaId(3), ReplicaId(1)],
+            sigs: Vec::new(),
         };
-        verify_proof(&weak, &rules).expect("weak quorum of 2");
+        sign(&mut weak);
+        verify_proof(&weak, &rules, keys).expect("weak quorum of 2");
     }
 
     #[test]
     fn verify_proof_rejects_empty_signer_sets() {
         let mut p = proof(1);
         p.signers.clear();
-        assert_eq!(verify_proof(&p, &rules_n4()), Err(ProofError::Empty));
+        p.sigs.clear();
+        assert_eq!(
+            verify_proof(&p, &rules_n4(), &stores()[0]),
+            Err(ProofError::Empty)
+        );
+    }
+
+    #[test]
+    fn verify_proof_rejects_unparallel_signature_lists() {
+        let mut p = signed_proof(1);
+        p.sigs.pop();
+        assert_eq!(
+            verify_proof(&p, &rules_n4(), &stores()[0]),
+            Err(ProofError::SignatureCount {
+                signers: 3,
+                sigs: 2
+            })
+        );
     }
 
     #[test]
@@ -727,8 +855,9 @@ mod tests {
         // only three distinct replicas padded with a repeat.
         let mut p = proof(1);
         p.signers = vec![ReplicaId(0), ReplicaId(1), ReplicaId(1), ReplicaId(2)];
+        sign(&mut p);
         assert_eq!(
-            verify_proof(&p, &rules_n4()),
+            verify_proof(&p, &rules_n4(), &stores()[0]),
             Err(ProofError::DuplicateSigner(ReplicaId(1)))
         );
     }
@@ -738,7 +867,7 @@ mod tests {
         let mut p = proof(1);
         p.signers = vec![ReplicaId(0), ReplicaId(1), ReplicaId(9)];
         assert_eq!(
-            verify_proof(&p, &rules_n4()),
+            verify_proof(&p, &rules_n4(), &stores()[0]),
             Err(ProofError::UnknownSigner(ReplicaId(9)))
         );
     }
@@ -746,21 +875,60 @@ mod tests {
     #[test]
     fn verify_proof_enforces_phase_minimums() {
         let rules = rules_n4();
+        let keys = &stores()[0];
         let mut p = proof(1);
         p.signers = vec![ReplicaId(0), ReplicaId(1)];
+        sign(&mut p);
         // Two signers miss the strong quorum of 3…
         assert_eq!(
-            verify_proof(&p, &rules),
+            verify_proof(&p, &rules, keys),
             Err(ProofError::BelowQuorum { got: 2, need: 3 })
         );
         // …but satisfy a weak (f + 1) certificate.
         p.phase = CertPhase::Weak;
-        verify_proof(&p, &rules).expect("weak minimum is 2");
+        verify_proof(&p, &rules, keys).expect("weak minimum is 2");
         p.signers = vec![ReplicaId(0)];
+        sign(&mut p);
         assert_eq!(
-            verify_proof(&p, &rules),
+            verify_proof(&p, &rules, keys),
             Err(ProofError::BelowQuorum { got: 1, need: 2 })
         );
+    }
+
+    #[test]
+    fn verify_proof_rejects_forged_signatures() {
+        let rules = rules_n4();
+        let keys = &stores()[0];
+        // One signature flipped: the identities still form a perfect
+        // quorum, but the cryptographic re-check refuses the proof —
+        // the exact forgery the identity-only checker used to admit.
+        let mut p = signed_proof(1);
+        p.sigs[1].0[17] ^= 0x40;
+        assert!(matches!(
+            verify_proof(&p, &rules, keys),
+            Err(ProofError::BadSignature(_))
+        ));
+        // All-zero placeholders (simulation fixtures) never verify.
+        let mut p = signed_proof(1);
+        p.sigs[2] = spotless_types::Signature::ZERO;
+        assert!(matches!(
+            verify_proof(&p, &rules, keys),
+            Err(ProofError::BadSignature(_))
+        ));
+        // Valid signatures over a *different* statement do not transfer:
+        // tampering with the voted digest (or slot) invalidates them.
+        let mut p = signed_proof(1);
+        p.voted = Digest::from_u64(999);
+        assert!(matches!(
+            verify_proof(&p, &rules, keys),
+            Err(ProofError::BadSignature(_))
+        ));
+        let mut p = signed_proof(1);
+        p.slot = 7;
+        assert!(matches!(
+            verify_proof(&p, &rules, keys),
+            Err(ProofError::BadSignature(_))
+        ));
     }
 
     #[test]
@@ -803,6 +971,17 @@ mod tests {
         assert!(
             b.verify_hash(),
             "a different valid quorum must hash identically"
+        );
+        // Same for the signatures and the statement fields they cover
+        // (voted digest, slot): they live on the evidence side of the
+        // split, guarded by `verify_proof`'s cryptographic re-check
+        // rather than by the chain hash.
+        let mut b = ledger.block(1).unwrap().clone();
+        b.proof.sigs = vec![spotless_types::Signature([7u8; 64]); 3];
+        b.proof.voted = Digest::from_u64(31337);
+        assert!(
+            b.verify_hash(),
+            "certificate evidence must not feed the chain hash"
         );
     }
 

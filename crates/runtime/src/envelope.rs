@@ -54,9 +54,13 @@
 //! frame. The exact byte layout is pinned by golden-vector tests below
 //! and in the facade suite (`tests/wire_format.rs`).
 //!
-//! Signatures come from the cluster [`KeyStore`] — the documented
-//! simulation-grade keyed-hash scheme (see `spotless-crypto`'s
-//! `signing` module for exactly what it does and does not provide).
+//! Signatures come from the cluster [`KeyStore`] — real Ed25519 (RFC
+//! 8032) over the payload bytes, with typed rejection: [`verify`]
+//! returns the [`spotless_crypto::VerifyError`] naming *why* a frame
+//! failed (unknown signer, malformed point, bad signature, …) so
+//! transports can log attributable drops instead of a bare `false`.
+//!
+//! [`verify`]: Envelope::verify
 
 use serde::bin::{self, Reader};
 use serde::{Deserialize, Serialize};
@@ -65,12 +69,14 @@ use spotless_ledger::Block;
 use spotless_types::{BatchId, Digest, ReplicaId};
 use std::sync::Arc;
 
-/// Leading byte of every payload: binary codec, wire revision 2. Chosen
-/// outside the tag range so v1 payloads (which started with their tag
-/// byte) and v2 payloads can never be confused — either side drops the
+/// Leading byte of every payload: binary codec, wire revision 3 (the
+/// commit proof gained its vote statement — voted digest and slot —
+/// plus one 64-byte Ed25519 signature per signer). Chosen outside the
+/// tag range so v1 payloads (which started with their tag byte) and
+/// later payloads can never be confused — either side drops the
 /// other's frames unread. Bump on any layout change; mixed-version
 /// clusters then fail closed instead of misinterpreting each other.
-pub const WIRE_VERSION: u8 = 0xB2;
+pub const WIRE_VERSION: u8 = 0xB3;
 
 // The fail-closed argument above requires the version byte to be
 // unmistakable for any tag of the previous (tag-first) generation.
@@ -113,8 +119,10 @@ impl Envelope {
         }
     }
 
-    /// Verifies the signature against the claimed sender.
-    pub fn verify(&self, keystore: &KeyStore) -> bool {
+    /// Verifies the signature against the claimed sender, reporting
+    /// *why* verification failed so the transport can attribute the
+    /// drop (unknown signer vs. forged signature vs. malformed frame).
+    pub fn verify(&self, keystore: &KeyStore) -> Result<(), spotless_crypto::VerifyError> {
         keystore.verify(self.from, &self.payload, &self.sig)
     }
 }
@@ -154,14 +162,13 @@ pub struct ChunkInfo {
 /// head sealed: the first mismatching byte fails its proof and the
 /// transfer rotates to another peer.
 ///
-/// What this does **not** yet close: the head block's authenticity
-/// itself rests on its commit certificate, and certificates today
-/// carry signer *identities* only (the quorum rules are enforced, but
-/// the votes' signatures are the simulation-grade keyed-hash scheme —
-/// see `crypto/src/signing.rs`). Until real Ed25519 lands (ROADMAP), a
-/// peer that can forge certificates can fabricate a whole head-plus-
-/// state pair; state roots bind *state to chain*, real signatures must
-/// bind *chain to cluster*.
+/// The head block's authenticity rests on its commit certificate, and
+/// certificates carry one Ed25519 signature per signer over the vote
+/// statement `(instance, view, slot, voted)`; the receiver re-verifies
+/// every one against the cluster's public keys before trusting the
+/// head. Fabricating a head-plus-state pair therefore requires forging
+/// a weak quorum of Ed25519 signatures: state roots bind *state to
+/// chain*, and the certificate's signatures bind *chain to cluster*.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransferManifest {
     /// Ledger height the snapshot covers (number of executed blocks).
@@ -471,7 +478,10 @@ mod tests {
                     instance: InstanceId(0),
                     view: View(i),
                     phase: spotless_types::CertPhase::Strong,
+                    voted: Digest::from_u64(i),
+                    slot: 0,
                     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                    sigs: vec![spotless_types::Signature::ZERO; 3],
                 },
             );
         }
@@ -483,10 +493,10 @@ mod tests {
         let stores = KeyStore::cluster(b"envelope-test", 4);
         let env = Envelope::seal(&stores[2], encode_catchup_req(7));
         assert_eq!(env.from, ReplicaId(2));
-        assert!(env.verify(&stores[0]));
+        assert!(env.verify(&stores[0]).is_ok());
         let mut forged = env.clone();
         forged.from = ReplicaId(1);
-        assert!(!forged.verify(&stores[0]));
+        assert!(forged.verify(&stores[0]).is_err());
     }
 
     #[test]
@@ -637,10 +647,13 @@ mod tests {
 
     #[test]
     fn wrong_wire_version_fails_closed() {
-        // A valid v2 payload re-badged with any other version byte must
-        // be dropped unread — this is the mixed-cluster guard.
+        // A valid payload re-badged with any other version byte must
+        // be dropped unread — this is the mixed-cluster guard. 0xB2 is
+        // the previous revision (pre-Ed25519 commit proofs): a cluster
+        // mixing the two drops each other's frames instead of
+        // misreading the proof layout.
         let enc = encode_catchup_req(42);
-        for bad_version in [0u8, 1, TAG_CATCHUP_RESP, 0xB1, 0xB3, 0xFF] {
+        for bad_version in [0u8, 1, TAG_CATCHUP_RESP, 0xB1, 0xB2, 0xFF] {
             let mut reframed = enc.clone();
             reframed[0] = bad_version;
             assert!(decode::<u64>(&reframed).is_none(), "{bad_version:#x}");

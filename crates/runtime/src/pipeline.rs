@@ -19,12 +19,18 @@
 //! asserts the KV state and chain height stay aligned at every seal.
 //!
 //! Every block that reaches storage carries a **verified commit
-//! certificate**: the protocol layer surfaces the certifying signer
-//! set through `CommitInfo::cert`, this worker copies it into the
-//! block's `CommitProof`, and `spotless_ledger::verify_proof` gates
-//! the append — non-empty, duplicate-free, known signers meeting the
-//! phase's quorum, on the live path and on every block received
-//! through state transfer alike.
+//! certificate**: the protocol layer surfaces the certifying votes
+//! (signer set plus one Ed25519 signature per signer over the vote
+//! statement) through `CommitInfo::cert`, this worker copies them into
+//! the block's `CommitProof`, and `spotless_ledger::verify_proof`
+//! gates the append — non-empty, duplicate-free, known signers meeting
+//! the phase's quorum, **and every signature batch-re-verified against
+//! the signer's public key** — on the live path and on every block
+//! received through state transfer alike. Live certificates are
+//! sanitized first: (signer, signature) pairs that fail verification
+//! are dropped and the phase downgraded if the survivors no longer
+//! meet the strong quorum, so one forged vote smuggled into an
+//! otherwise-valid quorum cannot poison the pipeline.
 //!
 //! The worker also owns the runtime-level **state-transfer** exchange,
 //! which runs in two modes. A replica that restarts from its durable
@@ -70,7 +76,8 @@ use spotless_storage::snapshot::Snapshot;
 use spotless_storage::transfer::{InstallJournal, InstallManifest};
 use spotless_storage::DurableLedger;
 use spotless_types::{
-    BatchId, ClientBatch, ClientId, ClusterConfig, CommitInfo, Digest, ReplicaId, SimTime,
+    BatchId, CertPhase, ClientBatch, ClientId, ClusterConfig, CommitInfo, Digest, ReplicaId,
+    SimTime,
 };
 use spotless_workload::{
     bucket_leaf_digest, decode_txns, KvStore, StateChunk, Transaction, META_LEAF, STATE_BUCKETS,
@@ -644,26 +651,35 @@ impl<F: Fabric> Pipeline<F> {
         };
         // The protocol's commit certificate becomes the block's durable
         // proof — and the ledger refuses it unless the signer set is
-        // non-empty, duplicate-free, within the cluster, and meets the
-        // phase's quorum. Every protocol in this workspace certifies
-        // its commits with at least a weak quorum of identities, so a
-        // rejection here means a protocol-layer bug (or a Byzantine
-        // node's forgery): fail closed, never persist an unverifiable
-        // block.
+        // non-empty, duplicate-free, within the cluster, meets the
+        // phase's quorum, and every signature verifies against its
+        // signer's key. Sanitize first: drop (signer, signature) pairs
+        // that fail verification and downgrade the phase when the
+        // survivors fall below the strong quorum, so a single forged
+        // vote riding an otherwise-valid quorum costs that vote, not
+        // the replica. (When every pair verifies — the hot path — the
+        // sanitizer is one batch verification and copies nothing out.)
+        let (signers, sigs, phase) =
+            sanitize_cert(&info.cert, info.instance, &self.keystore, &self.rules);
         let proof = CommitProof {
             instance: info.instance,
             view: info.view,
-            phase: info.cert.phase,
-            signers: info.cert.signers.clone(),
+            phase,
+            voted: info.cert.voted,
+            slot: info.cert.slot,
+            signers,
+            sigs,
         };
-        if verify_proof(&proof, &self.rules).is_err() {
+        if verify_proof(&proof, &self.rules, &self.keystore).is_err() {
             // The batch WAS decided cluster-wide; skipping it while
             // continuing to append later commits would leave a silent
             // hole that forks this replica's chain and state. Poison
             // the pipeline instead (same contract as a failed fsync):
             // nothing further is appended or acknowledged, and the
-            // replica presents as crashed until restarted.
-            debug_assert!(false, "protocol emitted an unverifiable commit certificate");
+            // replica presents as crashed until restarted. Reachable
+            // from forged input (a certificate whose surviving votes
+            // fall below the weak quorum), so no debug assertion —
+            // loud-stalling is the contract, aborting is not.
             self.poisoned = true;
             return None;
         }
@@ -898,7 +914,7 @@ impl<F: Fabric> Pipeline<F> {
             // touch our chain — a peer cannot launder an uncertified
             // block through state transfer. (For blocks we already hold
             // the equality check below re-asserts the same thing.)
-            if verify_proof(&cb.block.proof, &self.rules).is_err() {
+            if verify_proof(&cb.block.proof, &self.rules, &self.keystore).is_err() {
                 break;
             }
             let chain_height = self.store.ledger().height();
@@ -939,9 +955,11 @@ impl<F: Fabric> Pipeline<F> {
             // The chain anchors execution state: re-executing the
             // committed payload must reproduce the root the block
             // sealed. A mismatch means nondeterministic local execution
-            // or a forged chain extension that passed the structural
-            // checks (possible until commit certificates carry real
-            // signatures — ROADMAP). Either way the KV state is now off
+            // — forging a chain extension now requires forging Ed25519
+            // signatures over the vote statement, which the
+            // `verify_proof` gate above rejects — so this is a
+            // last-line consistency check, not the primary defense.
+            // Either way the KV state is now off
             // the chain and nothing further may be executed or
             // acknowledged on top of it: poison (the loud crash-style
             // stall the cluster already tolerates). A restart heals the
@@ -1025,7 +1043,7 @@ impl<F: Fabric> Pipeline<F> {
         }
         let head_ok = manifest.head.height + 1 == manifest.height
             && manifest.head.verify_hash()
-            && verify_proof(&manifest.head.proof, &self.rules).is_ok();
+            && verify_proof(&manifest.head.proof, &self.rules, &self.keystore).is_ok();
         let meta_ok = proof_index(&manifest.meta_proof) == META_LEAF
             && verify_inclusion(
                 &manifest.app_meta,
@@ -1334,6 +1352,46 @@ fn decode_payload(payload: &[u8]) -> Result<Option<Vec<Transaction>>, ()> {
     decode_txns(payload).map(Some).ok_or(())
 }
 
+/// Drops certificate votes whose signature fails verification and
+/// downgrades the phase when the survivors no longer meet the strong
+/// quorum. Weak certificates are never upgraded; the final quorum check
+/// belongs to `verify_proof`, which runs on the sanitized result (so a
+/// certificate stripped below the weak quorum still poisons the
+/// pipeline). Lists of unequal length pass through untouched —
+/// `verify_proof` rejects those structurally with better attribution.
+fn sanitize_cert(
+    cert: &spotless_types::CommitCertificate,
+    instance: spotless_types::InstanceId,
+    keys: &KeyStore,
+    rules: &ProofRules,
+) -> (Vec<ReplicaId>, Vec<spotless_types::Signature>, CertPhase) {
+    if cert.signers.len() != cert.sigs.len() {
+        return (cert.signers.clone(), cert.sigs.clone(), cert.phase);
+    }
+    let message = cert.statement(instance).signing_bytes();
+    let votes: Vec<_> = cert
+        .signers
+        .iter()
+        .copied()
+        .zip(cert.sigs.iter().copied())
+        .collect();
+    let mask = keys.filter_valid(&message, &votes);
+    if mask.iter().all(|&ok| ok) {
+        return (cert.signers.clone(), cert.sigs.clone(), cert.phase);
+    }
+    let (signers, sigs): (Vec<_>, Vec<_>) = votes
+        .into_iter()
+        .zip(mask)
+        .filter_map(|(vote, ok)| ok.then_some(vote))
+        .unzip();
+    let phase = if signers.len() >= rules.strong as usize {
+        cert.phase
+    } else {
+        CertPhase::Weak
+    };
+    (signers, sigs, phase)
+}
+
 /// Reconstructs commit metadata for a block applied via catch-up,
 /// consuming it (the payload is moved, not copied). The original client
 /// batch envelope is gone; what matters downstream is the batch
@@ -1347,7 +1405,10 @@ fn commit_info_of(cb: CatchUpBlock) -> CommitInfo {
         cert: spotless_types::CommitCertificate {
             view: cb.block.proof.view,
             phase: cb.block.proof.phase,
+            voted: cb.block.proof.voted,
+            slot: cb.block.proof.slot,
             signers: cb.block.proof.signers,
+            sigs: cb.block.proof.sigs,
         },
         batch: ClientBatch {
             id: cb.block.batch_id,
@@ -1375,7 +1436,28 @@ mod tests {
         fn send(&self, _to: ReplicaId, _env: Envelope) {}
     }
 
-    fn commit_info(id: u64) -> CommitInfo {
+    /// The key stores the test pipeline's cluster signs with — must
+    /// match `synced_pipeline()`'s master seed, or `verify_proof`
+    /// rejects every test certificate.
+    fn test_stores() -> Vec<KeyStore> {
+        KeyStore::cluster(b"pipeline-ageout-test", 4)
+    }
+
+    /// A strong commit whose certificate carries genuine signatures
+    /// from `signer_ids` over the vote statement binding `digest`.
+    fn signed_commit_info(id: u64, digest: Digest, signer_ids: &[u32]) -> CommitInfo {
+        let stores = test_stores();
+        let signers: Vec<ReplicaId> = signer_ids.iter().map(|&r| ReplicaId(r)).collect();
+        let statement = spotless_types::VoteStatement {
+            instance: InstanceId(0),
+            view: View(id),
+            slot: 0,
+            digest,
+        };
+        let sigs = signers
+            .iter()
+            .map(|r| stores[r.0 as usize].sign_vote(&statement))
+            .collect();
         CommitInfo {
             instance: InstanceId(0),
             view: View(id),
@@ -1383,7 +1465,7 @@ mod tests {
             batch: ClientBatch {
                 id: BatchId(id),
                 origin: ClientId(0),
-                digest: Digest::from_u64(id),
+                digest,
                 txns: 0,
                 txn_size: 0,
                 created_at: SimTime::ZERO,
@@ -1392,15 +1474,22 @@ mod tests {
             cert: CommitCertificate {
                 view: View(id),
                 phase: CertPhase::Strong,
-                signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                voted: digest,
+                slot: 0,
+                signers,
+                sigs,
             },
         }
+    }
+
+    fn commit_info(id: u64) -> CommitInfo {
+        signed_commit_info(id, Digest::from_u64(id), &[0, 1, 2])
     }
 
     /// A synced, in-memory pipeline for replica 0 of a 4-cluster.
     fn synced_pipeline() -> Pipeline<NullFabric> {
         let cluster = ClusterConfig::new(4);
-        let keystore = KeyStore::cluster(b"pipeline-ageout-test", 4)[0].clone();
+        let keystore = test_stores()[0].clone();
         let (informs, _inform_rx) = mpsc::unbounded_channel();
         Pipeline::new(
             ReplicaId(0),
@@ -1459,5 +1548,100 @@ mod tests {
         // snapshot height) releases the cache immediately, tick or not.
         p.serve_catchup(ReplicaId(2), m.height);
         assert!(p.outgoing.is_none());
+    }
+
+    #[test]
+    fn fully_forged_certificate_poisons_instead_of_committing() {
+        let mut p = synced_pipeline();
+        let mut info = commit_info(1);
+        // A valid signer set, but every signature is forged: the
+        // sanitizer strips all three votes, the survivor count falls
+        // below even the weak quorum, and `verify_proof` rejects.
+        for s in &mut info.cert.sigs {
+            *s = spotless_types::Signature::ZERO;
+        }
+        p.flush(vec![info]);
+        assert!(p.poisoned, "an unverifiable decided commit must loud-stall");
+        assert_eq!(p.store.ledger().height(), 0, "nothing appended");
+        assert_eq!(p.kv_height, 0, "rejected before execution");
+    }
+
+    #[test]
+    fn sanitizer_drops_forged_vote_and_keeps_strong_quorum() {
+        let mut p = synced_pipeline();
+        // Four votes, one forged: the three genuine survivors still
+        // meet the strong quorum (n − f = 3), so the commit lands
+        // strong — the forgery costs the forged vote, nothing else.
+        let mut info = signed_commit_info(1, Digest::from_u64(1), &[0, 1, 2, 3]);
+        info.cert.sigs[3] = spotless_types::Signature([0x55; 64]);
+        p.flush(vec![info]);
+        assert!(!p.poisoned);
+        let block = p.store.ledger().block(0).expect("committed");
+        assert_eq!(block.proof.phase, CertPhase::Strong);
+        assert_eq!(
+            block.proof.signers,
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            "only the genuine votes are persisted"
+        );
+    }
+
+    #[test]
+    fn sanitizer_downgrades_below_strong_quorum_to_weak() {
+        let mut p = synced_pipeline();
+        // Exactly a strong quorum with one vote forged: two survivors
+        // make only the weak quorum (f + 1 = 2), so the certificate is
+        // persisted weak rather than rejected outright.
+        let mut info = commit_info(1);
+        info.cert.sigs[2] = spotless_types::Signature([0x55; 64]);
+        p.flush(vec![info]);
+        assert!(!p.poisoned);
+        let block = p.store.ledger().block(0).expect("committed");
+        assert_eq!(block.proof.phase, CertPhase::Weak);
+        assert_eq!(block.proof.signers, vec![ReplicaId(0), ReplicaId(1)]);
+    }
+
+    #[test]
+    fn forged_catchup_extension_is_rejected_then_honest_replay_lands() {
+        // A peer commits two blocks under fully valid certificates.
+        // The batch digest must hash the (empty) payload here, unlike
+        // the live-path fixtures: catch-up re-checks payload bytes
+        // against the digest the block binds.
+        let empty_digest = spotless_crypto::digest_bytes(b"");
+        let mut peer = synced_pipeline();
+        peer.flush(vec![
+            signed_commit_info(1, empty_digest, &[0, 1, 2]),
+            signed_commit_info(2, empty_digest, &[0, 1, 2]),
+        ]);
+        assert_eq!(peer.store.ledger().height(), 2);
+        let cb = |h: u64| CatchUpBlock {
+            block: peer.store.ledger().block(h).expect("peer holds it").clone(),
+            payload: Vec::new(),
+        };
+        let mut victim = synced_pipeline();
+        victim.mode = Mode::CatchingUp {
+            pending: Vec::new(),
+            confirmed: Default::default(),
+        };
+        // The serving peer forges a certificate signature on the
+        // extension block. The chain hash deliberately does not bind
+        // the evidence, so only signature re-verification can object.
+        let mut forged = cb(1);
+        forged.block.proof.sigs[0] = spotless_types::Signature([0x55; 64]);
+        assert!(
+            forged.block.verify_hash(),
+            "hash check alone cannot catch evidence tampering"
+        );
+        victim.apply_catchup(ReplicaId(1), 2, vec![cb(0), forged]);
+        assert_eq!(
+            victim.store.ledger().height(),
+            1,
+            "the valid prefix lands; the forged extension does not"
+        );
+        assert!(!victim.poisoned, "a bad peer frame is not a local fault");
+        // An honest peer then serves the same block with its genuine
+        // certificate, and replay completes.
+        victim.apply_catchup(ReplicaId(2), 2, vec![cb(1)]);
+        assert_eq!(victim.store.ledger().height(), 2);
+        assert_eq!(victim.kv_height, 2);
     }
 }

@@ -41,9 +41,10 @@ use spotless_storage::transfer::InstallJournal;
 use spotless_storage::{DurableLedger, DurableLedgerOptions, StorageError};
 use spotless_types::{
     ClientBatch, ClusterConfig, CommitInfo, Context, Input, InstanceId, Node, NodeId, ReplicaId,
-    SimDuration, SimTime, TimerId, TimerKind, View,
+    Signature, SimDuration, SimTime, TimerId, TimerKind, View, VoteStatement,
 };
 use spotless_workload::KvStore;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -207,17 +208,35 @@ impl ReplicaHandle {
     }
 }
 
+/// One verified-vote memo: a `(signer, statement, signature)` triple
+/// and whether it verified. Ed25519 verification is ~80 µs; protocols
+/// legitimately re-see the same vote (retransmission, Sync summaries
+/// that re-carry certificates), and the memo turns every re-check into
+/// a hash lookup.
+type VoteCacheKey = (ReplicaId, VoteStatement, Signature);
+
+/// Entries the vote memo holds before it is wholesale cleared. A full
+/// clear (rather than LRU) keeps the structure trivial; the cache
+/// refills within one certificate's worth of traffic.
+const VOTE_CACHE_MAX: usize = 8192;
+
 /// Buffered effect collector handed to the protocol on each step.
-struct RuntimeCtx<M> {
+/// Carries the replica's [`KeyStore`] so the protocol's
+/// [`Context::sign_vote`] / [`Context::verify_vote`] hooks produce and
+/// check **real Ed25519** signatures (the trait's defaults are
+/// simulation placeholders), plus the event loop's verified-vote memo.
+struct RuntimeCtx<'a, M> {
     start: Instant,
     me: NodeId,
+    keystore: &'a KeyStore,
+    vote_cache: &'a mut HashMap<VoteCacheKey, bool>,
     sends: Vec<(NodeId, M)>,
     broadcasts: Vec<M>,
     timers: Vec<(TimerId, SimDuration)>,
     commits: Vec<CommitInfo>,
 }
 
-impl<M> Context for RuntimeCtx<M> {
+impl<M> Context for RuntimeCtx<'_, M> {
     type Message = M;
 
     fn now(&self) -> SimTime {
@@ -237,6 +256,26 @@ impl<M> Context for RuntimeCtx<M> {
     }
     fn commit(&mut self, info: CommitInfo) {
         self.commits.push(info);
+    }
+    fn sign_vote(&mut self, statement: &VoteStatement) -> Signature {
+        self.keystore.sign_vote(statement)
+    }
+    fn verify_vote(
+        &mut self,
+        signer: ReplicaId,
+        statement: &VoteStatement,
+        sig: &Signature,
+    ) -> bool {
+        let key = (signer, *statement, *sig);
+        if let Some(&ok) = self.vote_cache.get(&key) {
+            return ok;
+        }
+        let ok = self.keystore.verify_vote(signer, statement, sig).is_ok();
+        if self.vote_cache.len() >= VOTE_CACHE_MAX {
+            self.vote_cache.clear();
+        }
+        self.vote_cache.insert(key, ok);
+        ok
     }
 }
 
@@ -405,6 +444,7 @@ impl ReplicaRuntime {
             catchup_interval: cfg.catchup_interval,
             start: Instant::now(),
             silent: cfg.silent,
+            vote_cache: HashMap::new(),
         };
         tokio::spawn(event_loop.run(events_rx));
 
@@ -431,6 +471,8 @@ struct EventLoop<N: Node, F: Fabric> {
     catchup_interval: SimDuration,
     start: Instant,
     silent: bool,
+    /// Memo of verified votes shared across steps (see [`VoteCacheKey`]).
+    vote_cache: HashMap<VoteCacheKey, bool>,
 }
 
 impl<N, F> EventLoop<N, F>
@@ -485,7 +527,7 @@ where
             }
             match ev {
                 Event::Envelope(env) => {
-                    if !env.verify(&self.keystore) {
+                    if env.verify(&self.keystore).is_err() {
                         continue;
                     }
                     match decode::<N::Message>(&env.payload) {
@@ -595,21 +637,32 @@ where
         let mut ctx = RuntimeCtx {
             start: self.start,
             me: self.me.into(),
+            keystore: &self.keystore,
+            vote_cache: &mut self.vote_cache,
             sends: Vec::new(),
             broadcasts: Vec::new(),
             timers: Vec::new(),
             commits: Vec::new(),
         };
         self.node.on_input(input, &mut ctx);
-        for info in ctx.commits.drain(..) {
+        // Move the effect buffers out (releasing ctx's borrow of the
+        // keystore and vote memo) before applying them against `self`.
+        let RuntimeCtx {
+            sends,
+            broadcasts,
+            timers,
+            commits,
+            ..
+        } = ctx;
+        for info in commits {
             // Bounded: consensus blocks here iff the storage/execution
             // pipeline is `commit_queue` slots behind (the ack queue).
             let _ = self.pipeline_tx.send(PipelineCmd::Commit(info)).await;
         }
-        for (id, after) in ctx.timers.drain(..) {
+        for (id, after) in timers {
             self.arm_timer(id, after);
         }
-        for (to, msg) in ctx.sends.drain(..) {
+        for (to, msg) in sends {
             let NodeId::Replica(to) = to else {
                 continue; // client replies travel the inform path
             };
@@ -620,7 +673,7 @@ where
                 self.fabric.send(to, env);
             }
         }
-        for msg in ctx.broadcasts.drain(..) {
+        for msg in broadcasts {
             // Serialize + sign once; every peer shares the same Arc'd
             // bytes. Self-delivery is a local loopback (Remark 3.1).
             let env = Envelope::seal(&self.keystore, encode_protocol(&msg));

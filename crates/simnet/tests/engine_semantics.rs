@@ -46,6 +46,7 @@ impl EchoNode {
     fn commit(&mut self, batch: ClientBatch, ctx: &mut dyn Context<Message = Share>) {
         if self.seen.insert(batch.id) {
             self.depth += 1;
+            let voted = batch.digest;
             ctx.commit(CommitInfo {
                 instance: InstanceId(0),
                 view: View(self.depth),
@@ -53,7 +54,9 @@ impl EchoNode {
                 batch,
                 cert: spotless_types::CommitCertificate::strong(
                     View(self.depth),
+                    voted,
                     vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                    vec![spotless_types::Signature::ZERO; 3],
                 ),
             });
         }

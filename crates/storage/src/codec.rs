@@ -13,7 +13,9 @@
 //! ([`crate::segment`], [`crate::snapshot`]) version their headers.
 
 use spotless_ledger::{Block, CommitProof};
-use spotless_types::{BatchId, CertPhase, Digest, InstanceId, ReplicaId, View};
+use spotless_types::{
+    BatchId, CertPhase, Digest, InstanceId, ReplicaId, Signature, View, SIGNATURE_LEN,
+};
 use std::fmt;
 
 /// Decoding failure: what was being read, and why it could not be.
@@ -234,10 +236,13 @@ pub fn decode_block_with_payload(data: &[u8]) -> Result<(Block, Vec<u8>), CodecE
     Ok((block, payload))
 }
 
-/// Encodes a ledger block as a log-record payload (header v3: the
-/// post-execution `state_root` sits between `txns` and the proof).
+/// Encodes a ledger block as a log-record payload (header v4: the
+/// post-execution `state_root` sits between `txns` and the proof, and
+/// the proof carries the voted digest, slot, and one 64-byte Ed25519
+/// signature per signer — the signer count prefixes both parallel
+/// lists, so an unparallel pair cannot even be represented on disk).
 pub fn encode_block(b: &Block) -> Vec<u8> {
-    let mut w = Writer::with_capacity(160 + 4 * b.proof.signers.len());
+    let mut w = Writer::with_capacity(200 + 68 * b.proof.signers.len());
     w.u64(b.height);
     w.digest(&b.parent);
     w.digest(&b.batch_digest);
@@ -250,9 +255,14 @@ pub fn encode_block(b: &Block) -> Vec<u8> {
         CertPhase::Strong => 0,
         CertPhase::Weak => 1,
     });
+    w.digest(&b.proof.voted);
+    w.u64(b.proof.slot);
     w.u32(b.proof.signers.len() as u32);
     for s in &b.proof.signers {
         w.u32(s.0);
+    }
+    for sig in &b.proof.sigs {
+        w.buf.extend_from_slice(&sig.0);
     }
     w.digest(&b.hash);
     w.into_bytes()
@@ -289,6 +299,8 @@ fn decode_block_fields(r: &mut Reader<'_>) -> Result<Block, CodecError> {
             })
         }
     };
+    let voted = r.digest("block.proof.voted")?;
+    let slot = r.u64("block.proof.slot")?;
     let n_signers = u64::from(r.u32("block.proof.signers.len")?);
     if n_signers > MAX_SIGNERS {
         return Err(CodecError {
@@ -303,6 +315,15 @@ fn decode_block_fields(r: &mut Reader<'_>) -> Result<Block, CodecError> {
     for _ in 0..n_signers {
         signers.push(ReplicaId(r.u32("block.proof.signers[]")?));
     }
+    // One signature per signer, by construction of the format (a single
+    // count prefixes both lists).
+    let mut sigs = Vec::with_capacity(n_signers as usize);
+    for _ in 0..n_signers {
+        let raw = r.take(SIGNATURE_LEN, "block.proof.sigs[]")?;
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig.copy_from_slice(raw);
+        sigs.push(Signature(sig));
+    }
     let hash = r.digest("block.hash")?;
     Ok(Block {
         height,
@@ -315,7 +336,10 @@ fn decode_block_fields(r: &mut Reader<'_>) -> Result<Block, CodecError> {
             instance,
             view,
             phase,
+            voted,
+            slot,
             signers,
+            sigs,
         },
         hash,
     })
@@ -337,7 +361,12 @@ mod tests {
                 instance: InstanceId(2),
                 view: View(height + 5),
                 phase: CertPhase::Strong,
+                voted: Digest::from_u64(height * 23 + 2),
+                slot: height * 13,
                 signers: (0..signers as u32).map(ReplicaId).collect(),
+                sigs: (0..signers)
+                    .map(|i| Signature([i as u8; SIGNATURE_LEN]))
+                    .collect(),
             },
             hash: Digest::from_u64(height * 11),
         }
@@ -412,9 +441,10 @@ mod tests {
         b.proof.phase = CertPhase::Weak;
         let enc = encode_block(&b);
         assert_eq!(decode_block(&enc).unwrap(), b);
-        // The phase byte sits right before the signer count.
+        // The phase byte sits before voted(32) ‖ slot(8) ‖ count(4) ‖
+        // 2 signer ids ‖ 2 signatures ‖ the trailing 32-byte hash.
         let mut bad = enc.clone();
-        let phase_at = bad.len() - 32 - 2 * 4 - 4 - 1;
+        let phase_at = bad.len() - 32 - 2 * SIGNATURE_LEN - 2 * 4 - 4 - 8 - 32 - 1;
         assert_eq!(bad[phase_at], 1, "locating the phase byte");
         bad[phase_at] = 7;
         let err = decode_block(&bad).expect_err("unknown phase");

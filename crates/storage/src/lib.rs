@@ -26,14 +26,17 @@
 //! ```
 //! use spotless_storage::{DurableLedger, DurableLedgerOptions};
 //! use spotless_ledger::CommitProof;
-//! use spotless_types::{BatchId, CertPhase, Digest, InstanceId, ReplicaId, View};
+//! use spotless_types::{BatchId, CertPhase, Digest, InstanceId, ReplicaId, Signature, View};
 //!
 //! let dir = tempfile::tempdir().unwrap();
 //! let proof = CommitProof {
 //!     instance: InstanceId(0),
 //!     view: View(1),
 //!     phase: CertPhase::Strong,
+//!     voted: Digest::from_u64(7),
+//!     slot: 0,
 //!     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+//!     sigs: vec![Signature::ZERO; 3],
 //! };
 //! // First run: append a block (sealing the post-execution state
 //! // root), then "crash" (drop).
@@ -525,7 +528,10 @@ mod tests {
             instance: InstanceId(0),
             view: View(view),
             phase: spotless_types::CertPhase::Strong,
+            voted: Digest::from_u64(view * 7 + 1),
+            slot: 0,
             signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            sigs: vec![spotless_types::Signature::ZERO; 3],
         }
     }
 

@@ -420,7 +420,10 @@ mod tests {
                     phase: spotless_types::CertPhase::Strong,
                     instance: InstanceId((i % 4) as u32),
                     view: View(i),
+                    voted: Digest::from_u64(i),
+                    slot: i,
                     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                    sigs: vec![spotless_types::Signature::ZERO; 3],
                 },
             );
         }
@@ -514,7 +517,10 @@ mod tests {
                         phase: spotless_types::CertPhase::Strong,
                         instance: InstanceId(0),
                         view: View(50),
+                        voted: Digest::from_u64(50),
+                        slot: 0,
                         signers: vec![ReplicaId(1)],
+                        sigs: vec![spotless_types::Signature::ZERO; 1],
                     },
                 )
                 .clone()

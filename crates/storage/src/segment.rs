@@ -28,12 +28,15 @@ pub const MAGIC: [u8; 8] = *b"SPLSSEG1";
 /// records gained the commit certificate's phase byte and the embedded
 /// batch payload (see `codec::encode_block_with_payload`). Version 3
 /// added the block's `state_root` digest (ledger header v3 — execution
-/// state anchored in the chain). There is no in-place upgrade: a store
-/// written by an older version fails with a clean
+/// state anchored in the chain). Version 4 extended the commit proof
+/// with its vote statement (voted digest + slot) and one Ed25519
+/// signature per signer, making persisted certificates re-checkable by
+/// third parties. There is no in-place upgrade: a store written by an
+/// older version fails with a clean
 /// [`StorageError::UnsupportedVersion`](crate::StorageError) rather
 /// than a misleading corruption diagnosis, and the operator recovers
 /// the replica via state transfer from its peers.
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 /// Size of the fixed segment header.
 pub const HEADER_LEN: u64 = 32;
 /// Per-record framing overhead (length + CRC).

@@ -43,10 +43,12 @@ pub const MAGIC: [u8; 8] = *b"SPLSSNP1";
 /// block; version 3 replaced the monolithic `app_state` payload with
 /// application meta bytes plus content-addressed state chunks, matching
 /// the chunked (and chain-verified, via the head block's `state_root`)
-/// state-transfer protocol. Version-2 stores are rejected with a clean
+/// state-transfer protocol; version 4 extended the head block's commit
+/// proof with its vote statement and per-signer Ed25519 signatures.
+/// Older stores are rejected with a clean
 /// [`StorageError::UnsupportedVersion`] — the migration story is state
 /// transfer from peers, not in-place upgrade.
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 
 /// A decoded snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -491,11 +493,14 @@ mod tests {
                     instance: spotless_types::InstanceId(0),
                     view: spotless_types::View(i),
                     phase: spotless_types::CertPhase::Strong,
+                    voted: Digest::from_u64(i),
+                    slot: 0,
                     signers: vec![
                         spotless_types::ReplicaId(0),
                         spotless_types::ReplicaId(1),
                         spotless_types::ReplicaId(2),
                     ],
+                    sigs: vec![spotless_types::Signature::ZERO; 3],
                 },
             );
         }

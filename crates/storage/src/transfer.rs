@@ -333,7 +333,10 @@ mod tests {
                 instance: InstanceId(0),
                 view: View(1),
                 phase: CertPhase::Strong,
+                voted: Digest::from_u64(9),
+                slot: 0,
                 signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                sigs: vec![spotless_types::Signature::ZERO; 3],
             },
         );
         ledger.block(0).unwrap().clone()

@@ -21,7 +21,10 @@ fn proof(view: u64) -> CommitProof {
         phase: spotless_types::CertPhase::Strong,
         instance: InstanceId((view % 4) as u32),
         view: View(view),
+        voted: Digest::from_u64(view * 3),
+        slot: view,
         signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+        sigs: vec![spotless_types::Signature::ZERO; 3],
     }
 }
 

@@ -371,6 +371,8 @@ mod tests {
             claim: None,
             cp: vec![],
             upsilon: false,
+            claim_sig: spotless_types::Signature::ZERO,
+            cp_sigs: vec![],
         })
     }
 
@@ -462,7 +464,7 @@ mod tests {
         let env = rx1.recv().await.expect("delivered");
         assert_eq!(env.from, ReplicaId(0));
         // The receiving runtime would verify exactly like this:
-        assert!(env.verify(&keystores[1]));
+        assert!(env.verify(&keystores[1]).is_ok());
         match spotless_runtime::envelope::decode::<Message>(&env.payload) {
             Some(spotless_runtime::WireMsg::Protocol(Message::Sync(_))) => {}
             _ => panic!("payload did not decode to the sent message"),

@@ -12,20 +12,25 @@
 //!   shaped between 500 and 4000 Mbit/s — we default to 4000 Mbit/s,
 //!   the unshaped operating point of the other experiments.
 //!
-//! Cryptographic costs are single-core latencies of secp256k1/SHA-256
+//! Cryptographic costs are single-core latencies of Ed25519/SHA-256
 //! class primitives on that hardware; the absolute values matter less
 //! than their ratios (a signature verification is ~2 orders of magnitude
 //! more expensive than a MAC), which is what drives the paper's
-//! HotStuff-vs-SpotLess and Narwhal-HS CPU-bottleneck findings.
+//! HotStuff-vs-SpotLess and Narwhal-HS CPU-bottleneck findings. The
+//! repo's own from-scratch Ed25519 lands in the same band (the
+//! `sig_verify` bench measures ~70 µs sign / ~90 µs serial verify on
+//! dev hardware and asserts the ≥ 2× batched-verification floor that
+//! [`CryptoCosts::batch_verify_k`] models), so simulated and deployed
+//! cost ratios agree.
 
 use serde::{Deserialize, Serialize};
 
 /// Single-core CPU costs of cryptographic operations, in nanoseconds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CryptoCosts {
-    /// Producing one digital signature (secp256k1-class).
+    /// Producing one digital signature (Ed25519-class).
     pub sign_ns: u64,
-    /// Verifying one digital signature.
+    /// Verifying one digital signature serially.
     pub verify_ns: u64,
     /// Generating or verifying one MAC (HMAC-SHA256-class).
     pub mac_ns: u64,
@@ -45,11 +50,28 @@ impl Default for CryptoCosts {
 }
 
 impl CryptoCosts {
-    /// Cost of verifying `k` signatures (e.g. a HotStuff certificate
-    /// represented as a list of `n − f` signatures, per §6.2).
+    /// Cost of verifying `k` signatures serially (e.g. a HotStuff
+    /// certificate represented as a list of `n − f` signatures, per
+    /// §6.2 — the baselines verify one at a time, as the paper's
+    /// deployment did).
     #[inline]
     pub fn verify_k(&self, k: u32) -> u64 {
         self.verify_ns * u64::from(k)
+    }
+
+    /// Cost of verifying `k` signatures in one batched pass (randomized
+    /// linear combination over a shared doubling chain — the path the
+    /// runtime's certificate re-checks take). The 2× amortization is
+    /// the *floor* `benches/sig_verify.rs` asserts against the real
+    /// implementation at quorum-scale batches; a single signature
+    /// gains nothing from batching.
+    #[inline]
+    pub fn batch_verify_k(&self, k: u32) -> u64 {
+        if k <= 1 {
+            self.verify_k(k)
+        } else {
+            self.verify_k(k) / 2
+        }
     }
 }
 
@@ -198,7 +220,24 @@ mod tests {
     fn signature_much_slower_than_mac() {
         let c = CryptoCosts::default();
         assert!(c.verify_ns > 50 * c.mac_ns);
+        assert!(
+            c.sign_ns < c.verify_ns,
+            "Ed25519 signs cheaper than it verifies"
+        );
         assert_eq!(c.verify_k(3), 3 * c.verify_ns);
+    }
+
+    #[test]
+    fn batch_verification_halves_quorum_cost() {
+        let c = CryptoCosts::default();
+        assert_eq!(c.batch_verify_k(0), 0);
+        assert_eq!(
+            c.batch_verify_k(1),
+            c.verify_ns,
+            "no gain for a single signature"
+        );
+        assert_eq!(c.batch_verify_k(64), 32 * c.verify_ns);
+        assert!(c.batch_verify_k(3) < c.verify_k(3));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   §6.1 of the paper.
 //! * [`fault`] — the Byzantine behaviour taxonomy used by the failure
 //!   experiments (attacks A1–A4 of §6.3).
+//! * [`sig`] — the detached [`Signature`] carrier (Ed25519 `R ‖ S`
+//!   bytes) and the [`VoteStatement`] a certificate's signatures cover,
+//!   kept algorithm-agnostic here so `spotless-crypto` can depend on
+//!   this crate and not vice versa.
 //! * [`bytes`] — the shared byte-cursor helper for hand-rolled binary
 //!   decoders.
 
@@ -33,6 +37,7 @@ pub mod fault;
 pub mod ids;
 pub mod node;
 pub mod replica_set;
+pub mod sig;
 pub mod time;
 
 pub use config::ClusterConfig;
@@ -43,6 +48,7 @@ pub use node::{
     CertPhase, ClientBatch, CommitCertificate, CommitInfo, Context, Input, Node, TimerId, TimerKind,
 };
 pub use replica_set::ReplicaSet;
+pub use sig::{Signature, VoteStatement, SIGNATURE_LEN};
 pub use time::{SimDuration, SimTime};
 
 /// Upper bound on a single wire frame (DoS guard; generously above the

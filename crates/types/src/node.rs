@@ -23,6 +23,7 @@
 
 use crate::costs::{CryptoCosts, SizeModel};
 use crate::ids::{BatchId, ClientId, Digest, InstanceId, NodeId, ReplicaId, View};
+use crate::sig::{Signature, VoteStatement};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -135,11 +136,12 @@ pub enum CertPhase {
 }
 
 /// The certificate behind a consensus decision: which replicas' signed
-/// votes the announcing replica holds for it. This is what makes a
-/// commit *verifiable* after the fact — the runtime copies it into the
-/// durable block's `CommitProof`, the ledger refuses to append a block
-/// whose certificate does not satisfy the quorum rules, and state
-/// transfer re-verifies it on every received block.
+/// votes the announcing replica holds for it, and the signatures
+/// themselves. This is what makes a commit *verifiable* after the
+/// fact — the runtime copies it into the durable block's `CommitProof`,
+/// the ledger refuses to append a block whose certificate does not
+/// satisfy the quorum rules **or whose signatures do not check out**,
+/// and state transfer re-verifies it on every received block.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommitCertificate {
     /// The view the certifying votes were cast in. Usually the
@@ -149,28 +151,67 @@ pub struct CommitCertificate {
     pub view: View,
     /// Which quorum rule `signers` satisfies.
     pub phase: CertPhase,
+    /// The digest the certifying votes were cast *for* — the voted
+    /// proposal/block digest. Under the three-chain rule this is the
+    /// certifying descendant's digest, not the committed batch's.
+    pub voted: Digest,
+    /// Log position bound by the votes, for protocols whose voted
+    /// digest does not itself bind one (PBFT sequence numbers); zero
+    /// elsewhere.
+    pub slot: u64,
     /// The replicas whose votes certify the decision. Must be
     /// duplicate-free and within the cluster; size must meet the
     /// phase's quorum (`n − f` strong, `f + 1` weak).
     pub signers: Vec<ReplicaId>,
+    /// Each signer's signature over the vote statement
+    /// `(instance, view, slot, voted)`, parallel to `signers`.
+    /// All-zero placeholders under pure simulation (the default
+    /// [`Context`] oracle); real Ed25519 under the runtime.
+    pub sigs: Vec<Signature>,
 }
 
 impl CommitCertificate {
     /// A strong (`n − f`) certificate.
-    pub fn strong(view: View, signers: Vec<ReplicaId>) -> CommitCertificate {
+    pub fn strong(
+        view: View,
+        voted: Digest,
+        signers: Vec<ReplicaId>,
+        sigs: Vec<Signature>,
+    ) -> CommitCertificate {
         CommitCertificate {
             view,
             phase: CertPhase::Strong,
+            voted,
+            slot: 0,
             signers,
+            sigs,
         }
     }
 
     /// A weak (`f + 1`) certificate.
-    pub fn weak(view: View, signers: Vec<ReplicaId>) -> CommitCertificate {
+    pub fn weak(
+        view: View,
+        voted: Digest,
+        signers: Vec<ReplicaId>,
+        sigs: Vec<Signature>,
+    ) -> CommitCertificate {
         CommitCertificate {
             view,
             phase: CertPhase::Weak,
+            voted,
+            slot: 0,
             signers,
+            sigs,
+        }
+    }
+
+    /// The statement every signature in this certificate covers.
+    pub fn statement(&self, instance: InstanceId) -> VoteStatement {
+        VoteStatement {
+            instance,
+            view: self.view,
+            slot: self.slot,
+            digest: self.voted,
         }
     }
 }
@@ -234,6 +275,37 @@ pub trait Context {
 
     /// Announces a consensus decision at this replica.
     fn commit(&mut self, info: CommitInfo);
+
+    /// Signs `statement` with this replica's vote key.
+    ///
+    /// The default returns the all-zero placeholder: under the
+    /// discrete-event simulator there is no key material and signature
+    /// CPU is *charged* by the cost model, not computed. The runtime
+    /// overrides this with the cluster key store so certificates carry
+    /// real Ed25519 signatures.
+    fn sign_vote(&mut self, statement: &VoteStatement) -> Signature {
+        let _ = statement;
+        Signature::ZERO
+    }
+
+    /// Verifies `signer`'s vote signature over `statement`.
+    ///
+    /// The default accepts everything, mirroring [`sign_vote`]'s
+    /// placeholder: simulation models forgery through Byzantine sender
+    /// behaviour, not through the byte-level signature check. The
+    /// runtime overrides this with real verification, so protocol code
+    /// must call it before counting a vote toward a certificate.
+    ///
+    /// [`sign_vote`]: Context::sign_vote
+    fn verify_vote(
+        &mut self,
+        signer: ReplicaId,
+        statement: &VoteStatement,
+        sig: &Signature,
+    ) -> bool {
+        let _ = (signer, statement, sig);
+        true
+    }
 }
 
 /// An I/O-free protocol state machine.

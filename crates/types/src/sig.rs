@@ -1,0 +1,114 @@
+//! Detached signatures and the vote statements they cover.
+//!
+//! The `Signature` *carrier* lives here, next to [`Digest`], so that
+//! protocol messages and [`CommitCertificate`] can transport signatures
+//! without depending on the signature algorithm: `spotless-crypto`
+//! depends on this crate, not the other way around. The bytes are an
+//! Ed25519 signature (R ‖ S) when produced by the real key store, or
+//! all-zero placeholders under pure simulation, where authenticity is
+//! *charged* by the cost model instead of computed.
+//!
+//! [`CommitCertificate`]: crate::node::CommitCertificate
+
+use crate::ids::{Digest, InstanceId, View};
+use serde::{Deserialize, Serialize};
+
+/// Length of a detached signature in bytes (Ed25519: R ‖ S).
+pub const SIGNATURE_LEN: usize = 64;
+
+/// A detached signature over some statement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature(pub [u8; SIGNATURE_LEN]);
+
+impl Signature {
+    /// The all-zero placeholder used where no key material exists: by
+    /// the default [`Context`] signing oracle under simulation, and in
+    /// hand-built test fixtures. Never verifies under a real key.
+    ///
+    /// [`Context`]: crate::node::Context
+    pub const ZERO: Signature = Signature([0u8; SIGNATURE_LEN]);
+}
+
+impl Default for Signature {
+    fn default() -> Signature {
+        Signature::ZERO
+    }
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sig:{:02x}{:02x}…", self.0[0], self.0[1])
+    }
+}
+
+/// The statement a consensus vote signs: "in `view` of `instance`, I
+/// vote for `digest` (at `slot`)".
+///
+/// This is the canonical signing unit shared by every protocol in the
+/// workspace — a SpotLess `Sync` claim or `CP` endorsement, a HotStuff
+/// vote, a PBFT commit. `digest` is whatever object the protocol votes
+/// on (a proposal digest, block digest, or batch digest); `slot`
+/// disambiguates protocols like PBFT whose voted digest does not itself
+/// bind a log position (zero elsewhere).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoteStatement {
+    /// The consensus instance the vote belongs to.
+    pub instance: InstanceId,
+    /// The view the vote was cast in.
+    pub view: View,
+    /// Log position, for protocols whose digest does not bind one.
+    pub slot: u64,
+    /// The object being voted for.
+    pub digest: Digest,
+}
+
+impl VoteStatement {
+    /// A statement with no separate log position.
+    pub fn new(instance: InstanceId, view: View, digest: Digest) -> VoteStatement {
+        VoteStatement {
+            instance,
+            view,
+            slot: 0,
+            digest,
+        }
+    }
+
+    /// The canonical byte string that is actually signed:
+    /// domain tag ‖ instance ‖ view ‖ slot ‖ digest, all fixed-width, so
+    /// no two distinct statements share an encoding.
+    pub fn signing_bytes(&self) -> [u8; 68] {
+        let mut out = [0u8; 68];
+        out[..16].copy_from_slice(b"spotless-vote-v1");
+        out[16..20].copy_from_slice(&self.instance.0.to_le_bytes());
+        out[20..28].copy_from_slice(&self.view.0.to_le_bytes());
+        out[28..36].copy_from_slice(&self.slot.to_le_bytes());
+        out[36..].copy_from_slice(&self.digest.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signing_bytes_are_injective_across_fields() {
+        let base = VoteStatement::new(InstanceId(1), View(2), Digest::from_u64(3));
+        let variants = [
+            VoteStatement::new(InstanceId(2), View(2), Digest::from_u64(3)),
+            VoteStatement::new(InstanceId(1), View(3), Digest::from_u64(3)),
+            VoteStatement::new(InstanceId(1), View(2), Digest::from_u64(4)),
+            VoteStatement { slot: 7, ..base },
+        ];
+        for v in variants {
+            assert_ne!(base.signing_bytes(), v.signing_bytes());
+        }
+        assert_eq!(base.signing_bytes(), base.signing_bytes());
+    }
+
+    #[test]
+    fn zero_signature_is_default() {
+        assert_eq!(Signature::default(), Signature::ZERO);
+        assert_eq!(format!("{:?}", Signature::ZERO), "sig:0000…");
+    }
+}

@@ -69,7 +69,10 @@ async fn main() {
                 instance: spotless::types::InstanceId((i % 4) as u32),
                 view: spotless::types::View(i),
                 phase: spotless::types::CertPhase::Strong,
+                voted: digest,
+                slot: 0,
                 signers: (0..3).map(ReplicaId).collect(),
+                sigs: vec![spotless::types::Signature::ZERO; 3],
             },
         );
     }

@@ -69,7 +69,10 @@ fn main() {
                     instance: c.instance,
                     view: c.view,
                     phase: c.cert.phase,
+                    voted: c.cert.voted,
+                    slot: c.cert.slot,
                     signers: c.cert.signers.clone(),
+                    sigs: c.cert.sigs.clone(),
                 },
                 &c.batch.payload,
             )
@@ -105,7 +108,10 @@ fn main() {
                 instance: c.instance,
                 view: c.view,
                 phase: c.cert.phase,
+                voted: c.cert.voted,
+                slot: c.cert.slot,
                 signers: c.cert.signers.clone(),
+                sigs: c.cert.sigs.clone(),
             },
             &c.batch.payload,
         )

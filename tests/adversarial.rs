@@ -303,7 +303,11 @@ async fn byzantine_chunk_server_is_rejected_and_another_peer_serves() {
     // ── Phase B: hand-scripted peers + a real recovering runtime. ───
     let (fabric, mut receivers) = InProcFabric::new(4);
     let victim_rx = receivers.pop().expect("receiver 3");
-    let keystores = KeyStore::cluster(b"spotless-byz-transfer", 4);
+    // Same master seed as the Phase-A in-proc cluster: the victim
+    // re-verifies every block's commit-certificate signatures against
+    // the cluster's public keys, so the scripted peers must speak for
+    // the same identities that certified the genuine chain.
+    let keystores = KeyStore::cluster(b"spotless-inproc-cluster", 4);
     let malicious_served = Arc::new(AtomicUsize::new(0));
     let honest_served = Arc::new(AtomicUsize::new(0));
     for (peer, mut rx) in receivers.into_iter().enumerate() {

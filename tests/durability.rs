@@ -105,7 +105,10 @@ fn persist(
                 instance: c.instance,
                 view: c.view,
                 phase: c.cert.phase,
+                voted: c.cert.voted,
+                slot: c.cert.slot,
                 signers: c.cert.signers.clone(),
+                sigs: c.cert.sigs.clone(),
             },
             &c.batch.payload,
         )
@@ -237,11 +240,14 @@ fn kv_state_recovers_from_snapshot_plus_payload_replay() {
                 instance: InstanceId(0),
                 view: View(i as u64),
                 phase: spotless::types::CertPhase::Strong,
+                voted: spotless::crypto::digest_bytes(payload),
+                slot: 0,
                 signers: vec![
                     spotless::types::ReplicaId(0),
                     spotless::types::ReplicaId(1),
                     spotless::types::ReplicaId(2),
                 ],
+                sigs: vec![spotless::types::Signature::ZERO; 3],
             },
             payload,
         )

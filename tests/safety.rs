@@ -156,6 +156,11 @@ fn example_3_6_three_chain_blocks_conflicting_commits() {
                         claim: Some(p.reference()),
                         cp: vec![p.reference()],
                         upsilon: false,
+                        // The harness ctx is the simulation oracle
+                        // (verify_vote accepts everything), so zero
+                        // placeholders stand in for real signatures.
+                        claim_sig: spotless::types::Signature::ZERO,
+                        cp_sigs: vec![spotless::types::Signature::ZERO],
                     }),
                 },
                 &mut ctx,

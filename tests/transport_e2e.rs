@@ -705,6 +705,13 @@ async fn all_five_protocols_persist_verified_certificates() {
             .verify()
             .unwrap_or_else(|e| panic!("{name}: chain verification failed: {e}"));
         let rules = ProofRules::for_cluster(&cluster);
+        // Same master seed the in-proc cluster derives its replica
+        // keys from — the audit re-verifies every persisted Ed25519
+        // signature against the cluster's public keys.
+        let keys = spotless::crypto::KeyStore::cluster(b"spotless-inproc-cluster", cluster.n)
+            .into_iter()
+            .next()
+            .unwrap();
         let mut audited = 0;
         for block in led.ledger().iter() {
             assert!(
@@ -712,7 +719,7 @@ async fn all_five_protocols_persist_verified_certificates() {
                 "{name}: block {} has an empty signer set",
                 block.height
             );
-            verify_proof(&block.proof, &rules)
+            verify_proof(&block.proof, &rules, &keys)
                 .unwrap_or_else(|e| panic!("{name}: block {} proof rejected: {e}", block.height));
             audited += 1;
         }

@@ -21,7 +21,8 @@ use spotless::runtime::envelope::{
 };
 use spotless::runtime::{CatchUpBlock, ChunkInfo, ChunkTransfer, TransferManifest, WireMsg};
 use spotless::types::{
-    BatchId, CertPhase, ClientBatch, ClientId, Digest, InstanceId, ReplicaId, SimTime, View,
+    BatchId, CertPhase, ClientBatch, ClientId, Digest, InstanceId, ReplicaId, Signature, SimTime,
+    View,
 };
 
 fn hex(bytes: &[u8]) -> String {
@@ -41,7 +42,14 @@ fn sample_block() -> Block {
             instance: InstanceId(0),
             view: View(3),
             phase: CertPhase::Strong,
+            voted: Digest::from_u64(77),
+            slot: 0,
             signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            sigs: vec![
+                Signature([0xAA; 64]),
+                Signature([0xBB; 64]),
+                Signature([0xCC; 64]),
+            ],
         },
     );
     ledger.block(0).unwrap().clone()
@@ -60,6 +68,8 @@ fn sample_sync() -> Message {
             digest: Digest::from_u64(10),
         }],
         upsilon: true,
+        claim_sig: Signature([0xDD; 64]),
+        cp_sigs: vec![Signature([0xEE; 64])],
     })
 }
 
@@ -96,7 +106,7 @@ fn sample_chunk() -> ChunkTransfer {
 
 // ── golden vectors: the pinned binary layout ────────────────────────
 //
-// Layout recap (README §"Wire format"): `0xB2` version byte, tag byte,
+// Layout recap (README §"Wire format"): `0xB3` version byte, tag byte,
 // then the body in the streaming binary codec — canonical LEB128
 // varints, raw byte slices, structs field-by-field in declaration
 // order, enum variants by declaration index.
@@ -104,23 +114,23 @@ fn sample_chunk() -> ChunkTransfer {
 #[test]
 fn golden_protocol_sync() {
     let enc = encode_protocol(&sample_sync());
-    assert_eq!(enc[0], 0xB2, "wire version");
+    assert_eq!(enc[0], 0xB3, "wire version");
     assert_eq!(enc[1], TAG_PROTOCOL);
     assert_eq!(
         hex(&enc),
-        "b200\
-         01\
-         01\
-         ac02\
-         01ab02\
-         0000000000000009000000000000000000000000000000000000000000000000\
-         01ac02\
-         000000000000000a000000000000000000000000000000000000000000000000\
-         01"
+        "b3000101ac0201ab0200000000000000090000000000000000000000\
+         0000000000000000000000000001ac02000000000000000a00000000\
+         000000000000000000000000000000000000000001dddddddddddddd\
+         dddddddddddddddddddddddddddddddddddddddddddddddddddddddd\
+         dddddddddddddddddddddddddddddddddddddddddddddddddddddddd\
+         dd01eeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeee\
+         eeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeee\
+         eeeeeeeeeeeeeeeeeeee"
     );
     // Readable anatomy: variant 1 (Sync) ‖ instance 1 ‖ view 300
     // (0xac02) ‖ Some(claim: view 299, digest tag 9) ‖ 1-entry CP
-    // (view 300, digest tag 10) ‖ upsilon=true.
+    // (view 300, digest tag 10) ‖ upsilon=true ‖ 64-byte claim
+    // signature (0xDD…) ‖ 1-entry cp_sigs (0xEE…).
     match decode::<Message>(&enc) {
         Some(WireMsg::Protocol(Message::Sync(s))) => {
             assert_eq!(s.view, View(300));
@@ -135,7 +145,7 @@ fn golden_protocol_sync() {
 fn golden_catchup_req() {
     let enc = encode_catchup_req(300);
     assert_eq!(enc[1], TAG_CATCHUP_REQ);
-    assert_eq!(hex(&enc), "b201ac02");
+    assert_eq!(hex(&enc), "b301ac02");
     assert!(matches!(
         decode::<u64>(&enc),
         Some(WireMsg::CatchUpReq { from_height: 300 })
@@ -152,17 +162,26 @@ fn golden_catchup_resp() {
     assert_eq!(enc[1], TAG_CATCHUP_RESP);
     assert_eq!(
         hex(&enc),
-        "b2020401000000000000000000000000000000000000000000000000\
+        "b3020401000000000000000000000000000000000000000000000000\
          000000000000000000000000000000004d0000000000000000000000\
          00000000000000000000000000070200000000000001f40000000000\
-         0000000000000000000000000000000000000000030003000102e816\
-         fdb9aded7d3c9886db890f7ce7ab1fb97d17d2c3fecaf41d4a5a9743\
-         a8420974786e2d6279746573"
+         00000000000000000000000000000000000000000300000000000000\
+         004d0000000000000000000000000000000000000000000000000003\
+         00010203aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+         aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+         aaaaaaaaaaaaaaaaaaaaaaaabbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\
+         bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\
+         bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbcccccccccccccccc\
+         cccccccccccccccccccccccccccccccccccccccccccccccccccccccc\
+         cccccccccccccccccccccccccccccccccccccccccccccccccccccccc\
+         e816fdb9aded7d3c9886db890f7ce7ab1fb97d17d2c3fecaf41d4a5a\
+         9743a8420974786e2d6279746573"
     );
     // Anatomy: peer_height 4 ‖ 1 block (height 0 ‖ zero parent ‖
     // batch digest tag 77 = 0x4d ‖ batch id 7 ‖ 2 txns ‖ state root
-    // tag 500 = 0x01f4 ‖ proof {instance 0, view 3, Strong, signers
-    // 0,1,2} ‖ block hash) ‖ 9-byte payload "txn-bytes".
+    // tag 500 = 0x01f4 ‖ proof {instance 0, view 3, Strong, voted tag
+    // 77, slot 0, signers 0,1,2, three 64-byte signatures 0xAA/0xBB/
+    // 0xCC} ‖ block hash) ‖ 9-byte payload "txn-bytes".
     match decode::<u64>(&enc) {
         Some(WireMsg::CatchUpResp {
             peer_height: 4,
@@ -179,14 +198,22 @@ fn golden_manifest() {
     assert_eq!(enc[1], TAG_CATCHUP_MANIFEST);
     assert_eq!(
         hex(&enc),
-        "b2030104000000000000000000000000000000000000000000000000\
+        "b3030104000000000000000000000000000000000000000000000000\
          000000000000000000000000000000004d0000000000000000000000\
          00000000000000000000000000070200000000000001f40000000000\
-         0000000000000000000000000000000000000000030003000102e816\
-         fdb9aded7d3c9886db890f7ce7ab1fb97d17d2c3fecaf41d4a5a9743\
-         a842020607046d65746101000000000000000b000000000000000000\
-         0000000000000000000000000000000101008008000000000000000c\
-         000000000000000000000000000000000000000000000000"
+         00000000000000000000000000000000000000000300000000000000\
+         004d0000000000000000000000000000000000000000000000000003\
+         00010203aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+         aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+         aaaaaaaaaaaaaaaaaaaaaaaabbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\
+         bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb\
+         bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbcccccccccccccccc\
+         cccccccccccccccccccccccccccccccccccccccccccccccccccccccc\
+         cccccccccccccccccccccccccccccccccccccccccccccccccccccccc\
+         e816fdb9aded7d3c9886db890f7ce7ab1fb97d17d2c3fecaf41d4a5a\
+         9743a842020607046d65746101000000000000000b00000000000000\
+         00000000000000000000000000000000000101008008000000000000\
+         000c000000000000000000000000000000000000000000000000"
     );
     // Anatomy: height 1 ‖ peer_height 4 ‖ head block ‖ recent ids
     // [6, 7] ‖ 4-byte app meta ‖ 1-step meta proof (sibling tag 11,
@@ -202,7 +229,7 @@ fn golden_manifest() {
 fn golden_chunk_req() {
     let enc = encode_chunk_req(300, 3);
     assert_eq!(enc[1], TAG_CATCHUP_CHUNK_REQ);
-    assert_eq!(hex(&enc), "b204ac0203");
+    assert_eq!(hex(&enc), "b304ac0203");
     assert!(matches!(
         decode::<u64>(&enc),
         Some(WireMsg::ChunkReq {
@@ -219,10 +246,8 @@ fn golden_chunk() {
     assert_eq!(enc[1], TAG_CATCHUP_CHUNK);
     assert_eq!(
         hex(&enc),
-        "b2050100\
-         0b6368756e6b2d6279746573\
-         0101\
-         000000000000000d00000000000000000000000000000000000000000000000000"
+        "b30501000b6368756e6b2d62797465730101000000000000000d0000\
+         0000000000000000000000000000000000000000000000"
     );
     // Anatomy: height 1 ‖ index 0 ‖ 11-byte chunk ‖ 1 proof of 1 step
     // (sibling tag 13, on-left).
@@ -308,13 +333,22 @@ fn messages() -> impl Strategy<Value = Message> {
             prop::collection::vec(proposal_refs(), 0..5),
             any::<bool>(),
         )
-            .prop_map(|(i, v, claim, cp, upsilon)| Message::Sync(SyncMsg {
-                instance: InstanceId(i),
-                view: View(v),
-                claim,
-                cp,
-                upsilon,
-            })),
+            .prop_map(|(i, v, claim, cp, upsilon)| {
+                // cp_sigs must stay parallel to cp (the decoder drops
+                // frames where the lengths disagree); byte patterns
+                // derived from the generated values keep the fixture
+                // deterministic without a second RNG stream.
+                let cp_sigs = cp.iter().map(|r| Signature([r.view.0 as u8; 64])).collect();
+                Message::Sync(SyncMsg {
+                    instance: InstanceId(i),
+                    view: View(v),
+                    claim,
+                    cp,
+                    upsilon,
+                    claim_sig: Signature([v as u8; 64]),
+                    cp_sigs,
+                })
+            }),
         (any::<u32>(), proposal_refs()).prop_map(|(i, target)| Message::Ask {
             instance: InstanceId(i),
             target,
@@ -346,7 +380,10 @@ fn block_chains() -> impl Strategy<Value = Vec<(Block, Vec<u8>)>> {
                     instance: InstanceId(0),
                     view: View(i as u64),
                     phase: CertPhase::Strong,
+                    voted: Digest::from_u64(dg),
+                    slot: id % 7,
                     signers: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+                    sigs: vec![Signature([dg as u8; 64]); 3],
                 },
             );
             payloads.push(payload);
