@@ -149,6 +149,17 @@ impl<'a> Reader<'a> {
         }
         Ok(n as usize)
     }
+
+    /// Reads a length-prefixed byte string as a borrowed slice of the
+    /// input — the exact wire shape `Vec<u8>` encodes to (see
+    /// `Serialize::ser_bin_slice` specialization for `u8`), without the
+    /// copy. This is the primitive borrowing decoders build on: take
+    /// the bytes in place, convert to owned only where the value must
+    /// outlive the receive buffer.
+    pub fn bytes(&mut self) -> Result<&'a [u8], Error> {
+        let n = self.len()?;
+        self.take(n)
+    }
 }
 
 /// Encodes `value` into a fresh buffer. Infallible: the binary encoder
@@ -240,6 +251,21 @@ mod tests {
         buf.extend_from_slice(&[1, 2, 3]);
         assert!(from_slice::<Vec<u8>>(&buf).is_err());
         assert!(from_slice::<Vec<u64>>(&buf).is_err());
+    }
+
+    #[test]
+    fn borrowed_bytes_match_owned_vec_decode() {
+        let payload: Vec<u8> = (0..100u8).collect();
+        let enc = to_vec(&payload);
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.bytes().unwrap(), &payload[..]);
+        assert!(r.is_empty());
+        assert_eq!(from_slice::<Vec<u8>>(&enc).unwrap(), payload);
+        // Hostile length prefixes fail exactly like the owned path.
+        let mut bad = Vec::new();
+        write_varint(1 << 40, &mut bad);
+        bad.extend_from_slice(&[1, 2, 3]);
+        assert!(Reader::new(&bad).bytes().is_err());
     }
 
     #[test]

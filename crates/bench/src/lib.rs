@@ -325,9 +325,15 @@ pub fn run(spec: &RunSpec) -> SimReport {
 }
 
 /// Table printer that mirrors the figure's rows and records JSONL.
+///
+/// Besides the append-per-row `<name>.jsonl`, dropping the table writes
+/// a self-contained `BENCH_<name>.json` snapshot (name, scale mode,
+/// columns, all rows) — the machine-readable artifact CI's bench-smoke
+/// job uploads so the performance trajectory survives across PRs.
 pub struct FigureTable {
     name: String,
     columns: Vec<String>,
+    rows: Vec<Vec<String>>,
     sink: Option<std::fs::File>,
 }
 
@@ -353,6 +359,7 @@ impl FigureTable {
         FigureTable {
             name: name.to_string(),
             columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
             sink,
         }
     }
@@ -371,11 +378,54 @@ impl FigureTable {
             line.push('\n');
             let _ = f.write_all(line.as_bytes());
         }
+        self.rows.push(cells.to_vec());
     }
 
     /// The figure's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    fn snapshot_json(&self) -> serde_json::Value {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|cells| {
+                let obj: serde_json::Map<String, serde_json::Value> = self
+                    .columns
+                    .iter()
+                    .zip(cells)
+                    .map(|(c, v)| (c.clone(), serde_json::Value::String(v.clone())))
+                    .collect();
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        let mut top = serde_json::Map::new();
+        top.insert("bench".into(), serde_json::Value::String(self.name.clone()));
+        top.insert(
+            "mode".into(),
+            serde_json::Value::String(if is_full() { "full" } else { "quick" }.into()),
+        );
+        top.insert("rows".into(), serde_json::Value::Array(rows));
+        serde_json::Value::Object(top)
+    }
+}
+
+impl Drop for FigureTable {
+    fn drop(&mut self) {
+        // Written on drop, not per row, so the snapshot is complete even
+        // when a bench adds rows after interleaved work. Assertion
+        // failures still produce the rows recorded so far — useful when
+        // diagnosing a tripped floor from the artifact alone.
+        if std::fs::create_dir_all("target/spotless-bench").is_err() {
+            return;
+        }
+        let path = format!("target/spotless-bench/BENCH_{}.json", self.name);
+        if let Ok(mut f) = std::fs::File::create(path) {
+            let mut text = serde_json::to_string(&self.snapshot_json()).unwrap_or_default();
+            text.push('\n');
+            let _ = f.write_all(text.as_bytes());
+        }
     }
 }
 

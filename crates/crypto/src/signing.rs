@@ -327,6 +327,31 @@ impl KeyStore {
     pub fn public_of(&self, replica: ReplicaId) -> Option<&PublicKey> {
         self.publics.get(replica.as_usize())
     }
+
+    /// Batch-verifies independent `(signer, message, sig)` triples
+    /// without copying any message bytes — the borrowing counterpart to
+    /// [`BatchVerifier`], for ingress paths where the messages already
+    /// live in received buffers and a per-triple copy would defeat the
+    /// point of batching. `Ok` iff every triple verifies (empty is
+    /// `Ok`); an unknown signer fails the whole batch with
+    /// [`VerifyError::UnknownSigner`]. Like [`BatchVerifier::verify`],
+    /// failure does not attribute blame — re-verify serially via
+    /// [`KeyStore::verify`] to find the culprits.
+    pub fn verify_batch_refs(
+        &self,
+        items: &[(ReplicaId, &[u8], &Signature)],
+    ) -> Result<(), VerifyError> {
+        let mut refs: Vec<(&ed25519::VerifyingKey, &[u8], &[u8; 64])> =
+            Vec::with_capacity(items.len());
+        for (signer, message, sig) in items {
+            let key = self
+                .publics
+                .get(signer.as_usize())
+                .ok_or(VerifyError::UnknownSigner(*signer))?;
+            refs.push((&key.0, message, &sig.0));
+        }
+        ed25519::verify_batch(&refs).map_err(sig_error)
+    }
 }
 
 #[cfg(test)]

@@ -98,7 +98,7 @@ pub const TAG_CATCHUP_CHUNK: u8 = 5;
 
 /// A signed, shareable wire frame. Cloning an envelope clones the
 /// `Arc`, not the payload.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Envelope {
     /// The sending replica.
     pub from: ReplicaId,
@@ -235,6 +235,157 @@ pub enum WireMsg<M> {
     },
     /// One verified-fetchable state chunk.
     Chunk(Box<ChunkTransfer>),
+}
+
+/// Borrowed view of a [`CatchUpBlock`]: the block header decodes owned
+/// (small, structural), the batch payload stays a slice of the receive
+/// buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CatchUpBlockRef<'a> {
+    /// The hash-chained ledger block.
+    pub block: Block,
+    /// Serialized transactions, borrowed from the payload buffer.
+    pub payload: &'a [u8],
+}
+
+impl CatchUpBlockRef<'_> {
+    /// Copies the borrowed payload into an owned [`CatchUpBlock`] —
+    /// the storage boundary.
+    pub fn to_owned(&self) -> CatchUpBlock {
+        CatchUpBlock {
+            block: self.block.clone(),
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+/// Borrowed view of a [`TransferManifest`]: `app_meta` stays a slice of
+/// the receive buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct TransferManifestRef<'a> {
+    /// Ledger height the snapshot covers.
+    pub height: u64,
+    /// The responder's ledger height when it served the request.
+    pub peer_height: u64,
+    /// The certified head block (see [`TransferManifest::head`]).
+    pub head: Block,
+    /// Recently committed batch ids covered by the snapshot.
+    pub recent_ids: Vec<BatchId>,
+    /// Application meta bytes, borrowed from the payload buffer.
+    pub app_meta: &'a [u8],
+    /// Inclusion proof of `app_meta` at the state tree's meta leaf.
+    pub meta_proof: Vec<ProofStep>,
+    /// The chunk plan, in order.
+    pub chunks: Vec<ChunkInfo>,
+}
+
+impl TransferManifestRef<'_> {
+    /// Copies the borrowed meta bytes into an owned
+    /// [`TransferManifest`] — done once, when a transfer is accepted
+    /// and the manifest must outlive the envelope that carried it.
+    pub fn to_owned(&self) -> TransferManifest {
+        TransferManifest {
+            height: self.height,
+            peer_height: self.peer_height,
+            head: self.head.clone(),
+            recent_ids: self.recent_ids.clone(),
+            app_meta: self.app_meta.to_vec(),
+            meta_proof: self.meta_proof.clone(),
+            chunks: self.chunks.clone(),
+        }
+    }
+}
+
+/// Borrowed view of a [`ChunkTransfer`]: the chunk bytes — the bulk of
+/// the frame — stay a slice of the receive buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ChunkTransferRef<'a> {
+    /// The transfer's target height.
+    pub height: u64,
+    /// Index into the manifest's chunk list.
+    pub index: u32,
+    /// The chunk's canonical encoding, borrowed from the payload buffer.
+    pub chunk: &'a [u8],
+    /// Per-bucket inclusion proofs, in bucket order within the chunk.
+    pub proofs: Vec<Vec<ProofStep>>,
+}
+
+impl ChunkTransferRef<'_> {
+    /// Copies the borrowed chunk bytes into an owned [`ChunkTransfer`].
+    pub fn to_owned(&self) -> ChunkTransfer {
+        ChunkTransfer {
+            height: self.height,
+            index: self.index,
+            chunk: self.chunk.to_vec(),
+            proofs: self.proofs.clone(),
+        }
+    }
+}
+
+/// Borrowed counterpart of [`WireMsg`], produced by [`decode_ref`]:
+/// bulk byte fields are slices of the payload buffer, and a protocol
+/// body is returned **undecoded** (the raw bytes after the tag) so the
+/// caller chooses when — and with which message type — to parse it.
+/// Not generic over `M` for exactly that reason: the transfer variants
+/// never mention the protocol type, so the pipeline can decode them
+/// without knowing it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireMsgRef<'a> {
+    /// A consensus protocol message, still encoded: the body bytes to
+    /// hand to [`decode_protocol_body`].
+    Protocol(&'a [u8]),
+    /// "Send me your executed blocks from `from_height` up."
+    CatchUpReq {
+        /// First height the requester is missing.
+        from_height: u64,
+    },
+    /// A slice of the responder's executed chain.
+    CatchUpResp {
+        /// The responder's ledger height when it served the request.
+        peer_height: u64,
+        /// Contiguous blocks, payloads borrowed.
+        blocks: Vec<CatchUpBlockRef<'a>>,
+    },
+    /// A chunked state transfer's manifest, meta bytes borrowed.
+    Manifest(Box<TransferManifestRef<'a>>),
+    /// "Send me chunk `index` of the transfer at `height`."
+    ChunkReq {
+        /// The transfer's target height.
+        height: u64,
+        /// Index into the manifest's chunk list.
+        index: u32,
+    },
+    /// One state chunk, chunk bytes borrowed.
+    Chunk(Box<ChunkTransferRef<'a>>),
+}
+
+impl WireMsgRef<'_> {
+    /// Converts to the owning [`WireMsg`], decoding a protocol body
+    /// with `M`. `None` only if a `Protocol` body fails to parse —
+    /// every other variant converts infallibly. Exists for equivalence
+    /// testing against [`decode`]; hot paths convert piecewise at
+    /// their storage boundaries instead.
+    pub fn to_owned_msg<M: Deserialize>(&self) -> Option<WireMsg<M>> {
+        Some(match self {
+            WireMsgRef::Protocol(body) => WireMsg::Protocol(decode_protocol_body(body)?),
+            WireMsgRef::CatchUpReq { from_height } => WireMsg::CatchUpReq {
+                from_height: *from_height,
+            },
+            WireMsgRef::CatchUpResp {
+                peer_height,
+                blocks,
+            } => WireMsg::CatchUpResp {
+                peer_height: *peer_height,
+                blocks: blocks.iter().map(CatchUpBlockRef::to_owned).collect(),
+            },
+            WireMsgRef::Manifest(m) => WireMsg::Manifest(Box::new((**m).to_owned())),
+            WireMsgRef::ChunkReq { height, index } => WireMsg::ChunkReq {
+                height: *height,
+                index: *index,
+            },
+            WireMsgRef::Chunk(c) => WireMsg::Chunk(Box::new((**c).to_owned())),
+        })
+    }
 }
 
 /// Starts a payload buffer: version byte, tag byte, `cap` bytes of
@@ -460,6 +611,141 @@ pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
     Some(msg)
 }
 
+/// Cheapest possible classification of a sealed payload: its tag byte,
+/// iff the version byte matches and the tag is known. The event loop
+/// routes on this without parsing a body — protocol bodies parse on
+/// the event loop thread (they feed the state machine right there),
+/// transfer bodies ship to the pipeline still encoded and parse off
+/// the loop via [`decode_ref`].
+pub fn payload_tag(payload: &[u8]) -> Option<u8> {
+    match payload {
+        [WIRE_VERSION, tag, ..] if *tag <= TAG_CATCHUP_CHUNK => Some(*tag),
+        _ => None,
+    }
+}
+
+/// Parses a protocol body returned by [`WireMsgRef::Protocol`]
+/// (requires full consumption, like [`decode`]).
+pub fn decode_protocol_body<M: Deserialize>(body: &[u8]) -> Option<M> {
+    bin::from_slice(body).ok()
+}
+
+/// Borrowing counterpart of [`decode`]: same fail-closed structural
+/// checks, same accepted byte strings (pinned by proptest equivalence
+/// in `tests/wire_format.rs`), but bulk byte fields come back as
+/// slices of `payload` instead of fresh vectors, and a protocol body
+/// comes back undecoded. This is the hot-path entry point: the event
+/// loop classifies a frame without copying it, and the pipeline copies
+/// only the pieces that must outlive the envelope (its storage
+/// boundary).
+///
+/// Implemented independently of [`decode`] rather than by delegation,
+/// so the equivalence tests between the two readers are a real check
+/// on both, not a tautology.
+pub fn decode_ref(payload: &[u8]) -> Option<WireMsgRef<'_>> {
+    let (&version, rest) = payload.split_first()?;
+    if version != WIRE_VERSION {
+        return None; // other format generation: fail closed
+    }
+    let (&tag, body) = rest.split_first()?;
+    let mut r = Reader::new(body);
+    let msg = match tag {
+        TAG_PROTOCOL => {
+            // The body is handed back whole; the caller's parse
+            // enforces full consumption.
+            return Some(WireMsgRef::Protocol(body));
+        }
+        TAG_CATCHUP_REQ => WireMsgRef::CatchUpReq {
+            from_height: r.varint().ok()?,
+        },
+        TAG_CATCHUP_RESP => {
+            let peer_height = r.varint().ok()?;
+            let count = r.len().ok()?;
+            if count > MAX_TRANSFER_ITEMS {
+                return None;
+            }
+            let mut blocks = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let block = Block::de_bin(&mut r).ok()?;
+                let payload = r.bytes().ok()?;
+                blocks.push(CatchUpBlockRef { block, payload });
+            }
+            WireMsgRef::CatchUpResp {
+                peer_height,
+                blocks,
+            }
+        }
+        TAG_CATCHUP_MANIFEST => {
+            let height = r.varint().ok()?;
+            let peer_height = r.varint().ok()?;
+            let head = Block::de_bin(&mut r).ok()?;
+            let ids_len = r.len().ok()?;
+            if ids_len > MAX_TRANSFER_ITEMS {
+                return None;
+            }
+            let mut recent_ids = Vec::with_capacity(ids_len);
+            for _ in 0..ids_len {
+                recent_ids.push(BatchId(r.varint().ok()?));
+            }
+            let app_meta = r.bytes().ok()?;
+            let meta_proof = decode_proof(&mut r)?;
+            let chunks_len = r.len().ok()?;
+            if chunks_len > MAX_TRANSFER_ITEMS {
+                return None;
+            }
+            let mut chunks = Vec::with_capacity(chunks_len);
+            for _ in 0..chunks_len {
+                let first_bucket = u32::try_from(r.varint().ok()?).ok()?;
+                let buckets = u32::try_from(r.varint().ok()?).ok()?;
+                let mut digest = Digest::ZERO;
+                digest.0.copy_from_slice(r.take(32).ok()?);
+                chunks.push(ChunkInfo {
+                    first_bucket,
+                    buckets,
+                    digest,
+                });
+            }
+            WireMsgRef::Manifest(Box::new(TransferManifestRef {
+                height,
+                peer_height,
+                head,
+                recent_ids,
+                app_meta,
+                meta_proof,
+                chunks,
+            }))
+        }
+        TAG_CATCHUP_CHUNK_REQ => WireMsgRef::ChunkReq {
+            height: r.varint().ok()?,
+            index: u32::try_from(r.varint().ok()?).ok()?,
+        },
+        TAG_CATCHUP_CHUNK => {
+            let height = r.varint().ok()?;
+            let index = u32::try_from(r.varint().ok()?).ok()?;
+            let chunk = r.bytes().ok()?;
+            let proofs_len = r.len().ok()?;
+            if proofs_len > MAX_TRANSFER_ITEMS {
+                return None;
+            }
+            let mut proofs = Vec::with_capacity(proofs_len);
+            for _ in 0..proofs_len {
+                proofs.push(decode_proof(&mut r)?);
+            }
+            WireMsgRef::Chunk(Box::new(ChunkTransferRef {
+                height,
+                index,
+                chunk,
+                proofs,
+            }))
+        }
+        _ => return None,
+    };
+    if !r.is_empty() {
+        return None; // trailing bytes: malformed
+    }
+    Some(msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +894,58 @@ mod tests {
             _ => panic!("wrong decode"),
         }
         assert!(decode::<u64>(&enc[..enc.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn borrowing_decode_is_zero_copy_and_matches_owning() {
+        // Manifest: meta bytes must be a slice *into* the encoded
+        // payload, and the owned conversion must equal the owning
+        // decoder's result.
+        let m = sample_manifest();
+        let enc = encode_catchup_manifest(&m);
+        let Some(WireMsgRef::Manifest(got)) = decode_ref(&enc) else {
+            panic!("wrong decode_ref variant");
+        };
+        assert_eq!(got.to_owned(), m);
+        let range = enc.as_ptr_range();
+        assert!(
+            range.contains(&got.app_meta.as_ptr()),
+            "app_meta must borrow from the payload buffer"
+        );
+
+        // Chunk: same for the chunk bytes (the bulk of the frame).
+        let c = ChunkTransfer {
+            height: 7,
+            index: 3,
+            chunk: b"canonical-chunk-bytes".to_vec(),
+            proofs: vec![vec![]],
+        };
+        let enc = encode_chunk(&c);
+        let Some(WireMsgRef::Chunk(got)) = decode_ref(&enc) else {
+            panic!("wrong decode_ref variant");
+        };
+        assert_eq!(got.to_owned(), c);
+        assert!(enc.as_ptr_range().contains(&got.chunk.as_ptr()));
+
+        // Protocol: the body comes back undecoded and parses to the
+        // same message the owning decoder produces.
+        let enc = encode_protocol(&42u64);
+        let Some(WireMsgRef::Protocol(body)) = decode_ref(&enc) else {
+            panic!("wrong decode_ref variant");
+        };
+        assert_eq!(decode_protocol_body::<u64>(body), Some(42));
+        match decode::<u64>(&enc) {
+            Some(WireMsg::Protocol(42)) => {}
+            _ => panic!("owning decode disagrees"),
+        }
+        // A trailing byte after the protocol body fails both readers.
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(decode::<u64>(&trailing).is_none());
+        let Some(WireMsgRef::Protocol(body)) = decode_ref(&trailing) else {
+            panic!("wrong decode_ref variant");
+        };
+        assert!(decode_protocol_body::<u64>(body).is_none());
     }
 
     #[test]

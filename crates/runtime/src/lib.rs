@@ -41,6 +41,7 @@ pub mod client;
 pub mod cluster;
 pub mod envelope;
 pub mod fabric;
+pub(crate) mod ingress;
 pub mod observe;
 pub(crate) mod pipeline;
 pub mod runtime;
@@ -48,7 +49,8 @@ pub mod runtime;
 pub use client::ClusterClient;
 pub use cluster::{assemble, assemble_tuned, ClusterHandles};
 pub use envelope::{
-    CatchUpBlock, ChunkInfo, ChunkTransfer, Envelope, TransferManifest, WireMsg, WIRE_VERSION,
+    CatchUpBlock, CatchUpBlockRef, ChunkInfo, ChunkTransfer, ChunkTransferRef, Envelope,
+    TransferManifest, TransferManifestRef, WireMsg, WireMsgRef, WIRE_VERSION,
 };
 pub use fabric::Fabric;
 pub use observe::{CommitLog, CommittedEntry, Inform, NetStats};

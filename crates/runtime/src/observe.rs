@@ -66,6 +66,8 @@ struct NetCounters {
     bytes_sent: AtomicU64,
     msgs_recv: AtomicU64,
     bytes_recv: AtomicU64,
+    msgs_rejected: AtomicU64,
+    bytes_rejected: AtomicU64,
 }
 
 impl NetStats {
@@ -80,6 +82,13 @@ impl NetStats {
         self.inner.msgs_recv.fetch_add(1, Ordering::Relaxed);
         self.inner
             .bytes_recv
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self, bytes: usize) {
+        self.inner.msgs_rejected.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_rejected
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
@@ -103,6 +112,20 @@ impl NetStats {
     /// Encoded payload bytes received from the fabric.
     pub fn bytes_recv(&self) -> u64 {
         self.inner.bytes_recv.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes dropped at ingress because their signature failed to
+    /// verify (a `VerifyError` from the ingress verification stage —
+    /// forged, corrupted, or attributed to an unknown signer). Rejected
+    /// envelopes are counted in `msgs_recv` too: they were received,
+    /// then refused.
+    pub fn msgs_rejected(&self) -> u64 {
+        self.inner.msgs_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Encoded payload bytes of rejected envelopes.
+    pub fn bytes_rejected(&self) -> u64 {
+        self.inner.bytes_rejected.load(Ordering::Relaxed)
     }
 }
 

@@ -65,8 +65,9 @@
 //! remains as a safety net for commits raced in right after sync.
 
 use crate::envelope::{
-    encode_catchup_manifest, encode_catchup_req, encode_catchup_resp, encode_chunk,
-    encode_chunk_req, CatchUpBlock, ChunkInfo, ChunkTransfer, Envelope, TransferManifest,
+    decode_ref, encode_catchup_manifest, encode_catchup_req, encode_catchup_resp, encode_chunk,
+    encode_chunk_req, CatchUpBlock, CatchUpBlockRef, ChunkInfo, ChunkTransfer, ChunkTransferRef,
+    Envelope, TransferManifest, TransferManifestRef, WireMsgRef,
 };
 use crate::fabric::Fabric;
 use crate::observe::{CommitLog, CommittedEntry, Inform};
@@ -115,49 +116,48 @@ const MAX_INFLIGHT_CHUNKS: usize = 4;
 /// transfer resumes rather than restarts.
 const TRANSFER_STALL_TICKS: u32 = 4;
 
-/// Ticks a frozen outgoing snapshot may sit untouched (no manifest or
-/// chunk request against it) before the serving side releases it. The
-/// cache pins a full copy of the state plus every proof; a requester
-/// that vanished mid-transfer must not leave it pinned until the next
-/// serve. Generous relative to [`TRANSFER_STALL_TICKS`]: a live
-/// receiver re-requests every one of its ticks, so only a genuinely
-/// dead transfer ages this far. At the default 150 ms tick this is
-/// ~10 s of silence.
+/// Ticks a frozen outgoing snapshot slot may sit untouched (no manifest
+/// or chunk request against it) before the serving side releases it.
+/// Each slot pins a full copy of the state plus every proof; a
+/// requester that vanished mid-transfer must not leave it pinned until
+/// the next serve. Generous relative to [`TRANSFER_STALL_TICKS`]: a
+/// live receiver re-requests every one of its ticks, so only a
+/// genuinely dead transfer ages this far. At the default 150 ms tick
+/// this is ~10 s of silence. Each slot ages independently.
 const OUTGOING_SNAPSHOT_IDLE_TICKS: u32 = 64;
 
+/// Outgoing snapshot slots cached at once. Two slots cover the
+/// head-of-line case that matters: one peer mid-transfer at a frozen
+/// height while a second peer manifests at the (newer) current height —
+/// with a single slot the second request used to evict the first
+/// transfer, forcing its receiver to re-manifest and ping-pong. More
+/// concurrent *distinct heights* than slots degrade gracefully: the
+/// idlest slot is evicted and its receiver re-manifests (its journal
+/// keeps verified chunks, so the transfer resumes, not restarts).
+/// Deliberately small — each slot pins a full state copy plus proofs.
+const OUTGOING_SNAPSHOT_SLOTS: usize = 2;
+
 /// Commands flowing from the event loop into the pipeline.
+// `Commit` dwarfs the other variants, but it is also the hot variant —
+// boxing it would buy queue-slot bytes with an allocation per commit.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum PipelineCmd {
     /// A consensus decision to persist, execute, and acknowledge.
     Commit(CommitInfo),
-    /// A peer asked for our executed blocks from `from_height`.
-    Serve { to: ReplicaId, from_height: u64 },
-    /// A peer asked for one chunk of our snapshot at `height`.
-    ServeChunk {
-        to: ReplicaId,
-        height: u64,
-        index: u32,
-    },
-    /// A peer answered our catch-up request with blocks.
-    Apply {
+    /// A signature-verified transfer-family envelope (any tag except
+    /// `TAG_PROTOCOL`), still encoded. The pipeline decodes it with the
+    /// borrowing reader off the event-loop thread and copies bytes only
+    /// at its storage boundaries (payload cache, install journal,
+    /// accepted manifest) — the event loop ships the `Arc` it already
+    /// holds, so routing a multi-megabyte chunk costs a pointer.
+    Transfer {
         from: ReplicaId,
-        peer_height: u64,
-        blocks: Vec<CatchUpBlock>,
-    },
-    /// A peer opened a chunked snapshot transfer (it pruned the blocks
-    /// we asked for).
-    ApplyManifest {
-        from: ReplicaId,
-        manifest: Box<TransferManifest>,
-    },
-    /// A peer delivered one chunk of the transfer in progress.
-    ApplyChunk {
-        from: ReplicaId,
-        chunk: Box<ChunkTransfer>,
+        payload: Arc<Vec<u8>>,
     },
     /// The runtime's periodic tick. While behind: re-issue the catch-up
     /// request or re-fetch missing chunks (rotating peers when one
-    /// stalls). While synced: serving-side maintenance — age out a
-    /// frozen outgoing snapshot whose requester vanished.
+    /// stalls). While synced: serving-side maintenance — age out frozen
+    /// outgoing snapshot slots whose requesters vanished.
     Tick,
 }
 
@@ -359,12 +359,14 @@ struct IncomingTransfer {
     stalled_ticks: u32,
 }
 
-/// Serving-side cache of one outgoing snapshot: chunks and proofs
-/// frozen at the height the manifest was built for, so a multi-round
-/// transfer stays internally consistent while this replica keeps
-/// executing. One transfer is cached at a time; a manifest request at
-/// a newer height rebuilds it (and an in-flight receiver of the old one
-/// re-requests the manifest via its tick).
+/// One serving-side outgoing snapshot slot: chunks and proofs frozen
+/// at the height the manifest was built for, so a multi-round transfer
+/// stays internally consistent while this replica keeps executing. Up
+/// to [`OUTGOING_SNAPSHOT_SLOTS`] distinct heights are cached at once
+/// (keyed by height — the chunk protocol carries the height on every
+/// message), so a second recovering peer manifesting at a newer height
+/// is served from a fresh slot instead of evicting a transfer another
+/// peer is mid-fetch on. Each slot ages out independently on the tick.
 struct OutgoingSnapshot {
     height: u64,
     head: Block,
@@ -373,6 +375,9 @@ struct OutgoingSnapshot {
     meta_proof: Vec<ProofStep>,
     /// Per chunk: descriptor, canonical encoding, per-bucket proofs.
     chunks: Vec<(ChunkInfo, Vec<u8>, Vec<Vec<ProofStep>>)>,
+    /// Consecutive ticks without a manifest or chunk request against
+    /// this slot (see [`OUTGOING_SNAPSHOT_IDLE_TICKS`]).
+    idle_ticks: u32,
 }
 
 pub(crate) struct Pipeline<F: Fabric> {
@@ -405,11 +410,9 @@ pub(crate) struct Pipeline<F: Fabric> {
     journal: InstallJournal,
     /// Live bookkeeping of the transfer the journal describes.
     incoming: Option<IncomingTransfer>,
-    /// Frozen outgoing snapshot served to recovering peers.
-    outgoing: Option<OutgoingSnapshot>,
-    /// Consecutive ticks the frozen outgoing snapshot went unrequested
-    /// (see [`OUTGOING_SNAPSHOT_IDLE_TICKS`]).
-    outgoing_idle_ticks: u32,
+    /// Frozen outgoing snapshot slots served to recovering peers, at
+    /// most [`OUTGOING_SNAPSHOT_SLOTS`], keyed by height.
+    outgoing: Vec<OutgoingSnapshot>,
     /// Raised when a consensus-decided commit could not be persisted
     /// verifiably (an unverifiable certificate, a root-divergent
     /// re-execution, or a storage append that failed after execution).
@@ -532,8 +535,7 @@ impl<F: Fabric> Pipeline<F> {
             chunk_budget: chunk_budget.max(1),
             journal,
             incoming: None,
-            outgoing: None,
-            outgoing_idle_ticks: 0,
+            outgoing: Vec::new(),
             poisoned: false,
         }
     }
@@ -569,16 +571,29 @@ impl<F: Fabric> Pipeline<F> {
     fn handle(&mut self, cmd: PipelineCmd) {
         match cmd {
             PipelineCmd::Commit(_) => unreachable!("commits are grouped by the caller"),
-            PipelineCmd::Serve { to, from_height } => self.serve_catchup(to, from_height),
-            PipelineCmd::ServeChunk { to, height, index } => self.serve_chunk(to, height, index),
-            PipelineCmd::Apply {
-                from,
+            PipelineCmd::Transfer { from, payload } => self.on_transfer(from, &payload),
+            PipelineCmd::Tick => self.on_tick(),
+        }
+    }
+
+    /// Decodes a transfer-family envelope payload *borrowed* — block
+    /// payloads, chunk bytes, and app metadata stay views into the
+    /// received buffer — and dispatches it. Owning copies happen only
+    /// where bytes cross a storage boundary (payload cache, chunk
+    /// journal, accepted manifest). The event loop already routed by
+    /// tag and verified the signature; a payload that fails the full
+    /// borrowed decode here is simply dropped.
+    fn on_transfer(&mut self, from: ReplicaId, payload: &[u8]) {
+        match decode_ref(payload) {
+            Some(WireMsgRef::CatchUpReq { from_height }) => self.serve_catchup(from, from_height),
+            Some(WireMsgRef::CatchUpResp {
                 peer_height,
                 blocks,
-            } => self.apply_catchup(from, peer_height, blocks),
-            PipelineCmd::ApplyManifest { from, manifest } => self.apply_manifest(from, *manifest),
-            PipelineCmd::ApplyChunk { from, chunk } => self.apply_chunk(from, *chunk),
-            PipelineCmd::Tick => self.on_tick(),
+            }) => self.apply_catchup(from, peer_height, &blocks),
+            Some(WireMsgRef::Manifest(manifest)) => self.apply_manifest(from, &manifest),
+            Some(WireMsgRef::ChunkReq { height, index }) => self.serve_chunk(from, height, index),
+            Some(WireMsgRef::Chunk(chunk)) => self.apply_chunk(from, &chunk),
+            Some(WireMsgRef::Protocol(_)) | None => {}
         }
     }
 
@@ -751,19 +766,16 @@ impl<F: Fabric> Pipeline<F> {
             }
             // No snapshot to offer (nothing executed yet): fall through
             // to an empty block response so the requester rotates on.
-        } else if self
-            .outgoing
-            .as_ref()
-            .is_some_and(|o| from_height >= o.height)
-        {
-            // The requester has installed (or replayed past) the frozen
-            // snapshot: release it — the cache pins a full copy of the
-            // state plus every proof, which must not outlive the
-            // transfer it served. (A requester that vanishes mid-
-            // transfer instead ages the cache out on the tick; see
-            // `on_tick`.)
-            self.outgoing = None;
         }
+        // Note what does NOT happen here: a requester that has
+        // installed (or replayed past) a frozen snapshot does not
+        // eagerly release its slot. Two recovering peers are routinely
+        // served from the *same* frozen height, and the first finisher
+        // must not yank the snapshot out from under the second one
+        // mid-fetch — that stall-then-re-manifest is exactly the
+        // head-of-line blocking the per-height slots remove. The
+        // per-slot idle age-out (`on_tick`) bounds how long a slot can
+        // pin its full state copy once nobody fetches from it.
         let mut blocks = Vec::new();
         if from_height >= self.payload_base {
             let mut h = from_height;
@@ -790,13 +802,22 @@ impl<F: Fabric> Pipeline<F> {
         self.fabric.send(to, env);
     }
 
-    /// Builds (or reuses) the frozen outgoing snapshot at the current
-    /// execution height and returns its manifest. `None` when nothing
-    /// has executed yet (a height-0 "snapshot" carries no certificate
-    /// and transfers nothing a fresh boot lacks).
+    /// Builds (or reuses) a frozen outgoing snapshot slot at the
+    /// current execution height and returns its manifest. `None` when
+    /// nothing has executed yet (a height-0 "snapshot" carries no
+    /// certificate and transfers nothing a fresh boot lacks).
+    ///
+    /// Slots are keyed by height: a second recovering peer arriving
+    /// while the chain has advanced gets its *own* frozen snapshot
+    /// instead of evicting the one the first peer is mid-fetch on —
+    /// concurrent transfers proceed independently. When all
+    /// [`OUTGOING_SNAPSHOT_SLOTS`] are taken, the idlest slot (largest
+    /// `idle_ticks`) is evicted; its requester re-manifests on its next
+    /// tick and resumes from its journal.
     fn build_manifest(&mut self) -> Option<TransferManifest> {
         let height = self.kv_height;
-        if self.outgoing.as_ref().is_none_or(|o| o.height != height) {
+        let peer_height = self.store.ledger().height();
+        if !self.outgoing.iter().any(|o| o.height == height) {
             let head = self.store.block_at(height.checked_sub(1)?)?.clone();
             let tree = self.kv.state_merkle();
             // The head block sealed the root of exactly this state: the
@@ -821,22 +842,38 @@ impl<F: Fabric> Pipeline<F> {
                     proofs,
                 ));
             }
-            self.outgoing = Some(OutgoingSnapshot {
+            if self.outgoing.len() >= OUTGOING_SNAPSHOT_SLOTS {
+                // Evict the slot idle longest: it belongs to the
+                // transfer most likely already abandoned, and its
+                // requester recovers by re-manifesting (journal keeps
+                // its verified chunks).
+                if let Some(idlest) = self
+                    .outgoing
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, o)| o.idle_ticks)
+                    .map(|(i, _)| i)
+                {
+                    self.outgoing.swap_remove(idlest);
+                }
+            }
+            self.outgoing.push(OutgoingSnapshot {
                 height,
                 head,
                 recent_ids: self.store.recent_ids(),
                 app_meta: self.kv.transfer_meta(),
                 meta_proof,
                 chunks,
+                idle_ticks: 0,
             });
         }
+        let o = self.outgoing.iter_mut().find(|o| o.height == height)?;
         // Serving (or re-serving) the manifest counts as activity on
         // the frozen snapshot — the age-out clock restarts.
-        self.outgoing_idle_ticks = 0;
-        let o = self.outgoing.as_ref()?;
+        o.idle_ticks = 0;
         Some(TransferManifest {
             height: o.height,
-            peer_height: self.store.ledger().height(),
+            peer_height,
             head: o.head.clone(),
             recent_ids: o.recent_ids.clone(),
             app_meta: o.app_meta.clone(),
@@ -845,22 +882,21 @@ impl<F: Fabric> Pipeline<F> {
         })
     }
 
-    /// Serves one chunk of the frozen outgoing snapshot. Requests for a
-    /// height we are not serving are dropped — the requester's tick
-    /// re-requests the manifest and re-synchronizes on whatever height
-    /// we can serve next.
+    /// Serves one chunk of a frozen outgoing snapshot slot. Requests
+    /// for a height we are not serving are dropped — the requester's
+    /// tick re-requests the manifest and re-synchronizes on whatever
+    /// height we can serve next.
     fn serve_chunk(&mut self, to: ReplicaId, height: u64, index: u32) {
-        if self.outgoing.as_ref().is_none_or(|o| o.height != height) {
-            // Not (or no longer) serving that height. If we could serve
-            // a fresh snapshot, rebuilding eagerly here would evict a
-            // transfer another peer may be mid-fetch on; let the
-            // requester re-manifest instead.
+        // Not (or no longer) serving that height → drop. If we could
+        // serve a fresh snapshot, rebuilding eagerly here would evict a
+        // transfer another peer may be mid-fetch on; let the requester
+        // re-manifest instead.
+        let Some(o) = self.outgoing.iter_mut().find(|o| o.height == height) else {
             return;
-        }
-        // A fetch against the served height is the liveness signal the
-        // age-out watches for.
-        self.outgoing_idle_ticks = 0;
-        let o = self.outgoing.as_ref().expect("checked above");
+        };
+        // A fetch against a served height is the liveness signal that
+        // slot's age-out watches for.
+        o.idle_ticks = 0;
         let Some((_, encoded, proofs)) = o.chunks.get(index as usize) else {
             return;
         };
@@ -889,7 +925,11 @@ impl<F: Fabric> Pipeline<F> {
         self.fabric.send(peer, env);
     }
 
-    fn apply_catchup(&mut self, from: ReplicaId, peer_height: u64, blocks: Vec<CatchUpBlock>) {
+    /// Applies a block-replay response. Block payloads arrive as
+    /// borrowed views into the received frame; the only copies made per
+    /// block are the payload-cache entry and the `CommitInfo` the
+    /// commit log records — both storage boundaries.
+    fn apply_catchup(&mut self, from: ReplicaId, peer_height: u64, blocks: &[CatchUpBlockRef<'_>]) {
         if !matches!(self.mode, Mode::CatchingUp { .. }) || self.poisoned {
             return; // stale response
         }
@@ -904,10 +944,10 @@ impl<F: Fabric> Pipeline<F> {
             // commits to — unconditionally, or a Byzantine peer could
             // strip payloads and silently diverge our execution state.
             // (Legitimately empty batches hash the empty byte string.)
-            if spotless_crypto::digest_bytes(&cb.payload) != cb.block.batch_digest {
+            if spotless_crypto::digest_bytes(cb.payload) != cb.block.batch_digest {
                 break; // forged or corrupt: keep what validated so far
             }
-            let Ok(txns) = decode_payload(&cb.payload) else {
+            let Ok(txns) = decode_payload(cb.payload) else {
                 break; // undecodable payload: same treatment
             };
             // The block's commit certificate must verify before it may
@@ -974,16 +1014,16 @@ impl<F: Fabric> Pipeline<F> {
                 return; // acknowledge nothing
             }
             if is_new {
-                if !self.store.append_foreign(cb.block.clone(), &cb.payload) {
+                if !self.store.append_foreign(cb.block.clone(), cb.payload) {
                     self.poisoned = true;
                     return;
                 }
-                self.payloads.push(cb.payload.clone());
+                // Storage boundary: the payload cache outlives the
+                // received frame, so this is where the bytes are owned.
+                self.payloads.push(cb.payload.to_vec());
                 appended = true;
             }
             self.kv_height = h + 1;
-            // `cb` is consumed here (payload moved, not copied — the
-            // cache clone above is the only copy made per block).
             applied.push((commit_info_of(cb), result));
         }
         // Durability before any acknowledgement — a torn response (or a
@@ -1031,7 +1071,7 @@ impl<F: Fabric> Pipeline<F> {
     /// nothing. (Consensus participation is held off until catch-up
     /// completes, so no live commit can be buffered below the installed
     /// height.)
-    fn apply_manifest(&mut self, from: ReplicaId, manifest: TransferManifest) {
+    fn apply_manifest(&mut self, from: ReplicaId, manifest: &TransferManifestRef<'_>) {
         if !matches!(self.mode, Mode::CatchingUp { .. }) || self.poisoned {
             return; // stale
         }
@@ -1046,7 +1086,7 @@ impl<F: Fabric> Pipeline<F> {
             && verify_proof(&manifest.head.proof, &self.rules, &self.keystore).is_ok();
         let meta_ok = proof_index(&manifest.meta_proof) == META_LEAF
             && verify_inclusion(
-                &manifest.app_meta,
+                manifest.app_meta,
                 &manifest.meta_proof,
                 &manifest.head.state_root,
             );
@@ -1066,7 +1106,10 @@ impl<F: Fabric> Pipeline<F> {
             height: manifest.height,
             head_block: manifest.head.clone(),
             recent_ids: manifest.recent_ids.clone(),
-            app_meta: manifest.app_meta.clone(),
+            // Storage boundary: the install journal persists the app
+            // meta past the received frame, so it is owned here — and
+            // only after every check above passed.
+            app_meta: manifest.app_meta.to_vec(),
             chunk_digests: manifest.chunks.iter().map(|c| c.digest).collect(),
         };
         // While a transfer is live, a *different* manifest is ignored —
@@ -1096,7 +1139,7 @@ impl<F: Fabric> Pipeline<F> {
         }
         self.incoming = Some(IncomingTransfer {
             peer: from,
-            manifest,
+            manifest: manifest.to_owned(),
             inflight: std::collections::HashSet::new(),
             stalled_ticks: 0,
         });
@@ -1108,8 +1151,10 @@ impl<F: Fabric> Pipeline<F> {
     }
 
     /// Verifies one arriving chunk against the chain's state root and
-    /// journals it; installs when the set completes.
-    fn apply_chunk(&mut self, from: ReplicaId, chunk: ChunkTransfer) {
+    /// journals it; installs when the set completes. The chunk bytes
+    /// stay borrowed through decode and every Merkle check — they are
+    /// copied exactly once, into the journal, and only after proving.
+    fn apply_chunk(&mut self, from: ReplicaId, chunk: &ChunkTransferRef<'_>) {
         if self.poisoned {
             return;
         }
@@ -1132,7 +1177,7 @@ impl<F: Fabric> Pipeline<F> {
         // is journaled — let alone installed — unless every bucket of
         // the chunk proves membership at its exact leaf index.
         let ok = (|| {
-            let sc = StateChunk::decode(&chunk.chunk)?;
+            let sc = StateChunk::decode(chunk.chunk)?;
             if sc.first_bucket != info.first_bucket || sc.buckets.len() != info.buckets as usize {
                 return None;
             }
@@ -1159,7 +1204,12 @@ impl<F: Fabric> Pipeline<F> {
             return;
         }
         t.stalled_ticks = 0;
-        if self.journal.put_chunk(chunk.index, chunk.chunk).is_err() {
+        // Storage boundary: the journal blob outlives the frame.
+        if self
+            .journal
+            .put_chunk(chunk.index, chunk.chunk.to_vec())
+            .is_err()
+        {
             return; // journal I/O failure: the tick will re-request
         }
         if self.journal.is_complete() {
@@ -1239,28 +1289,26 @@ impl<F: Fabric> Pipeline<F> {
         self.note_peer_head(t.peer, t.manifest.peer_height, true);
     }
 
-    /// The runtime's periodic tick. Serving side (any mode): age out a
-    /// frozen outgoing snapshot no requester has touched for
+    /// The runtime's periodic tick. Serving side (any mode): age out
+    /// frozen outgoing snapshot slots no requester has touched for
     /// [`OUTGOING_SNAPSHOT_IDLE_TICKS`] ticks — a receiver that
     /// vanished mid-transfer must not pin a full state copy until the
-    /// next serve. Requesting side (while behind): re-request missing
-    /// chunks of a live transfer (rotating the serving peer when it
-    /// stalls), or re-issue the catch-up request to the next peer.
+    /// next serve. Each slot ages independently: one active transfer
+    /// must not keep an abandoned one alive. Requesting side (while
+    /// behind): re-request missing chunks of a live transfer (rotating
+    /// the serving peer when it stalls), or re-issue the catch-up
+    /// request to the next peer.
     fn on_tick(&mut self) {
-        if self.outgoing.is_some() {
-            self.outgoing_idle_ticks += 1;
-            if self.outgoing_idle_ticks > OUTGOING_SNAPSHOT_IDLE_TICKS {
-                // The requester went quiet for the whole window: drop
-                // the frozen copy. If it comes back it re-manifests
-                // (its own tick re-requests on silence), and the
-                // journal on its side keeps already-verified chunks, so
-                // the restarted transfer resumes rather than restarts.
-                self.outgoing = None;
-                self.outgoing_idle_ticks = 0;
-            }
-        } else {
-            self.outgoing_idle_ticks = 0;
+        for o in &mut self.outgoing {
+            o.idle_ticks += 1;
         }
+        // A requester that went quiet for the whole window dropped its
+        // slot. If it comes back it re-manifests (its own tick
+        // re-requests on silence), and the journal on its side keeps
+        // already-verified chunks, so the restarted transfer resumes
+        // rather than restarts.
+        self.outgoing
+            .retain(|o| o.idle_ticks <= OUTGOING_SNAPSHOT_IDLE_TICKS);
         if !matches!(self.mode, Mode::CatchingUp { .. }) {
             return;
         }
@@ -1397,7 +1445,7 @@ fn sanitize_cert(
 /// batch envelope is gone; what matters downstream is the batch
 /// identity, digest, payload, and the (re-verified) commit certificate
 /// the block carried.
-fn commit_info_of(cb: CatchUpBlock) -> CommitInfo {
+fn commit_info_of(cb: &CatchUpBlockRef<'_>) -> CommitInfo {
     CommitInfo {
         instance: cb.block.proof.instance,
         view: cb.block.proof.view,
@@ -1407,8 +1455,8 @@ fn commit_info_of(cb: CatchUpBlock) -> CommitInfo {
             phase: cb.block.proof.phase,
             voted: cb.block.proof.voted,
             slot: cb.block.proof.slot,
-            signers: cb.block.proof.signers,
-            sigs: cb.block.proof.sigs,
+            signers: cb.block.proof.signers.clone(),
+            sigs: cb.block.proof.sigs.clone(),
         },
         batch: ClientBatch {
             id: cb.block.batch_id,
@@ -1417,7 +1465,9 @@ fn commit_info_of(cb: CatchUpBlock) -> CommitInfo {
             txns: cb.block.txns,
             txn_size: 0,
             created_at: SimTime::ZERO,
-            payload: cb.payload,
+            // Storage boundary: the commit log's entry outlives the
+            // received frame.
+            payload: cb.payload.to_vec(),
         },
     }
 }
@@ -1514,20 +1564,19 @@ mod tests {
         let mut p = synced_pipeline();
         p.flush(vec![commit_info(1), commit_info(2)]);
         assert_eq!(p.kv_height, 2, "both commits executed");
-        // A manifest request freezes the outgoing snapshot…
+        // A manifest request freezes an outgoing snapshot slot…
         assert!(p.build_manifest().is_some());
-        assert!(p.outgoing.is_some());
+        assert!(!p.outgoing.is_empty());
         // …and a requester that vanishes leaves it untouched: the tick
         // keeps it for the whole idle window, then releases it.
         for _ in 0..OUTGOING_SNAPSHOT_IDLE_TICKS {
             p.on_tick();
         }
-        assert!(p.outgoing.is_some(), "still within the idle window");
+        assert!(!p.outgoing.is_empty(), "still within the idle window");
         p.on_tick();
-        assert!(p.outgoing.is_none(), "one tick past the window releases");
-        assert_eq!(
-            p.outgoing_idle_ticks, 0,
-            "counter rearmed for the next serve"
+        assert!(
+            p.outgoing.is_empty(),
+            "one tick past the window releases the slot"
         );
     }
 
@@ -1542,12 +1591,63 @@ mod tests {
             }
             // One fetch against the served height resets the clock.
             p.serve_chunk(ReplicaId(2), m.height, 0);
-            assert!(p.outgoing.is_some(), "round {round}: fetch keeps it alive");
+            assert!(
+                !p.outgoing.is_empty(),
+                "round {round}: fetch keeps it alive"
+            );
         }
         // A requester that finished (catch-up request at or above the
-        // snapshot height) releases the cache immediately, tick or not.
+        // snapshot height) does NOT release the slot — another peer may
+        // still be mid-fetch on the same frozen height. Only the idle
+        // age-out frees it.
         p.serve_catchup(ReplicaId(2), m.height);
-        assert!(p.outgoing.is_none());
+        assert!(
+            !p.outgoing.is_empty(),
+            "a finished requester leaves the slot for concurrent peers"
+        );
+        for _ in 0..=OUTGOING_SNAPSHOT_IDLE_TICKS {
+            p.on_tick();
+        }
+        assert!(p.outgoing.is_empty(), "idle age-out is the sole release");
+    }
+
+    #[test]
+    fn two_recovering_peers_hold_independent_snapshot_slots() {
+        let mut p = synced_pipeline();
+        p.flush(vec![commit_info(1)]);
+        let first = p.build_manifest().expect("first slot freezes");
+        assert_eq!(first.height, 1);
+        // The chain advances while peer A is mid-fetch; peer B arrives
+        // and must get its own frozen slot, not evict A's.
+        p.flush(vec![commit_info(2)]);
+        let second = p.build_manifest().expect("second slot freezes");
+        assert_eq!(second.height, 2);
+        assert_eq!(p.outgoing.len(), 2, "both transfers frozen concurrently");
+        // Re-requesting a manifest for the older in-flight height
+        // serves the already-frozen slot — same content, no rebuild.
+        p.flush(vec![commit_info(3)]);
+        assert_eq!(p.outgoing.len(), 2);
+        assert!(p.outgoing.iter().any(|o| o.height == first.height));
+        // Chunk fetches against either height keep that slot alive
+        // while the other ages independently.
+        for _ in 0..=OUTGOING_SNAPSHOT_IDLE_TICKS {
+            p.on_tick();
+            p.serve_chunk(ReplicaId(2), second.height, 0);
+        }
+        assert_eq!(p.outgoing.len(), 1, "idle slot aged out alone");
+        assert_eq!(p.outgoing[0].height, second.height);
+        // A third height with both slots busy evicts the idlest.
+        let third = p.build_manifest().expect("third slot freezes");
+        assert_eq!(third.height, 3);
+        p.outgoing[0].idle_ticks = 5; // mark one slot idler
+        let idle_height = p.outgoing[0].height;
+        p.flush(vec![commit_info(4)]);
+        assert!(p.build_manifest().is_some());
+        assert_eq!(p.outgoing.len(), OUTGOING_SNAPSHOT_SLOTS);
+        assert!(
+            p.outgoing.iter().all(|o| o.height != idle_height),
+            "the idlest slot was the one evicted"
+        );
     }
 
     #[test]
@@ -1613,9 +1713,9 @@ mod tests {
             signed_commit_info(2, empty_digest, &[0, 1, 2]),
         ]);
         assert_eq!(peer.store.ledger().height(), 2);
-        let cb = |h: u64| CatchUpBlock {
+        let cb = |h: u64| CatchUpBlockRef {
             block: peer.store.ledger().block(h).expect("peer holds it").clone(),
-            payload: Vec::new(),
+            payload: b"",
         };
         let mut victim = synced_pipeline();
         victim.mode = Mode::CatchingUp {
@@ -1631,7 +1731,7 @@ mod tests {
             forged.block.verify_hash(),
             "hash check alone cannot catch evidence tampering"
         );
-        victim.apply_catchup(ReplicaId(1), 2, vec![cb(0), forged]);
+        victim.apply_catchup(ReplicaId(1), 2, &[cb(0), forged]);
         assert_eq!(
             victim.store.ledger().height(),
             1,
@@ -1640,7 +1740,7 @@ mod tests {
         assert!(!victim.poisoned, "a bad peer frame is not a local fault");
         // An honest peer then serves the same block with its genuine
         // certificate, and replay completes.
-        victim.apply_catchup(ReplicaId(2), 2, vec![cb(1)]);
+        victim.apply_catchup(ReplicaId(2), 2, &[cb(1)]);
         assert_eq!(victim.store.ledger().height(), 2);
         assert_eq!(victim.kv_height, 2);
     }

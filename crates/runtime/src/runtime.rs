@@ -30,7 +30,7 @@
 //! `tests/transport_e2e.rs` (facade crate) for the end-to-end
 //! crash–restart and pruned-history recovery proofs.
 
-use crate::envelope::{decode, encode_protocol, Envelope, WireMsg};
+use crate::envelope::{decode_protocol_body, encode_protocol, payload_tag, Envelope, TAG_PROTOCOL};
 use crate::fabric::{Fabric, MeteredFabric};
 use crate::observe::{CommitLog, Inform, NetStats};
 use crate::pipeline::{Pipeline, PipelineCmd};
@@ -103,6 +103,13 @@ pub struct RuntimeConfig {
     /// Crash-faulty deployment: consume inputs, emit nothing (the A1
     /// behaviour at transport level).
     pub silent: bool,
+    /// Ingress verification workers: inbound envelope signatures are
+    /// batch-verified off the event-loop thread by this many dedicated
+    /// tasks (the `ingress` module), preserving per-sender FIFO
+    /// order. `0` verifies inline on the event loop (the pre-pool
+    /// behaviour — useful as a benchmark baseline and for
+    /// single-threaded debugging).
+    pub verify_pool: usize,
     /// Wire-traffic counters for this replica (payload bytes/messages
     /// by direction). A fresh set by default; share one across replicas
     /// to aggregate. Also readable later via [`ReplicaHandle::net`].
@@ -122,6 +129,7 @@ impl RuntimeConfig {
             catchup_interval: SimDuration::from_millis(150),
             chunk_budget: spotless_types::SNAPSHOT_CHUNK_BYTES,
             silent: false,
+            verify_pool: 2,
             net: NetStats::default(),
         }
     }
@@ -280,7 +288,7 @@ impl<M> Context for RuntimeCtx<'_, M> {
 }
 
 /// Internal event-loop alphabet.
-enum Event<M> {
+pub(crate) enum Event<M> {
     /// A signed envelope arrived from the fabric.
     Envelope(Envelope),
     /// Local self-delivery (broadcast includes the sender, Remark 3.1) —
@@ -404,19 +412,34 @@ impl ReplicaRuntime {
             stopped_signal.store(true, Ordering::Relaxed);
         });
 
-        // 3. Ingress forwarders: fabric envelopes and the control plane
-        //    both feed the single typed event queue.
-        let env_events = events_tx.clone();
-        let mut envelopes = envelopes;
-        let recv_net = net.clone();
-        tokio::spawn(async move {
-            while let Some(env) = envelopes.recv().await {
-                recv_net.record_recv(env.payload.len());
-                if env_events.send(Event::Envelope(env)).is_err() {
-                    break;
+        // 3. Ingress: fabric envelopes and the control plane both feed
+        //    the single typed event queue. With a verify pool, inbound
+        //    signatures are batch-checked off-thread and only verified
+        //    envelopes reach the queue; with `verify_pool == 0` (or a
+        //    silent replica, which drops everything anyway) a plain
+        //    forwarder keeps the pre-pool inline-verify path.
+        let verify_pool = if cfg.silent { 0 } else { cfg.verify_pool };
+        if verify_pool > 0 {
+            crate::ingress::spawn_verify_pool(
+                verify_pool,
+                cfg.keystore.clone(),
+                envelopes,
+                events_tx.clone(),
+                net.clone(),
+            );
+        } else {
+            let env_events = events_tx.clone();
+            let mut envelopes = envelopes;
+            let recv_net = net.clone();
+            tokio::spawn(async move {
+                while let Some(env) = envelopes.recv().await {
+                    recv_net.record_recv(env.payload.len());
+                    if env_events.send(Event::Envelope(env)).is_err() {
+                        break;
+                    }
                 }
-            }
-        });
+            });
+        }
         let ctl_events = events_tx.clone();
         tokio::spawn(async move {
             while let Some(msg) = control_rx.recv().await {
@@ -444,6 +467,8 @@ impl ReplicaRuntime {
             catchup_interval: cfg.catchup_interval,
             start: Instant::now(),
             silent: cfg.silent,
+            verify_ingress: verify_pool == 0,
+            net: net.clone(),
             vote_cache: HashMap::new(),
         };
         tokio::spawn(event_loop.run(events_rx));
@@ -471,6 +496,11 @@ struct EventLoop<N: Node, F: Fabric> {
     catchup_interval: SimDuration,
     start: Instant,
     silent: bool,
+    /// Whether this loop still verifies envelope signatures inline
+    /// (`verify_pool == 0`); with the ingress pool active, envelopes
+    /// arrive pre-verified and the loop never touches a signature.
+    verify_ingress: bool,
+    net: NetStats,
     /// Memo of verified votes shared across steps (see [`VoteCacheKey`]).
     vote_cache: HashMap<VoteCacheKey, bool>,
 }
@@ -527,71 +557,44 @@ where
             }
             match ev {
                 Event::Envelope(env) => {
-                    if env.verify(&self.keystore).is_err() {
+                    // With the ingress pool active the signature was
+                    // already batch-verified off-thread; only the
+                    // `verify_pool == 0` baseline pays it here.
+                    if self.verify_ingress && env.verify(&self.keystore).is_err() {
+                        self.net.record_rejected(env.payload.len());
                         continue;
                     }
-                    match decode::<N::Message>(&env.payload) {
-                        Some(WireMsg::Protocol(msg)) if started => {
+                    // Route by the two-byte header alone — the loop
+                    // never parses a transfer body. Protocol messages
+                    // (the hot path) decode borrowed off the shared
+                    // payload buffer; the whole transfer family ships
+                    // to the pipeline as raw verified bytes and is
+                    // decoded borrowed *there*, off this thread.
+                    match payload_tag(&env.payload) {
+                        Some(TAG_PROTOCOL) if started => {
+                            let Some(msg) = decode_protocol_body::<N::Message>(&env.payload[2..])
+                            else {
+                                continue; // malformed body: drop
+                            };
                             self.step(Input::Deliver {
                                 from: env.from.into(),
                                 msg,
                             })
                             .await;
                         }
-                        Some(WireMsg::CatchUpReq { from_height }) => {
-                            let _ = self
-                                .pipeline_tx
-                                .send(PipelineCmd::Serve {
-                                    to: env.from,
-                                    from_height,
-                                })
-                                .await;
-                        }
-                        Some(WireMsg::CatchUpResp {
-                            peer_height,
-                            blocks,
-                        }) => {
-                            let _ = self
-                                .pipeline_tx
-                                .send(PipelineCmd::Apply {
-                                    from: env.from,
-                                    peer_height,
-                                    blocks,
-                                })
-                                .await;
-                        }
-                        Some(WireMsg::Manifest(manifest)) => {
-                            let _ = self
-                                .pipeline_tx
-                                .send(PipelineCmd::ApplyManifest {
-                                    from: env.from,
-                                    manifest,
-                                })
-                                .await;
-                        }
-                        Some(WireMsg::ChunkReq { height, index }) => {
-                            let _ = self
-                                .pipeline_tx
-                                .send(PipelineCmd::ServeChunk {
-                                    to: env.from,
-                                    height,
-                                    index,
-                                })
-                                .await;
-                        }
-                        Some(WireMsg::Chunk(chunk)) => {
-                            let _ = self
-                                .pipeline_tx
-                                .send(PipelineCmd::ApplyChunk {
-                                    from: env.from,
-                                    chunk,
-                                })
-                                .await;
-                        }
                         // Protocol traffic before the node starts is
                         // dropped (retransmission recovers it); anything
                         // malformed likewise.
-                        Some(WireMsg::Protocol(_)) | None => {}
+                        Some(TAG_PROTOCOL) | None => {}
+                        Some(_) => {
+                            let _ = self
+                                .pipeline_tx
+                                .send(PipelineCmd::Transfer {
+                                    from: env.from,
+                                    payload: env.payload,
+                                })
+                                .await;
+                        }
                     }
                 }
                 Event::Loopback(msg) => {

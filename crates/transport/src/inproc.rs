@@ -10,9 +10,10 @@
 //! [`InProcCluster::spawn`] convenience builds the SpotLess cluster the
 //! `quickstart` and `byzantine_recovery` examples use.
 //!
-//! Envelopes carry the documented simulation-grade keyed-hash
-//! signatures (see `spotless-crypto`'s `signing` module), applied and
-//! checked by the runtime on every hop.
+//! Envelopes carry real Ed25519 signatures (see `spotless-crypto`'s
+//! `signing` module), applied by the sending runtime and batch-checked
+//! by the receiving runtime's ingress verification stage on every hop
+//! — the fabric itself moves bytes and never touches a key.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -178,6 +179,13 @@ impl InProcCluster {
     /// Handle of replica `r` (current incarnation).
     pub fn handle(&self, r: ReplicaId) -> ReplicaHandle {
         self.handles.lock()[r.as_usize()].clone()
+    }
+
+    /// The cluster's shared fabric. Tests use this to inject envelopes
+    /// from *outside* the cluster — e.g. flooding a replica's ingress
+    /// with forged signatures to exercise the verification stage.
+    pub fn fabric(&self) -> &InProcFabric {
+        &self.fabric
     }
 
     /// Stops replica `r`'s current incarnation (its durable state, if

@@ -14,12 +14,11 @@
 //! * [`tcp`] — socket fabric: each replica a network endpoint
 //!   exchanging length-prefixed signed frames.
 //!
-//! Envelope signatures are the documented **simulation-grade keyed-hash
-//! scheme** from `spotless-crypto` (see `crypto/src/signing.rs`: an
-//! Ed25519-shaped API whose signatures any public-key holder could
-//! forge — fine for tests and demos, not a real Byzantine network
-//! adversary; swapping `ed25519-dalek` in restores that without
-//! touching this crate).
+//! Envelope signatures are real Ed25519 (see `spotless-crypto`'s
+//! `signing` module): every frame a fabric moves is individually
+//! signed, and the receiving runtime's ingress verification stage
+//! batch-checks them before they reach the event loop — fabrics stay
+//! byte movers with no crypto of their own.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,4 +28,4 @@ pub mod tcp;
 
 pub use inproc::{CommittedEntry, InProcCluster, InProcFabric};
 pub use spotless_runtime::{ClusterClient, CommitLog};
-pub use tcp::{DeployError, Frame, FrameError, TcpCluster, TcpFabric};
+pub use tcp::{DeployError, FrameError, FrameRef, TcpCluster, TcpFabric};

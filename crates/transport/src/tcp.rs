@@ -3,10 +3,10 @@
 //!
 //! Like the in-process module, this is a **fabric only**: it moves
 //! [`Envelope`]s between endpoints and nothing else. The protocol,
-//! signature checks (the simulation-grade keyed-hash scheme documented
-//! in `spotless-crypto`'s `signing` module), execution, and durability
-//! all live in `spotless-runtime` — swapping channels for sockets is
-//! exactly the freedom the sans-IO design buys.
+//! signature checks (real Ed25519, batch-verified by the runtime's
+//! ingress stage), execution, and durability all live in
+//! `spotless-runtime` — swapping channels for sockets is exactly the
+//! freedom the sans-IO design buys.
 //!
 //! Each endpoint binds a listener and keeps one lazily-dialed outbound
 //! connection per peer, owned by a dedicated sender task so the
@@ -37,16 +37,58 @@ use tokio::io::{AsyncReadExt as _, AsyncWriteExt as _};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
 
-/// A signed wire frame.
-#[derive(Serialize, Deserialize)]
-pub struct Frame {
+/// A signed wire frame, borrowing its variable-length fields.
+///
+/// The codec is zero-copy on both sides of the socket: the sender
+/// encodes straight out of the envelope's `Arc`-shared payload (no
+/// per-frame signature or payload copy), and the receiver decodes
+/// views into its reusable read buffer, copying the payload exactly
+/// once — into the `Arc` the rest of the stack shares.
+///
+/// Wire layout (after the 4-byte big-endian length prefix):
+/// `varint(from) ‖ varint(len) + payload ‖ varint(64) + sig` — byte
+/// identical to what the derived `serde::bin` codec produced for the
+/// owning struct this replaces, so mixed-version clusters interoperate.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FrameRef<'a> {
     /// The sending replica.
     pub from: u32,
-    /// Serialized (tagged) runtime payload. `Arc`-shared so a broadcast
-    /// envelope is not copied per peer before hitting the socket.
-    pub payload: Arc<Vec<u8>>,
+    /// Serialized (tagged) runtime payload.
+    pub payload: &'a [u8],
     /// Signature over `payload` by `from` (64 bytes).
-    pub sig: Vec<u8>,
+    pub sig: &'a [u8; SIGNATURE_LEN],
+}
+
+/// Encodes `frame` as one length-prefixed wire frame into `out`
+/// (cleared first — pass the connection's reusable buffer). Fails only
+/// when the frame exceeds [`SIMPLE_FRAME_LIMIT`].
+pub fn encode_frame(frame: &FrameRef<'_>, out: &mut Vec<u8>) -> Result<(), FrameError> {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]); // length prefix, patched below
+    serde::bin::write_varint(u64::from(frame.from), out);
+    serde::bin::write_len(frame.payload.len(), out);
+    out.extend_from_slice(frame.payload);
+    serde::bin::write_len(frame.sig.len(), out);
+    out.extend_from_slice(frame.sig);
+    let len = (out.len() - 4) as u64;
+    if len > SIMPLE_FRAME_LIMIT {
+        return Err(FrameError::TooLarge(len));
+    }
+    out[..4].copy_from_slice(&(len as u32).to_be_bytes());
+    Ok(())
+}
+
+/// Decodes one frame body (length prefix already stripped) into views
+/// over `bytes`.
+pub fn decode_frame(bytes: &[u8]) -> Result<FrameRef<'_>, FrameError> {
+    let mut r = serde::bin::Reader::new(bytes);
+    let frame = (|| {
+        let from = u32::try_from(r.varint().ok()?).ok()?;
+        let payload = r.bytes().ok()?;
+        let sig: &[u8; SIGNATURE_LEN] = r.bytes().ok()?.try_into().ok()?;
+        r.is_empty().then_some(FrameRef { from, payload, sig })
+    })();
+    frame.ok_or(FrameError::Malformed)
 }
 
 /// Frame codec errors.
@@ -78,44 +120,54 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// Writes one length-prefixed frame. Frames are encoded with the
-/// streaming binary codec (`serde::bin`) — the same backend the
-/// envelope payload inside already uses, so a frame costs a few header
-/// bytes over the payload instead of a JSON re-rendering of it. The
-/// payload's own leading `WIRE_VERSION` byte versions the whole stack:
-/// a peer on another format generation produces frames whose payloads
-/// fail that check and are dropped after signature verification.
-pub async fn write_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), FrameError> {
-    let bytes = serde::bin::to_vec(frame);
-    let len = bytes.len() as u64;
-    if len > SIMPLE_FRAME_LIMIT {
-        return Err(FrameError::TooLarge(len));
-    }
-    stream.write_all(&(len as u32).to_be_bytes()).await?;
-    stream.write_all(&bytes).await?;
+/// Writes one length-prefixed frame, staging it in `buf` (the
+/// connection's reusable write buffer — its capacity persists across
+/// frames, so steady-state sends allocate nothing). Prefix and body go
+/// out in a single `write_all`. Frames are encoded with the streaming
+/// binary codec (`serde::bin`) — the same backend the envelope payload
+/// inside already uses, so a frame costs a few header bytes over the
+/// payload instead of a JSON re-rendering of it. The payload's own
+/// leading `WIRE_VERSION` byte versions the whole stack: a peer on
+/// another format generation produces frames whose payloads fail that
+/// check and are dropped after signature verification.
+pub async fn write_frame(
+    stream: &mut TcpStream,
+    frame: &FrameRef<'_>,
+    buf: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    encode_frame(frame, buf)?;
+    stream.write_all(buf).await?;
     Ok(())
 }
 
-/// Reads one length-prefixed frame.
-pub async fn read_frame(stream: &mut TcpStream) -> Result<Frame, FrameError> {
+/// Reads one length-prefixed frame body into `buf` (the connection's
+/// reusable read buffer) and decodes it borrowed. The returned frame's
+/// payload and signature are views into `buf`; convert with
+/// [`frame_to_envelope`] before the next read.
+pub async fn read_frame<'a>(
+    stream: &mut TcpStream,
+    buf: &'a mut Vec<u8>,
+) -> Result<FrameRef<'a>, FrameError> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf).await?;
     let len = u64::from(u32::from_be_bytes(len_buf));
     if len > SIMPLE_FRAME_LIMIT {
         return Err(FrameError::TooLarge(len));
     }
-    let mut buf = vec![0u8; len as usize];
-    stream.read_exact(&mut buf).await?;
-    serde::bin::from_slice(&buf).map_err(|_| FrameError::Malformed)
+    buf.clear();
+    buf.resize(len as usize, 0);
+    stream.read_exact(buf).await?;
+    decode_frame(buf)
 }
 
-fn frame_to_envelope(frame: Frame) -> Option<Envelope> {
-    let sig: [u8; SIGNATURE_LEN] = frame.sig.try_into().ok()?;
-    Some(Envelope {
+/// Converts a received frame into the stack's shared [`Envelope`],
+/// copying the payload exactly once (into its `Arc`).
+pub fn frame_to_envelope(frame: FrameRef<'_>) -> Envelope {
+    Envelope {
         from: ReplicaId(frame.from),
-        payload: frame.payload,
-        sig: Signature(sig),
-    })
+        payload: Arc::new(frame.payload.to_vec()),
+        sig: Signature(*frame.sig),
+    }
 }
 
 /// A TCP endpoint's sending half: one queue + sender task per peer, so
@@ -162,9 +214,15 @@ impl TcpFabric {
                 }
                 let tx = inbound_tx.clone();
                 tokio::spawn(async move {
-                    while let Ok(frame) = read_frame(&mut stream).await {
-                        let Some(env) = frame_to_envelope(frame) else {
-                            continue;
+                    // One read buffer per connection, reused across
+                    // frames: steady-state receive allocates only the
+                    // payload's own `Arc`.
+                    let mut buf = Vec::new();
+                    loop {
+                        let env = match read_frame(&mut stream, &mut buf).await {
+                            Ok(frame) => frame_to_envelope(frame),
+                            Err(FrameError::Malformed) => continue,
+                            Err(_) => break,
                         };
                         if tx.send(env).is_err() {
                             break;
@@ -212,14 +270,18 @@ impl Fabric for TcpFabric {
 }
 
 /// Drains one peer's outbound queue onto its socket, dialing on demand
-/// and redialing once per frame on failure.
+/// and redialing once per frame on failure. The frame borrows the
+/// envelope's `Arc`-shared payload and signature directly — a
+/// broadcast costs zero copies per peer — and the write buffer is
+/// reused across frames.
 async fn peer_sender(me: ReplicaId, addr: String, mut rx: mpsc::UnboundedReceiver<Envelope>) {
     let mut stream: Option<TcpStream> = None;
+    let mut buf = Vec::new();
     while let Some(env) = rx.recv().await {
-        let frame = Frame {
+        let frame = FrameRef {
             from: me.0,
-            payload: env.payload,
-            sig: env.sig.0.to_vec(),
+            payload: &env.payload,
+            sig: &env.sig.0,
         };
         for _attempt in 0..2 {
             if stream.is_none() {
@@ -228,7 +290,7 @@ async fn peer_sender(me: ReplicaId, addr: String, mut rx: mpsc::UnboundedReceive
             let Some(s) = stream.as_mut() else {
                 break; // peer unreachable: drop, retransmission recovers
             };
-            match write_frame(s, &frame).await {
+            match write_frame(s, &frame, &mut buf).await {
                 Ok(()) => break,
                 Err(_) => stream = None, // redial once
             }
@@ -382,24 +444,67 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let server = tokio::spawn(async move {
             let (mut stream, _) = listener.accept().await.unwrap();
-            read_frame(&mut stream).await.unwrap()
+            let mut buf = Vec::new();
+            let frame = read_frame(&mut stream, &mut buf).await.unwrap();
+            frame_to_envelope(frame)
         });
         let mut client = TcpStream::connect(addr).await.unwrap();
-        let payload = Arc::new(spotless_runtime::envelope::encode_protocol(&sync_msg()));
+        let payload = spotless_runtime::envelope::encode_protocol(&sync_msg());
+        let mut buf = Vec::new();
         write_frame(
             &mut client,
-            &Frame {
+            &FrameRef {
                 from: 2,
-                payload: payload.clone(),
-                sig: vec![9; 64],
+                payload: &payload,
+                sig: &[9; 64],
             },
+            &mut buf,
         )
         .await
         .unwrap();
         let got = server.await.unwrap();
-        assert_eq!(got.from, 2);
-        assert_eq!(got.payload, payload);
-        assert_eq!(got.sig.len(), 64);
+        assert_eq!(got.from, ReplicaId(2));
+        assert_eq!(*got.payload, payload);
+        assert_eq!(got.sig, Signature([9; 64]));
+    }
+
+    #[tokio::test]
+    async fn borrowed_frame_codec_matches_the_derived_owning_layout() {
+        // The hand-rolled `FrameRef` codec must stay byte-identical to
+        // what the derived `serde::bin` codec produces for the
+        // equivalent owning struct — the wire format predates it.
+        #[derive(Serialize, Deserialize)]
+        struct OwnedFrame {
+            from: u32,
+            payload: Vec<u8>,
+            sig: Vec<u8>,
+        }
+        let payload: Vec<u8> = (0..300).map(|i| i as u8).collect();
+        let sig = [7u8; SIGNATURE_LEN];
+        let derived = serde::bin::to_vec(&OwnedFrame {
+            from: 77,
+            payload: payload.clone(),
+            sig: sig.to_vec(),
+        });
+        let mut ours = Vec::new();
+        encode_frame(
+            &FrameRef {
+                from: 77,
+                payload: &payload,
+                sig: &sig,
+            },
+            &mut ours,
+        )
+        .unwrap();
+        assert_eq!(&ours[4..], &derived[..], "body must match the derive");
+        let back = decode_frame(&ours[4..]).unwrap();
+        assert_eq!(back.from, 77);
+        assert_eq!(back.payload, &payload[..]);
+        assert_eq!(back.sig, &sig);
+        // Trailing bytes fail closed, like every decoder in the stack.
+        let mut padded = ours[4..].to_vec();
+        padded.push(0);
+        assert!(matches!(decode_frame(&padded), Err(FrameError::Malformed)));
     }
 
     #[tokio::test]
@@ -407,13 +512,15 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
         let addr = listener.local_addr().unwrap();
         let mut client = TcpStream::connect(addr).await.unwrap();
-        let huge = Frame {
+        let payload = vec![0; (SIMPLE_FRAME_LIMIT as usize) + 1];
+        let huge = FrameRef {
             from: 0,
-            payload: Arc::new(vec![0; (SIMPLE_FRAME_LIMIT as usize) + 1]),
-            sig: vec![],
+            payload: &payload,
+            sig: &[0; SIGNATURE_LEN],
         };
+        let mut buf = Vec::new();
         assert!(matches!(
-            write_frame(&mut client, &huge).await,
+            write_frame(&mut client, &huge, &mut buf).await,
             Err(FrameError::TooLarge(_))
         ));
     }

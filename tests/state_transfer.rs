@@ -403,6 +403,140 @@ async fn interrupted_chunked_transfer_resumes_from_journal() {
     assert_chains_equal(dirs[0].path(), dirs[3].path());
 }
 
+/// Acceptance (concurrent transfers from cached slots): two replicas
+/// recover *at the same time* from peers that pruned their history.
+/// The serving side freezes per-height outgoing snapshot slots, so the
+/// second requester is served from an already-frozen manifest instead
+/// of stalling behind (or evicting) the first transfer. Both end
+/// block-for-block and KV-equal with the cluster, and neither
+/// re-executes the pruned range.
+///
+/// The cluster is n = 7 (f = 2, quorum = 5): exactly the size where
+/// the five surviving replicas still commit while both victims are
+/// down, so the victims' range really is pruned before they return.
+#[tokio::test(flavor = "multi_thread")]
+async fn two_replicas_catch_up_concurrently_from_cached_slots() {
+    const N: usize = 7;
+    let cluster = ClusterConfig::new(N as u32);
+    assert_eq!(
+        cluster.quorum(),
+        N as u32 - 2,
+        "n=7 commits with two replicas down"
+    );
+    let dirs: Vec<tempfile::TempDir> = (0..N).map(|_| tempfile::tempdir().unwrap()).collect();
+    // Aggressive snapshot cadence so the victims' range is pruned
+    // everywhere by the time they return.
+    let storage = storage_configs(&dirs, 2);
+    let c = cluster.clone();
+    let handle = InProcCluster::spawn_with(cluster.clone(), storage, vec![false; N], move |r| {
+        SpotLessReplica::new(ReplicaConfig::honest(c.clone(), r))
+    })
+    .expect("durable inproc cluster");
+    let handles: Vec<_> = (0..N as u32).map(|r| handle.handle(ReplicaId(r))).collect();
+    wait_all_synced(&handles).await;
+
+    // Phase 1: a prefix both victims fully execute.
+    const PHASE1: u64 = 3;
+    for i in 0..PHASE1 {
+        let keys: Vec<u64> = (0..8).map(|k| i * 8 + k).collect();
+        let result = handle
+            .client
+            .submit(bulk_batch(i, &keys, 2048), ReplicaId((i % N as u64) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+    let victims = [ReplicaId(5), ReplicaId(6)];
+    wait_until("both victims execute the phase-1 batches", || {
+        let entries = handle.commits.snapshot();
+        victims.iter().all(|v| {
+            (0..PHASE1).all(|id| {
+                entries
+                    .iter()
+                    .any(|e| e.replica == *v && e.info.batch.id == BatchId(id))
+            })
+        })
+    })
+    .await;
+
+    // Phase 2: both victims go down together; the remaining five (an
+    // exact quorum) keep committing and prune past the victims' range.
+    for v in victims {
+        handle.stop(v);
+    }
+    const PHASE2: u64 = 8;
+    for i in 0..PHASE2 {
+        let id = 100 + i;
+        let keys: Vec<u64> = (0..8).map(|k| 4000 + i * 8 + k).collect();
+        let result = handle
+            .client
+            .submit(bulk_batch(id, &keys, 2048), ReplicaId((i % 5) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO, "phase-2 batch {id}");
+    }
+
+    // Phase 3: both victims return at once and race through catch-up —
+    // their peer rotation converges on shared servers, so the second
+    // manifest request for a height hits the already-frozen slot.
+    // Coarse snapshot cadence on restart so the installed snapshot
+    // stays the newest one for the post-mortem.
+    let mut restarted = Vec::new();
+    for v in victims {
+        let r = handle
+            .restart(
+                v,
+                Some({
+                    let mut s = StorageConfig::new(dirs[v.as_usize()].path());
+                    s.options.snapshot_every = 1000;
+                    s
+                }),
+                SpotLessReplica::new(ReplicaConfig::honest(cluster.clone(), v)),
+            )
+            .await
+            .expect("restart victim");
+        restarted.push(r);
+    }
+    wait_all_synced(&restarted).await;
+
+    // Fresh traffic executes on both restored states; matching state
+    // digests prove both transfers restored the KV store exactly.
+    for i in 0..3u64 {
+        let result = handle
+            .client
+            .submit(bulk_batch(500 + i, &[9000 + i], 64), ReplicaId(0))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+    wait_until("both victims execute post-recovery batches", || {
+        let entries = handle.commits.snapshot();
+        victims.iter().all(|v| {
+            (500..503u64).all(|id| {
+                entries
+                    .iter()
+                    .any(|e| e.replica == *v && e.info.batch.id == BatchId(id))
+            })
+        })
+    })
+    .await;
+    let entries = handle.commits.snapshot();
+    assert_no_divergence(&entries);
+    // Snapshot-path signature: the pruned range was installed, never
+    // re-executed — by either victim.
+    for v in victims {
+        assert!(
+            (100..100 + PHASE2).all(|id| {
+                !entries
+                    .iter()
+                    .any(|e| e.replica == v && e.info.batch.id == BatchId(id))
+            }),
+            "{v:?} must have skipped the pruned range via snapshot, not replayed it"
+        );
+    }
+    handle.shutdown().await;
+
+    assert_chains_equal(dirs[0].path(), dirs[5].path());
+    assert_chains_equal(dirs[0].path(), dirs[6].path());
+}
+
 /// Polls `cond` (about thirty seconds at most) instead of sleeping a
 /// fixed worst case.
 async fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {

@@ -15,8 +15,8 @@ use spotless::core::messages::{Justification, Message, Proposal, ProposalRef, Sy
 use spotless::crypto::ProofStep;
 use spotless::ledger::{Block, CommitProof, Ledger};
 use spotless::runtime::envelope::{
-    decode, encode_catchup_manifest, encode_catchup_req, encode_catchup_resp, encode_chunk,
-    encode_chunk_req, encode_protocol, TAG_CATCHUP_CHUNK, TAG_CATCHUP_CHUNK_REQ,
+    decode, decode_ref, encode_catchup_manifest, encode_catchup_req, encode_catchup_resp,
+    encode_chunk, encode_chunk_req, encode_protocol, TAG_CATCHUP_CHUNK, TAG_CATCHUP_CHUNK_REQ,
     TAG_CATCHUP_MANIFEST, TAG_CATCHUP_REQ, TAG_CATCHUP_RESP, TAG_PROTOCOL,
 };
 use spotless::runtime::{CatchUpBlock, ChunkInfo, ChunkTransfer, TransferManifest, WireMsg};
@@ -394,8 +394,121 @@ fn block_chains() -> impl Strategy<Value = Vec<(Block, Vec<u8>)>> {
     })
 }
 
+/// Encoded payloads covering every `WireMsg` shape — the input space
+/// over which the borrowing and owning decoders must agree.
+fn wire_payloads() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        messages().prop_map(|m| encode_protocol(&m)),
+        any::<u64>().prop_map(encode_catchup_req),
+        (any::<u64>(), block_chains()).prop_map(|(ph, chain)| {
+            let blocks: Vec<CatchUpBlock> = chain
+                .into_iter()
+                .map(|(block, payload)| CatchUpBlock { block, payload })
+                .collect();
+            encode_catchup_resp(ph, &blocks)
+        }),
+        (
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..64),
+            proof_steps(),
+        )
+            .prop_map(|(height, app_meta, meta_proof)| {
+                let mut m = sample_manifest();
+                m.height = height;
+                m.app_meta = app_meta;
+                m.meta_proof = meta_proof;
+                encode_catchup_manifest(&m)
+            }),
+        (any::<u64>(), any::<u32>()).prop_map(|(h, i)| encode_chunk_req(h, i)),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..128),
+            prop::collection::vec(proof_steps(), 0..3),
+        )
+            .prop_map(|(height, index, chunk, proofs)| {
+                encode_chunk(&ChunkTransfer {
+                    height,
+                    index,
+                    chunk,
+                    proofs,
+                })
+            }),
+    ]
+}
+
+/// Value equality for decoded wire messages. Transfer variants derive
+/// `PartialEq`; protocol messages don't, so byte-stable re-encoding is
+/// the equality proxy (the binary codec is injective by construction).
+fn wire_eq(a: &WireMsg<Message>, b: &WireMsg<Message>) -> bool {
+    match (a, b) {
+        (WireMsg::Protocol(x), WireMsg::Protocol(y)) => {
+            serde::bin::to_vec(x) == serde::bin::to_vec(y)
+        }
+        (WireMsg::CatchUpReq { from_height: x }, WireMsg::CatchUpReq { from_height: y }) => x == y,
+        (
+            WireMsg::CatchUpResp {
+                peer_height: ph,
+                blocks: bs,
+            },
+            WireMsg::CatchUpResp {
+                peer_height: qh,
+                blocks: cs,
+            },
+        ) => ph == qh && bs == cs,
+        (WireMsg::Manifest(x), WireMsg::Manifest(y)) => x == y,
+        (
+            WireMsg::ChunkReq {
+                height: h,
+                index: i,
+            },
+            WireMsg::ChunkReq {
+                height: g,
+                index: j,
+            },
+        ) => h == g && i == j,
+        (WireMsg::Chunk(x), WireMsg::Chunk(y)) => x == y,
+        _ => false,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The borrowing decoder (`decode_ref`, implemented independently
+    /// of `decode`) accepts exactly the same payloads as the owning
+    /// decoder and produces the same values — on every `WireMsg`
+    /// shape, and still under truncation and single-byte corruption
+    /// (where both must fail closed together).
+    #[test]
+    fn borrowing_decoder_matches_owning_on_all_shapes(
+        payload in wire_payloads(),
+        flip_pos in any::<usize>(),
+        flip_val in any::<u8>(),
+    ) {
+        let check = |bytes: &[u8]| -> Result<(), TestCaseError> {
+            let owned = decode::<Message>(bytes);
+            let borrowed = decode_ref(bytes).and_then(|r| r.to_owned_msg::<Message>());
+            match (&owned, &borrowed) {
+                (Some(a), Some(b)) => prop_assert!(wire_eq(a, b), "decoders disagree on value"),
+                (None, None) => {}
+                _ => return Err(TestCaseError::fail(format!(
+                    "decoders disagree on acceptance: owned={} borrowed={}",
+                    owned.is_some(),
+                    borrowed.is_some(),
+                ))),
+            }
+            Ok(())
+        };
+        check(&payload)?;
+        for cut in [payload.len() / 2, payload.len().saturating_sub(1)] {
+            check(&payload[..cut])?;
+        }
+        let mut mutated = payload.clone();
+        let pos = flip_pos % mutated.len();
+        mutated[pos] ^= flip_val | 1; // always flips at least one bit
+        check(&mutated)?;
+    }
 
     /// Binary ↔ struct ↔ JSON triangle for protocol messages: both
     /// backends round-trip, and a value that traveled through one
