@@ -20,9 +20,10 @@
 //! `SPOTLESS_FULL=1` scales the store up an order of magnitude.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spotless_crypto::{proof_index, verify_inclusion};
 use spotless_types::SNAPSHOT_CHUNK_BYTES;
-use spotless_workload::{bucket_leaf_digest, KvStore, StateChunk, WorkloadGen, YcsbConfig};
+use spotless_workload::{
+    shard_of_bucket, verify_bucket, KvStore, StateChunk, WorkloadGen, YcsbConfig,
+};
 use std::hint::black_box;
 
 fn records() -> u64 {
@@ -64,11 +65,12 @@ fn bench_transfer(c: &mut Criterion) {
 
     c.bench_function("snapshot_chunked_encode", |b| {
         b.iter(|| {
-            let tree = store.state_merkle();
+            let prover = store.state_prover();
             let mut frames = 0usize;
             for chunk in store.to_chunks(budget) {
+                black_box(prover.prove_shard(shard_of_bucket(chunk.first_bucket as usize)));
                 for off in 0..chunk.buckets.len() {
-                    black_box(tree.prove(chunk.first_bucket as usize + off));
+                    black_box(prover.prove_bucket(chunk.first_bucket as usize + off));
                 }
                 black_box(chunk.encode());
                 frames += 1;
@@ -79,13 +81,21 @@ fn bench_transfer(c: &mut Criterion) {
 
     // Pre-build the wire artifacts once; the bench measures the
     // receiver.
-    let tree = store.state_merkle();
-    let chunks: Vec<(Vec<u8>, Vec<Vec<spotless_crypto::ProofStep>>)> = store
+    type Proofs = Vec<(
+        Vec<spotless_crypto::ProofStep>,
+        Vec<spotless_crypto::ProofStep>,
+    )>;
+    let prover = store.state_prover();
+    let chunks: Vec<(Vec<u8>, Proofs)> = store
         .to_chunks(budget)
         .into_iter()
         .map(|chunk| {
             let proofs = (0..chunk.buckets.len())
-                .map(|off| tree.prove(chunk.first_bucket as usize + off).unwrap())
+                .map(|off| {
+                    prover
+                        .prove_bucket(chunk.first_bucket as usize + off)
+                        .unwrap()
+                })
                 .collect();
             (chunk.encode(), proofs)
         })
@@ -96,10 +106,11 @@ fn bench_transfer(c: &mut Criterion) {
             let mut decoded = Vec::with_capacity(chunks.len());
             for (bytes, proofs) in &chunks {
                 let chunk = StateChunk::decode(black_box(bytes)).expect("decodes");
-                for (off, (bucket, proof)) in chunk.buckets.iter().zip(proofs).enumerate() {
-                    let leaf = bucket_leaf_digest(bucket);
-                    assert_eq!(proof_index(proof), chunk.first_bucket as usize + off);
-                    assert!(verify_inclusion(&leaf.0, proof, &root));
+                for (off, (bucket, (shard_proof, top_proof))) in
+                    chunk.buckets.iter().zip(proofs).enumerate()
+                {
+                    let b = chunk.first_bucket as usize + off;
+                    assert!(verify_bucket(b, bucket, shard_proof, top_proof, &root));
                 }
                 decoded.push(chunk);
             }

@@ -319,6 +319,7 @@ fn zero_copy_decode() {
             index: 3,
             chunk: vec![0xA5; 16 * 1024],
             proofs: vec![],
+            top_proof: vec![],
         }),
     );
 }

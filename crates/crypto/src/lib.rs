@@ -30,7 +30,9 @@ pub mod signing;
 
 pub use digest::{digest_bytes, digest_chained, digest_fields};
 pub use hmac::{hmac_sha256, MacKey, TAG_LEN};
-pub use merkle::{proof_index, verify_inclusion, MerkleTree, ProofStep, MAX_PROOF_DEPTH};
+pub use merkle::{
+    fold_proof, leaf_digest, proof_index, verify_inclusion, MerkleTree, ProofStep, MAX_PROOF_DEPTH,
+};
 pub use sha256::Sha256;
 pub use signing::{BatchVerifier, KeyStore, Keypair, PublicKey, VerifyError, SIGNATURE_LEN};
 pub use spotless_types::Signature;

@@ -136,10 +136,22 @@ pub fn proof_index(proof: &[ProofStep]) -> usize {
     index
 }
 
-/// Verifies an inclusion proof: does `item` at some position hash up to
-/// `root` through `proof`?
-pub fn verify_inclusion(item: &[u8], proof: &[ProofStep], root: &Digest) -> bool {
-    let mut acc = leaf_hash(item);
+/// The domain-separated leaf digest of an item — the value a proof
+/// folds up from. Exposed so multi-level verifiers (a shard tree whose
+/// roots are themselves leaves of a top tree) can compose proofs with
+/// [`fold_proof`]; plain single-tree checks should keep calling
+/// [`verify_inclusion`].
+pub fn leaf_digest(item: &[u8]) -> Digest {
+    leaf_hash(item)
+}
+
+/// Folds a digest up through a proof's steps, returning the root the
+/// proof implies. `start` must already be a leaf digest
+/// ([`leaf_digest`]) or an interior node — folding raw item bytes here
+/// would reintroduce the leaf/interior confusion the domains exist to
+/// prevent.
+pub fn fold_proof(start: Digest, proof: &[ProofStep]) -> Digest {
+    let mut acc = start;
     for step in proof {
         acc = if step.sibling_on_right {
             node_hash(&acc, &step.sibling)
@@ -147,7 +159,13 @@ pub fn verify_inclusion(item: &[u8], proof: &[ProofStep], root: &Digest) -> bool
             node_hash(&step.sibling, &acc)
         };
     }
-    acc == *root
+    acc
+}
+
+/// Verifies an inclusion proof: does `item` at some position hash up to
+/// `root` through `proof`?
+pub fn verify_inclusion(item: &[u8], proof: &[ProofStep], root: &Digest) -> bool {
+    fold_proof(leaf_hash(item), proof) == *root
 }
 
 #[cfg(test)]
@@ -229,6 +247,40 @@ mod tests {
         assert!(tree.is_empty());
         assert_eq!(tree.root(), Digest::ZERO);
         assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn two_level_proofs_compose_via_fold() {
+        // A bottom tree per group, a top tree over the group roots:
+        // folding a leaf through its bottom proof must yield exactly
+        // the digest whose top-tree inclusion proof verifies — and a
+        // naive verify_inclusion of the composed chain must NOT (the
+        // top tree re-applies the leaf domain to the sub-root bytes).
+        let groups: Vec<Vec<Vec<u8>>> = (0..4)
+            .map(|g| {
+                (0..5)
+                    .map(|i| format!("g{g}-item{i}").into_bytes())
+                    .collect()
+            })
+            .collect();
+        let bottoms: Vec<MerkleTree> = groups.iter().map(|g| MerkleTree::build(g)).collect();
+        let top_leaves: Vec<Vec<u8>> = bottoms.iter().map(|t| t.root().0.to_vec()).collect();
+        let top = MerkleTree::build(&top_leaves);
+        for (g, group) in groups.iter().enumerate() {
+            let top_proof = top.prove(g).expect("group in range");
+            assert_eq!(proof_index(&top_proof), g);
+            for (i, item) in group.iter().enumerate() {
+                let bottom_proof = bottoms[g].prove(i).expect("item in range");
+                let sub_root = fold_proof(leaf_digest(item), &bottom_proof);
+                assert_eq!(sub_root, bottoms[g].root());
+                assert!(verify_inclusion(&sub_root.0, &top_proof, &top.root()));
+                // Concatenated steps through one verify_inclusion call
+                // must fail: levels are domain-separated on purpose.
+                let mut joined = bottom_proof.clone();
+                joined.extend_from_slice(&top_proof);
+                assert!(!verify_inclusion(item, &joined, &top.root()));
+            }
+        }
     }
 
     #[test]

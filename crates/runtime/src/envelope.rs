@@ -69,14 +69,16 @@ use spotless_ledger::Block;
 use spotless_types::{BatchId, Digest, ReplicaId};
 use std::sync::Arc;
 
-/// Leading byte of every payload: binary codec, wire revision 3 (the
-/// commit proof gained its vote statement — voted digest and slot —
-/// plus one 64-byte Ed25519 signature per signer). Chosen outside the
-/// tag range so v1 payloads (which started with their tag byte) and
-/// later payloads can never be confused — either side drops the
-/// other's frames unread. Bump on any layout change; mixed-version
-/// clusters then fail closed instead of misinterpreting each other.
-pub const WIRE_VERSION: u8 = 0xB3;
+/// Leading byte of every payload: binary codec, wire revision 4 (the
+/// state tree became two-level — sharded sub-roots under a top tree —
+/// so chunk transfers carry a shard-level proof per bucket plus one
+/// shared top proof, and chunk descriptors gained fragment fields for
+/// splitting oversized buckets across frames). Chosen outside the tag
+/// range so v1 payloads (which started with their tag byte) and later
+/// payloads can never be confused — either side drops the other's
+/// frames unread. Bump on any layout change; mixed-version clusters
+/// then fail closed instead of misinterpreting each other.
+pub const WIRE_VERSION: u8 = 0xB4;
 
 // The fail-closed argument above requires the version byte to be
 // unmistakable for any tag of the previous (tag-first) generation.
@@ -96,14 +98,134 @@ pub const TAG_CATCHUP_CHUNK_REQ: u8 = 4;
 /// Tag byte: one state chunk with its inclusion proofs.
 pub const TAG_CATCHUP_CHUNK: u8 = 5;
 
+/// Free inbound frame buffers retained per connection (bounds the
+/// memory an idle pool pins; beyond this, returned buffers are freed).
+const BUFFER_POOL_MAX: usize = 32;
+
+/// A recycling pool for inbound frame buffers. A transport takes a
+/// buffer per frame, reads the frame into it, and hands it to
+/// [`Payload::pooled`]; when the last [`Payload`] viewing the buffer
+/// drops — after verification, decode, and any pipeline hand-off — the
+/// buffer returns here instead of being freed. Steady-state ingress
+/// then allocates nothing per frame *and* copies nothing: the payload
+/// is a refcounted view into the receive buffer itself.
+#[derive(Clone, Debug, Default)]
+pub struct BufferPool {
+    free: Arc<std::sync::Mutex<Vec<Vec<u8>>>>,
+}
+
+impl BufferPool {
+    /// A free buffer (capacity from an earlier frame), or a fresh one.
+    pub fn take(&self) -> Vec<u8> {
+        match self.free.lock() {
+            Ok(mut free) => free.pop().unwrap_or_default(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared; dropped if the pool is
+    /// full). Called automatically when the last pooled [`Payload`]
+    /// view drops; callers use it directly only on error paths where a
+    /// taken buffer never became a payload.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        if let Ok(mut free) = self.free.lock() {
+            if free.len() < BUFFER_POOL_MAX {
+                free.push(buf);
+            }
+        }
+    }
+}
+
+/// The backing storage of a [`Payload`]: the raw buffer plus the pool
+/// it returns to (if any) when the last view drops.
+#[derive(Debug)]
+struct PayloadBuf {
+    bytes: Vec<u8>,
+    pool: Option<BufferPool>,
+}
+
+impl Drop for PayloadBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            pool.put(std::mem::take(&mut self.bytes));
+        }
+    }
+}
+
+/// Refcounted view of a payload's bytes — a range of a shared buffer.
+/// Cloning clones the `Arc`, never the bytes, so one received frame can
+/// flow through signature verification, tag routing, and the pipeline
+/// without a single copy. Dereferences to the payload byte slice.
+#[derive(Clone, Debug)]
+pub struct Payload {
+    buf: Arc<PayloadBuf>,
+    start: usize,
+    end: usize,
+}
+
+impl Payload {
+    /// A payload owning exactly `bytes` (no pool; frees on last drop).
+    pub fn new(bytes: Vec<u8>) -> Payload {
+        let end = bytes.len();
+        Payload {
+            buf: Arc::new(PayloadBuf { bytes, pool: None }),
+            start: 0,
+            end,
+        }
+    }
+
+    /// A payload viewing `buf[start..end]` — typically the payload
+    /// field of a frame read into `buf` — that recycles `buf` into
+    /// `pool` when the last clone drops.
+    ///
+    /// # Panics
+    /// If `start..end` is not a valid range of `buf`.
+    pub fn pooled(buf: Vec<u8>, pool: &BufferPool, start: usize, end: usize) -> Payload {
+        assert!(
+            start <= end && end <= buf.len(),
+            "payload range out of buffer"
+        );
+        Payload {
+            buf: Arc::new(PayloadBuf {
+                bytes: buf,
+                pool: Some(pool.clone()),
+            }),
+            start,
+            end,
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf.bytes[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
 /// A signed, shareable wire frame. Cloning an envelope clones the
-/// `Arc`, not the payload.
+/// payload's `Arc`, not its bytes.
 #[derive(Clone, Debug)]
 pub struct Envelope {
     /// The sending replica.
     pub from: ReplicaId,
     /// Tagged payload bytes, serialized exactly once per message.
-    pub payload: Arc<Vec<u8>>,
+    pub payload: Payload,
     /// Signature over `payload` by `from`.
     pub sig: Signature,
 }
@@ -114,7 +236,7 @@ impl Envelope {
         let sig = keystore.sign(&payload);
         Envelope {
             from: keystore.me(),
-            payload: Arc::new(payload),
+            payload: Payload::new(payload),
             sig,
         }
     }
@@ -145,6 +267,12 @@ pub struct ChunkInfo {
     pub first_bucket: u32,
     /// Number of consecutive buckets in the chunk.
     pub buckets: u32,
+    /// Fragment index within an oversized bucket's series (0 for whole
+    /// chunks). A bucket too large for one frame is split into
+    /// `parts` consecutive fragments of the same single bucket.
+    pub part: u32,
+    /// Total fragments in the series (1 for whole chunks).
+    pub parts: u32,
     /// Content address: digest of the chunk's canonical encoding. Lets
     /// the receiver journal chunks by name and detect substitution.
     pub digest: Digest,
@@ -200,9 +328,14 @@ pub struct ChunkTransfer {
     pub index: u32,
     /// The chunk's canonical encoding (`StateChunk::encode`).
     pub chunk: Vec<u8>,
-    /// Per-bucket inclusion proofs against the head block's
-    /// `state_root`, in bucket order within the chunk.
+    /// Per-bucket inclusion proofs into the owning *shard's* sub-tree,
+    /// in bucket order within the chunk. Empty for fragment chunks
+    /// (fragments are content-digest addressed; the assembled bucket is
+    /// audited against the root at install).
     pub proofs: Vec<Vec<ProofStep>>,
+    /// Inclusion proof of the owning shard's sub-root in the top tree
+    /// (one per chunk — a chunk never crosses a shard boundary).
+    pub top_proof: Vec<ProofStep>,
 }
 
 /// Everything a replica can receive inside an [`Envelope`].
@@ -306,8 +439,11 @@ pub struct ChunkTransferRef<'a> {
     pub index: u32,
     /// The chunk's canonical encoding, borrowed from the payload buffer.
     pub chunk: &'a [u8],
-    /// Per-bucket inclusion proofs, in bucket order within the chunk.
+    /// Per-bucket shard-level inclusion proofs, in bucket order within
+    /// the chunk (empty for fragments).
     pub proofs: Vec<Vec<ProofStep>>,
+    /// Top-tree inclusion proof of the owning shard's sub-root.
+    pub top_proof: Vec<ProofStep>,
 }
 
 impl ChunkTransferRef<'_> {
@@ -318,6 +454,7 @@ impl ChunkTransferRef<'_> {
             index: self.index,
             chunk: self.chunk.to_vec(),
             proofs: self.proofs.clone(),
+            top_proof: self.top_proof.clone(),
         }
     }
 }
@@ -473,6 +610,8 @@ pub fn encode_catchup_manifest(m: &TransferManifest) -> Vec<u8> {
     for c in &m.chunks {
         bin::write_varint(u64::from(c.first_bucket), &mut out);
         bin::write_varint(u64::from(c.buckets), &mut out);
+        bin::write_varint(u64::from(c.part), &mut out);
+        bin::write_varint(u64::from(c.parts), &mut out);
         out.extend_from_slice(&c.digest.0);
     }
     out
@@ -489,7 +628,10 @@ pub fn encode_chunk_req(height: u64, index: u32) -> Vec<u8> {
 /// Encodes a chunk transfer payload.
 pub fn encode_chunk(c: &ChunkTransfer) -> Vec<u8> {
     let proof_bytes: usize = c.proofs.iter().map(|p| 2 + p.len() * 33).sum();
-    let mut out = payload_buf(TAG_CATCHUP_CHUNK, 24 + c.chunk.len() + proof_bytes);
+    let mut out = payload_buf(
+        TAG_CATCHUP_CHUNK,
+        24 + c.chunk.len() + proof_bytes + 2 + c.top_proof.len() * 33,
+    );
     bin::write_varint(c.height, &mut out);
     bin::write_varint(u64::from(c.index), &mut out);
     c.chunk.ser_bin(&mut out);
@@ -497,6 +639,7 @@ pub fn encode_chunk(c: &ChunkTransfer) -> Vec<u8> {
     for p in &c.proofs {
         encode_proof(&mut out, p);
     }
+    encode_proof(&mut out, &c.top_proof);
     out
 }
 
@@ -562,11 +705,15 @@ pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
             for _ in 0..chunks_len {
                 let first_bucket = u32::try_from(r.varint().ok()?).ok()?;
                 let buckets = u32::try_from(r.varint().ok()?).ok()?;
+                let part = u32::try_from(r.varint().ok()?).ok()?;
+                let parts = u32::try_from(r.varint().ok()?).ok()?;
                 let mut digest = Digest::ZERO;
                 digest.0.copy_from_slice(r.take(32).ok()?);
                 chunks.push(ChunkInfo {
                     first_bucket,
                     buckets,
+                    part,
+                    parts,
                     digest,
                 });
             }
@@ -596,11 +743,13 @@ pub fn decode<M: Deserialize>(payload: &[u8]) -> Option<WireMsg<M>> {
             for _ in 0..proofs_len {
                 proofs.push(decode_proof(&mut r)?);
             }
+            let top_proof = decode_proof(&mut r)?;
             WireMsg::Chunk(Box::new(ChunkTransfer {
                 height,
                 index,
                 chunk,
                 proofs,
+                top_proof,
             }))
         }
         _ => return None,
@@ -697,11 +846,15 @@ pub fn decode_ref(payload: &[u8]) -> Option<WireMsgRef<'_>> {
             for _ in 0..chunks_len {
                 let first_bucket = u32::try_from(r.varint().ok()?).ok()?;
                 let buckets = u32::try_from(r.varint().ok()?).ok()?;
+                let part = u32::try_from(r.varint().ok()?).ok()?;
+                let parts = u32::try_from(r.varint().ok()?).ok()?;
                 let mut digest = Digest::ZERO;
                 digest.0.copy_from_slice(r.take(32).ok()?);
                 chunks.push(ChunkInfo {
                     first_bucket,
                     buckets,
+                    part,
+                    parts,
                     digest,
                 });
             }
@@ -731,11 +884,13 @@ pub fn decode_ref(payload: &[u8]) -> Option<WireMsgRef<'_>> {
             for _ in 0..proofs_len {
                 proofs.push(decode_proof(&mut r)?);
             }
+            let top_proof = decode_proof(&mut r)?;
             WireMsgRef::Chunk(Box::new(ChunkTransferRef {
                 height,
                 index,
                 chunk,
                 proofs,
+                top_proof,
             }))
         }
         _ => return None,
@@ -840,11 +995,15 @@ mod tests {
                 ChunkInfo {
                     first_bucket: 0,
                     buckets: 512,
+                    part: 0,
+                    parts: 1,
                     digest: Digest::from_u64(100),
                 },
                 ChunkInfo {
                     first_bucket: 512,
-                    buckets: 512,
+                    buckets: 1,
+                    part: 1,
+                    parts: 3,
                     digest: Digest::from_u64(101),
                 },
             ],
@@ -887,6 +1046,10 @@ mod tests {
                 }],
                 vec![],
             ],
+            top_proof: vec![ProofStep {
+                sibling: Digest::from_u64(11),
+                sibling_on_right: true,
+            }],
         };
         let enc = encode_chunk(&c);
         match decode::<u64>(&enc) {
@@ -919,6 +1082,10 @@ mod tests {
             index: 3,
             chunk: b"canonical-chunk-bytes".to_vec(),
             proofs: vec![vec![]],
+            top_proof: vec![ProofStep {
+                sibling: Digest::from_u64(4),
+                sibling_on_right: false,
+            }],
         };
         let enc = encode_chunk(&c);
         let Some(WireMsgRef::Chunk(got)) = decode_ref(&enc) else {
@@ -972,10 +1139,11 @@ mod tests {
             height: 1,
             index: 0,
             chunk: Vec::new(),
-            proofs: vec![vec![ProofStep {
+            proofs: vec![],
+            top_proof: vec![ProofStep {
                 sibling: Digest::from_u64(1),
                 sibling_on_right: true,
-            }]],
+            }],
         };
         let mut enc = encode_chunk(&c);
         let last = enc.len() - 1;
@@ -986,12 +1154,12 @@ mod tests {
     #[test]
     fn wrong_wire_version_fails_closed() {
         // A valid payload re-badged with any other version byte must
-        // be dropped unread — this is the mixed-cluster guard. 0xB2 is
-        // the previous revision (pre-Ed25519 commit proofs): a cluster
-        // mixing the two drops each other's frames instead of
-        // misreading the proof layout.
+        // be dropped unread — this is the mixed-cluster guard. 0xB3 is
+        // the previous revision (single-level state tree, no fragment
+        // fields): a cluster mixing the two drops each other's frames
+        // instead of misreading the proof layout.
         let enc = encode_catchup_req(42);
-        for bad_version in [0u8, 1, TAG_CATCHUP_RESP, 0xB1, 0xB2, 0xFF] {
+        for bad_version in [0u8, 1, TAG_CATCHUP_RESP, 0xB1, 0xB2, 0xB3, 0xFF] {
             let mut reframed = enc.clone();
             reframed[0] = bad_version;
             assert!(decode::<u64>(&reframed).is_none(), "{bad_version:#x}");
@@ -1013,6 +1181,7 @@ mod tests {
             index: 0,
             chunk: Vec::new(),
             proofs: vec![vec![step; MAX_PROOF_DEPTH]],
+            top_proof: vec![step; 3],
         };
         assert!(decode::<u64>(&encode_chunk(&ok)).is_some());
         let too_deep = ChunkTransfer {

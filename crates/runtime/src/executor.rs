@@ -1,0 +1,405 @@
+//! Deterministic conflict-aware parallel execution of committed
+//! batches.
+//!
+//! SpotLess's concurrent instances parallelize *ordering*, but until
+//! this module every committed batch still funneled through one serial
+//! `KvStore::execute_batch` call on the pipeline thread. The keyspace
+//! is now partitioned into [`EXEC_SHARDS`] shards (contiguous bucket
+//! ranges of the consensus-visible 1024-bucket layout), each batch's
+//! **shard footprint** is computed from its transactions, and batches
+//! whose footprints do not overlap execute concurrently on a worker
+//! pool — while the sealed per-block `state_root` stays byte-identical
+//! to serial execution.
+//!
+//! ## Determinism contract
+//!
+//! Execute-then-seal makes execution order consensus-critical: the
+//! root a block seals is a function of the exact chain prefix below
+//! it. Parallel execution preserves it by construction:
+//!
+//! * **Conflicts serialize.** Batches are grouped into connected
+//!   components by shared shards (union-find over footprints). Every
+//!   component's batches run on ONE worker, serially, in commit order
+//!   — so each shard observes exactly the writes, in exactly the
+//!   order, serial execution would have applied. A batch touching
+//!   many shards simply merges their components: cross-shard batches
+//!   act as barriers between everything they link.
+//! * **Disjoint components commute.** Two batches with disjoint
+//!   footprints touch disjoint key sets, so their table effects are
+//!   independent; running them on different workers reorders nothing
+//!   observable.
+//! * **Sealing is a commit-order fold.** Workers snapshot the
+//!   sub-roots of a batch's footprint shards after executing it.
+//!   The caller then walks the batches in commit order, absorbing
+//!   each batch's [`BatchEffect`] into the store's rolling digest and
+//!   overlaying its sub-root snapshots onto the running shard-root
+//!   vector; [`top_state_root`] over that vector (plus the meta leaf)
+//!   reproduces, per block, exactly the root serial execution would
+//!   have sealed. The serial-vs-parallel equivalence proptest in the
+//!   facade crate pins this byte-for-byte.
+//!
+//! The single-component and `workers == 0` cases run *the same
+//! routine* ([`run_component`]) inline on the caller's thread — there
+//! is one execution code path, not a serial one and a parallel one
+//! that could drift apart.
+
+use spotless_types::Digest;
+use spotless_workload::{
+    batch_footprint, execute_on_shards, top_state_root, BatchEffect, KvStore, Shard, Transaction,
+    EXEC_SHARDS,
+};
+use tokio::sync::mpsc;
+
+/// What executing one batch produced, keyed back to its commit-order
+/// position by the caller.
+struct BatchOutcome {
+    /// Commit-order index of the batch within the submitted group.
+    index: usize,
+    /// Per-batch digest/counter summary to absorb in commit order.
+    effect: BatchEffect,
+    /// `(shard, sub-root after this batch)` for every shard in the
+    /// batch's footprint — the commit-order fold overlays these onto
+    /// the running shard-root vector before sealing the batch's root.
+    shard_roots: Vec<(usize, Digest)>,
+}
+
+/// A conflict component's batches, each tagged with its commit-order
+/// index within the submitted group.
+type IndexedBatches = Vec<(usize, Vec<Transaction>)>;
+
+/// One conflict component shipped to a worker: the shards it owns for
+/// the duration and its batches in commit order.
+struct ExecJob {
+    shards: Vec<Shard>,
+    batches: IndexedBatches,
+    reply: std::sync::mpsc::Sender<ExecDone>,
+}
+
+/// A worker's reply: the shards handed back plus one outcome per batch.
+struct ExecDone {
+    shards: Vec<Shard>,
+    outcomes: Vec<BatchOutcome>,
+}
+
+/// Executes a conflict component: its batches serially, in commit
+/// order, against the shards it owns — the one execution routine both
+/// the inline path and the pooled workers run.
+fn run_component(mut shards: Vec<Shard>, batches: IndexedBatches) -> ExecDone {
+    let mut outcomes = Vec::with_capacity(batches.len());
+    for (index, txns) in batches {
+        let footprint = batch_footprint(&txns);
+        let effect = execute_on_shards(&mut shards, &txns);
+        // Snapshot the footprint shards' sub-roots NOW: within the
+        // component, later batches may touch them again, and the
+        // commit-order fold needs the root as of *this* batch.
+        let mut shard_roots = Vec::new();
+        for shard in shards.iter_mut() {
+            if footprint & (1 << shard.id()) != 0 {
+                shard_roots.push((shard.id(), shard.sub_root()));
+            }
+        }
+        outcomes.push(BatchOutcome {
+            index,
+            effect,
+            shard_roots,
+        });
+    }
+    ExecDone { shards, outcomes }
+}
+
+/// A pool of persistent execution workers (thread-backed tasks, same
+/// compat/tokio style as the ingress verification pool). Jobs are
+/// whole conflict components; replies return over a per-group
+/// synchronous channel because the pipeline's flush is synchronous
+/// code on its own task.
+pub struct ExecutorPool {
+    lanes: Vec<mpsc::UnboundedSender<ExecJob>>,
+    /// Round-robin dispatch cursor.
+    next: usize,
+}
+
+impl ExecutorPool {
+    /// Spawns `workers` (≥ 1) persistent execution workers. Must be
+    /// called inside a tokio runtime context.
+    pub fn spawn(workers: usize) -> ExecutorPool {
+        let workers = workers.max(1);
+        let mut lanes = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, mut rx) = mpsc::unbounded_channel::<ExecJob>();
+            lanes.push(tx);
+            tokio::spawn(async move {
+                while let Some(job) = rx.recv().await {
+                    let done = run_component(job.shards, job.batches);
+                    let _ = job.reply.send(done);
+                }
+            });
+        }
+        ExecutorPool { lanes, next: 0 }
+    }
+}
+
+/// One sealed batch of an executed group, in commit order: the
+/// post-batch state digest (the client-visible result) and the state
+/// root the batch's block seals.
+pub struct SealedBatch {
+    /// Rolling state digest after this batch (what informs carry).
+    pub state_digest: Digest,
+    /// Two-level Merkle root after this batch (what the block seals).
+    pub state_root: Digest,
+}
+
+/// Executes a commit-ordered group of decoded batches against `kv` —
+/// in parallel across conflict components when `pool` is available —
+/// and returns each batch's sealed `(state_digest, state_root)` pair
+/// in commit order. `None` entries are empty (simulation-style)
+/// payloads: they execute nothing and seal the unchanged root.
+///
+/// Byte-equivalent to calling `kv.execute_batch` + `kv.state_root`
+/// per batch in order; see the module docs for why.
+pub fn execute_group(
+    pool: Option<&mut ExecutorPool>,
+    kv: &mut KvStore,
+    batches: Vec<Option<Vec<Transaction>>>,
+) -> Vec<SealedBatch> {
+    let footprints: Vec<u8> = batches
+        .iter()
+        .map(|b| b.as_ref().map_or(0, |txns| batch_footprint(txns)))
+        .collect();
+
+    // Conflict components: union-find over the 8 shards, then group
+    // batch indices by their footprint's component root.
+    let mut parent: [usize; EXEC_SHARDS] = std::array::from_fn(|s| s);
+    fn find(parent: &mut [usize; EXEC_SHARDS], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let mut touched = 0u8;
+    for &fp in &footprints {
+        touched |= fp;
+        let mut first = None;
+        for s in 0..EXEC_SHARDS {
+            if fp & (1 << s) == 0 {
+                continue;
+            }
+            match first {
+                None => first = Some(find(&mut parent, s)),
+                Some(f) => {
+                    let r = find(&mut parent, s);
+                    parent[r] = f;
+                }
+            }
+        }
+    }
+
+    // Seed the shard-root vector BEFORE shards leave the store: the
+    // fold needs current roots for shards this group never touches.
+    let mut roots = kv.shard_sub_roots();
+
+    // Partition shards and batches into component jobs.
+    let mut component_of_shard = [usize::MAX; EXEC_SHARDS];
+    let mut components: Vec<(Vec<usize>, IndexedBatches)> = Vec::new();
+    for s in 0..EXEC_SHARDS {
+        if touched & (1 << s) == 0 {
+            continue;
+        }
+        let root = find(&mut parent, s);
+        if component_of_shard[root] == usize::MAX {
+            component_of_shard[root] = components.len();
+            components.push((Vec::new(), Vec::new()));
+        }
+        component_of_shard[s] = component_of_shard[root];
+        components[component_of_shard[s]].0.push(s);
+    }
+    let mut batch_slots: Vec<Option<Vec<Transaction>>> = batches;
+    for (index, fp) in footprints.iter().enumerate() {
+        if *fp == 0 {
+            continue;
+        }
+        let c = component_of_shard[fp.trailing_zeros() as usize];
+        let txns = batch_slots[index].take().expect("non-empty footprint");
+        components[c].1.push((index, txns));
+    }
+
+    // Move the touched shards out of the store, execute every
+    // component (inline when there is nothing to overlap — a single
+    // component, or no pool — pooled otherwise), and hand them back.
+    let mut home = kv.take_shards();
+    let mut outcomes: Vec<Option<BatchOutcome>> = (0..footprints.len()).map(|_| None).collect();
+    let mut returned: Vec<Shard> = Vec::with_capacity(EXEC_SHARDS);
+    let mut jobs: Vec<(Vec<Shard>, IndexedBatches)> = Vec::new();
+    for (shard_ids, comp_batches) in components {
+        let mut shards = Vec::with_capacity(shard_ids.len());
+        for &s in &shard_ids {
+            let at = home
+                .iter()
+                .position(|sh| sh.id() == s)
+                .expect("shard present exactly once");
+            shards.push(home.swap_remove(at));
+        }
+        jobs.push((shards, comp_batches));
+    }
+    returned.append(&mut home); // untouched shards go straight back
+    let dones: Vec<ExecDone> = match pool {
+        Some(pool) if jobs.len() > 1 => {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ExecDone>();
+            let n_jobs = jobs.len();
+            for (shards, comp_batches) in jobs {
+                let lane = pool.next % pool.lanes.len();
+                pool.next = pool.next.wrapping_add(1);
+                let sent = pool.lanes[lane].send(ExecJob {
+                    shards,
+                    batches: comp_batches,
+                    reply: reply_tx.clone(),
+                });
+                assert!(sent.is_ok(), "executor worker alive");
+            }
+            drop(reply_tx);
+            (0..n_jobs)
+                .map(|_| reply_rx.recv().expect("executor worker replied"))
+                .collect()
+        }
+        _ => jobs
+            .into_iter()
+            .map(|(shards, comp_batches)| run_component(shards, comp_batches))
+            .collect(),
+    };
+    for done in dones {
+        returned.extend(done.shards);
+        for o in done.outcomes {
+            let index = o.index;
+            outcomes[index] = Some(o);
+        }
+    }
+    kv.restore_shards(returned);
+
+    // Commit-order fold: absorb each batch's effect, overlay its
+    // sub-root snapshots, seal its root. Empty batches seal the
+    // then-current root unchanged — same as serial execution.
+    let mut sealed = Vec::with_capacity(outcomes.len());
+    for slot in outcomes {
+        if let Some(outcome) = slot {
+            kv.absorb_effect(&outcome.effect);
+            for (s, r) in outcome.shard_roots {
+                roots[s] = r;
+            }
+        }
+        sealed.push(SealedBatch {
+            state_digest: kv.state_digest(),
+            state_root: top_state_root(&roots, &kv.transfer_meta()),
+        });
+    }
+    if let Some(last) = sealed.last() {
+        debug_assert_eq!(
+            last.state_root,
+            kv.state_root(),
+            "commit-order fold must land on the store's own root"
+        );
+    }
+    sealed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotless_workload::{shard_of_key, Operation};
+
+    /// A key guaranteed to live in shard `s` (probed; bucket layout is
+    /// a fixed hash).
+    fn key_in_shard(s: usize, salt: u64) -> u64 {
+        (0..)
+            .map(|i| salt.wrapping_mul(1019) + i)
+            .find(|&k| shard_of_key(k) == s)
+            .unwrap()
+    }
+
+    fn write(id: u64, key: u64) -> Transaction {
+        Transaction {
+            id,
+            op: Operation::Update {
+                key,
+                value: vec![id as u8; 16],
+            },
+        }
+    }
+
+    fn read(id: u64, key: u64) -> Transaction {
+        Transaction {
+            id,
+            op: Operation::Read { key },
+        }
+    }
+
+    /// Runs the same group serially and through `execute_group`,
+    /// asserting identical per-batch digests and roots.
+    fn assert_equivalent(batches: Vec<Option<Vec<Transaction>>>, pool: Option<&mut ExecutorPool>) {
+        let mut serial = KvStore::new();
+        let mut expect = Vec::new();
+        for b in &batches {
+            let state_digest = match b {
+                Some(txns) => serial.execute_batch(txns),
+                None => serial.state_digest(),
+            };
+            expect.push((state_digest, serial.state_root()));
+        }
+        let mut parallel = KvStore::new();
+        let sealed = execute_group(pool, &mut parallel, batches);
+        let got: Vec<(Digest, Digest)> = sealed
+            .into_iter()
+            .map(|s| (s.state_digest, s.state_root))
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(parallel.state_digest(), serial.state_digest());
+        assert_eq!(parallel.state_root(), serial.state_root());
+        assert_eq!(parallel.writes_applied(), serial.writes_applied());
+        assert_eq!(parallel.reads_served(), serial.reads_served());
+    }
+
+    #[test]
+    fn disjoint_batches_match_serial_inline() {
+        let batches = vec![
+            Some(vec![
+                write(1, key_in_shard(0, 1)),
+                write(2, key_in_shard(0, 2)),
+            ]),
+            Some(vec![
+                write(3, key_in_shard(3, 3)),
+                read(4, key_in_shard(3, 1)),
+            ]),
+            Some(vec![write(5, key_in_shard(7, 4))]),
+        ];
+        assert_equivalent(batches, None);
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn mixed_group_matches_serial_through_the_pool() {
+        let mut pool = ExecutorPool::spawn(3);
+        // Conflicting (shard 2 twice), disjoint (shard 5), cross-shard
+        // (2+5, merging both components), an empty payload, and a
+        // read-only batch.
+        let batches = vec![
+            Some(vec![write(1, key_in_shard(2, 1))]),
+            Some(vec![write(2, key_in_shard(5, 2))]),
+            None,
+            Some(vec![
+                write(3, key_in_shard(2, 3)),
+                write(4, key_in_shard(5, 4)),
+            ]),
+            Some(vec![
+                read(5, key_in_shard(2, 1)),
+                read(6, key_in_shard(6, 6)),
+            ]),
+            Some(vec![write(7, key_in_shard(1, 7))]),
+        ];
+        assert_equivalent(batches, Some(&mut pool));
+    }
+
+    #[tokio::test(flavor = "multi_thread")]
+    async fn empty_and_all_empty_groups_are_fine() {
+        let mut pool = ExecutorPool::spawn(2);
+        assert_equivalent(vec![], Some(&mut pool));
+        assert_equivalent(vec![None, None], Some(&mut pool));
+    }
+}

@@ -40,6 +40,7 @@
 pub mod client;
 pub mod cluster;
 pub mod envelope;
+pub mod executor;
 pub mod fabric;
 pub(crate) mod ingress;
 pub mod observe;
@@ -49,9 +50,10 @@ pub mod runtime;
 pub use client::ClusterClient;
 pub use cluster::{assemble, assemble_tuned, ClusterHandles};
 pub use envelope::{
-    CatchUpBlock, CatchUpBlockRef, ChunkInfo, ChunkTransfer, ChunkTransferRef, Envelope,
-    TransferManifest, TransferManifestRef, WireMsg, WireMsgRef, WIRE_VERSION,
+    BufferPool, CatchUpBlock, CatchUpBlockRef, ChunkInfo, ChunkTransfer, ChunkTransferRef,
+    Envelope, Payload, TransferManifest, TransferManifestRef, WireMsg, WireMsgRef, WIRE_VERSION,
 };
+pub use executor::{execute_group, ExecutorPool, SealedBatch};
 pub use fabric::Fabric;
 pub use observe::{CommitLog, CommittedEntry, Inform, NetStats};
 pub use runtime::{

@@ -69,6 +69,7 @@ use crate::envelope::{
     encode_chunk_req, CatchUpBlock, CatchUpBlockRef, ChunkInfo, ChunkTransfer, ChunkTransferRef,
     Envelope, TransferManifest, TransferManifestRef, WireMsgRef,
 };
+use crate::executor::{execute_group, ExecutorPool};
 use crate::fabric::Fabric;
 use crate::observe::{CommitLog, CommittedEntry, Inform};
 use spotless_crypto::{proof_index, verify_inclusion, KeyStore, ProofStep};
@@ -81,7 +82,8 @@ use spotless_types::{
     SimTime,
 };
 use spotless_workload::{
-    bucket_leaf_digest, decode_txns, KvStore, StateChunk, Transaction, META_LEAF, STATE_BUCKETS,
+    decode_txns, shard_of_bucket, verify_bucket, KvStore, StateChunk, Transaction, META_LEAF,
+    STATE_BUCKETS,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -148,11 +150,12 @@ pub(crate) enum PipelineCmd {
     /// `TAG_PROTOCOL`), still encoded. The pipeline decodes it with the
     /// borrowing reader off the event-loop thread and copies bytes only
     /// at its storage boundaries (payload cache, install journal,
-    /// accepted manifest) — the event loop ships the `Arc` it already
-    /// holds, so routing a multi-megabyte chunk costs a pointer.
+    /// accepted manifest) — the event loop ships the refcounted
+    /// [`Payload`](crate::envelope::Payload) view it already holds, so
+    /// routing a multi-megabyte chunk costs a pointer.
     Transfer {
         from: ReplicaId,
-        payload: Arc<Vec<u8>>,
+        payload: crate::envelope::Payload,
     },
     /// The runtime's periodic tick. While behind: re-issue the catch-up
     /// request or re-fetch missing chunks (rotating peers when one
@@ -367,14 +370,18 @@ struct IncomingTransfer {
 /// message), so a second recovering peer manifesting at a newer height
 /// is served from a fresh slot instead of evicting a transfer another
 /// peer is mid-fetch on. Each slot ages out independently on the tick.
+/// One frozen outgoing chunk: descriptor, canonical encoding,
+/// per-bucket shard-level proofs (empty for fragments), and the shared
+/// top-tree proof of the owning shard's sub-root.
+type FrozenChunk = (ChunkInfo, Vec<u8>, Vec<Vec<ProofStep>>, Vec<ProofStep>);
+
 struct OutgoingSnapshot {
     height: u64,
     head: Block,
     recent_ids: Vec<BatchId>,
     app_meta: Vec<u8>,
     meta_proof: Vec<ProofStep>,
-    /// Per chunk: descriptor, canonical encoding, per-bucket proofs.
-    chunks: Vec<(ChunkInfo, Vec<u8>, Vec<Vec<ProofStep>>)>,
+    chunks: Vec<FrozenChunk>,
     /// Consecutive ticks without a manifest or chunk request against
     /// this slot (see [`OUTGOING_SNAPSHOT_IDLE_TICKS`]).
     idle_ticks: u32,
@@ -408,6 +415,10 @@ pub(crate) struct Pipeline<F: Fabric> {
     /// Crash-safe record of a chunked install in progress (resumes
     /// after a restart).
     journal: InstallJournal,
+    /// Parallel execution workers for committed batches (`None` runs
+    /// every group inline — the serial baseline). Scheduling and the
+    /// determinism argument live in [`crate::executor`].
+    exec: Option<ExecutorPool>,
     /// Live bookkeeping of the transfer the journal describes.
     incoming: Option<IncomingTransfer>,
     /// Frozen outgoing snapshot slots served to recovering peers, at
@@ -436,6 +447,7 @@ impl<F: Fabric> Pipeline<F> {
         recovered_payloads: Vec<Vec<u8>>,
         journal: InstallJournal,
         chunk_budget: usize,
+        exec_pool: usize,
         commits: CommitLog,
         informs: mpsc::UnboundedSender<Inform>,
         synced: Arc<AtomicBool>,
@@ -534,6 +546,7 @@ impl<F: Fabric> Pipeline<F> {
             catchup_cursor: 0,
             chunk_budget: chunk_budget.max(1),
             journal,
+            exec: (exec_pool > 0).then(|| ExecutorPool::spawn(exec_pool)),
             incoming: None,
             outgoing: Vec::new(),
             poisoned: false,
@@ -597,8 +610,11 @@ impl<F: Fabric> Pipeline<F> {
         }
     }
 
-    /// Applies a group of live commits: execute + append all, fsync
-    /// once, then acknowledge. While catching up, commits are buffered
+    /// Applies a group of live commits in three phases — validate all
+    /// in commit order, execute the group (in parallel across disjoint
+    /// shard footprints when a worker pool is attached), then seal and
+    /// append in commit order — followed by one fsync and the
+    /// acknowledgements. While catching up, commits are buffered
     /// instead — they sit after the gap in the execution order.
     fn flush(&mut self, group: Vec<CommitInfo>) {
         if group.is_empty() || self.poisoned {
@@ -608,14 +624,111 @@ impl<F: Fabric> Pipeline<F> {
             pending.extend(group);
             return;
         }
-        let mut executed: Vec<(CommitInfo, Digest)> = Vec::new();
+        // Execute-then-seal. The roots sealed below are a function of
+        // the exact chain prefix executed so far, which makes
+        // deterministic execution order consensus-critical — assert the
+        // alignment before the group runs.
+        debug_assert_eq!(
+            self.kv_height,
+            self.store.ledger().height(),
+            "execute-then-seal requires the KV state to track the chain head exactly"
+        );
+        // Phase 1 — validate in commit order. Skips no-ops, batches the
+        // store already holds (via catch-up, or covered by a snapshot
+        // whose recent-id window remembers it — a rejoining protocol
+        // instance re-announces the chain tail it just learned, and
+        // re-executing any of it would fork this replica's state), and
+        // duplicates *within* this group (appends now happen after the
+        // whole group executes, so `knows_batch` alone cannot see
+        // them). Payloads are decoded before anything executes: the
+        // ledger and the payload cache must only ever hold executable
+        // blocks, or the cache's height-indexing drifts and catch-up
+        // serves wrong payloads.
+        let mut prepared: Vec<(CommitInfo, Option<Vec<Transaction>>, CommitProof)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         for info in group {
-            if self.poisoned {
+            if info.batch.is_noop()
+                || self.store.knows_batch(info.batch.id)
+                || !seen.insert(info.batch.id)
+            {
+                continue;
+            }
+            let txns = match decode_payload(&info.batch.payload) {
+                Ok(txns) => txns,
+                Err(()) => continue, // malformed payload: never commit it
+            };
+            // The protocol's commit certificate becomes the block's
+            // durable proof — and the ledger refuses it unless the
+            // signer set is non-empty, duplicate-free, within the
+            // cluster, meets the phase's quorum, and every signature
+            // verifies against its signer's key. Sanitize first: drop
+            // (signer, signature) pairs that fail verification and
+            // downgrade the phase when the survivors fall below the
+            // strong quorum, so a single forged vote riding an
+            // otherwise-valid quorum costs that vote, not the replica.
+            // (When every pair verifies — the hot path — the sanitizer
+            // is one batch verification and copies nothing out.)
+            let (signers, sigs, phase) =
+                sanitize_cert(&info.cert, info.instance, &self.keystore, &self.rules);
+            let proof = CommitProof {
+                instance: info.instance,
+                view: info.view,
+                phase,
+                voted: info.cert.voted,
+                slot: info.cert.slot,
+                signers,
+                sigs,
+            };
+            if verify_proof(&proof, &self.rules, &self.keystore).is_err() {
+                // The batch WAS decided cluster-wide; skipping it while
+                // continuing to append later commits would leave a
+                // silent hole that forks this replica's chain and
+                // state. Poison the pipeline instead (same contract as
+                // a failed fsync): the valid prefix gathered so far
+                // still commits, then nothing further is appended or
+                // acknowledged, and the replica presents as crashed
+                // until restarted. Reachable from forged input (a
+                // certificate whose surviving votes fall below the
+                // weak quorum), so no debug assertion — loud-stalling
+                // is the contract, aborting is not.
+                self.poisoned = true;
                 break;
             }
-            if let Some(result) = self.apply_one(&info) {
-                executed.push((info, result));
+            prepared.push((info, txns, proof));
+        }
+        // Phase 2 — execute. The scheduler in [`crate::executor`]
+        // partitions the group into shard-footprint conflict
+        // components; components run concurrently on the pool while the
+        // per-batch seals are folded back in commit order, so the
+        // sequence of sealed roots is byte-identical to serial
+        // execution. `None` entries (empty simulation-style payloads)
+        // seal the untouched state.
+        let txn_groups: Vec<Option<Vec<Transaction>>> = prepared
+            .iter_mut()
+            .map(|(_, txns, _)| txns.take())
+            .collect();
+        let sealed = execute_group(self.exec.as_mut(), &mut self.kv, txn_groups);
+        // Phase 3 — seal + append in commit order (no fsync yet — the
+        // group owns that).
+        let mut executed: Vec<(CommitInfo, Digest)> = Vec::new();
+        for ((info, _, proof), sealed) in prepared.into_iter().zip(sealed) {
+            if !self.store.append_batch(
+                info.batch.id,
+                info.batch.digest,
+                info.batch.txns,
+                sealed.state_root,
+                proof,
+                &info.batch.payload,
+            ) {
+                // The KV state advanced but the chain did not:
+                // continuing would fork this replica. Same loud-stall
+                // contract as an unverifiable certificate.
+                self.poisoned = true;
+                break;
             }
+            self.kv_height = self.store.ledger().height();
+            self.payloads.push(info.batch.payload.clone());
+            executed.push((info, sealed.state_digest));
         }
         // Group commit: one fsync covers every append above. If it
         // fails, nothing in the group may be acknowledged — the client
@@ -638,96 +751,6 @@ impl<F: Fabric> Pipeline<F> {
                 result,
             });
         }
-    }
-
-    /// Executes and appends one live commit (no fsync — the group owns
-    /// that). Execute-then-seal: the batch runs against the KV store
-    /// first, and the post-execution state root is sealed into the
-    /// block. Returns the post-execution state digest, or `None` when
-    /// the commit produces no acknowledgement (no-op, duplicate, or
-    /// malformed payload).
-    fn apply_one(&mut self, info: &CommitInfo) -> Option<Digest> {
-        if info.batch.is_noop() {
-            return None;
-        }
-        if self.store.knows_batch(info.batch.id) {
-            // Already applied — via catch-up, or covered by a snapshot
-            // whose recent-id window remembers it. A rejoining protocol
-            // instance re-announces the chain tail it just learned;
-            // re-executing any of it would fork this replica's state.
-            return None;
-        }
-        // Decode *before* executing: the ledger and the payload cache
-        // must only ever hold executable blocks, or the cache's
-        // height-indexing drifts and catch-up serves wrong payloads.
-        let txns = match decode_payload(&info.batch.payload) {
-            Ok(txns) => txns,
-            Err(()) => return None, // malformed payload: never commit it
-        };
-        // The protocol's commit certificate becomes the block's durable
-        // proof — and the ledger refuses it unless the signer set is
-        // non-empty, duplicate-free, within the cluster, meets the
-        // phase's quorum, and every signature verifies against its
-        // signer's key. Sanitize first: drop (signer, signature) pairs
-        // that fail verification and downgrade the phase when the
-        // survivors fall below the strong quorum, so a single forged
-        // vote riding an otherwise-valid quorum costs that vote, not
-        // the replica. (When every pair verifies — the hot path — the
-        // sanitizer is one batch verification and copies nothing out.)
-        let (signers, sigs, phase) =
-            sanitize_cert(&info.cert, info.instance, &self.keystore, &self.rules);
-        let proof = CommitProof {
-            instance: info.instance,
-            view: info.view,
-            phase,
-            voted: info.cert.voted,
-            slot: info.cert.slot,
-            signers,
-            sigs,
-        };
-        if verify_proof(&proof, &self.rules, &self.keystore).is_err() {
-            // The batch WAS decided cluster-wide; skipping it while
-            // continuing to append later commits would leave a silent
-            // hole that forks this replica's chain and state. Poison
-            // the pipeline instead (same contract as a failed fsync):
-            // nothing further is appended or acknowledged, and the
-            // replica presents as crashed until restarted. Reachable
-            // from forged input (a certificate whose surviving votes
-            // fall below the weak quorum), so no debug assertion —
-            // loud-stalling is the contract, aborting is not.
-            self.poisoned = true;
-            return None;
-        }
-        // Execute-then-seal. The root sealed below is a function of the
-        // exact chain prefix executed so far, which makes deterministic
-        // execution order consensus-critical — assert the alignment.
-        debug_assert_eq!(
-            self.kv_height,
-            self.store.ledger().height(),
-            "execute-then-seal requires the KV state to track the chain head exactly"
-        );
-        let result = match txns {
-            Some(txns) => self.kv.execute_batch(&txns),
-            None => self.kv.state_digest(), // empty (simulation-style) payload
-        };
-        let state_root = self.kv.state_root();
-        if !self.store.append_batch(
-            info.batch.id,
-            info.batch.digest,
-            info.batch.txns,
-            state_root,
-            proof,
-            &info.batch.payload,
-        ) {
-            // The KV state advanced but the chain did not: continuing
-            // would fork this replica. Same loud-stall contract as an
-            // unverifiable certificate.
-            self.poisoned = true;
-            return None;
-        }
-        self.kv_height = self.store.ledger().height();
-        self.payloads.push(info.batch.payload.clone());
-        Some(result)
     }
 
     /// Snapshots if due and trims the in-memory payload cache: to the
@@ -819,27 +842,44 @@ impl<F: Fabric> Pipeline<F> {
         let peer_height = self.store.ledger().height();
         if !self.outgoing.iter().any(|o| o.height == height) {
             let head = self.store.block_at(height.checked_sub(1)?)?.clone();
-            let tree = self.kv.state_merkle();
+            let prover = self.kv.state_prover();
             // The head block sealed the root of exactly this state: the
             // KV store has not executed anything since (kv_height pins
             // it). A mismatch here is an execute-then-seal bug.
-            debug_assert_eq!(tree.root(), head.state_root);
-            let meta_proof = tree.prove(META_LEAF)?;
+            debug_assert_eq!(prover.root(), head.state_root);
+            let meta_proof = prover.prove_meta()?;
             let mut chunks = Vec::new();
             for chunk in self.kv.to_chunks(self.chunk_budget) {
-                let mut proofs = Vec::with_capacity(chunk.buckets.len());
-                for off in 0..chunk.buckets.len() {
-                    proofs.push(tree.prove(chunk.first_bucket as usize + off)?);
+                // One top-tree proof per chunk: a chunk never crosses a
+                // shard boundary, so every bucket in it shares the same
+                // sub-root.
+                let top_proof = prover.prove_shard(shard_of_bucket(chunk.first_bucket as usize))?;
+                let mut proofs = Vec::new();
+                if chunk.parts == 1 {
+                    proofs.reserve(chunk.buckets.len());
+                    for off in 0..chunk.buckets.len() {
+                        let (shard_proof, _) =
+                            prover.prove_bucket(chunk.first_bucket as usize + off)?;
+                        proofs.push(shard_proof);
+                    }
                 }
+                // Fragments of an oversized bucket carry no per-bucket
+                // proofs: the leaf digest covers the *assembled* bucket,
+                // so fragments are pinned by content digest here and the
+                // assembled state is audited against the certified root
+                // at install.
                 let encoded = chunk.encode();
                 chunks.push((
                     ChunkInfo {
                         first_bucket: chunk.first_bucket,
                         buckets: chunk.buckets.len() as u32,
+                        part: chunk.part,
+                        parts: chunk.parts,
                         digest: spotless_crypto::digest_bytes(&encoded),
                     },
                     encoded,
                     proofs,
+                    top_proof,
                 ));
             }
             if self.outgoing.len() >= OUTGOING_SNAPSHOT_SLOTS {
@@ -878,7 +918,7 @@ impl<F: Fabric> Pipeline<F> {
             recent_ids: o.recent_ids.clone(),
             app_meta: o.app_meta.clone(),
             meta_proof: o.meta_proof.clone(),
-            chunks: o.chunks.iter().map(|(info, _, _)| *info).collect(),
+            chunks: o.chunks.iter().map(|(info, _, _, _)| *info).collect(),
         })
     }
 
@@ -897,7 +937,7 @@ impl<F: Fabric> Pipeline<F> {
         // A fetch against a served height is the liveness signal that
         // slot's age-out watches for.
         o.idle_ticks = 0;
-        let Some((_, encoded, proofs)) = o.chunks.get(index as usize) else {
+        let Some((_, encoded, proofs, top_proof)) = o.chunks.get(index as usize) else {
             return;
         };
         let transfer = ChunkTransfer {
@@ -905,6 +945,7 @@ impl<F: Fabric> Pipeline<F> {
             index,
             chunk: encoded.clone(),
             proofs: proofs.clone(),
+            top_proof: top_proof.clone(),
         };
         let env = Envelope::seal(&self.keystore, encode_chunk(&transfer));
         self.fabric.send(to, env);
@@ -1090,15 +1131,7 @@ impl<F: Fabric> Pipeline<F> {
                 &manifest.meta_proof,
                 &manifest.head.state_root,
             );
-        let mut next_bucket = 0u64;
-        for c in &manifest.chunks {
-            if u64::from(c.first_bucket) != next_bucket || c.buckets == 0 {
-                next_bucket = u64::MAX;
-                break;
-            }
-            next_bucket += u64::from(c.buckets);
-        }
-        let plan_ok = next_bucket == STATE_BUCKETS as u64;
+        let plan_ok = chunk_plan_covers(&manifest.chunks);
         if !head_ok || !meta_ok || !plan_ok {
             return; // Byzantine or corrupt manifest: tick rotates on
         }
@@ -1172,26 +1205,39 @@ impl<F: Fabric> Pipeline<F> {
             self.request_missing_chunks();
             return; // duplicate
         }
-        // Verification order: cheap structure first, then one Merkle
-        // proof per bucket against the head block's state_root. Nothing
-        // is journaled — let alone installed — unless every bucket of
-        // the chunk proves membership at its exact leaf index.
+        // Verification order: cheap structure first. A whole chunk then
+        // proves every bucket through its shard sub-tree and the shared
+        // top proof against the head block's state_root — nothing is
+        // journaled, let alone installed, unless every bucket proves
+        // membership at its exact leaf index. Fragments of an oversized
+        // bucket cannot carry per-arrival proofs (the Merkle leaf
+        // covers the *assembled* bucket), so they are pinned to the
+        // manifest's content digest here and the assembled state is
+        // audited against the certified root in `try_install`.
         let ok = (|| {
             let sc = StateChunk::decode(chunk.chunk)?;
-            if sc.first_bucket != info.first_bucket || sc.buckets.len() != info.buckets as usize {
+            if sc.first_bucket != info.first_bucket
+                || sc.buckets.len() != info.buckets as usize
+                || sc.part != info.part
+                || sc.parts != info.parts
+            {
                 return None;
+            }
+            if sc.parts > 1 {
+                if !chunk.proofs.is_empty()
+                    || spotless_crypto::digest_bytes(chunk.chunk) != info.digest
+                {
+                    return None;
+                }
+                return Some(());
             }
             if chunk.proofs.len() != sc.buckets.len() {
                 return None;
             }
             let root = &t.manifest.head.state_root;
             for (off, (bucket, proof)) in sc.buckets.iter().zip(&chunk.proofs).enumerate() {
-                let leaf_index = sc.first_bucket as usize + off;
-                if proof_index(proof) != leaf_index {
-                    return None;
-                }
-                let leaf = bucket_leaf_digest(bucket);
-                if !verify_inclusion(&leaf.0, proof, root) {
+                let b = sc.first_bucket as usize + off;
+                if !verify_bucket(b, bucket, proof, &chunk.top_proof, root) {
                     return None;
                 }
             }
@@ -1391,6 +1437,47 @@ impl<F: Fabric> Pipeline<F> {
     }
 }
 
+/// Validates that a manifest's chunk plan partitions the bucket space:
+/// whole chunks cover consecutive bucket ranges, and an oversized
+/// bucket appears as one complete in-order fragment series (`parts`
+/// consecutive chunks of that single bucket, `part` running `0..parts`).
+/// Mirrors the assembly rules `KvStore::from_transfer` enforces at
+/// install, so a plan accepted here cannot fail assembly structurally.
+fn chunk_plan_covers(chunks: &[ChunkInfo]) -> bool {
+    let mut next_bucket = 0u64;
+    let mut i = 0usize;
+    while i < chunks.len() {
+        let c = chunks[i];
+        if u64::from(c.first_bucket) != next_bucket || c.buckets == 0 {
+            return false;
+        }
+        if c.parts <= 1 {
+            if c.part != 0 || c.parts != 1 {
+                return false;
+            }
+            next_bucket += u64::from(c.buckets);
+            i += 1;
+            continue;
+        }
+        // Fragment series of one oversized bucket.
+        for part in 0..c.parts {
+            let Some(f) = chunks.get(i) else {
+                return false;
+            };
+            if f.first_bucket != c.first_bucket
+                || f.buckets != 1
+                || f.parts != c.parts
+                || f.part != part
+            {
+                return false;
+            }
+            i += 1;
+        }
+        next_bucket += 1;
+    }
+    next_bucket == STATE_BUCKETS as u64
+}
+
 /// Decodes a batch payload: `Ok(None)` for the empty (simulation-style)
 /// payload, `Ok(Some(txns))` when it parses, `Err(())` when malformed.
 fn decode_payload(payload: &[u8]) -> Result<Option<Vec<Transaction>>, ()> {
@@ -1552,6 +1639,7 @@ mod tests {
             Vec::new(),
             InstallJournal::in_memory(),
             1 << 16,
+            0,
             CommitLog::default(),
             informs,
             Arc::new(AtomicBool::new(true)),

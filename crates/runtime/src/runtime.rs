@@ -110,6 +110,13 @@ pub struct RuntimeConfig {
     /// behaviour — useful as a benchmark baseline and for
     /// single-threaded debugging).
     pub verify_pool: usize,
+    /// Committed-batch execution workers: the pipeline schedules each
+    /// commit group over the KV store's shard footprints and runs
+    /// non-conflicting batches on this many dedicated tasks (the
+    /// `executor` module), sealing state roots in commit order. `0`
+    /// executes every group inline on the pipeline thread (the serial
+    /// baseline — also what benchmarks compare against).
+    pub exec_pool: usize,
     /// Wire-traffic counters for this replica (payload bytes/messages
     /// by direction). A fresh set by default; share one across replicas
     /// to aggregate. Also readable later via [`ReplicaHandle::net`].
@@ -130,6 +137,7 @@ impl RuntimeConfig {
             chunk_budget: spotless_types::SNAPSHOT_CHUNK_BYTES,
             silent: false,
             verify_pool: 2,
+            exec_pool: 2,
             net: NetStats::default(),
         }
     }
@@ -396,6 +404,7 @@ impl ReplicaRuntime {
             replayed_payloads,
             journal,
             cfg.chunk_budget,
+            cfg.exec_pool,
             commits,
             informs,
             synced.clone(),

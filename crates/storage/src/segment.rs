@@ -31,12 +31,16 @@ pub const MAGIC: [u8; 8] = *b"SPLSSEG1";
 /// state anchored in the chain). Version 4 extended the commit proof
 /// with its vote statement (voted digest + slot) and one Ed25519
 /// signature per signer, making persisted certificates re-checkable by
-/// third parties. There is no in-place upgrade: a store written by an
-/// older version fails with a clean
+/// third parties. Version 5 made the sealed `state_root` the root of a
+/// two-level tree (per-shard sub-trees under a top tree, enabling
+/// deterministic parallel execution) — the byte layout is unchanged but
+/// every root differs from version 4's single-level tree, so replaying
+/// an old log would fail its seal checks. There is no in-place upgrade:
+/// a store written by an older version fails with a clean
 /// [`StorageError::UnsupportedVersion`](crate::StorageError) rather
 /// than a misleading corruption diagnosis, and the operator recovers
 /// the replica via state transfer from its peers.
-pub const VERSION: u32 = 4;
+pub const VERSION: u32 = 5;
 /// Size of the fixed segment header.
 pub const HEADER_LEN: u64 = 32;
 /// Per-record framing overhead (length + CRC).

@@ -44,11 +44,14 @@ pub const MAGIC: [u8; 8] = *b"SPLSSNP1";
 /// application meta bytes plus content-addressed state chunks, matching
 /// the chunked (and chain-verified, via the head block's `state_root`)
 /// state-transfer protocol; version 4 extended the head block's commit
-/// proof with its vote statement and per-signer Ed25519 signatures.
-/// Older stores are rejected with a clean
-/// [`StorageError::UnsupportedVersion`] — the migration story is state
-/// transfer from peers, not in-place upgrade.
-pub const VERSION: u32 = 4;
+/// proof with its vote statement and per-signer Ed25519 signatures;
+/// version 5 revved the embedded chunk and meta encodings (chunks
+/// gained fragment fields so one oversized bucket can span several
+/// chunks, and the head's `state_root` became the root of the
+/// two-level sharded state tree). Older stores are rejected with a
+/// clean [`StorageError::UnsupportedVersion`] — the migration story is
+/// state transfer from peers, not in-place upgrade.
+pub const VERSION: u32 = 5;
 
 /// A decoded snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -21,7 +21,9 @@
 
 use serde::{Deserialize, Serialize};
 use spotless_crypto::{Signature, SIGNATURE_LEN};
-use spotless_runtime::{ClusterClient, CommitLog, Envelope, Fabric, ReplicaHandle, StorageConfig};
+use spotless_runtime::{
+    BufferPool, ClusterClient, CommitLog, Envelope, Fabric, Payload, ReplicaHandle, StorageConfig,
+};
 use spotless_storage::StorageError;
 use spotless_types::{ClusterConfig, Node, ReplicaId};
 use std::sync::Arc;
@@ -40,10 +42,11 @@ use tokio::sync::mpsc;
 /// A signed wire frame, borrowing its variable-length fields.
 ///
 /// The codec is zero-copy on both sides of the socket: the sender
-/// encodes straight out of the envelope's `Arc`-shared payload (no
-/// per-frame signature or payload copy), and the receiver decodes
-/// views into its reusable read buffer, copying the payload exactly
-/// once — into the `Arc` the rest of the stack shares.
+/// encodes straight out of the envelope's refcounted payload (no
+/// per-frame signature or payload copy), and the receiver
+/// ([`read_envelope`]) hands the receive buffer itself to the stack as
+/// a pooled [`Payload`] view — no payload copy at all, and steady-state
+/// ingress reuses the same buffers frame after frame.
 ///
 /// Wire layout (after the 4-byte big-endian length prefix):
 /// `varint(from) ‖ varint(len) + payload ‖ varint(64) + sig` — byte
@@ -160,14 +163,65 @@ pub async fn read_frame<'a>(
     decode_frame(buf)
 }
 
-/// Converts a received frame into the stack's shared [`Envelope`],
-/// copying the payload exactly once (into its `Arc`).
+/// Converts a received frame into the stack's shared [`Envelope`] by
+/// copying the payload out of the borrowed frame. The fabric's own
+/// receive path avoids this copy via [`read_envelope`]; this remains
+/// for callers that hold only a borrowed [`FrameRef`].
 pub fn frame_to_envelope(frame: FrameRef<'_>) -> Envelope {
     Envelope {
         from: ReplicaId(frame.from),
-        payload: Arc::new(frame.payload.to_vec()),
+        payload: Payload::new(frame.payload.to_vec()),
         sig: Signature(*frame.sig),
     }
+}
+
+/// Reads one length-prefixed frame into a buffer taken from `pool` and
+/// converts it into an [`Envelope`] **without copying the payload**:
+/// the envelope's [`Payload`] is a refcounted view of the frame's
+/// payload range inside the receive buffer, and the buffer recycles
+/// into `pool` when the last view drops (after verification and
+/// decode). This kills the historical payload copy at frame decode —
+/// the bytes the socket wrote are the bytes the pipeline reads.
+pub async fn read_envelope(
+    stream: &mut TcpStream,
+    pool: &BufferPool,
+) -> Result<Envelope, FrameError> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).await?;
+    let len = u64::from(u32::from_be_bytes(len_buf));
+    if len > SIMPLE_FRAME_LIMIT {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut buf = pool.take();
+    buf.clear();
+    buf.resize(len as usize, 0);
+    if let Err(e) = stream.read_exact(&mut buf).await {
+        pool.put(buf);
+        return Err(e.into());
+    }
+    let (from, sig, start, end) = match decode_frame(&buf) {
+        Ok(frame) => {
+            // Safe pointer arithmetic locates the payload view within
+            // the buffer it was decoded from.
+            let base = buf.as_ptr() as usize;
+            let start = frame.payload.as_ptr() as usize - base;
+            (
+                ReplicaId(frame.from),
+                Signature(*frame.sig),
+                start,
+                start + frame.payload.len(),
+            )
+        }
+        Err(e) => {
+            pool.put(buf);
+            return Err(e);
+        }
+    };
+    Ok(Envelope {
+        from,
+        payload: Payload::pooled(buf, pool, start, end),
+        sig,
+    })
 }
 
 /// A TCP endpoint's sending half: one queue + sender task per peer, so
@@ -214,13 +268,15 @@ impl TcpFabric {
                 }
                 let tx = inbound_tx.clone();
                 tokio::spawn(async move {
-                    // One read buffer per connection, reused across
-                    // frames: steady-state receive allocates only the
-                    // payload's own `Arc`.
-                    let mut buf = Vec::new();
+                    // A per-connection buffer pool: each frame's
+                    // receive buffer becomes the payload the stack
+                    // shares (zero copies) and recycles once the last
+                    // view drops — steady-state receive allocates
+                    // nothing per frame.
+                    let pool = BufferPool::default();
                     loop {
-                        let env = match read_frame(&mut stream, &mut buf).await {
-                            Ok(frame) => frame_to_envelope(frame),
+                        let env = match read_envelope(&mut stream, &pool).await {
+                            Ok(env) => env,
                             Err(FrameError::Malformed) => continue,
                             Err(_) => break,
                         };
@@ -280,7 +336,7 @@ async fn peer_sender(me: ReplicaId, addr: String, mut rx: mpsc::UnboundedReceive
     while let Some(env) = rx.recv().await {
         let frame = FrameRef {
             from: me.0,
-            payload: &env.payload,
+            payload: env.payload.as_slice(),
             sig: &env.sig.0,
         };
         for _attempt in 0..2 {

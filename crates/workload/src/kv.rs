@@ -3,10 +3,10 @@
 //!
 //! Each replica holds an identical copy of the YCSB table (§6: "each
 //! replica is initialized with an identical copy of the YCSB table") and
-//! executes committed transactions sequentially. The store exposes two
-//! commitments over its contents:
+//! executes committed transactions deterministically. The store exposes
+//! two commitments over its contents:
 //!
-//! * a cheap **rolling digest** over the applied write sequence
+//! * a cheap **rolling digest** over the applied batch sequence
 //!   ([`KvStore::state_digest`]) — the per-batch divergence check tests
 //!   and client informs use;
 //! * a **Merkle state root** ([`KvStore::state_root`]) over the store's
@@ -14,34 +14,66 @@
 //!   snapshot receiver verify transferred state byte-for-byte against
 //!   the chain itself.
 //!
-//! The root is maintained incrementally so the hot path never rehashes
-//! the full store per block: keys are partitioned into
-//! [`STATE_BUCKETS`] fixed buckets by a multiplicative hash
-//! ([`bucket_of`]), each write marks only its bucket dirty, and sealing
-//! a block rehashes just the dirty buckets plus the (constant-size)
-//! Merkle tree over the bucket digests. [`KvStore::rebuild_state_root`]
+//! # Sharded layout and the two-level root
+//!
+//! Keys are partitioned into [`STATE_BUCKETS`] fixed buckets by a
+//! multiplicative hash ([`bucket_of`]); buckets are grouped into
+//! [`EXEC_SHARDS`] contiguous **execution shards** of [`SHARD_BUCKETS`]
+//! buckets each ([`shard_of_bucket`]). Each [`Shard`] owns its slice of
+//! the table outright — its keys, its bucket digests, its dirty flags —
+//! so non-conflicting committed batches can execute on different shards
+//! concurrently without sharing any mutable state
+//! ([`execute_on_shards`] is the single execution routine both the
+//! serial and the parallel path run).
+//!
+//! The state root is a **two-level Merkle tree**: each shard maintains a
+//! sub-root over its bucket digests, and the block-sealed root is the
+//! root of a tiny top tree over the [`EXEC_SHARDS`] sub-roots plus the
+//! meta leaf ([`META_LEAF`]). A bucket therefore proves into the root
+//! through a two-part proof — shard-level steps, then the shard's
+//! top-level steps — composed via `spotless_crypto::fold_proof`
+//! ([`verify_bucket`]). Writes mark only their bucket dirty; sealing a
+//! block rehashes just the dirty buckets, the touched shards' trees,
+//! and the constant 9-leaf top tree. [`KvStore::rebuild_state_root`]
 //! recomputes everything from scratch as the audit path.
 //!
-//! The same bucket partition is the unit of **chunked state transfer**:
-//! a chunk is a contiguous bucket range in canonical encoding
-//! ([`StateChunk`]), and each bucket's digest is one Merkle leaf, so a
-//! receiver can verify every chunk against a block's state root with an
-//! inclusion proof before trusting a single byte of it.
+//! The **rolling digest** chains one summary per committed batch: the
+//! fold of the batch's write entries in transaction order
+//! ([`BatchEffect::write_chain`]), chained into the store digest in
+//! commit order by [`KvStore::absorb_effect`]. Because the summary is
+//! computed inside the batch (not against global state), batches on
+//! disjoint shards can execute in parallel and still absorb in commit
+//! order to the exact digest serial execution produces.
+//!
+//! The bucket partition is also the unit of **chunked state transfer**:
+//! a chunk is a bucket range in canonical encoding ([`StateChunk`]) that
+//! never crosses a shard boundary, and a single bucket that outgrows the
+//! chunk budget is split into digest-addressed *fragments*
+//! (`part`/`parts`) — so no single bucket ever has to fit one wire
+//! frame, lifting the old ~1 GiB practical state bound.
 
 use crate::ycsb::{Operation, Transaction};
-use spotless_crypto::MerkleTree;
+use spotless_crypto::{MerkleTree, ProofStep};
 use spotless_types::Digest;
 use std::collections::{BTreeSet, HashMap};
 
-/// Number of fixed state buckets (Merkle leaves) the key space is
-/// partitioned into. **Consensus-critical**: every replica must use the
-/// same count (and [`bucket_of`] placement) or their state roots — and
-/// therefore their block hashes — diverge despite identical contents.
+/// Number of fixed state buckets the key space is partitioned into.
+/// **Consensus-critical**: every replica must use the same count (and
+/// [`bucket_of`] placement) or their state roots — and therefore their
+/// block hashes — diverge despite identical contents.
 pub const STATE_BUCKETS: usize = 1024;
 
+/// Number of execution shards the bucket space is divided into — the
+/// unit of parallel execution and the leaf count of the top state tree.
+/// **Consensus-critical**: shard boundaries decide sub-root layout.
+pub const EXEC_SHARDS: usize = 8;
+
+/// Buckets per execution shard (shards are contiguous bucket ranges).
+pub const SHARD_BUCKETS: usize = STATE_BUCKETS / EXEC_SHARDS;
+
 /// Leaf index of the store's metadata (rolling digest + counters) in
-/// the state Merkle tree: one past the last bucket.
-pub const META_LEAF: usize = STATE_BUCKETS;
+/// the **top** state tree: one past the last shard sub-root.
+pub const META_LEAF: usize = EXEC_SHARDS;
 
 /// The bucket a key belongs to. Fibonacci multiplicative hashing spreads
 /// the YCSB key space (dense small integers) evenly over the buckets.
@@ -51,10 +83,33 @@ pub fn bucket_of(key: u64) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> SHIFT) as usize
 }
 
-/// Domain prefix of a bucket digest (a Merkle leaf payload).
+/// The execution shard a bucket belongs to.
+pub fn shard_of_bucket(bucket: usize) -> usize {
+    bucket / SHARD_BUCKETS
+}
+
+/// The execution shard a key belongs to.
+pub fn shard_of_key(key: u64) -> usize {
+    shard_of_bucket(bucket_of(key))
+}
+
+/// A batch's shard footprint: bit `s` set iff some transaction touches
+/// shard `s`. With [`EXEC_SHARDS`] = 8 a `u8` covers the space; two
+/// batches conflict exactly when their footprints intersect.
+pub fn batch_footprint(txns: &[Transaction]) -> u8 {
+    let mut mask = 0u8;
+    for txn in txns {
+        mask |= 1 << shard_of_key(txn.op.key());
+    }
+    mask
+}
+
+/// Domain prefix of a bucket digest (a shard-tree Merkle leaf payload).
 const BUCKET_DOMAIN: &[u8] = b"spotless-kv-bucket-v1";
 /// Magic prefix of the canonical metadata encoding (the meta leaf).
-const META_MAGIC: &[u8] = b"spotless-kv-meta-v1";
+/// v2: the rolling digest chains per-batch write summaries (parallel
+/// execution semantics) instead of per-write entries.
+const META_MAGIC: &[u8] = b"spotless-kv-meta-v2";
 
 /// Result of executing one transaction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,26 +125,51 @@ pub enum ExecResult {
     Written,
 }
 
-/// One chunk of a state transfer: the canonical encodings of a
-/// contiguous bucket range. Chunks partition the whole bucket space;
-/// each bucket inside verifies independently against the chain's state
-/// root via its Merkle inclusion proof.
+/// One chunk of a state transfer: the canonical encodings of a bucket
+/// range that never crosses a shard boundary. Each whole bucket inside
+/// verifies independently against the chain's state root via its
+/// two-part Merkle inclusion proof ([`verify_bucket`]).
+///
+/// A bucket whose encoding exceeds the chunk budget travels as a series
+/// of **fragments**: `parts > 1` chunks for the same `first_bucket`,
+/// `part` = 0..parts, each carrying one byte slice of the encoding.
+/// Fragments are content-digest addressed in the manifest and verified
+/// cryptographically when the assembled store's rebuilt root is gated
+/// against the certified head at install time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StateChunk {
     /// Index of the first bucket in the chunk.
     pub first_bucket: u32,
-    /// Canonical encodings of buckets `first_bucket..first_bucket + len`.
+    /// Canonical encodings of buckets `first_bucket..first_bucket + len`
+    /// (whole chunks), or exactly one fragment byte slice (`parts > 1`).
     pub buckets: Vec<Vec<u8>>,
+    /// Fragment index within a split bucket; 0 for whole chunks.
+    pub part: u32,
+    /// Total fragments the bucket was split into; 1 for whole chunks.
+    pub parts: u32,
 }
 
 impl StateChunk {
+    /// A whole (non-fragment) chunk.
+    pub fn whole(first_bucket: u32, buckets: Vec<Vec<u8>>) -> StateChunk {
+        StateChunk {
+            first_bucket,
+            buckets,
+            part: 0,
+            parts: 1,
+        }
+    }
+
     /// Canonical byte encoding (also the content-address preimage):
-    /// `first:u32 count:u32 (len:u32 bytes)*`, little-endian.
+    /// `first:u32 count:u32 part:u32 parts:u32 (len:u32 bytes)*`,
+    /// little-endian.
     pub fn encode(&self) -> Vec<u8> {
         let total: usize = self.buckets.iter().map(|b| 8 + b.len()).sum();
-        let mut out = Vec::with_capacity(8 + total);
+        let mut out = Vec::with_capacity(16 + total);
         out.extend_from_slice(&self.first_bucket.to_le_bytes());
         out.extend_from_slice(&(self.buckets.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.part.to_le_bytes());
+        out.extend_from_slice(&self.parts.to_le_bytes());
         for b in &self.buckets {
             out.extend_from_slice(&(b.len() as u32).to_le_bytes());
             out.extend_from_slice(b);
@@ -98,15 +178,23 @@ impl StateChunk {
     }
 
     /// Decodes [`encode`](StateChunk::encode) output. Fail-closed: any
-    /// structural defect (including trailing bytes or a bucket range
-    /// leaving `0..STATE_BUCKETS`) yields `None`.
+    /// structural defect (trailing bytes, a bucket range leaving
+    /// `0..STATE_BUCKETS`, inconsistent fragment fields) yields `None`.
     pub fn decode(bytes: &[u8]) -> Option<StateChunk> {
         use spotless_types::bytes::take;
         let mut rest = bytes;
         let first_bucket = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
         let count = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+        let part = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
+        let parts = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?);
         if count == 0 || (first_bucket as u64 + count as u64) > STATE_BUCKETS as u64 {
             return None;
+        }
+        if parts == 0 || part >= parts || parts > MAX_BUCKET_FRAGMENTS {
+            return None;
+        }
+        if parts > 1 && count != 1 {
+            return None; // a fragment carries exactly one byte slice
         }
         let mut buckets = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -119,6 +207,8 @@ impl StateChunk {
         Some(StateChunk {
             first_bucket,
             buckets,
+            part,
+            parts,
         })
     }
 
@@ -129,28 +219,288 @@ impl StateChunk {
     }
 }
 
-/// Digest of one canonically encoded bucket — the Merkle leaf payload
-/// for that bucket's index. Verifiers recompute this over received
-/// bucket bytes before checking the inclusion proof.
+/// Sanity cap on how many fragments one bucket may split into — 2^16
+/// fragments at any realistic budget is far past any state size this
+/// system can hold in memory; a larger claim is a malformed frame.
+pub const MAX_BUCKET_FRAGMENTS: u32 = 1 << 16;
+
+/// Digest of one canonically encoded bucket — the shard-tree Merkle
+/// leaf payload for that bucket's index. Verifiers recompute this over
+/// received bucket bytes before checking the inclusion proof.
 pub fn bucket_leaf_digest(encoded_bucket: &[u8]) -> Digest {
     spotless_crypto::digest_fields(&[BUCKET_DOMAIN, encoded_bucket])
 }
 
-/// An in-memory YCSB table with deterministic state digesting and an
-/// incrementally maintained Merkle state root.
-pub struct KvStore {
+/// The block-sealed state root implied by per-shard sub-roots plus the
+/// canonical meta encoding: the root of the 9-leaf top tree. This is
+/// the commit-order fold's sealing primitive — the parallel executor
+/// tracks sub-roots per shard and calls this per block, never touching
+/// the shard trees themselves.
+pub fn top_state_root(shard_roots: &[Digest], meta: &[u8]) -> Digest {
+    debug_assert_eq!(shard_roots.len(), EXEC_SHARDS);
+    let mut leaves: Vec<Vec<u8>> = Vec::with_capacity(EXEC_SHARDS + 1);
+    for d in shard_roots {
+        leaves.push(d.0.to_vec());
+    }
+    leaves.push(meta.to_vec());
+    MerkleTree::build(&leaves).root()
+}
+
+/// Verifies bucket `b`'s canonical encoding against a state root
+/// through a two-part proof: `shard_proof` carries the bucket to its
+/// shard's sub-root, `top_proof` carries that sub-root to the root.
+/// Position-pinned on both levels — a valid proof for any *other*
+/// bucket or shard slot is rejected.
+pub fn verify_bucket(
+    b: usize,
+    encoded_bucket: &[u8],
+    shard_proof: &[ProofStep],
+    top_proof: &[ProofStep],
+    root: &Digest,
+) -> bool {
+    use spotless_crypto::{fold_proof, leaf_digest, proof_index, verify_inclusion};
+    if b >= STATE_BUCKETS
+        || proof_index(shard_proof) != b % SHARD_BUCKETS
+        || proof_index(top_proof) != shard_of_bucket(b)
+    {
+        return false;
+    }
+    let leaf = bucket_leaf_digest(encoded_bucket);
+    let sub_root = fold_proof(leaf_digest(&leaf.0), shard_proof);
+    verify_inclusion(&sub_root.0, top_proof, root)
+}
+
+/// The deterministic effect of executing one batch: counter deltas plus
+/// the fold of the batch's write entries in transaction order. Computed
+/// identically by serial and parallel execution ([`execute_on_shards`]),
+/// absorbed into the store in commit order
+/// ([`KvStore::absorb_effect`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchEffect {
+    /// Writes the batch applied.
+    pub writes: u64,
+    /// Reads the batch served.
+    pub reads: u64,
+    /// Fold (from the zero digest) of `digest_fields([key_be, value])`
+    /// per write, chained in transaction order.
+    pub write_chain: Digest,
+}
+
+impl BatchEffect {
+    /// The no-op effect (empty batch).
+    pub const EMPTY: BatchEffect = BatchEffect {
+        writes: 0,
+        reads: 0,
+        write_chain: Digest::ZERO,
+    };
+}
+
+impl Default for BatchEffect {
+    fn default() -> Self {
+        BatchEffect::EMPTY
+    }
+}
+
+/// One execution shard: exclusive owner of a contiguous
+/// [`SHARD_BUCKETS`]-bucket slice of the table, its leaf digests, and
+/// its sub-root cache. Shards are `Send`, carry no shared state, and
+/// can be taken out of a [`KvStore`] ([`KvStore::take_shards`]) to
+/// execute batches on worker threads.
+pub struct Shard {
+    id: usize,
     table: HashMap<u64, Vec<u8>>,
-    /// Rolling digest of the applied write sequence.
-    state: Digest,
-    writes_applied: u64,
-    reads_served: u64,
-    /// Sorted key membership per bucket (the canonical bucket order).
+    /// Sorted key membership per local bucket (canonical bucket order).
     bucket_keys: Vec<BTreeSet<u64>>,
-    /// Cached per-bucket leaf digests; entries listed in `dirty` are
-    /// stale and recomputed lazily at the next root/merkle call.
+    /// Cached per-bucket leaf digests; entries flagged `dirty` are
+    /// stale and recomputed lazily at the next sub-root call.
     bucket_digests: Vec<Digest>,
     dirty: Vec<bool>,
     any_dirty: bool,
+    /// Cached sub-root; `None` whenever contents changed since the last
+    /// computation.
+    cached_sub_root: Option<Digest>,
+}
+
+impl Shard {
+    fn new(id: usize) -> Shard {
+        debug_assert!(id < EXEC_SHARDS);
+        Shard {
+            id,
+            table: HashMap::new(),
+            bucket_keys: vec![BTreeSet::new(); SHARD_BUCKETS],
+            bucket_digests: vec![Digest::ZERO; SHARD_BUCKETS],
+            dirty: vec![true; SHARD_BUCKETS],
+            any_dirty: true,
+            cached_sub_root: None,
+        }
+    }
+
+    /// This shard's index in `0..EXEC_SHARDS`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Records currently stored in this shard.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True iff the shard holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    fn raw_insert(&mut self, key: u64, value: Vec<u8>) {
+        debug_assert_eq!(shard_of_key(key), self.id, "key routed to wrong shard");
+        let local = bucket_of(key) % SHARD_BUCKETS;
+        self.bucket_keys[local].insert(key);
+        self.table.insert(key, value);
+        self.dirty[local] = true;
+        self.any_dirty = true;
+        self.cached_sub_root = None;
+    }
+
+    /// Canonical encoding of local bucket `local`: `count:u32` then, per
+    /// key in ascending order, `key:u64 len:u32 value` — identical bytes
+    /// to the pre-shard layout (the bucket encoding is shard-agnostic).
+    fn encode_local_bucket(&self, local: usize) -> Vec<u8> {
+        let keys = &self.bucket_keys[local];
+        let mut out = Vec::with_capacity(4 + keys.len() * 16);
+        out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+        for &key in keys {
+            let value = &self.table[&key];
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        out
+    }
+
+    /// Recomputes the leaf digests of dirty buckets (cheap on the hot
+    /// path: only buckets touched since the last call).
+    fn refresh(&mut self) {
+        if !self.any_dirty {
+            return;
+        }
+        for local in 0..SHARD_BUCKETS {
+            if self.dirty[local] {
+                self.bucket_digests[local] = bucket_leaf_digest(&self.encode_local_bucket(local));
+                self.dirty[local] = false;
+            }
+        }
+        self.any_dirty = false;
+    }
+
+    /// The shard's Merkle tree over its bucket leaf digests.
+    fn merkle(&mut self) -> MerkleTree {
+        self.refresh();
+        let leaves: Vec<Vec<u8>> = self.bucket_digests.iter().map(|d| d.0.to_vec()).collect();
+        MerkleTree::build(&leaves)
+    }
+
+    /// The shard's sub-root — one leaf of the top state tree. Cached;
+    /// recomputed only over dirty buckets.
+    pub fn sub_root(&mut self) -> Digest {
+        if let Some(root) = self.cached_sub_root {
+            return root;
+        }
+        let root = self.merkle().root();
+        self.cached_sub_root = Some(root);
+        root
+    }
+}
+
+/// Executes a batch against the given shards — the **single execution
+/// routine** shared by serial and parallel paths, so their equivalence
+/// holds by construction. `shards` must contain every shard the batch
+/// touches (any subset of a store's shards, in any order); routing a
+/// transaction to a missing shard is a scheduler bug and panics loudly
+/// rather than diverging. Counters and the write chain fold in
+/// transaction order into the returned [`BatchEffect`]; the store's
+/// rolling digest is untouched until the effect is absorbed in commit
+/// order.
+pub fn execute_on_shards(shards: &mut [Shard], txns: &[Transaction]) -> BatchEffect {
+    let mut pos = [usize::MAX; EXEC_SHARDS];
+    for (i, s) in shards.iter().enumerate() {
+        pos[s.id] = i;
+    }
+    let mut effect = BatchEffect::EMPTY;
+    for txn in txns {
+        let slot = pos[shard_of_key(txn.op.key())];
+        assert!(slot != usize::MAX, "batch routed to unscheduled shard");
+        let shard = &mut shards[slot];
+        match &txn.op {
+            Operation::Read { key } => {
+                effect.reads += 1;
+                // The value digest is only surfaced by single-txn
+                // `execute`; batch execution needs just the counter.
+                let _ = shard.table.get(key);
+            }
+            Operation::Update { key, value } => {
+                effect.writes += 1;
+                let entry = spotless_crypto::digest_fields(&[&key.to_be_bytes(), value]);
+                effect.write_chain = spotless_crypto::digest_chained(&effect.write_chain, &entry);
+                shard.raw_insert(*key, value.clone());
+            }
+        }
+    }
+    effect
+}
+
+/// Everything needed to prove buckets and meta into one frozen state
+/// root: the per-shard trees plus the top tree. Serving peers build one
+/// per outgoing snapshot and derive all chunk proofs from it.
+pub struct StateProver {
+    shard_trees: Vec<MerkleTree>,
+    top: MerkleTree,
+}
+
+impl StateProver {
+    /// The state root this prover proves into.
+    pub fn root(&self) -> Digest {
+        self.top.root()
+    }
+
+    /// Two-part inclusion proof for bucket `b` (global index):
+    /// `(shard_proof, top_proof)` as consumed by [`verify_bucket`].
+    pub fn prove_bucket(&self, b: usize) -> Option<(Vec<ProofStep>, Vec<ProofStep>)> {
+        if b >= STATE_BUCKETS {
+            return None;
+        }
+        let shard = shard_of_bucket(b);
+        let shard_proof = self.shard_trees[shard].prove(b % SHARD_BUCKETS)?;
+        let top_proof = self.top.prove(shard)?;
+        Some((shard_proof, top_proof))
+    }
+
+    /// Top-tree inclusion proof for shard `s`'s sub-root — shared by
+    /// every bucket of one shard-aligned chunk.
+    pub fn prove_shard(&self, s: usize) -> Option<Vec<ProofStep>> {
+        if s >= EXEC_SHARDS {
+            return None;
+        }
+        self.top.prove(s)
+    }
+
+    /// Top-tree inclusion proof for the meta leaf ([`META_LEAF`]).
+    pub fn prove_meta(&self) -> Option<Vec<ProofStep>> {
+        self.top.prove(META_LEAF)
+    }
+}
+
+/// An in-memory YCSB table, split into [`EXEC_SHARDS`] independently
+/// executable shards, with deterministic per-batch state digesting and
+/// an incrementally maintained two-level Merkle state root.
+pub struct KvStore {
+    /// Shard `i` at index `i`. Temporarily replaced by empty
+    /// placeholders while taken for parallel execution
+    /// ([`KvStore::take_shards`]); the pipeline blocks on the join
+    /// before touching the store again.
+    shards: Vec<Shard>,
+    /// Rolling digest over the absorbed batch-effect sequence.
+    state: Digest,
+    writes_applied: u64,
+    reads_served: u64,
     /// Cached root; `None` whenever contents or meta changed since the
     /// last computation.
     cached_root: Option<Digest>,
@@ -160,14 +510,10 @@ impl KvStore {
     /// An empty store.
     pub fn new() -> KvStore {
         KvStore {
-            table: HashMap::new(),
+            shards: (0..EXEC_SHARDS).map(Shard::new).collect(),
             state: Digest::ZERO,
             writes_applied: 0,
             reads_served: 0,
-            bucket_keys: vec![BTreeSet::new(); STATE_BUCKETS],
-            bucket_digests: vec![Digest::ZERO; STATE_BUCKETS],
-            dirty: vec![true; STATE_BUCKETS],
-            any_dirty: true,
             cached_root: None,
         }
     }
@@ -186,22 +532,18 @@ impl KvStore {
     /// Inserts without touching the rolling digest or counters (used by
     /// initialization and snapshot restore).
     fn raw_insert(&mut self, key: u64, value: Vec<u8>) {
-        let b = bucket_of(key);
-        self.bucket_keys[b].insert(key);
-        self.table.insert(key, value);
-        self.dirty[b] = true;
-        self.any_dirty = true;
+        self.shards[shard_of_key(key)].raw_insert(key, value);
         self.cached_root = None;
     }
 
     /// Number of records currently stored.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.shards.iter().map(|s| s.table.len()).sum()
     }
 
     /// True iff the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.shards.iter().all(|s| s.table.is_empty())
     }
 
     /// Writes applied so far.
@@ -214,63 +556,96 @@ impl KvStore {
         self.reads_served
     }
 
-    /// The rolling digest over the applied write sequence. Two replicas
-    /// that executed the same committed transaction sequence have equal
-    /// state digests.
+    /// The rolling digest over the absorbed batch sequence. Two replicas
+    /// that executed the same committed batch sequence have equal state
+    /// digests.
     pub fn state_digest(&self) -> Digest {
         self.state
     }
 
-    /// Executes one transaction.
+    /// Takes ownership of all shards for parallel execution, leaving
+    /// empty placeholders behind. The caller must return the same
+    /// shards via [`restore_shards`](KvStore::restore_shards) before
+    /// the store is used again; every read/root path in between would
+    /// see an empty table.
+    pub fn take_shards(&mut self) -> Vec<Shard> {
+        self.cached_root = None;
+        std::mem::replace(&mut self.shards, (0..EXEC_SHARDS).map(Shard::new).collect())
+    }
+
+    /// Restores shards taken by [`take_shards`](KvStore::take_shards),
+    /// in any order; panics unless exactly shards `0..EXEC_SHARDS` come
+    /// back (losing a shard would silently truncate the table).
+    pub fn restore_shards(&mut self, mut shards: Vec<Shard>) {
+        shards.sort_by_key(|s| s.id);
+        assert_eq!(shards.len(), EXEC_SHARDS, "shard set must be complete");
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.id, i, "shard set must be complete");
+        }
+        self.shards = shards;
+        self.cached_root = None;
+    }
+
+    /// Current sub-root per shard (refreshing dirty buckets) — the seed
+    /// the parallel executor's commit-order fold starts from.
+    pub fn shard_sub_roots(&mut self) -> Vec<Digest> {
+        self.shards.iter_mut().map(|s| s.sub_root()).collect()
+    }
+
+    /// Absorbs a batch effect in commit order: counter deltas, and —
+    /// iff the batch wrote — one chained step of the rolling digest.
+    /// Absorbing the effects of a group of batches in commit order
+    /// leaves the store byte-identical to serial execution of the same
+    /// sequence.
+    pub fn absorb_effect(&mut self, effect: &BatchEffect) {
+        if effect.writes == 0 && effect.reads == 0 {
+            return;
+        }
+        self.writes_applied += effect.writes;
+        self.reads_served += effect.reads;
+        if effect.writes > 0 {
+            self.state = spotless_crypto::digest_chained(&self.state, &effect.write_chain);
+        }
+        // Counters live in the meta leaf, so even a read-only batch
+        // moves the root (deterministically — counters are committed
+        // state).
+        self.cached_root = None;
+    }
+
+    /// Executes one transaction as a singleton batch.
     pub fn execute(&mut self, txn: &Transaction) -> ExecResult {
-        match &txn.op {
+        let result = match &txn.op {
             Operation::Read { key } => {
-                self.reads_served += 1;
-                // Counters live in the meta leaf, so even a read moves
-                // the root (deterministically — reads are part of the
-                // ordered execution sequence).
-                self.cached_root = None;
-                let value_digest = self
+                let value_digest = self.shards[shard_of_key(*key)]
                     .table
                     .get(key)
                     .map(|v| spotless_crypto::digest_bytes(v))
                     .unwrap_or(Digest::ZERO);
                 ExecResult::Read { value_digest }
             }
-            Operation::Update { key, value } => {
-                self.writes_applied += 1;
-                self.raw_insert(*key, value.clone());
-                // Chain the state digest over (key, value digest).
-                let entry = spotless_crypto::digest_fields(&[&key.to_be_bytes(), value]);
-                self.state = spotless_crypto::digest_chained(&self.state, &entry);
-                ExecResult::Written
-            }
-        }
+            Operation::Update { .. } => ExecResult::Written,
+        };
+        let effect = execute_on_shards(&mut self.shards, std::slice::from_ref(txn));
+        self.absorb_effect(&effect);
+        result
     }
 
-    /// Executes a whole batch, returning the post-batch state digest.
+    /// Executes a whole batch serially, returning the post-batch state
+    /// digest. Exactly [`execute_on_shards`] over all shards followed by
+    /// [`absorb_effect`](KvStore::absorb_effect) — the reference the
+    /// parallel path is proven equivalent to.
     pub fn execute_batch(&mut self, txns: &[Transaction]) -> Digest {
-        for txn in txns {
-            self.execute(txn);
-        }
+        let effect = execute_on_shards(&mut self.shards, txns);
+        self.absorb_effect(&effect);
         self.state
     }
 
-    /// Canonical encoding of bucket `b`: `count:u32` then, per key in
-    /// ascending order, `key:u64 len:u32 value`. This is both the Merkle
-    /// leaf preimage (via [`bucket_leaf_digest`]) and the transfer
-    /// payload unit.
+    /// Canonical encoding of bucket `b` (global index): `count:u32`
+    /// then, per key in ascending order, `key:u64 len:u32 value`. This
+    /// is both the shard-tree leaf preimage (via [`bucket_leaf_digest`])
+    /// and the transfer payload unit.
     pub fn encode_bucket(&self, b: usize) -> Vec<u8> {
-        let keys = &self.bucket_keys[b];
-        let mut out = Vec::with_capacity(4 + keys.len() * 16);
-        out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
-        for &key in keys {
-            let value = &self.table[&key];
-            out.extend_from_slice(&key.to_le_bytes());
-            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
-            out.extend_from_slice(value);
-        }
-        out
+        self.shards[shard_of_bucket(b)].encode_local_bucket(b % SHARD_BUCKETS)
     }
 
     /// Decodes one canonically encoded bucket, enforcing the canonical
@@ -301,7 +676,7 @@ impl KvStore {
 
     /// Canonical encoding of the meta leaf: rolling digest + counters.
     /// Travels with transfer manifests; verified against the state root
-    /// via the [`META_LEAF`] inclusion proof.
+    /// via the [`META_LEAF`] top-tree inclusion proof.
     pub fn transfer_meta(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(META_MAGIC.len() + 48);
         out.extend_from_slice(META_MAGIC);
@@ -327,42 +702,31 @@ impl KvStore {
         Some((state, writes, reads))
     }
 
-    /// Recomputes the leaf digests of dirty buckets (cheap on the hot
-    /// path: only buckets touched since the last call).
-    fn refresh_buckets(&mut self) {
-        if !self.any_dirty {
-            return;
+    /// Freezes the full two-level proof structure — per-shard trees
+    /// plus the top tree — for serving chunk inclusion proofs.
+    pub fn state_prover(&mut self) -> StateProver {
+        let shard_trees: Vec<MerkleTree> = self.shards.iter_mut().map(|s| s.merkle()).collect();
+        let mut top_leaves: Vec<Vec<u8>> = Vec::with_capacity(EXEC_SHARDS + 1);
+        for t in &shard_trees {
+            top_leaves.push(t.root().0.to_vec());
         }
-        for b in 0..STATE_BUCKETS {
-            if self.dirty[b] {
-                self.bucket_digests[b] = bucket_leaf_digest(&self.encode_bucket(b));
-                self.dirty[b] = false;
-            }
+        top_leaves.push(self.transfer_meta());
+        StateProver {
+            shard_trees,
+            top: MerkleTree::build(&top_leaves),
         }
-        self.any_dirty = false;
-    }
-
-    /// The state Merkle tree: leaves `0..STATE_BUCKETS` are the bucket
-    /// digests, leaf [`META_LEAF`] is the meta encoding. Serving peers
-    /// derive chunk inclusion proofs from it.
-    pub fn state_merkle(&mut self) -> MerkleTree {
-        self.refresh_buckets();
-        let mut leaves: Vec<Vec<u8>> = Vec::with_capacity(STATE_BUCKETS + 1);
-        for d in &self.bucket_digests {
-            leaves.push(d.0.to_vec());
-        }
-        leaves.push(self.transfer_meta());
-        MerkleTree::build(&leaves)
     }
 
     /// The Merkle commitment over the store's contents — what every
     /// ledger block seals as its `state_root`. Incremental: rehashes
-    /// only dirty buckets plus the constant-size tree.
+    /// only dirty buckets, their shards' trees, and the 9-leaf top
+    /// tree.
     pub fn state_root(&mut self) -> Digest {
         if let Some(root) = self.cached_root {
             return root;
         }
-        let root = self.state_merkle().root();
+        let sub_roots: Vec<Digest> = self.shards.iter_mut().map(|s| s.sub_root()).collect();
+        let root = top_state_root(&sub_roots, &self.transfer_meta());
         self.cached_root = Some(root);
         root
     }
@@ -373,94 +737,142 @@ impl KvStore {
     /// snapshot installation uses it as the final gate on assembled
     /// state.
     pub fn rebuild_state_root(&self) -> Digest {
-        let mut buckets: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); STATE_BUCKETS];
-        for &key in self.table.keys() {
-            buckets[bucket_of(key)].insert(key);
-        }
-        let mut leaves: Vec<Vec<u8>> = Vec::with_capacity(STATE_BUCKETS + 1);
-        for (b, keys) in buckets.iter().enumerate() {
-            let mut enc = Vec::with_capacity(4 + keys.len() * 16);
-            enc.extend_from_slice(&(keys.len() as u32).to_le_bytes());
-            for &key in keys {
-                let value = &self.table[&key];
-                enc.extend_from_slice(&key.to_le_bytes());
-                enc.extend_from_slice(&(value.len() as u32).to_le_bytes());
-                enc.extend_from_slice(value);
+        let mut sub_roots = Vec::with_capacity(EXEC_SHARDS);
+        for shard in &self.shards {
+            let mut buckets: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); SHARD_BUCKETS];
+            for &key in shard.table.keys() {
+                buckets[bucket_of(key) % SHARD_BUCKETS].insert(key);
             }
-            debug_assert_eq!(enc, self.encode_bucket(b));
-            leaves.push(bucket_leaf_digest(&enc).0.to_vec());
+            let mut leaves: Vec<Vec<u8>> = Vec::with_capacity(SHARD_BUCKETS);
+            for (local, keys) in buckets.iter().enumerate() {
+                let mut enc = Vec::with_capacity(4 + keys.len() * 16);
+                enc.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for &key in keys {
+                    let value = &shard.table[&key];
+                    enc.extend_from_slice(&key.to_le_bytes());
+                    enc.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                    enc.extend_from_slice(value);
+                }
+                debug_assert_eq!(enc, shard.encode_local_bucket(local));
+                leaves.push(bucket_leaf_digest(&enc).0.to_vec());
+            }
+            sub_roots.push(MerkleTree::build(&leaves).root());
         }
-        leaves.push(self.transfer_meta());
-        MerkleTree::build(&leaves).root()
+        top_state_root(&sub_roots, &self.transfer_meta())
     }
 
-    /// Splits the whole store into transfer chunks: contiguous bucket
-    /// ranges packed greedily up to `budget` raw bytes each (always at
-    /// least one bucket per chunk). The chunks partition
-    /// `0..STATE_BUCKETS` exactly; together with
+    /// Splits the whole store into transfer chunks: bucket ranges packed
+    /// greedily up to `budget` raw bytes each, **never crossing a shard
+    /// boundary** (each chunk's buckets share one top-level proof), and
+    /// splitting any single bucket that outgrows the budget into
+    /// digest-addressed fragments of at most `budget` bytes. The chunks
+    /// cover `0..STATE_BUCKETS` exactly; together with
     /// [`transfer_meta`](KvStore::transfer_meta) they are the complete,
-    /// verifiable serialization of the store.
-    ///
-    /// Scale bound: a single bucket is the smallest transferable unit,
-    /// so one bucket's encoding must itself fit a wire frame — with
-    /// [`STATE_BUCKETS`] fixed at 1024 and an evenly hashed key space
-    /// that caps practical state around `1024 × chunk budget` (~1 GiB
-    /// at the default budget) before skewed buckets risk outgrowing a
-    /// frame. Growing past that needs a larger bucket count or
-    /// sub-bucket chunking — a recorded ROADMAP item, since the bucket
-    /// count is consensus-critical and cannot change ad hoc.
+    /// verifiable serialization of the store — and because fragments
+    /// exist, no single bucket ever has to fit one wire frame (the old
+    /// ~1 GiB practical state bound is gone).
     pub fn to_chunks(&self, budget: usize) -> Vec<StateChunk> {
+        let budget = budget.max(1);
         let mut chunks = Vec::new();
-        let mut current = StateChunk {
-            first_bucket: 0,
-            buckets: Vec::new(),
-        };
+        let mut current = StateChunk::whole(0, Vec::new());
         let mut current_bytes = 0usize;
         for b in 0..STATE_BUCKETS {
             let enc = self.encode_bucket(b);
-            if !current.buckets.is_empty() && current_bytes + enc.len() > budget {
+            let at_shard_boundary = b % SHARD_BUCKETS == 0;
+            if !current.buckets.is_empty()
+                && (current_bytes + enc.len() > budget || at_shard_boundary)
+            {
                 let next_first = current.first_bucket + current.buckets.len() as u32;
                 chunks.push(std::mem::replace(
                     &mut current,
-                    StateChunk {
-                        first_bucket: next_first,
-                        buckets: Vec::new(),
-                    },
+                    StateChunk::whole(next_first, Vec::new()),
                 ));
                 current_bytes = 0;
+            }
+            if enc.len() > budget {
+                // Oversized bucket: emit fragments instead of a whole
+                // chunk. `current` is empty here and already points at
+                // bucket `b`.
+                debug_assert!(current.buckets.is_empty());
+                let parts = enc.len().div_ceil(budget) as u32;
+                for (part, piece) in enc.chunks(budget).enumerate() {
+                    chunks.push(StateChunk {
+                        first_bucket: b as u32,
+                        buckets: vec![piece.to_vec()],
+                        part: part as u32,
+                        parts,
+                    });
+                }
+                current.first_bucket = b as u32 + 1;
+                continue;
             }
             current_bytes += enc.len();
             current.buckets.push(enc);
         }
-        chunks.push(current);
+        if !current.buckets.is_empty() {
+            chunks.push(current);
+        }
         chunks
     }
 
     /// Reassembles a store from a complete transfer: `meta` plus chunks
-    /// covering every bucket exactly once. Fail-closed on any structural
-    /// defect — gaps, overlaps, malformed buckets, keys in the wrong
-    /// bucket. The caller still owns the cryptographic gate: comparing
-    /// [`rebuild_state_root`](KvStore::rebuild_state_root) (or
-    /// [`state_root`](KvStore::state_root)) of the result against the
-    /// chain's committed root.
+    /// covering every bucket exactly once, with fragment series
+    /// (`parts > 1`) arriving in order and concatenating back into one
+    /// bucket encoding. Fail-closed on any structural defect — gaps,
+    /// overlaps, malformed buckets, keys in the wrong bucket, broken
+    /// fragment series. The caller still owns the cryptographic gate:
+    /// comparing [`rebuild_state_root`](KvStore::rebuild_state_root)
+    /// (or [`state_root`](KvStore::state_root)) of the result against
+    /// the chain's committed root.
     pub fn from_transfer(meta: &[u8], chunks: &[StateChunk]) -> Option<KvStore> {
         let (state, writes_applied, reads_served) = KvStore::decode_meta(meta)?;
         let mut store = KvStore::new();
         let mut next_bucket = 0usize;
-        for chunk in chunks {
+        let mut i = 0usize;
+        while i < chunks.len() {
+            let chunk = &chunks[i];
             if chunk.first_bucket as usize != next_bucket {
                 return None;
             }
-            for (off, enc) in chunk.buckets.iter().enumerate() {
-                let b = chunk.first_bucket as usize + off;
-                if b >= STATE_BUCKETS {
+            if chunk.parts > 1 {
+                // A fragment series: `parts` consecutive single-slice
+                // chunks for the same bucket.
+                if chunk.part != 0 || chunk.buckets.len() != 1 {
                     return None;
                 }
-                for (key, value) in KvStore::decode_bucket(b, enc)? {
+                let mut enc = chunk.buckets[0].clone();
+                for part in 1..chunk.parts {
+                    i += 1;
+                    let frag = chunks.get(i)?;
+                    if frag.first_bucket != chunk.first_bucket
+                        || frag.parts != chunk.parts
+                        || frag.part != part
+                        || frag.buckets.len() != 1
+                    {
+                        return None;
+                    }
+                    enc.extend_from_slice(&frag.buckets[0]);
+                }
+                for (key, value) in KvStore::decode_bucket(next_bucket, &enc)? {
                     store.raw_insert(key, value);
                 }
+                next_bucket += 1;
+            } else {
+                if chunk.part != 0 {
+                    return None;
+                }
+                for (off, enc) in chunk.buckets.iter().enumerate() {
+                    let b = chunk.first_bucket as usize + off;
+                    if b >= STATE_BUCKETS {
+                        return None;
+                    }
+                    for (key, value) in KvStore::decode_bucket(b, enc)? {
+                        store.raw_insert(key, value);
+                    }
+                }
+                next_bucket += chunk.buckets.len();
             }
-            next_bucket += chunk.buckets.len();
+            i += 1;
         }
         if next_bucket != STATE_BUCKETS {
             return None;
@@ -478,16 +890,21 @@ impl KvStore {
     /// `snapshot_transfer` bench) and for small-state tooling; the
     /// durable and transfer paths use [`to_chunks`](KvStore::to_chunks).
     pub fn to_snapshot_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.table.len() * 16);
+        let count: usize = self.len();
+        let mut out = Vec::with_capacity(64 + count * 16);
         out.extend_from_slice(SNAPSHOT_MAGIC);
         out.extend_from_slice(&self.state.0);
         out.extend_from_slice(&self.writes_applied.to_le_bytes());
         out.extend_from_slice(&self.reads_served.to_le_bytes());
-        out.extend_from_slice(&(self.table.len() as u64).to_le_bytes());
-        let mut keys: Vec<u64> = self.table.keys().copied().collect();
+        out.extend_from_slice(&(count as u64).to_le_bytes());
+        let mut keys: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.table.keys().copied())
+            .collect();
         keys.sort_unstable();
         for key in keys {
-            let value = &self.table[&key];
+            let value = &self.shards[shard_of_key(key)].table[&key];
             out.extend_from_slice(&key.to_le_bytes());
             out.extend_from_slice(&(value.len() as u32).to_le_bytes());
             out.extend_from_slice(value);
@@ -528,8 +945,9 @@ impl KvStore {
     }
 }
 
-/// Version-bearing magic prefix of a monolithic KV snapshot.
-const SNAPSHOT_MAGIC: &[u8] = b"spotless-kv-snapshot-v1";
+/// Version-bearing magic prefix of a monolithic KV snapshot. v2: the
+/// stored rolling digest uses per-batch chaining semantics.
+const SNAPSHOT_MAGIC: &[u8] = b"spotless-kv-snapshot-v2";
 
 impl Default for KvStore {
     fn default() -> Self {
@@ -557,6 +975,38 @@ mod tests {
             id,
             op: Operation::Read { key },
         }
+    }
+
+    /// Buckets covered by a chunk list, counting a fragment series once.
+    fn buckets_covered(chunks: &[StateChunk]) -> usize {
+        chunks
+            .iter()
+            .map(|c| {
+                if c.parts > 1 {
+                    usize::from(c.part == 0)
+                } else {
+                    c.buckets.len()
+                }
+            })
+            .sum()
+    }
+
+    #[test]
+    fn shard_layout_is_exact_and_consistent() {
+        assert_eq!(EXEC_SHARDS * SHARD_BUCKETS, STATE_BUCKETS);
+        assert_eq!(META_LEAF, EXEC_SHARDS);
+        for b in 0..STATE_BUCKETS {
+            assert!(shard_of_bucket(b) < EXEC_SHARDS);
+        }
+        for key in 0..10_000u64 {
+            assert_eq!(shard_of_key(key), shard_of_bucket(bucket_of(key)));
+        }
+        // The YCSB key space actually exercises every shard.
+        let mut seen = [false; EXEC_SHARDS];
+        for key in 0..10_000u64 {
+            seen[shard_of_key(key)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]
@@ -618,6 +1068,63 @@ mod tests {
     }
 
     #[test]
+    fn subset_shard_execution_matches_serial() {
+        // The parallel primitive: taking only the shards a batch
+        // touches, executing on them off-store, then restoring and
+        // absorbing the effect must be byte-identical to plain serial
+        // execution — digest, counters, and root.
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 42);
+        let txns = generator.next_batch(64);
+        let footprint = batch_footprint(&txns);
+
+        let mut serial = KvStore::initialized(500, 16);
+        serial.execute_batch(&txns);
+
+        let mut parallel = KvStore::initialized(500, 16);
+        let mut all = parallel.take_shards();
+        let mut touched: Vec<Shard> = Vec::new();
+        let mut rest: Vec<Shard> = Vec::new();
+        for s in all.drain(..) {
+            if footprint & (1 << s.id()) != 0 {
+                touched.push(s);
+            } else {
+                rest.push(s);
+            }
+        }
+        let effect = execute_on_shards(&mut touched, &txns);
+        touched.append(&mut rest);
+        parallel.restore_shards(touched);
+        parallel.absorb_effect(&effect);
+
+        assert_eq!(parallel.state_digest(), serial.state_digest());
+        assert_eq!(parallel.writes_applied(), serial.writes_applied());
+        assert_eq!(parallel.reads_served(), serial.reads_served());
+        assert_eq!(parallel.state_root(), serial.state_root());
+    }
+
+    #[test]
+    fn top_state_root_matches_store_root() {
+        let mut store = KvStore::initialized(300, 16);
+        let sub_roots = store.shard_sub_roots();
+        let meta = store.transfer_meta();
+        assert_eq!(top_state_root(&sub_roots, &meta), store.state_root());
+    }
+
+    #[test]
+    fn batch_footprint_tracks_touched_shards() {
+        assert_eq!(batch_footprint(&[]), 0);
+        let t = write(0, 17, b"v");
+        let mask = batch_footprint(std::slice::from_ref(&t));
+        assert_eq!(mask, 1 << shard_of_key(17));
+        // Reads count toward the footprint too: they read shard state.
+        let r = read(1, 99);
+        assert_eq!(
+            batch_footprint(&[t, r]),
+            (1 << shard_of_key(17)) | (1 << shard_of_key(99))
+        );
+    }
+
+    #[test]
     fn incremental_root_matches_full_rebuild() {
         let mut generator = WorkloadGen::new(YcsbConfig::default(), 7);
         let mut store = KvStore::initialized(300, 16);
@@ -674,9 +1181,9 @@ mod tests {
         for budget in [64usize, 4096, 1 << 20] {
             let chunks = store.to_chunks(budget);
             assert_eq!(
-                chunks.iter().map(|c| c.buckets.len()).sum::<usize>(),
+                buckets_covered(&chunks),
                 STATE_BUCKETS,
-                "chunks must partition the bucket space"
+                "chunks must cover the bucket space (budget {budget})"
             );
             // Wire roundtrip per chunk.
             let decoded: Vec<StateChunk> = chunks
@@ -693,6 +1200,58 @@ mod tests {
             assert_eq!(back.state_root(), root);
             assert_eq!(back.rebuild_state_root(), root);
         }
+    }
+
+    #[test]
+    fn chunks_never_cross_shard_boundaries() {
+        let store = KvStore::initialized(2000, 32);
+        for budget in [64usize, 4096, 1 << 20] {
+            for chunk in store.to_chunks(budget) {
+                let first = chunk.first_bucket as usize;
+                let last = first + chunk.buckets.len().max(1) - 1;
+                assert_eq!(
+                    shard_of_bucket(first),
+                    shard_of_bucket(last),
+                    "chunk {first}..={last} crosses a shard boundary (budget {budget})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_buckets_fragment_and_reassemble() {
+        // Force fragmentation: one bucket's encoding far past the
+        // budget. Key 0's bucket gets a 4 KiB value, budget is 512.
+        let mut store = KvStore::initialized(200, 16);
+        store.execute(&write(0, 0, &vec![0x5A; 4096]));
+        let root = store.state_root();
+        let budget = 512usize;
+        let chunks = store.to_chunks(budget);
+        let frags: Vec<&StateChunk> = chunks.iter().filter(|c| c.parts > 1).collect();
+        assert!(!frags.is_empty(), "oversized bucket must fragment");
+        for f in &frags {
+            assert_eq!(f.buckets.len(), 1);
+            assert!(f.buckets[0].len() <= budget, "fragment exceeds budget");
+        }
+        assert_eq!(buckets_covered(&chunks), STATE_BUCKETS);
+        let mut back = KvStore::from_transfer(&store.transfer_meta(), &chunks).expect("assembles");
+        assert_eq!(back.state_root(), root);
+        assert_eq!(back.rebuild_state_root(), root);
+
+        // A broken series fails closed: drop one fragment.
+        let mut missing: Vec<StateChunk> = chunks.clone();
+        let drop_at = missing
+            .iter()
+            .position(|c| c.parts > 1 && c.part == 1)
+            .expect("series has a second fragment");
+        missing.remove(drop_at);
+        assert!(KvStore::from_transfer(&store.transfer_meta(), &missing).is_none());
+
+        // Reordered fragments fail closed too.
+        let mut swapped = chunks.clone();
+        let a = swapped.iter().position(|c| c.parts > 1).expect("fragment");
+        swapped.swap(a, a + 1);
+        assert!(KvStore::from_transfer(&store.transfer_meta(), &swapped).is_none());
     }
 
     #[test]
@@ -736,19 +1295,67 @@ mod tests {
     }
 
     #[test]
-    fn state_merkle_proves_buckets_and_meta() {
+    fn chunk_decode_rejects_fragment_inconsistencies() {
+        let store = KvStore::initialized(20, 8);
+        let whole = &store.to_chunks(1 << 20)[0];
+        // parts == 0 is malformed.
+        let mut zero_parts = whole.clone();
+        zero_parts.parts = 0;
+        assert!(StateChunk::decode(&zero_parts.encode()).is_none());
+        // part >= parts is malformed.
+        let mut out_of_range = whole.clone();
+        out_of_range.part = 1;
+        assert!(StateChunk::decode(&out_of_range.encode()).is_none());
+        // A multi-part chunk must carry exactly one slice.
+        let mut multi = whole.clone();
+        multi.parts = 2;
+        assert!(multi.buckets.len() > 1);
+        assert!(StateChunk::decode(&multi.encode()).is_none());
+        // Absurd fragment counts are rejected before allocation.
+        let mut absurd = StateChunk {
+            first_bucket: 0,
+            buckets: vec![vec![1, 2, 3]],
+            part: 0,
+            parts: MAX_BUCKET_FRAGMENTS + 1,
+        };
+        assert!(StateChunk::decode(&absurd.encode()).is_none());
+        absurd.parts = 2;
+        assert!(StateChunk::decode(&absurd.encode()).is_some());
+    }
+
+    #[test]
+    fn two_level_prover_proves_buckets_and_meta() {
         use spotless_crypto::{proof_index, verify_inclusion};
         let mut store = KvStore::initialized(200, 16);
-        let tree = store.state_merkle();
+        let prover = store.state_prover();
         let root = store.state_root();
-        assert_eq!(tree.root(), root);
+        assert_eq!(prover.root(), root);
         for b in [0usize, 1, STATE_BUCKETS / 2, STATE_BUCKETS - 1] {
-            let proof = tree.prove(b).expect("bucket leaf");
-            assert_eq!(proof_index(&proof), b);
-            let leaf = bucket_leaf_digest(&store.encode_bucket(b));
-            assert!(verify_inclusion(&leaf.0, &proof, &root));
+            let (shard_proof, top_proof) = prover.prove_bucket(b).expect("bucket in range");
+            assert_eq!(proof_index(&shard_proof), b % SHARD_BUCKETS);
+            assert_eq!(proof_index(&top_proof), shard_of_bucket(b));
+            assert!(verify_bucket(
+                b,
+                &store.encode_bucket(b),
+                &shard_proof,
+                &top_proof,
+                &root
+            ));
+            // The same proof pair must not verify a different bucket.
+            let other = (b + 1) % STATE_BUCKETS;
+            assert!(!verify_bucket(
+                other,
+                &store.encode_bucket(other),
+                &shard_proof,
+                &top_proof,
+                &root
+            ));
         }
-        let meta_proof = tree.prove(META_LEAF).expect("meta leaf");
+        // The shared shard proof equals the per-bucket top proof.
+        let (_, top_proof) = prover.prove_bucket(3).expect("in range");
+        assert_eq!(prover.prove_shard(0).expect("shard 0"), top_proof);
+        let meta_proof = prover.prove_meta().expect("meta leaf");
+        assert_eq!(proof_index(&meta_proof), META_LEAF);
         assert!(verify_inclusion(&store.transfer_meta(), &meta_proof, &root));
     }
 

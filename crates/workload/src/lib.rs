@@ -14,6 +14,8 @@ pub mod ycsb;
 
 pub use batch::{decode_txns, encode_txns, Batcher};
 pub use kv::{
-    bucket_leaf_digest, bucket_of, ExecResult, KvStore, StateChunk, META_LEAF, STATE_BUCKETS,
+    batch_footprint, bucket_leaf_digest, bucket_of, execute_on_shards, shard_of_bucket,
+    shard_of_key, top_state_root, verify_bucket, BatchEffect, ExecResult, KvStore, Shard,
+    StateChunk, StateProver, EXEC_SHARDS, META_LEAF, SHARD_BUCKETS, STATE_BUCKETS,
 };
 pub use ycsb::{Operation, Transaction, WorkloadGen, YcsbConfig};

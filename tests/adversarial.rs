@@ -271,23 +271,40 @@ async fn byzantine_chunk_server_is_rejected_and_another_peer_serves() {
 
     // Script the transfer artifacts once: chunks small enough that the
     // transfer takes several round trips.
-    let tree = genuine.state_merkle();
+    let prover = genuine.state_prover();
     let app_meta = genuine.transfer_meta();
-    let meta_proof = tree.prove(spotless::workload::META_LEAF).unwrap();
+    let meta_proof = prover.prove_meta().unwrap();
     let mut infos = Vec::new();
-    let mut chunk_frames: Vec<(Vec<u8>, Vec<Vec<spotless::crypto::ProofStep>>)> = Vec::new();
+    type ChunkFrame = (
+        Vec<u8>,
+        Vec<Vec<spotless::crypto::ProofStep>>,
+        Vec<spotless::crypto::ProofStep>,
+    );
+    let mut chunk_frames: Vec<ChunkFrame> = Vec::new();
     for chunk in genuine.to_chunks(2048) {
+        let top_proof = prover
+            .prove_shard(spotless::workload::shard_of_bucket(
+                chunk.first_bucket as usize,
+            ))
+            .unwrap();
         let mut proofs = Vec::new();
-        for off in 0..chunk.buckets.len() {
-            proofs.push(tree.prove(chunk.first_bucket as usize + off).unwrap());
+        if chunk.parts == 1 {
+            for off in 0..chunk.buckets.len() {
+                let (shard_proof, _) = prover
+                    .prove_bucket(chunk.first_bucket as usize + off)
+                    .unwrap();
+                proofs.push(shard_proof);
+            }
         }
         let encoded = chunk.encode();
         infos.push(ChunkInfo {
             first_bucket: chunk.first_bucket,
             buckets: chunk.buckets.len() as u32,
+            part: chunk.part,
+            parts: chunk.parts,
             digest: spotless::crypto::digest_bytes(&encoded),
         });
-        chunk_frames.push((encoded, proofs));
+        chunk_frames.push((encoded, proofs, top_proof));
     }
     assert!(chunk_frames.len() > 2, "transfer must be multi-chunk");
     let manifest = TransferManifest {
@@ -334,7 +351,8 @@ async fn byzantine_chunk_server_is_rejected_and_another_peer_serves() {
                         if height != manifest.height {
                             continue;
                         }
-                        let Some((bytes, proofs)) = chunk_frames.get(index as usize) else {
+                        let Some((bytes, proofs, top_proof)) = chunk_frames.get(index as usize)
+                        else {
                             continue;
                         };
                         let mut bytes = bytes.clone();
@@ -354,6 +372,7 @@ async fn byzantine_chunk_server_is_rejected_and_another_peer_serves() {
                             index,
                             chunk: bytes,
                             proofs: proofs.clone(),
+                            top_proof: top_proof.clone(),
                         };
                         fabric.send(env.from, Envelope::seal(&keystore, encode_chunk(&transfer)));
                     }
@@ -490,7 +509,7 @@ async fn forged_signature_flood_is_rejected_without_poisoning_the_pipeline() {
         };
         let env = Envelope {
             from,
-            payload: Arc::new(vec![WIRE_VERSION, 0x00, i as u8, 0xEE, 0xEE]),
+            payload: spotless::runtime::Payload::new(vec![WIRE_VERSION, 0x00, i as u8, 0xEE, 0xEE]),
             sig: Signature([0xAB; 64]),
         };
         for r in 0..4u32 {

@@ -399,6 +399,169 @@ async fn replica_restarts_from_durable_log_and_catches_up() {
     }
 }
 
+/// Multi-shard batch for the parallel-execution tests: 16 writes whose
+/// keys spread over the execution shards, so commit groups genuinely
+/// fan out across the executor pool instead of collapsing into one
+/// conflict component.
+fn wide_batch(id: u64) -> ClientBatch {
+    let txns: Vec<Transaction> = (0..16u64)
+        .map(|i| Transaction {
+            id: id * 100 + i,
+            op: Operation::Update {
+                key: id * 977 + i * 131,
+                value: vec![id as u8; 40],
+            },
+        })
+        .collect();
+    let payload = encode_txns(&txns);
+    let digest = spotless::crypto::digest_bytes(&payload);
+    ClientBatch {
+        id: BatchId(id),
+        origin: ClientId(9),
+        digest,
+        txns: 16,
+        txn_size: 48,
+        created_at: SimTime::ZERO,
+        payload,
+    }
+}
+
+/// Acceptance (parallel execution + crash recovery): a durable cluster
+/// executing committed batches through the conflict-aware parallel
+/// executor commits multi-shard batches, loses a replica mid-run, and
+/// the restarted replica — re-executing its log and the catch-up gap,
+/// also in parallel — ends block-for-block and KV-equal with the
+/// survivors. Execute-then-seal makes this sharp: had parallel
+/// scheduling reordered anything observable, the recovered replica's
+/// re-executed two-level state roots would mismatch the sealed chain
+/// and it could never rejoin.
+#[tokio::test(flavor = "multi_thread")]
+async fn parallel_execution_cluster_recovers_block_for_block() {
+    let cluster = ClusterConfig::new(4);
+    let dirs: Vec<tempfile::TempDir> = (0..4).map(|_| tempfile::tempdir().unwrap()).collect();
+    // The victim snapshots aggressively so the crash lands above a real
+    // v5 snapshot and recovery exercises snapshot restore + log replay
+    // + catch-up, all through the parallel executor.
+    let mut storage = storage_configs(&dirs, 1000);
+    storage[3].as_mut().unwrap().options.snapshot_every = 4;
+    let c = cluster.clone();
+    let handle = InProcCluster::spawn_tuned(
+        cluster.clone(),
+        storage,
+        vec![false; 4],
+        |cfg| cfg.exec_pool = 3,
+        move |r| SpotLessReplica::new(ReplicaConfig::honest(c.clone(), r)),
+    )
+    .expect("durable parallel cluster");
+    let handles: Vec<_> = (0..4).map(|r| handle.handle(ReplicaId(r))).collect();
+    wait_all_synced(&handles).await;
+
+    // Phase 1: multi-shard commits everywhere.
+    for i in 0..6u64 {
+        let result = handle
+            .client
+            .submit(wide_batch(i), ReplicaId((i % 4) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+    let victim = ReplicaId(3);
+    wait_until("victim executes phase-1 batches", || {
+        handle
+            .commits
+            .snapshot()
+            .iter()
+            .filter(|e| e.replica == victim)
+            .count()
+            >= 4
+    })
+    .await;
+
+    // Phase 2: kill the victim; the survivors keep committing.
+    handle.stop(victim);
+    let down_ids: Vec<u64> = (100..106).collect();
+    for (k, &id) in down_ids.iter().enumerate() {
+        let result = handle
+            .client
+            .submit(wide_batch(id), ReplicaId((k % 3) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+
+    // Phase 3: restart from the same directory (the default runtime
+    // config also executes in parallel; coarse snapshot cadence keeps
+    // the tail materialized for the post-mortem).
+    let mut storage = StorageConfig::new(dirs[3].path());
+    storage.options.snapshot_every = 1000;
+    let c = cluster.clone();
+    let restarted = handle
+        .restart(
+            victim,
+            Some(storage),
+            SpotLessReplica::new(ReplicaConfig::honest(c, victim)),
+        )
+        .await
+        .expect("restart from durable state");
+    let recovery = restarted.recovery().expect("durable recovery info").clone();
+    assert!(
+        recovery.chain_height >= 4,
+        "restart must recover the pre-crash chain from disk, got height {}",
+        recovery.chain_height
+    );
+
+    // Keep traffic flowing so the cluster stays live during catch-up.
+    for i in 0..3u64 {
+        let result = handle
+            .client
+            .submit(wide_batch(200 + i), ReplicaId((i % 3) as u32))
+            .await;
+        assert_ne!(result, spotless::types::Digest::ZERO);
+    }
+
+    wait_until("victim catches up on the missed batches", || {
+        let entries = handle.commits.snapshot();
+        down_ids.iter().all(|&id| {
+            entries
+                .iter()
+                .any(|e| e.replica == victim && e.info.batch.id == BatchId(id))
+        })
+    })
+    .await;
+    wait_until("victim reports synced", || restarted.is_synced()).await;
+    // KV-equal: every replica, the recovered one included, reported the
+    // same post-batch execution digest for every batch it committed.
+    assert_no_divergence(&handle.commits.snapshot());
+    handle.shutdown().await;
+
+    // Post-mortem on disk: block-for-block agreement on the common
+    // materialized prefix. Block hashes bind the sealed two-level state
+    // roots, so this also pins serial-free execution to the exact
+    // state every survivor sealed.
+    let opts = DurableLedgerOptions::default();
+    let (survivor, _) = DurableLedger::open(dirs[0].path(), opts).unwrap();
+    let (recovered, _) = DurableLedger::open(dirs[3].path(), opts).unwrap();
+    survivor.ledger().verify().expect("survivor chain verifies");
+    recovered
+        .ledger()
+        .verify()
+        .expect("recovered chain verifies");
+    let common = survivor.ledger().height().min(recovered.ledger().height());
+    let base = survivor
+        .ledger()
+        .base_height()
+        .max(recovered.ledger().base_height());
+    assert!(
+        common > base,
+        "chains must share a materialized prefix (base {base}, common {common})"
+    );
+    for h in base..common {
+        assert_eq!(
+            survivor.ledger().block(h).unwrap().hash,
+            recovered.ledger().block(h).unwrap().hash,
+            "recovered replica recommitted inconsistently at height {h}"
+        );
+    }
+}
+
 /// Acceptance (snapshot state transfer): a replica whose peers have all
 /// pruned past its height recovers via snapshot shipping — not block
 /// replay — and ends block-for-block and KV-state equal with the

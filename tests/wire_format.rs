@@ -87,6 +87,8 @@ fn sample_manifest() -> TransferManifest {
         chunks: vec![ChunkInfo {
             first_bucket: 0,
             buckets: 1024,
+            part: 0,
+            parts: 1,
             digest: Digest::from_u64(12),
         }],
     }
@@ -101,12 +103,16 @@ fn sample_chunk() -> ChunkTransfer {
             sibling: Digest::from_u64(13),
             sibling_on_right: false,
         }]],
+        top_proof: vec![ProofStep {
+            sibling: Digest::from_u64(14),
+            sibling_on_right: true,
+        }],
     }
 }
 
 // ── golden vectors: the pinned binary layout ────────────────────────
 //
-// Layout recap (README §"Wire format"): `0xB3` version byte, tag byte,
+// Layout recap (README §"Wire format"): `0xB4` version byte, tag byte,
 // then the body in the streaming binary codec — canonical LEB128
 // varints, raw byte slices, structs field-by-field in declaration
 // order, enum variants by declaration index.
@@ -114,11 +120,11 @@ fn sample_chunk() -> ChunkTransfer {
 #[test]
 fn golden_protocol_sync() {
     let enc = encode_protocol(&sample_sync());
-    assert_eq!(enc[0], 0xB3, "wire version");
+    assert_eq!(enc[0], 0xB4, "wire version");
     assert_eq!(enc[1], TAG_PROTOCOL);
     assert_eq!(
         hex(&enc),
-        "b3000101ac0201ab0200000000000000090000000000000000000000\
+        "b4000101ac0201ab0200000000000000090000000000000000000000\
          0000000000000000000000000001ac02000000000000000a00000000\
          000000000000000000000000000000000000000001dddddddddddddd\
          dddddddddddddddddddddddddddddddddddddddddddddddddddddddd\
@@ -145,7 +151,7 @@ fn golden_protocol_sync() {
 fn golden_catchup_req() {
     let enc = encode_catchup_req(300);
     assert_eq!(enc[1], TAG_CATCHUP_REQ);
-    assert_eq!(hex(&enc), "b301ac02");
+    assert_eq!(hex(&enc), "b401ac02");
     assert!(matches!(
         decode::<u64>(&enc),
         Some(WireMsg::CatchUpReq { from_height: 300 })
@@ -162,7 +168,7 @@ fn golden_catchup_resp() {
     assert_eq!(enc[1], TAG_CATCHUP_RESP);
     assert_eq!(
         hex(&enc),
-        "b3020401000000000000000000000000000000000000000000000000\
+        "b4020401000000000000000000000000000000000000000000000000\
          000000000000000000000000000000004d0000000000000000000000\
          00000000000000000000000000070200000000000001f40000000000\
          00000000000000000000000000000000000000000300000000000000\
@@ -198,7 +204,7 @@ fn golden_manifest() {
     assert_eq!(enc[1], TAG_CATCHUP_MANIFEST);
     assert_eq!(
         hex(&enc),
-        "b3030104000000000000000000000000000000000000000000000000\
+        "b4030104000000000000000000000000000000000000000000000000\
          000000000000000000000000000000004d0000000000000000000000\
          00000000000000000000000000070200000000000001f40000000000\
          00000000000000000000000000000000000000000300000000000000\
@@ -212,13 +218,13 @@ fn golden_manifest() {
          cccccccccccccccccccccccccccccccccccccccccccccccccccccccc\
          e816fdb9aded7d3c9886db890f7ce7ab1fb97d17d2c3fecaf41d4a5a\
          9743a842020607046d65746101000000000000000b00000000000000\
-         00000000000000000000000000000000000101008008000000000000\
-         000c000000000000000000000000000000000000000000000000"
+         00000000000000000000000000000000000101008008000100000000\
+         0000000c000000000000000000000000000000000000000000000000"
     );
     // Anatomy: height 1 ‖ peer_height 4 ‖ head block ‖ recent ids
     // [6, 7] ‖ 4-byte app meta ‖ 1-step meta proof (sibling tag 11,
     // on-right) ‖ 1 chunk {first_bucket 0, buckets 1024 = 0x8008
-    // varint, digest tag 12}.
+    // varint, part 0, parts 1, digest tag 12}.
     match decode::<u64>(&enc) {
         Some(WireMsg::Manifest(got)) => assert_eq!(*got, m),
         _ => panic!("golden manifest failed to decode"),
@@ -229,7 +235,7 @@ fn golden_manifest() {
 fn golden_chunk_req() {
     let enc = encode_chunk_req(300, 3);
     assert_eq!(enc[1], TAG_CATCHUP_CHUNK_REQ);
-    assert_eq!(hex(&enc), "b304ac0203");
+    assert_eq!(hex(&enc), "b404ac0203");
     assert!(matches!(
         decode::<u64>(&enc),
         Some(WireMsg::ChunkReq {
@@ -246,11 +252,14 @@ fn golden_chunk() {
     assert_eq!(enc[1], TAG_CATCHUP_CHUNK);
     assert_eq!(
         hex(&enc),
-        "b30501000b6368756e6b2d62797465730101000000000000000d0000\
-         0000000000000000000000000000000000000000000000"
+        "b40501000b6368756e6b2d62797465730101000000000000000d0000\
+         00000000000000000000000000000000000000000000000100000000\
+         0000000e000000000000000000000000000000000000000000000000\
+         01"
     );
     // Anatomy: height 1 ‖ index 0 ‖ 11-byte chunk ‖ 1 proof of 1 step
-    // (sibling tag 13, on-left).
+    // (sibling tag 13, on-left) ‖ 1-step top proof (sibling tag 14,
+    // on-right).
     match decode::<u64>(&enc) {
         Some(WireMsg::Chunk(got)) => assert_eq!(*got, c),
         _ => panic!("golden chunk failed to decode"),
@@ -426,12 +435,14 @@ fn wire_payloads() -> impl Strategy<Value = Vec<u8>> {
             prop::collection::vec(any::<u8>(), 0..128),
             prop::collection::vec(proof_steps(), 0..3),
         )
-            .prop_map(|(height, index, chunk, proofs)| {
+            .prop_map(|(height, index, chunk, mut proofs)| {
+                let top_proof = proofs.pop().unwrap_or_default();
                 encode_chunk(&ChunkTransfer {
                     height,
                     index,
                     chunk,
                     proofs,
+                    top_proof,
                 })
             }),
     ]
@@ -590,6 +601,8 @@ proptest! {
                 .map(|(first_bucket, buckets, tag)| ChunkInfo {
                     first_bucket,
                     buckets,
+                    part: tag as u32 & 0x3,
+                    parts: (tag >> 2) as u32 & 0x3,
                     digest: Digest::from_u64(tag),
                 })
                 .collect(),
@@ -608,8 +621,9 @@ proptest! {
         index in any::<u32>(),
         chunk in prop::collection::vec(any::<u8>(), 0..256),
         proofs in prop::collection::vec(proof_steps(), 0..4),
+        top_proof in proof_steps(),
     ) {
-        let c = ChunkTransfer { height, index, chunk, proofs };
+        let c = ChunkTransfer { height, index, chunk, proofs, top_proof };
         let enc = encode_chunk(&c);
         match decode::<u64>(&enc) {
             Some(WireMsg::Chunk(got)) => prop_assert_eq!(*got, c),
