@@ -202,6 +202,56 @@ impl NafTable {
     }
 }
 
+/// Precomputed radix-16 multiples of the basepoint for fixed-base
+/// scalar multiplication: entry `[i][d - 1]` holds `d·16^i·B` for
+/// `i ∈ 0..64` and `d ∈ 1..=15`.
+///
+/// With the table in hand, `s·B` is a sum of at most 64 additions (one
+/// per non-zero nibble of `s`) and **zero doublings** — the doubling
+/// chain a generic `mul` spends 256 doublings on is baked into the
+/// table once. That is what makes batched signing amortize: the table
+/// is built on first use and every subsequent signature pays only the
+/// nibble additions.
+pub struct BasepointTable(Box<[[ExtendedPoint; 15]; 64]>);
+
+impl BasepointTable {
+    fn build() -> BasepointTable {
+        let mut table = Box::new([[ExtendedPoint::IDENTITY; 15]; 64]);
+        let mut base = BASEPOINT; // 16^i · B
+        for row in table.iter_mut() {
+            row[0] = base;
+            for d in 1..15 {
+                row[d] = row[d - 1].add(&base);
+            }
+            base = row[14].add(&base); // 15·base + base = 16·base
+        }
+        BasepointTable(table)
+    }
+
+    /// Variable-time `scalar · B` via the table. Scalars are canonical
+    /// (< L < 2^253), so their 64 little-endian nibbles index the table
+    /// exactly; results match [`ExtendedPoint::mul`] bit-for-bit.
+    pub fn mul(&self, scalar: &Scalar) -> ExtendedPoint {
+        let bytes = scalar.to_bytes();
+        let mut acc = ExtendedPoint::IDENTITY;
+        for (i, row) in self.0.iter().enumerate() {
+            let byte = bytes[i / 2];
+            let d = if i % 2 == 0 { byte & 0xf } else { byte >> 4 };
+            if d != 0 {
+                acc = acc.add(&row[usize::from(d) - 1]);
+            }
+        }
+        acc
+    }
+}
+
+/// The process-wide [`BasepointTable`], built on first use (about a
+/// thousand additions, ~150 KiB) and shared by every thread after.
+pub fn basepoint_table() -> &'static BasepointTable {
+    static TABLE: std::sync::OnceLock<BasepointTable> = std::sync::OnceLock::new();
+    TABLE.get_or_init(BasepointTable::build)
+}
+
 /// Variable-time Σ scalarᵢ·pointᵢ with one shared doubling chain
 /// (Straus' trick over width-5 wNAF digits).
 pub fn multiscalar_mul(pairs: &[(Scalar, ExtendedPoint)]) -> ExtendedPoint {
@@ -343,6 +393,18 @@ mod tests {
         enc[0] = 0xed;
         enc[31] = 0x7f;
         assert!(ExtendedPoint::decompress(&enc).is_none());
+    }
+
+    #[test]
+    fn basepoint_table_matches_generic_mul() {
+        let table = basepoint_table();
+        for n in [0u64, 1, 2, 15, 16, 17, 255, 256, 123456789] {
+            let s = scalar_u64(n);
+            assert_eq!(table.mul(&s), BASEPOINT.mul(&s), "n = {n}");
+        }
+        // Wide-reduction scalars exercise every nibble position.
+        let s = Scalar::from_wide_bytes(&[0xA7u8; 64]);
+        assert_eq!(table.mul(&s), BASEPOINT.mul(&s));
     }
 
     #[test]

@@ -171,6 +171,33 @@ impl SigningKey {
         sig[32..].copy_from_slice(&s.to_bytes());
         sig
     }
+
+    /// Signs a batch of messages, byte-identical to calling
+    /// [`sign`](SigningKey::sign) on each. The amortization is the
+    /// shared fixed-base table ([`edwards::basepoint_table`]): each
+    /// nonce commitment `R = [r]B` costs at most 64 precomputed-table
+    /// additions instead of a full 256-step doubling chain, so a
+    /// sealing lane draining a queue of outbound envelopes pays a
+    /// fraction of the per-call cost.
+    pub fn sign_batch(&self, messages: &[&[u8]]) -> Vec<[u8; 64]> {
+        let table = edwards::basepoint_table();
+        messages
+            .iter()
+            .map(|message| {
+                let mut h = Sha512::new();
+                h.update(&self.prefix);
+                h.update(message);
+                let r = Scalar::from_wide_bytes(&h.finalize());
+                let r_bytes = table.mul(&r).compress();
+                let k = challenge_scalar(&r_bytes, &self.verifying.compressed, message);
+                let s = r + k * self.a;
+                let mut sig = [0u8; 64];
+                sig[..32].copy_from_slice(&r_bytes);
+                sig[32..].copy_from_slice(&s.to_bytes());
+                sig
+            })
+            .collect()
+    }
 }
 
 /// k = SHA-512(R ‖ A ‖ M) mod L.
@@ -348,6 +375,19 @@ mod tests {
             vk.verify(&msg, &sig)
                 .unwrap_or_else(|e| panic!("vector {i}: verify: {e}"));
         }
+    }
+
+    #[test]
+    fn batch_signing_matches_per_call_signing() {
+        let sk = SigningKey::from_seed(&[11u8; 32]);
+        let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 3 + 17 * i as usize]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let batched = sk.sign_batch(&refs);
+        for (m, sig) in msgs.iter().zip(&batched) {
+            assert_eq!(*sig, sk.sign(m), "batched signature must be byte-identical");
+            sk.verifying_key().verify(m, sig).unwrap();
+        }
+        assert!(sk.sign_batch(&[]).is_empty());
     }
 
     #[test]

@@ -172,6 +172,34 @@ fn wire_sent(handle: &InProcCluster) -> String {
     format!("{:7.2} MiB", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// One sealer-sweep configuration: committed-txn/s with the given
+/// egress sealing pool size (0 = inline signing on the event-loop
+/// thread, the pre-pool baseline). Best of two trials, same rationale
+/// as [`exec_run`].
+async fn seal_run(count: u64, seal_pool: usize) -> (f64, String) {
+    let mut best = (0.0f64, String::new());
+    for _ in 0..2 {
+        let cluster = ClusterConfig::new(4);
+        let c = cluster.clone();
+        let handle = InProcCluster::spawn_tuned(
+            cluster,
+            vec![None; 4],
+            vec![false; 4],
+            |cfg| cfg.seal_pool = seal_pool,
+            move |r| SpotLessReplica::new(ReplicaConfig::honest(c.clone(), r)),
+        )
+        .expect("in-memory cluster (sealer sweep)");
+        let secs = drive(&handle, (0..count).map(real_batch).collect()).await;
+        let wire = wire_sent(&handle);
+        handle.shutdown().await;
+        let tps = (count * u64::from(TXNS_PER_BATCH)) as f64 / secs;
+        if tps > best.0 {
+            best = (tps, wire);
+        }
+    }
+    best
+}
+
 #[tokio::main]
 async fn main() {
     let mut table = FigureTable::new(
@@ -180,6 +208,12 @@ async fn main() {
     );
     let count = batches();
     let total_txns = (count * u64::from(TXNS_PER_BATCH)) as f64;
+    // Detected once, up front: every pool-vs-inline floor below is
+    // gated on whether a second core actually exists — on a single-core
+    // host an off-thread stage cannot win by construction (same total
+    // work plus hop overhead), so the floors degrade to bounded
+    // overhead there.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
 
     // SpotLess, in-memory chain: the pure pipeline hot path, with the
     // default off-thread ingress verification pool.
@@ -230,10 +264,7 @@ async fn main() {
     // verification on end-to-end committed-ops/s at n = 4. The win is
     // parallelism — the event loop sheds ~50 µs-class Ed25519 checks
     // onto worker threads — so it only exists where a second core
-    // exists. On a single-core host the pool cannot beat inline by
-    // construction (same total work plus hop overhead), so there the
-    // floor degrades to a bounded-overhead check.
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // exists.
     if cores >= 2 {
         assert!(
             pooled_tps > inline_tps,
@@ -301,6 +332,42 @@ async fn main() {
          must stay within 20 % of serial: parallel {par_hot:.0} tx/s vs \
          serial {ser_hot:.0} tx/s"
     );
+
+    // Sealer sweep: egress signing on dedicated lanes (batched
+    // fixed-base Ed25519, ordered emitter) against inline sealing on
+    // the event-loop thread.
+    let (sealed_tps, w) = seal_run(count, 2).await;
+    table.row(&[
+        "SpotLess seal=2".into(),
+        format!("{count}"),
+        format!("{:8.1} ktxn/s", sealed_tps / 1_000.0),
+        w,
+    ]);
+    let (seal_inline_tps, w) = seal_run(count, 0).await;
+    table.row(&[
+        "SpotLess seal=inline".into(),
+        format!("{count}"),
+        format!("{:8.1} ktxn/s", seal_inline_tps / 1_000.0),
+        w,
+    ]);
+    // CI floor: where a second core exists, the sealer pool must not
+    // lose committed-ops/s to inline sealing — the event loop sheds a
+    // per-envelope Ed25519 signing onto worker lanes, and batching
+    // amortizes what it costs. Single-core keeps the bounded-overhead
+    // check.
+    if cores >= 2 {
+        assert!(
+            sealed_tps >= seal_inline_tps,
+            "egress sealer pool must not lose to inline sealing on {cores} \
+             cores: pool {sealed_tps:.0} tx/s vs inline {seal_inline_tps:.0} tx/s"
+        );
+    } else {
+        assert!(
+            sealed_tps > seal_inline_tps * 0.80,
+            "single-core, the sealer pool must stay within 20 % of inline: \
+             pool {sealed_tps:.0} tx/s vs inline {seal_inline_tps:.0} tx/s"
+        );
+    }
 
     // SpotLess, durable: group commit + certificate-verified appends.
     {

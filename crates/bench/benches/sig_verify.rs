@@ -35,6 +35,15 @@ fn iters() -> u32 {
 /// The floor the redesign is held to at quorum-scale batches.
 const BATCH_SPEEDUP_FLOOR: f64 = 2.0;
 
+/// The signing-amortization floor at the sealer's full drain size: the
+/// fixed-base table walk must deliver at least this multiple of the
+/// generic double-and-add chain's per-signature throughput. The
+/// theoretical edge is larger (≈4× fewer point operations on the nonce
+/// commitment), but SHA-512 and compression are shared costs, so the
+/// floor is set below the ~3× measured where honest noise cannot flip
+/// it.
+const SIGN_AMORTIZATION_FLOOR: f64 = 2.0;
+
 fn main() {
     let n: u32 = 64;
     let stores = KeyStore::cluster(b"sig-verify-bench", n);
@@ -113,5 +122,65 @@ fn main() {
         headline_speedup >= BATCH_SPEEDUP_FLOOR,
         "batch verification must deliver ≥ {BATCH_SPEEDUP_FLOOR}× serial per-signature \
          throughput at batch 64 (got {headline_speedup:.2}×)"
+    );
+
+    // ── Signing throughput: single vs batched sealing ──────────────
+    //
+    // The egress sealer lanes drain their queues through
+    // `KeyStore::sign_batch`, whose nonce commitments walk the shared
+    // precomputed fixed-base table (≤ 64 table additions) instead of
+    // the generic 256-step double-and-add chain per-call `sign` pays.
+    // Signatures are byte-identical; the bench measures and asserts
+    // the amortization at the sealer's drain sizes.
+    let mut sign_table = FigureTable::new(
+        "sig_sign",
+        &[
+            "batch",
+            "single_ns_per_sig",
+            "batched_ns_per_sig",
+            "amortization",
+        ],
+    );
+    let mut sign_headline = 0.0;
+    for &k in &[4u32, 32] {
+        // Distinct messages, like distinct outbound envelopes.
+        let messages: Vec<Vec<u8>> = (0..k)
+            .map(|i| format!("seal-queue-envelope-{k}-{i}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+
+        let start = Instant::now();
+        for _ in 0..reps {
+            for m in &refs {
+                black_box(stores[0].sign(black_box(m)));
+            }
+        }
+        let single_ns = start.elapsed().as_nanos() as f64 / f64::from(reps * k);
+
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(stores[0].sign_batch(black_box(&refs)));
+        }
+        let batched_ns = start.elapsed().as_nanos() as f64 / f64::from(reps * k);
+
+        // Byte-identical signatures — peers cannot tell the paths apart.
+        let batched = stores[0].sign_batch(&refs);
+        for (m, sig) in refs.iter().zip(&batched) {
+            assert_eq!(stores[0].sign(m), *sig, "sign_batch must match sign");
+        }
+
+        let amortization = single_ns / batched_ns;
+        sign_headline = amortization;
+        sign_table.row(&[
+            format!("{k}"),
+            format!("{single_ns:10.0}"),
+            format!("{batched_ns:10.0}"),
+            format!("{amortization:5.2} x"),
+        ]);
+    }
+    assert!(
+        sign_headline >= SIGN_AMORTIZATION_FLOOR,
+        "batched sealing must deliver ≥ {SIGN_AMORTIZATION_FLOOR}× single-call signing \
+         throughput at batch 32 (got {sign_headline:.2}×)"
     );
 }

@@ -241,6 +241,19 @@ impl Envelope {
         }
     }
 
+    /// Signs an already-wrapped [`Payload`] — the zero-copy seal used
+    /// by the egress stage: the payload bytes (typically a pooled
+    /// buffer the event loop encoded into) are signed and moved into
+    /// the envelope without copying.
+    pub fn seal_payload(keystore: &KeyStore, payload: Payload) -> Envelope {
+        let sig = keystore.sign(&payload);
+        Envelope {
+            from: keystore.me(),
+            payload,
+            sig,
+        }
+    }
+
     /// Verifies the signature against the claimed sender, reporting
     /// *why* verification failed so the transport can attribute the
     /// drop (unknown signer vs. forged signature vs. malformed frame).
@@ -539,6 +552,17 @@ pub fn encode_protocol<M: Serialize>(msg: &M) -> Vec<u8> {
     let mut out = payload_buf(TAG_PROTOCOL, 254);
     msg.ser_bin(&mut out);
     out
+}
+
+/// Like [`encode_protocol`], but reusing `buf`'s allocation (cleared
+/// first). The egress stage encodes into [`BufferPool`] buffers so
+/// steady-state sends allocate nothing per message.
+pub fn encode_protocol_into<M: Serialize>(msg: &M, mut buf: Vec<u8>) -> Vec<u8> {
+    buf.clear();
+    buf.push(WIRE_VERSION);
+    buf.push(TAG_PROTOCOL);
+    msg.ser_bin(&mut buf);
+    buf
 }
 
 /// Encodes a catch-up request payload.

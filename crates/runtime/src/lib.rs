@@ -39,6 +39,7 @@
 
 pub mod client;
 pub mod cluster;
+pub(crate) mod egress;
 pub mod envelope;
 pub mod executor;
 pub mod fabric;
@@ -53,9 +54,9 @@ pub use envelope::{
     BufferPool, CatchUpBlock, CatchUpBlockRef, ChunkInfo, ChunkTransfer, ChunkTransferRef,
     Envelope, Payload, TransferManifest, TransferManifestRef, WireMsg, WireMsgRef, WIRE_VERSION,
 };
-pub use executor::{execute_group, ExecutorPool, SealedBatch};
+pub use executor::{execute_group, execute_group_with, ExecutorPool, Granularity, SealedBatch};
 pub use fabric::Fabric;
-pub use observe::{CommitLog, CommittedEntry, Inform, NetStats};
+pub use observe::{CommitLog, CommittedEntry, Inform, NetStats, SnapshotStats};
 pub use runtime::{
     ControlMsg, RecoveryInfo, ReplicaHandle, ReplicaRuntime, RuntimeConfig, StorageConfig,
     CATCHUP_TICK,

@@ -71,7 +71,7 @@ use crate::envelope::{
 };
 use crate::executor::{execute_group, ExecutorPool};
 use crate::fabric::Fabric;
-use crate::observe::{CommitLog, CommittedEntry, Inform};
+use crate::observe::{CommitLog, CommittedEntry, Inform, SnapshotStats};
 use spotless_crypto::{proof_index, verify_inclusion, KeyStore, ProofStep};
 use spotless_ledger::{verify_proof, Block, CommitProof, Ledger, ProofRules, RecentBatches};
 use spotless_storage::snapshot::Snapshot;
@@ -82,8 +82,8 @@ use spotless_types::{
     SimTime,
 };
 use spotless_workload::{
-    decode_txns, shard_of_bucket, verify_bucket, KvStore, StateChunk, Transaction, META_LEAF,
-    STATE_BUCKETS,
+    decode_txns, shard_of_bucket, verify_bucket, KvStore, StateChunk, Transaction, EXEC_SHARDS,
+    META_LEAF, STATE_BUCKETS,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -312,24 +312,25 @@ impl Store {
         }
     }
 
-    /// Snapshots if due; returns the snapshot height when one was
-    /// written (the caller trims its payload cache to match the disk
-    /// pruning the snapshot performed). Chunks are content-addressed on
-    /// disk, so buckets unchanged since the previous snapshot are not
-    /// rewritten.
-    fn maybe_snapshot(&mut self, kv: &KvStore, chunk_budget: usize) -> Option<u64> {
-        if let Store::Durable(d) = self {
-            if d.snapshot_due() {
-                let chunks: Vec<Vec<u8>> = kv
-                    .to_chunks(chunk_budget)
-                    .iter()
-                    .map(|c| c.encode())
-                    .collect();
-                return d.force_snapshot(&kv.transfer_meta(), &chunks).ok();
-            }
-        }
-        None
+    /// True iff this is a durable store with a snapshot due.
+    fn snapshot_due(&self) -> bool {
+        matches!(self, Store::Durable(d) if d.snapshot_due())
     }
+}
+
+/// What the previous durable snapshot serialized, kept so the next one
+/// can skip shards whose state did not move. A shard's sub-root is a
+/// collision-resistant digest of its entire contents, so `sub_roots[s]`
+/// unchanged ⇒ every chunk of shard `s` re-encodes to the same bytes —
+/// the cached encodings are reused verbatim and the per-key walk is
+/// skipped. Invalidated wholesale when the chunk budget could differ
+/// (it cannot today: the budget is fixed at construction).
+struct SnapshotCache {
+    /// Per-shard sub-root at the last snapshot.
+    sub_roots: Vec<Digest>,
+    /// Per-shard encoded chunk list at the last snapshot, in shard
+    /// order (their concatenation is exactly `KvStore::to_chunks`).
+    chunks: Vec<Vec<Vec<u8>>>,
 }
 
 enum Mode {
@@ -419,6 +420,11 @@ pub(crate) struct Pipeline<F: Fabric> {
     /// every group inline — the serial baseline). Scheduling and the
     /// determinism argument live in [`crate::executor`].
     exec: Option<ExecutorPool>,
+    /// Dirty-shard snapshot delta: what the previous snapshot encoded,
+    /// per shard, so clean shards skip re-serialization entirely.
+    snap_cache: Option<SnapshotCache>,
+    /// Counters proving the delta works (encoded vs reused shards).
+    snap_stats: SnapshotStats,
     /// Live bookkeeping of the transfer the journal describes.
     incoming: Option<IncomingTransfer>,
     /// Frozen outgoing snapshot slots served to recovering peers, at
@@ -452,6 +458,7 @@ impl<F: Fabric> Pipeline<F> {
         informs: mpsc::UnboundedSender<Inform>,
         synced: Arc<AtomicBool>,
         allow_catchup: bool,
+        snap_stats: SnapshotStats,
     ) -> Pipeline<F> {
         let is_durable = durable.is_some();
         let store = match durable {
@@ -547,6 +554,8 @@ impl<F: Fabric> Pipeline<F> {
             chunk_budget: chunk_budget.max(1),
             journal,
             exec: (exec_pool > 0).then(|| ExecutorPool::spawn(exec_pool)),
+            snap_cache: None,
+            snap_stats,
             incoming: None,
             outgoing: Vec::new(),
             poisoned: false,
@@ -760,10 +769,7 @@ impl<F: Fabric> Pipeline<F> {
     /// committed. Serving catch-up starts at the trimmed base; older
     /// history is served via the chunked snapshot transfer.
     fn snapshot_and_trim(&mut self) {
-        let mut trim_to = self
-            .store
-            .maybe_snapshot(&self.kv, self.chunk_budget)
-            .unwrap_or(0);
+        let mut trim_to = self.maybe_snapshot().unwrap_or(0);
         let height = self.payload_base + self.payloads.len() as u64;
         trim_to = trim_to.max(height.saturating_sub(PAYLOAD_CACHE_MAX as u64));
         if trim_to > self.payload_base {
@@ -771,6 +777,59 @@ impl<F: Fabric> Pipeline<F> {
             self.payloads.drain(..n.min(self.payloads.len()));
             self.payload_base = trim_to;
         }
+    }
+
+    /// Writes a durable snapshot if one is due, serializing **only the
+    /// shards whose sub-root moved** since the previous snapshot; clean
+    /// shards reuse their cached encodings byte-for-byte (the sub-root
+    /// pins the shard's entire contents, so equal root ⇒ equal
+    /// encoding). Returns the snapshot height when one was written.
+    /// Chunks are additionally content-addressed on disk, so even a
+    /// re-encoded-but-identical chunk is not rewritten — the delta here
+    /// removes the CPU cost of producing the bytes at all.
+    fn maybe_snapshot(&mut self) -> Option<u64> {
+        if !self.store.snapshot_due() {
+            return None;
+        }
+        let roots = self.kv.shard_sub_roots();
+        let mut per_shard: Vec<Vec<Vec<u8>>> = Vec::with_capacity(EXEC_SHARDS);
+        let mut encoded = 0u64;
+        for (s, root) in roots.iter().enumerate() {
+            let clean = self
+                .snap_cache
+                .as_ref()
+                .is_some_and(|c| c.sub_roots[s] == *root);
+            if clean {
+                per_shard.push(
+                    self.snap_cache
+                        .as_ref()
+                        .expect("clean implies cache")
+                        .chunks[s]
+                        .clone(),
+                );
+            } else {
+                encoded += 1;
+                per_shard.push(
+                    self.kv
+                        .shard_to_chunks(s, self.chunk_budget)
+                        .iter()
+                        .map(|c| c.encode())
+                        .collect(),
+                );
+            }
+        }
+        let flat: Vec<Vec<u8>> = per_shard.iter().flatten().cloned().collect();
+        let Store::Durable(d) = &mut self.store else {
+            return None; // snapshot_due already said durable
+        };
+        let height = d.force_snapshot(&self.kv.transfer_meta(), &flat).ok()?;
+        self.snap_stats
+            .record_snapshot(encoded, EXEC_SHARDS as u64 - encoded);
+        self.snap_cache = Some(SnapshotCache {
+            sub_roots: roots,
+            chunks: per_shard,
+        });
+        Some(height)
     }
 
     // ── state transfer: serving side ────────────────────────────────
@@ -1644,6 +1703,7 @@ mod tests {
             informs,
             Arc::new(AtomicBool::new(true)),
             false,
+            SnapshotStats::default(),
         )
     }
 

@@ -30,9 +30,12 @@
 //! `tests/transport_e2e.rs` (facade crate) for the end-to-end
 //! crash–restart and pruned-history recovery proofs.
 
-use crate::envelope::{decode_protocol_body, encode_protocol, payload_tag, Envelope, TAG_PROTOCOL};
+use crate::egress::Fanout;
+use crate::envelope::{
+    decode_protocol_body, encode_protocol_into, payload_tag, Envelope, Payload, TAG_PROTOCOL,
+};
 use crate::fabric::{Fabric, MeteredFabric};
-use crate::observe::{CommitLog, Inform, NetStats};
+use crate::observe::{CommitLog, Inform, NetStats, SnapshotStats};
 use crate::pipeline::{Pipeline, PipelineCmd};
 use serde::{Deserialize, Serialize};
 use spotless_crypto::KeyStore;
@@ -117,10 +120,19 @@ pub struct RuntimeConfig {
     /// executes every group inline on the pipeline thread (the serial
     /// baseline — also what benchmarks compare against).
     pub exec_pool: usize,
+    /// Egress sealing workers: outbound envelope signatures are
+    /// batch-signed off the event-loop thread by this many dedicated
+    /// lanes (the `egress` module), with a single ordered emitter
+    /// preserving per-destination send order. `0` seals inline on the
+    /// event loop (the pre-pool behaviour — the benchmark baseline).
+    pub seal_pool: usize,
     /// Wire-traffic counters for this replica (payload bytes/messages
     /// by direction). A fresh set by default; share one across replicas
     /// to aggregate. Also readable later via [`ReplicaHandle::net`].
     pub net: NetStats,
+    /// Snapshot-delta counters (shards serialized vs reused per durable
+    /// snapshot). Readable later via [`ReplicaHandle::snapshots`].
+    pub snap: SnapshotStats,
 }
 
 impl RuntimeConfig {
@@ -138,7 +150,9 @@ impl RuntimeConfig {
             silent: false,
             verify_pool: 2,
             exec_pool: 2,
+            seal_pool: 2,
             net: NetStats::default(),
+            snap: SnapshotStats::default(),
         }
     }
 }
@@ -179,6 +193,7 @@ pub struct ReplicaHandle {
     synced: Arc<AtomicBool>,
     stopped: Arc<AtomicBool>,
     net: NetStats,
+    snap: SnapshotStats,
 }
 
 impl ReplicaHandle {
@@ -221,6 +236,12 @@ impl ReplicaHandle {
     /// message counts, by direction).
     pub fn net(&self) -> &NetStats {
         &self.net
+    }
+
+    /// This replica's snapshot-delta counters (durable snapshots
+    /// written; shards serialized vs reused per snapshot).
+    pub fn snapshots(&self) -> &SnapshotStats {
+        &self.snap
     }
 }
 
@@ -409,6 +430,7 @@ impl ReplicaRuntime {
             informs,
             synced.clone(),
             !cfg.silent,
+            cfg.snap.clone(),
         );
         let group_max = cfg.group_commit.max(1);
         let stopped = Arc::new(AtomicBool::new(false));
@@ -463,13 +485,30 @@ impl ReplicaRuntime {
             }
         });
 
-        // 4. The event loop.
+        // 4. Egress: with a sealer pool, outbound envelopes are
+        //    batch-signed off-thread and a single ordered emitter
+        //    preserves send order; with `seal_pool == 0` (or a silent
+        //    replica, which emits nothing) the loop seals inline.
+        let seal_pool = if cfg.silent { 0 } else { cfg.seal_pool };
+        let egress = (seal_pool > 0).then(|| {
+            crate::egress::EgressPool::spawn(
+                seal_pool,
+                cfg.keystore.clone(),
+                fabric.clone(),
+                cfg.me,
+                cfg.cluster.n,
+            )
+        });
+
+        // 5. The event loop.
         let event_loop = EventLoop {
             me: cfg.me,
             n: cfg.cluster.n,
             node,
             keystore: cfg.keystore,
             fabric,
+            egress,
+            seal_buffers: crate::envelope::BufferPool::default(),
             events_tx,
             pipeline_tx,
             synced: synced.clone(),
@@ -489,6 +528,7 @@ impl ReplicaRuntime {
             synced,
             stopped,
             net,
+            snap: cfg.snap,
         })
     }
 }
@@ -499,6 +539,12 @@ struct EventLoop<N: Node, F: Fabric> {
     node: N,
     keystore: KeyStore,
     fabric: F,
+    /// The off-thread sealing stage (`seal_pool > 0`), or `None` for
+    /// the inline baseline.
+    egress: Option<crate::egress::EgressPool>,
+    /// Recycled outbound payload buffers for the inline path (the
+    /// egress pool carries its own).
+    seal_buffers: crate::envelope::BufferPool,
     events_tx: mpsc::UnboundedSender<Event<N::Message>>,
     pipeline_tx: mpsc::Sender<PipelineCmd>,
     synced: Arc<AtomicBool>,
@@ -681,20 +727,46 @@ where
             if to == self.me {
                 let _ = self.events_tx.send(Event::Loopback(msg));
             } else {
-                let env = Envelope::seal(&self.keystore, encode_protocol(&msg));
-                self.fabric.send(to, env);
+                self.emit(&msg, Fanout::To(to));
             }
         }
         for msg in broadcasts {
             // Serialize + sign once; every peer shares the same Arc'd
-            // bytes. Self-delivery is a local loopback (Remark 3.1).
-            let env = Envelope::seal(&self.keystore, encode_protocol(&msg));
-            for r in 0..self.n {
-                if r != self.me.0 {
-                    self.fabric.send(ReplicaId(r), env.clone());
+            // bytes. Self-delivery is a local loopback (Remark 3.1) —
+            // it never enters the egress stage.
+            self.emit(&msg, Fanout::Broadcast);
+            let _ = self.events_tx.send(Event::Loopback(msg));
+        }
+    }
+
+    /// Encodes one outbound protocol message into a pooled buffer and
+    /// either hands it to the egress stage (sealed off-thread, fanned
+    /// out in submission order by the ordered emitter) or seals and
+    /// sends inline (`seal_pool == 0`).
+    fn emit(&mut self, msg: &N::Message, fanout: Fanout) {
+        match &mut self.egress {
+            Some(egress) => {
+                let enc = encode_protocol_into(msg, egress.buffers.take());
+                let len = enc.len();
+                let payload = Payload::pooled(enc, &egress.buffers, 0, len);
+                egress.submit(payload, fanout);
+            }
+            None => {
+                let enc = encode_protocol_into(msg, self.seal_buffers.take());
+                let len = enc.len();
+                let payload = Payload::pooled(enc, &self.seal_buffers, 0, len);
+                let env = Envelope::seal_payload(&self.keystore, payload);
+                match fanout {
+                    Fanout::To(to) => self.fabric.send(to, env),
+                    Fanout::Broadcast => {
+                        for r in 0..self.n {
+                            if r != self.me.0 {
+                                self.fabric.send(ReplicaId(r), env.clone());
+                            }
+                        }
+                    }
                 }
             }
-            let _ = self.events_tx.send(Event::Loopback(msg));
         }
     }
 

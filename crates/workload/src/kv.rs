@@ -95,13 +95,110 @@ pub fn shard_of_key(key: u64) -> usize {
 
 /// A batch's shard footprint: bit `s` set iff some transaction touches
 /// shard `s`. With [`EXEC_SHARDS`] = 8 a `u8` covers the space; two
-/// batches conflict exactly when their footprints intersect.
+/// batches conflict exactly when their footprints intersect. This is
+/// the coarse projection of [`batch_bucket_footprint`] — kept for
+/// callers that only care about shard granularity.
 pub fn batch_footprint(txns: &[Transaction]) -> u8 {
-    let mut mask = 0u8;
-    for txn in txns {
-        mask |= 1 << shard_of_key(txn.op.key());
+    batch_bucket_footprint(txns).shard_mask()
+}
+
+/// Bitmap words in a [`BucketFootprint`].
+const FOOTPRINT_WORDS: usize = STATE_BUCKETS / 64;
+
+/// A batch's **bucket-level** footprint: one bit per global state
+/// bucket. Two batches conflict exactly when their bucket footprints
+/// intersect — a much finer test than the 8-bit shard mask (up to
+/// [`SHARD_BUCKETS`]× fewer false conflicts for batches that share a
+/// shard but not a bucket), and the granularity the conflict-aware
+/// executor schedules at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketFootprint([u64; FOOTPRINT_WORDS]);
+
+impl BucketFootprint {
+    /// The footprint touching nothing.
+    pub const EMPTY: BucketFootprint = BucketFootprint([0; FOOTPRINT_WORDS]);
+
+    /// Marks global bucket `b` as touched.
+    pub fn insert(&mut self, b: usize) {
+        debug_assert!(b < STATE_BUCKETS);
+        self.0[b / 64] |= 1 << (b % 64);
     }
-    mask
+
+    /// True iff global bucket `b` is touched.
+    pub fn contains(&self, b: usize) -> bool {
+        debug_assert!(b < STATE_BUCKETS);
+        self.0[b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// True iff no bucket is touched.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// True iff the two footprints share any bucket — the conflict test.
+    pub fn intersects(&self, other: &BucketFootprint) -> bool {
+        self.0.iter().zip(&other.0).any(|(a, b)| a & b != 0)
+    }
+
+    /// Folds `other`'s buckets into this footprint.
+    pub fn union_with(&mut self, other: &BucketFootprint) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    /// Number of touched buckets.
+    pub fn count(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Coarsens to the 8-bit shard mask ([`batch_footprint`] form): bit
+    /// `s` set iff any touched bucket lies in shard `s`.
+    pub fn shard_mask(&self) -> u8 {
+        const WORDS_PER_SHARD: usize = SHARD_BUCKETS / 64;
+        let mut mask = 0u8;
+        for s in 0..EXEC_SHARDS {
+            let words = &self.0[s * WORDS_PER_SHARD..(s + 1) * WORDS_PER_SHARD];
+            if words.iter().any(|&w| w != 0) {
+                mask |= 1 << s;
+            }
+        }
+        mask
+    }
+
+    /// The touched global bucket indices, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter_map(move |bit| (word & (1 << bit) != 0).then_some(w * 64 + bit))
+        })
+    }
+}
+
+impl Default for BucketFootprint {
+    fn default() -> Self {
+        BucketFootprint::EMPTY
+    }
+}
+
+/// The bucket-level footprint of a batch: bit `b` set iff some
+/// transaction reads or writes a key in global bucket `b`.
+pub fn batch_bucket_footprint(txns: &[Transaction]) -> BucketFootprint {
+    let mut fp = BucketFootprint::EMPTY;
+    for txn in txns {
+        fp.insert(bucket_of(txn.op.key()));
+    }
+    fp
+}
+
+/// A shard's sub-root recomputed from a full vector of its
+/// [`SHARD_BUCKETS`] bucket leaf digests — the same tree
+/// [`Shard::sub_root`] maintains, exposed so a bucket-level
+/// commit-order fold can overlay per-batch bucket digests and reseal
+/// the shard root without owning the shard.
+pub fn shard_root_from_digests(digests: &[Digest]) -> Digest {
+    debug_assert_eq!(digests.len(), SHARD_BUCKETS);
+    let leaves: Vec<Vec<u8>> = digests.iter().map(|d| d.0.to_vec()).collect();
+    MerkleTree::build(&leaves).root()
 }
 
 /// Domain prefix of a bucket digest (a shard-tree Merkle leaf payload).
@@ -408,6 +505,137 @@ impl Shard {
         self.cached_sub_root = Some(root);
         root
     }
+
+    /// Detaches the given global buckets (which must all belong to this
+    /// shard) into a [`ShardSlice`]: their keys, values, and membership
+    /// sets move out of the shard, leaving those buckets empty until
+    /// [`attach_slice`](Shard::attach_slice) brings the slice back.
+    /// This is how two conflict components sharing a shard — but not a
+    /// bucket — execute concurrently: each owns its own slice.
+    ///
+    /// The shard must not be read, executed on, or hashed while any of
+    /// its buckets are detached; the executor holds it aside for the
+    /// duration.
+    pub fn detach_slice(&mut self, globals: &[usize]) -> ShardSlice {
+        let mut sorted: Vec<usize> = globals.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut bucket_keys = Vec::with_capacity(sorted.len());
+        let mut table = HashMap::new();
+        for &g in &sorted {
+            debug_assert_eq!(shard_of_bucket(g), self.id, "bucket outside this shard");
+            let keys = std::mem::take(&mut self.bucket_keys[g % SHARD_BUCKETS]);
+            for &key in &keys {
+                if let Some(v) = self.table.remove(&key) {
+                    table.insert(key, v);
+                }
+            }
+            bucket_keys.push(keys);
+        }
+        ShardSlice {
+            shard: self.id,
+            written: vec![false; sorted.len()],
+            any_written: false,
+            globals: sorted,
+            bucket_keys,
+            table,
+        }
+    }
+
+    /// Re-attaches a slice detached from this shard. Buckets the slice
+    /// wrote are marked dirty (their cached digests are stale); buckets
+    /// it only read come back with their digests — and, when nothing
+    /// was written at all, the shard's cached sub-root — still valid.
+    pub fn attach_slice(&mut self, slice: ShardSlice) {
+        let ShardSlice {
+            shard,
+            globals,
+            bucket_keys,
+            written,
+            any_written,
+            table,
+        } = slice;
+        assert_eq!(shard, self.id, "slice attached to wrong shard");
+        for ((g, keys), written) in globals.into_iter().zip(bucket_keys).zip(written) {
+            let local = g % SHARD_BUCKETS;
+            debug_assert!(
+                self.bucket_keys[local].is_empty(),
+                "bucket repopulated while detached"
+            );
+            self.bucket_keys[local] = keys;
+            if written {
+                self.dirty[local] = true;
+            }
+        }
+        self.table.extend(table);
+        if any_written {
+            self.any_dirty = true;
+            self.cached_sub_root = None;
+        }
+    }
+}
+
+/// A detached slice of one shard: exclusive owner of a subset of its
+/// buckets (keys, values, membership sets) for the duration of one
+/// conflict component's execution. Produced by
+/// [`Shard::detach_slice`], consumed by [`Shard::attach_slice`];
+/// `Send` like the shard itself, so slices ride to worker threads.
+pub struct ShardSlice {
+    shard: usize,
+    /// Global indices of the owned buckets, ascending.
+    globals: Vec<usize>,
+    /// Sorted key membership per owned bucket (parallel to `globals`).
+    bucket_keys: Vec<BTreeSet<u64>>,
+    /// Per-bucket written flag (parallel to `globals`).
+    written: Vec<bool>,
+    any_written: bool,
+    table: HashMap<u64, Vec<u8>>,
+}
+
+impl ShardSlice {
+    /// The shard this slice was detached from.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// True iff the slice owns global bucket `g`.
+    pub fn owns_bucket(&self, g: usize) -> bool {
+        self.globals.binary_search(&g).is_ok()
+    }
+
+    fn raw_insert(&mut self, key: u64, value: Vec<u8>) {
+        let slot = self
+            .globals
+            .binary_search(&bucket_of(key))
+            .expect("batch routed to unscheduled bucket");
+        self.bucket_keys[slot].insert(key);
+        self.table.insert(key, value);
+        self.written[slot] = true;
+        self.any_written = true;
+    }
+
+    /// Canonical encoding of owned bucket `g` — byte-identical to the
+    /// owning shard's [`encoding`](KvStore::encode_bucket) of the same
+    /// bucket contents.
+    pub fn encode_bucket(&self, g: usize) -> Vec<u8> {
+        let slot = self.globals.binary_search(&g).expect("bucket owned");
+        let keys = &self.bucket_keys[slot];
+        let mut out = Vec::with_capacity(4 + keys.len() * 16);
+        out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+        for &key in keys {
+            let value = &self.table[&key];
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        out
+    }
+
+    /// Current leaf digest of owned bucket `g` (recomputed on demand —
+    /// slices are short-lived and touch few buckets).
+    pub fn bucket_digest(&self, g: usize) -> Digest {
+        bucket_leaf_digest(&self.encode_bucket(g))
+    }
 }
 
 /// Executes a batch against the given shards — the **single execution
@@ -420,27 +648,63 @@ impl Shard {
 /// rolling digest is untouched until the effect is absorbed in commit
 /// order.
 pub fn execute_on_shards(shards: &mut [Shard], txns: &[Transaction]) -> BatchEffect {
+    execute_on_parts(shards, &mut [], txns)
+}
+
+/// The general form of [`execute_on_shards`]: a batch executes against
+/// a mix of **whole shards** and **shard slices** — the latter when
+/// another conflict component concurrently owns a different slice of
+/// the same shard. Keys route to the whole shard when present,
+/// otherwise to the slice owning their bucket; a key owned by neither
+/// is a scheduler bug and panics loudly rather than diverging. One
+/// routine serves the serial path (`slices` empty), the shard-level
+/// parallel path, and the bucket-level parallel path, so their
+/// equivalence holds by construction.
+pub fn execute_on_parts(
+    shards: &mut [Shard],
+    slices: &mut [ShardSlice],
+    txns: &[Transaction],
+) -> BatchEffect {
     let mut pos = [usize::MAX; EXEC_SHARDS];
     for (i, s) in shards.iter().enumerate() {
         pos[s.id] = i;
     }
+    let mut slice_pos = [usize::MAX; EXEC_SHARDS];
+    for (i, s) in slices.iter().enumerate() {
+        debug_assert!(
+            pos[s.shard] == usize::MAX,
+            "a job must not hold a shard and a slice of it at once"
+        );
+        slice_pos[s.shard] = i;
+    }
     let mut effect = BatchEffect::EMPTY;
     for txn in txns {
-        let slot = pos[shard_of_key(txn.op.key())];
-        assert!(slot != usize::MAX, "batch routed to unscheduled shard");
-        let shard = &mut shards[slot];
+        let home = shard_of_key(txn.op.key());
+        let slot = pos[home];
         match &txn.op {
             Operation::Read { key } => {
                 effect.reads += 1;
                 // The value digest is only surfaced by single-txn
                 // `execute`; batch execution needs just the counter.
-                let _ = shard.table.get(key);
+                if slot != usize::MAX {
+                    let _ = shards[slot].table.get(key);
+                } else {
+                    let sl = slice_pos[home];
+                    assert!(sl != usize::MAX, "batch routed to unscheduled shard");
+                    let _ = slices[sl].table.get(key);
+                }
             }
             Operation::Update { key, value } => {
                 effect.writes += 1;
                 let entry = spotless_crypto::digest_fields(&[&key.to_be_bytes(), value]);
                 effect.write_chain = spotless_crypto::digest_chained(&effect.write_chain, &entry);
-                shard.raw_insert(*key, value.clone());
+                if slot != usize::MAX {
+                    shards[slot].raw_insert(*key, value.clone());
+                } else {
+                    let sl = slice_pos[home];
+                    assert!(sl != usize::MAX, "batch routed to unscheduled shard");
+                    slices[sl].raw_insert(*key, value.clone());
+                }
             }
         }
     }
@@ -590,6 +854,15 @@ impl KvStore {
     /// the parallel executor's commit-order fold starts from.
     pub fn shard_sub_roots(&mut self) -> Vec<Digest> {
         self.shards.iter_mut().map(|s| s.sub_root()).collect()
+    }
+
+    /// Current per-bucket leaf digests of one shard (refreshing dirty
+    /// buckets first) — the seed the bucket-level executor fold starts
+    /// from for a contested shard: slice jobs report digests only for
+    /// buckets they own, and these fill the rest.
+    pub fn shard_bucket_digests(&mut self, shard: usize) -> Vec<Digest> {
+        self.shards[shard].refresh();
+        self.shards[shard].bucket_digests.clone()
     }
 
     /// Absorbs a batch effect in commit order: counter deltas, and —
@@ -772,16 +1045,26 @@ impl KvStore {
     /// exist, no single bucket ever has to fit one wire frame (the old
     /// ~1 GiB practical state bound is gone).
     pub fn to_chunks(&self, budget: usize) -> Vec<StateChunk> {
+        (0..EXEC_SHARDS)
+            .flat_map(|s| self.shard_to_chunks(s, budget))
+            .collect()
+    }
+
+    /// The chunks of [`to_chunks`](KvStore::to_chunks) covering exactly
+    /// one execution shard's buckets. Because chunks never cross a
+    /// shard boundary, concatenating the per-shard chunk lists in shard
+    /// order is byte-identical to a whole-store `to_chunks` call — which
+    /// is what lets a snapshot writer reuse the cached chunks of shards
+    /// whose sub-root has not moved.
+    pub fn shard_to_chunks(&self, shard: usize, budget: usize) -> Vec<StateChunk> {
         let budget = budget.max(1);
         let mut chunks = Vec::new();
-        let mut current = StateChunk::whole(0, Vec::new());
+        let first = shard * SHARD_BUCKETS;
+        let mut current = StateChunk::whole(first as u32, Vec::new());
         let mut current_bytes = 0usize;
-        for b in 0..STATE_BUCKETS {
+        for b in first..first + SHARD_BUCKETS {
             let enc = self.encode_bucket(b);
-            let at_shard_boundary = b % SHARD_BUCKETS == 0;
-            if !current.buckets.is_empty()
-                && (current_bytes + enc.len() > budget || at_shard_boundary)
-            {
+            if !current.buckets.is_empty() && current_bytes + enc.len() > budget {
                 let next_first = current.first_bucket + current.buckets.len() as u32;
                 chunks.push(std::mem::replace(
                     &mut current,
@@ -1122,6 +1405,145 @@ mod tests {
             batch_footprint(&[t, r]),
             (1 << shard_of_key(17)) | (1 << shard_of_key(99))
         );
+    }
+
+    #[test]
+    fn bucket_footprint_refines_shard_footprint() {
+        assert!(batch_bucket_footprint(&[]).is_empty());
+        let mut generator = WorkloadGen::new(YcsbConfig::default(), 7);
+        let txns = generator.next_batch(200);
+        let fp = batch_bucket_footprint(&txns);
+        // The coarse mask is exactly the projection of the fine bitmap.
+        assert_eq!(fp.shard_mask(), batch_footprint(&txns));
+        // Every touched key's bucket is in the bitmap, and the iterator
+        // yields exactly the set bits, ascending.
+        for t in &txns {
+            assert!(fp.contains(bucket_of(t.op.key())));
+        }
+        let listed: Vec<usize> = fp.buckets().collect();
+        assert_eq!(listed.len(), fp.count());
+        assert!(listed.windows(2).all(|w| w[0] < w[1]));
+        for &b in &listed {
+            assert!(fp.contains(b));
+        }
+        // Intersection is per-bucket, not per-shard: two different
+        // buckets of one shard do not intersect.
+        let (a, b) = two_buckets_same_shard();
+        let mut fa = BucketFootprint::EMPTY;
+        fa.insert(a);
+        let mut fb = BucketFootprint::EMPTY;
+        fb.insert(b);
+        assert_eq!(fa.shard_mask(), fb.shard_mask());
+        assert!(!fa.intersects(&fb));
+        fa.union_with(&fb);
+        assert!(fa.intersects(&fb));
+        assert_eq!(fa.count(), 2);
+    }
+
+    /// Two keys in the same shard but different buckets (and the keys
+    /// themselves): the minimal bucket-level-parallelism scenario.
+    fn two_keys_same_shard_different_buckets() -> (u64, u64) {
+        let mut first = None;
+        for key in 0..1_000_000u64 {
+            if shard_of_key(key) != 0 {
+                continue;
+            }
+            match first {
+                None => first = Some(key),
+                Some(a) if bucket_of(key) != bucket_of(a) => return (a, key),
+                Some(_) => {}
+            }
+        }
+        unreachable!("shard 0 has more than one populated bucket");
+    }
+
+    fn two_buckets_same_shard() -> (usize, usize) {
+        let (a, b) = two_keys_same_shard_different_buckets();
+        (bucket_of(a), bucket_of(b))
+    }
+
+    #[test]
+    fn slice_execution_matches_serial() {
+        // Two batches contesting one shard but touching disjoint
+        // buckets: executed on separate detached slices (as the
+        // bucket-level executor schedules them), then folded in commit
+        // order, the store must be byte-identical to serial execution.
+        let (ka, kb) = two_keys_same_shard_different_buckets();
+        let batch_a = vec![write(0, ka, b"left"), read(1, ka)];
+        let batch_b = vec![write(2, kb, b"right"), write(3, kb, b"right2")];
+
+        let mut serial = KvStore::initialized(500, 16);
+        serial.execute_batch(&batch_a);
+        serial.execute_batch(&batch_b);
+
+        let mut par = KvStore::initialized(500, 16);
+        let seed = par.shard_bucket_digests(0);
+        let mut shards = par.take_shards();
+        let contested = &mut shards[0];
+        let fa = batch_bucket_footprint(&batch_a);
+        let fb = batch_bucket_footprint(&batch_b);
+        assert!(!fa.intersects(&fb));
+        let mut slice_a = contested.detach_slice(&fa.buckets().collect::<Vec<_>>());
+        let mut slice_b = contested.detach_slice(&fb.buckets().collect::<Vec<_>>());
+        let ea = execute_on_parts(&mut [], std::slice::from_mut(&mut slice_a), &batch_a);
+        let eb = execute_on_parts(&mut [], std::slice::from_mut(&mut slice_b), &batch_b);
+
+        // Overlay each slice's post-execution bucket digests onto the
+        // pre-execution seed — commit order, though disjoint buckets
+        // make it commutative here.
+        let mut digests = seed;
+        for g in fa.buckets() {
+            digests[g % SHARD_BUCKETS] = slice_a.bucket_digest(g);
+        }
+        for g in fb.buckets() {
+            digests[g % SHARD_BUCKETS] = slice_b.bucket_digest(g);
+        }
+        let rebuilt = shard_root_from_digests(&digests);
+
+        contested.attach_slice(slice_a);
+        contested.attach_slice(slice_b);
+        par.restore_shards(shards);
+        par.absorb_effect(&ea);
+        par.absorb_effect(&eb);
+
+        assert_eq!(par.state_digest(), serial.state_digest());
+        assert_eq!(par.state_root(), serial.state_root());
+        assert_eq!(rebuilt, par.shard_sub_roots()[0]);
+        assert_eq!(rebuilt, serial.shard_sub_roots()[0]);
+    }
+
+    #[test]
+    fn read_only_slice_keeps_cached_sub_root() {
+        let (key, _) = two_keys_same_shard_different_buckets();
+        let mut store = KvStore::initialized(200, 8);
+        let root_before = store.state_root();
+        let mut shards = store.take_shards();
+        assert!(shards[0].cached_sub_root.is_some());
+        let mut slice = shards[0].detach_slice(&[bucket_of(key)]);
+        let effect = execute_on_parts(&mut [], std::slice::from_mut(&mut slice), &[read(0, key)]);
+        assert_eq!(effect.reads, 1);
+        shards[0].attach_slice(slice);
+        // Nothing was written: digests and the cached sub-root survive.
+        assert!(shards[0].cached_sub_root.is_some());
+        assert!(!shards[0].any_dirty);
+        store.restore_shards(shards);
+        assert_eq!(store.state_root(), root_before);
+    }
+
+    #[test]
+    fn shard_chunks_concatenate_to_store_chunks() {
+        let store = KvStore::initialized(400, 32);
+        for budget in [64usize, 1024, 1 << 20] {
+            let per_shard: Vec<StateChunk> = (0..EXEC_SHARDS)
+                .flat_map(|s| store.shard_to_chunks(s, budget))
+                .collect();
+            assert_eq!(per_shard, store.to_chunks(budget));
+            for s in 0..EXEC_SHARDS {
+                let chunks = store.shard_to_chunks(s, budget);
+                assert_eq!(chunks[0].first_bucket as usize, s * SHARD_BUCKETS);
+                assert_eq!(buckets_covered(&chunks), SHARD_BUCKETS);
+            }
+        }
     }
 
     #[test]

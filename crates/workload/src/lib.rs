@@ -14,8 +14,9 @@ pub mod ycsb;
 
 pub use batch::{decode_txns, encode_txns, Batcher};
 pub use kv::{
-    batch_footprint, bucket_leaf_digest, bucket_of, execute_on_shards, shard_of_bucket,
-    shard_of_key, top_state_root, verify_bucket, BatchEffect, ExecResult, KvStore, Shard,
+    batch_bucket_footprint, batch_footprint, bucket_leaf_digest, bucket_of, execute_on_parts,
+    execute_on_shards, shard_of_bucket, shard_of_key, shard_root_from_digests, top_state_root,
+    verify_bucket, BatchEffect, BucketFootprint, ExecResult, KvStore, Shard, ShardSlice,
     StateChunk, StateProver, EXEC_SHARDS, META_LEAF, SHARD_BUCKETS, STATE_BUCKETS,
 };
 pub use ycsb::{Operation, Transaction, WorkloadGen, YcsbConfig};

@@ -13,9 +13,12 @@
 //! divergence.
 
 use proptest::prelude::*;
-use spotless::runtime::{execute_group, ExecutorPool};
+use spotless::runtime::{execute_group_with, ExecutorPool, Granularity};
 use spotless::types::Digest;
-use spotless::workload::{batch_footprint, shard_of_key, KvStore, Operation, Transaction};
+use spotless::workload::{
+    batch_bucket_footprint, batch_footprint, bucket_of, shard_of_key, KvStore, Operation,
+    Transaction,
+};
 
 /// One generated operation: `(write?, key-seed, value length)`. Keys
 /// stay small-ish so batches collide on buckets often enough to
@@ -62,9 +65,10 @@ fn serial_reference(batches: &[Option<Vec<Transaction>>]) -> (Vec<(Digest, Diges
     (sealed, kv)
 }
 
-fn assert_matches_serial(
+fn assert_matches_serial_at(
     group: Vec<Option<Vec<(bool, u64, u8)>>>,
     pool: Option<&mut ExecutorPool>,
+    granularity: Granularity,
 ) {
     let batches: Vec<Option<Vec<Transaction>>> = group
         .iter()
@@ -73,7 +77,7 @@ fn assert_matches_serial(
         .collect();
     let (expect, mut serial_kv) = serial_reference(&batches);
     let mut kv = KvStore::new();
-    let got: Vec<(Digest, Digest)> = execute_group(pool, &mut kv, batches)
+    let got: Vec<(Digest, Digest)> = execute_group_with(pool, &mut kv, batches, granularity)
         .into_iter()
         .map(|s| (s.state_digest, s.state_root))
         .collect();
@@ -85,6 +89,13 @@ fn assert_matches_serial(
     assert_eq!(kv.state_digest(), serial_kv.state_digest());
     assert_eq!(kv.writes_applied(), serial_kv.writes_applied());
     assert_eq!(kv.reads_served(), serial_kv.reads_served());
+}
+
+fn assert_matches_serial(
+    group: Vec<Option<Vec<(bool, u64, u8)>>>,
+    pool: Option<&mut ExecutorPool>,
+) {
+    assert_matches_serial_at(group, pool, Granularity::Bucket);
 }
 
 proptest! {
@@ -101,6 +112,27 @@ proptest! {
     fn pooled_execution_matches_serial(group in groups()) {
         let mut pool = ExecutorPool::spawn(3);
         assert_matches_serial(group, Some(&mut pool));
+    }
+
+    /// Bucket-level and shard-level conflict footprints over the SAME
+    /// random group, inline: both granularities must seal the serial
+    /// per-batch digests and roots byte-for-byte — the footprint only
+    /// changes what runs concurrently, never what is observable.
+    #[test]
+    fn both_granularities_match_serial_inline(group in groups()) {
+        assert_matches_serial_at(group.clone(), None, Granularity::Bucket);
+        assert_matches_serial_at(group, None, Granularity::Shard);
+    }
+
+    /// Same cross-granularity pin through a real (work-stealing) pool:
+    /// bucket-level scheduling splits contested shards into slices and
+    /// idle workers steal queued components, and the sealed roots must
+    /// still be byte-identical to serial — and to shard-level.
+    #[test]
+    fn both_granularities_match_serial_pooled(group in groups()) {
+        let mut pool = ExecutorPool::spawn(3);
+        assert_matches_serial_at(group.clone(), Some(&mut pool), Granularity::Bucket);
+        assert_matches_serial_at(group, Some(&mut pool), Granularity::Shard);
     }
 }
 
@@ -141,4 +173,40 @@ fn full_conflict_and_bridge_groups_match_serial() {
         "fixture must span exactly two shards"
     );
     assert_matches_serial(bridged, Some(&mut pool));
+}
+
+/// The refinement bucket-level footprints buy: batches that share a
+/// shard but not a bucket. Shard-level analysis merges them into one
+/// serial component; bucket-level keeps them independent (the contested
+/// shard splits into slices). Both schedules must seal serial roots.
+#[test]
+fn same_shard_distinct_buckets_split_and_match_serial() {
+    let mut first = None;
+    let mut pair = None;
+    for k in 0..1_000_000u64 {
+        if shard_of_key(k) != 4 {
+            continue;
+        }
+        match first {
+            None => first = Some(k),
+            Some(ka) if bucket_of(k) != bucket_of(ka) => {
+                pair = Some((ka, k));
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (ka, kb) = pair.expect("two shard-4 keys in distinct buckets");
+    let write = |id: u64, key: u64| (true, key, id as u8);
+    let group: Vec<Option<Vec<(bool, u64, u8)>>> = (0..6u64)
+        .map(|i| Some(vec![write(i, if i % 2 == 0 { ka } else { kb })]))
+        .collect();
+    // The fixture really is same-shard, distinct-bucket.
+    let fa = batch_bucket_footprint(&to_txns(group[0].as_ref().unwrap(), 0));
+    let fb = batch_bucket_footprint(&to_txns(group[1].as_ref().unwrap(), 1));
+    assert_eq!(fa.shard_mask(), fb.shard_mask(), "same shard");
+    assert!(!fa.intersects(&fb), "distinct buckets");
+    let mut pool = ExecutorPool::spawn(2);
+    assert_matches_serial_at(group.clone(), Some(&mut pool), Granularity::Bucket);
+    assert_matches_serial_at(group, Some(&mut pool), Granularity::Shard);
 }
